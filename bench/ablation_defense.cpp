@@ -1,0 +1,135 @@
+/// ABL-DEFENSE — Maintenance-phase ablation (ours). The paper prices a
+/// collision at an abstract cost E, standing for the "costly protocol to
+/// re-establish the integrity of the IP numbers" (Sec. 3.1). This bench
+/// simulates that re-establishment vehicle — ARP announcements plus
+/// owner defense — and measures how many silent collisions the
+/// announcement phase catches, and how quickly, as the medium degrades.
+///
+/// Setup: the owner answers any request with probability 1-L_r = 0.4
+/// (busy host), the medium loses each delivery with probability L_m, and
+/// the joiner probes once (n = 1) so silent collisions are frequent.
+/// Per announcement the collision is caught with probability
+///   p = (1-L_m)^2 (1-L_r)          (announce out, defense back)
+/// so with ANNOUNCE_NUM = 2 the detection rate is 1-(1-p)^2 — an
+/// analytic cross-check the simulation must reproduce.
+
+#include <cmath>
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "prob/families.hpp"
+#include "sim/network.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace zc;
+
+constexpr double kResponderLoss = 0.6;
+constexpr unsigned kAnnounceCount = 2;
+
+struct Outcomes {
+  std::size_t collisions = 0;
+  std::size_t detected = 0;
+  sim::RunningStats latency;
+};
+
+Outcomes run(double medium_loss, std::size_t trials, std::uint64_t seed) {
+  prob::Rng seeder(seed);
+  Outcomes out;
+  for (std::size_t t = 0; t < trials; ++t) {
+    sim::NetworkConfig config;
+    config.address_space = 50;
+    config.hosts = 25;  // q = 0.5: silent collisions are common
+    config.responder_delay = std::make_shared<prob::DefectiveDelay>(
+        std::make_unique<prob::Exponential>(200.0), kResponderLoss, 0.0);
+    config.medium.loss = medium_loss;
+    config.medium.transit_delay =
+        std::make_shared<prob::Exponential>(200.0);  // 5 ms transit
+
+    sim::Network net(config, seeder.next_u64());
+    sim::ZeroconfConfig protocol;
+    protocol.n = 1;
+    protocol.r = 0.1;
+    protocol.announce_count = kAnnounceCount;
+    protocol.announce_interval = 2.0;
+    const sim::RunResult result = net.run_join(protocol);
+    if (!result.collision) continue;
+    ++out.collisions;
+    if (result.collision_detected) {
+      ++out.detected;
+      out.latency.add(result.detection_latency);
+    }
+  }
+  return out;
+}
+
+double analytic_rate(double medium_loss) {
+  const double per_announce = (1.0 - medium_loss) * (1.0 - medium_loss) *
+                              (1.0 - kResponderLoss);
+  return 1.0 - std::pow(1.0 - per_announce,
+                        static_cast<double>(kAnnounceCount));
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("ABL-DEFENSE",
+                "what the collision cost E pays for: announcement-phase "
+                "detection of silent collisions");
+
+  analysis::Table table({"medium loss", "collisions", "detected",
+                         "detection rate", "analytic rate",
+                         "mean latency [s]"});
+  analysis::PaperCheck check("ABL-DEFENSE");
+
+  std::vector<double> rates;
+  const std::size_t trials = 8000;
+  for (const double loss : {0.0, 0.2, 0.5, 0.8}) {
+    const Outcomes o = run(loss, trials, 2026);
+    const double rate =
+        o.collisions == 0
+            ? 0.0
+            : static_cast<double>(o.detected) /
+                  static_cast<double>(o.collisions);
+    rates.push_back(rate);
+    table.add_row({zc::format_sig(loss, 3), std::to_string(o.collisions),
+                   std::to_string(o.detected), zc::format_sig(rate, 4),
+                   zc::format_sig(analytic_rate(loss), 4),
+                   o.latency.count() > 0
+                       ? zc::format_sig(o.latency.mean(), 4)
+                       : "-"});
+
+    const auto ci = sim::wilson_ci95(o.detected, o.collisions);
+    check.expect_true(
+        "analytic-rate-loss-" + zc::format_sig(loss, 2),
+        "simulated detection rate matches 1-(1-(1-Lm)^2(1-Lr))^2",
+        analytic_rate(loss) >= ci.lower - 0.01 &&
+            analytic_rate(loss) <= ci.upper + 0.01);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading the table: the announcement phase is the cheap "
+               "insurance the draft\nbuilds in - but it rides the same "
+               "lossy medium, so the residual undetected-\ncollision "
+               "probability (what E ultimately prices) grows with link "
+               "loss.\n";
+
+  bool decays = true;
+  for (std::size_t i = 1; i < rates.size(); ++i)
+    decays &= rates[i] <= rates[i - 1] + 0.02;
+  check.expect_true("decays-with-loss",
+                    "detection rate decays as medium loss grows", decays);
+  const Outcomes clean = run(0.0, trials, 4052);
+  check.expect_true(
+      "latency-bounded-by-announce-interval",
+      "mean detection latency stays below transit + ANNOUNCE_INTERVAL",
+      clean.latency.count() > 0 && clean.latency.mean() < 2.1);
+  check.expect_true(
+      "first-announcement-fast",
+      "detections via the first announcement land within ~0.1 s",
+      clean.latency.count() > 0 && clean.latency.ci95_halfwidth() < 1.0);
+  return bench::finish(check);
+}

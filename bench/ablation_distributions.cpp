@@ -1,0 +1,111 @@
+/// ABL-DIST — Distribution-family ablation (ours, prompted by Sec. 7):
+/// the paper demonstrates its model with a shifted defective exponential
+/// F_X, chosen for convenience, and notes that real deployments should
+/// measure F_X. This bench swaps in Weibull, Erlang, uniform and
+/// deterministic reply delays of *equal conditional mean and equal loss*
+/// and shows the qualitative conclusions are robust to the family choice:
+/// every family yields an interior cost minimum, n = 1, 2 stay
+/// prohibitive, and the optimal (n, r) moves only modestly.
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "core/cost.hpp"
+#include "core/optimize.hpp"
+#include "core/reliability.hpp"
+#include "core/scenarios.hpp"
+#include "prob/families.hpp"
+
+namespace {
+
+using namespace zc;
+
+/// Equal-mean equal-loss variants of the Fig. 2 reply delay: conditional
+/// mean d + 1/lambda = 1.1, loss = 1e-15, shift d = 1 (so 0.1 beyond the
+/// round-trip floor).
+std::vector<std::pair<std::string,
+                      std::shared_ptr<const prob::DelayDistribution>>>
+families() {
+  const double loss = 1e-15, d = 1.0, mean_beyond = 0.1;
+  std::vector<std::pair<std::string,
+                        std::shared_ptr<const prob::DelayDistribution>>>
+      out;
+  out.emplace_back("exponential (paper)",
+                   prob::paper_reply_delay(loss, 1.0 / mean_beyond, d));
+  out.emplace_back("erlang-2",
+                   std::make_shared<prob::DefectiveDelay>(
+                       std::make_unique<prob::Erlang>(2, 2.0 / mean_beyond),
+                       loss, d));
+  out.emplace_back(
+      "weibull-0.7 (heavy tail)",
+      std::make_shared<prob::DefectiveDelay>(
+          std::make_unique<prob::Weibull>(
+              0.7, mean_beyond / std::tgamma(1.0 + 1.0 / 0.7)),
+          loss, d));
+  out.emplace_back("uniform",
+                   std::make_shared<prob::DefectiveDelay>(
+                       std::make_unique<prob::Uniform>(0.0, 2.0 * mean_beyond),
+                       loss, d));
+  // LogNormal with sigma = 0.5 and mean matched: mu = ln(mean) - sigma^2/2.
+  const double sigma = 0.5;
+  out.emplace_back("lognormal-0.5",
+                   std::make_shared<prob::DefectiveDelay>(
+                       std::make_unique<prob::LogNormal>(
+                           std::log(mean_beyond) - 0.5 * sigma * sigma,
+                           sigma),
+                       loss, d));
+  out.emplace_back("deterministic",
+                   std::make_shared<prob::DefectiveDelay>(
+                       std::make_unique<prob::Deterministic>(mean_beyond),
+                       loss, d));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("ABL-DIST",
+                "reply-delay family ablation at equal mean/loss "
+                "(Sec. 7 robustness question)");
+
+  const core::ExponentialScenario base = core::scenarios::figure2();
+  analysis::Table table({"family", "mean|arrival", "opt n", "opt r",
+                         "opt cost", "P(col) at opt", "C_1 min"});
+  analysis::PaperCheck check("ABL-DIST");
+
+  double exp_cost = 0.0;
+  for (const auto& [label, fx] : families()) {
+    const core::ScenarioParams scenario(base.q, base.probe_cost,
+                                        base.error_cost, fx);
+    core::ROptOptions ropt;
+    ropt.r_max = 12.0;
+    const core::JointOptimum opt = core::joint_optimum(scenario, 12, ropt);
+    const double c1 = core::optimal_r(scenario, 1, ropt).cost;
+    table.add_row({label, zc::format_sig(fx->mean_given_arrival(), 4),
+                   std::to_string(opt.n), zc::format_sig(opt.r, 4),
+                   zc::format_sig(opt.cost, 5),
+                   zc::format_sig(opt.error_prob, 3),
+                   zc::format_sig(c1, 3)});
+    if (exp_cost == 0.0) exp_cost = opt.cost;  // first row = paper family
+
+    check.expect_true(label + ": small-n prohibitive",
+                      "C_1 minimum stays astronomically large", c1 > 1e10);
+    check.expect_between(label + ": optimal n", 3.0, 5.0,
+                         static_cast<double>(opt.n));
+    check.expect_between(label + ": optimal cost vs exponential",
+                         0.5 * exp_cost, 2.0 * exp_cost, opt.cost);
+    check.expect_true(label + ": reliable at optimum",
+                      "collision probability below 1e-30 at the optimum",
+                      opt.error_prob < 1e-30);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nConclusion: the optimization story of the paper does "
+               "not hinge on the exponential\nchoice of F_X - all "
+               "families of equal mean and loss give the same shape.\n";
+  return bench::finish(check);
+}

@@ -1,0 +1,109 @@
+/// ABL-HET — Heterogeneous-population ablation (ours). The paper assumes
+/// one reply-delay distribution F_X for every responder. Real fleets mix
+/// fast appliances with slow, lossy ones. Within one attempt all probes
+/// interrogate the *same* (random) host, so the no-answer events are
+/// positively correlated through the host identity — feeding the naive
+/// probe-level mixture S_mix into Eq. (3)/(4) provably *underestimates*
+/// the collision probability (Chebyshev's sum inequality); the correct
+/// treatment conditions on the host per attempt:
+///     pi_i = sum_h w_h prod_j S_h(j r).
+///
+/// Expected shape: the simulation (which physically assigns one host per
+/// address) matches the attempt-level model and rejects the naive one.
+
+#include <iostream>
+#include <memory>
+
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "core/heterogeneous.hpp"
+#include "core/reliability.hpp"
+#include "prob/mixture.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace {
+
+using namespace zc;
+
+// 50/50 fleet: fast & reliable vs slow & lossy.
+std::vector<core::HostClass> classes() {
+  return {{0.5, prob::paper_reply_delay(0.02, 30.0, 0.05)},
+          {0.5, prob::paper_reply_delay(0.5, 2.0, 0.3)}};
+}
+
+std::shared_ptr<const prob::DelayDistribution> naive_mixture() {
+  std::vector<prob::MixtureDelay::Component> parts;
+  for (const auto& h : classes()) parts.push_back({h.weight, h.reply_delay});
+  return std::make_shared<prob::MixtureDelay>(std::move(parts));
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("ABL-HET",
+                "heterogeneous responder fleets: naive probe-level "
+                "mixture vs attempt-level conditioning vs simulation");
+
+  const double q = 0.4;
+  const unsigned hosts = 40;
+  const unsigned space = 100;
+
+  sim::NetworkConfig network;
+  network.address_space = space;
+  network.hosts = hosts;
+  network.responder_mix = {classes()[0].reply_delay,
+                           classes()[1].reply_delay};
+
+  analysis::Table table({"(n, r)", "naive model P(col)",
+                         "attempt-level P(col)", "simulated P(col)",
+                         "95% CI"});
+  analysis::PaperCheck check("ABL-HET");
+
+  const core::ScenarioParams naive(q, 1.0, 1.0, naive_mixture());
+  const std::vector<std::pair<unsigned, double>> configs{
+      {2, 0.2}, {3, 0.15}, {4, 0.1}};
+  for (const auto& [n, r] : configs) {
+    const core::ProtocolParams protocol{n, r};
+    const double p_naive = core::error_probability(naive, protocol);
+    const double p_exact =
+        core::error_probability_heterogeneous(q, classes(), protocol);
+
+    sim::ZeroconfConfig sim_protocol;
+    sim_protocol.n = n;
+    sim_protocol.r = r;
+    sim::MonteCarloOptions opts;
+    opts.trials = 40000;
+    opts.seed = 31000 + n;
+    const auto mc = sim::monte_carlo(network, sim_protocol, opts);
+
+    table.add_row(
+        {"(" + std::to_string(n) + ", " + zc::format_sig(r, 3) + ")",
+         zc::format_sig(p_naive, 4), zc::format_sig(p_exact, 4),
+         zc::format_sig(mc.collision_rate, 4),
+         "[" + zc::format_sig(mc.collision_ci95.lower, 3) + ", " +
+             zc::format_sig(mc.collision_ci95.upper, 3) + "]"});
+
+    const std::string id = "n" + std::to_string(n);
+    check.expect_true(id + "-naive-underestimates",
+                      "naive probe-level mixture below the attempt-level "
+                      "model (Chebyshev)",
+                      p_naive < p_exact);
+    check.expect_true(id + "-exact-in-ci",
+                      "attempt-level model inside the simulation's "
+                      "Wilson CI",
+                      p_exact >= mc.collision_ci95.lower * 0.95 &&
+                          p_exact <= mc.collision_ci95.upper * 1.05);
+    check.expect_true(id + "-naive-outside",
+                      "naive model falls below the simulation CI "
+                      "(detectably wrong)",
+                      p_naive < mc.collision_ci95.lower);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nModeling lesson: with heterogeneous fleets, measure "
+               "per-host reply behaviour and\naggregate at the attempt "
+               "level (pi_i = E_h[prod_j S_h(jr)]); averaging the CDFs "
+               "first\nsystematically understates the collision risk.\n";
+  return bench::finish(check);
+}

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file bench_util.hpp
+/// Shared scaffolding for the figure/table benches: banner printing and
+/// figure-file emission. Every bench prints (a) the regenerated series or
+/// rows, (b) an ASCII rendering of the figure, and (c) a PAPER-CHECK
+/// block comparing measured shape against the paper; it exits non-zero if
+/// a check fails so CI catches regressions.
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "analysis/ascii_plot.hpp"
+#include "analysis/expectation.hpp"
+#include "analysis/gnuplot.hpp"
+#include "analysis/series.hpp"
+
+namespace zc::bench {
+
+inline void banner(const std::string& experiment_id,
+                   const std::string& description) {
+  std::cout << std::string(100, '=') << '\n'
+            << experiment_id << ": " << description << '\n'
+            << std::string(100, '=') << '\n';
+}
+
+/// Emit figures/<basename>.csv and figures/<basename>.gp under the
+/// working directory; warn (but do not fail) on I/O problems, e.g.
+/// read-only working dirs.
+inline void emit_figure(const std::string& basename,
+                        const std::vector<analysis::Series>& series,
+                        const analysis::GnuplotOptions& options) {
+  std::error_code ec;
+  std::filesystem::create_directories("figures", ec);
+  const std::string path = "figures/" + basename;
+  if (!ec && analysis::write_figure_files(path, series, options)) {
+    std::cout << "[figure data: " << path << ".csv, " << path << ".gp]\n";
+  } else {
+    std::cout << "[warning: could not write " << path
+              << ".{csv,gp} - continuing]\n";
+  }
+}
+
+/// Report the PAPER-CHECK block; returns the process exit code.
+inline int finish(const analysis::PaperCheck& check) {
+  const bool ok = check.report(std::cout);
+  return ok ? 0 : 1;
+}
+
+}  // namespace zc::bench

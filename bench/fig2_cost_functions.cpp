@@ -1,0 +1,95 @@
+/// FIG2 — Reproduces Figure 2: the cost functions C_1(r)..C_8(r) for the
+/// Sec. 4.3 demonstration scenario (d=1, l=1-1e-15, lambda=10,
+/// q=1000/65024, c=2, E=1e35).
+///
+/// Expected shape (paper): every C_n has a minimum; the curves for
+/// n = 1, 2 are astronomically large (nu = 3) and fall outside the
+/// plotted range; among n >= 3 the minima increase with n while the
+/// optimal r decreases.
+
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "core/cost.hpp"
+#include "core/optimize.hpp"
+#include "core/scenarios.hpp"
+#include "numerics/grid.hpp"
+
+int main() {
+  using namespace zc;
+  bench::banner("FIG2", "cost functions C_n(r), n = 1..8 (paper Fig. 2)");
+
+  const auto scenario = core::scenarios::figure2().to_params();
+  const auto r_grid = numerics::linspace(0.05, 4.0, 160);
+
+  std::vector<analysis::Series> curves;
+  for (unsigned n = 1; n <= 8; ++n) {
+    curves.push_back(analysis::sample_series(
+        "C_" + std::to_string(n), r_grid, [&](double r) {
+          return core::mean_cost(scenario, core::ProtocolParams{n, r});
+        }));
+  }
+
+  analysis::PlotOptions plot;
+  plot.title = "Figure 2: C_n(r) for n = 1..8  (viewport clipped to [0, 60];"
+               " n = 1, 2 off scale as in the paper)";
+  plot.x_label = "r [s]";
+  plot.y_max = 60.0;
+  plot.y_min = 0.0;
+  analysis::ascii_plot(std::cout, curves, plot);
+
+  analysis::GnuplotOptions gp;
+  gp.title = "Cost functions C_n(r) (paper Fig. 2)";
+  gp.x_label = "r";
+  gp.y_label = "mean total cost";
+  gp.output = "fig2_cost_functions.png";
+  bench::emit_figure("fig2_cost_functions", curves, gp);
+
+  // Per-n minima table — the quantitative content of the figure.
+  analysis::Table table({"n", "r_opt", "C_n(r_opt)"});
+  std::vector<core::CostMinimum> minima(9);
+  for (unsigned n = 1; n <= 8; ++n) {
+    minima[n] = core::optimal_r(scenario, n);
+    table.add_row({std::to_string(n), zc::format_sig(minima[n].r, 5),
+                   zc::format_sig(minima[n].cost, 6)});
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+
+  analysis::PaperCheck check("FIG2");
+  check.expect_true("nu-bound",
+                    "nu = 3 for E=1e35, 1-l=1e-15 (Sec. 4.4)",
+                    core::min_useful_n(1e35, 1e-15) == 3);
+  check.expect_true("n1-off-scale", "C_1 minimum >> plot range (>1e15)",
+                    minima[1].cost > 1e15);
+  check.expect_true("n2-off-scale", "C_2 minimum >> plot range (>1e3)",
+                    minima[2].cost > 1e3);
+  bool minima_increase = true, ropt_decrease = true;
+  for (unsigned n = 4; n <= 8; ++n) {
+    minima_increase &= minima[n].cost > minima[n - 1].cost;
+    ropt_decrease &= minima[n].r < minima[n - 1].r;
+  }
+  check.expect_true("minima-order",
+                    "C_3(r_opt) < C_4(r_opt) < ... < C_8(r_opt)",
+                    minima_increase);
+  check.expect_true("ropt-order", "r_opt decreases with n (n = 3..8)",
+                    ropt_decrease && minima[3].r > minima[8].r);
+  check.expect_close("C3-min", 12.60, minima[3].cost, 0.01);
+  check.expect_close("r_opt3", 2.14, minima[3].r, 0.02);
+  // Each curve falls from q E at r=0 to its minimum then rises linearly.
+  bool all_have_interior_min = true;
+  for (unsigned n = 3; n <= 8; ++n) {
+    const double at_zero = core::cost_at_zero_r(scenario);
+    all_have_interior_min &=
+        minima[n].cost < at_zero &&
+        minima[n].cost <
+            core::mean_cost(scenario, core::ProtocolParams{n, 4.0});
+  }
+  check.expect_true("interior-minima",
+                    "each C_n (n >= 3) dips below both C_n(0) = qE and "
+                    "C_n(4)",
+                    all_have_interior_min);
+  return bench::finish(check);
+}

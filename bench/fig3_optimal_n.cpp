@@ -1,0 +1,76 @@
+/// FIG3 — Reproduces Figure 3: N(r), the cost-optimal number of ARP
+/// probes as a function of the listening period r (Sec. 4.4), in the
+/// Fig. 2 scenario.
+///
+/// Expected shape (paper): piecewise-constant, non-increasing step
+/// function; never below nu = 3.
+
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "core/optimize.hpp"
+#include "core/scenarios.hpp"
+#include "numerics/grid.hpp"
+
+int main() {
+  using namespace zc;
+  bench::banner("FIG3", "optimal probe count N(r) (paper Fig. 3)");
+
+  const auto scenario = core::scenarios::figure2().to_params();
+  const double r_lo = 0.4, r_hi = 4.0;
+
+  const auto r_grid = numerics::linspace(r_lo, r_hi, 200);
+  const auto n_series = analysis::sample_series(
+      "N(r)", r_grid, [&](double r) {
+        return static_cast<double>(core::optimal_n(scenario, r));
+      });
+
+  analysis::PlotOptions plot;
+  plot.title = "Figure 3: N(r) - optimal n for given r";
+  plot.x_label = "r [s]";
+  plot.height = 16;
+  analysis::ascii_plot(std::cout, {n_series}, plot);
+
+  analysis::GnuplotOptions gp;
+  gp.title = "Optimal probe count N(r) (paper Fig. 3)";
+  gp.x_label = "r";
+  gp.y_label = "N(r)";
+  gp.output = "fig3_optimal_n.png";
+  bench::emit_figure("fig3_optimal_n", {n_series}, gp);
+
+  // The exact plateaus, located by bisection.
+  const auto steps = core::n_breakpoints(scenario, r_lo, r_hi, 256);
+  analysis::Table table({"r_from", "r_to", "N(r)"});
+  for (const auto& step : steps)
+    table.add_row({zc::format_sig(step.r_from, 6),
+                   zc::format_sig(step.r_to, 6), std::to_string(step.n)});
+  std::cout << '\n';
+  table.print(std::cout);
+
+  analysis::PaperCheck check("FIG3");
+  bool non_increasing = true;
+  for (std::size_t i = 1; i < steps.size(); ++i)
+    non_increasing &= steps[i].n < steps[i - 1].n;
+  check.expect_true("monotone-steps",
+                    "N(r) steps strictly down as r grows", non_increasing);
+  const unsigned nu = core::min_useful_n(scenario.error_cost(), 1e-15);
+  bool above_nu = true;
+  for (const auto& step : steps) above_nu &= step.n >= nu;
+  check.expect_true("nu-floor", "N(r) >= nu = 3 over the plotted range",
+                    above_nu);
+  check.expect_true("plateau-count",
+                    "several plateaus visible over r in [0.4, 4]",
+                    steps.size() >= 3);
+  check.expect_true("endpoint-values",
+                    "many probes at small r (N(0.4) >= 6), few at large r "
+                    "(N(4) == 3)",
+                    steps.front().n >= 6 && steps.back().n == 3);
+  // The 4 -> 3 switch happens just above the draft's r = 2.
+  double switch_43 = 0.0;
+  for (std::size_t i = 1; i < steps.size(); ++i)
+    if (steps[i - 1].n == 4 && steps[i].n == 3) switch_43 = steps[i].r_from;
+  check.expect_between("switch-4to3", 2.0, 2.2, switch_43);
+  return bench::finish(check);
+}

@@ -1,0 +1,77 @@
+/// FIG4 — Reproduces Figure 4: the minimal-cost function
+/// C_min(r) = C(N(r), r), the lower envelope of the C_n family (Sec. 4.4),
+/// in the Fig. 2 scenario.
+///
+/// Expected shape (paper): lower edge of the union of the C_n graphs;
+/// global minimum where the n = 3 curve bottoms out (r ~ 2.14, C ~ 12.6).
+
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "core/cost.hpp"
+#include "core/optimize.hpp"
+#include "core/scenarios.hpp"
+#include "numerics/grid.hpp"
+
+int main() {
+  using namespace zc;
+  bench::banner("FIG4", "minimal-cost function C_min(r) (paper Fig. 4)");
+
+  const auto scenario = core::scenarios::figure2().to_params();
+  const auto r_grid = numerics::linspace(0.4, 4.0, 200);
+
+  const auto cmin = analysis::sample_series(
+      "C_min", r_grid,
+      [&](double r) { return core::min_cost(scenario, r); });
+  // Context: the individual C_n curves it envelopes.
+  std::vector<analysis::Series> curves{cmin};
+  for (unsigned n = 3; n <= 6; ++n) {
+    curves.push_back(analysis::sample_series(
+        "C_" + std::to_string(n), r_grid, [&](double r) {
+          return core::mean_cost(scenario, core::ProtocolParams{n, r});
+        }));
+  }
+
+  analysis::PlotOptions plot;
+  plot.title = "Figure 4: C_min(r) (marker 1) under the C_n family";
+  plot.x_label = "r [s]";
+  plot.y_max = 40.0;
+  plot.y_min = 10.0;
+  analysis::ascii_plot(std::cout, curves, plot);
+
+  analysis::GnuplotOptions gp;
+  gp.title = "Minimal-cost function C_min(r) (paper Fig. 4)";
+  gp.x_label = "r";
+  gp.y_label = "cost";
+  gp.output = "fig4_cmin.png";
+  bench::emit_figure("fig4_cmin", curves, gp);
+
+  const core::JointOptimum opt = core::joint_optimum(scenario, 12);
+  std::cout << "\nglobal optimum: n = " << opt.n << ", r = "
+            << zc::format_sig(opt.r, 5) << ", C = "
+            << zc::format_sig(opt.cost, 6) << '\n';
+
+  analysis::PaperCheck check("FIG4");
+  bool is_envelope = true;
+  for (std::size_t i = 0; i < r_grid.size(); ++i) {
+    for (unsigned n = 1; n <= 10; ++n) {
+      is_envelope &=
+          cmin.y[i] <= core::mean_cost(scenario,
+                                       core::ProtocolParams{n, r_grid[i]}) +
+                           1e-9;
+    }
+  }
+  check.expect_true("lower-envelope",
+                    "C_min(r) <= C_n(r) for all n at every sampled r",
+                    is_envelope);
+  check.expect_true("global-min-n", "global optimum uses n = 3",
+                    opt.n == 3);
+  check.expect_close("global-min-r", 2.14, opt.r, 0.02);
+  check.expect_close("global-min-cost", 12.60, opt.cost, 0.01);
+  // C_min inherits kinks but stays within the plotted band.
+  check.expect_between("range-min", 10.0, 14.0, cmin.min_y());
+  check.expect_between("range-max", 14.0, 80.0, cmin.max_y());
+  return bench::finish(check);
+}

@@ -1,0 +1,96 @@
+/// FIG5 — Reproduces Figure 5: the collision probability E(n, r) for
+/// n = 1..8 against r, on a logarithmic probability axis (Sec. 5), in the
+/// Fig. 2 scenario.
+///
+/// Expected shape (paper): monotone decreasing in both n and r; each
+/// curve flattens onto its loss floor q (1-l)^n / (1 - q(1-(1-l)^n)).
+
+#include <cmath>
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "core/reliability.hpp"
+#include "core/scenarios.hpp"
+#include "numerics/grid.hpp"
+
+int main() {
+  using namespace zc;
+  bench::banner("FIG5",
+                "collision probability E(n, r), n = 1..8, log scale "
+                "(paper Fig. 5)");
+
+  const auto scenario = core::scenarios::figure2().to_params();
+  const auto r_grid = numerics::linspace(0.2, 4.0, 160);
+
+  std::vector<analysis::Series> curves;
+  for (unsigned n = 1; n <= 8; ++n) {
+    curves.push_back(analysis::sample_series(
+        "E_" + std::to_string(n), r_grid, [&](double r) {
+          return core::error_probability(scenario,
+                                         core::ProtocolParams{n, r});
+        }));
+  }
+
+  analysis::PlotOptions plot;
+  plot.title = "Figure 5: E(n, r) for n = 1..8 (log-y)";
+  plot.x_label = "r [s]";
+  plot.log_y = true;
+  analysis::ascii_plot(std::cout, curves, plot);
+
+  analysis::GnuplotOptions gp;
+  gp.title = "Collision probability E(n, r) (paper Fig. 5)";
+  gp.x_label = "r";
+  gp.y_label = "P(error)";
+  gp.log_y = true;
+  gp.output = "fig5_error_probability.png";
+  bench::emit_figure("fig5_error_probability", curves, gp);
+
+  // Loss floors per n.
+  analysis::Table table({"n", "E(n, 4)", "loss floor (r -> inf)"});
+  const double q = scenario.q();
+  for (unsigned n = 1; n <= 8; ++n) {
+    const double pin = std::pow(1e-15, n);
+    const double floor = q * pin / (1.0 - q * (1.0 - pin));
+    table.add_row({std::to_string(n),
+                   zc::format_sig(curves[n - 1].y.back(), 4),
+                   zc::format_sig(floor, 4)});
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+
+  analysis::PaperCheck check("FIG5");
+  bool decreasing_in_r = true;
+  for (const auto& curve : curves)
+    for (std::size_t i = 1; i < curve.y.size(); ++i)
+      decreasing_in_r &= curve.y[i] <= curve.y[i - 1] * (1.0 + 1e-12);
+  check.expect_true("monotone-r", "E(n, r) non-increasing in r",
+                    decreasing_in_r);
+  bool decreasing_in_n = true;
+  for (std::size_t i = 0; i < r_grid.size(); ++i)
+    for (unsigned n = 1; n < 8; ++n)
+      decreasing_in_n &= curves[n].y[i] <= curves[n - 1].y[i];
+  check.expect_true("monotone-n", "E(n, r) decreasing in n",
+                    decreasing_in_n);
+  check.expect_true("at-zero-q",
+                    "E(n, 0) = q: listening is useless at r = 0",
+                    std::fabs(core::error_probability(
+                                  scenario, core::ProtocolParams{4, 0.0}) -
+                              q) < 1e-12);
+  // Floors: spot-check n = 4 at huge r against the closed form.
+  const double pin4 = std::pow(1e-15, 4);
+  const double floor4 = q * pin4 / (1.0 - q * (1.0 - pin4));
+  check.expect_close(
+      "floor-n4", floor4,
+      core::error_probability(scenario, core::ProtocolParams{4, 1e4}),
+      1e-6);
+  // Order-of-magnitude span on the log axis (paper's axis covers tens of
+  // decades).
+  const double lg_hi = std::log10(curves[0].y.front());
+  const double lg_lo = std::log10(curves[7].y.back());
+  check.expect_true("log-span",
+                    "curves span tens of decades on the log axis",
+                    lg_hi - lg_lo > 30.0);
+  return bench::finish(check);
+}

@@ -1,0 +1,111 @@
+/// FIG6 — Reproduces Figure 6: the collision probability under
+/// cost-optimal configuration, E(N(r), r), embedded in the Fig. 5 curve
+/// family (Sec. 5).
+///
+/// Expected shape (paper): sawtooth — piecewise continuously decreasing
+/// in r with sharp jumps *up* exactly at the breakpoints of N(r) (one
+/// probe fewer), local maxima at those breakpoints; bounded roughly
+/// within [1e-54, 1e-35]; minima of cost and of error do NOT coincide
+/// (the paper's cost/reliability trade-off).
+
+#include <cmath>
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "core/cost.hpp"
+#include "core/optimize.hpp"
+#include "core/reliability.hpp"
+#include "core/scenarios.hpp"
+#include "numerics/grid.hpp"
+
+int main() {
+  using namespace zc;
+  bench::banner("FIG6",
+                "collision probability under optimal cost E(N(r), r) "
+                "(paper Fig. 6)");
+
+  const auto scenario = core::scenarios::figure2().to_params();
+  const double r_lo = 0.6, r_hi = 3.4;
+  const auto r_grid = numerics::linspace(r_lo, r_hi, 240);
+
+  const auto sawtooth = analysis::sample_series(
+      "E(N(r),r)", r_grid, [&](double r) {
+        const unsigned n = core::optimal_n(scenario, r);
+        return core::error_probability(scenario,
+                                       core::ProtocolParams{n, r});
+      });
+  // Fig. 5 context curves (n = 3..6 are the ones N(r) passes through).
+  std::vector<analysis::Series> curves{sawtooth};
+  for (unsigned n = 3; n <= 6; ++n) {
+    curves.push_back(analysis::sample_series(
+        "E_" + std::to_string(n), r_grid, [&](double r) {
+          return core::error_probability(scenario,
+                                         core::ProtocolParams{n, r});
+        }));
+  }
+
+  analysis::PlotOptions plot;
+  plot.title =
+      "Figure 6: E(N(r), r) (marker 1) embedded in the E_n family (log-y)";
+  plot.x_label = "r [s]";
+  plot.log_y = true;
+  analysis::ascii_plot(std::cout, curves, plot);
+
+  analysis::GnuplotOptions gp;
+  gp.title = "Error probability under optimal cost (paper Fig. 6)";
+  gp.x_label = "r";
+  gp.y_label = "P(error)";
+  gp.log_y = true;
+  gp.output = "fig6_error_optimal_cost.png";
+  bench::emit_figure("fig6_error_optimal_cost", curves, gp);
+
+  // Local maxima of the sawtooth vs the breakpoints of N(r).
+  const auto maxima = analysis::local_maxima(sawtooth);
+  const auto steps = core::n_breakpoints(scenario, r_lo, r_hi, 256);
+  analysis::Table table({"N-breakpoint r", "new n", "nearest sawtooth max"});
+  for (std::size_t i = 1; i < steps.size(); ++i) {
+    double nearest = 0.0;
+    for (const std::size_t m : maxima)
+      if (std::fabs(sawtooth.x[m] - steps[i].r_from) <
+          std::fabs(nearest - steps[i].r_from))
+        nearest = sawtooth.x[m];
+    table.add_row({zc::format_sig(steps[i].r_from, 5),
+                   std::to_string(steps[i].n), zc::format_sig(nearest, 5)});
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+
+  analysis::PaperCheck check("FIG6");
+  check.expect_true("has-sawtooth-maxima",
+                    "E(N(r), r) has interior local maxima",
+                    !maxima.empty());
+  // Each N(r) breakpoint must have a sawtooth maximum within one grid
+  // step.
+  const double grid_step = r_grid[1] - r_grid[0];
+  bool maxima_at_steps = true;
+  for (std::size_t i = 1; i < steps.size(); ++i) {
+    bool found = false;
+    for (const std::size_t m : maxima)
+      found |= std::fabs(sawtooth.x[m] - steps[i].r_from) <= 2.0 * grid_step;
+    maxima_at_steps &= found;
+  }
+  check.expect_true("maxima-at-breakpoints",
+                    "every N(r) step has a local error maximum",
+                    maxima_at_steps);
+  // Bounds: roughly [1e-54, 1e-35] per the paper.
+  const double lg_max = std::log10(sawtooth.max_y());
+  const double lg_min = std::log10(sawtooth.min_y());
+  check.expect_between("upper-band", -40.0, -33.0, lg_max);
+  check.expect_between("lower-band", -56.0, -45.0, lg_min);
+  // Trade-off: the cost optimum is not the reliability optimum.
+  const core::JointOptimum cost_opt = core::joint_optimum(scenario, 12);
+  const double err_at_cost_opt = core::error_probability(
+      scenario, core::ProtocolParams{cost_opt.n, cost_opt.r});
+  check.expect_true(
+      "tradeoff",
+      "error at the cost optimum exceeds the best error on the grid",
+      err_at_cost_opt > sawtooth.min_y() * 1.001);
+  return bench::finish(check);
+}

@@ -1,0 +1,123 @@
+/// PERF — Solver micro-benchmarks (google-benchmark). The paper remarks
+/// (Sec. 7) that "the numerical computations to derive the results from
+/// the model are very simple"; this bench documents that claim in code:
+/// the analytic Eq. (3)/(4) evaluations cost microseconds, the
+/// LU-based DRM solve is comfortably fast even for large n, and whole
+/// optimization sweeps finish in milliseconds.
+
+#include <benchmark/benchmark.h>
+
+#include "core/calibrate.hpp"
+#include "core/cost.hpp"
+#include "core/drm.hpp"
+#include "core/optimize.hpp"
+#include "core/reliability.hpp"
+#include "core/scenarios.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace {
+
+using namespace zc;
+
+const core::ScenarioParams& fig2() {
+  static const core::ScenarioParams scenario =
+      core::scenarios::figure2().to_params();
+  return scenario;
+}
+
+void BM_MeanCostAnalytic(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::mean_cost(fig2(), core::ProtocolParams{n, 1.7}));
+  }
+}
+BENCHMARK(BM_MeanCostAnalytic)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_MeanCostLinearSystem(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::mean_cost_numeric(fig2(), core::ProtocolParams{n, 1.7}));
+  }
+}
+BENCHMARK(BM_MeanCostLinearSystem)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ErrorProbabilityAnalytic(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::error_probability(fig2(), core::ProtocolParams{4, 1.7}));
+  }
+}
+BENCHMARK(BM_ErrorProbabilityAnalytic);
+
+void BM_ErrorProbabilityAbsorbing(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::error_probability_numeric(
+        fig2(), core::ProtocolParams{4, 1.7}));
+  }
+}
+BENCHMARK(BM_ErrorProbabilityAbsorbing);
+
+void BM_DrmConstruction(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::build_drm(fig2(), core::ProtocolParams{n, 1.7}));
+  }
+}
+BENCHMARK(BM_DrmConstruction)->Arg(4)->Arg(32);
+
+void BM_OptimalR(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::optimal_r(fig2(), 4));
+  }
+}
+BENCHMARK(BM_OptimalR);
+
+void BM_JointOptimum(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::joint_optimum(fig2(), 8));
+  }
+}
+BENCHMARK(BM_JointOptimum);
+
+void BM_CostVariance(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::cost_variance(fig2(), core::ProtocolParams{4, 1.7}));
+  }
+}
+BENCHMARK(BM_CostVariance);
+
+void BM_CalibrationStationaryE(benchmark::State& state) {
+  const auto scenario = core::scenarios::sec45_r2().to_params();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::error_cost_for_stationary_r(
+        scenario, core::ProtocolParams{4, 2.0}, 3.5));
+  }
+}
+BENCHMARK(BM_CalibrationStationaryE);
+
+void BM_SimulatedConfigurationRun(benchmark::State& state) {
+  const auto hosts = static_cast<unsigned>(state.range(0));
+  sim::NetworkConfig config;
+  config.address_space = 65024;
+  config.hosts = hosts;
+  config.responder_delay =
+      std::shared_ptr<const prob::DelayDistribution>(
+          prob::paper_reply_delay(0.1, 10.0, 0.05));
+  sim::ZeroconfConfig protocol;
+  protocol.n = 4;
+  protocol.r = 0.25;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::Network net(config, seed++);
+    benchmark::DoNotOptimize(net.run_join(protocol));
+  }
+}
+BENCHMARK(BM_SimulatedConfigurationRun)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+/// Home-network tuning: the consumer-electronics manufacturer's workflow
+/// from the paper's introduction. A DVD player joins a wired home network
+/// (few hosts, very reliable link). How should the firmware set n and r,
+/// and how does the answer move with the household's size?
+
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "common/strings.hpp"
+#include "core/cost.hpp"
+#include "core/optimize.hpp"
+#include "core/reliability.hpp"
+#include "core/scenarios.hpp"
+
+int main() {
+  using namespace zc::core;
+
+  std::cout << "Tuning zeroconf for a wired home network\n"
+            << "----------------------------------------\n"
+            << "Link: loss 1e-12, round-trip 1 ms, mean reply 101 ms.\n"
+            << "Costs: the paper's calibrated E = 5e20, c = 3.5 "
+               "(Sec. 4.5/6).\n\n";
+
+  // Start from the Sec. 6 realistic scenario and sweep the household
+  // size: a home rarely hosts 1000 appliances.
+  const ExponentialScenario base = scenarios::sec6();
+
+  zc::analysis::Table table({"hosts on link", "opt n", "opt r [s]",
+                             "config time [s]", "mean cost",
+                             "P(collision)", "draft (4,2) cost"});
+  for (const unsigned hosts : {5u, 20u, 100u, 500u, 1000u}) {
+    const ScenarioParams scenario =
+        base.to_params().with_q(ScenarioParams::q_from_hosts(hosts));
+    const JointOptimum opt = joint_optimum(scenario);
+    table.add_row(
+        {std::to_string(hosts), std::to_string(opt.n),
+         zc::format_sig(opt.r, 4),
+         zc::format_sig(static_cast<double>(opt.n) * opt.r, 4),
+         zc::format_sig(opt.cost, 5), zc::format_sig(opt.error_prob, 3),
+         zc::format_sig(
+             mean_cost(scenario, scenarios::draft_unreliable()), 5)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading the table:\n"
+               "  - a handful of appliances makes collisions so unlikely\n"
+               "    that two probes with a short-ish listening period "
+               "suffice;\n"
+               "  - even at 1000 hosts the optimized firmware configures "
+               "in\n"
+               "    about 3.5 s versus the draft's 8 s, at lower total "
+               "cost;\n"
+               "  - the draft's (4, 2) is never cheaper on this reliable "
+               "link.\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+/// Deep dive: everything the library knows about one configuration, from
+/// the DRM internals (the paper's P_n matrix with its state names) through
+/// absorption analysis, phase-type timing laws, the exact cost
+/// distribution, down to a packet-level trace of one simulated run.
+
+#include <cmath>
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "common/strings.hpp"
+#include "core/distribution.hpp"
+#include "core/drm.hpp"
+#include "core/reliability.hpp"
+#include "markov/phase_type.hpp"
+#include "sim/host.hpp"
+#include "sim/zeroconf_host.hpp"
+#include "sim/trace.hpp"
+
+int main() {
+  using namespace zc;
+
+  // A deliberately lossy deployment so every mechanism is visible.
+  const core::ScenarioParams scenario(
+      /*q=*/0.3, /*probe_cost=*/1.0, /*error_cost=*/100.0,
+      prob::paper_reply_delay(/*loss=*/0.25, /*lambda=*/4.0, /*d=*/0.3));
+  const core::ProtocolParams protocol{3, 0.8};
+
+  std::cout << "1. The DRM of Sec. 4.1 (n = 3, r = 0.8)\n"
+            << "---------------------------------------\n";
+  const markov::Dtmc chain = core::build_chain(scenario, protocol);
+  analysis::Table matrix({"from \\ to", "start", "1st", "2nd", "3rd",
+                          "error", "ok"});
+  for (std::size_t i = 0; i < chain.num_states(); ++i) {
+    std::vector<std::string> row{chain.state_name(i)};
+    for (std::size_t j = 0; j < chain.num_states(); ++j)
+      row.push_back(zc::format_sig(chain.probability(i, j), 4));
+    matrix.add_row(std::move(row));
+  }
+  matrix.print(std::cout);
+
+  std::cout << "\n2. Absorption analysis (Sec. 5)\n"
+            << "-------------------------------\n";
+  const markov::AbsorbingAnalysis analysis(chain);
+  const core::DrmLayout layout{protocol.n};
+  std::cout << "  P(error) = "
+            << zc::format_sig(analysis.absorption_probability(
+                                  core::DrmLayout::start(), layout.error()),
+                              5)
+            << "  (Eq. 4: "
+            << zc::format_sig(core::error_probability(scenario, protocol), 5)
+            << ")\n"
+            << "  expected DRM steps to absorption: "
+            << zc::format_sig(analysis.expected_steps()[0], 5) << '\n';
+
+  std::cout << "\n3. Timing law (phase-type, beyond the paper)\n"
+            << "--------------------------------------------\n";
+  const auto dph = markov::DiscretePhaseType::absorption_time(
+      chain, core::DrmLayout::start());
+  std::cout << "  steps: mean " << zc::format_sig(dph.mean(), 5)
+            << ", std " << zc::format_sig(std::sqrt(dph.variance()), 5)
+            << ", p99 " << dph.quantile(0.99) << '\n';
+
+  std::cout << "\n4. Exact cost distribution (beyond the paper)\n"
+            << "---------------------------------------------\n";
+  const core::CostDistribution dist(scenario, protocol);
+  analysis::Table quantiles({"p", "total cost", "probes"});
+  for (const double p : {0.5, 0.9, 0.99, 0.999})
+    quantiles.add_row({zc::format_sig(p, 4),
+                       zc::format_sig(dist.quantile(p), 5),
+                       std::to_string(dist.probes_quantile(p))});
+  quantiles.print(std::cout);
+  std::cout << "  P(collision) = "
+            << zc::format_sig(dist.error_probability(), 5) << '\n';
+
+  std::cout << "\n5. Packet-level trace of one simulated run\n"
+            << "------------------------------------------\n";
+  sim::Simulator simulator;
+  prob::Rng rng(7);
+  sim::Medium medium(simulator, {}, rng);
+  sim::TraceLog trace;
+  trace.attach(medium);
+  // Passive monitor port subscribed to every address, so the trace shows
+  // each probe even when nobody needs to answer it.
+  const sim::HostId monitor = medium.attach([](const sim::Packet&) {});
+  for (sim::Address a = 1; a <= 6; ++a) medium.subscribe(monitor, a);
+  // Two configured hosts on a 6-address segment; responder behaviour =
+  // the scenario's F_X.
+  const auto responder = std::shared_ptr<const prob::DelayDistribution>(
+      scenario.reply_delay_ptr());
+  sim::ConfiguredHost host_a(simulator, medium, 1, responder, rng);
+  sim::ConfiguredHost host_b(simulator, medium, 2, responder, rng);
+  sim::ZeroconfConfig config;
+  config.n = protocol.n;
+  config.r = protocol.r;
+  sim::ZeroconfHost joiner(simulator, medium, 6, config, rng);
+  joiner.start();
+  simulator.run();
+  trace.print(std::cout, 20);
+  std::cout << "joiner claimed address " << joiner.configured_address()
+            << " after " << joiner.attempts() << " attempt(s), "
+            << joiner.probes_sent() << " probes, "
+            << zc::format_sig(joiner.finish_time(), 4) << " s\n";
+  return 0;
+}

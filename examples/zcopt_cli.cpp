@@ -1,0 +1,159 @@
+/// zcopt — command-line front end to the full analysis stack.
+///
+///   zcopt_cli                                  # Fig. 2 scenario, optimize
+///   zcopt_cli --hosts 100 --loss 1e-12 --d 1e-3 --n 4 --r 2
+///   zcopt_cli --optimize --quantiles
+///   zcopt_cli --calibrate --n 4 --r 2          # Sec. 4.5 inverse problem
+///
+/// Exposes the scenario knobs (q or hosts, c, E, loss, lambda, d) and
+/// either evaluates a fixed configuration, optimizes (n, r), or solves
+/// the inverse calibration problem.
+
+#include <cmath>
+#include <iostream>
+
+#include "common/args.hpp"
+#include "common/strings.hpp"
+#include "core/calibrate.hpp"
+#include "core/cost.hpp"
+#include "core/distribution.hpp"
+#include "core/optimize.hpp"
+#include "core/reliability.hpp"
+#include "core/scenarios.hpp"
+
+namespace {
+
+using namespace zc;
+
+int fail(const std::string& message) {
+  std::cerr << "zcopt: " << message << '\n';
+  return 2;
+}
+
+void print_configuration(const core::ScenarioParams& scenario,
+                         const core::ProtocolParams& protocol,
+                         bool quantiles) {
+  std::cout << "configuration n = " << protocol.n << ", r = "
+            << zc::format_sig(protocol.r, 5) << " s\n"
+            << "  mean total cost      : "
+            << zc::format_sig(core::mean_cost(scenario, protocol), 6) << '\n'
+            << "  cost std deviation   : "
+            << zc::format_sig(
+                   std::sqrt(core::cost_variance(scenario, protocol)), 5)
+            << '\n'
+            << "  collision probability: "
+            << zc::format_sig(core::error_probability(scenario, protocol), 4)
+            << '\n'
+            << "  mean waiting time    : "
+            << zc::format_sig(core::mean_waiting_time(scenario, protocol), 5)
+            << " s\n"
+            << "  mean address attempts: "
+            << zc::format_sig(
+                   core::mean_address_attempts(scenario, protocol), 6)
+            << '\n';
+  if (quantiles) {
+    const core::CostDistribution dist(scenario, protocol);
+    std::cout << "  cost quantiles       : p50 = "
+              << zc::format_sig(dist.quantile(0.5), 5) << ", p99 = "
+              << zc::format_sig(dist.quantile(0.99), 5) << ", p99.9 = "
+              << zc::format_sig(dist.quantile(0.999), 5) << '\n'
+              << "  probe-count quantiles: p50 = "
+              << dist.probes_quantile(0.5) << ", p99 = "
+              << dist.probes_quantile(0.99) << ", p99.9 = "
+              << dist.probes_quantile(0.999) << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser parser("zcopt",
+                   "zeroconf cost/reliability analysis (DSN'03 model)");
+  parser.add_option("hosts", "hosts already on the link (sets q)", "1000");
+  parser.add_option("q", "address-occupancy probability (overrides hosts)",
+                    "");
+  parser.add_option("c", "probe postage", "2");
+  parser.add_option("E", "collision cost", "1e35");
+  parser.add_option("loss", "P(reply never arrives) = 1-l", "1e-15");
+  parser.add_option("lambda", "reply rate (mean reply = d + 1/lambda)",
+                    "10");
+  parser.add_option("d", "round-trip floor [s]", "1");
+  parser.add_option("n", "probe count to evaluate", "4");
+  parser.add_option("r", "listening period [s] to evaluate", "2");
+  parser.add_flag("optimize", "find the cost-optimal (n, r)");
+  parser.add_flag("calibrate",
+                  "inverse problem: find (E, c) making (n, r) optimal");
+  parser.add_flag("quantiles", "also print cost/probe-count quantiles");
+
+  if (!parser.parse(argc, argv)) return fail(parser.error());
+  if (parser.help_requested()) {
+    std::cout << parser.help();
+    return 0;
+  }
+
+  // Assemble the scenario.
+  core::ExponentialScenario scenario;
+  const auto need = [&](const char* name) {
+    const auto v = parser.number(name);
+    if (!v.has_value())
+      throw std::runtime_error(std::string("option --") + name +
+                               " is not a number");
+    return *v;
+  };
+  try {
+    scenario.probe_cost = need("c");
+    scenario.error_cost = need("E");
+    scenario.loss = need("loss");
+    scenario.lambda = need("lambda");
+    scenario.round_trip = need("d");
+    if (parser.given("q")) {
+      scenario.q = need("q");
+    } else {
+      scenario.q = core::ScenarioParams::q_from_hosts(
+          static_cast<unsigned>(need("hosts")));
+    }
+
+    const auto params = scenario.to_params();
+    const core::ProtocolParams requested{
+        static_cast<unsigned>(need("n")), need("r")};
+
+    std::cout << "scenario: q = " << zc::format_sig(scenario.q, 5)
+              << ", c = " << zc::format_sig(scenario.probe_cost, 4)
+              << ", E = " << zc::format_sig(scenario.error_cost, 4)
+              << ", loss = " << zc::format_sig(scenario.loss, 4)
+              << ", lambda = " << zc::format_sig(scenario.lambda, 4)
+              << ", d = " << zc::format_sig(scenario.round_trip, 4)
+              << "\n\n";
+
+    if (parser.flag("calibrate")) {
+      const auto result = core::calibrate(params, requested);
+      if (!result.has_value())
+        return fail("no (E, c) in the search box makes the target optimal");
+      std::cout << "calibrated weights for (n = " << requested.n << ", r = "
+                << zc::format_sig(requested.r, 4) << "):\n"
+                << "  E = " << zc::format_sig(result->error_cost, 5) << '\n'
+                << "  c = " << zc::format_sig(result->probe_cost, 5)
+                << "  (window boundary; ties against n = "
+                << result->competitor << ")\n"
+                << "  verified joint-optimal: "
+                << (result->target_is_optimal ? "yes" : "no") << '\n';
+      return 0;
+    }
+
+    if (parser.flag("optimize")) {
+      const core::JointOptimum opt = core::joint_optimum(params, 16);
+      std::cout << "cost-optimal ";
+      print_configuration(params, {opt.n, opt.r}, parser.flag("quantiles"));
+      if (parser.given("n") || parser.given("r")) {
+        std::cout << "\nrequested ";
+        print_configuration(params, requested, parser.flag("quantiles"));
+      }
+      return 0;
+    }
+
+    print_configuration(params, requested, parser.flag("quantiles"));
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+#include "analysis/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "common/contract.hpp"
+#include "common/strings.hpp"
+
+namespace zc::analysis {
+
+namespace {
+
+constexpr const char* kMarkers = "123456789abcdefghijk";
+
+bool usable(double v, bool log_axis) {
+  if (!std::isfinite(v)) return false;
+  return !log_axis || v > 0.0;
+}
+
+double to_axis(double v, bool log_axis) {
+  return log_axis ? std::log10(v) : v;
+}
+
+}  // namespace
+
+void ascii_plot(std::ostream& os, const std::vector<Series>& series,
+                const PlotOptions& options) {
+  ZC_EXPECTS(options.width >= 16 && options.height >= 4);
+
+  // Determine the viewport in (possibly log-transformed) axis units.
+  double x_lo = std::numeric_limits<double>::infinity();
+  double x_hi = -x_lo;
+  double y_lo = std::numeric_limits<double>::infinity();
+  double y_hi = -y_lo;
+  for (const Series& s : series) {
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (!usable(s.x[i], options.log_x) || !usable(s.y[i], options.log_y))
+        continue;
+      const double y_val = s.y[i];
+      if (options.y_min && y_val < *options.y_min) continue;
+      if (options.y_max && y_val > *options.y_max) continue;
+      x_lo = std::min(x_lo, to_axis(s.x[i], options.log_x));
+      x_hi = std::max(x_hi, to_axis(s.x[i], options.log_x));
+      y_lo = std::min(y_lo, to_axis(y_val, options.log_y));
+      y_hi = std::max(y_hi, to_axis(y_val, options.log_y));
+    }
+  }
+  if (options.y_min && usable(*options.y_min, options.log_y))
+    y_lo = to_axis(*options.y_min, options.log_y);
+  if (options.y_max && usable(*options.y_max, options.log_y))
+    y_hi = to_axis(*options.y_max, options.log_y);
+  if (!(x_lo < x_hi)) x_hi = x_lo + 1.0;
+  if (!(y_lo < y_hi)) y_hi = y_lo + 1.0;
+
+  std::vector<std::string> grid(options.height,
+                                std::string(options.width, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char marker = kMarkers[si % std::string_view(kMarkers).size()];
+    const Series& s = series[si];
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (!usable(s.x[i], options.log_x) || !usable(s.y[i], options.log_y))
+        continue;
+      const double ax = to_axis(s.x[i], options.log_x);
+      const double ay = to_axis(s.y[i], options.log_y);
+      if (ax < x_lo || ax > x_hi || ay < y_lo || ay > y_hi) continue;
+      const auto col = static_cast<std::size_t>(std::lround(
+          (ax - x_lo) / (x_hi - x_lo) *
+          static_cast<double>(options.width - 1)));
+      const auto row_from_bottom = static_cast<std::size_t>(std::lround(
+          (ay - y_lo) / (y_hi - y_lo) *
+          static_cast<double>(options.height - 1)));
+      const std::size_t row = options.height - 1 - row_from_bottom;
+      grid[row][col] = marker;
+    }
+  }
+
+  if (!options.title.empty()) os << options.title << '\n';
+  const auto axis_value = [&](double v, bool log_axis) {
+    return zc::format_sig(log_axis ? std::pow(10.0, v) : v, 4);
+  };
+  os << zc::pad_left(axis_value(y_hi, options.log_y), 12) << " +"
+     << std::string(options.width, '-') << "+\n";
+  for (std::size_t row = 0; row < options.height; ++row)
+    os << std::string(12, ' ') << " |" << grid[row] << "|\n";
+  os << zc::pad_left(axis_value(y_lo, options.log_y), 12) << " +"
+     << std::string(options.width, '-') << "+\n";
+  os << std::string(14, ' ') << zc::pad_right(axis_value(x_lo, options.log_x), options.width / 2)
+     << zc::pad_left(axis_value(x_hi, options.log_x), options.width / 2)
+     << "\n";
+  os << std::string(14, ' ') << options.x_label
+     << (options.log_y ? "   [log-y]" : "") << '\n';
+  for (std::size_t si = 0; si < series.size(); ++si)
+    os << std::string(14, ' ') << kMarkers[si % std::string_view(kMarkers).size()]
+       << " = " << series[si].name << '\n';
+}
+
+}  // namespace zc::analysis

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file ascii_plot.hpp
+/// Terminal rendering of series — the reproduction's stand-in for the
+/// paper's Maple plots. Supports linear and log10 axes; each series is
+/// drawn with its own marker character and clipped to the viewport.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/series.hpp"
+
+namespace zc::analysis {
+
+/// Rendering options.
+struct PlotOptions {
+  std::size_t width = 96;    ///< plot area columns
+  std::size_t height = 28;   ///< plot area rows
+  bool log_x = false;
+  bool log_y = false;
+  std::optional<double> y_min;  ///< viewport override (data units)
+  std::optional<double> y_max;
+  std::string title;
+  std::string x_label = "x";
+  std::string y_label = "y";
+};
+
+/// Render the series into `os`. Non-finite and (on log axes) non-positive
+/// points are skipped. Markers cycle through "123456789abc..." per series.
+void ascii_plot(std::ostream& os, const std::vector<Series>& series,
+                const PlotOptions& options = {});
+
+}  // namespace zc::analysis

@@ -1,0 +1,42 @@
+#include "analysis/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/contract.hpp"
+#include "common/strings.hpp"
+
+namespace zc::analysis {
+
+void write_csv(std::ostream& os, const std::vector<Series>& series,
+               const std::string& x_name) {
+  ZC_EXPECTS(!series.empty());
+  for (const Series& s : series) {
+    ZC_EXPECTS(s.x == series.front().x);
+    ZC_EXPECTS(s.y.size() == s.x.size());
+  }
+  os << x_name;
+  for (const Series& s : series) os << ',' << s.name;
+  os << '\n';
+  for (std::size_t i = 0; i < series.front().x.size(); ++i) {
+    os << zc::format_sig(series.front().x[i], 12);
+    for (const Series& s : series) os << ',' << zc::format_sig(s.y[i], 12);
+    os << '\n';
+  }
+}
+
+void write_csv(std::ostream& os, const Series& series,
+               const std::string& x_name) {
+  write_csv(os, std::vector<Series>{series}, x_name);
+}
+
+bool write_csv_file(const std::string& path,
+                    const std::vector<Series>& series,
+                    const std::string& x_name) {
+  std::ofstream file(path);
+  if (!file) return false;
+  write_csv(file, series, x_name);
+  return static_cast<bool>(file);
+}
+
+}  // namespace zc::analysis

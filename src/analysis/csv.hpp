@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file csv.hpp
+/// CSV export of series bundles, so figure data can be re-plotted with
+/// external tools (gnuplot, matplotlib, ...).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/series.hpp"
+
+namespace zc::analysis {
+
+/// Write series sharing one x grid as columns: x, <name1>, <name2>, ...
+/// All series must have identical x vectors.
+void write_csv(std::ostream& os, const std::vector<Series>& series,
+               const std::string& x_name = "x");
+
+/// Write one series as two columns.
+void write_csv(std::ostream& os, const Series& series,
+               const std::string& x_name = "x");
+
+/// Write to a file; creates/truncates `path`. Returns false on I/O error.
+[[nodiscard]] bool write_csv_file(const std::string& path,
+                                  const std::vector<Series>& series,
+                                  const std::string& x_name = "x");
+
+}  // namespace zc::analysis

@@ -1,0 +1,56 @@
+#include "analysis/expectation.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "common/strings.hpp"
+
+namespace zc::analysis {
+
+PaperCheck::PaperCheck(std::string experiment_id)
+    : experiment_id_(std::move(experiment_id)) {}
+
+void PaperCheck::expect(const std::string& name, const std::string& expected,
+                        const std::string& measured, bool passed) {
+  checks_.push_back({name, expected, measured, passed});
+}
+
+void PaperCheck::expect_close(const std::string& name, double expected,
+                              double measured, double rel_tol) {
+  const bool passed =
+      std::fabs(measured - expected) <= rel_tol * std::fabs(expected);
+  expect(name, zc::format_sig(expected, 4) + " (rel tol " +
+                   zc::format_sig(rel_tol, 2) + ")",
+         zc::format_sig(measured, 6), passed);
+}
+
+void PaperCheck::expect_between(const std::string& name, double lo, double hi,
+                                double measured) {
+  expect(name, "in [" + zc::format_sig(lo, 4) + ", " + zc::format_sig(hi, 4) +
+                   "]",
+         zc::format_sig(measured, 6), lo <= measured && measured <= hi);
+}
+
+void PaperCheck::expect_true(const std::string& name,
+                             const std::string& description, bool passed) {
+  expect(name, description, passed ? "holds" : "violated", passed);
+}
+
+bool PaperCheck::all_passed() const noexcept {
+  for (const Check& c : checks_)
+    if (!c.passed) return false;
+  return true;
+}
+
+bool PaperCheck::report(std::ostream& os) const {
+  os << "\nPAPER-CHECK [" << experiment_id_ << "]\n";
+  for (const Check& c : checks_) {
+    os << "  [" << (c.passed ? "PASS" : "FAIL") << "] " << c.name
+       << ": expected " << c.expected << ", measured " << c.measured << '\n';
+  }
+  os << "  => " << (all_passed() ? "ALL CHECKS PASSED" : "CHECK FAILURES")
+     << " (" << checks_.size() << " checks)\n";
+  return all_passed();
+}
+
+}  // namespace zc::analysis

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file expectation.hpp
+/// Paper-vs-measured bookkeeping for the benches: each bench registers
+/// shape checks ("minima increase with n", "optimum lands at n=2,
+/// r~1.75") and a summary block is printed that EXPERIMENTS.md mirrors.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace zc::analysis {
+
+/// One paper-vs-measured comparison.
+struct Check {
+  std::string name;      ///< short identifier
+  std::string expected;  ///< what the paper reports / implies
+  std::string measured;  ///< what this reproduction computed
+  bool passed = false;
+};
+
+/// Collects checks and renders the PAPER-CHECK block.
+class PaperCheck {
+ public:
+  explicit PaperCheck(std::string experiment_id);
+
+  void expect(const std::string& name, const std::string& expected,
+              const std::string& measured, bool passed);
+
+  /// expected/measured numeric, pass iff |measured-expected| <= rel_tol *
+  /// |expected|.
+  void expect_close(const std::string& name, double expected, double measured,
+                    double rel_tol);
+
+  /// pass iff measured is within [lo, hi].
+  void expect_between(const std::string& name, double lo, double hi,
+                      double measured);
+
+  void expect_true(const std::string& name, const std::string& description,
+                   bool passed);
+
+  [[nodiscard]] bool all_passed() const noexcept;
+  [[nodiscard]] const std::vector<Check>& checks() const noexcept {
+    return checks_;
+  }
+
+  /// Print the PAPER-CHECK block; returns all_passed().
+  bool report(std::ostream& os) const;
+
+ private:
+  std::string experiment_id_;
+  std::vector<Check> checks_;
+};
+
+}  // namespace zc::analysis

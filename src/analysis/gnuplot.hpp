@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file gnuplot.hpp
+/// Emission of gnuplot scripts alongside CSV data, so every figure of the
+/// paper can be re-rendered graphically from the bench output.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/series.hpp"
+
+namespace zc::analysis {
+
+/// Figure-level options for the emitted script.
+struct GnuplotOptions {
+  std::string title;
+  std::string x_label = "x";
+  std::string y_label = "y";
+  bool log_y = false;
+  std::string terminal = "pngcairo size 1000,700";
+  std::string output;  ///< e.g. "fig2.png"; empty = interactive
+};
+
+/// Write a gnuplot script that plots the columns of `data_csv` (as
+/// produced by write_csv with the same series). Column 1 is x; series i
+/// is column i+1.
+void write_gnuplot_script(std::ostream& os, const std::string& data_csv,
+                          const std::vector<Series>& series,
+                          const GnuplotOptions& options);
+
+/// Write both the CSV and the script next to each other under
+/// `basename`.csv / `basename`.gp. Returns false on I/O error.
+[[nodiscard]] bool write_figure_files(const std::string& basename,
+                                      const std::vector<Series>& series,
+                                      const GnuplotOptions& options);
+
+}  // namespace zc::analysis

@@ -1,0 +1,48 @@
+#include "analysis/series.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+
+namespace zc::analysis {
+
+std::size_t Series::argmin() const {
+  ZC_EXPECTS(!y.empty());
+  return static_cast<std::size_t>(
+      std::min_element(y.begin(), y.end()) - y.begin());
+}
+
+std::size_t Series::argmax() const {
+  ZC_EXPECTS(!y.empty());
+  return static_cast<std::size_t>(
+      std::max_element(y.begin(), y.end()) - y.begin());
+}
+
+double Series::min_y() const { return y[argmin()]; }
+double Series::max_y() const { return y[argmax()]; }
+
+Series sample_series(const std::string& name, const std::vector<double>& xs,
+                     const std::function<double(double)>& f) {
+  Series s;
+  s.name = name;
+  s.x = xs;
+  s.y.reserve(xs.size());
+  for (const double x : xs) s.y.push_back(f(x));
+  return s;
+}
+
+std::vector<std::size_t> local_maxima(const Series& s) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 1; i + 1 < s.y.size(); ++i)
+    if (s.y[i] > s.y[i - 1] && s.y[i] > s.y[i + 1]) out.push_back(i);
+  return out;
+}
+
+std::vector<std::size_t> local_minima(const Series& s) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 1; i + 1 < s.y.size(); ++i)
+    if (s.y[i] < s.y[i - 1] && s.y[i] < s.y[i + 1]) out.push_back(i);
+  return out;
+}
+
+}  // namespace zc::analysis

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file series.hpp
+/// Named (x, y) series — the unit of data the figure benches produce.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace zc::analysis {
+
+/// One plottable curve.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+
+  [[nodiscard]] std::size_t size() const noexcept { return x.size(); }
+
+  /// Index of the minimal y (first one on ties). Requires non-empty.
+  [[nodiscard]] std::size_t argmin() const;
+  /// Index of the maximal y (first one on ties). Requires non-empty.
+  [[nodiscard]] std::size_t argmax() const;
+  [[nodiscard]] double min_y() const;
+  [[nodiscard]] double max_y() const;
+};
+
+/// Sample `f` at the given x grid.
+[[nodiscard]] Series sample_series(const std::string& name,
+                                   const std::vector<double>& xs,
+                                   const std::function<double(double)>& f);
+
+/// Indices of strict local maxima of `s.y` (interior points only).
+[[nodiscard]] std::vector<std::size_t> local_maxima(const Series& s);
+
+/// Indices of strict local minima of `s.y` (interior points only).
+[[nodiscard]] std::vector<std::size_t> local_minima(const Series& s);
+
+}  // namespace zc::analysis

@@ -1,0 +1,75 @@
+#include "analysis/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/contract.hpp"
+#include "common/strings.hpp"
+
+namespace zc::analysis {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  ZC_EXPECTS(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  ZC_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_numeric_row(const std::vector<double>& cells, int digits) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (const double v : cells) formatted.push_back(zc::format_sig(v, digits));
+  add_row(std::move(formatted));
+}
+
+const std::string& Table::cell(std::size_t row, std::size_t col) const {
+  ZC_EXPECTS(row < rows_.size());
+  ZC_EXPECTS(col < headers_.size());
+  return rows_[row][col];
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t j = 0; j < headers_.size(); ++j) {
+    widths[j] = headers_[j].size();
+    for (const auto& row : rows_) widths[j] = std::max(widths[j], row[j].size());
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (j > 0) os << "  ";
+      os << zc::pad_left(row[j], widths[j]);
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w;
+  os << std::string(total + 2 * (headers_.size() - 1), '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  const auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (const char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    return out + "\"";
+  };
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (j > 0) os << ',';
+      os << quote(row[j]);
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace zc::analysis

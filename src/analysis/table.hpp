@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file table.hpp
+/// Simple aligned text tables for bench/example output.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace zc::analysis {
+
+/// Column-aligned table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a row of doubles with `digits` significant
+  /// digits.
+  void add_numeric_row(const std::vector<double>& cells, int digits = 6);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return headers_.size(); }
+  [[nodiscard]] const std::string& cell(std::size_t row,
+                                        std::size_t col) const;
+
+  /// Render with padded columns and a separator under the header.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (no padding, comma-separated, quoted when needed).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace zc::analysis

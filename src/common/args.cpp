@@ -1,0 +1,112 @@
+#include "common/args.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "common/contract.hpp"
+#include "common/strings.hpp"
+
+namespace zc {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  ZC_EXPECTS(find(name) == nullptr);
+  options_.emplace_back(name, Option{help, "", true});
+}
+
+void ArgParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+  ZC_EXPECTS(find(name) == nullptr);
+  options_.emplace_back(name, Option{help, default_value, false});
+}
+
+const ArgParser::Option* ArgParser::find(const std::string& name) const {
+  for (const auto& [n, opt] : options_)
+    if (n == name) return &opt;
+  return nullptr;
+}
+
+bool ArgParser::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.size() < 3 || arg.substr(0, 2) != "--") {
+      error_ = "unexpected argument '" + arg + "' (long options only)";
+      return false;
+    }
+    const std::string name = arg.substr(2);
+    const Option* opt = find(name);
+    if (opt == nullptr) {
+      error_ = "unknown option '--" + name + "'";
+      return false;
+    }
+    if (opt->is_flag) {
+      flags_set_[name] = true;
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      error_ = "option '--" + name + "' needs a value";
+      return false;
+    }
+    values_[name] = args[++i];
+  }
+  return true;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  args.reserve(argc > 0 ? static_cast<std::size_t>(argc) - 1 : 0);
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return parse(args);
+}
+
+bool ArgParser::flag(const std::string& name) const {
+  const Option* opt = find(name);
+  ZC_EXPECTS(opt != nullptr && opt->is_flag);
+  const auto it = flags_set_.find(name);
+  return it != flags_set_.end() && it->second;
+}
+
+std::string ArgParser::text(const std::string& name) const {
+  const Option* opt = find(name);
+  ZC_EXPECTS(opt != nullptr && !opt->is_flag);
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : opt->default_value;
+}
+
+std::optional<double> ArgParser::number(const std::string& name) const {
+  const std::string value = text(name);
+  // std::from_chars for double is incomplete on some libstdc++; strtod is
+  // fine here (no locale-sensitive input expected).
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') return std::nullopt;
+  return parsed;
+}
+
+bool ArgParser::given(const std::string& name) const {
+  const Option* opt = find(name);
+  ZC_EXPECTS(opt != nullptr);
+  if (opt->is_flag)
+    return flags_set_.contains(name);
+  return values_.contains(name);
+}
+
+std::string ArgParser::help() const {
+  std::ostringstream os;
+  os << program_ << " - " << description_ << "\n\noptions:\n";
+  for (const auto& [name, opt] : options_) {
+    os << "  --" << pad_right(name, 14) << " " << opt.help;
+    if (!opt.is_flag) os << " (default: " << opt.default_value << ")";
+    os << '\n';
+  }
+  os << "  --" << pad_right("help", 14) << " show this text\n";
+  return os.str();
+}
+
+}  // namespace zc

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file args.hpp
+/// Minimal command-line option parser for the example/tool binaries:
+/// long options only (`--name value`, `--switch`), typed accessors with
+/// defaults, generated help text, and error reporting instead of exits
+/// (so it is unit-testable).
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace zc {
+
+/// Declarative option parser.
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program, std::string description);
+
+  /// A boolean switch: present => true.
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// A valued option with a default (shown in help).
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value);
+
+  /// Parse argv (excluding argv[0]). Returns false and records error()
+  /// on unknown options or missing values. `--help` sets help_requested.
+  [[nodiscard]] bool parse(const std::vector<std::string>& args);
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool help_requested() const noexcept {
+    return help_requested_;
+  }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  /// True iff the flag was given.
+  [[nodiscard]] bool flag(const std::string& name) const;
+
+  /// The option's value (given or default).
+  [[nodiscard]] std::string text(const std::string& name) const;
+
+  /// The option parsed as double; records no error — throws
+  /// ContractViolation if the option does not exist, returns nullopt if
+  /// unparsable.
+  [[nodiscard]] std::optional<double> number(const std::string& name) const;
+
+  /// True iff the user explicitly supplied the option (vs default).
+  [[nodiscard]] bool given(const std::string& name) const;
+
+  /// Usage text listing all options with defaults.
+  [[nodiscard]] std::string help() const;
+
+ private:
+  struct Option {
+    std::string help;
+    std::string default_value;
+    bool is_flag = false;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::pair<std::string, Option>> options_;  // declaration order
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> flags_set_;
+  bool help_requested_ = false;
+  std::string error_;
+
+  [[nodiscard]] const Option* find(const std::string& name) const;
+};
+
+}  // namespace zc

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file contract.hpp
+/// Lightweight precondition / postcondition / invariant checking in the
+/// style of the C++ Core Guidelines' `Expects` / `Ensures` (I.6, I.8).
+///
+/// Violations throw `zc::ContractViolation` so that tests can assert on
+/// them; they are programming errors, not recoverable conditions, and
+/// production callers are expected never to trigger them.
+
+#include <stdexcept>
+#include <string>
+
+namespace zc {
+
+/// Thrown when a contract (precondition, postcondition or invariant) fails.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* expr, const char* file,
+                    int line)
+      : std::logic_error(std::string(kind) + " failed: " + expr + " at " +
+                         file + ":" + std::to_string(line)) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(kind, expr, file, line);
+}
+}  // namespace detail
+
+}  // namespace zc
+
+/// Precondition check: argument/state requirements at function entry.
+#define ZC_EXPECTS(cond)                                                   \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::zc::detail::contract_fail("precondition", #cond, __FILE__,         \
+                                  __LINE__);                               \
+  } while (false)
+
+/// Postcondition check: guarantees at function exit.
+#define ZC_ENSURES(cond)                                                   \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::zc::detail::contract_fail("postcondition", #cond, __FILE__,        \
+                                  __LINE__);                               \
+  } while (false)
+
+/// Internal invariant check.
+#define ZC_ASSERT(cond)                                                    \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::zc::detail::contract_fail("invariant", #cond, __FILE__, __LINE__); \
+  } while (false)

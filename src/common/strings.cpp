@@ -1,0 +1,45 @@
+#include "common/strings.hpp"
+
+#include <cmath>
+#include <iomanip>
+
+namespace zc {
+
+std::string format_sig(double value, int digits) {
+  std::ostringstream os;
+  const double mag = std::fabs(value);
+  if (value != 0.0 && (mag >= 1e6 || mag < 1e-4)) {
+    os << std::scientific << std::setprecision(digits - 1) << value;
+  } else {
+    os << std::setprecision(digits) << value;
+  }
+  return os.str();
+}
+
+std::string format_fixed(double value, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return os.str();
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace zc

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file strings.hpp
+/// Small string-formatting helpers shared across modules.
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace zc {
+
+/// Format a double with `digits` significant digits (scientific when the
+/// magnitude warrants it), e.g. for table output.
+[[nodiscard]] std::string format_sig(double value, int digits = 6);
+
+/// Format a double in fixed notation with `decimals` decimal places.
+[[nodiscard]] std::string format_fixed(double value, int decimals = 3);
+
+/// Join the elements of `parts` with `sep`.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               const std::string& sep);
+
+/// Left-pad `s` with spaces to at least `width` characters.
+[[nodiscard]] std::string pad_left(const std::string& s, std::size_t width);
+
+/// Right-pad `s` with spaces to at least `width` characters.
+[[nodiscard]] std::string pad_right(const std::string& s, std::size_t width);
+
+}  // namespace zc

@@ -1,0 +1,139 @@
+#include "core/calibrate.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/contract.hpp"
+#include "core/cost.hpp"
+#include "numerics/grid.hpp"
+#include "numerics/roots.hpp"
+
+namespace zc::core {
+
+namespace {
+
+/// Cost of the strongest competitor: min over k != n* of C_k(r_opt(k)).
+struct Competitor {
+  double cost = std::numeric_limits<double>::infinity();
+  unsigned n = 0;
+};
+
+Competitor best_competitor(const ScenarioParams& scenario, unsigned n_star,
+                           const CalibrateOptions& opts) {
+  Competitor best;
+  for (unsigned k = 1; k <= opts.n_max; ++k) {
+    if (k == n_star) continue;
+    const CostMinimum m = optimal_r(scenario, k, opts.r_opts);
+    if (m.cost < best.cost) {
+      best.cost = m.cost;
+      best.n = k;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<double> error_cost_for_stationary_r(
+    const ScenarioParams& scenario, const ProtocolParams& target, double c,
+    const CalibrateOptions& opts) {
+  ZC_EXPECTS(target.n >= 1);
+  ZC_EXPECTS(target.r > 0.0);
+  const ScenarioParams base = scenario.with_probe_cost(c);
+  const auto slope_at_target = [&](double log10_e) {
+    const ScenarioParams s = base.with_error_cost(std::pow(10.0, log10_e));
+    return cost_derivative_r(s, target.n, target.r);
+  };
+  // dC/dr at r* decreases monotonically in E (the error term's negative
+  // slope scales with E); bracket the sign change in log10 E.
+  const auto bracket = numerics::find_bracket(
+      slope_at_target, opts.log10_e_min, opts.log10_e_max, 128);
+  if (!bracket.has_value()) return std::nullopt;
+  if (bracket->first == bracket->second)
+    return std::pow(10.0, bracket->first);
+  const auto root =
+      numerics::brent_root(slope_at_target, bracket->first, bracket->second);
+  if (!root.has_value() || !root->converged) return std::nullopt;
+  return std::pow(10.0, root->x);
+}
+
+std::optional<Calibration> calibrate(const ScenarioParams& scenario,
+                                     const ProtocolParams& target,
+                                     const CalibrateOptions& opts) {
+  ZC_EXPECTS(target.n >= 1 && target.n <= opts.n_max);
+  ZC_EXPECTS(target.r > 0.0);
+
+  // Residual of condition (ii) at probe cost c, with E = E(c) from (i):
+  // positive when some competitor beats the target.
+  const auto residual = [&](double c) -> std::optional<double> {
+    const auto e = error_cost_for_stationary_r(scenario, target, c, opts);
+    if (!e.has_value()) return std::nullopt;
+    const ScenarioParams s =
+        scenario.with_probe_cost(c).with_error_cost(*e);
+    const double target_cost = mean_cost(s, target);
+    return target_cost - best_competitor(s, target.n, opts).cost;
+  };
+
+  // Scan c upward for the first (+ -> -) transition: below it, a larger
+  // probe count beats the target; above it the target leads (until, for
+  // very large c, a smaller probe count eventually takes over again).
+  const auto cs = numerics::logspace(opts.c_min, opts.c_max, 48);
+  std::optional<double> prev_c, prev_h;
+  std::optional<std::pair<double, double>> bracket;
+  std::optional<double> first_feasible_c;  // smallest c with h <= 0
+  for (const double c : cs) {
+    const auto h = residual(c);
+    if (!h.has_value()) continue;
+    if (*h <= 0.0 && !first_feasible_c.has_value()) first_feasible_c = c;
+    if (prev_h.has_value() && *prev_h > 0.0 && *h <= 0.0) {
+      bracket = std::pair{*prev_c, c};
+      break;
+    }
+    prev_c = c;
+    prev_h = h;
+  }
+  if (!bracket.has_value()) {
+    // No boundary inside the box. If the target is already optimal at the
+    // smallest feasible c, the optimality window extends below c_min:
+    // report that point instead of failing.
+    if (!first_feasible_c.has_value()) return std::nullopt;
+    bracket = std::pair{*first_feasible_c, *first_feasible_c};
+  }
+
+  // Bisection on the residual (Brent would need a total function; the
+  // residual can be undefined off the E-bracket, so stay conservative).
+  double lo = bracket->first, hi = bracket->second;
+  for (int iter = 0; iter < 60 && hi - lo > 1e-9 * hi; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const auto h = residual(mid);
+    if (!h.has_value() || *h > 0.0)
+      lo = mid;
+    else
+      hi = mid;
+  }
+
+  const double c_star = hi;
+  const auto e_star =
+      error_cost_for_stationary_r(scenario, target, c_star, opts);
+  if (!e_star.has_value()) return std::nullopt;
+
+  const ScenarioParams calibrated =
+      scenario.with_probe_cost(c_star).with_error_cost(*e_star);
+  const Competitor comp = best_competitor(calibrated, target.n, opts);
+
+  Calibration out;
+  out.error_cost = *e_star;
+  out.probe_cost = c_star;
+  out.competitor = comp.n;
+  out.target_cost = mean_cost(calibrated, target);
+
+  const JointOptimum joint =
+      joint_optimum(calibrated, opts.n_max, opts.r_opts);
+  out.target_is_optimal =
+      joint.n == target.n &&
+      std::fabs(joint.r - target.r) <= 0.05 * target.r &&
+      joint.cost >= out.target_cost * (1.0 - 1e-6);
+  return out;
+}
+
+}  // namespace zc::core

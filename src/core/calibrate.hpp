@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file calibrate.hpp
+/// The inverse problem of Sec. 4.5: for a fixed pessimistic network
+/// scenario (q, loss, lambda, d) and a *target* protocol configuration
+/// (n*, r*) — the draft's (4, 2) or (4, 0.2) — find the cost parameters
+/// (E, c) under which the target is cost-optimal.
+///
+/// Two conditions pin the two unknowns:
+///   (i)  stationarity:  dC_{n*}/dr (r*) = 0   — r* is the optimal
+///        listening period for n*;
+///   (ii) n-optimality boundary:  C_{n*}(r*) = min_{k != n*} C_k(r_opt(k))
+///        — the target probe count just ties its best competitor, making
+///        n* the (marginally) optimal choice.
+///
+/// Structure of the solve: for fixed c, condition (i) is monotone in E
+/// (a larger collision cost pushes the stationary point right), so E(c)
+/// is found by bracketed root search in log10 E; the outer root search on
+/// c enforces (ii).
+
+#include <optional>
+
+#include "core/optimize.hpp"
+#include "core/params.hpp"
+
+namespace zc::core {
+
+/// Result of a calibration.
+struct Calibration {
+  double error_cost = 0.0;   ///< E
+  double probe_cost = 0.0;   ///< c
+  unsigned competitor = 0;   ///< the k that ties C_{n*}(r*) at the solution
+  double target_cost = 0.0;  ///< C_{n*}(r*) at the calibrated parameters
+  bool target_is_optimal = false;  ///< verification: joint optimum == target
+};
+
+/// Options bounding the search.
+struct CalibrateOptions {
+  double log10_e_min = 3.0;    ///< search E in [10^min, 10^max]
+  double log10_e_max = 60.0;
+  double c_min = 1e-3;         ///< search c in [c_min, c_max]
+  double c_max = 100.0;
+  unsigned n_max = 12;         ///< competitors considered
+  ROptOptions r_opts{};        ///< per-n r-optimization settings
+};
+
+/// Calibrate (E, c) so that `target` is the cost-optimal configuration for
+/// `scenario` (whose E and c fields are ignored). The returned c is the
+/// lower boundary of the probe-cost window on which the target stays
+/// optimal (tie against the strongest competitor); when that window
+/// extends below the search box, the smallest feasible c is returned.
+/// Returns nullopt when no (E, c) in the box makes the target optimal.
+[[nodiscard]] std::optional<Calibration> calibrate(
+    const ScenarioParams& scenario, const ProtocolParams& target,
+    const CalibrateOptions& opts = {});
+
+/// Condition (i) alone: the E making r* stationary for n*, at the given c.
+/// Returns nullopt when no bracket exists in the E search range.
+[[nodiscard]] std::optional<double> error_cost_for_stationary_r(
+    const ScenarioParams& scenario, const ProtocolParams& target, double c,
+    const CalibrateOptions& opts = {});
+
+}  // namespace zc::core

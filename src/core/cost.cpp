@@ -1,0 +1,110 @@
+#include "core/cost.hpp"
+
+#include <cmath>
+
+#include "common/contract.hpp"
+#include "core/drm.hpp"
+#include "core/no_answer.hpp"
+#include "numerics/derivative.hpp"
+#include "numerics/kahan.hpp"
+
+namespace zc::core {
+
+double mean_cost(const ScenarioParams& scenario,
+                 const ProtocolParams& protocol) {
+  ZC_EXPECTS(protocol.n >= 1);
+  ZC_EXPECTS(protocol.r >= 0.0);
+  const unsigned n = protocol.n;
+  const double q = scenario.q();
+  const auto pi = pi_values(scenario.reply_delay(), n, protocol.r);
+
+  numerics::KahanSum pi_partial;  // sum_{i=0}^{n-1} pi_i(r)
+  for (unsigned i = 0; i < n; ++i) pi_partial.add(pi[i]);
+
+  const double per_probe = protocol.r + scenario.probe_cost();
+  const double numerator =
+      per_probe * (static_cast<double>(n) * (1.0 - q) + q * pi_partial.value()) +
+      q * scenario.error_cost() * pi[n];
+  const double denominator = 1.0 - q * (1.0 - pi[n]);
+  ZC_ASSERT(denominator > 0.0);
+  return numerator / denominator;
+}
+
+double mean_cost_numeric(const ScenarioParams& scenario,
+                         const ProtocolParams& protocol) {
+  const markov::MarkovRewardModel drm = build_drm(scenario, protocol);
+  return drm.expected_total_reward(DrmLayout::start());
+}
+
+double cost_asymptote(const ScenarioParams& scenario,
+                      const ProtocolParams& protocol) {
+  const unsigned n = protocol.n;
+  const double q = scenario.q();
+  const double loss = scenario.reply_delay().loss_probability();
+  const double arrival = 1.0 - loss;  // l
+  // (1 - (1-l)^n) / l -> n as l -> 0 (all-lost limit handled separately).
+  double geom;
+  if (arrival == 0.0) {
+    geom = static_cast<double>(n);
+  } else {
+    geom = -std::expm1(static_cast<double>(n) * std::log(loss)) / arrival;
+  }
+  const double per_probe = protocol.r + scenario.probe_cost();
+  return per_probe * (static_cast<double>(n) * (1.0 - q) + q * geom) /
+         (1.0 - q);
+}
+
+double cost_at_zero_r(const ScenarioParams& scenario) {
+  return scenario.q() * scenario.error_cost();
+}
+
+double cost_derivative_r(const ScenarioParams& scenario, unsigned n,
+                         double r) {
+  ZC_EXPECTS(r > 0.0);
+  return numerics::richardson_derivative(
+      [&](double rr) {
+        return mean_cost(scenario, ProtocolParams{n, rr});
+      },
+      r);
+}
+
+double cost_variance(const ScenarioParams& scenario,
+                     const ProtocolParams& protocol) {
+  const markov::MarkovRewardModel drm = build_drm(scenario, protocol);
+  return drm.variance_total_reward(DrmLayout::start());
+}
+
+double mean_cost_given_ok(const ScenarioParams& scenario,
+                          const ProtocolParams& protocol) {
+  const markov::MarkovRewardModel drm = build_drm(scenario, protocol);
+  const DrmLayout layout{protocol.n};
+  return drm.expected_total_reward_given_absorption(DrmLayout::start(),
+                                                    layout.ok());
+}
+
+double mean_cost_given_error(const ScenarioParams& scenario,
+                             const ProtocolParams& protocol) {
+  const markov::MarkovRewardModel drm = build_drm(scenario, protocol);
+  const DrmLayout layout{protocol.n};
+  return drm.expected_total_reward_given_absorption(DrmLayout::start(),
+                                                    layout.error());
+}
+
+double mean_address_attempts(const ScenarioParams& scenario,
+                             const ProtocolParams& protocol) {
+  const markov::MarkovRewardModel drm = build_drm(scenario, protocol);
+  // Expected visits to `start` before absorption = expected number of
+  // address-selection rounds.
+  return drm.analysis().expected_visits(DrmLayout::start(),
+                                        DrmLayout::start());
+}
+
+double mean_waiting_time(const ScenarioParams& scenario,
+                         const ProtocolParams& protocol) {
+  // Same Eq. (3) with c = 0, E = 0: only listening time accumulates.
+  const ScenarioParams time_only =
+      scenario.with_probe_cost(0.0).with_error_cost(0.0);
+  return mean_cost(time_only, protocol);
+}
+
+}  // namespace zc::core

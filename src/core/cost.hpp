@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file cost.hpp
+/// The mean total initialization cost C(n, r) (Sec. 4). The analytic
+/// closed form Eq. (3),
+///
+///            (r+c) ( n(1-q) + q sum_{i=0}^{n-1} pi_i(r) ) + q E pi_n(r)
+///   C(n,r) = ---------------------------------------------------------
+///                          1 - q (1 - pi_n(r))
+///
+/// plus the numeric route through the DRM linear system Eq. (2) (used as a
+/// cross-check), the r->inf asymptote A_n(r) of Sec. 4.2, the r=0 limit
+/// C_n(0) = qE, cost derivatives and — beyond the paper — the variance of
+/// the total cost.
+
+#include "core/params.hpp"
+
+namespace zc::core {
+
+/// Mean total cost via the analytic Eq. (3).
+[[nodiscard]] double mean_cost(const ScenarioParams& scenario,
+                               const ProtocolParams& protocol);
+
+/// Mean total cost by solving the DRM linear system (Eq. (2)) with LU;
+/// must agree with mean_cost to solver precision.
+[[nodiscard]] double mean_cost_numeric(const ScenarioParams& scenario,
+                                       const ProtocolParams& protocol);
+
+/// The asymptote A_n(r) the cost approaches as r -> inf (Sec. 4.2):
+///   A_n(r) = (r+c) ( n(1-q) + q (1-(1-l)^n)/l ) / (1-q).
+[[nodiscard]] double cost_asymptote(const ScenarioParams& scenario,
+                                    const ProtocolParams& protocol);
+
+/// The r = 0 limit: C_n(0) = q E.
+[[nodiscard]] double cost_at_zero_r(const ScenarioParams& scenario);
+
+/// dC/dr at fixed n (numeric, Richardson-extrapolated central difference).
+[[nodiscard]] double cost_derivative_r(const ScenarioParams& scenario,
+                                       unsigned n, double r);
+
+/// Variance of the total cost (extension beyond the paper; via the DRM
+/// second-moment system).
+[[nodiscard]] double cost_variance(const ScenarioParams& scenario,
+                                   const ProtocolParams& protocol);
+
+/// Mean total cost *conditioned on a clean outcome* (absorption in `ok`):
+/// the cost experienced by the overwhelming majority of users (extension
+/// beyond the paper).
+[[nodiscard]] double mean_cost_given_ok(const ScenarioParams& scenario,
+                                        const ProtocolParams& protocol);
+
+/// Mean total cost conditioned on an address collision (absorption in
+/// `error`): the disaster-path cost, dominated by E.
+[[nodiscard]] double mean_cost_given_error(const ScenarioParams& scenario,
+                                           const ProtocolParams& protocol);
+
+/// Mean number of *rounds* (probe cycles through `start`) until the
+/// protocol terminates; derived from expected visits in the DRM.
+[[nodiscard]] double mean_address_attempts(const ScenarioParams& scenario,
+                                           const ProtocolParams& protocol);
+
+/// Mean configuration latency in seconds: like mean_cost but counting only
+/// the waiting time r per probe (postage and error cost set to zero).
+/// This is the user-perceived configuration delay for successful runs.
+[[nodiscard]] double mean_waiting_time(const ScenarioParams& scenario,
+                                       const ProtocolParams& protocol);
+
+}  // namespace zc::core

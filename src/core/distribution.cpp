@@ -1,0 +1,148 @@
+#include "core/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contract.hpp"
+#include "core/no_answer.hpp"
+#include "numerics/kahan.hpp"
+
+namespace zc::core {
+
+CostDistribution::CostDistribution(const ScenarioParams& scenario,
+                                   const ProtocolParams& protocol,
+                                   std::size_t max_probes)
+    : per_probe_(protocol.r + scenario.probe_cost()),
+      error_cost_(scenario.error_cost()) {
+  const unsigned n = protocol.n;
+  ZC_EXPECTS(n >= 1);
+  ZC_EXPECTS(max_probes >= n);
+
+  const double q = scenario.q();
+  const auto pi = pi_values(scenario.reply_delay(), n, protocol.r);
+
+  // Per-attempt events over an occupied address:
+  //   restart with i probes: q (pi_{i-1} - pi_i), i = 1..n
+  //   error  with n probes:  q pi_n
+  // and over a free address: ok with n probes: 1-q.
+  std::vector<double> restart(n + 1, 0.0);
+  for (unsigned i = 1; i <= n; ++i) restart[i] = q * (pi[i - 1] - pi[i]);
+  const double p_error_attempt = q * pi[n];
+  const double p_ok_attempt = 1.0 - q;
+
+  // g[t] = P(the process is back in `start` having sent t probes).
+  // Lattice convolution of the restart distribution.
+  ok_.assign(max_probes + 1, 0.0);
+  error_.assign(max_probes + 1, 0.0);
+  std::vector<double> g(max_probes + 1, 0.0);
+  g[0] = 1.0;
+  numerics::KahanSum absorbed;
+  for (std::size_t t = 0; t <= max_probes; ++t) {
+    if (g[t] == 0.0) continue;
+    if (t + n <= max_probes) {
+      ok_[t + n] += g[t] * p_ok_attempt;
+      error_[t + n] += g[t] * p_error_attempt;
+      absorbed.add(g[t] * (p_ok_attempt + p_error_attempt));
+    }
+    for (unsigned i = 1; i <= n; ++i) {
+      if (t + i <= max_probes) g[t + i] += g[t] * restart[i];
+    }
+  }
+  tail_ = std::max(0.0, 1.0 - absorbed.value());
+}
+
+double CostDistribution::error_probability() const {
+  numerics::KahanSum acc;
+  for (const double p : error_) acc.add(p);
+  return acc.value();
+}
+
+double CostDistribution::mean() const {
+  numerics::KahanSum acc;
+  for (std::size_t t = 0; t < ok_.size(); ++t) {
+    acc.add(ok_[t] * cost_of(t, false));
+    acc.add(error_[t] * cost_of(t, true));
+  }
+  return acc.value();
+}
+
+double CostDistribution::variance() const {
+  const double m = mean();
+  numerics::KahanSum acc;
+  for (std::size_t t = 0; t < ok_.size(); ++t) {
+    const double d_ok = cost_of(t, false) - m;
+    const double d_err = cost_of(t, true) - m;
+    acc.add(ok_[t] * d_ok * d_ok);
+    acc.add(error_[t] * d_err * d_err);
+  }
+  return acc.value();
+}
+
+double CostDistribution::mean_given_ok() const {
+  numerics::KahanSum mass, weighted;
+  for (std::size_t t = 0; t < ok_.size(); ++t) {
+    mass.add(ok_[t]);
+    weighted.add(ok_[t] * cost_of(t, false));
+  }
+  ZC_EXPECTS(mass.value() > 0.0);
+  return weighted.value() / mass.value();
+}
+
+double CostDistribution::mean_given_error() const {
+  numerics::KahanSum mass, weighted;
+  for (std::size_t t = 0; t < error_.size(); ++t) {
+    mass.add(error_[t]);
+    weighted.add(error_[t] * cost_of(t, true));
+  }
+  ZC_EXPECTS(mass.value() > 0.0);
+  return weighted.value() / mass.value();
+}
+
+double CostDistribution::cdf(double x) const {
+  numerics::KahanSum acc;
+  for (std::size_t t = 0; t < ok_.size(); ++t) {
+    if (cost_of(t, false) <= x) acc.add(ok_[t]);
+    if (cost_of(t, true) <= x) acc.add(error_[t]);
+  }
+  return std::min(1.0, acc.value());
+}
+
+double CostDistribution::quantile(double p) const {
+  ZC_EXPECTS(0.0 <= p && p < 1.0);
+  ZC_EXPECTS(p < 1.0 - tail_);
+  // Gather (cost, prob) atoms, sort by cost, accumulate.
+  std::vector<std::pair<double, double>> atoms;
+  atoms.reserve(2 * ok_.size());
+  for (std::size_t t = 0; t < ok_.size(); ++t) {
+    if (ok_[t] > 0.0) atoms.emplace_back(cost_of(t, false), ok_[t]);
+    if (error_[t] > 0.0) atoms.emplace_back(cost_of(t, true), error_[t]);
+  }
+  std::sort(atoms.begin(), atoms.end());
+  numerics::KahanSum acc;
+  for (const auto& [cost, prob] : atoms) {
+    acc.add(prob);
+    if (acc.value() >= p) return cost;
+  }
+  ZC_ASSERT(false);  // unreachable: p < 1 - tail_ guarantees coverage
+  return 0.0;
+}
+
+std::size_t CostDistribution::probes_quantile(double p) const {
+  ZC_EXPECTS(0.0 <= p && p < 1.0);
+  ZC_EXPECTS(p < 1.0 - tail_);
+  numerics::KahanSum acc;
+  for (std::size_t t = 0; t < ok_.size(); ++t) {
+    acc.add(ok_[t] + error_[t]);
+    // For p = 0 return the smallest support point, not index 0.
+    if (acc.value() >= p && acc.value() > 0.0) return t;
+  }
+  ZC_ASSERT(false);
+  return 0;
+}
+
+double CostDistribution::cost_of(std::size_t probes, bool collision) const {
+  return static_cast<double>(probes) * per_probe_ +
+         (collision ? error_cost_ : 0.0);
+}
+
+}  // namespace zc::core

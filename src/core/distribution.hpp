@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file distribution.hpp
+/// Exact distribution of the total initialization cost (extension beyond
+/// the paper, which reports only the mean of Eq. (3)).
+///
+/// Per attempt the probe count and outcome follow directly from the DRM:
+/// with probability 1-q the address is free and exactly n probes are
+/// sent (outcome ok); with probability q the address is in use and the
+/// attempt consumes i probes with probability pi_{i-1} - pi_i (reply in
+/// round i; restart) or n probes with probability pi_n (no reply at all;
+/// outcome error). Summing over the geometric number of attempts gives a
+/// lattice distribution over the total probe count T, from which the
+/// full cost law  cost = T (r+c) + E 1{error}  follows.
+///
+/// This yields user-perceived *worst-case* quantities (e.g. the 99.9th
+/// percentile of configuration time) that the mean-based analysis cannot
+/// provide.
+
+#include <vector>
+
+#include "core/params.hpp"
+
+namespace zc::core {
+
+/// The exact lattice distribution of the total probe count and outcome.
+class CostDistribution {
+ public:
+  /// Computes the distribution, truncating the restart recursion once
+  /// `max_probes` total probes are reached. The truncated mass (reported
+  /// by `truncated_tail`) decays geometrically in max_probes.
+  CostDistribution(const ScenarioParams& scenario,
+                   const ProtocolParams& protocol,
+                   std::size_t max_probes = 4096);
+
+  /// P(T = t and the run ends in `ok`); index t = probes sent.
+  [[nodiscard]] const std::vector<double>& ok_pmf() const { return ok_; }
+  /// P(T = t and the run ends in `error`).
+  [[nodiscard]] const std::vector<double>& error_pmf() const {
+    return error_;
+  }
+  /// Probability mass beyond the truncation horizon.
+  [[nodiscard]] double truncated_tail() const { return tail_; }
+
+  /// P(collision) — must agree with Eq. (4) up to the truncated tail.
+  [[nodiscard]] double error_probability() const;
+
+  /// Mean / variance of the total cost — must agree with Eq. (3) and the
+  /// DRM second-moment system up to the truncated tail.
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;
+
+  /// Conditional means given the outcome; require the conditioning event
+  /// to have positive (untruncated) mass.
+  [[nodiscard]] double mean_given_ok() const;
+  [[nodiscard]] double mean_given_error() const;
+
+  /// P(total cost <= x).
+  [[nodiscard]] double cdf(double x) const;
+
+  /// Smallest cost x with P(cost <= x) >= p. Requires p in [0, 1) and
+  /// p < 1 - truncated_tail.
+  [[nodiscard]] double quantile(double p) const;
+
+  /// Smallest probe count t with P(T <= t) >= p (irrespective of
+  /// outcome); same domain restrictions as quantile().
+  [[nodiscard]] std::size_t probes_quantile(double p) const;
+
+  /// The cost value of outcome (t probes, collision?) under this
+  /// scenario: t (r+c) + E 1{collision}.
+  [[nodiscard]] double cost_of(std::size_t probes, bool collision) const;
+
+ private:
+  double per_probe_;
+  double error_cost_;
+  std::vector<double> ok_;
+  std::vector<double> error_;
+  double tail_ = 0.0;
+};
+
+}  // namespace zc::core

@@ -1,0 +1,86 @@
+#include "core/drm.hpp"
+
+#include "core/no_answer.hpp"
+
+namespace zc::core {
+
+std::vector<std::string> DrmLayout::state_names() const {
+  std::vector<std::string> names;
+  names.reserve(num_states());
+  names.emplace_back("start");
+  for (unsigned i = 1; i <= n; ++i) {
+    switch (i) {
+      case 1: names.emplace_back("1st"); break;
+      case 2: names.emplace_back("2nd"); break;
+      case 3: names.emplace_back("3rd"); break;
+      default: names.push_back(std::to_string(i) + "th"); break;
+    }
+  }
+  names.emplace_back("error");
+  names.emplace_back("ok");
+  return names;
+}
+
+markov::Dtmc build_chain(const ScenarioParams& scenario,
+                         const ProtocolParams& protocol) {
+  ZC_EXPECTS(protocol.n >= 1);
+  ZC_EXPECTS(protocol.r >= 0.0);
+  const DrmLayout layout{protocol.n};
+  const unsigned n = protocol.n;
+  const double q = scenario.q();
+  const auto pi = pi_values(scenario.reply_delay(), n, protocol.r);
+
+  linalg::Matrix p(layout.num_states(), layout.num_states(), 0.0);
+  p(DrmLayout::start(), layout.probe_state(1)) = q;
+  p(DrmLayout::start(), layout.ok()) = 1.0 - q;
+  for (unsigned k = 1; k <= n; ++k) {
+    // In probe state k the next probe round goes unanswered with
+    // probability p_k(r) = pi_k / pi_{k-1}; otherwise a reply arrives and
+    // the host restarts with a fresh address. If pi_{k-1} is already 0
+    // (degenerate loss-free bounded-support distributions) the state is
+    // unreachable and any valid row works; use p_k = 0.
+    const double p_k = pi[k - 1] > 0.0 ? pi[k] / pi[k - 1] : 0.0;
+    const std::size_t next =
+        (k == n) ? layout.error() : layout.probe_state(k + 1);
+    p(layout.probe_state(k), next) = p_k;
+    p(layout.probe_state(k), DrmLayout::start()) = 1.0 - p_k;
+  }
+  p(layout.error(), layout.error()) = 1.0;
+  p(layout.ok(), layout.ok()) = 1.0;
+
+  return markov::Dtmc(std::move(p), layout.state_names());
+}
+
+linalg::Matrix build_cost_matrix(const ScenarioParams& scenario,
+                                 const ProtocolParams& protocol) {
+  ZC_EXPECTS(protocol.n >= 1);
+  const DrmLayout layout{protocol.n};
+  const unsigned n = protocol.n;
+  const double per_probe = protocol.r + scenario.probe_cost();
+
+  linalg::Matrix c(layout.num_states(), layout.num_states(), 0.0);
+  // start -> ok: all n probes are sent against a free address.
+  c(DrmLayout::start(), layout.ok()) = static_cast<double>(n) * per_probe;
+  // start -> 1st and each advance to the next probe round: one probe each.
+  c(DrmLayout::start(), layout.probe_state(1)) = per_probe;
+  for (unsigned k = 1; k + 1 <= n; ++k)
+    c(layout.probe_state(k), layout.probe_state(k + 1)) = per_probe;
+  // nth -> error: the collision cost.
+  c(layout.probe_state(n), layout.error()) = scenario.error_cost();
+  return c;
+}
+
+markov::MarkovRewardModel build_drm(const ScenarioParams& scenario,
+                                    const ProtocolParams& protocol) {
+  markov::Dtmc chain = build_chain(scenario, protocol);
+  linalg::Matrix costs = build_cost_matrix(scenario, protocol);
+  // The paper's convention: p_ij = 0 implies c_ij = 0. With degenerate
+  // delay distributions (zero loss and bounded support) some probe
+  // transitions have probability 0; drop their cost entries.
+  for (std::size_t i = 0; i < chain.num_states(); ++i)
+    for (std::size_t j = 0; j < chain.num_states(); ++j)
+      if (chain.probability(i, j) == 0.0) costs(i, j) = 0.0;
+  return markov::MarkovRewardModel(std::move(chain), std::move(costs));
+}
+
+}  // namespace zc::core

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file drm.hpp
+/// Construction of the paper's DRM family (Sec. 3.1 / 4.1): for each n, a
+/// discrete-time Markov chain P_n on states
+///
+///   start, 1st, 2nd, ..., nth, error, ok
+///
+/// with the transition-cost matrix C_n. State indexing follows the paper's
+/// table (shifted to 0-based):
+///
+///   | state  | start | 1st | ... | nth | error | ok  |
+///   | index  |   0   |  1  | ... |  n  |  n+1  | n+2 |
+
+#include "markov/reward.hpp"
+#include "core/params.hpp"
+
+namespace zc::core {
+
+/// Index helpers for the DRM state space of a given n.
+struct DrmLayout {
+  unsigned n;
+
+  [[nodiscard]] static constexpr std::size_t start() { return 0; }
+  /// State reached after the i-th unanswered probe round, i in [1, n]
+  /// ("1st", "2nd", ..., "nth").
+  [[nodiscard]] std::size_t probe_state(unsigned i) const {
+    ZC_EXPECTS(1 <= i && i <= n);
+    return i;
+  }
+  [[nodiscard]] std::size_t error() const { return n + 1; }
+  [[nodiscard]] std::size_t ok() const { return n + 2; }
+  [[nodiscard]] std::size_t num_states() const { return n + 3; }
+
+  /// Paper-faithful state names: "start", "1st", ..., "error", "ok".
+  [[nodiscard]] std::vector<std::string> state_names() const;
+};
+
+/// The transition-probability matrix P_n of Sec. 4.1 for the given
+/// parameters (entries p_{1,2}=q, p_{1,n+3}=1-q, p_{i,1}=1-p_{i-1}(r),
+/// p_{i,i+1}=p_{i-1}(r), absorbing error/ok).
+[[nodiscard]] markov::Dtmc build_chain(const ScenarioParams& scenario,
+                                       const ProtocolParams& protocol);
+
+/// The cost matrix C_n of Sec. 4.1: c_{1,n+3} = n(r+c), c_{i,i+1} = r+c
+/// for i = 1..n, c_{n+1,n+2} = E (1-based paper indices).
+[[nodiscard]] linalg::Matrix build_cost_matrix(const ScenarioParams& scenario,
+                                               const ProtocolParams& protocol);
+
+/// The full Markov reward model (P_n, C_n).
+[[nodiscard]] markov::MarkovRewardModel build_drm(
+    const ScenarioParams& scenario, const ProtocolParams& protocol);
+
+}  // namespace zc::core

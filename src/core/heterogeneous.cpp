@@ -1,0 +1,80 @@
+#include "core/heterogeneous.hpp"
+
+#include <cmath>
+
+#include "common/contract.hpp"
+#include "core/no_answer.hpp"
+#include "numerics/kahan.hpp"
+
+namespace zc::core {
+
+std::vector<double> pi_values_heterogeneous(
+    const std::vector<HostClass>& classes, unsigned n, double r) {
+  ZC_EXPECTS(!classes.empty());
+  numerics::KahanSum weight_sum;
+  for (const HostClass& h : classes) {
+    ZC_EXPECTS(h.weight > 0.0);
+    ZC_EXPECTS(h.reply_delay != nullptr);
+    weight_sum.add(h.weight);
+  }
+  ZC_EXPECTS(std::fabs(weight_sum.value() - 1.0) <= 1e-9);
+
+  std::vector<double> pi(n + 1, 0.0);
+  pi[0] = 1.0;
+  // pi_i = sum_h w_h pi_i^h: accumulate the per-class products.
+  for (unsigned i = 1; i <= n; ++i) {
+    numerics::KahanSum acc;
+    for (const HostClass& h : classes) {
+      const auto pi_h = pi_values(*h.reply_delay, i, r);
+      acc.add(h.weight * pi_h[i]);
+    }
+    pi[i] = acc.value();
+  }
+  return pi;
+}
+
+double mean_cost_from_pi(double q, double probe_cost, double error_cost,
+                         const ProtocolParams& protocol,
+                         const std::vector<double>& pi) {
+  ZC_EXPECTS(0.0 < q && q < 1.0);
+  ZC_EXPECTS(protocol.n >= 1);
+  ZC_EXPECTS(pi.size() == protocol.n + 1);
+  const unsigned n = protocol.n;
+  numerics::KahanSum pi_partial;
+  for (unsigned i = 0; i < n; ++i) pi_partial.add(pi[i]);
+  const double per_probe = protocol.r + probe_cost;
+  const double numerator =
+      per_probe *
+          (static_cast<double>(n) * (1.0 - q) + q * pi_partial.value()) +
+      q * error_cost * pi[n];
+  const double denominator = 1.0 - q * (1.0 - pi[n]);
+  ZC_ASSERT(denominator > 0.0);
+  return numerator / denominator;
+}
+
+double error_probability_from_pi(double q, const std::vector<double>& pi) {
+  ZC_EXPECTS(0.0 < q && q < 1.0);
+  ZC_EXPECTS(!pi.empty());
+  const double pi_n = pi.back();
+  const double denominator = 1.0 - q * (1.0 - pi_n);
+  ZC_ASSERT(denominator > 0.0);
+  return q * pi_n / denominator;
+}
+
+double mean_cost_heterogeneous(double q, double probe_cost,
+                               double error_cost,
+                               const std::vector<HostClass>& classes,
+                               const ProtocolParams& protocol) {
+  return mean_cost_from_pi(
+      q, probe_cost, error_cost, protocol,
+      pi_values_heterogeneous(classes, protocol.n, protocol.r));
+}
+
+double error_probability_heterogeneous(double q,
+                                       const std::vector<HostClass>& classes,
+                                       const ProtocolParams& protocol) {
+  return error_probability_from_pi(
+      q, pi_values_heterogeneous(classes, protocol.n, protocol.r));
+}
+
+}  // namespace zc::core

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file heterogeneous.hpp
+/// The zeroconf model over a *heterogeneous* host population (extension
+/// beyond the paper, which assumes one F_X for every responder).
+///
+/// Within one attempt, all n probes interrogate the same (randomly
+/// drawn) host, so the no-answer events of an attempt are positively
+/// correlated through the host identity:
+///
+///   pi_i^true(r) = sum_h w_h prod_{j=1}^{i} S_h(j r)
+///
+/// whereas feeding the naive probe-level mixture
+/// S_mix = sum_h w_h S_h into Eq. (3)/(4) computes
+/// prod_j S_mix(j r) <= pi_i^true (Chebyshev's sum inequality, since all
+/// S_h(j r) are comonotone in the host's quality). The naive model
+/// therefore *underestimates* the collision probability — quantified in
+/// bench/ablation_heterogeneity.
+
+#include <memory>
+#include <vector>
+
+#include "core/params.hpp"
+
+namespace zc::core {
+
+/// One responder class of the heterogeneous population.
+struct HostClass {
+  double weight = 0.0;  ///< population fraction; weights must sum to 1
+  std::shared_ptr<const prob::DelayDistribution> reply_delay;
+};
+
+/// pi_0..pi_n with correct attempt-level host conditioning.
+[[nodiscard]] std::vector<double> pi_values_heterogeneous(
+    const std::vector<HostClass>& classes, unsigned n, double r);
+
+/// Eq. (3) evaluated on caller-supplied path probabilities pi_0..pi_n
+/// (size n+1). The shared backend of the homogeneous and heterogeneous
+/// cost models.
+[[nodiscard]] double mean_cost_from_pi(double q, double probe_cost,
+                                       double error_cost,
+                                       const ProtocolParams& protocol,
+                                       const std::vector<double>& pi);
+
+/// Eq. (4) evaluated on caller-supplied pi values.
+[[nodiscard]] double error_probability_from_pi(double q,
+                                               const std::vector<double>& pi);
+
+/// Mean total cost over the heterogeneous population (exact
+/// attempt-level treatment).
+[[nodiscard]] double mean_cost_heterogeneous(
+    double q, double probe_cost, double error_cost,
+    const std::vector<HostClass>& classes, const ProtocolParams& protocol);
+
+/// Collision probability over the heterogeneous population.
+[[nodiscard]] double error_probability_heterogeneous(
+    double q, const std::vector<HostClass>& classes,
+    const ProtocolParams& protocol);
+
+}  // namespace zc::core

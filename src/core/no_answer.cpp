@@ -1,0 +1,48 @@
+#include "core/no_answer.hpp"
+
+#include <cmath>
+
+#include "common/contract.hpp"
+#include "numerics/kahan.hpp"
+
+namespace zc::core {
+
+double no_answer_probability_product(const prob::DelayDistribution& fx,
+                                     unsigned i, double r) {
+  ZC_EXPECTS(r >= 0.0);
+  double p = 1.0;
+  for (unsigned j = 1; j <= i; ++j) {
+    const double f_hi = fx.cdf(static_cast<double>(j) * r);
+    const double f_lo = fx.cdf(static_cast<double>(j - 1) * r);
+    ZC_ASSERT(f_lo < 1.0);
+    p *= 1.0 - (f_hi - f_lo) / (1.0 - f_lo);
+  }
+  return p;
+}
+
+double no_answer_probability(const prob::DelayDistribution& fx, unsigned i,
+                             double r) {
+  ZC_EXPECTS(r >= 0.0);
+  if (i == 0) return 1.0;  // p_0 = 1 by definition (Sec. 3.2)
+  return fx.survival(static_cast<double>(i) * r);
+}
+
+std::vector<double> pi_values(const prob::DelayDistribution& fx, unsigned n,
+                              double r) {
+  ZC_EXPECTS(r >= 0.0);
+  std::vector<double> pi(n + 1);
+  pi[0] = 1.0;
+  for (unsigned i = 1; i <= n; ++i)
+    pi[i] = pi[i - 1] * fx.survival(static_cast<double>(i) * r);
+  return pi;
+}
+
+double log_pi(const prob::DelayDistribution& fx, unsigned n, double r) {
+  ZC_EXPECTS(r >= 0.0);
+  numerics::KahanSum acc;
+  for (unsigned j = 1; j <= n; ++j)
+    acc.add(fx.log_survival(static_cast<double>(j) * r));
+  return acc.value();
+}
+
+}  // namespace zc::core

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file no_answer.hpp
+/// The no-answer probabilities of Sec. 3.2. Eq. (1) defines
+///
+///   p_i(r) = P(i, r) = prod_{j=1}^{i} ( 1 - (F(jr)-F((j-1)r)) /
+///                                           (1 - F((j-1)r)) )
+///
+/// Each factor equals S(jr)/S((j-1)r) with S = 1-F, so the product
+/// telescopes to p_i(r) = S(i r) — the survival form, which is also the
+/// numerically robust one (no cancellation against 1). Both forms are
+/// implemented; tests assert their agreement.
+///
+/// The model's path probabilities are pi_i(r) = prod_{j=0}^{i} p_j(r)
+/// (with p_0 = 1), i.e. pi_i(r) = prod_{j=1}^{i} S(j r).
+
+#include <vector>
+
+#include "prob/delay.hpp"
+
+namespace zc::core {
+
+/// p_i(r) via the literal Eq. (1) product. Intended for validation; use
+/// `no_answer_probability` in computations.
+[[nodiscard]] double no_answer_probability_product(
+    const prob::DelayDistribution& fx, unsigned i, double r);
+
+/// p_i(r) via the telescoped survival form S(i r); p_0 = 1.
+[[nodiscard]] double no_answer_probability(const prob::DelayDistribution& fx,
+                                           unsigned i, double r);
+
+/// pi_0..pi_n: pi_i(r) = prod_{j=1}^{i} S(j r); result has size n+1 with
+/// pi[0] = 1. Multiplications ordered largest-first are benign here since
+/// every factor is in (0, 1]; underflow cannot occur before the true value
+/// drops below DBL_MIN (loss >= 1e-15 keeps pi_n >= 1e-15n).
+[[nodiscard]] std::vector<double> pi_values(const prob::DelayDistribution& fx,
+                                            unsigned n, double r);
+
+/// log pi_n(r) = sum_{j=1}^{n} log S(j r); log-domain cross-check path.
+[[nodiscard]] double log_pi(const prob::DelayDistribution& fx, unsigned n,
+                            double r);
+
+}  // namespace zc::core

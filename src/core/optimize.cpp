@@ -1,0 +1,122 @@
+#include "core/optimize.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/contract.hpp"
+#include "core/cost.hpp"
+#include "core/reliability.hpp"
+#include "numerics/minimize.hpp"
+
+namespace zc::core {
+
+namespace {
+
+double resolve_r_max(const ScenarioParams& scenario, const ROptOptions& opts) {
+  if (opts.r_max > 0.0) return opts.r_max;
+  // Generous default: minima sit near the round-trip scale; search an
+  // order of magnitude beyond the mean reply time.
+  return 10.0 * scenario.reply_delay().mean_given_arrival() + 1.0;
+}
+
+}  // namespace
+
+CostMinimum optimal_r(const ScenarioParams& scenario, unsigned n,
+                      const ROptOptions& opts) {
+  ZC_EXPECTS(n >= 1);
+  const double r_max = resolve_r_max(scenario, opts);
+  ZC_EXPECTS(opts.r_min > 0.0 && opts.r_min < r_max);
+  const auto result = numerics::scan_then_refine_minimize(
+      [&](double r) { return mean_cost(scenario, ProtocolParams{n, r}); },
+      opts.r_min, r_max, opts.grid_points, opts.x_tol);
+  return {result.x, result.value};
+}
+
+unsigned optimal_n(const ScenarioParams& scenario, double r, unsigned n_max) {
+  ZC_EXPECTS(r >= 0.0);
+  ZC_EXPECTS(n_max >= 1);
+  unsigned best_n = 1;
+  double best_cost = mean_cost(scenario, ProtocolParams{1, r});
+  unsigned rises_in_a_row = 0;
+  double prev = best_cost;
+  for (unsigned n = 2; n <= n_max; ++n) {
+    const double cost = mean_cost(scenario, ProtocolParams{n, r});
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_n = n;
+    }
+    // After the error term is exhausted the cost grows by ~(r+c)(1-q) per
+    // extra probe; several consecutive rises mean the minimum is behind us.
+    rises_in_a_row = (cost > prev) ? rises_in_a_row + 1 : 0;
+    if (rises_in_a_row >= 8) break;
+    prev = cost;
+  }
+  return best_n;
+}
+
+double min_cost(const ScenarioParams& scenario, double r, unsigned n_max) {
+  const unsigned n = optimal_n(scenario, r, n_max);
+  return mean_cost(scenario, ProtocolParams{n, r});
+}
+
+unsigned min_useful_n(double error_cost, double loss) {
+  ZC_EXPECTS(error_cost > 1.0);
+  ZC_EXPECTS(0.0 < loss && loss < 1.0);
+  // nu = ceil( -log E / log(1-l) ), with 1-l = loss.
+  const double nu = -std::log(error_cost) / std::log(loss);
+  return static_cast<unsigned>(std::ceil(nu));
+}
+
+JointOptimum joint_optimum(const ScenarioParams& scenario, unsigned n_max,
+                           const ROptOptions& opts) {
+  ZC_EXPECTS(n_max >= 1);
+  JointOptimum best;
+  best.cost = std::numeric_limits<double>::infinity();
+  for (unsigned n = 1; n <= n_max; ++n) {
+    const CostMinimum m = optimal_r(scenario, n, opts);
+    if (m.cost < best.cost) {
+      best.n = n;
+      best.r = m.r;
+      best.cost = m.cost;
+    }
+  }
+  best.error_prob =
+      error_probability(scenario, ProtocolParams{best.n, best.r});
+  return best;
+}
+
+std::vector<NBreakpoint> n_breakpoints(const ScenarioParams& scenario,
+                                       double r_lo, double r_hi,
+                                       std::size_t grid_points, double r_tol,
+                                       unsigned n_max) {
+  ZC_EXPECTS(0.0 < r_lo && r_lo < r_hi);
+  ZC_EXPECTS(grid_points >= 2);
+
+  std::vector<NBreakpoint> out;
+  const double step =
+      (r_hi - r_lo) / static_cast<double>(grid_points - 1);
+  double seg_start = r_lo;
+  unsigned seg_n = optimal_n(scenario, r_lo, n_max);
+
+  for (std::size_t i = 1; i < grid_points; ++i) {
+    const double r = r_lo + static_cast<double>(i) * step;
+    const unsigned n_here = optimal_n(scenario, std::min(r, r_hi), n_max);
+    if (n_here == seg_n) continue;
+    // Bisect the change point within (r - step, r].
+    double lo = r - step, hi = std::min(r, r_hi);
+    while (hi - lo > r_tol) {
+      const double mid = 0.5 * (lo + hi);
+      if (optimal_n(scenario, mid, n_max) == seg_n)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    out.push_back({seg_start, hi, seg_n});
+    seg_start = hi;
+    seg_n = n_here;
+  }
+  out.push_back({seg_start, r_hi, seg_n});
+  return out;
+}
+
+}  // namespace zc::core

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file optimize.hpp
+/// The optimization layer of Sec. 4.2 / 4.4: per-n optimal listening
+/// periods r_opt(n), the optimal probe count N(r) for a given r, the
+/// lower-envelope C_min(r), the minimal-useful-n bound nu, and the joint
+/// optimum over (n, r).
+
+#include <vector>
+
+#include "core/params.hpp"
+
+namespace zc::core {
+
+/// Options for the r-optimization of a single C_n.
+struct ROptOptions {
+  double r_min = 1e-6;          ///< lower end of the search interval
+  double r_max = 0.0;           ///< upper end; 0 = auto from the delay dist.
+  std::size_t grid_points = 512;  ///< coarse-scan resolution
+  double x_tol = 1e-10;         ///< Brent refinement tolerance
+};
+
+/// A located cost minimum.
+struct CostMinimum {
+  double r = 0.0;     ///< argmin r
+  double cost = 0.0;  ///< C_n(r) at the minimum
+};
+
+/// r_opt(n): the r minimizing C_n(r). C_n is polynomially-decreasing-then-
+/// linearly-increasing (Sec. 4.2), but can be flat near 0; a coarse grid
+/// scan followed by Brent refinement locates the global minimum robustly.
+[[nodiscard]] CostMinimum optimal_r(const ScenarioParams& scenario, unsigned n,
+                                    const ROptOptions& opts = {});
+
+/// N(r) (Sec. 4.4): the smallest n minimizing C(n, r) for fixed r.
+/// Scans n = 1..n_max; C_n(r) is eventually increasing in n (each extra
+/// probe costs r+c while the error term is already negligible), so the
+/// scan stops once the cost has risen monotonically well past the best.
+[[nodiscard]] unsigned optimal_n(const ScenarioParams& scenario, double r,
+                                 unsigned n_max = 64);
+
+/// C_min(r) = C(N(r), r).
+[[nodiscard]] double min_cost(const ScenarioParams& scenario, double r,
+                              unsigned n_max = 64);
+
+/// nu = ceil( -log E / log(1-l) ): below this n, the error term q E pi_n
+/// can never become small (Sec. 4.4). `loss` is 1-l.
+[[nodiscard]] unsigned min_useful_n(double error_cost, double loss);
+
+/// Joint optimum over n in [1, n_max] and r in the ROptOptions interval.
+struct JointOptimum {
+  unsigned n = 0;
+  double r = 0.0;
+  double cost = 0.0;
+  double error_prob = 0.0;  ///< collision probability at the optimum
+};
+
+[[nodiscard]] JointOptimum joint_optimum(const ScenarioParams& scenario,
+                                         unsigned n_max = 16,
+                                         const ROptOptions& opts = {});
+
+/// One step of the piecewise-constant N(r): on [r_from, r_to) the optimal
+/// probe count is `n`.
+struct NBreakpoint {
+  double r_from = 0.0;
+  double r_to = 0.0;
+  unsigned n = 0;
+};
+
+/// Locate the steps of N(r) on [r_lo, r_hi]: scan a grid, then bisect each
+/// change to `r_tol`. Returned intervals partition [r_lo, r_hi].
+[[nodiscard]] std::vector<NBreakpoint> n_breakpoints(
+    const ScenarioParams& scenario, double r_lo, double r_hi,
+    std::size_t grid_points = 512, double r_tol = 1e-9, unsigned n_max = 64);
+
+}  // namespace zc::core

@@ -1,0 +1,49 @@
+#include "core/params.hpp"
+
+#include "common/contract.hpp"
+
+namespace zc::core {
+
+ScenarioParams::ScenarioParams(
+    double q, double probe_cost, double error_cost,
+    std::shared_ptr<const prob::DelayDistribution> reply_delay)
+    : q_(q),
+      probe_cost_(probe_cost),
+      error_cost_(error_cost),
+      reply_delay_(std::move(reply_delay)) {
+  ZC_EXPECTS(0.0 < q_ && q_ < 1.0);
+  ZC_EXPECTS(probe_cost_ >= 0.0);
+  ZC_EXPECTS(error_cost_ >= 0.0);
+  ZC_EXPECTS(reply_delay_ != nullptr);
+}
+
+double ScenarioParams::q_from_hosts(unsigned hosts_on_link) {
+  ZC_EXPECTS(hosts_on_link >= 1);
+  ZC_EXPECTS(hosts_on_link < kAddressSpaceSize);
+  return static_cast<double>(hosts_on_link) / kAddressSpaceSize;
+}
+
+ScenarioParams ScenarioParams::with_error_cost(double error_cost) const {
+  return ScenarioParams(q_, probe_cost_, error_cost, reply_delay_);
+}
+
+ScenarioParams ScenarioParams::with_probe_cost(double probe_cost) const {
+  return ScenarioParams(q_, probe_cost, error_cost_, reply_delay_);
+}
+
+ScenarioParams ScenarioParams::with_q(double q) const {
+  return ScenarioParams(q, probe_cost_, error_cost_, reply_delay_);
+}
+
+ScenarioParams ScenarioParams::with_reply_delay(
+    std::shared_ptr<const prob::DelayDistribution> reply_delay) const {
+  return ScenarioParams(q_, probe_cost_, error_cost_, std::move(reply_delay));
+}
+
+ScenarioParams ExponentialScenario::to_params() const {
+  return ScenarioParams(
+      q, probe_cost, error_cost,
+      prob::paper_reply_delay(loss, lambda, round_trip));
+}
+
+}  // namespace zc::core

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file params.hpp
+/// Parameters of the zeroconf cost model (Sec. 3). Two kinds, mirroring
+/// Sec. 4.2's distinction:
+///  - ProtocolParams: `n` and `r`, under the control of the protocol
+///    designer / consumer-electronics manufacturer;
+///  - ScenarioParams: `q`, `c`, `E` and the reply-delay distribution F_X,
+///    properties of the deployment that can only be predicted.
+
+#include <memory>
+
+#include "prob/delay.hpp"
+
+namespace zc::core {
+
+/// Number of IPv4 link-local addresses allocated by IANA
+/// (169.254.1.0 - 169.254.254.255; Sec. 1).
+inline constexpr unsigned kAddressSpaceSize = 65024;
+
+/// Designer-controlled knobs.
+struct ProtocolParams {
+  unsigned n = 4;  ///< maximum number of ARP probes (draft: 4)
+  double r = 2.0;  ///< listening period after each probe, seconds (draft: 2 or 0.2)
+};
+
+/// Deployment-specific inputs of the cost model.
+class ScenarioParams {
+ public:
+  /// \param q            probability a freshly picked address is in use
+  /// \param probe_cost   c, the "postage" charged per ARP probe
+  /// \param error_cost   E, the cost of erroneously accepting an address
+  /// \param reply_delay  F_X, possibly defective reply-delay distribution
+  ScenarioParams(double q, double probe_cost, double error_cost,
+                 std::shared_ptr<const prob::DelayDistribution> reply_delay);
+
+  /// q from a host count: q = m / 65024 (Sec. 3.1, one address per host).
+  [[nodiscard]] static double q_from_hosts(unsigned hosts_on_link);
+
+  [[nodiscard]] double q() const noexcept { return q_; }
+  [[nodiscard]] double probe_cost() const noexcept { return probe_cost_; }
+  [[nodiscard]] double error_cost() const noexcept { return error_cost_; }
+  [[nodiscard]] const prob::DelayDistribution& reply_delay() const noexcept {
+    return *reply_delay_;
+  }
+  [[nodiscard]] std::shared_ptr<const prob::DelayDistribution>
+  reply_delay_ptr() const noexcept {
+    return reply_delay_;
+  }
+
+  /// Copy with a different error cost (used by calibration).
+  [[nodiscard]] ScenarioParams with_error_cost(double error_cost) const;
+  /// Copy with a different probe cost (used by calibration).
+  [[nodiscard]] ScenarioParams with_probe_cost(double probe_cost) const;
+  /// Copy with a different q.
+  [[nodiscard]] ScenarioParams with_q(double q) const;
+  /// Copy with a different reply-delay distribution.
+  [[nodiscard]] ScenarioParams with_reply_delay(
+      std::shared_ptr<const prob::DelayDistribution> reply_delay) const;
+
+ private:
+  double q_;
+  double probe_cost_;
+  double error_cost_;
+  std::shared_ptr<const prob::DelayDistribution> reply_delay_;
+};
+
+/// Scenario whose F_X is the paper's shifted defective exponential
+/// (Sec. 4.3), keeping the physical knobs (loss, lambda, d) accessible —
+/// needed by calibration and sensitivity analysis.
+struct ExponentialScenario {
+  double q = 1000.0 / kAddressSpaceSize;  ///< address-in-use probability
+  double probe_cost = 2.0;                ///< c
+  double error_cost = 1e35;               ///< E
+  double loss = 1e-15;                    ///< 1 - l, reply-never-arrives prob.
+  double lambda = 10.0;                   ///< rate; mean reply = d + 1/lambda
+  double round_trip = 1.0;                ///< d, round-trip delay floor
+
+  [[nodiscard]] ScenarioParams to_params() const;
+};
+
+}  // namespace zc::core

@@ -1,0 +1,47 @@
+#include "core/reliability.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/contract.hpp"
+#include "core/drm.hpp"
+#include "core/no_answer.hpp"
+#include "markov/absorbing.hpp"
+
+namespace zc::core {
+
+double error_probability(const ScenarioParams& scenario,
+                         const ProtocolParams& protocol) {
+  const double q = scenario.q();
+  const auto pi = pi_values(scenario.reply_delay(), protocol.n, protocol.r);
+  const double pi_n = pi[protocol.n];
+  const double denominator = 1.0 - q * (1.0 - pi_n);
+  ZC_ASSERT(denominator > 0.0);
+  return q * pi_n / denominator;
+}
+
+double error_probability_numeric(const ScenarioParams& scenario,
+                                 const ProtocolParams& protocol) {
+  const DrmLayout layout{protocol.n};
+  const markov::Dtmc chain = build_chain(scenario, protocol);
+  const markov::AbsorbingAnalysis analysis(chain);
+  return analysis.absorption_probability(DrmLayout::start(), layout.error());
+}
+
+double reliability(const ScenarioParams& scenario,
+                   const ProtocolParams& protocol) {
+  return 1.0 - error_probability(scenario, protocol);
+}
+
+double log10_error_probability(const ScenarioParams& scenario,
+                               const ProtocolParams& protocol) {
+  const double q = scenario.q();
+  const double log_pi_n =
+      log_pi(scenario.reply_delay(), protocol.n, protocol.r);
+  const double pi_n = std::exp(log_pi_n);  // may underflow; only used in
+                                           // the (then ~1) denominator
+  const double denominator = 1.0 - q * (1.0 - pi_n);
+  return (std::log(q) + log_pi_n - std::log(denominator)) / std::numbers::ln10;
+}
+
+}  // namespace zc::core

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file reliability.hpp
+/// Reliability analysis (Sec. 5): the probability that the protocol
+/// terminates in `error` — i.e. configures an address that is already in
+/// use. Closed form Eq. (4):
+///
+///   Err(n, r) = q pi_n(r) / (1 - q (1 - pi_n(r)))
+///
+/// cross-checked against the absorbing-chain computation
+/// s (I - P'_n)^{-1} e.
+
+#include "core/params.hpp"
+
+namespace zc::core {
+
+/// Collision probability via the analytic Eq. (4).
+[[nodiscard]] double error_probability(const ScenarioParams& scenario,
+                                       const ProtocolParams& protocol);
+
+/// Collision probability via absorbing-chain analysis of the DRM.
+[[nodiscard]] double error_probability_numeric(const ScenarioParams& scenario,
+                                               const ProtocolParams& protocol);
+
+/// Reliability = P(terminate in `ok`) = 1 - error_probability.
+[[nodiscard]] double reliability(const ScenarioParams& scenario,
+                                 const ProtocolParams& protocol);
+
+/// log10 of the collision probability, computed in the log domain; exact
+/// deep into ranges where the linear-domain value would be subnormal.
+[[nodiscard]] double log10_error_probability(const ScenarioParams& scenario,
+                                             const ProtocolParams& protocol);
+
+}  // namespace zc::core

@@ -1,0 +1,53 @@
+#include "core/scenarios.hpp"
+
+namespace zc::core::scenarios {
+
+ExponentialScenario figure2() {
+  ExponentialScenario s;
+  s.q = 1000.0 / kAddressSpaceSize;
+  s.probe_cost = 2.0;
+  s.error_cost = 1e35;
+  s.loss = 1e-15;
+  s.lambda = 10.0;
+  s.round_trip = 1.0;
+  return s;
+}
+
+ExponentialScenario sec45_r2() {
+  ExponentialScenario s;
+  s.q = 1000.0 / kAddressSpaceSize;
+  s.probe_cost = 3.5;    // paper-derived c_{r=2}
+  s.error_cost = 5e20;   // paper-derived E_{r=2}
+  s.loss = 1e-5;
+  s.lambda = 10.0;
+  s.round_trip = 1.0;
+  return s;
+}
+
+ExponentialScenario sec45_r02() {
+  ExponentialScenario s;
+  s.q = 1000.0 / kAddressSpaceSize;
+  s.probe_cost = 0.5;    // paper-derived c_{r=0.2}
+  s.error_cost = 1e35;   // paper-derived E_{r=0.2}
+  s.loss = 1e-10;
+  s.lambda = 100.0;
+  s.round_trip = 0.1;
+  return s;
+}
+
+ExponentialScenario sec6() {
+  ExponentialScenario s;
+  s.q = 1000.0 / kAddressSpaceSize;
+  s.probe_cost = 3.5;   // kept from the r = 2 calibration
+  s.error_cost = 5e20;  // kept from the r = 2 calibration
+  s.loss = 1e-12;
+  s.lambda = 10.0;
+  s.round_trip = 1e-3;
+  return s;
+}
+
+ProtocolParams draft_unreliable() { return ProtocolParams{4, 2.0}; }
+
+ProtocolParams draft_reliable() { return ProtocolParams{4, 0.2}; }
+
+}  // namespace zc::core::scenarios

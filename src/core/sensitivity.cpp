@@ -1,0 +1,123 @@
+#include "core/sensitivity.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "common/contract.hpp"
+#include "core/cost.hpp"
+#include "core/optimize.hpp"
+#include "core/reliability.hpp"
+
+namespace zc::core {
+
+namespace {
+
+using Setter = std::function<void(ExponentialScenario&, double)>;
+using Getter = std::function<double(const ExponentialScenario&)>;
+
+struct ParameterAccess {
+  const char* name;
+  Getter get;
+  Setter set;
+};
+
+const std::vector<ParameterAccess>& parameter_table() {
+  static const std::vector<ParameterAccess> table = {
+      {"q", [](const ExponentialScenario& s) { return s.q; },
+       [](ExponentialScenario& s, double v) { s.q = v; }},
+      {"c", [](const ExponentialScenario& s) { return s.probe_cost; },
+       [](ExponentialScenario& s, double v) { s.probe_cost = v; }},
+      {"E", [](const ExponentialScenario& s) { return s.error_cost; },
+       [](ExponentialScenario& s, double v) { s.error_cost = v; }},
+      {"loss", [](const ExponentialScenario& s) { return s.loss; },
+       [](ExponentialScenario& s, double v) { s.loss = v; }},
+      {"lambda", [](const ExponentialScenario& s) { return s.lambda; },
+       [](ExponentialScenario& s, double v) { s.lambda = v; }},
+      {"d", [](const ExponentialScenario& s) { return s.round_trip; },
+       [](ExponentialScenario& s, double v) { s.round_trip = v; }},
+  };
+  return table;
+}
+
+double elasticity_of(const std::function<double(double)>& f, double p,
+                     double rel_step) {
+  ZC_EXPECTS(p != 0.0);
+  const double h = rel_step * std::fabs(p);
+  const double f_hi = f(p + h);
+  const double f_lo = f(p - h);
+  const double f_mid = f(p);
+  if (f_mid == 0.0) return 0.0;
+  const double derivative = (f_hi - f_lo) / (2.0 * h);
+  return derivative * p / f_mid;
+}
+
+}  // namespace
+
+std::vector<Elasticity> sensitivities(const ExponentialScenario& scenario,
+                                      const ProtocolParams& protocol,
+                                      double rel_step) {
+  std::vector<Elasticity> out;
+  out.reserve(parameter_table().size() + 1);
+
+  for (const auto& param : parameter_table()) {
+    const double p0 = param.get(scenario);
+    const auto cost_at = [&](double v) {
+      ExponentialScenario s = scenario;
+      param.set(s, v);
+      return mean_cost(s.to_params(), protocol);
+    };
+    const auto err_at = [&](double v) {
+      ExponentialScenario s = scenario;
+      param.set(s, v);
+      return error_probability(s.to_params(), protocol);
+    };
+    Elasticity e;
+    e.parameter = param.name;
+    e.cost_elasticity = elasticity_of(cost_at, p0, rel_step);
+    e.error_elasticity = elasticity_of(err_at, p0, rel_step);
+    out.push_back(std::move(e));
+  }
+
+  // r is a protocol knob but its elasticity is equally interesting.
+  {
+    const auto cost_at = [&](double r) {
+      return mean_cost(scenario.to_params(), ProtocolParams{protocol.n, r});
+    };
+    const auto err_at = [&](double r) {
+      return error_probability(scenario.to_params(),
+                               ProtocolParams{protocol.n, r});
+    };
+    Elasticity e;
+    e.parameter = "r";
+    e.cost_elasticity = elasticity_of(cost_at, protocol.r, rel_step);
+    e.error_elasticity = elasticity_of(err_at, protocol.r, rel_step);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::vector<OptimumShift> optimum_shifts(const ExponentialScenario& scenario,
+                                         const std::string& parameter,
+                                         const std::vector<double>& factors,
+                                         unsigned n_max) {
+  const ParameterAccess* access = nullptr;
+  for (const auto& param : parameter_table()) {
+    if (parameter == param.name) {
+      access = &param;
+      break;
+    }
+  }
+  ZC_EXPECTS(access != nullptr);
+
+  std::vector<OptimumShift> out;
+  out.reserve(factors.size());
+  for (const double factor : factors) {
+    ExponentialScenario s = scenario;
+    access->set(s, access->get(scenario) * factor);
+    const JointOptimum opt = joint_optimum(s.to_params(), n_max);
+    out.push_back({parameter, factor, opt.n, opt.r, opt.cost});
+  }
+  return out;
+}
+
+}  // namespace zc::core

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file sensitivity.hpp
+/// Local sensitivity analysis (Sec. 4.2 mentions it as the "standard
+/// exercise"; Sec. 7 stresses that the optimized parameters depend on
+/// application-specific inputs that are hard to predict). For an
+/// exponential-family scenario we report the elasticity of the mean cost
+/// and of the collision probability with respect to each model input:
+///
+///   elasticity(f, p) = (dF/dp) * (p / F)   — the % change in f per %
+///   change in p, estimated by central differences.
+
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+
+namespace zc::core {
+
+/// Elasticity of one output w.r.t. one input parameter.
+struct Elasticity {
+  std::string parameter;  ///< "q", "c", "E", "loss", "lambda", "d", "r"
+  double cost_elasticity = 0.0;   ///< on the mean cost C(n, r)
+  double error_elasticity = 0.0;  ///< on the collision probability
+};
+
+/// All elasticities of the model at the operating point (scenario,
+/// protocol). `rel_step` is the relative perturbation used in the central
+/// differences.
+[[nodiscard]] std::vector<Elasticity> sensitivities(
+    const ExponentialScenario& scenario, const ProtocolParams& protocol,
+    double rel_step = 1e-4);
+
+/// How far the *optimal* configuration moves when one input parameter is
+/// scaled: re-runs the joint optimization at parameter * factor.
+struct OptimumShift {
+  std::string parameter;
+  double factor = 1.0;
+  unsigned n = 0;
+  double r = 0.0;
+  double cost = 0.0;
+};
+
+[[nodiscard]] std::vector<OptimumShift> optimum_shifts(
+    const ExponentialScenario& scenario, const std::string& parameter,
+    const std::vector<double>& factors, unsigned n_max = 16);
+
+}  // namespace zc::core

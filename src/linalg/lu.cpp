@@ -1,0 +1,97 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace zc::linalg {
+
+std::optional<Lu> Lu::decompose(const Matrix& a) {
+  ZC_EXPECTS(a.square());
+  const std::size_t n = a.rows();
+  Matrix lu = a;
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  int sign = 1;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude in column k at/below k.
+    std::size_t pivot = k;
+    double best = std::fabs(lu(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double mag = std::fabs(lu(i, k));
+      if (mag > best) {
+        best = mag;
+        pivot = i;
+      }
+    }
+    if (best == 0.0) return std::nullopt;  // singular
+
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu(k, j), lu(pivot, j));
+      std::swap(perm[k], perm[pivot]);
+      sign = -sign;
+    }
+
+    const double diag = lu(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double factor = lu(i, k) / diag;
+      lu(i, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) lu(i, j) -= factor * lu(k, j);
+    }
+  }
+  return Lu(std::move(lu), std::move(perm), sign);
+}
+
+Vector Lu::solve(const Vector& b) const {
+  const std::size_t n = size();
+  ZC_EXPECTS(b.size() == n);
+
+  // Apply permutation, then forward-substitute L y = P b.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * y[j];
+    y[i] = s;
+  }
+  // Back-substitute U x = y.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(ii, j) * x[j];
+    x[ii] = s / lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Lu::solve(const Matrix& b) const {
+  ZC_EXPECTS(b.rows() == size());
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    const Vector xj = solve(b.col(j));
+    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = xj[i];
+  }
+  return x;
+}
+
+Matrix Lu::inverse() const { return solve(Matrix::identity(size())); }
+
+double Lu::determinant() const {
+  double det = static_cast<double>(perm_sign_);
+  for (std::size_t i = 0; i < size(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Vector solve(const Matrix& a, const Vector& b) {
+  const auto lu = Lu::decompose(a);
+  ZC_EXPECTS(lu.has_value());
+  return lu->solve(b);
+}
+
+Matrix inverse(const Matrix& a) {
+  const auto lu = Lu::decompose(a);
+  ZC_EXPECTS(lu.has_value());
+  return lu->inverse();
+}
+
+}  // namespace zc::linalg

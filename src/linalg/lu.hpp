@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file lu.hpp
+/// LU decomposition with partial pivoting, plus the derived operations
+/// (linear solve, inverse, determinant) used by the Markov substrate to
+/// evaluate fundamental matrices and expected-reward systems.
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace zc::linalg {
+
+/// LU decomposition of a square matrix with partial (row) pivoting:
+/// `P A = L U`, with `L` unit-lower-triangular and `U` upper-triangular,
+/// stored compactly in a single matrix.
+class Lu {
+ public:
+  /// Decompose `a`. Fails (returns nullopt) when `a` is singular to
+  /// working precision.
+  [[nodiscard]] static std::optional<Lu> decompose(const Matrix& a);
+
+  /// Solve `A x = b` for one right-hand side.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// Solve `A X = B` column-wise.
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
+
+  /// The inverse `A^{-1}` (prefer `solve` when only products are needed).
+  [[nodiscard]] Matrix inverse() const;
+
+  /// Determinant of `A` (sign from the pivoting permutation).
+  [[nodiscard]] double determinant() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return lu_.rows(); }
+
+ private:
+  Lu(Matrix lu, std::vector<std::size_t> perm, int sign)
+      : lu_(std::move(lu)), perm_(std::move(perm)), perm_sign_(sign) {}
+
+  Matrix lu_;                       ///< packed L (below diag) and U (on/above)
+  std::vector<std::size_t> perm_;   ///< row permutation
+  int perm_sign_ = 1;               ///< parity of the permutation
+};
+
+/// Convenience: solve `A x = b`; contract-fails when `a` is singular.
+[[nodiscard]] Vector solve(const Matrix& a, const Vector& b);
+
+/// Convenience: invert `a`; contract-fails when `a` is singular.
+[[nodiscard]] Matrix inverse(const Matrix& a);
+
+}  // namespace zc::linalg

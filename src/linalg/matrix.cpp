@@ -1,0 +1,133 @@
+#include "linalg/matrix.hpp"
+
+namespace zc::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ == 0 ? 0 : init.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    ZC_EXPECTS(row.size() == cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::block(std::size_t r0, std::size_t r1, std::size_t c0,
+                     std::size_t c1) const {
+  ZC_EXPECTS(r0 <= r1 && r1 <= rows_);
+  ZC_EXPECTS(c0 <= c1 && c1 <= cols_);
+  Matrix out(r1 - r0, c1 - c0);
+  for (std::size_t i = r0; i < r1; ++i)
+    for (std::size_t j = c0; j < c1; ++j) out(i - r0, j - c0) = (*this)(i, j);
+  return out;
+}
+
+Vector Matrix::row(std::size_t i) const {
+  ZC_EXPECTS(i < rows_);
+  Vector out(cols_);
+  for (std::size_t j = 0; j < cols_; ++j) out[j] = (*this)(i, j);
+  return out;
+}
+
+Vector Matrix::col(std::size_t j) const {
+  ZC_EXPECTS(j < cols_);
+  Vector out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, j);
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  ZC_EXPECTS(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] += rhs.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  ZC_EXPECTS(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] -= rhs.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+Matrix operator*(Matrix lhs, double s) { return lhs *= s; }
+Matrix operator*(double s, Matrix rhs) { return rhs *= s; }
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  ZC_EXPECTS(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) out(i, j) += aik * b(k, j);
+    }
+  }
+  return out;
+}
+
+Vector operator*(const Matrix& a, const Vector& x) {
+  ZC_EXPECTS(a.cols() == x.size());
+  Vector out(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) out[i] += a(i, j) * x[j];
+  return out;
+}
+
+Vector mul_left(const Vector& x, const Matrix& a) {
+  ZC_EXPECTS(x.size() == a.rows());
+  Vector out(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t j = 0; j < a.cols(); ++j) out[j] += xi * a(i, j);
+  }
+  return out;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  ZC_EXPECTS(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+Vector add(const Vector& a, const Vector& b) {
+  ZC_EXPECTS(a.size() == b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector sub(const Vector& a, const Vector& b) {
+  ZC_EXPECTS(a.size() == b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector scale(const Vector& a, double s) {
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+}  // namespace zc::linalg

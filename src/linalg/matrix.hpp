@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file matrix.hpp
+/// Dense row-major matrix of doubles, sized for the small systems that
+/// arise in absorbing-Markov-chain analysis (tens to a few thousands of
+/// states). Value semantics throughout.
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/contract.hpp"
+
+namespace zc::linalg {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix.
+class Matrix {
+ public:
+  /// An empty 0x0 matrix.
+  Matrix() = default;
+
+  /// A `rows` x `cols` matrix with every entry equal to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Build from nested initializer lists; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  /// The `n` x `n` identity matrix.
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] bool square() const noexcept { return rows_ == cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t i, std::size_t j) {
+    ZC_EXPECTS(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  [[nodiscard]] double operator()(std::size_t i, std::size_t j) const {
+    ZC_EXPECTS(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /// Raw storage access (row-major), e.g. for norms.
+  [[nodiscard]] const std::vector<double>& data() const noexcept {
+    return data_;
+  }
+
+  /// Extract the sub-matrix with rows [r0, r1) and columns [c0, c1).
+  [[nodiscard]] Matrix block(std::size_t r0, std::size_t r1, std::size_t c0,
+                             std::size_t c1) const;
+
+  /// Extract row `i` as a vector.
+  [[nodiscard]] Vector row(std::size_t i) const;
+
+  /// Extract column `j` as a vector.
+  [[nodiscard]] Vector col(std::size_t j) const;
+
+  [[nodiscard]] Matrix transpose() const;
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+[[nodiscard]] Matrix operator+(Matrix lhs, const Matrix& rhs);
+[[nodiscard]] Matrix operator-(Matrix lhs, const Matrix& rhs);
+[[nodiscard]] Matrix operator*(Matrix lhs, double s);
+[[nodiscard]] Matrix operator*(double s, Matrix rhs);
+
+/// Matrix-matrix product.
+[[nodiscard]] Matrix operator*(const Matrix& a, const Matrix& b);
+
+/// Matrix-vector product `A x`.
+[[nodiscard]] Vector operator*(const Matrix& a, const Vector& x);
+
+/// Row-vector-matrix product `x^T A`.
+[[nodiscard]] Vector mul_left(const Vector& x, const Matrix& a);
+
+/// Dot product.
+[[nodiscard]] double dot(const Vector& a, const Vector& b);
+
+/// `a + b` elementwise.
+[[nodiscard]] Vector add(const Vector& a, const Vector& b);
+
+/// `a - b` elementwise.
+[[nodiscard]] Vector sub(const Vector& a, const Vector& b);
+
+/// `s * a` elementwise.
+[[nodiscard]] Vector scale(const Vector& a, double s);
+
+}  // namespace zc::linalg

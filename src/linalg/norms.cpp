@@ -1,0 +1,74 @@
+#include "linalg/norms.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zc::linalg {
+
+double norm_inf(const Vector& x) {
+  double m = 0.0;
+  for (double v : x) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double norm_1(const Vector& x) {
+  double s = 0.0;
+  for (double v : x) s += std::fabs(v);
+  return s;
+}
+
+double norm_2(const Vector& x) {
+  // Scaled to avoid overflow for large entries.
+  const double scale = norm_inf(x);
+  if (scale == 0.0) return 0.0;
+  double s = 0.0;
+  for (double v : x) {
+    const double t = v / scale;
+    s += t * t;
+  }
+  return scale * std::sqrt(s);
+}
+
+double norm_inf(const Matrix& a) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) row_sum += std::fabs(a(i, j));
+    m = std::max(m, row_sum);
+  }
+  return m;
+}
+
+double norm_1(const Matrix& a) {
+  double m = 0.0;
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    double col_sum = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) col_sum += std::fabs(a(i, j));
+    m = std::max(m, col_sum);
+  }
+  return m;
+}
+
+double norm_frobenius(const Matrix& a) {
+  Vector flat(a.data().begin(), a.data().end());
+  return norm_2(flat);
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  ZC_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      m = std::max(m, std::fabs(a(i, j) - b(i, j)));
+  return m;
+}
+
+double max_abs_diff(const Vector& a, const Vector& b) {
+  ZC_EXPECTS(a.size() == b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace zc::linalg

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file norms.hpp
+/// Vector and matrix norms used for convergence checks and test tolerances.
+
+#include "linalg/matrix.hpp"
+
+namespace zc::linalg {
+
+/// max_i |x_i|
+[[nodiscard]] double norm_inf(const Vector& x);
+
+/// sum_i |x_i|
+[[nodiscard]] double norm_1(const Vector& x);
+
+/// sqrt(sum_i x_i^2), overflow-guarded via scaling.
+[[nodiscard]] double norm_2(const Vector& x);
+
+/// Maximum absolute row sum.
+[[nodiscard]] double norm_inf(const Matrix& a);
+
+/// Maximum absolute column sum.
+[[nodiscard]] double norm_1(const Matrix& a);
+
+/// Frobenius norm.
+[[nodiscard]] double norm_frobenius(const Matrix& a);
+
+/// max_{ij} |a_ij - b_ij|; matrices must have equal shape.
+[[nodiscard]] double max_abs_diff(const Matrix& a, const Matrix& b);
+
+/// max_i |a_i - b_i|; vectors must have equal length.
+[[nodiscard]] double max_abs_diff(const Vector& a, const Vector& b);
+
+}  // namespace zc::linalg

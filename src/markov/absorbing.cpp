@@ -1,0 +1,92 @@
+#include "markov/absorbing.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+#include "markov/classify.hpp"
+
+namespace zc::markov {
+
+namespace {
+
+linalg::Matrix extract_q(const Dtmc& chain,
+                         const std::vector<std::size_t>& transient) {
+  linalg::Matrix q(transient.size(), transient.size());
+  for (std::size_t i = 0; i < transient.size(); ++i)
+    for (std::size_t j = 0; j < transient.size(); ++j)
+      q(i, j) = chain.probability(transient[i], transient[j]);
+  return q;
+}
+
+linalg::Matrix extract_r(const Dtmc& chain,
+                         const std::vector<std::size_t>& transient,
+                         const std::vector<std::size_t>& absorbing) {
+  linalg::Matrix r(transient.size(), absorbing.size());
+  for (std::size_t i = 0; i < transient.size(); ++i)
+    for (std::size_t k = 0; k < absorbing.size(); ++k)
+      r(i, k) = chain.probability(transient[i], absorbing[k]);
+  return r;
+}
+
+linalg::Lu lu_of_i_minus(const linalg::Matrix& q) {
+  const linalg::Matrix m = linalg::Matrix::identity(q.rows()) - q;
+  auto lu = linalg::Lu::decompose(m);
+  // (I-Q) is non-singular for absorbing chains (Perron-Frobenius; the
+  // paper cites [6] for the same fact about P'_n - I).
+  ZC_ASSERT(lu.has_value());
+  return *std::move(lu);
+}
+
+}  // namespace
+
+AbsorbingAnalysis::AbsorbingAnalysis(const Dtmc& chain)
+    : transient_(chain.non_absorbing_states()),
+      absorbing_(chain.absorbing_states()),
+      q_(extract_q(chain, transient_)),
+      r_(extract_r(chain, transient_, absorbing_)),
+      lu_(lu_of_i_minus(q_)),
+      n_(lu_.inverse()),
+      b_(lu_.solve(r_)) {
+  ZC_EXPECTS(!absorbing_.empty());
+  ZC_EXPECTS(is_absorbing_chain(chain));
+}
+
+std::size_t AbsorbingAnalysis::transient_position(std::size_t original) const {
+  const auto it =
+      std::lower_bound(transient_.begin(), transient_.end(), original);
+  ZC_EXPECTS(it != transient_.end() && *it == original);
+  return static_cast<std::size_t>(it - transient_.begin());
+}
+
+std::size_t AbsorbingAnalysis::absorbing_position(std::size_t original) const {
+  const auto it =
+      std::lower_bound(absorbing_.begin(), absorbing_.end(), original);
+  ZC_EXPECTS(it != absorbing_.end() && *it == original);
+  return static_cast<std::size_t>(it - absorbing_.begin());
+}
+
+double AbsorbingAnalysis::absorption_probability(std::size_t from,
+                                                 std::size_t into) const {
+  const std::size_t k = absorbing_position(into);
+  if (std::binary_search(absorbing_.begin(), absorbing_.end(), from))
+    return from == into ? 1.0 : 0.0;
+  return b_(transient_position(from), k);
+}
+
+linalg::Vector AbsorbingAnalysis::expected_steps() const {
+  const linalg::Vector ones(transient_.size(), 1.0);
+  return lu_.solve(ones);
+}
+
+double AbsorbingAnalysis::expected_visits(std::size_t from,
+                                          std::size_t to) const {
+  return n_(transient_position(from), transient_position(to));
+}
+
+linalg::Vector AbsorbingAnalysis::solve_transient(
+    const linalg::Vector& b) const {
+  ZC_EXPECTS(b.size() == transient_.size());
+  return lu_.solve(b);
+}
+
+}  // namespace zc::markov

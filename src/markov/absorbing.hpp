@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file absorbing.hpp
+/// Absorbing-chain analysis (Kulkarni [3] / Kemeny-Snell): partition the
+/// transition matrix into
+///
+///        | Q  R |
+///    P = |      |
+///        | 0  I |
+///
+/// and derive the fundamental matrix N = (I-Q)^{-1}, absorption
+/// probabilities B = N R (the paper's Sec. 5 computation), expected visit
+/// counts and expected steps to absorption.
+
+#include "linalg/lu.hpp"
+#include "markov/dtmc.hpp"
+
+namespace zc::markov {
+
+/// Analysis of one absorbing DTMC. Construction performs the LU
+/// factorization of (I-Q); queries are then cheap solves/lookups.
+class AbsorbingAnalysis {
+ public:
+  /// Preconditions: `chain` is an absorbing chain (every state reaches an
+  /// absorbing state; checked structurally).
+  explicit AbsorbingAnalysis(const Dtmc& chain);
+
+  /// Transient (non-absorbing) state indices, ascending.
+  [[nodiscard]] const std::vector<std::size_t>& transient_states() const {
+    return transient_;
+  }
+  /// Absorbing state indices, ascending.
+  [[nodiscard]] const std::vector<std::size_t>& absorbing_states() const {
+    return absorbing_;
+  }
+
+  /// Fundamental matrix N = (I-Q)^{-1}; N(i,j) is the expected number of
+  /// visits to transient state j starting from transient state i.
+  /// Indices are positions within transient_states().
+  [[nodiscard]] const linalg::Matrix& fundamental() const { return n_; }
+
+  /// B = N R: B(i, k) = probability of ultimate absorption in
+  /// absorbing_states()[k] starting from transient_states()[i].
+  [[nodiscard]] const linalg::Matrix& absorption_matrix() const { return b_; }
+
+  /// Absorption probability by *original* state indices.
+  [[nodiscard]] double absorption_probability(std::size_t from,
+                                              std::size_t into) const;
+
+  /// Expected number of steps to absorption from each transient state.
+  [[nodiscard]] linalg::Vector expected_steps() const;
+
+  /// Expected number of visits to transient state `to` from `from`
+  /// (original indices).
+  [[nodiscard]] double expected_visits(std::size_t from, std::size_t to) const;
+
+  /// Solve (I-Q) x = b for a caller-supplied right-hand side over the
+  /// transient states (used by reward analysis).
+  [[nodiscard]] linalg::Vector solve_transient(const linalg::Vector& b) const;
+
+  /// Q, the transient-to-transient sub-matrix.
+  [[nodiscard]] const linalg::Matrix& transient_matrix() const { return q_; }
+
+  /// R, the transient-to-absorbing sub-matrix.
+  [[nodiscard]] const linalg::Matrix& absorbing_jump_matrix() const {
+    return r_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t transient_position(std::size_t original) const;
+  [[nodiscard]] std::size_t absorbing_position(std::size_t original) const;
+
+  std::vector<std::size_t> transient_;
+  std::vector<std::size_t> absorbing_;
+  linalg::Matrix q_;
+  linalg::Matrix r_;
+  linalg::Lu lu_;       ///< LU of (I - Q)
+  linalg::Matrix n_;    ///< fundamental matrix
+  linalg::Matrix b_;    ///< absorption probabilities
+};
+
+}  // namespace zc::markov

@@ -1,0 +1,123 @@
+#include "markov/classify.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+
+namespace zc::markov {
+
+namespace {
+
+/// Iterative Tarjan SCC over the positive-probability adjacency of `p`.
+struct Tarjan {
+  const linalg::Matrix& p;
+  std::size_t n;
+  std::vector<std::size_t> index, lowlink;
+  std::vector<bool> on_stack, visited;
+  std::vector<std::size_t> stack;
+  std::vector<std::size_t> component;
+  std::size_t next_index = 0;
+  std::size_t num_components = 0;
+
+  explicit Tarjan(const linalg::Matrix& m)
+      : p(m),
+        n(m.rows()),
+        index(n, 0),
+        lowlink(n, 0),
+        on_stack(n, false),
+        visited(n, false),
+        component(n, 0) {}
+
+  void run() {
+    for (std::size_t v = 0; v < n; ++v)
+      if (!visited[v]) strong_connect(v);
+  }
+
+  // Explicit-stack DFS to avoid recursion-depth limits on large chains.
+  struct Frame {
+    std::size_t v;
+    std::size_t next_child;
+  };
+
+  void strong_connect(std::size_t root) {
+    std::vector<Frame> frames{{root, 0}};
+    enter(root);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      bool descended = false;
+      while (f.next_child < n) {
+        const std::size_t w = f.next_child++;
+        if (p(f.v, w) <= 0.0) continue;
+        if (!visited[w]) {
+          enter(w);
+          frames.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+      }
+      if (descended) continue;
+      // Finished v: pop component if v is a root.
+      const std::size_t v = f.v;
+      frames.pop_back();
+      if (!frames.empty())
+        lowlink[frames.back().v] = std::min(lowlink[frames.back().v],
+                                            lowlink[v]);
+      if (lowlink[v] == index[v]) {
+        while (true) {
+          const std::size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          component[w] = num_components;
+          if (w == v) break;
+        }
+        ++num_components;
+      }
+    }
+  }
+
+  void enter(std::size_t v) {
+    visited[v] = true;
+    index[v] = lowlink[v] = next_index++;
+    stack.push_back(v);
+    on_stack[v] = true;
+  }
+};
+
+}  // namespace
+
+Classification classify(const Dtmc& chain) {
+  Tarjan tarjan(chain.transition_matrix());
+  tarjan.run();
+
+  const std::size_t n = chain.num_states();
+  Classification out;
+  out.component = std::move(tarjan.component);
+  out.num_components = tarjan.num_components;
+
+  // An SCC is closed iff no member has a positive-probability edge to a
+  // state in a different SCC.
+  std::vector<bool> closed(out.num_components, true);
+  const auto& p = chain.transition_matrix();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (p(i, j) > 0.0 && out.component[i] != out.component[j])
+        closed[out.component[i]] = false;
+
+  out.recurrent.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.recurrent[i] = closed[out.component[i]];
+  return out;
+}
+
+bool is_absorbing_chain(const Dtmc& chain) {
+  const Classification cls = classify(chain);
+  for (std::size_t i = 0; i < chain.num_states(); ++i)
+    if (cls.recurrent[i] && !chain.is_absorbing(i)) return false;
+  // Every recurrent state is absorbing. Since every finite chain reaches a
+  // recurrent class with probability 1, every state reaches an absorbing
+  // state; additionally require at least one absorbing state to exist.
+  return !chain.absorbing_states().empty();
+}
+
+}  // namespace zc::markov

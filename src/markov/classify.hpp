@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file classify.hpp
+/// Structural classification of DTMC states into transient and recurrent
+/// via strongly-connected components (Tarjan). A state is recurrent iff
+/// its SCC has no edge leaving the component.
+
+#include <vector>
+
+#include "markov/dtmc.hpp"
+
+namespace zc::markov {
+
+/// Result of the SCC-based classification.
+struct Classification {
+  /// component[i]: SCC index of state i; components are numbered in
+  /// reverse topological order (an SCC only reaches SCCs with lower or
+  /// equal index... see classify() docs).
+  std::vector<std::size_t> component;
+  std::size_t num_components = 0;
+  /// recurrent[i]: true iff state i lies in a closed (bottom) SCC.
+  std::vector<bool> recurrent;
+
+  [[nodiscard]] bool is_transient(std::size_t i) const {
+    return !recurrent[i];
+  }
+};
+
+/// Classify all states of `chain`. Component indices follow Tarjan's
+/// completion order, which is a reverse topological order of the
+/// condensation: every edge between distinct SCCs goes from a higher
+/// component index to a lower one.
+[[nodiscard]] Classification classify(const Dtmc& chain);
+
+/// True iff the chain is *absorbing* in the textbook sense: every state
+/// can reach some absorbing state (equivalently, every recurrent class is
+/// a single absorbing state).
+[[nodiscard]] bool is_absorbing_chain(const Dtmc& chain);
+
+}  // namespace zc::markov

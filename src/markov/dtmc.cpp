@@ -1,0 +1,75 @@
+#include "markov/dtmc.hpp"
+
+#include <cmath>
+
+#include "common/contract.hpp"
+#include "numerics/kahan.hpp"
+
+namespace zc::markov {
+
+Dtmc::Dtmc(linalg::Matrix p, std::vector<std::string> state_names,
+           double row_sum_tol)
+    : p_(std::move(p)), names_(std::move(state_names)) {
+  ZC_EXPECTS(p_.square());
+  ZC_EXPECTS(p_.rows() > 0);
+  ZC_EXPECTS(names_.empty() || names_.size() == p_.rows());
+
+  constexpr double kEntryTol = 1e-12;
+  for (std::size_t i = 0; i < p_.rows(); ++i) {
+    numerics::KahanSum row_sum;
+    for (std::size_t j = 0; j < p_.cols(); ++j) {
+      const double v = p_(i, j);
+      ZC_EXPECTS(v >= -kEntryTol && v <= 1.0 + kEntryTol);
+      row_sum.add(v);
+    }
+    ZC_EXPECTS(std::fabs(row_sum.value() - 1.0) <= row_sum_tol);
+  }
+
+  if (names_.empty()) {
+    names_.reserve(p_.rows());
+    for (std::size_t i = 0; i < p_.rows(); ++i)
+      names_.push_back("s" + std::to_string(i));
+  }
+}
+
+bool Dtmc::is_absorbing(std::size_t i) const {
+  ZC_EXPECTS(i < num_states());
+  return p_(i, i) == 1.0;
+}
+
+std::vector<std::size_t> Dtmc::absorbing_states() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < num_states(); ++i)
+    if (is_absorbing(i)) out.push_back(i);
+  return out;
+}
+
+std::vector<std::size_t> Dtmc::non_absorbing_states() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < num_states(); ++i)
+    if (!is_absorbing(i)) out.push_back(i);
+  return out;
+}
+
+std::vector<std::size_t> Dtmc::reachable_from(std::size_t from) const {
+  ZC_EXPECTS(from < num_states());
+  std::vector<bool> seen(num_states(), false);
+  std::vector<std::size_t> stack{from};
+  seen[from] = true;
+  while (!stack.empty()) {
+    const std::size_t s = stack.back();
+    stack.pop_back();
+    for (std::size_t j = 0; j < num_states(); ++j) {
+      if (!seen[j] && p_(s, j) > 0.0) {
+        seen[j] = true;
+        stack.push_back(j);
+      }
+    }
+  }
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < num_states(); ++i)
+    if (seen[i]) out.push_back(i);
+  return out;
+}
+
+}  // namespace zc::markov

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file dtmc.hpp
+/// Discrete-time Markov chains over a finite state space: validated
+/// stochastic matrix plus optional state names. The substrate underneath
+/// the paper's DRM family (Sec. 3.1 / 4.1).
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace zc::markov {
+
+/// A finite DTMC. Immutable after construction; value semantics.
+class Dtmc {
+ public:
+  /// Construct from a row-stochastic matrix. Preconditions: `p` square,
+  /// entries in [-eps, 1+eps], every row sums to 1 within `row_sum_tol`.
+  /// \param state_names optional; empty means auto-names "s0", "s1", ...
+  explicit Dtmc(linalg::Matrix p, std::vector<std::string> state_names = {},
+                double row_sum_tol = 1e-9);
+
+  [[nodiscard]] std::size_t num_states() const noexcept { return p_.rows(); }
+  [[nodiscard]] const linalg::Matrix& transition_matrix() const noexcept {
+    return p_;
+  }
+  [[nodiscard]] double probability(std::size_t from, std::size_t to) const {
+    return p_(from, to);
+  }
+
+  [[nodiscard]] const std::string& state_name(std::size_t i) const {
+    ZC_EXPECTS(i < names_.size());
+    return names_[i];
+  }
+
+  /// State `i` is absorbing iff p(i,i) = 1.
+  [[nodiscard]] bool is_absorbing(std::size_t i) const;
+
+  /// Indices of all absorbing states, ascending.
+  [[nodiscard]] std::vector<std::size_t> absorbing_states() const;
+
+  /// Indices of all non-absorbing states, ascending.
+  [[nodiscard]] std::vector<std::size_t> non_absorbing_states() const;
+
+  /// States reachable from `from` (including itself) via positive-
+  /// probability paths.
+  [[nodiscard]] std::vector<std::size_t> reachable_from(std::size_t from) const;
+
+ private:
+  linalg::Matrix p_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace zc::markov

@@ -1,0 +1,124 @@
+#include "markov/phase_type.hpp"
+
+#include <cmath>
+
+#include "common/contract.hpp"
+#include "numerics/kahan.hpp"
+
+namespace zc::markov {
+
+namespace {
+
+linalg::Lu lu_of_i_minus(const linalg::Matrix& q) {
+  auto lu = linalg::Lu::decompose(linalg::Matrix::identity(q.rows()) - q);
+  ZC_EXPECTS(lu.has_value());  // (I-Q) regular <=> no closed transient class
+  return *std::move(lu);
+}
+
+}  // namespace
+
+DiscretePhaseType::DiscretePhaseType(linalg::Vector alpha, linalg::Matrix q)
+    : alpha_(std::move(alpha)), q_(std::move(q)), lu_(lu_of_i_minus(q_)) {
+  ZC_EXPECTS(q_.square());
+  ZC_EXPECTS(alpha_.size() == q_.rows());
+  constexpr double kTol = 1e-12;
+  numerics::KahanSum alpha_sum;
+  for (const double a : alpha_) {
+    ZC_EXPECTS(a >= -kTol);
+    alpha_sum.add(a);
+  }
+  ZC_EXPECTS(alpha_sum.value() <= 1.0 + 1e-9);
+
+  exit_.assign(q_.rows(), 0.0);
+  for (std::size_t i = 0; i < q_.rows(); ++i) {
+    numerics::KahanSum row;
+    for (std::size_t j = 0; j < q_.cols(); ++j) {
+      ZC_EXPECTS(q_(i, j) >= -kTol);
+      row.add(q_(i, j));
+    }
+    ZC_EXPECTS(row.value() <= 1.0 + 1e-9);
+    exit_[i] = 1.0 - row.value();
+  }
+}
+
+DiscretePhaseType DiscretePhaseType::absorption_time(const Dtmc& chain,
+                                                     std::size_t from) {
+  ZC_EXPECTS(from < chain.num_states());
+  const auto transient = chain.non_absorbing_states();
+  linalg::Matrix q(transient.size(), transient.size());
+  for (std::size_t i = 0; i < transient.size(); ++i)
+    for (std::size_t j = 0; j < transient.size(); ++j)
+      q(i, j) = chain.probability(transient[i], transient[j]);
+  linalg::Vector alpha(transient.size(), 0.0);
+  for (std::size_t i = 0; i < transient.size(); ++i)
+    if (transient[i] == from) alpha[i] = 1.0;
+  // `from` absorbing => alpha all-zero => atom at K = 0, as it should be.
+  return DiscretePhaseType(std::move(alpha), std::move(q));
+}
+
+double DiscretePhaseType::pmf(std::size_t k) const {
+  if (k == 0) {
+    numerics::KahanSum mass;
+    for (const double a : alpha_) mass.add(a);
+    return 1.0 - mass.value();
+  }
+  linalg::Vector row = alpha_;
+  for (std::size_t step = 1; step < k; ++step)
+    row = linalg::mul_left(row, q_);
+  return linalg::dot(row, exit_);
+}
+
+double DiscretePhaseType::cdf(std::size_t k) const {
+  numerics::KahanSum acc;
+  acc.add(pmf(0));
+  linalg::Vector row = alpha_;
+  for (std::size_t step = 1; step <= k; ++step) {
+    acc.add(linalg::dot(row, exit_));
+    row = linalg::mul_left(row, q_);
+  }
+  return std::min(1.0, acc.value());
+}
+
+std::vector<double> DiscretePhaseType::pmf_prefix(std::size_t k_max) const {
+  std::vector<double> out(k_max + 1);
+  out[0] = pmf(0);
+  linalg::Vector row = alpha_;
+  for (std::size_t k = 1; k <= k_max; ++k) {
+    out[k] = linalg::dot(row, exit_);
+    row = linalg::mul_left(row, q_);
+  }
+  return out;
+}
+
+double DiscretePhaseType::mean() const {
+  // E[K] = alpha N 1: solve (I - Q) x = 1, then dot with alpha.
+  const linalg::Vector ones(q_.rows(), 1.0);
+  return linalg::dot(alpha_, lu_.solve(ones));
+}
+
+double DiscretePhaseType::variance() const {
+  const linalg::Vector ones(q_.rows(), 1.0);
+  const linalg::Vector n_ones = lu_.solve(ones);        // N 1
+  const linalg::Vector qn_ones = q_ * n_ones;           // Q N 1
+  const linalg::Vector nqn_ones = lu_.solve(qn_ones);   // N Q N 1
+  const double m1 = linalg::dot(alpha_, n_ones);
+  const double factorial2 = 2.0 * linalg::dot(alpha_, nqn_ones);
+  const double m2 = factorial2 + m1;
+  return std::max(0.0, m2 - m1 * m1);
+}
+
+std::size_t DiscretePhaseType::quantile(double p) const {
+  ZC_EXPECTS(0.0 <= p && p < 1.0);
+  numerics::KahanSum acc;
+  acc.add(pmf(0));
+  if (acc.value() >= p && acc.value() > 0.0) return 0;
+  linalg::Vector row = alpha_;
+  for (std::size_t k = 1;; ++k) {
+    acc.add(linalg::dot(row, exit_));
+    if (acc.value() >= p && acc.value() > 0.0) return k;
+    row = linalg::mul_left(row, q_);
+    // cdf -> 1 geometrically; p < 1 guarantees termination.
+  }
+}
+
+}  // namespace zc::markov

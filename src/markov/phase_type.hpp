@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file phase_type.hpp
+/// Discrete phase-type (DPH) distributions: the law of the absorption
+/// time of a DTMC with one absorbing super-state. The zeroconf DRM's
+/// step count (and, per-attempt, its probe count) is exactly DPH;
+/// exposing the machinery makes absorption-*time* laws available next to
+/// the absorption-*probability* analysis of absorbing.hpp.
+///
+///   P(K = k) = alpha Q^{k-1} (I - Q) 1,   k = 1, 2, ...
+///   E[K]     = alpha N 1,                 N = (I - Q)^{-1}
+///   E[K(K-1)] = 2 alpha N Q N 1
+
+#include "linalg/lu.hpp"
+#include "markov/dtmc.hpp"
+
+namespace zc::markov {
+
+/// A discrete phase-type distribution.
+class DiscretePhaseType {
+ public:
+  /// \param alpha  initial distribution over the transient phases; may
+  ///               sum to less than 1 (the deficit is an atom at K = 0,
+  ///               i.e. immediate absorption).
+  /// \param q      substochastic transient matrix: rows sum to <= 1 and
+  ///               (I - Q) must be invertible.
+  DiscretePhaseType(linalg::Vector alpha, linalg::Matrix q);
+
+  /// Build from an absorbing DTMC started in state `from`: the law of
+  /// the number of steps until absorption (in any absorbing state).
+  [[nodiscard]] static DiscretePhaseType absorption_time(const Dtmc& chain,
+                                                         std::size_t from);
+
+  [[nodiscard]] std::size_t num_phases() const { return q_.rows(); }
+
+  /// P(K = k); pmf(0) is the initial deficit 1 - sum(alpha).
+  [[nodiscard]] double pmf(std::size_t k) const;
+
+  /// P(K <= k).
+  [[nodiscard]] double cdf(std::size_t k) const;
+
+  /// pmf(0..k_max) in one forward sweep (O(k_max * phases^2)).
+  [[nodiscard]] std::vector<double> pmf_prefix(std::size_t k_max) const;
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;
+
+  /// Smallest k with cdf(k) >= p; p in [0, 1).
+  [[nodiscard]] std::size_t quantile(double p) const;
+
+ private:
+  linalg::Vector alpha_;
+  linalg::Matrix q_;
+  linalg::Vector exit_;  ///< (I - Q) 1, per-phase absorption probability
+  linalg::Lu lu_;        ///< LU of (I - Q)
+};
+
+}  // namespace zc::markov

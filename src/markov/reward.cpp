@@ -1,0 +1,138 @@
+#include "markov/reward.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+
+namespace zc::markov {
+
+MarkovRewardModel::MarkovRewardModel(Dtmc chain, linalg::Matrix rewards)
+    : chain_(std::move(chain)),
+      rewards_(std::move(rewards)),
+      analysis_(chain_) {
+  ZC_EXPECTS(rewards_.rows() == chain_.num_states());
+  ZC_EXPECTS(rewards_.cols() == chain_.num_states());
+  // Zero reward wherever there is no transition, and zero self-loop reward
+  // on absorbing states (finiteness of the total reward).
+  for (std::size_t i = 0; i < chain_.num_states(); ++i) {
+    for (std::size_t j = 0; j < chain_.num_states(); ++j) {
+      if (chain_.probability(i, j) == 0.0) ZC_EXPECTS(rewards_(i, j) == 0.0);
+    }
+    if (chain_.is_absorbing(i)) ZC_EXPECTS(rewards_(i, i) == 0.0);
+  }
+}
+
+linalg::Vector MarkovRewardModel::one_step_reward() const {
+  const auto& transient = analysis_.transient_states();
+  linalg::Vector w(transient.size(), 0.0);
+  for (std::size_t i = 0; i < transient.size(); ++i) {
+    const std::size_t s = transient[i];
+    double acc = 0.0;
+    for (std::size_t j = 0; j < chain_.num_states(); ++j)
+      acc += chain_.probability(s, j) * rewards_(s, j);
+    w[i] = acc;
+  }
+  return w;
+}
+
+linalg::Vector MarkovRewardModel::expected_total_reward() const {
+  // a = Qa + w  <=>  (I-Q) a = w  — the paper's Eq. (2).
+  return analysis_.solve_transient(one_step_reward());
+}
+
+double MarkovRewardModel::expected_total_reward(std::size_t from) const {
+  ZC_EXPECTS(from < chain_.num_states());
+  if (chain_.is_absorbing(from)) return 0.0;
+  const auto& transient = analysis_.transient_states();
+  const auto it = std::lower_bound(transient.begin(), transient.end(), from);
+  const auto pos = static_cast<std::size_t>(it - transient.begin());
+  return expected_total_reward()[pos];
+}
+
+linalg::Vector MarkovRewardModel::second_moment_total_reward() const {
+  // T_i = c_{iJ} + T_J with J ~ P(i, .). Conditioning on the first step:
+  //   E[T_i^2] = sum_j p_ij (c_ij^2 + 2 c_ij E[T_j] + E[T_j^2])
+  // which is again a linear system (I-Q) m2 = u with
+  //   u_i = sum_j p_ij (c_ij^2 + 2 c_ij m1_j),   m1_j = 0 for absorbing j.
+  const auto& transient = analysis_.transient_states();
+  const linalg::Vector m1 = expected_total_reward();
+
+  // m1 by original index for convenient lookup.
+  linalg::Vector m1_full(chain_.num_states(), 0.0);
+  for (std::size_t i = 0; i < transient.size(); ++i)
+    m1_full[transient[i]] = m1[i];
+
+  linalg::Vector u(transient.size(), 0.0);
+  for (std::size_t i = 0; i < transient.size(); ++i) {
+    const std::size_t s = transient[i];
+    double acc = 0.0;
+    for (std::size_t j = 0; j < chain_.num_states(); ++j) {
+      const double p = chain_.probability(s, j);
+      if (p == 0.0) continue;
+      const double c = rewards_(s, j);
+      acc += p * (c * c + 2.0 * c * m1_full[j]);
+    }
+    u[i] = acc;
+  }
+  return analysis_.solve_transient(u);
+}
+
+linalg::Vector MarkovRewardModel::variance_total_reward() const {
+  const linalg::Vector m1 = expected_total_reward();
+  linalg::Vector m2 = second_moment_total_reward();
+  for (std::size_t i = 0; i < m2.size(); ++i) {
+    m2[i] -= m1[i] * m1[i];
+    // Cancellation can leave a tiny negative variance; clamp.
+    if (m2[i] < 0.0) m2[i] = 0.0;
+  }
+  return m2;
+}
+
+double MarkovRewardModel::variance_total_reward(std::size_t from) const {
+  ZC_EXPECTS(from < chain_.num_states());
+  if (chain_.is_absorbing(from)) return 0.0;
+  const auto& transient = analysis_.transient_states();
+  const auto it = std::lower_bound(transient.begin(), transient.end(), from);
+  const auto pos = static_cast<std::size_t>(it - transient.begin());
+  return variance_total_reward()[pos];
+}
+
+double MarkovRewardModel::expected_total_reward_given_absorption(
+    std::size_t from, std::size_t into) const {
+  ZC_EXPECTS(from < chain_.num_states());
+  ZC_EXPECTS(chain_.is_absorbing(into));
+  if (chain_.is_absorbing(from)) {
+    ZC_EXPECTS(from == into);  // conditioning event must have mass
+    return 0.0;
+  }
+
+  // b_j(into) by original index.
+  const std::size_t n = chain_.num_states();
+  linalg::Vector b(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (chain_.is_absorbing(j)) {
+      b[j] = (j == into) ? 1.0 : 0.0;
+    } else {
+      b[j] = analysis_.absorption_probability(j, into);
+    }
+  }
+  ZC_EXPECTS(b[from] > 0.0);
+
+  // y_i = E[T 1{absorb in into}] solves y = Q y + u with
+  // u_i = sum_j p_ij c_ij b_j.
+  const auto& transient = analysis_.transient_states();
+  linalg::Vector u(transient.size(), 0.0);
+  for (std::size_t i = 0; i < transient.size(); ++i) {
+    const std::size_t s = transient[i];
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+      acc += chain_.probability(s, j) * rewards_(s, j) * b[j];
+    u[i] = acc;
+  }
+  const linalg::Vector y = analysis_.solve_transient(u);
+  const auto it = std::lower_bound(transient.begin(), transient.end(), from);
+  const auto pos = static_cast<std::size_t>(it - transient.begin());
+  return y[pos] / b[from];
+}
+
+}  // namespace zc::markov

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file reward.hpp
+/// Markov reward models: a DTMC plus per-transition rewards (the paper's
+/// cost interpretation, Sec. 3.1/3.3). Provides the mean total accumulated
+/// reward until absorption — the paper's Eq. (2) — and, beyond the paper,
+/// the second moment and variance of the total reward.
+
+#include "markov/absorbing.hpp"
+#include "markov/dtmc.hpp"
+
+namespace zc::markov {
+
+/// A DTMC with rewards attached to transitions. Rewards on the diagonal of
+/// absorbing states must be zero, otherwise the total reward diverges
+/// (the paper makes the same restriction on C_n).
+class MarkovRewardModel {
+ public:
+  /// \param chain    an absorbing DTMC
+  /// \param rewards  same shape as the transition matrix; rewards[i][j] is
+  ///                 earned on traversing i -> j.
+  MarkovRewardModel(Dtmc chain, linalg::Matrix rewards);
+
+  [[nodiscard]] const Dtmc& chain() const noexcept { return chain_; }
+  [[nodiscard]] const linalg::Matrix& rewards() const noexcept {
+    return rewards_;
+  }
+  [[nodiscard]] const AbsorbingAnalysis& analysis() const noexcept {
+    return analysis_;
+  }
+
+  /// Mean total accumulated reward from each transient state until
+  /// absorption: solves a = Q a + w, i.e. the paper's Eq. (2).
+  /// Indexed by position within analysis().transient_states().
+  [[nodiscard]] linalg::Vector expected_total_reward() const;
+
+  /// Mean total reward starting from the given *original* state index.
+  /// Zero for absorbing states.
+  [[nodiscard]] double expected_total_reward(std::size_t from) const;
+
+  /// Second moment E[T^2] of the total reward from each transient state.
+  /// (Extension beyond the paper, which reports only means.)
+  [[nodiscard]] linalg::Vector second_moment_total_reward() const;
+
+  /// Var[T] from each transient state.
+  [[nodiscard]] linalg::Vector variance_total_reward() const;
+
+  /// Var[T] from the given original state index (0 for absorbing states).
+  [[nodiscard]] double variance_total_reward(std::size_t from) const;
+
+  /// E[T | ultimately absorbed in `into`], starting from original state
+  /// `from`. Solves the restricted system
+  ///   y = (I-Q)^{-1} u,  u_i = sum_j p_ij c_ij b_j(into),
+  /// where b_j(into) is the absorption probability into `into`, and
+  /// returns y / b(from). Requires P(absorb in `into` | from) > 0.
+  [[nodiscard]] double expected_total_reward_given_absorption(
+      std::size_t from, std::size_t into) const;
+
+ private:
+  /// w_i = sum_j p_ij * rewards_ij over *all* states j.
+  [[nodiscard]] linalg::Vector one_step_reward() const;
+
+  Dtmc chain_;
+  linalg::Matrix rewards_;
+  AbsorbingAnalysis analysis_;
+};
+
+}  // namespace zc::markov

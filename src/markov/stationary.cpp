@@ -1,0 +1,40 @@
+#include "markov/stationary.hpp"
+
+#include "common/contract.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/norms.hpp"
+
+namespace zc::markov {
+
+std::optional<linalg::Vector> stationary_power(const Dtmc& chain,
+                                               const StationaryOptions& opts) {
+  const std::size_t n = chain.num_states();
+  linalg::Vector pi(n, 1.0 / static_cast<double>(n));
+  for (std::size_t it = 0; it < opts.max_iter; ++it) {
+    linalg::Vector next = linalg::mul_left(pi, chain.transition_matrix());
+    const double diff = linalg::max_abs_diff(next, pi);
+    pi = std::move(next);
+    if (diff <= opts.tol) return pi;
+  }
+  return std::nullopt;
+}
+
+linalg::Vector stationary_direct(const Dtmc& chain) {
+  // Solve A^T x = b where A is (P - I) with its last column replaced by
+  // ones (normalization), i.e. pi A = (0, ..., 0, 1).
+  const std::size_t n = chain.num_states();
+  linalg::Matrix at(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double a_ij = (j + 1 == n)
+                              ? 1.0
+                              : chain.probability(i, j) - (i == j ? 1.0 : 0.0);
+      at(j, i) = a_ij;
+    }
+  }
+  linalg::Vector rhs(n, 0.0);
+  rhs[n - 1] = 1.0;
+  return linalg::solve(at, rhs);
+}
+
+}  // namespace zc::markov

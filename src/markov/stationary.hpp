@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file stationary.hpp
+/// Stationary distributions of irreducible DTMCs (power iteration and a
+/// direct linear-solve). Not needed for the zeroconf DRM itself (which is
+/// absorbing) but part of a complete Markov substrate; used by tests and
+/// by the network-maintenance example.
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+#include "markov/dtmc.hpp"
+
+namespace zc::markov {
+
+/// Options for iterative stationary solvers.
+struct StationaryOptions {
+  double tol = 1e-12;        ///< L-inf tolerance on successive iterates
+  std::size_t max_iter = 100000;
+};
+
+/// Power iteration on pi <- pi P from the uniform distribution. Returns
+/// nullopt when it fails to converge (e.g. periodic chains).
+[[nodiscard]] std::optional<linalg::Vector> stationary_power(
+    const Dtmc& chain, const StationaryOptions& opts = {});
+
+/// Direct solve of pi (P - I) = 0 with the normalization sum(pi)=1
+/// replacing one equation. Works for any irreducible chain including
+/// periodic ones.
+[[nodiscard]] linalg::Vector stationary_direct(const Dtmc& chain);
+
+}  // namespace zc::markov

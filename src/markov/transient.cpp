@@ -1,0 +1,66 @@
+#include "markov/transient.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+#include "numerics/kahan.hpp"
+
+namespace zc::markov {
+
+linalg::Vector distribution_after(const Dtmc& chain,
+                                  const linalg::Vector& initial,
+                                  std::size_t steps) {
+  ZC_EXPECTS(initial.size() == chain.num_states());
+  linalg::Vector dist = initial;
+  for (std::size_t k = 0; k < steps; ++k)
+    dist = linalg::mul_left(dist, chain.transition_matrix());
+  return dist;
+}
+
+double k_step_probability(const Dtmc& chain, std::size_t from, std::size_t to,
+                          std::size_t steps) {
+  ZC_EXPECTS(from < chain.num_states());
+  ZC_EXPECTS(to < chain.num_states());
+  linalg::Vector initial(chain.num_states(), 0.0);
+  initial[from] = 1.0;
+  return distribution_after(chain, initial, steps)[to];
+}
+
+double absorbed_within(const Dtmc& chain, std::size_t from, std::size_t into,
+                       std::size_t horizon) {
+  ZC_EXPECTS(chain.is_absorbing(into));
+  // Once in `into` the chain stays there, so the k-step probability of
+  // being in `into` *is* the cumulative absorption probability.
+  return k_step_probability(chain, from, into, horizon);
+}
+
+double absorption_series(const Dtmc& chain, std::size_t from, std::size_t into,
+                         std::size_t horizon) {
+  ZC_EXPECTS(chain.is_absorbing(into));
+  const auto transient = chain.non_absorbing_states();
+  const auto it = std::lower_bound(transient.begin(), transient.end(), from);
+  ZC_EXPECTS(it != transient.end() && *it == from);
+
+  // Restrict to transient states: row vector iterated through P', dotted
+  // with the one-step absorption column each step.
+  const std::size_t m = transient.size();
+  linalg::Vector row(m, 0.0);
+  row[static_cast<std::size_t>(it - transient.begin())] = 1.0;
+
+  linalg::Matrix p_prime(m, m);
+  linalg::Vector into_col(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j)
+      p_prime(i, j) = chain.probability(transient[i], transient[j]);
+    into_col[i] = chain.probability(transient[i], into);
+  }
+
+  numerics::KahanSum total;
+  for (std::size_t k = 1; k <= horizon; ++k) {
+    total.add(linalg::dot(row, into_col));
+    row = linalg::mul_left(row, p_prime);
+  }
+  return total.value();
+}
+
+}  // namespace zc::markov

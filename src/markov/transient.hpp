@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file transient.hpp
+/// Transient (finite-horizon) analysis of DTMCs: k-step state
+/// distributions and cumulative absorption over time. Used to cross-check
+/// the closed-form absorption probabilities (Sec. 5 expresses them as the
+/// series  s (P')^{k-1} e  — we actually sum that series here).
+
+#include "linalg/matrix.hpp"
+#include "markov/dtmc.hpp"
+
+namespace zc::markov {
+
+/// Distribution after exactly `steps` steps from initial distribution
+/// `initial` (size = num_states, sums to 1).
+[[nodiscard]] linalg::Vector distribution_after(const Dtmc& chain,
+                                                const linalg::Vector& initial,
+                                                std::size_t steps);
+
+/// P(chain started in `from` is in state `to` after exactly `steps` steps).
+[[nodiscard]] double k_step_probability(const Dtmc& chain, std::size_t from,
+                                        std::size_t to, std::size_t steps);
+
+/// Cumulative probability of having been absorbed in state `into` within
+/// `horizon` steps, starting from `from`. Converges to the closed-form
+/// absorption probability as horizon grows.
+[[nodiscard]] double absorbed_within(const Dtmc& chain, std::size_t from,
+                                     std::size_t into, std::size_t horizon);
+
+/// Partial sum of the paper's Sec. 5 series: sum_{k=1}^{horizon}
+/// s (P')^{k-1} v, where s selects `from` among the transient states and v
+/// is the one-step absorption column into `into`. Identical in the limit
+/// to absorbed_within; exposed separately to test the series formulation.
+[[nodiscard]] double absorption_series(const Dtmc& chain, std::size_t from,
+                                       std::size_t into, std::size_t horizon);
+
+}  // namespace zc::markov

@@ -1,0 +1,38 @@
+#include "numerics/derivative.hpp"
+
+#include <cmath>
+
+namespace zc::numerics {
+
+namespace {
+double step_for(double x, double rel_step) {
+  const double scale = std::max(std::fabs(x), 1.0);
+  // Snap the step so that x+h and x-h are exactly representable around x,
+  // removing one source of cancellation error.
+  volatile double h = rel_step * scale;
+  const volatile double xph = x + h;
+  return xph - x;
+}
+}  // namespace
+
+double central_derivative(const std::function<double(double)>& f, double x,
+                          double rel_step) {
+  const double h = step_for(x, rel_step);
+  return (f(x + h) - f(x - h)) / (2.0 * h);
+}
+
+double richardson_derivative(const std::function<double(double)>& f, double x,
+                             double rel_step) {
+  const double h = step_for(x, rel_step);
+  const double d_h = (f(x + h) - f(x - h)) / (2.0 * h);
+  const double d_h2 = (f(x + h / 2.0) - f(x - h / 2.0)) / h;
+  return (4.0 * d_h2 - d_h) / 3.0;
+}
+
+double second_derivative(const std::function<double(double)>& f, double x,
+                         double rel_step) {
+  const double h = step_for(x, rel_step);
+  return (f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h);
+}
+
+}  // namespace zc::numerics

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file derivative.hpp
+/// Finite-difference derivatives with Richardson extrapolation; used for
+/// stationarity conditions (C_n'(r) = 0) and local sensitivity analysis.
+
+#include <functional>
+
+namespace zc::numerics {
+
+/// Central-difference first derivative with a step proportional to |x|.
+[[nodiscard]] double central_derivative(const std::function<double(double)>& f,
+                                        double x, double rel_step = 1e-6);
+
+/// Richardson-extrapolated central difference (two step sizes); roughly two
+/// extra digits over a single central difference.
+[[nodiscard]] double richardson_derivative(
+    const std::function<double(double)>& f, double x, double rel_step = 1e-5);
+
+/// Central second derivative.
+[[nodiscard]] double second_derivative(const std::function<double(double)>& f,
+                                       double x, double rel_step = 1e-4);
+
+}  // namespace zc::numerics

@@ -1,0 +1,41 @@
+#include "numerics/grid.hpp"
+
+#include <cmath>
+
+#include "common/contract.hpp"
+
+namespace zc::numerics {
+
+std::vector<double> linspace(double lo, double hi, std::size_t count) {
+  ZC_EXPECTS(count >= 2);
+  ZC_EXPECTS(lo <= hi);
+  std::vector<double> out(count);
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i)
+    out[i] = lo + static_cast<double>(i) * step;
+  out.back() = hi;  // avoid accumulated rounding on the endpoint
+  return out;
+}
+
+std::vector<double> logspace(double lo, double hi, std::size_t count) {
+  ZC_EXPECTS(count >= 2);
+  ZC_EXPECTS(0.0 < lo && lo < hi);
+  std::vector<double> out(count);
+  const double log_lo = std::log(lo);
+  const double step = (std::log(hi) - log_lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i)
+    out[i] = std::exp(log_lo + static_cast<double>(i) * step);
+  out.front() = lo;  // exp(log(lo)) need not round-trip exactly
+  out.back() = hi;
+  return out;
+}
+
+std::vector<double> midpoints(const std::vector<double>& grid) {
+  ZC_EXPECTS(grid.size() >= 2);
+  std::vector<double> out(grid.size() - 1);
+  for (std::size_t i = 0; i + 1 < grid.size(); ++i)
+    out[i] = 0.5 * (grid[i] + grid[i + 1]);
+  return out;
+}
+
+}  // namespace zc::numerics

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file grid.hpp
+/// 1-D sampling grids used by the plotting benches and the coarse phase of
+/// the optimizers.
+
+#include <vector>
+
+namespace zc::numerics {
+
+/// `count` points evenly spaced over [lo, hi] inclusive; count >= 2.
+[[nodiscard]] std::vector<double> linspace(double lo, double hi,
+                                           std::size_t count);
+
+/// `count` points geometrically spaced over [lo, hi] inclusive;
+/// requires 0 < lo < hi, count >= 2.
+[[nodiscard]] std::vector<double> logspace(double lo, double hi,
+                                           std::size_t count);
+
+/// Midpoints of consecutive grid entries (size = grid.size() - 1).
+[[nodiscard]] std::vector<double> midpoints(const std::vector<double>& grid);
+
+}  // namespace zc::numerics

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file kahan.hpp
+/// Compensated (Kahan-Neumaier) summation for accurately accumulating
+/// long series of floating-point terms of mixed magnitude.
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+namespace zc::numerics {
+
+/// Running compensated sum (Neumaier's variant, robust when the next term
+/// is larger than the running sum).
+class KahanSum {
+ public:
+  void add(double value) noexcept {
+    const double t = sum_ + value;
+    if (std::abs(sum_) >= std::abs(value)) {
+      compensation_ += (sum_ - t) + value;
+    } else {
+      compensation_ += (value - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  KahanSum& operator+=(double value) noexcept {
+    add(value);
+    return *this;
+  }
+
+  [[nodiscard]] double value() const noexcept { return sum_ + compensation_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// Compensated sum of a range.
+[[nodiscard]] inline double kahan_sum(std::span<const double> values) noexcept {
+  KahanSum acc;
+  for (double v : values) acc.add(v);
+  return acc.value();
+}
+
+}  // namespace zc::numerics

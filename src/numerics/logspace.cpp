@@ -1,0 +1,39 @@
+#include "numerics/logspace.hpp"
+
+#include <algorithm>
+
+#include "numerics/kahan.hpp"
+
+namespace zc::numerics {
+
+double log_add_exp(double a, double b) noexcept {
+  if (a == kLogZero) return b;
+  if (b == kLogZero) return a;
+  const double hi = std::max(a, b);
+  const double lo = std::min(a, b);
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+double log_sum_exp(std::span<const double> xs) noexcept {
+  double hi = kLogZero;
+  for (double x : xs) hi = std::max(hi, x);
+  if (hi == kLogZero) return kLogZero;
+  KahanSum acc;
+  for (double x : xs) acc.add(std::exp(x - hi));
+  return hi + std::log(acc.value());
+}
+
+double log1m_exp(double x) noexcept {
+  // For x in (-ln 2, 0]: log(-expm1(x)) is accurate; below: log1p(-exp(x)).
+  if (x >= 0.0) return kLogZero;  // 1 - exp(x) <= 0: treat as log(0)
+  constexpr double kLn2 = 0.6931471805599453;
+  if (x > -kLn2) return std::log(-std::expm1(x));
+  return std::log1p(-std::exp(x));
+}
+
+double log1p_exp(double x) noexcept {
+  if (x > 0.0) return x + std::log1p(std::exp(-x));
+  return std::log1p(std::exp(x));
+}
+
+}  // namespace zc::numerics

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file logspace.hpp
+/// Log-domain arithmetic helpers. The zeroconf model multiplies survival
+/// probabilities down to ~1e-120 and weighs them against error costs up to
+/// 1e35; the log-domain path keeps intermediate quantities well-scaled and
+/// serves as an independent cross-check of the direct computation.
+
+#include <cmath>
+#include <limits>
+#include <span>
+
+namespace zc::numerics {
+
+/// Representation of -inf used for log(0).
+inline constexpr double kLogZero = -std::numeric_limits<double>::infinity();
+
+/// log(exp(a) + exp(b)) without overflow/underflow.
+[[nodiscard]] double log_add_exp(double a, double b) noexcept;
+
+/// log(sum_i exp(x_i)) without overflow/underflow.
+[[nodiscard]] double log_sum_exp(std::span<const double> xs) noexcept;
+
+/// log(1 - exp(x)) for x <= 0, accurate near both ends
+/// (Maechler's `log1mexp`).
+[[nodiscard]] double log1m_exp(double x) noexcept;
+
+/// log(1 + exp(x)) accurate for all x (`log1pexp`).
+[[nodiscard]] double log1p_exp(double x) noexcept;
+
+}  // namespace zc::numerics

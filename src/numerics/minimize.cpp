@@ -1,0 +1,165 @@
+#include "numerics/minimize.hpp"
+
+#include <cmath>
+
+#include "common/contract.hpp"
+#include "numerics/grid.hpp"
+
+namespace zc::numerics {
+
+namespace {
+constexpr double kGolden = 0.6180339887498949;  // (sqrt(5)-1)/2
+}
+
+MinResult golden_section_minimize(const Fn1D& f, double lo, double hi,
+                                  double x_tol, int max_iter) {
+  ZC_EXPECTS(lo < hi);
+  ZC_EXPECTS(x_tol > 0.0);
+
+  double a = lo, b = hi;
+  double x1 = b - kGolden * (b - a);
+  double x2 = a + kGolden * (b - a);
+  double f1 = f(x1), f2 = f(x2);
+  int evals = 2;
+  int iter = 0;
+  while (b - a > x_tol && iter < max_iter) {
+    if (f1 <= f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kGolden * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kGolden * (b - a);
+      f2 = f(x2);
+    }
+    ++evals;
+    ++iter;
+  }
+  MinResult out;
+  out.converged = (b - a) <= x_tol;
+  out.evaluations = evals;
+  if (f1 <= f2) {
+    out.x = x1;
+    out.value = f1;
+  } else {
+    out.x = x2;
+    out.value = f2;
+  }
+  return out;
+}
+
+MinResult brent_minimize(const Fn1D& f, double lo, double hi, double x_tol,
+                         int max_iter) {
+  ZC_EXPECTS(lo < hi);
+  ZC_EXPECTS(x_tol > 0.0);
+
+  // Standard Brent minimization (Numerical Recipes structure).
+  const double eps_rel = 1e-12;
+  double a = lo, b = hi;
+  double x = a + kGolden * (b - a);
+  double w = x, v = x;
+  double fx = f(x);
+  double fw = fx, fv = fx;
+  double d = 0.0, e = 0.0;
+  int evals = 1;
+
+  for (int iter = 0; iter < max_iter; ++iter) {
+    const double xm = 0.5 * (a + b);
+    const double tol1 = eps_rel * std::fabs(x) + 0.25 * x_tol;
+    const double tol2 = 2.0 * tol1;
+    if (std::fabs(x - xm) <= tol2 - 0.5 * (b - a)) {
+      return {x, fx, evals, true};
+    }
+    bool use_golden = true;
+    if (std::fabs(e) > tol1) {
+      // Parabolic fit through (v,fv), (w,fw), (x,fx).
+      const double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0.0) p = -p;
+      q = std::fabs(q);
+      const double e_old = e;
+      e = d;
+      if (std::fabs(p) < std::fabs(0.5 * q * e_old) && p > q * (a - x) &&
+          p < q * (b - x)) {
+        d = p / q;
+        const double u = x + d;
+        if (u - a < tol2 || b - u < tol2)
+          d = (xm - x >= 0.0) ? tol1 : -tol1;
+        use_golden = false;
+      }
+    }
+    if (use_golden) {
+      e = (x >= xm) ? a - x : b - x;
+      d = (1.0 - kGolden) * e;
+    }
+    const double u =
+        (std::fabs(d) >= tol1) ? x + d : x + ((d >= 0.0) ? tol1 : -tol1);
+    const double fu = f(u);
+    ++evals;
+    if (fu <= fx) {
+      if (u >= x)
+        a = x;
+      else
+        b = x;
+      v = w;
+      fv = fw;
+      w = x;
+      fw = fx;
+      x = u;
+      fx = fu;
+    } else {
+      if (u < x)
+        a = u;
+      else
+        b = u;
+      if (fu <= fw || w == x) {
+        v = w;
+        fv = fw;
+        w = u;
+        fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u;
+        fv = fu;
+      }
+    }
+  }
+  return {x, fx, evals, false};
+}
+
+MinResult scan_then_refine_minimize(const Fn1D& f, double lo, double hi,
+                                    std::size_t grid_points, double x_tol) {
+  ZC_EXPECTS(lo < hi);
+  ZC_EXPECTS(grid_points >= 3);
+
+  const auto xs = linspace(lo, hi, grid_points);
+  std::size_t best = 0;
+  double best_val = f(xs[0]);
+  int evals = 1;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    const double v = f(xs[i]);
+    ++evals;
+    if (v < best_val) {
+      best_val = v;
+      best = i;
+    }
+  }
+  const double bl = (best == 0) ? xs[0] : xs[best - 1];
+  const double bh = (best + 1 == xs.size()) ? xs.back() : xs[best + 1];
+  if (bl == bh) return {xs[best], best_val, evals, true};
+  MinResult refined = brent_minimize(f, bl, bh, x_tol);
+  refined.evaluations += evals;
+  // Keep the grid winner if refinement somehow did worse (flat regions).
+  if (best_val < refined.value) {
+    refined.x = xs[best];
+    refined.value = best_val;
+  }
+  return refined;
+}
+
+}  // namespace zc::numerics

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file minimize.hpp
+/// 1-D minimization: golden-section search, Brent's parabolic-interpolation
+/// method, and a robust grid-scan + refine driver for functions (like the
+/// zeroconf cost C_n(r)) that are unimodal only on part of their domain.
+
+#include <functional>
+
+namespace zc::numerics {
+
+/// Result of a 1-D minimization.
+struct MinResult {
+  double x = 0.0;        ///< argmin
+  double value = 0.0;    ///< f(argmin)
+  int evaluations = 0;   ///< number of function evaluations spent
+  bool converged = false;
+};
+
+using Fn1D = std::function<double(double)>;
+
+/// Golden-section search on [lo, hi]; assumes f is unimodal there.
+/// Stops when the bracket is below `x_tol` (absolute).
+[[nodiscard]] MinResult golden_section_minimize(const Fn1D& f, double lo,
+                                                double hi,
+                                                double x_tol = 1e-10,
+                                                int max_iter = 200);
+
+/// Brent's method on [lo, hi]; assumes f is unimodal there. Combines
+/// golden-section with successive parabolic interpolation.
+[[nodiscard]] MinResult brent_minimize(const Fn1D& f, double lo, double hi,
+                                       double x_tol = 1e-10,
+                                       int max_iter = 200);
+
+/// Robust driver for possibly multi-modal f: scan `grid_points` samples of
+/// [lo, hi], bracket the best sample, then refine with Brent. Returns the
+/// best local minimum found.
+[[nodiscard]] MinResult scan_then_refine_minimize(const Fn1D& f, double lo,
+                                                  double hi,
+                                                  std::size_t grid_points = 256,
+                                                  double x_tol = 1e-10);
+
+}  // namespace zc::numerics

@@ -1,0 +1,93 @@
+#include "numerics/pchip.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contract.hpp"
+
+namespace zc::numerics {
+
+MonotoneCubic::MonotoneCubic(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  ZC_EXPECTS(xs_.size() >= 2);
+  ZC_EXPECTS(xs_.size() == ys_.size());
+  for (std::size_t i = 1; i < xs_.size(); ++i)
+    ZC_EXPECTS(xs_[i] > xs_[i - 1]);
+
+  const std::size_t n = xs_.size();
+  // Secant slopes.
+  std::vector<double> delta(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    delta[i] = (ys_[i + 1] - ys_[i]) / (xs_[i + 1] - xs_[i]);
+
+  // Initial tangents: three-point weighted averages; one-sided at ends.
+  tangents_.assign(n, 0.0);
+  tangents_[0] = delta[0];
+  tangents_[n - 1] = delta[n - 2];
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    if (delta[i - 1] * delta[i] <= 0.0) {
+      tangents_[i] = 0.0;  // local extremum in the data
+    } else {
+      // Weighted harmonic mean (Fritsch-Butland variant): guarantees the
+      // monotonicity region without a separate limiting pass.
+      const double h0 = xs_[i] - xs_[i - 1];
+      const double h1 = xs_[i + 1] - xs_[i];
+      const double w0 = 2.0 * h1 + h0;
+      const double w1 = h1 + 2.0 * h0;
+      tangents_[i] =
+          (w0 + w1) / (w0 / delta[i - 1] + w1 / delta[i]);
+    }
+  }
+  // Fritsch-Carlson limiting at the boundary tangents (interior ones are
+  // safe by construction of the harmonic mean).
+  for (const std::size_t i : {std::size_t{0}, n - 1}) {
+    const double d = (i == 0) ? delta[0] : delta[n - 2];
+    if (d == 0.0) {
+      tangents_[i] = 0.0;
+    } else {
+      const double ratio = tangents_[i] / d;
+      if (ratio < 0.0)
+        tangents_[i] = 0.0;
+      else if (ratio > 3.0)
+        tangents_[i] = 3.0 * d;
+    }
+  }
+}
+
+std::size_t MonotoneCubic::interval(double x) const {
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - xs_.begin());
+  if (idx == 0) return 0;
+  return std::min(idx - 1, xs_.size() - 2);
+}
+
+double MonotoneCubic::operator()(double x) const {
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  const std::size_t i = interval(x);
+  const double h = xs_[i + 1] - xs_[i];
+  const double t = (x - xs_[i]) / h;
+  const double t2 = t * t, t3 = t2 * t;
+  const double h00 = 2 * t3 - 3 * t2 + 1;
+  const double h10 = t3 - 2 * t2 + t;
+  const double h01 = -2 * t3 + 3 * t2;
+  const double h11 = t3 - t2;
+  return h00 * ys_[i] + h10 * h * tangents_[i] + h01 * ys_[i + 1] +
+         h11 * h * tangents_[i + 1];
+}
+
+double MonotoneCubic::derivative(double x) const {
+  if (x < xs_.front() || x > xs_.back()) return 0.0;
+  const std::size_t i = interval(x);
+  const double h = xs_[i + 1] - xs_[i];
+  const double t = (x - xs_[i]) / h;
+  const double t2 = t * t;
+  const double dh00 = (6 * t2 - 6 * t) / h;
+  const double dh10 = 3 * t2 - 4 * t + 1;
+  const double dh01 = (-6 * t2 + 6 * t) / h;
+  const double dh11 = 3 * t2 - 2 * t;
+  return dh00 * ys_[i] + dh10 * tangents_[i] + dh01 * ys_[i + 1] +
+         dh11 * tangents_[i + 1];
+}
+
+}  // namespace zc::numerics

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file pchip.hpp
+/// Monotone piecewise-cubic Hermite interpolation (Fritsch-Carlson /
+/// PCHIP). Used to turn step-function ECDFs into smooth, monotone,
+/// differentiable distribution functions without committing to a
+/// parametric family.
+
+#include <vector>
+
+namespace zc::numerics {
+
+/// Shape-preserving cubic interpolant through (x_i, y_i).
+class MonotoneCubic {
+ public:
+  /// \param xs strictly increasing knots (>= 2)
+  /// \param ys values; where the data is locally monotone the interpolant
+  ///           is monotone too (Fritsch-Carlson tangent limiting).
+  MonotoneCubic(std::vector<double> xs, std::vector<double> ys);
+
+  /// Evaluate; clamps to the boundary values outside [xs.front(),
+  /// xs.back()].
+  [[nodiscard]] double operator()(double x) const;
+
+  /// First derivative; 0 outside the knot range.
+  [[nodiscard]] double derivative(double x) const;
+
+  [[nodiscard]] double x_min() const { return xs_.front(); }
+  [[nodiscard]] double x_max() const { return xs_.back(); }
+  /// Number of knots.
+  [[nodiscard]] std::size_t size() const { return xs_.size(); }
+
+ private:
+  /// Index of the interval [xs_[i], xs_[i+1]] containing x (x inside
+  /// range).
+  [[nodiscard]] std::size_t interval(double x) const;
+
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  std::vector<double> tangents_;
+};
+
+}  // namespace zc::numerics

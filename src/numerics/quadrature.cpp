@@ -1,0 +1,65 @@
+#include "numerics/quadrature.hpp"
+
+#include <cmath>
+
+#include "common/contract.hpp"
+
+namespace zc::numerics {
+
+namespace {
+
+struct SimpsonState {
+  const std::function<double(double)>& f;
+  int evaluations = 0;
+  bool depth_exceeded = false;
+};
+
+double simpson(double fa, double fm, double fb, double a, double b) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive(SimpsonState& st, double a, double b, double fa, double fm,
+                double fb, double whole, double tol, int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = st.f(lm);
+  const double frm = st.f(rm);
+  st.evaluations += 2;
+  const double left = simpson(fa, flm, fm, a, m);
+  const double right = simpson(fm, frm, fb, m, b);
+  const double delta = left + right - whole;
+  if (depth <= 0) {
+    st.depth_exceeded = true;
+    return left + right + delta / 15.0;
+  }
+  if (std::fabs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return adaptive(st, a, m, fa, flm, fm, left, 0.5 * tol, depth - 1) +
+         adaptive(st, m, b, fm, frm, fb, right, 0.5 * tol, depth - 1);
+}
+
+}  // namespace
+
+QuadResult integrate(const std::function<double(double)>& f, double a,
+                     double b, double tol, int max_depth) {
+  ZC_EXPECTS(a <= b);
+  ZC_EXPECTS(tol > 0.0);
+  if (a == b) return {0.0, 0.0, 0, true};
+
+  SimpsonState st{f};
+  const double m = 0.5 * (a + b);
+  const double fa = f(a), fm = f(m), fb = f(b);
+  st.evaluations = 3;
+  const double whole = simpson(fa, fm, fb, a, b);
+  const double value = adaptive(st, a, b, fa, fm, fb, whole, tol, max_depth);
+  QuadResult out;
+  out.value = value;
+  out.error_estimate = tol;
+  out.evaluations = st.evaluations;
+  out.converged = !st.depth_exceeded;
+  return out;
+}
+
+}  // namespace zc::numerics

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file quadrature.hpp
+/// Adaptive Simpson quadrature. Used to compute means of general delay
+/// distributions and to validate the two-leg composite reply-path model by
+/// numeric convolution.
+
+#include <functional>
+
+namespace zc::numerics {
+
+/// Result of an adaptive quadrature.
+struct QuadResult {
+  double value = 0.0;
+  double error_estimate = 0.0;
+  int evaluations = 0;
+  bool converged = false;
+};
+
+/// Adaptive Simpson integration of f over [a, b] to absolute tolerance
+/// `tol`. Depth-limited; `converged` is false if the limit was hit.
+[[nodiscard]] QuadResult integrate(const std::function<double(double)>& f,
+                                   double a, double b, double tol = 1e-10,
+                                   int max_depth = 48);
+
+}  // namespace zc::numerics

@@ -1,0 +1,123 @@
+#include "numerics/roots.hpp"
+
+#include <cmath>
+
+#include "common/contract.hpp"
+#include "numerics/grid.hpp"
+
+namespace zc::numerics {
+
+std::optional<RootResult> bisect(const RootFn& f, double lo, double hi,
+                                 double x_tol, int max_iter) {
+  ZC_EXPECTS(lo < hi);
+  double flo = f(lo), fhi = f(hi);
+  int evals = 2;
+  if (flo == 0.0) return RootResult{lo, 0.0, evals, true};
+  if (fhi == 0.0) return RootResult{hi, 0.0, evals, true};
+  if (std::signbit(flo) == std::signbit(fhi)) return std::nullopt;
+
+  for (int i = 0; i < max_iter && hi - lo > x_tol; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fm = f(mid);
+    ++evals;
+    if (fm == 0.0) return RootResult{mid, 0.0, evals, true};
+    if (std::signbit(fm) == std::signbit(flo)) {
+      lo = mid;
+      flo = fm;
+    } else {
+      hi = mid;
+      fhi = fm;
+    }
+  }
+  const double x = 0.5 * (lo + hi);
+  return RootResult{x, f(x), evals + 1, hi - lo <= x_tol};
+}
+
+std::optional<RootResult> brent_root(const RootFn& f, double lo, double hi,
+                                     double x_tol, int max_iter) {
+  ZC_EXPECTS(lo < hi);
+  double a = lo, b = hi;
+  double fa = f(a), fb = f(b);
+  int evals = 2;
+  if (fa == 0.0) return RootResult{a, 0.0, evals, true};
+  if (fb == 0.0) return RootResult{b, 0.0, evals, true};
+  if (std::signbit(fa) == std::signbit(fb)) return std::nullopt;
+
+  if (std::fabs(fa) < std::fabs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a, fc = fa;
+  bool mflag = true;
+  double d = 0.0;
+
+  for (int i = 0; i < max_iter; ++i) {
+    if (fb == 0.0 || std::fabs(b - a) < x_tol)
+      return RootResult{b, fb, evals, true};
+
+    double s;
+    if (fa != fc && fb != fc) {
+      // Inverse quadratic interpolation.
+      s = a * fb * fc / ((fa - fb) * (fa - fc)) +
+          b * fa * fc / ((fb - fa) * (fb - fc)) +
+          c * fa * fb / ((fc - fa) * (fc - fb));
+    } else {
+      // Secant.
+      s = b - fb * (b - a) / (fb - fa);
+    }
+
+    const double lo_bound = (3.0 * a + b) / 4.0;
+    const bool out_of_range =
+        (s < std::min(lo_bound, b)) || (s > std::max(lo_bound, b));
+    const bool slow =
+        (mflag && std::fabs(s - b) >= std::fabs(b - c) / 2.0) ||
+        (!mflag && std::fabs(s - b) >= std::fabs(c - d) / 2.0) ||
+        (mflag && std::fabs(b - c) < x_tol) ||
+        (!mflag && std::fabs(c - d) < x_tol);
+    if (out_of_range || slow) {
+      s = 0.5 * (a + b);
+      mflag = true;
+    } else {
+      mflag = false;
+    }
+
+    const double fs = f(s);
+    ++evals;
+    d = c;
+    c = b;
+    fc = fb;
+    if (std::signbit(fa) != std::signbit(fs)) {
+      b = s;
+      fb = fs;
+    } else {
+      a = s;
+      fa = fs;
+    }
+    if (std::fabs(fa) < std::fabs(fb)) {
+      std::swap(a, b);
+      std::swap(fa, fb);
+    }
+  }
+  return RootResult{b, fb, evals, false};
+}
+
+std::optional<std::pair<double, double>> find_bracket(const RootFn& f,
+                                                      double lo, double hi,
+                                                      std::size_t scan_points) {
+  ZC_EXPECTS(lo < hi);
+  ZC_EXPECTS(scan_points >= 2);
+  const auto xs = linspace(lo, hi, scan_points);
+  double prev_x = xs[0];
+  double prev_f = f(prev_x);
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    const double fx = f(xs[i]);
+    if (prev_f == 0.0) return std::pair{prev_x, prev_x};
+    if (std::signbit(prev_f) != std::signbit(fx))
+      return std::pair{prev_x, xs[i]};
+    prev_x = xs[i];
+    prev_f = fx;
+  }
+  return std::nullopt;
+}
+
+}  // namespace zc::numerics

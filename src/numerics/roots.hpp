@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file roots.hpp
+/// 1-D root finding: bisection, Brent's method, and Newton with a
+/// numerical-derivative fallback. Used by the calibration module to invert
+/// the optimality conditions of Section 4.5.
+
+#include <functional>
+#include <optional>
+
+namespace zc::numerics {
+
+/// Result of a root search.
+struct RootResult {
+  double x = 0.0;
+  double residual = 0.0;  ///< f(x) at the returned point
+  int evaluations = 0;
+  bool converged = false;
+};
+
+using RootFn = std::function<double(double)>;
+
+/// Bisection on [lo, hi]; requires f(lo) and f(hi) of opposite sign
+/// (returns nullopt otherwise).
+[[nodiscard]] std::optional<RootResult> bisect(const RootFn& f, double lo,
+                                               double hi, double x_tol = 1e-12,
+                                               int max_iter = 200);
+
+/// Brent's root-finding method (inverse quadratic + secant + bisection)
+/// on a sign-changing bracket [lo, hi]; returns nullopt without a bracket.
+[[nodiscard]] std::optional<RootResult> brent_root(const RootFn& f, double lo,
+                                                   double hi,
+                                                   double x_tol = 1e-13,
+                                                   int max_iter = 200);
+
+/// Expand/search for a sign-changing bracket for f starting from [lo, hi]
+/// by scanning `scan_points` samples; returns the first bracketing pair.
+[[nodiscard]] std::optional<std::pair<double, double>> find_bracket(
+    const RootFn& f, double lo, double hi, std::size_t scan_points = 128);
+
+}  // namespace zc::numerics

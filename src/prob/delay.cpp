@@ -1,0 +1,73 @@
+#include "prob/delay.hpp"
+
+#include <cmath>
+
+#include "common/contract.hpp"
+#include "common/strings.hpp"
+#include "prob/families.hpp"
+
+namespace zc::prob {
+
+double DelayDistribution::log_survival(double t) const {
+  return std::log(survival(t));
+}
+
+DefectiveDelay::DefectiveDelay(std::unique_ptr<ProperDistribution> base,
+                               double loss, double shift)
+    : base_(std::move(base)), loss_(loss), shift_(shift) {
+  ZC_EXPECTS(base_ != nullptr);
+  ZC_EXPECTS(0.0 <= loss_ && loss_ < 1.0);
+  ZC_EXPECTS(shift_ >= 0.0);
+}
+
+DefectiveDelay::DefectiveDelay(const DefectiveDelay& other)
+    : base_(other.base_->clone()),
+      loss_(other.loss_),
+      shift_(other.shift_) {}
+
+DefectiveDelay& DefectiveDelay::operator=(const DefectiveDelay& other) {
+  if (this != &other) {
+    base_ = other.base_->clone();
+    loss_ = other.loss_;
+    shift_ = other.shift_;
+  }
+  return *this;
+}
+
+double DefectiveDelay::cdf(double t) const {
+  if (t < shift_) return 0.0;
+  return (1.0 - loss_) * base_->cdf(t - shift_);
+}
+
+double DefectiveDelay::survival(double t) const {
+  if (t < shift_) return 1.0;
+  // loss + (1-loss) * S_base(t-shift): exact even for loss ~ 1e-15 because
+  // the base survival is evaluated directly (no 1-cdf cancellation).
+  return loss_ + (1.0 - loss_) * base_->survival(t - shift_);
+}
+
+double DefectiveDelay::mean_given_arrival() const {
+  return shift_ + base_->mean();
+}
+
+std::optional<double> DefectiveDelay::sample(Rng& rng) const {
+  if (rng.bernoulli(loss_)) return std::nullopt;
+  return shift_ + base_->sample(rng);
+}
+
+std::string DefectiveDelay::name() const {
+  return "Defective(loss=" + format_sig(loss_) + ",shift=" +
+         format_sig(shift_) + "," + base_->name() + ")";
+}
+
+std::unique_ptr<DelayDistribution> DefectiveDelay::clone() const {
+  return std::make_unique<DefectiveDelay>(*this);
+}
+
+std::unique_ptr<DelayDistribution> paper_reply_delay(double loss,
+                                                     double lambda, double d) {
+  return std::make_unique<DefectiveDelay>(std::make_unique<Exponential>(lambda),
+                                          loss, d);
+}
+
+}  // namespace zc::prob

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file delay.hpp
+/// The reply-delay abstraction at the heart of the paper's model: a
+/// possibly *defective* distribution F_X of the time between sending an
+/// ARP probe and receiving the reply. Defectiveness (Sec. 3.2) encodes
+/// packet loss: lim_{t->inf} F_X(t) = l < 1 and 1-l is the probability
+/// the reply never arrives.
+///
+/// Numerical note: the paper's scenarios use l = 1-1e-15. Code must never
+/// compute survival as 1 - cdf(t) in that regime; implementations expose
+/// `survival` directly, built from the *loss probability* (1-l), which is
+/// the user-supplied parameter.
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "prob/proper.hpp"
+
+namespace zc::prob {
+
+/// Possibly-defective distribution of ARP reply delay.
+class DelayDistribution {
+ public:
+  virtual ~DelayDistribution() = default;
+
+  /// F_X(t) = P(reply arrives and arrives within t); -> 1-loss as t->inf.
+  [[nodiscard]] virtual double cdf(double t) const = 0;
+
+  /// 1 - F_X(t) = P(no reply by time t) >= loss_probability(); must be
+  /// computed without cancellation (never as `1 - cdf(t)` when losses are
+  /// tiny).
+  [[nodiscard]] virtual double survival(double t) const = 0;
+
+  /// log(survival(t)); default wraps survival(). The model's pi_n products
+  /// reach 1e-120, so a log-domain path is provided for cross-checks.
+  [[nodiscard]] virtual double log_survival(double t) const;
+
+  /// 1 - l: probability the reply never arrives.
+  [[nodiscard]] virtual double loss_probability() const = 0;
+
+  /// l = P(reply eventually arrives).
+  [[nodiscard]] double arrival_mass() const { return 1.0 - loss_probability(); }
+
+  /// E[X | reply arrives].
+  [[nodiscard]] virtual double mean_given_arrival() const = 0;
+
+  /// Draw a reply delay; nullopt when the reply is lost.
+  [[nodiscard]] virtual std::optional<double> sample(Rng& rng) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<DelayDistribution> clone() const = 0;
+
+ protected:
+  DelayDistribution() = default;
+  DelayDistribution(const DelayDistribution&) = default;
+  DelayDistribution& operator=(const DelayDistribution&) = default;
+};
+
+/// Defective delay built from a proper distribution: with probability
+/// `loss` the reply never arrives; otherwise the delay is
+/// `shift + B` where `B ~ base`. The paper's F_X (Sec. 4.3) is exactly
+/// DefectiveDelay(Exponential(lambda), loss = 1-l, shift = d).
+class DefectiveDelay final : public DelayDistribution {
+ public:
+  /// \param base   proper distribution of the delay beyond `shift`
+  /// \param loss   probability in [0, 1) that the reply never arrives
+  /// \param shift  deterministic offset d >= 0 (round-trip lower bound)
+  DefectiveDelay(std::unique_ptr<ProperDistribution> base, double loss,
+                 double shift);
+
+  DefectiveDelay(const DefectiveDelay& other);
+  DefectiveDelay& operator=(const DefectiveDelay& other);
+  DefectiveDelay(DefectiveDelay&&) noexcept = default;
+  DefectiveDelay& operator=(DefectiveDelay&&) noexcept = default;
+
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double survival(double t) const override;
+  [[nodiscard]] double loss_probability() const override { return loss_; }
+  [[nodiscard]] double mean_given_arrival() const override;
+  [[nodiscard]] std::optional<double> sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<DelayDistribution> clone() const override;
+
+  [[nodiscard]] const ProperDistribution& base() const { return *base_; }
+  [[nodiscard]] double shift() const noexcept { return shift_; }
+
+ private:
+  std::unique_ptr<ProperDistribution> base_;
+  double loss_;
+  double shift_;
+};
+
+/// The paper's demonstration distribution (Sec. 4.3):
+/// F_X(t) = (1-loss) * (1 - e^{-lambda (t-d)}) for t >= d, else 0.
+/// \param loss    1-l, the probability a reply never arrives
+/// \param lambda  rate; mean reply time given arrival is d + 1/lambda
+/// \param d       round-trip delay lower bound
+[[nodiscard]] std::unique_ptr<DelayDistribution> paper_reply_delay(
+    double loss, double lambda, double d);
+
+}  // namespace zc::prob

@@ -1,0 +1,118 @@
+#include "prob/empirical.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contract.hpp"
+#include "numerics/kahan.hpp"
+
+namespace zc::prob {
+
+Empirical::Empirical(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  ZC_EXPECTS(!sorted_.empty());
+  for (double s : sorted_) ZC_EXPECTS(s >= 0.0);
+  std::sort(sorted_.begin(), sorted_.end());
+  numerics::KahanSum acc;
+  for (double s : sorted_) acc.add(s);
+  mean_ = acc.value() / static_cast<double>(sorted_.size());
+}
+
+double Empirical::cdf(double t) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), t);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Empirical::mean() const { return mean_; }
+
+double Empirical::sample(Rng& rng) const {
+  return sorted_[rng.uniform_below(sorted_.size())];
+}
+
+std::string Empirical::name() const {
+  return "Empirical(n=" + std::to_string(sorted_.size()) + ")";
+}
+
+std::unique_ptr<ProperDistribution> Empirical::clone() const {
+  return std::make_unique<Empirical>(*this);
+}
+
+double Empirical::quantile(double p) const {
+  ZC_EXPECTS(0.0 <= p && p <= 1.0);
+  if (p <= 0.0) return sorted_.front();
+  const auto n = static_cast<double>(sorted_.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(p * n));
+  return sorted_[std::min(rank == 0 ? 0 : rank - 1, sorted_.size() - 1)];
+}
+
+EmpiricalDelay::EmpiricalDelay(std::vector<double> arrived,
+                               std::size_t lost_count)
+    // Braced-init evaluates left to right, so `empty()` is read before
+    // the move — unlike function-argument evaluation, which is unordered.
+    : EmpiricalDelay(
+          Prepared{arrived.empty(), std::move(arrived), lost_count}) {}
+
+EmpiricalDelay::EmpiricalDelay(Prepared prepared)
+    : arrived_(prepared.none_arrived ? std::vector<double>{0.0}
+                                     : std::move(prepared.arrived)),
+      loss_(0.0),
+      all_lost_(prepared.none_arrived) {
+  const std::size_t n_arrived = all_lost_ ? 0 : arrived_.count();
+  const std::size_t total = n_arrived + prepared.lost_count;
+  ZC_EXPECTS(total > 0);
+  loss_ =
+      static_cast<double>(prepared.lost_count) / static_cast<double>(total);
+}
+
+double EmpiricalDelay::cdf(double t) const {
+  if (all_lost_) return 0.0;
+  return (1.0 - loss_) * arrived_.cdf(t);
+}
+
+double EmpiricalDelay::survival(double t) const {
+  if (all_lost_) return 1.0;
+  return loss_ + (1.0 - loss_) * (1.0 - arrived_.cdf(t));
+}
+
+double EmpiricalDelay::mean_given_arrival() const {
+  ZC_EXPECTS(!all_lost_);
+  return arrived_.mean();
+}
+
+double EmpiricalDelay::arrived_quantile(double p) const {
+  ZC_EXPECTS(!all_lost_);
+  return arrived_.quantile(p);
+}
+
+std::optional<double> EmpiricalDelay::sample(Rng& rng) const {
+  if (all_lost_ || rng.bernoulli(loss_)) return std::nullopt;
+  return arrived_.sample(rng);
+}
+
+std::string EmpiricalDelay::name() const {
+  return "EmpiricalDelay(n=" + std::to_string(arrived_count()) +
+         ",loss=" + std::to_string(loss_) + ")";
+}
+
+std::unique_ptr<DelayDistribution> EmpiricalDelay::clone() const {
+  return std::make_unique<EmpiricalDelay>(*this);
+}
+
+EmpiricalDelay measure(const DelayDistribution& truth, std::size_t trials,
+                       Rng& rng) {
+  ZC_EXPECTS(trials > 0);
+  std::vector<double> arrived;
+  arrived.reserve(trials);
+  std::size_t lost = 0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    if (const auto delay = truth.sample(rng); delay.has_value()) {
+      arrived.push_back(*delay);
+    } else {
+      ++lost;
+    }
+  }
+  return EmpiricalDelay(std::move(arrived), lost);
+}
+
+}  // namespace zc::prob

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file empirical.hpp
+/// Empirical distributions built from observations. This is the workflow
+/// the paper asks for in Sec. 7: measure reply delays in a real network,
+/// feed the empirical F_X into the cost model.
+
+#include <vector>
+
+#include "prob/delay.hpp"
+#include "prob/proper.hpp"
+
+namespace zc::prob {
+
+/// Empirical proper distribution: the ECDF of a sample set.
+class Empirical final : public ProperDistribution {
+ public:
+  /// \param samples  observed delays; must be non-empty, all >= 0.
+  explicit Empirical(std::vector<double> samples);
+
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double mean() const override;
+  /// Bootstrap sampling: uniform draw from the observations.
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<ProperDistribution> clone() const override;
+
+  [[nodiscard]] std::size_t count() const noexcept { return sorted_.size(); }
+  /// p-quantile (nearest-rank), p in [0, 1].
+  [[nodiscard]] double quantile(double p) const;
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+};
+
+/// Empirical *defective* delay: built from a measurement campaign in which
+/// some probes never got a reply. Records the observed loss fraction and
+/// the ECDF of the delays that did arrive.
+class EmpiricalDelay final : public DelayDistribution {
+ public:
+  /// \param arrived     delays of replies that arrived (may be empty only
+  ///                    if everything was lost)
+  /// \param lost_count  number of probes whose reply never arrived
+  EmpiricalDelay(std::vector<double> arrived, std::size_t lost_count);
+
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double survival(double t) const override;
+  [[nodiscard]] double loss_probability() const override { return loss_; }
+  [[nodiscard]] double mean_given_arrival() const override;
+  [[nodiscard]] std::optional<double> sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<DelayDistribution> clone() const override;
+
+  [[nodiscard]] std::size_t arrived_count() const noexcept {
+    return all_lost_ ? 0 : arrived_.count();
+  }
+
+  /// p-quantile of the *arrived* delays; requires at least one arrival.
+  [[nodiscard]] double arrived_quantile(double p) const;
+
+ private:
+  /// Bundles the emptiness flag with the sample vector so that both travel
+  /// together through the delegating constructor (braced-init-list
+  /// evaluation is left-to-right, unlike function arguments).
+  struct Prepared {
+    bool none_arrived;
+    std::vector<double> arrived;
+    std::size_t lost_count;
+  };
+
+  explicit EmpiricalDelay(Prepared prepared);
+
+  Empirical arrived_;
+  double loss_;
+  bool all_lost_ = false;
+};
+
+/// Run a measurement campaign against any delay distribution: draw
+/// `trials` samples and summarize them as an EmpiricalDelay. Used to
+/// validate the measure-then-model workflow end to end.
+[[nodiscard]] EmpiricalDelay measure(const DelayDistribution& truth,
+                                     std::size_t trials, Rng& rng);
+
+}  // namespace zc::prob

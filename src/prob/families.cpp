@@ -1,0 +1,250 @@
+#include "prob/families.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/contract.hpp"
+#include "common/strings.hpp"
+
+namespace zc::prob {
+
+// ---------------------------------------------------------------- Exponential
+
+Exponential::Exponential(double rate) : rate_(rate) { ZC_EXPECTS(rate > 0.0); }
+
+double Exponential::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  return -std::expm1(-rate_ * t);
+}
+
+double Exponential::survival(double t) const {
+  if (t <= 0.0) return 1.0;
+  return std::exp(-rate_ * t);
+}
+
+double Exponential::mean() const { return 1.0 / rate_; }
+
+double Exponential::sample(Rng& rng) const { return rng.exponential(rate_); }
+
+std::string Exponential::name() const {
+  return "Exponential(rate=" + format_sig(rate_) + ")";
+}
+
+std::unique_ptr<ProperDistribution> Exponential::clone() const {
+  return std::make_unique<Exponential>(*this);
+}
+
+// -------------------------------------------------------------------- Weibull
+
+Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+  ZC_EXPECTS(shape > 0.0);
+  ZC_EXPECTS(scale > 0.0);
+}
+
+double Weibull::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  return -std::expm1(-std::pow(t / scale_, shape_));
+}
+
+double Weibull::survival(double t) const {
+  if (t <= 0.0) return 1.0;
+  return std::exp(-std::pow(t / scale_, shape_));
+}
+
+double Weibull::mean() const {
+  return scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+
+double Weibull::sample(Rng& rng) const {
+  // Inverse transform: t = scale * (-ln(1-U))^(1/shape).
+  return scale_ * std::pow(rng.exponential(1.0), 1.0 / shape_);
+}
+
+std::string Weibull::name() const {
+  return "Weibull(shape=" + format_sig(shape_) + ",scale=" +
+         format_sig(scale_) + ")";
+}
+
+std::unique_ptr<ProperDistribution> Weibull::clone() const {
+  return std::make_unique<Weibull>(*this);
+}
+
+// -------------------------------------------------------------------- Uniform
+
+Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+  ZC_EXPECTS(0.0 <= lo && lo < hi);
+}
+
+double Uniform::cdf(double t) const {
+  if (t <= lo_) return 0.0;
+  if (t >= hi_) return 1.0;
+  return (t - lo_) / (hi_ - lo_);
+}
+
+double Uniform::mean() const { return 0.5 * (lo_ + hi_); }
+
+double Uniform::sample(Rng& rng) const { return rng.uniform(lo_, hi_); }
+
+std::string Uniform::name() const {
+  return "Uniform(" + format_sig(lo_) + "," + format_sig(hi_) + ")";
+}
+
+std::unique_ptr<ProperDistribution> Uniform::clone() const {
+  return std::make_unique<Uniform>(*this);
+}
+
+// -------------------------------------------------------------- Deterministic
+
+Deterministic::Deterministic(double value) : value_(value) {
+  ZC_EXPECTS(value >= 0.0);
+}
+
+double Deterministic::cdf(double t) const { return t >= value_ ? 1.0 : 0.0; }
+
+double Deterministic::mean() const { return value_; }
+
+double Deterministic::sample(Rng&) const { return value_; }
+
+std::string Deterministic::name() const {
+  return "Deterministic(" + format_sig(value_) + ")";
+}
+
+std::unique_ptr<ProperDistribution> Deterministic::clone() const {
+  return std::make_unique<Deterministic>(*this);
+}
+
+// --------------------------------------------------------------------- Erlang
+
+Erlang::Erlang(unsigned shape, double rate) : shape_(shape), rate_(rate) {
+  ZC_EXPECTS(shape >= 1);
+  ZC_EXPECTS(rate > 0.0);
+}
+
+double Erlang::survival(double t) const {
+  if (t <= 0.0) return 1.0;
+  // S(t) = e^{-rate t} * sum_{i=0}^{k-1} (rate t)^i / i!
+  const double x = rate_ * t;
+  double term = 1.0;
+  double sum = 1.0;
+  for (unsigned i = 1; i < shape_; ++i) {
+    term *= x / static_cast<double>(i);
+    sum += term;
+  }
+  return std::exp(-x) * sum;
+}
+
+double Erlang::cdf(double t) const { return 1.0 - survival(t); }
+
+double Erlang::mean() const { return static_cast<double>(shape_) / rate_; }
+
+double Erlang::sample(Rng& rng) const {
+  double total = 0.0;
+  for (unsigned i = 0; i < shape_; ++i) total += rng.exponential(rate_);
+  return total;
+}
+
+std::string Erlang::name() const {
+  return "Erlang(k=" + std::to_string(shape_) + ",rate=" + format_sig(rate_) +
+         ")";
+}
+
+std::unique_ptr<ProperDistribution> Erlang::clone() const {
+  return std::make_unique<Erlang>(*this);
+}
+
+// ------------------------------------------------------------------ LogNormal
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  ZC_EXPECTS(sigma > 0.0);
+}
+
+double LogNormal::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  // Phi((ln t - mu)/sigma) via erfc for tail accuracy.
+  const double z = (std::log(t) - mu_) / sigma_;
+  return 0.5 * std::erfc(-z / std::numbers::sqrt2);
+}
+
+double LogNormal::survival(double t) const {
+  if (t <= 0.0) return 1.0;
+  const double z = (std::log(t) - mu_) / sigma_;
+  return 0.5 * std::erfc(z / std::numbers::sqrt2);
+}
+
+double LogNormal::mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+double LogNormal::sample(Rng& rng) const {
+  return std::exp(rng.normal(mu_, sigma_));
+}
+
+std::string LogNormal::name() const {
+  return "LogNormal(mu=" + format_sig(mu_) + ",sigma=" + format_sig(sigma_) +
+         ")";
+}
+
+std::unique_ptr<ProperDistribution> LogNormal::clone() const {
+  return std::make_unique<LogNormal>(*this);
+}
+
+// ------------------------------------------------------------ Hypoexponential
+
+Hypoexponential::Hypoexponential(std::vector<double> rates)
+    : rates_(std::move(rates)) {
+  ZC_EXPECTS(!rates_.empty());
+  for (double r : rates_) ZC_EXPECTS(r > 0.0);
+  for (std::size_t i = 0; i < rates_.size(); ++i)
+    for (std::size_t j = i + 1; j < rates_.size(); ++j)
+      ZC_EXPECTS(rates_[i] != rates_[j]);
+
+  // Partial-fraction coefficients: C_i = prod_{j != i} rate_j/(rate_j-rate_i).
+  coeffs_.resize(rates_.size());
+  for (std::size_t i = 0; i < rates_.size(); ++i) {
+    double c = 1.0;
+    for (std::size_t j = 0; j < rates_.size(); ++j) {
+      if (j == i) continue;
+      c *= rates_[j] / (rates_[j] - rates_[i]);
+    }
+    coeffs_[i] = c;
+  }
+}
+
+double Hypoexponential::survival(double t) const {
+  if (t <= 0.0) return 1.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < rates_.size(); ++i)
+    s += coeffs_[i] * std::exp(-rates_[i] * t);
+  // Guard against tiny negative values from cancellation in the tail.
+  return std::clamp(s, 0.0, 1.0);
+}
+
+double Hypoexponential::cdf(double t) const { return 1.0 - survival(t); }
+
+double Hypoexponential::mean() const {
+  double m = 0.0;
+  for (double r : rates_) m += 1.0 / r;
+  return m;
+}
+
+double Hypoexponential::sample(Rng& rng) const {
+  double total = 0.0;
+  for (double r : rates_) total += rng.exponential(r);
+  return total;
+}
+
+std::string Hypoexponential::name() const {
+  std::string s = "Hypoexponential(rates=";
+  for (std::size_t i = 0; i < rates_.size(); ++i) {
+    if (i > 0) s += ",";
+    s += format_sig(rates_[i]);
+  }
+  return s + ")";
+}
+
+std::unique_ptr<ProperDistribution> Hypoexponential::clone() const {
+  return std::make_unique<Hypoexponential>(*this);
+}
+
+}  // namespace zc::prob

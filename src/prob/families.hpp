@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file families.hpp
+/// Concrete proper distribution families on [0, inf): exponential, Weibull,
+/// uniform, deterministic, Erlang and hypoexponential. The paper's
+/// demonstration uses an exponential; the other families support the
+/// sensitivity ablation (Sec. 7 calls for measured distributions — we show
+/// the conclusions are robust to the family choice).
+
+#include <vector>
+
+#include "prob/proper.hpp"
+
+namespace zc::prob {
+
+/// Exponential(rate).
+class Exponential final : public ProperDistribution {
+ public:
+  explicit Exponential(double rate);
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double survival(double t) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<ProperDistribution> clone() const override;
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Weibull(shape k, scale): survival = exp(-(t/scale)^k).
+class Weibull final : public ProperDistribution {
+ public:
+  Weibull(double shape, double scale);
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double survival(double t) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<ProperDistribution> clone() const override;
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// Uniform on [lo, hi], 0 <= lo < hi.
+class Uniform final : public ProperDistribution {
+ public:
+  Uniform(double lo, double hi);
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<ProperDistribution> clone() const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Point mass at `value` >= 0.
+class Deterministic final : public ProperDistribution {
+ public:
+  explicit Deterministic(double value);
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<ProperDistribution> clone() const override;
+
+ private:
+  double value_;
+};
+
+/// Erlang(k, rate): sum of k iid Exponential(rate) stages.
+class Erlang final : public ProperDistribution {
+ public:
+  Erlang(unsigned shape, double rate);
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double survival(double t) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<ProperDistribution> clone() const override;
+
+ private:
+  unsigned shape_;
+  double rate_;
+};
+
+/// LogNormal(mu, sigma): log X ~ Normal(mu, sigma). The classic model of
+/// measured network round-trip times (heavy right tail).
+class LogNormal final : public ProperDistribution {
+ public:
+  LogNormal(double mu, double sigma);
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double survival(double t) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<ProperDistribution> clone() const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Hypoexponential: sum of independent exponentials with *distinct* rates
+/// (the analytic form of a multi-leg network path built from exponential
+/// legs). Survival via partial fractions: S(t) = sum_i C_i e^{-rate_i t}.
+class Hypoexponential final : public ProperDistribution {
+ public:
+  /// Rates must be positive and pairwise distinct.
+  explicit Hypoexponential(std::vector<double> rates);
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double survival(double t) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<ProperDistribution> clone() const override;
+
+ private:
+  std::vector<double> rates_;
+  std::vector<double> coeffs_;  ///< partial-fraction coefficients C_i
+};
+
+}  // namespace zc::prob

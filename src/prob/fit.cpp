@@ -1,0 +1,28 @@
+#include "prob/fit.hpp"
+
+#include "common/contract.hpp"
+#include "prob/families.hpp"
+
+namespace zc::prob {
+
+std::unique_ptr<DelayDistribution> ExponentialFit::to_distribution() const {
+  return paper_reply_delay(loss, lambda, shift);
+}
+
+ExponentialFit fit_defective_exponential(const EmpiricalDelay& measured,
+                                         double shift_quantile) {
+  ZC_EXPECTS(measured.arrived_count() > 0);
+  ZC_EXPECTS(0.0 <= shift_quantile && shift_quantile < 1.0);
+
+  ExponentialFit fit;
+  fit.loss = measured.loss_probability();
+  fit.shift = measured.arrived_quantile(shift_quantile);
+  const double mean = measured.mean_given_arrival();
+  // Guard degenerate data where all arrivals share one timestamp.
+  const double tail_mean = mean > fit.shift ? mean - fit.shift : 1e-12;
+  fit.lambda = 1.0 / tail_mean;
+  ZC_ENSURES(fit.lambda > 0.0);
+  return fit;
+}
+
+}  // namespace zc::prob

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file fit.hpp
+/// Fitting smooth parametric reply-delay models to measurements. The
+/// optimization and calibration machinery differentiates F_X in r; an
+/// empirical ECDF is a step function, so measured data should be fitted
+/// to the paper's shifted defective exponential before being fed into
+/// derivative-based analyses (Sec. 7's measure-then-model workflow).
+
+#include "prob/delay.hpp"
+#include "prob/empirical.hpp"
+
+namespace zc::prob {
+
+/// Parameters of a fitted shifted defective exponential
+/// (the paper's F_X of Sec. 4.3).
+struct ExponentialFit {
+  double loss = 0.0;    ///< observed loss fraction (1 - l)
+  double lambda = 1.0;  ///< rate of the exponential tail
+  double shift = 0.0;   ///< round-trip floor d
+
+  /// Materialize the fitted distribution.
+  [[nodiscard]] std::unique_ptr<DelayDistribution> to_distribution() const;
+};
+
+/// Moment/quantile fit of the paper's F_X to measured reply delays:
+///   loss   = observed loss fraction,
+///   shift  = `shift_quantile` of the arrived delays (robust minimum),
+///   lambda = 1 / (mean - shift)  (matches the conditional mean).
+/// Requires at least one observed arrival.
+[[nodiscard]] ExponentialFit fit_defective_exponential(
+    const EmpiricalDelay& measured, double shift_quantile = 0.001);
+
+}  // namespace zc::prob

@@ -1,0 +1,74 @@
+#include "prob/mixture.hpp"
+
+#include <cmath>
+
+#include "common/contract.hpp"
+#include "common/strings.hpp"
+#include "numerics/kahan.hpp"
+
+namespace zc::prob {
+
+MixtureDelay::MixtureDelay(std::vector<Component> components)
+    : components_(std::move(components)), loss_(0.0) {
+  ZC_EXPECTS(!components_.empty());
+  numerics::KahanSum weight_sum, loss_sum;
+  for (const Component& c : components_) {
+    ZC_EXPECTS(c.weight > 0.0);
+    ZC_EXPECTS(c.distribution != nullptr);
+    weight_sum.add(c.weight);
+    loss_sum.add(c.weight * c.distribution->loss_probability());
+  }
+  ZC_EXPECTS(std::fabs(weight_sum.value() - 1.0) <= 1e-9);
+  loss_ = loss_sum.value();
+}
+
+double MixtureDelay::cdf(double t) const {
+  numerics::KahanSum acc;
+  for (const Component& c : components_)
+    acc.add(c.weight * c.distribution->cdf(t));
+  return acc.value();
+}
+
+double MixtureDelay::survival(double t) const {
+  numerics::KahanSum acc;
+  for (const Component& c : components_)
+    acc.add(c.weight * c.distribution->survival(t));
+  return acc.value();
+}
+
+double MixtureDelay::mean_given_arrival() const {
+  // E[X | arrival] = sum_h w_h (1-loss_h) E[X_h | arrival] / (1-loss).
+  ZC_EXPECTS(loss_ < 1.0);
+  numerics::KahanSum acc;
+  for (const Component& c : components_) {
+    const double arrival = 1.0 - c.distribution->loss_probability();
+    if (arrival > 0.0)
+      acc.add(c.weight * arrival * c.distribution->mean_given_arrival());
+  }
+  return acc.value() / (1.0 - loss_);
+}
+
+std::optional<double> MixtureDelay::sample(Rng& rng) const {
+  double u = rng.uniform();
+  for (const Component& c : components_) {
+    if (u < c.weight) return c.distribution->sample(rng);
+    u -= c.weight;
+  }
+  return components_.back().distribution->sample(rng);
+}
+
+std::string MixtureDelay::name() const {
+  std::string out = "Mixture(";
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out += " + ";
+    out += format_sig(components_[i].weight, 3) + "*" +
+           components_[i].distribution->name();
+  }
+  return out + ")";
+}
+
+std::unique_ptr<DelayDistribution> MixtureDelay::clone() const {
+  return std::make_unique<MixtureDelay>(*this);
+}
+
+}  // namespace zc::prob

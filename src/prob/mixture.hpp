@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file mixture.hpp
+/// Weighted mixtures of reply-delay distributions: the aggregate F_X seen
+/// when the responding host is itself random (heterogeneous fleets of
+/// fast/slow appliances).
+///
+/// Caution (and the point of the heterogeneity ablation): feeding the
+/// mixture into the standard model mixes at the *probe* level, but in the
+/// protocol every probe of an attempt interrogates the *same* host. The
+/// attempt-level treatment lives in core/heterogeneous.hpp; this class is
+/// the naive baseline and the correct per-probe sampler.
+
+#include <memory>
+#include <vector>
+
+#include "prob/delay.hpp"
+
+namespace zc::prob {
+
+/// Convex combination of delay distributions.
+class MixtureDelay final : public DelayDistribution {
+ public:
+  struct Component {
+    double weight = 0.0;
+    std::shared_ptr<const DelayDistribution> distribution;
+  };
+
+  /// Weights must be positive and sum to 1 (within 1e-9).
+  explicit MixtureDelay(std::vector<Component> components);
+
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double survival(double t) const override;
+  [[nodiscard]] double loss_probability() const override { return loss_; }
+  [[nodiscard]] double mean_given_arrival() const override;
+  /// Samples the component first, then the component's delay — i.e.
+  /// per-draw host choice.
+  [[nodiscard]] std::optional<double> sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<DelayDistribution> clone() const override;
+
+  [[nodiscard]] const std::vector<Component>& components() const {
+    return components_;
+  }
+
+ private:
+  std::vector<Component> components_;
+  double loss_;
+};
+
+}  // namespace zc::prob

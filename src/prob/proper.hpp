@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file proper.hpp
+/// Interface for *proper* (non-defective) distributions of non-negative
+/// delays: total probability mass 1. Defectiveness (packet loss) is layered
+/// on top by `zc::prob::DefectiveDelay`.
+
+#include <memory>
+#include <string>
+
+#include "prob/rng.hpp"
+
+namespace zc::prob {
+
+/// A proper probability distribution on [0, inf).
+class ProperDistribution {
+ public:
+  virtual ~ProperDistribution() = default;
+
+  /// P(X <= t); 0 for t < 0.
+  [[nodiscard]] virtual double cdf(double t) const = 0;
+
+  /// P(X > t) = 1 - cdf(t); override where a direct formula is more
+  /// accurate for tail probabilities.
+  [[nodiscard]] virtual double survival(double t) const {
+    return 1.0 - cdf(t);
+  }
+
+  /// E[X].
+  [[nodiscard]] virtual double mean() const = 0;
+
+  /// Draw one value.
+  [[nodiscard]] virtual double sample(Rng& rng) const = 0;
+
+  /// Human-readable name, e.g. "Exponential(rate=10)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<ProperDistribution> clone() const = 0;
+
+ protected:
+  ProperDistribution() = default;
+  ProperDistribution(const ProperDistribution&) = default;
+  ProperDistribution& operator=(const ProperDistribution&) = default;
+};
+
+}  // namespace zc::prob

@@ -1,0 +1,61 @@
+#include "prob/reply_path.hpp"
+
+#include "common/contract.hpp"
+#include "prob/families.hpp"
+
+namespace zc::prob {
+
+ReplyPath::ReplyPath(Leg probe, Leg processing, Leg reply, double floor)
+    : probe_(std::move(probe)),
+      processing_(std::move(processing)),
+      reply_(std::move(reply)),
+      floor_(floor),
+      loss_(0.0) {
+  ZC_EXPECTS(probe_.delay != nullptr);
+  ZC_EXPECTS(processing_.delay != nullptr);
+  ZC_EXPECTS(reply_.delay != nullptr);
+  ZC_EXPECTS(floor_ >= 0.0);
+  for (const Leg* leg : {&probe_, &processing_, &reply_})
+    ZC_EXPECTS(0.0 <= leg->loss && leg->loss < 1.0);
+  loss_ = 1.0 - (1.0 - probe_.loss) * (1.0 - processing_.loss) *
+                    (1.0 - reply_.loss);
+}
+
+std::optional<double> ReplyPath::sample(Rng& rng) const {
+  double total = floor_;
+  for (const Leg* leg : {&probe_, &processing_, &reply_}) {
+    if (rng.bernoulli(leg->loss)) return std::nullopt;
+    total += leg->delay->sample(rng);
+  }
+  return total;
+}
+
+std::unique_ptr<DelayDistribution> ReplyPath::to_analytic() const {
+  const auto* pe = dynamic_cast<const Exponential*>(probe_.delay.get());
+  const auto* ce = dynamic_cast<const Exponential*>(processing_.delay.get());
+  const auto* re = dynamic_cast<const Exponential*>(reply_.delay.get());
+  if (pe == nullptr || ce == nullptr || re == nullptr) return nullptr;
+  const std::vector<double> rates{pe->rate(), ce->rate(), re->rate()};
+  for (std::size_t i = 0; i < rates.size(); ++i)
+    for (std::size_t j = i + 1; j < rates.size(); ++j)
+      if (rates[i] == rates[j]) return nullptr;
+  return std::make_unique<DefectiveDelay>(
+      std::make_unique<Hypoexponential>(rates), loss_, floor_);
+}
+
+EmpiricalDelay ReplyPath::to_empirical(std::size_t trials, Rng& rng) const {
+  ZC_EXPECTS(trials > 0);
+  std::vector<double> arrived;
+  arrived.reserve(trials);
+  std::size_t lost = 0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    if (const auto t = sample(rng); t.has_value()) {
+      arrived.push_back(*t);
+    } else {
+      ++lost;
+    }
+  }
+  return EmpiricalDelay(std::move(arrived), lost);
+}
+
+}  // namespace zc::prob

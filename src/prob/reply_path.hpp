@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file reply_path.hpp
+/// Physical decomposition of the reply-delay distribution F_X. The paper
+/// folds probe loss, responder busyness and reply loss into a single
+/// defective distribution; this module builds that distribution from the
+/// physical legs of the path:
+///
+///   probe transit (loss + delay)  ->  responder processing (delay)
+///     ->  reply transit (loss + delay)
+///
+/// plus a deterministic propagation floor (the paper's round-trip d).
+/// When every random leg is exponential with pairwise-distinct rates the
+/// effective conditional delay is hypoexponential, and an *analytic*
+/// DefectiveDelay is available; in general, an empirical one is estimated
+/// by sampling. Both paths are cross-checked in tests.
+
+#include <memory>
+
+#include "prob/delay.hpp"
+#include "prob/empirical.hpp"
+
+namespace zc::prob {
+
+/// One transit leg: Bernoulli loss plus a proper delay.
+struct Leg {
+  double loss = 0.0;  ///< per-leg packet loss probability, in [0, 1)
+  std::unique_ptr<ProperDistribution> delay;  ///< transit/processing delay
+};
+
+/// Three-leg ARP reply path.
+class ReplyPath {
+ public:
+  /// \param probe       probe transit leg
+  /// \param processing  responder processing (loss models a busy host that
+  ///                    drops the probe)
+  /// \param reply       reply transit leg
+  /// \param floor       deterministic round-trip floor d >= 0
+  ReplyPath(Leg probe, Leg processing, Leg reply, double floor);
+
+  /// Probability that no reply ever arrives:
+  /// 1 - (1-loss_probe)(1-loss_proc)(1-loss_reply).
+  [[nodiscard]] double effective_loss() const noexcept { return loss_; }
+
+  /// Draw an end-to-end reply delay; nullopt if any leg loses the packet.
+  [[nodiscard]] std::optional<double> sample(Rng& rng) const;
+
+  /// Analytic effective distribution; available only when all three leg
+  /// delays are Exponential with pairwise-distinct rates (then the sum is
+  /// hypoexponential). Returns nullptr otherwise.
+  [[nodiscard]] std::unique_ptr<DelayDistribution> to_analytic() const;
+
+  /// Empirical effective distribution from `trials` sampled transits.
+  [[nodiscard]] EmpiricalDelay to_empirical(std::size_t trials,
+                                            Rng& rng) const;
+
+ private:
+  Leg probe_;
+  Leg processing_;
+  Leg reply_;
+  double floor_;
+  double loss_;
+};
+
+}  // namespace zc::prob

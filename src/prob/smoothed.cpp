@@ -1,0 +1,94 @@
+#include "prob/smoothed.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contract.hpp"
+#include "common/strings.hpp"
+
+namespace zc::prob {
+
+namespace {
+
+struct Knots {
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+/// Quantile-subsampled CDF knots: x_j = Q(j/m), y_j = (j/m) * (1-loss),
+/// deduplicated on ties (keeping the largest CDF value per x).
+Knots build_knots(const EmpiricalDelay& measured, std::size_t max_knots) {
+  ZC_EXPECTS(measured.arrived_count() >= 2);
+  ZC_EXPECTS(max_knots >= 2);
+  const std::size_t m =
+      std::min(max_knots - 1, measured.arrived_count() - 1);
+  const double arrival_mass = 1.0 - measured.loss_probability();
+
+  Knots knots;
+  for (std::size_t j = 0; j <= m; ++j) {
+    const double p = static_cast<double>(j) / static_cast<double>(m);
+    const double x = measured.arrived_quantile(p);
+    const double y = p * arrival_mass;
+    if (!knots.xs.empty() && x <= knots.xs.back()) {
+      knots.ys.back() = y;  // tie: keep the top of the ECDF step
+      continue;
+    }
+    knots.xs.push_back(x);
+    knots.ys.push_back(y);
+  }
+  ZC_ENSURES(knots.xs.size() >= 2);  // needs >= 2 distinct arrival values
+  return knots;
+}
+
+}  // namespace
+
+namespace {
+
+numerics::MonotoneCubic make_curve(const EmpiricalDelay& measured,
+                                   std::size_t max_knots) {
+  Knots knots = build_knots(measured, max_knots);
+  return numerics::MonotoneCubic(std::move(knots.xs), std::move(knots.ys));
+}
+
+}  // namespace
+
+SmoothedEmpiricalDelay::SmoothedEmpiricalDelay(
+    const EmpiricalDelay& measured, std::size_t max_knots)
+    : curve_(make_curve(measured, max_knots)),
+      loss_(measured.loss_probability()),
+      mean_(measured.mean_given_arrival()),
+      knot_count_(curve_.size()) {}
+
+double SmoothedEmpiricalDelay::cdf(double t) const {
+  return std::clamp(curve_(t), 0.0, 1.0 - loss_);
+}
+
+double SmoothedEmpiricalDelay::survival(double t) const {
+  return std::max(loss_, 1.0 - cdf(t));
+}
+
+std::optional<double> SmoothedEmpiricalDelay::sample(Rng& rng) const {
+  if (rng.bernoulli(loss_)) return std::nullopt;
+  // Inverse transform through the smooth CDF by bisection.
+  const double target = rng.uniform() * (1.0 - loss_);
+  double lo = curve_.x_min(), hi = curve_.x_max();
+  for (int iter = 0; iter < 60 && hi - lo > 1e-12 * (1.0 + hi); ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (curve_(mid) < target)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::string SmoothedEmpiricalDelay::name() const {
+  return "SmoothedEmpirical(knots=" + std::to_string(knot_count_) +
+         ",loss=" + format_sig(loss_) + ")";
+}
+
+std::unique_ptr<DelayDistribution> SmoothedEmpiricalDelay::clone() const {
+  return std::make_unique<SmoothedEmpiricalDelay>(*this);
+}
+
+}  // namespace zc::prob

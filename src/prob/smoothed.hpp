@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file smoothed.hpp
+/// Nonparametric smooth reply-delay model: a monotone-cubic (PCHIP)
+/// interpolation of the measured ECDF. The alternative to the parametric
+/// fit of fit.hpp when the delay data does not look exponential —
+/// differentiable enough for the optimizer while committing to no family.
+
+#include "prob/delay.hpp"
+#include "prob/empirical.hpp"
+#include "numerics/pchip.hpp"
+
+namespace zc::prob {
+
+/// Smooth defective delay distribution built from measurements.
+class SmoothedEmpiricalDelay final : public DelayDistribution {
+ public:
+  /// \param measured   the measurement campaign (loss + arrived delays);
+  ///                   needs at least two distinct arrival values.
+  /// \param max_knots  cap on interpolation knots (quantile-subsampled
+  ///                   when the sample is larger).
+  explicit SmoothedEmpiricalDelay(const EmpiricalDelay& measured,
+                                  std::size_t max_knots = 256);
+
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double survival(double t) const override;
+  [[nodiscard]] double loss_probability() const override { return loss_; }
+  [[nodiscard]] double mean_given_arrival() const override { return mean_; }
+  /// Inverse-transform sampling through the smooth CDF (bisection).
+  [[nodiscard]] std::optional<double> sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<DelayDistribution> clone() const override;
+
+  [[nodiscard]] std::size_t knots() const noexcept { return knot_count_; }
+
+ private:
+  numerics::MonotoneCubic curve_;
+  double loss_;
+  double mean_;
+  std::size_t knot_count_;
+};
+
+}  // namespace zc::prob

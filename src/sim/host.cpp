@@ -1,0 +1,47 @@
+#include "sim/host.hpp"
+
+#include "common/contract.hpp"
+
+namespace zc::sim {
+
+ConfiguredHost::ConfiguredHost(
+    Simulator& sim, Medium& medium, Address address,
+    std::shared_ptr<const prob::DelayDistribution> response, prob::Rng& rng)
+    : sim_(sim),
+      medium_(medium),
+      address_(address),
+      response_(std::move(response)),
+      rng_(rng) {
+  ZC_EXPECTS(address_ != kNoAddress);
+  id_ = medium_.attach([this](const Packet& p) { on_packet(p); });
+  medium_.subscribe(id_, address_);
+}
+
+void ConfiguredHost::on_packet(const Packet& packet) {
+  if (packet_address(packet) != address_) return;
+  // A foreign announcement claims our address: conflict in the
+  // maintenance phase. Defend through the same lossy reply path.
+  if (const auto* announce = std::get_if<ArpAnnounce>(&packet)) {
+    if (announce->sender != id_) ++conflicts_seen_;
+    // fall through to defend below
+  } else if (!std::holds_alternative<ArpProbe>(packet)) {
+    return;  // replies are not answered
+  }
+
+  double latency = 0.0;
+  if (response_ != nullptr) {
+    const auto sampled = response_->sample(rng_);
+    if (!sampled.has_value()) {
+      // Busy host / lost reply: the probe goes unanswered (Sec. 3.1).
+      ++probes_ignored_;
+      return;
+    }
+    latency = *sampled;
+  }
+  ++probes_answered_;
+  sim_.schedule(latency, [this] {
+    medium_.broadcast(ArpReply{address_, id_});
+  });
+}
+
+}  // namespace zc::sim

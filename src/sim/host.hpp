@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file host.hpp
+/// A host already configured with a link-local address: the ARP responder
+/// side of the protocol (Sec. 2). On receiving a probe for its address it
+/// broadcasts a reply after a stochastic response time; the *end-to-end*
+/// reply-delay distribution F_X of the model aggregates this response
+/// time with the medium's transit behaviour.
+
+#include <memory>
+
+#include "prob/delay.hpp"
+#include "sim/medium.hpp"
+
+namespace zc::sim {
+
+/// ARP responder configured with a fixed address.
+class ConfiguredHost {
+ public:
+  /// \param response  distribution of the host's response latency for one
+  ///                  probe; defective mass models a busy host that never
+  ///                  answers. May be nullptr for instant, reliable reply.
+  ConfiguredHost(Simulator& sim, Medium& medium, Address address,
+                 std::shared_ptr<const prob::DelayDistribution> response,
+                 prob::Rng& rng);
+
+  ConfiguredHost(const ConfiguredHost&) = delete;
+  ConfiguredHost& operator=(const ConfiguredHost&) = delete;
+
+  [[nodiscard]] Address address() const noexcept { return address_; }
+  [[nodiscard]] HostId id() const noexcept { return id_; }
+  [[nodiscard]] std::size_t probes_answered() const noexcept {
+    return probes_answered_;
+  }
+  [[nodiscard]] std::size_t probes_ignored() const noexcept {
+    return probes_ignored_;
+  }
+  /// Foreign announcements observed for this host's own address
+  /// (maintenance-phase conflicts).
+  [[nodiscard]] std::size_t conflicts_seen() const noexcept {
+    return conflicts_seen_;
+  }
+
+ private:
+  void on_packet(const Packet& packet);
+
+  Simulator& sim_;
+  Medium& medium_;
+  Address address_;
+  std::shared_ptr<const prob::DelayDistribution> response_;
+  prob::Rng& rng_;
+  HostId id_ = 0;
+  std::size_t probes_answered_ = 0;
+  std::size_t probes_ignored_ = 0;
+  std::size_t conflicts_seen_ = 0;
+};
+
+}  // namespace zc::sim

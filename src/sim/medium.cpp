@@ -1,0 +1,66 @@
+#include "sim/medium.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+
+namespace zc::sim {
+
+Medium::Medium(Simulator& sim, MediumConfig config, prob::Rng& rng)
+    : sim_(sim), config_(std::move(config)), rng_(rng) {
+  ZC_EXPECTS(0.0 <= config_.loss && config_.loss < 1.0);
+}
+
+HostId Medium::attach(Receiver receiver) {
+  ZC_EXPECTS(receiver != nullptr);
+  receivers_.push_back(std::move(receiver));
+  return static_cast<HostId>(receivers_.size() - 1);
+}
+
+void Medium::subscribe(HostId host, Address address) {
+  ZC_EXPECTS(host < receivers_.size());
+  auto& subs = subscribers_[address];
+  if (std::find(subs.begin(), subs.end(), host) == subs.end())
+    subs.push_back(host);
+}
+
+void Medium::unsubscribe(HostId host, Address address) {
+  const auto it = subscribers_.find(address);
+  if (it == subscribers_.end()) return;
+  auto& subs = it->second;
+  subs.erase(std::remove(subs.begin(), subs.end(), host), subs.end());
+  if (subs.empty()) subscribers_.erase(it);
+}
+
+void Medium::broadcast(const Packet& packet) {
+  const HostId sender = packet_sender(packet);
+  const auto it = subscribers_.find(packet_address(packet));
+  if (it == subscribers_.end()) return;
+  // Copy: receivers may (un)subscribe while handling a delivery.
+  const std::vector<HostId> targets = it->second;
+  for (const HostId target : targets) {
+    if (target == sender) continue;
+    ++packets_sent_;
+    if (config_.loss > 0.0 && rng_.bernoulli(config_.loss)) {
+      ++packets_lost_;
+      if (observer_)
+        observer_({sim_.now(), sim_.now(), packet, target, true});
+      continue;
+    }
+    const double delay =
+        config_.transit_delay ? config_.transit_delay->sample(rng_) : 0.0;
+    if (observer_)
+      observer_({sim_.now(), sim_.now() + delay, packet, target, false});
+    sim_.schedule(delay, [this, target, packet] {
+      // Deliver only if the target is still subscribed to this address at
+      // delivery time (it may have moved on to a new candidate).
+      const auto subs_it = subscribers_.find(packet_address(packet));
+      if (subs_it == subscribers_.end()) return;
+      const auto& subs = subs_it->second;
+      if (std::find(subs.begin(), subs.end(), target) == subs.end()) return;
+      receivers_[target](packet);
+    });
+  }
+}
+
+}  // namespace zc::sim

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file medium.hpp
+/// The shared broadcast medium (one link-local segment). Delivery is
+/// per-receiver: each (packet, receiver) pair independently suffers the
+/// configured loss probability and transit delay — the "physical" layer
+/// under the model's abstract reply-delay distribution.
+///
+/// Receivers subscribe per address (ARP filtering): a packet for address
+/// U is delivered to subscribers of U only. This is semantically
+/// equivalent to full broadcast for the zeroconf protocol (only parties
+/// interested in U act on packets about U) and keeps large simulated
+/// networks cheap.
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "prob/proper.hpp"
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace zc::sim {
+
+/// Transit characteristics of the medium.
+struct MediumConfig {
+  /// Per-delivery packet loss probability, in [0, 1).
+  double loss = 0.0;
+  /// Per-delivery transit delay; nullptr = instantaneous delivery.
+  std::shared_ptr<const prob::ProperDistribution> transit_delay;
+};
+
+/// One delivery event on the medium, as seen by a trace observer.
+struct DeliveryRecord {
+  double sent_at = 0.0;      ///< broadcast time
+  double delivered_at = 0.0; ///< delivery time (== sent_at when lost)
+  Packet packet;
+  HostId target = 0;
+  bool lost = false;
+};
+
+/// One broadcast segment.
+class Medium {
+ public:
+  using Receiver = std::function<void(const Packet&)>;
+  using Observer = std::function<void(const DeliveryRecord&)>;
+
+  Medium(Simulator& sim, MediumConfig config, prob::Rng& rng);
+
+  /// Attach an interface; the returned id is used as the packet sender id
+  /// and for (un)subscription.
+  HostId attach(Receiver receiver);
+
+  /// Subscribe `host` to packets concerning `address`.
+  void subscribe(HostId host, Address address);
+
+  /// Remove `host`'s subscription to `address` (no-op if absent).
+  void unsubscribe(HostId host, Address address);
+
+  /// Broadcast `packet` from its sender: schedule delivery to every other
+  /// subscriber of the packet's address, independently applying loss and
+  /// transit delay.
+  void broadcast(const Packet& packet);
+
+  [[nodiscard]] std::size_t packets_sent() const noexcept {
+    return packets_sent_;
+  }
+  [[nodiscard]] std::size_t packets_lost() const noexcept {
+    return packets_lost_;
+  }
+
+  /// Install a trace observer invoked for every (packet, receiver)
+  /// delivery decision — losses included, at their send time. Pass
+  /// nullptr to disable tracing.
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+ private:
+  Observer observer_;
+  Simulator& sim_;
+  MediumConfig config_;
+  prob::Rng& rng_;
+  std::vector<Receiver> receivers_;
+  std::unordered_map<Address, std::vector<HostId>> subscribers_;
+  std::size_t packets_sent_ = 0;
+  std::size_t packets_lost_ = 0;
+};
+
+}  // namespace zc::sim

@@ -1,0 +1,50 @@
+#include "sim/monte_carlo.hpp"
+
+#include "common/contract.hpp"
+
+namespace zc::sim {
+
+namespace {
+
+Estimate to_estimate(const RunningStats& stats) {
+  return {stats.mean(), stats.stddev(), stats.ci95_halfwidth()};
+}
+
+}  // namespace
+
+MonteCarloResults monte_carlo(const NetworkConfig& network,
+                              const ZeroconfConfig& protocol,
+                              const MonteCarloOptions& opts) {
+  ZC_EXPECTS(opts.trials > 0);
+
+  prob::Rng seeder(opts.seed);
+  RunningStats model_cost, elapsed_cost, probes, attempts, waiting;
+  std::size_t collisions = 0;
+
+  for (std::size_t t = 0; t < opts.trials; ++t) {
+    Network net(network, seeder.next_u64());
+    const RunResult run = net.run_join(protocol);
+    model_cost.add(run.model_cost(protocol.r, opts.probe_cost,
+                                  opts.error_cost));
+    elapsed_cost.add(run.elapsed_cost(opts.probe_cost, opts.error_cost));
+    probes.add(static_cast<double>(run.probes_sent));
+    attempts.add(static_cast<double>(run.attempts));
+    waiting.add(run.waiting_time);
+    if (run.collision) ++collisions;
+  }
+
+  MonteCarloResults out;
+  out.trials = opts.trials;
+  out.model_cost = to_estimate(model_cost);
+  out.elapsed_cost = to_estimate(elapsed_cost);
+  out.probes = to_estimate(probes);
+  out.attempts = to_estimate(attempts);
+  out.waiting_time = to_estimate(waiting);
+  out.collisions = collisions;
+  out.collision_rate =
+      static_cast<double>(collisions) / static_cast<double>(opts.trials);
+  out.collision_ci95 = wilson_ci95(collisions, opts.trials);
+  return out;
+}
+
+}  // namespace zc::sim

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file monte_carlo.hpp
+/// Monte-Carlo estimation of the model's measures from protocol-faithful
+/// simulation: mean cost (both accounting modes), collision rate, probe
+/// and attempt counts. Plays the role of the measurements the paper did
+/// not have (Sec. 7), and validates the DRM abstraction.
+
+#include <cstdint>
+
+#include "sim/network.hpp"
+#include "sim/stats.hpp"
+
+namespace zc::sim {
+
+/// Point estimate with uncertainty.
+struct Estimate {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95_halfwidth = 0.0;
+};
+
+/// Aggregated Monte-Carlo results over independent configuration runs.
+struct MonteCarloResults {
+  std::size_t trials = 0;
+
+  Estimate model_cost;    ///< (r+c) * probes + E * collision, per run
+  Estimate elapsed_cost;  ///< waiting + c * probes + E * collision
+  Estimate probes;        ///< probes sent per run
+  Estimate attempts;      ///< address attempts per run
+  Estimate waiting_time;  ///< elapsed listening time per run
+
+  std::size_t collisions = 0;
+  double collision_rate = 0.0;
+  ProportionCi collision_ci95;
+};
+
+/// Options of a Monte-Carlo campaign.
+struct MonteCarloOptions {
+  std::size_t trials = 10000;
+  std::uint64_t seed = 42;
+  double probe_cost = 2.0;   ///< c, for the cost estimates
+  double error_cost = 1e35;  ///< E, for the cost estimates
+};
+
+/// Run `opts.trials` independent configuration runs, each on a freshly
+/// populated network (addresses re-randomized), and aggregate.
+[[nodiscard]] MonteCarloResults monte_carlo(const NetworkConfig& network,
+                                            const ZeroconfConfig& protocol,
+                                            const MonteCarloOptions& opts);
+
+}  // namespace zc::sim

@@ -1,0 +1,93 @@
+#include "sim/network.hpp"
+
+#include <unordered_map>
+
+#include "common/contract.hpp"
+
+namespace zc::sim {
+
+Network::Network(NetworkConfig config, std::uint64_t seed)
+    : config_(std::move(config)),
+      rng_(seed),
+      medium_(sim_, config_.medium, rng_) {
+  ZC_EXPECTS(config_.hosts < config_.address_space);
+  used_.reserve(config_.hosts);
+  hosts_.reserve(config_.hosts);
+  while (used_.size() < config_.hosts) {
+    const auto addr =
+        static_cast<Address>(1 + rng_.uniform_below(config_.address_space));
+    if (!used_.insert(addr).second) continue;
+    const auto& responder =
+        config_.responder_mix.empty()
+            ? config_.responder_delay
+            : config_.responder_mix[hosts_.size() %
+                                    config_.responder_mix.size()];
+    hosts_.push_back(std::make_unique<ConfiguredHost>(
+        sim_, medium_, addr, responder, rng_));
+  }
+}
+
+RunResult Network::run_join(const ZeroconfConfig& protocol) {
+  ZeroconfHost joiner(sim_, medium_, config_.address_space, protocol, rng_);
+  const double start = sim_.now();
+  joiner.start();
+  // Drain everything the configuration attempt spawned. Late, irrelevant
+  // replies may remain scheduled; they execute harmlessly.
+  sim_.run();
+  ZC_ASSERT(joiner.outcome() == Outcome::configured);
+
+  RunResult out;
+  out.address = joiner.configured_address();
+  out.collision = is_in_use(out.address);
+  out.probes_sent = joiner.probes_sent();
+  out.attempts = joiner.attempts();
+  out.conflicts = joiner.conflicts();
+  out.waiting_time = joiner.waiting_time();
+  out.elapsed = joiner.finish_time() - start;
+  out.collision_detected = joiner.collision_detected();
+  if (out.collision_detected)
+    out.detection_latency =
+        joiner.collision_detected_at() - joiner.finish_time();
+  return out;
+}
+
+std::vector<RunResult> Network::run_simultaneous_join(
+    const ZeroconfConfig& protocol, unsigned count) {
+  ZC_EXPECTS(count >= 1);
+  std::vector<std::unique_ptr<ZeroconfHost>> joiners;
+  joiners.reserve(count);
+  const double start = sim_.now();
+  for (unsigned i = 0; i < count; ++i)
+    joiners.push_back(std::make_unique<ZeroconfHost>(
+        sim_, medium_, config_.address_space, protocol, rng_));
+  for (auto& j : joiners) j->start();
+  sim_.run();
+
+  // Claimed addresses: collisions can be with configured hosts or among
+  // the joiners themselves.
+  std::unordered_map<Address, unsigned> claims;
+  for (auto& j : joiners) {
+    ZC_ASSERT(j->outcome() == Outcome::configured);
+    ++claims[j->configured_address()];
+  }
+
+  std::vector<RunResult> results;
+  results.reserve(count);
+  for (auto& j : joiners) {
+    RunResult r;
+    r.address = j->configured_address();
+    r.collision = is_in_use(r.address) || claims[r.address] > 1;
+    r.probes_sent = j->probes_sent();
+    r.attempts = j->attempts();
+    r.conflicts = j->conflicts();
+    r.waiting_time = j->waiting_time();
+    r.elapsed = j->finish_time() - start;
+    r.collision_detected = j->collision_detected();
+    if (r.collision_detected)
+      r.detection_latency = j->collision_detected_at() - j->finish_time();
+    results.push_back(r);
+  }
+  return results;
+}
+
+}  // namespace zc::sim

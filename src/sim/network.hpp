@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file network.hpp
+/// Scenario harness: one link-local segment populated with `hosts`
+/// already-configured hosts at distinct random addresses, to which
+/// joining hosts are added. Mirrors the paper's modeling assumptions
+/// (Sec. 3.1): the network is static during a configuration run and
+/// q = hosts / address_space.
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "prob/delay.hpp"
+#include "sim/host.hpp"
+#include "sim/zeroconf_host.hpp"
+
+namespace zc::sim {
+
+/// Static description of the simulated network.
+struct NetworkConfig {
+  Address address_space = 65024;  ///< size of the candidate address pool
+  unsigned hosts = 1000;          ///< configured hosts already on the link
+
+  /// End-to-end reply behaviour of configured hosts: the model's F_X.
+  /// Its defective mass covers probe loss + busy host + reply loss.
+  std::shared_ptr<const prob::DelayDistribution> responder_delay;
+
+  /// Heterogeneous population: when non-empty, host k uses
+  /// responder_mix[k % size] instead of responder_delay (cyclic
+  /// assignment gives equal class proportions).
+  std::vector<std::shared_ptr<const prob::DelayDistribution>> responder_mix;
+
+  /// Optional physical medium behaviour (per-delivery loss/delay) applied
+  /// *in addition* to responder_delay; defaults to a perfect medium so
+  /// that responder_delay alone equals the model's F_X.
+  MediumConfig medium;
+};
+
+/// Result of one configuration run.
+struct RunResult {
+  bool collision = false;      ///< claimed an address already in use
+  Address address = kNoAddress;
+  unsigned probes_sent = 0;
+  unsigned attempts = 0;
+  unsigned conflicts = 0;
+  double waiting_time = 0.0;   ///< actual elapsed listening time
+  double elapsed = 0.0;        ///< wall-clock from start to claim
+
+  /// Maintenance phase (when announcements are enabled): was a collision
+  /// detected post-claim, and how long after the claim?
+  bool collision_detected = false;
+  double detection_latency = 0.0;
+
+  /// The paper's cost of this run under model accounting: every probe is
+  /// charged a full listening period r plus postage c, a collision costs E.
+  [[nodiscard]] double model_cost(double r, double probe_cost,
+                                  double error_cost) const {
+    return static_cast<double>(probes_sent) * (r + probe_cost) +
+           (collision ? error_cost : 0.0);
+  }
+
+  /// Cost with elapsed-time accounting: only time actually spent waiting
+  /// is charged (quantifies the model's full-period abstraction).
+  [[nodiscard]] double elapsed_cost(double probe_cost,
+                                    double error_cost) const {
+    return waiting_time +
+           static_cast<double>(probes_sent) * probe_cost +
+           (collision ? error_cost : 0.0);
+  }
+};
+
+/// One populated link-local segment.
+class Network {
+ public:
+  /// Populates the segment with `config.hosts` ARP responders at distinct
+  /// uniformly-drawn addresses.
+  Network(NetworkConfig config, std::uint64_t seed);
+
+  [[nodiscard]] bool is_in_use(Address address) const {
+    return used_.contains(address);
+  }
+  [[nodiscard]] Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] Medium& medium() noexcept { return medium_; }
+  [[nodiscard]] prob::Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] const NetworkConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Run one joining host to completion and report the outcome.
+  [[nodiscard]] RunResult run_join(const ZeroconfConfig& protocol);
+
+  /// Run `count` joining hosts *simultaneously* (all start at time 0) —
+  /// the multi-host contention scenario of the Uppaal companion study.
+  /// Returns one result per host; `collision` additionally accounts for
+  /// two joining hosts claiming the same address.
+  [[nodiscard]] std::vector<RunResult> run_simultaneous_join(
+      const ZeroconfConfig& protocol, unsigned count);
+
+ private:
+  NetworkConfig config_;
+  prob::Rng rng_;
+  Simulator sim_;
+  Medium medium_;
+  std::unordered_set<Address> used_;
+  std::vector<std::unique_ptr<ConfiguredHost>> hosts_;
+};
+
+}  // namespace zc::sim

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file packet.hpp
+/// ARP packets exchanged on the simulated link-local network (Sec. 2).
+/// Only the zeroconf-relevant fields are modeled.
+
+#include <cstdint>
+#include <variant>
+
+namespace zc::sim {
+
+/// Identifier of an attached network interface.
+using HostId = std::uint32_t;
+
+/// An IPv4 link-local address, encoded 1..65024 (0 = unassigned).
+using Address = std::uint32_t;
+
+/// No address configured yet.
+inline constexpr Address kNoAddress = 0;
+
+/// ARP probe: "what is the hardware address belonging to IP number U?"
+/// Sent by a configuring host with the *candidate* address in `address`
+/// and an unspecified sender protocol address.
+struct ArpProbe {
+  Address address = kNoAddress;  ///< the probed (candidate) address
+  HostId sender = 0;
+};
+
+/// ARP reply: broadcast by the host already configured with the probed
+/// address; its mere existence signals "address in use".
+struct ArpReply {
+  Address address = kNoAddress;  ///< the address being defended
+  HostId responder = 0;
+};
+
+/// ARP announcement (gratuitous ARP): sent by a host right after claiming
+/// an address — "I am now using U". The collision-detection vehicle of
+/// the protocol's maintenance phase.
+struct ArpAnnounce {
+  Address address = kNoAddress;  ///< the freshly claimed address
+  HostId sender = 0;
+};
+
+/// Any packet on the medium.
+using Packet = std::variant<ArpProbe, ArpReply, ArpAnnounce>;
+
+/// The address a packet pertains to (probe target / defended / claimed).
+[[nodiscard]] inline Address packet_address(const Packet& p) {
+  return std::visit([](const auto& v) { return v.address; }, p);
+}
+
+/// The sending interface.
+[[nodiscard]] inline HostId packet_sender(const Packet& p) {
+  if (const auto* probe = std::get_if<ArpProbe>(&p)) return probe->sender;
+  if (const auto* reply = std::get_if<ArpReply>(&p)) return reply->responder;
+  return std::get<ArpAnnounce>(p).sender;
+}
+
+}  // namespace zc::sim

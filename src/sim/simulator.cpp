@@ -1,0 +1,55 @@
+#include "sim/simulator.hpp"
+
+namespace zc::sim {
+
+EventHandle Simulator::schedule(double delay, Action action) {
+  ZC_EXPECTS(delay >= 0.0);
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+EventHandle Simulator::schedule_at(double time, Action action) {
+  ZC_EXPECTS(time >= now_);
+  ZC_EXPECTS(action != nullptr);
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Scheduled{time, next_seq_++, alive, std::move(action)});
+  return EventHandle(std::move(alive));
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the action is moved out via const_cast
+    // immediately before pop, which is safe because the element is
+    // discarded in the same statement group.
+    Scheduled& top = const_cast<Scheduled&>(queue_.top());
+    const bool live = *top.alive;
+    const double time = top.time;
+    Action action = std::move(top.action);
+    queue_.pop();
+    if (!live) continue;
+    now_ = time;
+    action();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && step()) ++executed;
+  return executed;
+}
+
+std::size_t Simulator::run_until(double t_end) {
+  std::size_t executed = 0;
+  while (true) {
+    // Drop cancelled events at the head so the horizon check below sees
+    // the next event that would actually execute.
+    while (!queue_.empty() && !*queue_.top().alive) queue_.pop();
+    if (queue_.empty() || queue_.top().time > t_end) break;
+    if (!step()) break;
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace zc::sim

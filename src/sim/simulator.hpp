@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file simulator.hpp
+/// Discrete-event simulation engine: a virtual clock and a stable
+/// time-ordered event queue with cancellation. Substrate for the
+/// protocol-faithful zeroconf simulation that validates the DRM model.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/contract.hpp"
+
+namespace zc::sim {
+
+/// Handle to a scheduled event; allows cancellation (e.g. a host cancels
+/// its probe timer when a conflicting reply arrives).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancel the event if it has not fired yet. Idempotent.
+  void cancel() noexcept {
+    if (alive_) *alive_ = false;
+  }
+
+  [[nodiscard]] bool pending() const noexcept { return alive_ && *alive_; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> alive)
+      : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+/// The event-driven simulation core.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current virtual time (seconds).
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Schedule `action` to run `delay >= 0` seconds from now. Ties are
+  /// broken FIFO by scheduling order (stable determinism).
+  EventHandle schedule(double delay, Action action);
+
+  /// Schedule at an absolute time >= now().
+  EventHandle schedule_at(double time, Action action);
+
+  /// Run events in time order until the queue is empty or `max_events`
+  /// have been executed. Returns the number of events executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Run until the virtual clock would pass `t_end` (events at exactly
+  /// t_end still run). Returns the number of events executed.
+  std::size_t run_until(double t_end);
+
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return queue_.size();
+  }
+
+ private:
+  struct Scheduled {
+    double time;
+    std::uint64_t seq;
+    std::shared_ptr<bool> alive;
+    Action action;
+
+    bool operator>(const Scheduled& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  /// Pop the next live event, or false if none.
+  bool step();
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Scheduled, std::vector<Scheduled>,
+                      std::greater<Scheduled>>
+      queue_;
+};
+
+}  // namespace zc::sim

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file stats.hpp
+/// Streaming statistics for Monte-Carlo estimation: Welford mean/variance
+/// accumulation and normal-approximation confidence intervals.
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/contract.hpp"
+
+namespace zc::sim {
+
+/// Welford online accumulator: numerically stable mean and variance.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Unbiased sample variance (0 for fewer than 2 samples).
+  [[nodiscard]] double variance() const noexcept {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  [[nodiscard]] double stddev() const noexcept {
+    return std::sqrt(variance());
+  }
+
+  /// Standard error of the mean.
+  [[nodiscard]] double std_error() const noexcept {
+    return count_ == 0 ? 0.0
+                       : stddev() / std::sqrt(static_cast<double>(count_));
+  }
+
+  /// Half-width of the 95% normal-approximation confidence interval.
+  [[nodiscard]] double ci95_halfwidth() const noexcept {
+    return 1.959963984540054 * std_error();
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Wilson 95% confidence interval for a binomial proportion; much better
+/// than the normal approximation for rare events (collisions).
+struct ProportionCi {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+[[nodiscard]] inline ProportionCi wilson_ci95(std::size_t successes,
+                                              std::size_t trials) {
+  ZC_EXPECTS(trials > 0);
+  ZC_EXPECTS(successes <= trials);
+  const double z = 1.959963984540054;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::fmax(0.0, center - half), std::fmin(1.0, center + half)};
+}
+
+}  // namespace zc::sim

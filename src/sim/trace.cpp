@@ -1,0 +1,54 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+
+#include "common/strings.hpp"
+
+namespace zc::sim {
+
+void TraceLog::attach(Medium& medium) {
+  medium.set_observer(
+      [this](const DeliveryRecord& record) { records_.push_back(record); });
+}
+
+std::size_t TraceLog::losses() const {
+  std::size_t lost = 0;
+  for (const auto& r : records_)
+    if (r.lost) ++lost;
+  return lost;
+}
+
+std::vector<DeliveryRecord> TraceLog::for_address(Address address) const {
+  std::vector<DeliveryRecord> out;
+  for (const auto& r : records_)
+    if (packet_address(r.packet) == address) out.push_back(r);
+  return out;
+}
+
+void TraceLog::print(std::ostream& os, std::size_t max_lines) const {
+  std::size_t printed = 0;
+  for (const auto& r : records_) {
+    if (printed++ >= max_lines) {
+      os << "... (" << records_.size() - max_lines << " more)\n";
+      break;
+    }
+    os << format_record(r) << '\n';
+  }
+}
+
+std::string format_record(const DeliveryRecord& record) {
+  const bool is_probe = std::holds_alternative<ArpProbe>(record.packet);
+  std::string out = "t=" + zc::format_fixed(record.sent_at, 4) + "  " +
+                    (is_probe ? "PROBE" : "REPLY") + " addr=" +
+                    std::to_string(packet_address(record.packet)) + "  " +
+                    std::to_string(packet_sender(record.packet)) + " -> " +
+                    std::to_string(record.target);
+  if (record.lost) {
+    out += "  LOST";
+  } else if (record.delivered_at > record.sent_at) {
+    out += "  delivered t=" + zc::format_fixed(record.delivered_at, 4);
+  }
+  return out;
+}
+
+}  // namespace zc::sim

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file trace.hpp
+/// Packet-level tracing of simulation runs: a recording observer for the
+/// Medium plus human-readable formatting — the debugging view onto the
+/// protocol that the abstract model does not have.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/medium.hpp"
+
+namespace zc::sim {
+
+/// Records every delivery decision made by a Medium.
+class TraceLog {
+ public:
+  /// Install this log as `medium`'s observer. The log must outlive the
+  /// medium's use (or be detached by setting another observer).
+  void attach(Medium& medium);
+
+  [[nodiscard]] const std::vector<DeliveryRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+  void clear() { records_.clear(); }
+
+  /// Number of recorded losses.
+  [[nodiscard]] std::size_t losses() const;
+
+  /// Records concerning one address (probe target / defended address).
+  [[nodiscard]] std::vector<DeliveryRecord> for_address(
+      Address address) const;
+
+  /// Print one line per record: time, packet kind, address, route, fate.
+  void print(std::ostream& os, std::size_t max_lines = SIZE_MAX) const;
+
+ private:
+  std::vector<DeliveryRecord> records_;
+};
+
+/// One-line rendering of a delivery record.
+[[nodiscard]] std::string format_record(const DeliveryRecord& record);
+
+}  // namespace zc::sim

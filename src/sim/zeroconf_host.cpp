@@ -1,0 +1,153 @@
+#include "sim/zeroconf_host.hpp"
+
+#include "common/contract.hpp"
+
+namespace zc::sim {
+
+ZeroconfHost::ZeroconfHost(Simulator& sim, Medium& medium,
+                           Address address_space, ZeroconfConfig config,
+                           prob::Rng& rng, std::function<void()> on_done)
+    : sim_(sim),
+      medium_(medium),
+      address_space_(address_space),
+      config_(config),
+      rng_(rng),
+      on_done_(std::move(on_done)) {
+  ZC_EXPECTS(address_space_ >= 1);
+  ZC_EXPECTS(config_.n >= 1);
+  ZC_EXPECTS(config_.r >= 0.0);
+  ZC_EXPECTS(config_.probe_wait_max >= 0.0);
+  id_ = medium_.attach([this](const Packet& p) { on_packet(p); });
+}
+
+void ZeroconfHost::start() {
+  ZC_EXPECTS(!started_);
+  started_ = true;
+  begin_attempt();
+}
+
+Address ZeroconfHost::pick_candidate() {
+  // Uniform over [1, address_space]; with avoidance on, re-draw until a
+  // fresh address appears (the failed set is tiny relative to the space).
+  ZC_EXPECTS(!config_.avoid_failed_addresses ||
+             failed_.size() < address_space_);
+  while (true) {
+    const auto addr =
+        static_cast<Address>(1 + rng_.uniform_below(address_space_));
+    if (!config_.avoid_failed_addresses || !failed_.contains(addr))
+      return addr;
+  }
+}
+
+void ZeroconfHost::begin_attempt() {
+  ++attempts_;
+  probes_this_attempt_ = 0;
+  candidate_ = pick_candidate();
+  medium_.subscribe(id_, candidate_);
+  if (config_.probe_wait_max > 0.0) {
+    // Draft PROBE_WAIT: listen (conflicts abort) but delay the first probe.
+    period_start_ = sim_.now();
+    period_timer_ = sim_.schedule(rng_.uniform(0.0, config_.probe_wait_max),
+                                  [this] { send_probe(); });
+  } else {
+    send_probe();
+  }
+}
+
+void ZeroconfHost::send_probe() {
+  ++probes_this_attempt_;
+  ++probes_sent_;
+  medium_.broadcast(ArpProbe{candidate_, id_});
+  period_start_ = sim_.now();
+  period_timer_ = sim_.schedule(config_.r, [this] { on_period_end(); });
+}
+
+void ZeroconfHost::on_period_end() {
+  waiting_time_ += sim_.now() - period_start_;
+  if (probes_this_attempt_ < config_.n) {
+    send_probe();
+  } else {
+    claim();
+  }
+}
+
+void ZeroconfHost::on_packet(const Packet& packet) {
+  // Once configured, defend the claimed address like any ConfiguredHost.
+  if (outcome_ == Outcome::configured) {
+    if (packet_address(packet) != configured_address_) return;
+    // A defense reply, or another host claiming/announcing our address:
+    // the collision is now known on both sides.
+    if (std::holds_alternative<ArpReply>(packet) ||
+        std::holds_alternative<ArpAnnounce>(packet)) {
+      mark_collision_detected();
+      return;
+    }
+    const auto* probe = std::get_if<ArpProbe>(&packet);
+    if (probe == nullptr) return;
+    double latency = 0.0;
+    if (config_.defend_response != nullptr) {
+      const auto sampled = config_.defend_response->sample(rng_);
+      if (!sampled.has_value()) return;  // busy / reply lost
+      latency = *sampled;
+    }
+    sim_.schedule(latency, [this] {
+      medium_.broadcast(ArpReply{configured_address_, id_});
+    });
+    return;
+  }
+
+  if (candidate_ == kNoAddress) return;
+  if (packet_address(packet) != candidate_) return;
+
+  if (std::holds_alternative<ArpReply>(packet) ||
+      std::holds_alternative<ArpAnnounce>(packet)) {
+    handle_conflict();
+    return;
+  }
+  // A probe from another configuring host for our candidate: both must
+  // back off per the draft's simultaneous-probe rule.
+  if (config_.detect_probe_conflicts &&
+      std::holds_alternative<ArpProbe>(packet)) {
+    handle_conflict();
+  }
+}
+
+void ZeroconfHost::handle_conflict() {
+  ++conflicts_;
+  failed_.insert(candidate_);
+  waiting_time_ += sim_.now() - period_start_;  // partial listening period
+  period_timer_.cancel();
+  medium_.unsubscribe(id_, candidate_);
+  candidate_ = kNoAddress;
+
+  const bool limited = config_.rate_limit &&
+                       conflicts_ >= config_.rate_limit_threshold;
+  const double delay = limited ? config_.rate_limit_delay : 0.0;
+  sim_.schedule(delay, [this] { begin_attempt(); });
+}
+
+void ZeroconfHost::claim() {
+  configured_address_ = candidate_;
+  outcome_ = Outcome::configured;
+  finish_time_ = sim_.now();
+  // Stay subscribed: a configured host keeps defending its address.
+  if (config_.announce_count > 0) send_announcement();
+  if (on_done_) on_done_();
+}
+
+void ZeroconfHost::send_announcement() {
+  ++announcements_sent_;
+  medium_.broadcast(ArpAnnounce{configured_address_, id_});
+  if (announcements_sent_ < config_.announce_count) {
+    sim_.schedule(config_.announce_interval,
+                  [this] { send_announcement(); });
+  }
+}
+
+void ZeroconfHost::mark_collision_detected() {
+  if (collision_detected_) return;
+  collision_detected_ = true;
+  collision_detected_at_ = sim_.now();
+}
+
+}  // namespace zc::sim

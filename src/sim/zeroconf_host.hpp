@@ -1,0 +1,150 @@
+#pragma once
+
+/// \file zeroconf_host.hpp
+/// The configuring host's state machine, following the Internet-Draft [2]
+/// (Sec. 2): pick a random candidate address, send up to n ARP probes r
+/// seconds apart, abort and restart with a fresh candidate on any
+/// conflicting reply (or on a conflicting simultaneous probe), claim the
+/// address after n silent listening periods.
+///
+/// Includes the details the paper's model abstracts away (Sec. 3.1):
+///  (a) optionally avoid re-trying addresses that already failed,
+///  (b) optional rate limiting to one attempt per minute after 10
+///      conflicts.
+
+#include <functional>
+#include <memory>
+#include <unordered_set>
+
+#include "prob/delay.hpp"
+#include "prob/rng.hpp"
+#include "sim/medium.hpp"
+
+namespace zc::sim {
+
+/// Protocol configuration for a joining host.
+struct ZeroconfConfig {
+  unsigned n = 4;   ///< number of probes per attempt
+  double r = 2.0;   ///< listening period after each probe, seconds
+
+  /// Draft PROBE_WAIT: a uniform random delay in [0, probe_wait_max]
+  /// before the first probe of each attempt, desynchronizing hosts that
+  /// start simultaneously. 0 = probe immediately (model-faithful).
+  /// A conflict observed during the wait aborts the attempt; the elapsed
+  /// wait counts toward waiting_time.
+  double probe_wait_max = 0.0;
+
+  /// Draft detail (a): never re-pick a candidate that previously drew a
+  /// conflict. Off = model-faithful uniform re-pick.
+  bool avoid_failed_addresses = false;
+
+  /// Draft detail (b): rate limiting after repeated conflicts.
+  bool rate_limit = false;
+  unsigned rate_limit_threshold = 10;
+  double rate_limit_delay = 60.0;
+
+  /// React to ARP *probes* from other configuring hosts for our candidate
+  /// (simultaneous-configuration conflict rule of the draft).
+  bool detect_probe_conflicts = true;
+
+  /// Once configured, answer probes for the claimed address (the address-
+  /// defense half of the protocol); nullptr = reply instantly & reliably.
+  std::shared_ptr<const prob::DelayDistribution> defend_response;
+
+  /// Maintenance phase (draft part 2, abstracted by the paper's model):
+  /// broadcast `announce_count` gratuitous ARPs after claiming, spaced by
+  /// `announce_interval`. A defense reply (or a foreign announcement for
+  /// the claimed address) marks the collision as *detected*. 0 = off.
+  unsigned announce_count = 0;
+  double announce_interval = 2.0;  ///< draft ANNOUNCE_INTERVAL
+};
+
+/// Terminal state of a configuration run.
+enum class Outcome {
+  pending,     ///< still probing
+  configured,  ///< address claimed after n silent periods
+};
+
+/// A host executing the zeroconf initialization phase.
+class ZeroconfHost {
+ public:
+  /// \param address_space  candidate addresses are drawn uniformly from
+  ///                       [1, address_space]
+  /// \param on_done        invoked once when the host claims an address
+  ZeroconfHost(Simulator& sim, Medium& medium, Address address_space,
+               ZeroconfConfig config, prob::Rng& rng,
+               std::function<void()> on_done = nullptr);
+
+  ZeroconfHost(const ZeroconfHost&) = delete;
+  ZeroconfHost& operator=(const ZeroconfHost&) = delete;
+
+  /// Begin the first attempt (at the current simulation time).
+  void start();
+
+  [[nodiscard]] Outcome outcome() const noexcept { return outcome_; }
+  /// The claimed address; kNoAddress while pending.
+  [[nodiscard]] Address configured_address() const noexcept {
+    return configured_address_;
+  }
+  [[nodiscard]] HostId id() const noexcept { return id_; }
+
+  /// Total ARP probes sent across all attempts.
+  [[nodiscard]] unsigned probes_sent() const noexcept { return probes_sent_; }
+  /// Address-selection attempts (>= 1 once started).
+  [[nodiscard]] unsigned attempts() const noexcept { return attempts_; }
+  /// Conflicts observed (replies or probe clashes).
+  [[nodiscard]] unsigned conflicts() const noexcept { return conflicts_; }
+  /// Wall-clock spent listening (partial periods counted as elapsed).
+  [[nodiscard]] double waiting_time() const noexcept { return waiting_time_; }
+  /// Simulation time of configuration completion.
+  [[nodiscard]] double finish_time() const noexcept { return finish_time_; }
+
+  /// True once a post-claim conflict was observed (defense reply or a
+  /// foreign claim of the configured address).
+  [[nodiscard]] bool collision_detected() const noexcept {
+    return collision_detected_;
+  }
+  /// Simulation time of the detection (meaningful only when detected).
+  [[nodiscard]] double collision_detected_at() const noexcept {
+    return collision_detected_at_;
+  }
+
+ private:
+  void begin_attempt();
+  void send_probe();
+  void on_period_end();
+  void on_packet(const Packet& packet);
+  void handle_conflict();
+  void claim();
+  void send_announcement();
+  void mark_collision_detected();
+  [[nodiscard]] Address pick_candidate();
+
+  Simulator& sim_;
+  Medium& medium_;
+  Address address_space_;
+  ZeroconfConfig config_;
+  prob::Rng& rng_;
+  std::function<void()> on_done_;
+
+  HostId id_ = 0;
+  Address candidate_ = kNoAddress;
+  Address configured_address_ = kNoAddress;
+  Outcome outcome_ = Outcome::pending;
+  bool started_ = false;
+
+  unsigned probes_this_attempt_ = 0;
+  unsigned probes_sent_ = 0;
+  unsigned attempts_ = 0;
+  unsigned conflicts_ = 0;
+  double waiting_time_ = 0.0;
+  double period_start_ = 0.0;
+  double finish_time_ = 0.0;
+  unsigned announcements_sent_ = 0;
+  bool collision_detected_ = false;
+  double collision_detected_at_ = 0.0;
+  EventHandle period_timer_;
+  std::unordered_set<Address> failed_;
+};
+
+}  // namespace zc::sim

@@ -1,0 +1,115 @@
+#include "analysis/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/contract.hpp"
+#include "numerics/grid.hpp"
+
+namespace {
+
+using zc::analysis::PlotOptions;
+using zc::analysis::Series;
+
+Series line_series() {
+  return zc::analysis::sample_series("line",
+                                     zc::numerics::linspace(0.0, 10.0, 50),
+                                     [](double x) { return x; });
+}
+
+TEST(AsciiPlot, ContainsTitleAndLegend) {
+  std::ostringstream os;
+  PlotOptions opts;
+  opts.title = "My Plot";
+  zc::analysis::ascii_plot(os, {line_series()}, opts);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("My Plot"), std::string::npos);
+  EXPECT_NE(out.find("1 = line"), std::string::npos);
+}
+
+TEST(AsciiPlot, MarksDataWithSeriesMarker) {
+  std::ostringstream os;
+  zc::analysis::ascii_plot(os, {line_series()});
+  EXPECT_NE(os.str().find('1'), std::string::npos);
+}
+
+TEST(AsciiPlot, MultipleSeriesDistinctMarkers) {
+  const auto xs = zc::numerics::linspace(0.0, 1.0, 20);
+  const auto a = zc::analysis::sample_series(
+      "low", xs, [](double) { return 0.0; });
+  const auto b = zc::analysis::sample_series(
+      "high", xs, [](double) { return 1.0; });
+  std::ostringstream os;
+  zc::analysis::ascii_plot(os, {a, b});
+  const std::string out = os.str();
+  EXPECT_NE(out.find('1'), std::string::npos);
+  EXPECT_NE(out.find('2'), std::string::npos);
+}
+
+TEST(AsciiPlot, LogYAxisHandlesWideRanges) {
+  const auto xs = zc::numerics::linspace(1.0, 8.0, 8);
+  const auto s = zc::analysis::sample_series(
+      "exp", xs, [](double x) { return std::pow(10.0, -5.0 * x); });
+  std::ostringstream os;
+  PlotOptions opts;
+  opts.log_y = true;
+  EXPECT_NO_THROW(zc::analysis::ascii_plot(os, {s}, opts));
+  EXPECT_NE(os.str().find("[log-y]"), std::string::npos);
+}
+
+TEST(AsciiPlot, NonPositiveValuesSkippedOnLogAxis) {
+  const Series s{"mixed", {1.0, 2.0, 3.0}, {-1.0, 0.0, 10.0}};
+  std::ostringstream os;
+  PlotOptions opts;
+  opts.log_y = true;
+  EXPECT_NO_THROW(zc::analysis::ascii_plot(os, {s}, opts));
+}
+
+TEST(AsciiPlot, NonFiniteValuesSkipped) {
+  const Series s{"nan", {1.0, 2.0}, {std::nan(""), 3.0}};
+  std::ostringstream os;
+  EXPECT_NO_THROW(zc::analysis::ascii_plot(os, {s}));
+}
+
+TEST(AsciiPlot, ViewportClampsToYRange) {
+  // The Fig. 2 use case: cut off astronomically large curves.
+  const Series huge{"huge", {1.0, 2.0}, {1e18, 2e18}};
+  const Series small{"small", {1.0, 2.0}, {10.0, 20.0}};
+  std::ostringstream os;
+  PlotOptions opts;
+  opts.y_max = 100.0;
+  zc::analysis::ascii_plot(os, {huge, small}, opts);
+  // Scan only the bordered plot rows ("...|<grid>|"): the clipped series
+  // must leave no marks, the small one must be drawn.
+  std::istringstream lines(os.str());
+  std::string line;
+  int huge_marks = 0, small_marks = 0;
+  while (std::getline(lines, line)) {
+    if (line.size() < 2 || line.back() != '|') continue;
+    const auto open = line.find('|');
+    for (std::size_t i = open + 1; i + 1 < line.size(); ++i) {
+      if (line[i] == '1') ++huge_marks;
+      if (line[i] == '2') ++small_marks;
+    }
+  }
+  EXPECT_EQ(huge_marks, 0);
+  EXPECT_GT(small_marks, 0);
+}
+
+TEST(AsciiPlot, DegenerateSingleValueStillRenders) {
+  const Series s{"flat", {1.0, 2.0}, {5.0, 5.0}};
+  std::ostringstream os;
+  EXPECT_NO_THROW(zc::analysis::ascii_plot(os, {s}));
+}
+
+TEST(AsciiPlot, TooSmallViewportRejected) {
+  std::ostringstream os;
+  PlotOptions opts;
+  opts.width = 4;
+  EXPECT_THROW(zc::analysis::ascii_plot(os, {line_series()}, opts),
+               zc::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,73 @@
+#include "analysis/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/contract.hpp"
+
+namespace {
+
+using zc::analysis::Series;
+
+TEST(Csv, SingleSeriesTwoColumns) {
+  const Series s{"cost", {1.0, 2.0}, {10.0, 20.0}};
+  std::ostringstream os;
+  zc::analysis::write_csv(os, s, "r");
+  EXPECT_EQ(os.str(), "r,cost\n1,10\n2,20\n");
+}
+
+TEST(Csv, MultipleSeriesShareXColumn) {
+  const Series a{"a", {1.0, 2.0}, {1.0, 4.0}};
+  const Series b{"b", {1.0, 2.0}, {1.0, 8.0}};
+  std::ostringstream os;
+  zc::analysis::write_csv(os, {a, b});
+  EXPECT_EQ(os.str(), "x,a,b\n1,1,1\n2,4,8\n");
+}
+
+TEST(Csv, MismatchedXGridsRejected) {
+  const Series a{"a", {1.0, 2.0}, {1.0, 4.0}};
+  const Series b{"b", {1.0, 3.0}, {1.0, 8.0}};
+  std::ostringstream os;
+  EXPECT_THROW(zc::analysis::write_csv(os, {a, b}), zc::ContractViolation);
+}
+
+TEST(Csv, MismatchedYLengthRejected) {
+  const Series bad{"a", {1.0, 2.0}, {1.0}};
+  std::ostringstream os;
+  EXPECT_THROW(zc::analysis::write_csv(os, bad), zc::ContractViolation);
+}
+
+TEST(Csv, EmptySeriesListRejected) {
+  std::ostringstream os;
+  EXPECT_THROW(zc::analysis::write_csv(os, std::vector<Series>{}),
+               zc::ContractViolation);
+}
+
+TEST(Csv, ScientificValuesRoundTrip) {
+  const Series s{"e", {1.0}, {4.03e-22}};
+  std::ostringstream os;
+  zc::analysis::write_csv(os, s);
+  EXPECT_NE(os.str().find("e-22"), std::string::npos);
+}
+
+TEST(Csv, WritesFile) {
+  const std::string path = ::testing::TempDir() + "zc_csv_test.csv";
+  const Series s{"y", {1.0, 2.0}, {3.0, 4.0}};
+  ASSERT_TRUE(zc::analysis::write_csv_file(path, {s}));
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "x,y");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, FileWriteFailureReported) {
+  const Series s{"y", {1.0}, {2.0}};
+  EXPECT_FALSE(zc::analysis::write_csv_file(
+      "/nonexistent-dir-zc/cannot.csv", {s}));
+}
+
+}  // namespace

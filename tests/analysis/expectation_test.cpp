@@ -1,0 +1,81 @@
+#include "analysis/expectation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using zc::analysis::PaperCheck;
+
+TEST(PaperCheck, EmptyCheckSetPasses) {
+  const PaperCheck check("EXP");
+  EXPECT_TRUE(check.all_passed());
+}
+
+TEST(PaperCheck, ExplicitPassAndFail) {
+  PaperCheck check("EXP");
+  check.expect("ok", "x", "x", true);
+  EXPECT_TRUE(check.all_passed());
+  check.expect("bad", "x", "y", false);
+  EXPECT_FALSE(check.all_passed());
+}
+
+TEST(PaperCheck, ExpectCloseWithinTolerance) {
+  PaperCheck check("EXP");
+  check.expect_close("near", 100.0, 104.0, 0.05);
+  EXPECT_TRUE(check.all_passed());
+  check.expect_close("far", 100.0, 120.0, 0.05);
+  EXPECT_FALSE(check.all_passed());
+}
+
+TEST(PaperCheck, ExpectCloseHandlesTinyMagnitudes) {
+  PaperCheck check("EXP");
+  check.expect_close("tiny", 4e-22, 4.03e-22, 0.1);
+  EXPECT_TRUE(check.all_passed());
+}
+
+TEST(PaperCheck, ExpectBetween) {
+  PaperCheck check("EXP");
+  check.expect_between("inside", 1.0, 2.0, 1.5);
+  check.expect_between("edge", 1.0, 2.0, 2.0);
+  EXPECT_TRUE(check.all_passed());
+  check.expect_between("outside", 1.0, 2.0, 2.5);
+  EXPECT_FALSE(check.all_passed());
+}
+
+TEST(PaperCheck, ExpectTrue) {
+  PaperCheck check("EXP");
+  check.expect_true("shape", "minima increase with n", true);
+  EXPECT_TRUE(check.all_passed());
+}
+
+TEST(PaperCheck, ReportListsEveryCheck) {
+  PaperCheck check("FIG2");
+  check.expect("a", "1", "1", true);
+  check.expect("b", "2", "3", false);
+  std::ostringstream os;
+  EXPECT_FALSE(check.report(os));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("PAPER-CHECK [FIG2]"), std::string::npos);
+  EXPECT_NE(out.find("[PASS] a"), std::string::npos);
+  EXPECT_NE(out.find("[FAIL] b"), std::string::npos);
+  EXPECT_NE(out.find("CHECK FAILURES"), std::string::npos);
+}
+
+TEST(PaperCheck, ReportSignalsAllPassed) {
+  PaperCheck check("FIG4");
+  check.expect("a", "1", "1", true);
+  std::ostringstream os;
+  EXPECT_TRUE(check.report(os));
+  EXPECT_NE(os.str().find("ALL CHECKS PASSED"), std::string::npos);
+}
+
+TEST(PaperCheck, ChecksAccessor) {
+  PaperCheck check("X");
+  check.expect("a", "1", "1", true);
+  ASSERT_EQ(check.checks().size(), 1u);
+  EXPECT_EQ(check.checks()[0].name, "a");
+}
+
+}  // namespace

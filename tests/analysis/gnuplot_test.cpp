@@ -1,0 +1,79 @@
+#include "analysis/gnuplot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/contract.hpp"
+
+namespace {
+
+using zc::analysis::GnuplotOptions;
+using zc::analysis::Series;
+
+TEST(Gnuplot, ScriptReferencesDataColumns) {
+  const Series a{"c3", {1.0, 2.0}, {3.0, 4.0}};
+  const Series b{"c4", {1.0, 2.0}, {5.0, 6.0}};
+  std::ostringstream os;
+  GnuplotOptions opts;
+  opts.title = "Fig 2";
+  zc::analysis::write_gnuplot_script(os, "fig2.csv", {a, b}, opts);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("set title 'Fig 2'"), std::string::npos);
+  EXPECT_NE(out.find("'fig2.csv' using 1:2"), std::string::npos);
+  EXPECT_NE(out.find("'fig2.csv' using 1:3"), std::string::npos);
+  EXPECT_NE(out.find("title 'c3'"), std::string::npos);
+  EXPECT_NE(out.find("title 'c4'"), std::string::npos);
+}
+
+TEST(Gnuplot, LogScaleEmittedWhenRequested) {
+  const Series s{"e", {1.0}, {1e-40}};
+  std::ostringstream os;
+  GnuplotOptions opts;
+  opts.log_y = true;
+  zc::analysis::write_gnuplot_script(os, "d.csv", {s}, opts);
+  EXPECT_NE(os.str().find("set logscale y"), std::string::npos);
+}
+
+TEST(Gnuplot, OutputDirectiveOnlyWhenSet) {
+  const Series s{"y", {1.0}, {2.0}};
+  std::ostringstream with, without;
+  GnuplotOptions opts;
+  opts.output = "fig.png";
+  zc::analysis::write_gnuplot_script(with, "d.csv", {s}, opts);
+  zc::analysis::write_gnuplot_script(without, "d.csv", {s}, {});
+  EXPECT_NE(with.str().find("set output 'fig.png'"), std::string::npos);
+  EXPECT_EQ(without.str().find("set output"), std::string::npos);
+}
+
+TEST(Gnuplot, EmptySeriesRejected) {
+  std::ostringstream os;
+  EXPECT_THROW(
+      zc::analysis::write_gnuplot_script(os, "d.csv", {}, {}),
+      zc::ContractViolation);
+}
+
+TEST(Gnuplot, WriteFigureFilesCreatesCsvAndScript) {
+  const std::string base = ::testing::TempDir() + "zc_gnuplot_test";
+  const Series s{"y", {1.0, 2.0}, {3.0, 4.0}};
+  ASSERT_TRUE(zc::analysis::write_figure_files(base, {s}, {}));
+  std::ifstream csv(base + ".csv");
+  EXPECT_TRUE(csv.good());
+  std::ifstream gp(base + ".gp");
+  EXPECT_TRUE(gp.good());
+  std::string first_line;
+  std::getline(gp, first_line);
+  EXPECT_NE(first_line.find("zeroconf-opt"), std::string::npos);
+  std::remove((base + ".csv").c_str());
+  std::remove((base + ".gp").c_str());
+}
+
+TEST(Gnuplot, WriteFigureFilesFailureReported) {
+  const Series s{"y", {1.0}, {2.0}};
+  EXPECT_FALSE(zc::analysis::write_figure_files(
+      "/nonexistent-dir-zc/base", {s}, {}));
+}
+
+}  // namespace

@@ -1,0 +1,65 @@
+#include "analysis/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+#include "numerics/grid.hpp"
+
+namespace {
+
+using zc::analysis::Series;
+
+TEST(Series, SampleEvaluatesFunctionOnGrid) {
+  const auto xs = zc::numerics::linspace(0.0, 2.0, 5);
+  const Series s = zc::analysis::sample_series(
+      "square", xs, [](double x) { return x * x; });
+  EXPECT_EQ(s.name, "square");
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_DOUBLE_EQ(s.y[2], 1.0);
+  EXPECT_DOUBLE_EQ(s.y[4], 4.0);
+}
+
+TEST(Series, ArgminArgmax) {
+  const Series s{"t", {0, 1, 2, 3}, {5.0, 1.0, 8.0, 1.0}};
+  EXPECT_EQ(s.argmin(), 1u);  // first of the ties
+  EXPECT_EQ(s.argmax(), 2u);
+  EXPECT_EQ(s.min_y(), 1.0);
+  EXPECT_EQ(s.max_y(), 8.0);
+}
+
+TEST(Series, ArgminOnEmptyRejected) {
+  const Series s;
+  EXPECT_THROW((void)s.argmin(), zc::ContractViolation);
+}
+
+TEST(Series, LocalMaximaInterior) {
+  const Series s{"t", {0, 1, 2, 3, 4}, {0.0, 2.0, 1.0, 3.0, 0.0}};
+  EXPECT_EQ(zc::analysis::local_maxima(s),
+            (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(Series, LocalMinimaInterior) {
+  const Series s{"t", {0, 1, 2, 3, 4}, {5.0, 2.0, 3.0, 1.0, 4.0}};
+  EXPECT_EQ(zc::analysis::local_minima(s),
+            (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(Series, EndpointsAreNeverLocalExtrema) {
+  const Series s{"t", {0, 1, 2}, {10.0, 5.0, 20.0}};
+  EXPECT_TRUE(zc::analysis::local_maxima(s).empty());
+  EXPECT_EQ(zc::analysis::local_minima(s),
+            (std::vector<std::size_t>{1}));
+}
+
+TEST(Series, PlateausAreNotStrictExtrema) {
+  const Series s{"t", {0, 1, 2, 3}, {1.0, 2.0, 2.0, 1.0}};
+  EXPECT_TRUE(zc::analysis::local_maxima(s).empty());
+}
+
+TEST(Series, MonotoneSeriesHasNoInteriorExtrema) {
+  const Series s{"t", {0, 1, 2, 3}, {1.0, 2.0, 3.0, 4.0}};
+  EXPECT_TRUE(zc::analysis::local_maxima(s).empty());
+  EXPECT_TRUE(zc::analysis::local_minima(s).empty());
+}
+
+}  // namespace

@@ -1,0 +1,78 @@
+#include "analysis/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/contract.hpp"
+
+namespace {
+
+using zc::analysis::Table;
+
+TEST(Table, StoresCells) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.cell(0, 1), "2");
+  EXPECT_EQ(t.cell(1, 0), "3");
+}
+
+TEST(Table, EmptyHeadersRejected) {
+  EXPECT_THROW(Table({}), zc::ContractViolation);
+}
+
+TEST(Table, RowWidthMismatchRejected) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), zc::ContractViolation);
+}
+
+TEST(Table, NumericRowFormatting) {
+  Table t({"x", "y"});
+  t.add_numeric_row(std::vector<double>{1.5, 4e-22}, 3);
+  EXPECT_EQ(t.cell(0, 0), "1.5");
+  EXPECT_NE(t.cell(0, 1).find('e'), std::string::npos);
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "v"});
+  t.add_row({"x", "10"});
+  t.add_row({"longer", "7"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Each printed row ends with a newline.
+  EXPECT_EQ(out.back(), '\n');
+}
+
+TEST(Table, CellIndexValidated) {
+  Table t({"a"});
+  t.add_row({"1"});
+  EXPECT_THROW((void)t.cell(1, 0), zc::ContractViolation);
+  EXPECT_THROW((void)t.cell(0, 1), zc::ContractViolation);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"name", "note"});
+  t.add_row({"a,b", "say \"hi\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainCellsUnquoted) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+#include "common/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+
+namespace {
+
+using zc::ArgParser;
+
+ArgParser make_parser() {
+  ArgParser parser("tool", "test parser");
+  parser.add_option("q", "occupancy", "0.5");
+  parser.add_option("label", "a name", "none");
+  parser.add_flag("verbose", "chatty output");
+  return parser;
+}
+
+TEST(Args, DefaultsWhenNothingGiven) {
+  auto parser = make_parser();
+  ASSERT_TRUE(parser.parse({}));
+  EXPECT_EQ(parser.text("q"), "0.5");
+  EXPECT_EQ(parser.text("label"), "none");
+  EXPECT_FALSE(parser.flag("verbose"));
+  EXPECT_FALSE(parser.given("q"));
+}
+
+TEST(Args, ParsesValuesAndFlags) {
+  auto parser = make_parser();
+  ASSERT_TRUE(parser.parse({"--q", "0.25", "--verbose", "--label", "x y"}));
+  EXPECT_EQ(parser.text("q"), "0.25");
+  EXPECT_TRUE(parser.flag("verbose"));
+  EXPECT_EQ(parser.text("label"), "x y");
+  EXPECT_TRUE(parser.given("q"));
+  EXPECT_TRUE(parser.given("verbose"));
+}
+
+TEST(Args, NumberConversion) {
+  auto parser = make_parser();
+  ASSERT_TRUE(parser.parse({"--q", "1e-5"}));
+  ASSERT_TRUE(parser.number("q").has_value());
+  EXPECT_DOUBLE_EQ(*parser.number("q"), 1e-5);
+}
+
+TEST(Args, NumberConversionFailureIsNullopt) {
+  auto parser = make_parser();
+  ASSERT_TRUE(parser.parse({"--label", "abc"}));
+  EXPECT_FALSE(parser.number("label").has_value());
+}
+
+TEST(Args, TrailingGarbageInNumberRejected) {
+  auto parser = make_parser();
+  ASSERT_TRUE(parser.parse({"--q", "0.5x"}));
+  EXPECT_FALSE(parser.number("q").has_value());
+}
+
+TEST(Args, UnknownOptionFails) {
+  auto parser = make_parser();
+  EXPECT_FALSE(parser.parse({"--bogus", "1"}));
+  EXPECT_NE(parser.error().find("bogus"), std::string::npos);
+}
+
+TEST(Args, MissingValueFails) {
+  auto parser = make_parser();
+  EXPECT_FALSE(parser.parse({"--q"}));
+  EXPECT_NE(parser.error().find("needs a value"), std::string::npos);
+}
+
+TEST(Args, PositionalArgumentsRejected) {
+  auto parser = make_parser();
+  EXPECT_FALSE(parser.parse({"stray"}));
+}
+
+TEST(Args, HelpRequestDetected) {
+  auto parser = make_parser();
+  ASSERT_TRUE(parser.parse({"--help"}));
+  EXPECT_TRUE(parser.help_requested());
+  auto parser2 = make_parser();
+  ASSERT_TRUE(parser2.parse({"-h"}));
+  EXPECT_TRUE(parser2.help_requested());
+}
+
+TEST(Args, HelpTextListsOptionsAndDefaults) {
+  const auto parser = make_parser();
+  const std::string help = parser.help();
+  EXPECT_NE(help.find("--q"), std::string::npos);
+  EXPECT_NE(help.find("default: 0.5"), std::string::npos);
+  EXPECT_NE(help.find("--verbose"), std::string::npos);
+  EXPECT_NE(help.find("--help"), std::string::npos);
+}
+
+TEST(Args, ArgcArgvInterface) {
+  auto parser = make_parser();
+  const char* argv[] = {"tool", "--q", "2.0", "--verbose"};
+  ASSERT_TRUE(parser.parse(4, argv));
+  EXPECT_DOUBLE_EQ(*parser.number("q"), 2.0);
+  EXPECT_TRUE(parser.flag("verbose"));
+}
+
+TEST(Args, DuplicateDeclarationRejected) {
+  ArgParser parser("tool", "dup");
+  parser.add_option("x", "first", "1");
+  EXPECT_THROW(parser.add_option("x", "again", "2"), zc::ContractViolation);
+  EXPECT_THROW(parser.add_flag("x", "again"), zc::ContractViolation);
+}
+
+TEST(Args, AccessorContractOnWrongKind) {
+  auto parser = make_parser();
+  ASSERT_TRUE(parser.parse({}));
+  EXPECT_THROW((void)parser.flag("q"), zc::ContractViolation);
+  EXPECT_THROW((void)parser.text("verbose"), zc::ContractViolation);
+  EXPECT_THROW((void)parser.flag("missing"), zc::ContractViolation);
+}
+
+TEST(Args, LastValueWins) {
+  auto parser = make_parser();
+  ASSERT_TRUE(parser.parse({"--q", "1", "--q", "2"}));
+  EXPECT_EQ(parser.text("q"), "2");
+}
+
+}  // namespace

@@ -1,0 +1,49 @@
+#include "common/contract.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Contract, ExpectsPassesOnTrue) {
+  EXPECT_NO_THROW(ZC_EXPECTS(1 + 1 == 2));
+}
+
+TEST(Contract, ExpectsThrowsOnFalse) {
+  EXPECT_THROW(ZC_EXPECTS(1 + 1 == 3), zc::ContractViolation);
+}
+
+TEST(Contract, EnsuresThrowsOnFalse) {
+  EXPECT_THROW(ZC_ENSURES(false), zc::ContractViolation);
+}
+
+TEST(Contract, AssertThrowsOnFalse) {
+  EXPECT_THROW(ZC_ASSERT(false), zc::ContractViolation);
+}
+
+TEST(Contract, MessageNamesKindExpressionAndLocation) {
+  try {
+    ZC_EXPECTS(2 < 1);
+    FAIL() << "expected a ContractViolation";
+  } catch (const zc::ContractViolation& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("precondition"), std::string::npos);
+    EXPECT_NE(msg.find("2 < 1"), std::string::npos);
+    EXPECT_NE(msg.find("contract_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contract, ViolationIsALogicError) {
+  EXPECT_THROW(ZC_ASSERT(false), std::logic_error);
+}
+
+TEST(Contract, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  const auto count = [&] {
+    ++calls;
+    return true;
+  };
+  ZC_EXPECTS(count());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace

@@ -1,0 +1,54 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(FormatSig, PlainForModerateMagnitudes) {
+  EXPECT_EQ(zc::format_sig(1.5), "1.5");
+  EXPECT_EQ(zc::format_sig(123.456, 6), "123.456");
+}
+
+TEST(FormatSig, ScientificForLargeValues) {
+  const std::string s = zc::format_sig(5e20, 3);
+  EXPECT_NE(s.find('e'), std::string::npos);
+}
+
+TEST(FormatSig, ScientificForTinyValues) {
+  const std::string s = zc::format_sig(4e-22, 3);
+  EXPECT_NE(s.find('e'), std::string::npos);
+}
+
+TEST(FormatSig, ZeroStaysPlain) { EXPECT_EQ(zc::format_sig(0.0), "0"); }
+
+TEST(FormatSig, NegativeValues) {
+  EXPECT_EQ(zc::format_sig(-2.25, 3), "-2.25");
+}
+
+TEST(FormatFixed, RespectsDecimals) {
+  EXPECT_EQ(zc::format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(zc::format_fixed(2.0, 3), "2.000");
+}
+
+TEST(Join, EmptyVector) { EXPECT_EQ(zc::join({}, ","), ""); }
+
+TEST(Join, SingleElement) { EXPECT_EQ(zc::join({"a"}, ","), "a"); }
+
+TEST(Join, MultipleElements) {
+  EXPECT_EQ(zc::join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Pad, LeftPadsShortStrings) {
+  EXPECT_EQ(zc::pad_left("ab", 4), "  ab");
+}
+
+TEST(Pad, RightPadsShortStrings) {
+  EXPECT_EQ(zc::pad_right("ab", 4), "ab  ");
+}
+
+TEST(Pad, LongStringsUntouched) {
+  EXPECT_EQ(zc::pad_left("abcdef", 4), "abcdef");
+  EXPECT_EQ(zc::pad_right("abcdef", 4), "abcdef");
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+#include "core/calibrate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contract.hpp"
+#include "core/cost.hpp"
+#include "core/scenarios.hpp"
+
+namespace {
+
+using namespace zc::core;
+
+TEST(Calibrate, StationaryErrorCostReproducesROpt) {
+  // Given the paper's c = 3.5, condition (i) alone should return an E
+  // that makes r = 2 stationary for n = 4 — near the paper's 5e20.
+  const auto scenario = scenarios::sec45_r2().to_params();
+  const auto e = error_cost_for_stationary_r(scenario, ProtocolParams{4, 2.0},
+                                             3.5);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_NEAR(std::log10(*e), std::log10(5e20), 0.3);
+
+  // Verify: with that E, the per-n optimum for n = 4 sits at r ~ 2.
+  const auto s = scenario.with_error_cost(*e).with_probe_cost(3.5);
+  const CostMinimum m = optimal_r(s, 4);
+  EXPECT_NEAR(m.r, 2.0, 0.02);
+}
+
+TEST(Calibrate, StationaryErrorCostMonotoneInTargetR) {
+  // A later stationary point needs a larger collision cost.
+  const auto scenario = scenarios::sec45_r2().to_params();
+  const auto e_early =
+      error_cost_for_stationary_r(scenario, ProtocolParams{4, 1.5}, 3.5);
+  const auto e_late =
+      error_cost_for_stationary_r(scenario, ProtocolParams{4, 2.5}, 3.5);
+  ASSERT_TRUE(e_early.has_value());
+  ASSERT_TRUE(e_late.has_value());
+  EXPECT_LT(*e_early, *e_late);
+}
+
+TEST(Calibrate, NoSolutionOutsideSearchBox) {
+  const auto scenario = scenarios::sec45_r2().to_params();
+  CalibrateOptions opts;
+  opts.log10_e_min = 1.0;
+  opts.log10_e_max = 2.0;  // E <= 100: far too small to move r_opt to 2
+  EXPECT_FALSE(error_cost_for_stationary_r(scenario, ProtocolParams{4, 2.0},
+                                           3.5, opts)
+                   .has_value());
+}
+
+TEST(Calibrate, Section45UnreliableSetting) {
+  // The full inverse problem for the draft's (n=4, r=2) under the
+  // pessimistic wireless scenario. Paper: E ~ 5e20, c ~ 3.5.
+  const auto scenario = scenarios::sec45_r2().to_params();
+  const auto result = calibrate(scenario, ProtocolParams{4, 2.0});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(std::log10(result->error_cost), std::log10(5e20), 0.35);
+  EXPECT_NEAR(result->probe_cost, 3.5, 0.8);
+  EXPECT_TRUE(result->target_is_optimal);
+}
+
+TEST(Calibrate, Section45ReliableSetting) {
+  // Draft's (n=4, r=0.2) under the wired scenario. Paper: E ~ 1e35,
+  // c ~ 0.5.
+  const auto scenario = scenarios::sec45_r02().to_params();
+  const auto result = calibrate(scenario, ProtocolParams{4, 0.2});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(std::log10(result->error_cost), 35.0, 0.7);
+  EXPECT_NEAR(result->probe_cost, 0.5, 0.25);
+  EXPECT_TRUE(result->target_is_optimal);
+}
+
+TEST(Calibrate, CalibratedScenarioMakesTargetJointOptimal) {
+  const auto scenario = scenarios::sec45_r2().to_params();
+  const auto result = calibrate(scenario, ProtocolParams{4, 2.0});
+  ASSERT_TRUE(result.has_value());
+  const auto calibrated = scenario.with_error_cost(result->error_cost)
+                              .with_probe_cost(result->probe_cost);
+  const JointOptimum opt = joint_optimum(calibrated, 10);
+  EXPECT_EQ(opt.n, 4u);
+  EXPECT_NEAR(opt.r, 2.0, 0.1);
+}
+
+TEST(Calibrate, CompetitorIsNeighboringProbeCount) {
+  // At the boundary the tie is against n = 3 or n = 5, not a distant n.
+  const auto scenario = scenarios::sec45_r2().to_params();
+  const auto result = calibrate(scenario, ProtocolParams{4, 2.0});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->competitor == 3u || result->competitor == 5u)
+      << "competitor " << result->competitor;
+}
+
+TEST(Calibrate, TargetCostMatchesDirectEvaluation) {
+  const auto scenario = scenarios::sec45_r2().to_params();
+  const auto result = calibrate(scenario, ProtocolParams{4, 2.0});
+  ASSERT_TRUE(result.has_value());
+  const auto calibrated = scenario.with_error_cost(result->error_cost)
+                              .with_probe_cost(result->probe_cost);
+  EXPECT_NEAR(result->target_cost,
+              mean_cost(calibrated, ProtocolParams{4, 2.0}), 1e-9);
+}
+
+TEST(Calibrate, InvalidTargetRejected) {
+  const auto scenario = scenarios::sec45_r2().to_params();
+  EXPECT_THROW((void)calibrate(scenario, ProtocolParams{0, 2.0}),
+               zc::ContractViolation);
+  EXPECT_THROW((void)calibrate(scenario, ProtocolParams{4, 0.0}),
+               zc::ContractViolation);
+  CalibrateOptions opts;
+  opts.n_max = 3;
+  EXPECT_THROW((void)calibrate(scenario, ProtocolParams{4, 2.0}, opts),
+               zc::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,258 @@
+#include "core/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/distribution.hpp"
+#include "core/reliability.hpp"
+#include "core/no_answer.hpp"
+#include "core/scenarios.hpp"
+
+namespace {
+
+using namespace zc::core;
+
+ScenarioParams lossy_scenario() {
+  return ScenarioParams(0.2, 1.0, 50.0,
+                        zc::prob::paper_reply_delay(0.2, 3.0, 0.4));
+}
+
+TEST(Cost, HandComputedSingleProbeCase) {
+  // n = 1: C = ((r+c)(1-q) + (r+c)q + qE p_1) / (1 - q(1-p_1))
+  //          = ((r+c) + qE p_1) / (1 - q(1-p_1)).
+  const auto scenario = lossy_scenario();
+  const ProtocolParams protocol{1, 1.5};
+  const double p1 = scenario.reply_delay().survival(1.5);
+  const double expected = ((1.5 + 1.0) + 0.2 * 50.0 * p1) /
+                          (1.0 - 0.2 * (1.0 - p1));
+  EXPECT_NEAR(mean_cost(scenario, protocol), expected, 1e-12);
+}
+
+TEST(Cost, AnalyticMatchesLinearSystem) {
+  // Eq. (3) closed form vs Eq. (2) LU solve of the DRM.
+  const auto scenario = lossy_scenario();
+  for (unsigned n : {1u, 2u, 3u, 5u, 8u}) {
+    for (double r : {0.1, 0.5, 1.0, 2.0, 4.0}) {
+      const ProtocolParams protocol{n, r};
+      const double analytic = mean_cost(scenario, protocol);
+      const double numeric = mean_cost_numeric(scenario, protocol);
+      EXPECT_NEAR(numeric / analytic, 1.0, 1e-11)
+          << "n=" << n << " r=" << r;
+    }
+  }
+}
+
+TEST(Cost, ZeroRLimitIsQTimesE) {
+  // C_n(0) = q E (Sec. 4.2).
+  const auto scenario = scenarios::figure2().to_params();
+  EXPECT_DOUBLE_EQ(cost_at_zero_r(scenario),
+                   scenario.q() * scenario.error_cost());
+  for (unsigned n : {1u, 4u, 8u}) {
+    EXPECT_NEAR(mean_cost(scenario, ProtocolParams{n, 0.0}) /
+                    cost_at_zero_r(scenario),
+                1.0, 1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(Cost, LargeRLimitExactFormula) {
+  // Substituting pi_i -> loss^i into Eq. (3) gives the exact large-r
+  // behaviour
+  //   C_n(r) -> ((r+c)(n(1-q) + q G) + q E loss^n) / (1 - q(1-loss^n)),
+  // with G = (1-loss^n)/(1-loss). The paper's A_n(r) is this expression
+  // with the error residual dropped and loss^n ~ 0 in the denominator.
+  const auto scenario = lossy_scenario();
+  const double q = scenario.q();
+  const double c = scenario.probe_cost();
+  const double loss = scenario.reply_delay().loss_probability();
+  for (unsigned n : {1u, 2u, 4u}) {
+    const double r = 1e4;
+    const double pin = std::pow(loss, n);
+    const double geom = (1.0 - pin) / (1.0 - loss);
+    const double limit =
+        ((r + c) * (n * (1.0 - q) + q * geom) +
+         q * scenario.error_cost() * pin) /
+        (1.0 - q * (1.0 - pin));
+    EXPECT_NEAR(mean_cost(scenario, ProtocolParams{n, r}) / limit, 1.0,
+                1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(Cost, ApproachesPaperAsymptoteWhenLossTiny) {
+  // With negligible loss^n and E = 0 the paper's A_n(r) is exact in the
+  // limit; check the ratio at a large r.
+  const ScenarioParams scenario(
+      0.2, 1.0, 0.0, zc::prob::paper_reply_delay(1e-9, 3.0, 0.4));
+  for (unsigned n : {1u, 3u, 5u}) {
+    const ProtocolParams protocol{n, 1e4};
+    EXPECT_NEAR(mean_cost(scenario, protocol) /
+                    cost_asymptote(scenario, protocol),
+                1.0, 1e-6)
+        << "n=" << n;
+  }
+}
+
+TEST(Cost, AsymptoteLinearInR) {
+  const auto scenario = lossy_scenario();
+  const double a1 = cost_asymptote(scenario, ProtocolParams{3, 10.0});
+  const double a2 = cost_asymptote(scenario, ProtocolParams{3, 20.0});
+  const double a3 = cost_asymptote(scenario, ProtocolParams{3, 30.0});
+  EXPECT_NEAR(a3 - a2, a2 - a1, 1e-9);
+}
+
+TEST(Cost, IncreasingInErrorCost) {
+  const auto scenario = lossy_scenario();
+  const ProtocolParams protocol{2, 1.0};
+  EXPECT_LT(mean_cost(scenario.with_error_cost(10.0), protocol),
+            mean_cost(scenario.with_error_cost(1000.0), protocol));
+}
+
+TEST(Cost, IncreasingInProbeCost) {
+  const auto scenario = lossy_scenario();
+  const ProtocolParams protocol{4, 1.0};
+  EXPECT_LT(mean_cost(scenario.with_probe_cost(0.5), protocol),
+            mean_cost(scenario.with_probe_cost(5.0), protocol));
+}
+
+TEST(Cost, MoreHostsOnLinkCostMore) {
+  const auto scenario = lossy_scenario();
+  const ProtocolParams protocol{3, 1.2};
+  EXPECT_LT(mean_cost(scenario.with_q(0.01), protocol),
+            mean_cost(scenario.with_q(0.5), protocol));
+}
+
+TEST(Cost, DerivativeZeroAtInteriorMinimum) {
+  const auto scenario = scenarios::figure2().to_params();
+  // Fig. 2: r_opt(3) ~ 2.14 (validated elsewhere); the derivative there
+  // must vanish.
+  const double slope_lo = cost_derivative_r(scenario, 3, 1.8);
+  const double slope_hi = cost_derivative_r(scenario, 3, 2.5);
+  EXPECT_LT(slope_lo, 0.0);
+  EXPECT_GT(slope_hi, 0.0);
+}
+
+TEST(Cost, VarianceNonNegative) {
+  const auto scenario = lossy_scenario();
+  EXPECT_GE(cost_variance(scenario, ProtocolParams{3, 1.0}), 0.0);
+}
+
+TEST(Cost, VarianceGrowsWithErrorCost) {
+  // A rare huge penalty dominates the variance.
+  const auto scenario = lossy_scenario();
+  const ProtocolParams protocol{2, 0.5};
+  EXPECT_LT(cost_variance(scenario.with_error_cost(10.0), protocol),
+            cost_variance(scenario.with_error_cost(1e4), protocol));
+}
+
+TEST(Cost, MeanAttemptsClosedForm) {
+  // Expected visits to `start` = 1 / (1 - q(1 - pi_n)) (geometric
+  // restarts with return probability q(1-pi_n)).
+  const auto scenario = lossy_scenario();
+  for (unsigned n : {1u, 3u, 6u}) {
+    for (double r : {0.5, 1.5}) {
+      const auto pi = pi_values(scenario.reply_delay(), n, r);
+      const double expected = 1.0 / (1.0 - scenario.q() * (1.0 - pi[n]));
+      EXPECT_NEAR(mean_address_attempts(scenario, ProtocolParams{n, r}),
+                  expected, 1e-10)
+          << "n=" << n << " r=" << r;
+    }
+  }
+}
+
+TEST(Cost, WaitingTimeExcludesPostageAndError) {
+  const auto scenario = lossy_scenario();
+  const ProtocolParams protocol{4, 2.0};
+  const double waiting = mean_waiting_time(scenario, protocol);
+  // Waiting = r * (mean probes sent). Mean probes is recovered
+  // independently from the cost with E = 0: cost = (r+c) * mean probes.
+  const ScenarioParams probe_counter =
+      scenario.with_probe_cost(1.0).with_error_cost(0.0);
+  const double mean_probes =
+      mean_cost(probe_counter, protocol) / (protocol.r + 1.0);
+  EXPECT_NEAR(waiting, protocol.r * mean_probes, 1e-10);
+}
+
+TEST(Cost, Figure2MagnitudesForSmallN) {
+  // n = 1, 2 are astronomically expensive (Fig. 2 cuts them off).
+  const auto scenario = scenarios::figure2().to_params();
+  EXPECT_GT(mean_cost(scenario, ProtocolParams{1, 8.0}), 1e17);
+  EXPECT_GT(mean_cost(scenario, ProtocolParams{2, 5.0}), 1e3);
+  EXPECT_LT(mean_cost(scenario, ProtocolParams{3, 2.14}), 13.0);
+}
+
+TEST(Cost, ConditionalMeansDecomposeTotalMean) {
+  const auto scenario = lossy_scenario();
+  for (unsigned n : {1u, 3u}) {
+    const ProtocolParams protocol{n, 0.6};
+    const double p_err = error_probability(scenario, protocol);
+    const double reconstructed =
+        (1.0 - p_err) * mean_cost_given_ok(scenario, protocol) +
+        p_err * mean_cost_given_error(scenario, protocol);
+    EXPECT_NEAR(reconstructed / mean_cost(scenario, protocol), 1.0, 1e-10)
+        << "n=" << n;
+  }
+}
+
+TEST(Cost, ConditionalMeansMatchLatticeDistribution) {
+  const auto scenario = lossy_scenario();
+  const ProtocolParams protocol{2, 0.5};
+  const CostDistribution dist(scenario, protocol);
+  EXPECT_NEAR(mean_cost_given_ok(scenario, protocol) /
+                  dist.mean_given_ok(),
+              1.0, 1e-9);
+  EXPECT_NEAR(mean_cost_given_error(scenario, protocol) /
+                  dist.mean_given_error(),
+              1.0, 1e-9);
+}
+
+TEST(Cost, ErrorPathCostDominatedByE) {
+  const auto scenario = lossy_scenario();  // E = 50
+  const ProtocolParams protocol{3, 0.7};
+  const double err_mean = mean_cost_given_error(scenario, protocol);
+  EXPECT_GT(err_mean, scenario.error_cost());
+  // Clean runs never pay E.
+  EXPECT_LT(mean_cost_given_ok(scenario, protocol),
+            scenario.error_cost());
+}
+
+/// Analytic vs numeric across a parameter grid (the central correctness
+/// property of the reproduction).
+struct AgreementCase {
+  double q, c, e, loss, lambda, d;
+};
+
+class CostAgreementSweep : public ::testing::TestWithParam<AgreementCase> {};
+
+TEST_P(CostAgreementSweep, AnalyticEqualsNumeric) {
+  const auto& p = GetParam();
+  ExponentialScenario s;
+  s.q = p.q;
+  s.probe_cost = p.c;
+  s.error_cost = p.e;
+  s.loss = p.loss;
+  s.lambda = p.lambda;
+  s.round_trip = p.d;
+  const auto scenario = s.to_params();
+  for (unsigned n = 1; n <= 6; ++n) {
+    for (double r : {0.2, 1.0, 3.0}) {
+      const ProtocolParams protocol{n, r};
+      EXPECT_NEAR(mean_cost_numeric(scenario, protocol) /
+                      mean_cost(scenario, protocol),
+                  1.0, 1e-10)
+          << "n=" << n << " r=" << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CostAgreementSweep,
+    ::testing::Values(AgreementCase{0.015, 2.0, 1e35, 1e-15, 10.0, 1.0},
+                      AgreementCase{0.015, 3.5, 5e20, 1e-5, 10.0, 1.0},
+                      AgreementCase{0.015, 0.5, 1e35, 1e-10, 100.0, 0.1},
+                      AgreementCase{0.5, 1.0, 100.0, 0.3, 2.0, 0.2},
+                      AgreementCase{0.9, 0.1, 10.0, 0.5, 1.0, 0.0},
+                      AgreementCase{0.001, 10.0, 1e6, 0.01, 50.0, 0.01}));
+
+}  // namespace

@@ -1,0 +1,178 @@
+#include "core/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contract.hpp"
+#include "core/cost.hpp"
+#include "core/no_answer.hpp"
+#include "core/reliability.hpp"
+#include "core/scenarios.hpp"
+#include "numerics/kahan.hpp"
+
+namespace {
+
+using namespace zc::core;
+
+ScenarioParams lossy_scenario() {
+  return ScenarioParams(0.3, 1.0, 50.0,
+                        zc::prob::paper_reply_delay(0.25, 3.0, 0.3));
+}
+
+TEST(CostDistribution, MassSumsToOneMinusTail) {
+  const CostDistribution dist(lossy_scenario(), ProtocolParams{3, 0.8});
+  zc::numerics::KahanSum total;
+  for (const double p : dist.ok_pmf()) total.add(p);
+  for (const double p : dist.error_pmf()) total.add(p);
+  EXPECT_NEAR(total.value() + dist.truncated_tail(), 1.0, 1e-12);
+  EXPECT_LT(dist.truncated_tail(), 1e-9);
+}
+
+TEST(CostDistribution, NoMassBelowNProbes) {
+  const unsigned n = 4;
+  const CostDistribution dist(lossy_scenario(), ProtocolParams{n, 0.5});
+  for (std::size_t t = 0; t < n; ++t) {
+    EXPECT_EQ(dist.ok_pmf()[t], 0.0);
+    EXPECT_EQ(dist.error_pmf()[t], 0.0);
+  }
+  EXPECT_GT(dist.ok_pmf()[n], 0.0);
+}
+
+TEST(CostDistribution, SingleAttemptProbabilities) {
+  // P(T = n, ok) = 1-q; P(T = n, error) = q pi_n.
+  const auto scenario = lossy_scenario();
+  const ProtocolParams protocol{2, 0.7};
+  const CostDistribution dist(scenario, protocol);
+  const auto pi = pi_values(scenario.reply_delay(), 2, 0.7);
+  EXPECT_NEAR(dist.ok_pmf()[2], 1.0 - scenario.q(), 1e-14);
+  EXPECT_NEAR(dist.error_pmf()[2], scenario.q() * pi[2], 1e-14);
+}
+
+TEST(CostDistribution, TwoAttemptLatticeValue) {
+  // P(T = n + i, ok) = q (pi_{i-1} - pi_i) (1-q): one restart after i
+  // probes, then a clean attempt.
+  const auto scenario = lossy_scenario();
+  const ProtocolParams protocol{3, 0.6};
+  const CostDistribution dist(scenario, protocol);
+  const auto pi = pi_values(scenario.reply_delay(), 3, 0.6);
+  const double q = scenario.q();
+  // T = n+1: the only path is one restart after a single probe.
+  EXPECT_NEAR(dist.ok_pmf()[4], q * (pi[0] - pi[1]) * (1.0 - q), 1e-14);
+  // T = n+2: one 2-probe restart OR two 1-probe restarts.
+  const double one_probe = q * (pi[0] - pi[1]);
+  const double two_probe = q * (pi[1] - pi[2]);
+  EXPECT_NEAR(dist.ok_pmf()[5],
+              (two_probe + one_probe * one_probe) * (1.0 - q), 1e-14);
+}
+
+TEST(CostDistribution, ErrorProbabilityMatchesEq4) {
+  const auto scenario = lossy_scenario();
+  for (unsigned n : {1u, 3u, 5u}) {
+    for (double r : {0.3, 1.0}) {
+      const ProtocolParams protocol{n, r};
+      const CostDistribution dist(scenario, protocol);
+      EXPECT_NEAR(dist.error_probability(),
+                  error_probability(scenario, protocol), 1e-10)
+          << "n=" << n << " r=" << r;
+    }
+  }
+}
+
+TEST(CostDistribution, MeanMatchesEq3) {
+  const auto scenario = lossy_scenario();
+  for (unsigned n : {1u, 2u, 4u}) {
+    for (double r : {0.4, 1.2}) {
+      const ProtocolParams protocol{n, r};
+      const CostDistribution dist(scenario, protocol);
+      EXPECT_NEAR(dist.mean() / mean_cost(scenario, protocol), 1.0, 1e-9)
+          << "n=" << n << " r=" << r;
+    }
+  }
+}
+
+TEST(CostDistribution, VarianceMatchesDrmSecondMoment) {
+  const auto scenario = lossy_scenario();
+  for (unsigned n : {1u, 3u}) {
+    const ProtocolParams protocol{n, 0.8};
+    const CostDistribution dist(scenario, protocol);
+    EXPECT_NEAR(dist.variance() / cost_variance(scenario, protocol), 1.0,
+                1e-8)
+        << "n=" << n;
+  }
+}
+
+TEST(CostDistribution, CdfIsMonotoneAndReachesOne) {
+  const CostDistribution dist(lossy_scenario(), ProtocolParams{2, 0.5});
+  double prev = -1.0;
+  for (double x = 0.0; x < 200.0; x += 5.0) {
+    const double c = dist.cdf(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(dist.cdf(1e9), 1.0, 1e-9);
+}
+
+TEST(CostDistribution, QuantileInvertsCdf) {
+  const CostDistribution dist(lossy_scenario(), ProtocolParams{3, 0.7});
+  for (double p : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    const double x = dist.quantile(p);
+    EXPECT_GE(dist.cdf(x), p);
+    // Just below the quantile the cdf must be smaller.
+    EXPECT_LT(dist.cdf(x - 1e-9), p + 1e-12);
+  }
+}
+
+TEST(CostDistribution, MedianBelowMeanForRightSkewedCost) {
+  // The error atom at +E makes the law right-skewed.
+  const CostDistribution dist(lossy_scenario(), ProtocolParams{1, 0.4});
+  EXPECT_LT(dist.quantile(0.5), dist.mean());
+}
+
+TEST(CostDistribution, ProbesQuantileMinimumIsN) {
+  const CostDistribution dist(lossy_scenario(), ProtocolParams{4, 0.5});
+  EXPECT_EQ(dist.probes_quantile(0.0), 4u);
+  EXPECT_GE(dist.probes_quantile(0.999), 4u);
+}
+
+TEST(CostDistribution, DeepTailQuantileGrows) {
+  const CostDistribution dist(lossy_scenario(), ProtocolParams{2, 0.5});
+  EXPECT_LT(dist.quantile(0.5), dist.quantile(0.999));
+  EXPECT_LE(dist.probes_quantile(0.9), dist.probes_quantile(0.9999));
+}
+
+TEST(CostDistribution, QuantileDomainEnforced) {
+  const CostDistribution dist(lossy_scenario(), ProtocolParams{2, 0.5});
+  EXPECT_THROW((void)dist.quantile(1.0), zc::ContractViolation);
+  EXPECT_THROW((void)dist.quantile(-0.1), zc::ContractViolation);
+}
+
+TEST(CostDistribution, TruncationBoundRespected) {
+  // A deliberately tiny horizon: the tail must be reported, not lost.
+  const auto scenario = lossy_scenario().with_q(0.9);
+  const CostDistribution dist(scenario, ProtocolParams{2, 0.2}, 8);
+  EXPECT_GT(dist.truncated_tail(), 0.0);
+  zc::numerics::KahanSum total;
+  for (const double p : dist.ok_pmf()) total.add(p);
+  for (const double p : dist.error_pmf()) total.add(p);
+  EXPECT_NEAR(total.value(), 1.0 - dist.truncated_tail(), 1e-12);
+}
+
+TEST(CostDistribution, PaperScenarioConfigurationTimeQuantiles) {
+  // In the Fig. 2 scenario almost every run is a single clean attempt:
+  // the 99.9th percentile of probes equals n.
+  const auto scenario = scenarios::figure2().to_params();
+  const CostDistribution dist(scenario, ProtocolParams{4, 2.0});
+  EXPECT_EQ(dist.probes_quantile(0.5), 4u);
+  EXPECT_EQ(dist.probes_quantile(0.98), 4u);
+  // But the 99.9th percentile needs a second attempt (q ~ 1.5%).
+  EXPECT_GT(dist.probes_quantile(0.999), 4u);
+}
+
+TEST(CostDistribution, InvalidHorizonRejected) {
+  EXPECT_THROW(
+      CostDistribution(lossy_scenario(), ProtocolParams{4, 0.5}, 2),
+      zc::ContractViolation);
+}
+
+}  // namespace

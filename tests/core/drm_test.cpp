@@ -1,0 +1,158 @@
+#include "core/drm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+#include "core/no_answer.hpp"
+#include "core/scenarios.hpp"
+#include "prob/families.hpp"
+
+namespace {
+
+using namespace zc::core;
+
+ScenarioParams test_scenario() {
+  return ScenarioParams(0.25, 2.0, 100.0,
+                        zc::prob::paper_reply_delay(0.1, 4.0, 0.5));
+}
+
+TEST(DrmLayout, IndicesFollowPaperTable) {
+  // Paper Sec. 4.1 (1-based): start=1, 1st=2, ..., nth=n+1, error=n+2,
+  // ok=n+3. Our 0-based layout shifts by one.
+  const DrmLayout layout{4};
+  EXPECT_EQ(DrmLayout::start(), 0u);
+  EXPECT_EQ(layout.probe_state(1), 1u);
+  EXPECT_EQ(layout.probe_state(4), 4u);
+  EXPECT_EQ(layout.error(), 5u);
+  EXPECT_EQ(layout.ok(), 6u);
+  EXPECT_EQ(layout.num_states(), 7u);
+}
+
+TEST(DrmLayout, ProbeStateBoundsEnforced) {
+  const DrmLayout layout{3};
+  EXPECT_THROW((void)layout.probe_state(0), zc::ContractViolation);
+  EXPECT_THROW((void)layout.probe_state(4), zc::ContractViolation);
+}
+
+TEST(DrmLayout, PaperStateNames) {
+  const DrmLayout layout{5};
+  const auto names = layout.state_names();
+  EXPECT_EQ(names[0], "start");
+  EXPECT_EQ(names[1], "1st");
+  EXPECT_EQ(names[2], "2nd");
+  EXPECT_EQ(names[3], "3rd");
+  EXPECT_EQ(names[4], "4th");
+  EXPECT_EQ(names[5], "5th");
+  EXPECT_EQ(names[6], "error");
+  EXPECT_EQ(names[7], "ok");
+}
+
+TEST(BuildChain, MatrixEntriesMatchPaperDefinition) {
+  const auto scenario = test_scenario();
+  const ProtocolParams protocol{3, 1.5};
+  const auto chain = build_chain(scenario, protocol);
+  const DrmLayout layout{3};
+  const auto& fx = scenario.reply_delay();
+
+  // p_{1,2} = q and p_{1,n+3} = 1-q.
+  EXPECT_DOUBLE_EQ(chain.probability(DrmLayout::start(),
+                                     layout.probe_state(1)),
+                   scenario.q());
+  EXPECT_DOUBLE_EQ(chain.probability(DrmLayout::start(), layout.ok()),
+                   1.0 - scenario.q());
+
+  // p_{i,i+1} = p_{i-1}(r), p_{i,1} = 1 - p_{i-1}(r).
+  for (unsigned k = 1; k <= 3; ++k) {
+    const double p_k = no_answer_probability(fx, k, protocol.r);
+    const std::size_t next =
+        k == 3 ? layout.error() : layout.probe_state(k + 1);
+    EXPECT_NEAR(chain.probability(layout.probe_state(k), next), p_k, 1e-12);
+    EXPECT_NEAR(chain.probability(layout.probe_state(k), DrmLayout::start()),
+                1.0 - p_k, 1e-12);
+  }
+
+  // Absorbing error/ok.
+  EXPECT_TRUE(chain.is_absorbing(layout.error()));
+  EXPECT_TRUE(chain.is_absorbing(layout.ok()));
+}
+
+TEST(BuildChain, OnlyPaperTransitionsPresent) {
+  const auto chain = build_chain(test_scenario(), ProtocolParams{4, 2.0});
+  const DrmLayout layout{4};
+  std::size_t nonzero = 0;
+  for (std::size_t i = 0; i < chain.num_states(); ++i)
+    for (std::size_t j = 0; j < chain.num_states(); ++j)
+      if (chain.probability(i, j) > 0.0) ++nonzero;
+  // start: 2; each of n probe states: 2; two absorbing self-loops.
+  EXPECT_EQ(nonzero, 2u + 2u * 4u + 2u);
+  EXPECT_EQ(chain.num_states(), layout.num_states());
+}
+
+TEST(BuildCostMatrix, EntriesMatchPaperDefinition) {
+  const auto scenario = test_scenario();
+  const ProtocolParams protocol{3, 1.5};
+  const auto costs = build_cost_matrix(scenario, protocol);
+  const DrmLayout layout{3};
+  const double per_probe = protocol.r + scenario.probe_cost();
+
+  // c_{1,n+3} = n (r+c).
+  EXPECT_DOUBLE_EQ(costs(DrmLayout::start(), layout.ok()), 3.0 * per_probe);
+  // c_{i,i+1} = r+c for i = 1..n (1-based).
+  EXPECT_DOUBLE_EQ(costs(DrmLayout::start(), layout.probe_state(1)),
+                   per_probe);
+  EXPECT_DOUBLE_EQ(costs(layout.probe_state(1), layout.probe_state(2)),
+                   per_probe);
+  EXPECT_DOUBLE_EQ(costs(layout.probe_state(2), layout.probe_state(3)),
+                   per_probe);
+  // c_{n+1,n+2} = E.
+  EXPECT_DOUBLE_EQ(costs(layout.probe_state(3), layout.error()),
+                   scenario.error_cost());
+  // Returns to start are free, and absorbing self-loops cost nothing.
+  EXPECT_EQ(costs(layout.probe_state(2), DrmLayout::start()), 0.0);
+  EXPECT_EQ(costs(layout.error(), layout.error()), 0.0);
+  EXPECT_EQ(costs(layout.ok(), layout.ok()), 0.0);
+}
+
+TEST(BuildDrm, ConstructsValidRewardModel) {
+  const auto drm = build_drm(test_scenario(), ProtocolParams{2, 1.0});
+  EXPECT_EQ(drm.chain().num_states(), 5u);
+  EXPECT_GT(drm.expected_total_reward(DrmLayout::start()), 0.0);
+}
+
+TEST(BuildDrm, SingleProbeChain) {
+  // n = 1: start, 1st, error, ok.
+  const auto drm = build_drm(test_scenario(), ProtocolParams{1, 1.0});
+  EXPECT_EQ(drm.chain().num_states(), 4u);
+  const DrmLayout layout{1};
+  EXPECT_TRUE(drm.chain().is_absorbing(layout.error()));
+}
+
+TEST(BuildDrm, ZeroProbesRejected) {
+  EXPECT_THROW((void)build_chain(test_scenario(), ProtocolParams{0, 1.0}),
+               zc::ContractViolation);
+}
+
+TEST(BuildDrm, NegativeListeningPeriodRejected) {
+  EXPECT_THROW((void)build_chain(test_scenario(), ProtocolParams{2, -0.5}),
+               zc::ContractViolation);
+}
+
+TEST(BuildDrm, DegenerateDistributionZeroProbeTransitions) {
+  // Zero loss + bounded support: beyond the support every probe is
+  // answered, p_k = 0, and the paired costs must be dropped (p=0 => c=0).
+  const ScenarioParams scenario(
+      0.25, 2.0, 100.0,
+      std::make_shared<zc::prob::DefectiveDelay>(
+          std::make_unique<zc::prob::Uniform>(0.0, 0.5), 0.0, 0.0));
+  EXPECT_NO_THROW((void)build_drm(scenario, ProtocolParams{3, 1.0}));
+}
+
+TEST(BuildDrm, PaperScenarioRowSumsValid) {
+  // Construction validates stochasticity internally; exercise the actual
+  // Fig. 2 scenario across the n family.
+  const auto scenario = scenarios::figure2().to_params();
+  for (unsigned n = 1; n <= 8; ++n)
+    EXPECT_NO_THROW((void)build_chain(scenario, ProtocolParams{n, 2.0}));
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+#include "core/heterogeneous.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+#include "core/cost.hpp"
+#include "core/no_answer.hpp"
+#include "core/reliability.hpp"
+#include "prob/mixture.hpp"
+
+namespace {
+
+using namespace zc::core;
+
+std::vector<HostClass> fast_slow() {
+  return {{0.5, zc::prob::paper_reply_delay(0.02, 30.0, 0.05)},
+          {0.5, zc::prob::paper_reply_delay(0.5, 2.0, 0.3)}};
+}
+
+TEST(Heterogeneous, SingleClassReducesToHomogeneous) {
+  const auto fx = zc::prob::paper_reply_delay(0.1, 5.0, 0.2);
+  const std::vector<HostClass> one{{1.0, fx->clone()}};
+  const auto pi_het = pi_values_heterogeneous(one, 4, 0.6);
+  const auto pi_hom = pi_values(*fx, 4, 0.6);
+  ASSERT_EQ(pi_het.size(), pi_hom.size());
+  for (std::size_t i = 0; i < pi_het.size(); ++i)
+    EXPECT_NEAR(pi_het[i], pi_hom[i], 1e-14);
+}
+
+TEST(Heterogeneous, PiIsWeightedAverageOfClassPis) {
+  const auto classes = fast_slow();
+  const unsigned n = 3;
+  const double r = 0.4;
+  const auto pi = pi_values_heterogeneous(classes, n, r);
+  for (unsigned i = 1; i <= n; ++i) {
+    const auto pi_a = pi_values(*classes[0].reply_delay, i, r);
+    const auto pi_b = pi_values(*classes[1].reply_delay, i, r);
+    EXPECT_NEAR(pi[i], 0.5 * pi_a[i] + 0.5 * pi_b[i], 1e-14) << "i=" << i;
+  }
+}
+
+TEST(Heterogeneous, TruePiDominatesNaiveMixture) {
+  // Chebyshev's sum inequality: attempt-level conditioning makes the
+  // within-attempt no-answer events positively correlated, so
+  // pi_i^true >= prod_j S_mix(j r), strictly for i >= 2 when the classes
+  // differ.
+  const auto classes = fast_slow();
+  std::vector<zc::prob::MixtureDelay::Component> parts;
+  for (const auto& h : classes)
+    parts.push_back({h.weight, h.reply_delay});
+  const zc::prob::MixtureDelay naive(std::move(parts));
+
+  for (double r : {0.2, 0.5, 1.0}) {
+    const auto pi_true = pi_values_heterogeneous(classes, 4, r);
+    const auto pi_naive = pi_values(naive, 4, r);
+    EXPECT_NEAR(pi_true[1], pi_naive[1], 1e-14);  // i = 1: identical
+    for (unsigned i = 2; i <= 4; ++i)
+      EXPECT_GT(pi_true[i], pi_naive[i]) << "i=" << i << " r=" << r;
+  }
+}
+
+TEST(Heterogeneous, NaiveModelUnderestimatesCollisionRisk) {
+  const auto classes = fast_slow();
+  std::vector<zc::prob::MixtureDelay::Component> parts;
+  for (const auto& h : classes)
+    parts.push_back({h.weight, h.reply_delay});
+  const ScenarioParams naive_scenario(
+      0.3, 1.0, 100.0,
+      std::make_shared<zc::prob::MixtureDelay>(std::move(parts)));
+
+  for (unsigned n : {2u, 3u, 4u}) {
+    const ProtocolParams protocol{n, 0.3};
+    EXPECT_GT(error_probability_heterogeneous(0.3, classes, protocol),
+              error_probability(naive_scenario, protocol))
+        << "n=" << n;
+  }
+}
+
+TEST(Heterogeneous, CostFromPiMatchesMeanCostOnHomogeneousInput) {
+  const auto scenario = ScenarioParams(
+      0.25, 1.5, 200.0, zc::prob::paper_reply_delay(0.15, 4.0, 0.25));
+  for (unsigned n : {1u, 3u}) {
+    for (double r : {0.3, 0.9}) {
+      const ProtocolParams protocol{n, r};
+      const auto pi = pi_values(scenario.reply_delay(), n, r);
+      EXPECT_NEAR(mean_cost_from_pi(0.25, 1.5, 200.0, protocol, pi),
+                  mean_cost(scenario, protocol), 1e-12);
+      EXPECT_NEAR(error_probability_from_pi(0.25, pi),
+                  error_probability(scenario, protocol), 1e-14);
+    }
+  }
+}
+
+TEST(Heterogeneous, CostIsBetweenPureClassCosts) {
+  // The heterogeneous cost lies between the two homogeneous extremes.
+  const auto classes = fast_slow();
+  const ProtocolParams protocol{3, 0.4};
+  const double q = 0.3, c = 1.0, e = 100.0;
+  const double het = mean_cost_heterogeneous(q, c, e, classes, protocol);
+  const ScenarioParams all_fast(q, c, e, classes[0].reply_delay);
+  const ScenarioParams all_slow(q, c, e, classes[1].reply_delay);
+  const double lo = std::min(mean_cost(all_fast, protocol),
+                             mean_cost(all_slow, protocol));
+  const double hi = std::max(mean_cost(all_fast, protocol),
+                             mean_cost(all_slow, protocol));
+  EXPECT_GE(het, lo);
+  EXPECT_LE(het, hi);
+}
+
+TEST(Heterogeneous, ValidationRejectsBadClasses) {
+  const ProtocolParams protocol{2, 0.5};
+  EXPECT_THROW((void)pi_values_heterogeneous({}, 2, 0.5),
+               zc::ContractViolation);
+  const std::vector<HostClass> bad_weights{
+      {0.4, zc::prob::paper_reply_delay(0.1, 5.0, 0.2)},
+      {0.4, zc::prob::paper_reply_delay(0.2, 5.0, 0.2)}};
+  EXPECT_THROW((void)pi_values_heterogeneous(bad_weights, 2, 0.5),
+               zc::ContractViolation);
+  const std::vector<HostClass> null_dist{{1.0, nullptr}};
+  EXPECT_THROW((void)pi_values_heterogeneous(null_dist, 2, 0.5),
+               zc::ContractViolation);
+  (void)protocol;
+}
+
+TEST(Heterogeneous, FromPiValidatesShape) {
+  const ProtocolParams protocol{3, 0.5};
+  const std::vector<double> wrong_size{1.0, 0.5};
+  EXPECT_THROW(
+      (void)mean_cost_from_pi(0.3, 1.0, 10.0, protocol, wrong_size),
+      zc::ContractViolation);
+}
+
+}  // namespace

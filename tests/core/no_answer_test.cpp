@@ -1,0 +1,175 @@
+#include "core/no_answer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "prob/families.hpp"
+
+namespace {
+
+using namespace zc::core;
+using zc::prob::paper_reply_delay;
+
+TEST(NoAnswer, PZeroIsOne) {
+  const auto fx = paper_reply_delay(0.1, 10.0, 1.0);
+  EXPECT_EQ(no_answer_probability(*fx, 0, 2.0), 1.0);
+  EXPECT_EQ(no_answer_probability_product(*fx, 0, 2.0), 1.0);
+}
+
+TEST(NoAnswer, TelescopesToSurvival) {
+  // The Eq. (1) product telescopes: p_i(r) = 1 - F_X(i r). This is the
+  // derivation DESIGN.md records; both code paths must agree.
+  const auto fx = paper_reply_delay(1e-3, 10.0, 1.0);
+  for (unsigned i : {1u, 2u, 3u, 5u, 8u}) {
+    for (double r : {0.3, 0.9, 1.1, 2.0, 3.7}) {
+      EXPECT_NEAR(no_answer_probability_product(*fx, i, r),
+                  no_answer_probability(*fx, i, r),
+                  1e-12 * no_answer_probability(*fx, i, r) + 1e-300)
+          << "i=" << i << " r=" << r;
+    }
+  }
+}
+
+TEST(NoAnswer, EqualsSurvivalAtIR) {
+  const auto fx = paper_reply_delay(0.05, 4.0, 0.5);
+  for (unsigned i : {1u, 3u, 6u})
+    for (double r : {0.2, 1.0, 2.5})
+      EXPECT_DOUBLE_EQ(no_answer_probability(*fx, i, r),
+                       fx->survival(i * r));
+}
+
+TEST(NoAnswer, OneWhenListeningShorterThanRoundTrip) {
+  // r < d and i*r < d: no reply can have arrived (p_i = 1).
+  const auto fx = paper_reply_delay(0.0, 10.0, 1.0);
+  EXPECT_EQ(no_answer_probability(*fx, 1, 0.5), 1.0);
+  EXPECT_EQ(no_answer_probability_product(*fx, 1, 0.5), 1.0);
+}
+
+TEST(NoAnswer, DecreasesInRAndI) {
+  const auto fx = paper_reply_delay(1e-6, 10.0, 1.0);
+  EXPECT_GT(no_answer_probability(*fx, 1, 1.5),
+            no_answer_probability(*fx, 1, 2.5));
+  EXPECT_GT(no_answer_probability(*fx, 1, 1.5),
+            no_answer_probability(*fx, 2, 1.5));
+}
+
+TEST(NoAnswer, FlooredByLossProbability) {
+  const double loss = 1e-5;
+  const auto fx = paper_reply_delay(loss, 10.0, 0.1);
+  EXPECT_GE(no_answer_probability(*fx, 1, 100.0), loss);
+  EXPECT_NEAR(no_answer_probability(*fx, 1, 100.0), loss, loss * 1e-9);
+}
+
+TEST(PiValues, StartsAtOneAndIsNonIncreasing) {
+  const auto fx = paper_reply_delay(1e-4, 10.0, 1.0);
+  const auto pi = pi_values(*fx, 8, 1.3);
+  ASSERT_EQ(pi.size(), 9u);
+  EXPECT_EQ(pi[0], 1.0);
+  for (std::size_t i = 1; i < pi.size(); ++i) {
+    EXPECT_LE(pi[i], pi[i - 1]);
+    EXPECT_GT(pi[i], 0.0);
+  }
+}
+
+TEST(PiValues, ProductOfSurvivals) {
+  const auto fx = paper_reply_delay(1e-4, 10.0, 1.0);
+  const double r = 1.7;
+  const auto pi = pi_values(*fx, 5, r);
+  double expected = 1.0;
+  for (unsigned j = 1; j <= 5; ++j) {
+    expected *= fx->survival(j * r);
+    EXPECT_NEAR(pi[j], expected, 1e-15 + expected * 1e-12);
+  }
+}
+
+TEST(PiValues, AtZeroRAllOne) {
+  // pi_i(0) = 1 (Sec. 4.2).
+  const auto fx = paper_reply_delay(1e-15, 10.0, 1.0);
+  const auto pi = pi_values(*fx, 6, 0.0);
+  for (double v : pi) EXPECT_EQ(v, 1.0);
+}
+
+TEST(PiValues, LargeRLimitIsLossPowerI) {
+  // lim_{r->inf} pi_i(r) = (1-l)^i = loss^i (Sec. 4.2).
+  const double loss = 1e-5;
+  const auto fx = paper_reply_delay(loss, 10.0, 1.0);
+  const auto pi = pi_values(*fx, 4, 1e4);
+  for (unsigned i = 0; i <= 4; ++i)
+    EXPECT_NEAR(pi[i] / std::pow(loss, i), 1.0, 1e-9) << "i=" << i;
+}
+
+TEST(PiValues, PaperScenarioDeepValuesRepresentable) {
+  // Fig. 2 scenario: pi_8 at large r ~ (1e-15)^8 = 1e-120 — still a
+  // normal double, and the direct product must not underflow to 0.
+  const auto fx = paper_reply_delay(1e-15, 10.0, 1.0);
+  const auto pi = pi_values(*fx, 8, 50.0);
+  EXPECT_GT(pi[8], 0.0);
+  EXPECT_NEAR(std::log10(pi[8]), -120.0, 0.1);
+}
+
+TEST(LogPi, MatchesDirectLogarithm) {
+  const auto fx = paper_reply_delay(1e-6, 10.0, 1.0);
+  for (unsigned n : {1u, 4u, 8u}) {
+    for (double r : {0.5, 1.2, 2.8}) {
+      const auto pi = pi_values(*fx, n, r);
+      EXPECT_NEAR(log_pi(*fx, n, r), std::log(pi[n]),
+                  1e-10 * std::fabs(std::log(pi[n])) + 1e-12)
+          << "n=" << n << " r=" << r;
+    }
+  }
+}
+
+TEST(LogPi, ExactDeepInUnderflowTerritory) {
+  // At extreme n*r the linear-domain pi underflows, but log_pi stays
+  // finite and equals n * log(loss) in the limit.
+  const double loss = 1e-15;
+  const auto fx = paper_reply_delay(loss, 10.0, 1.0);
+  const double lp = log_pi(*fx, 20, 1e3);
+  EXPECT_NEAR(lp / (20.0 * std::log(loss)), 1.0, 1e-9);
+}
+
+/// Property sweep: telescoping across distributions, probes and r.
+struct TelescopeCase {
+  const char* label;
+  double loss, lambda, d;
+};
+
+class TelescopeSweep : public ::testing::TestWithParam<TelescopeCase> {};
+
+TEST_P(TelescopeSweep, ProductEqualsSurvivalForm) {
+  const auto& param = GetParam();
+  const auto fx = paper_reply_delay(param.loss, param.lambda, param.d);
+  for (unsigned i = 1; i <= 10; ++i) {
+    for (double r = 0.1; r <= 4.0; r += 0.37) {
+      const double survival_form = no_answer_probability(*fx, i, r);
+      const double product_form = no_answer_probability_product(*fx, i, r);
+      if (survival_form >= 1e-6) {
+        // Cancellation in the literal 1 - cdf quotients is negligible.
+        EXPECT_NEAR(product_form / survival_form, 1.0, 1e-9)
+            << param.label << " i=" << i << " r=" << r;
+      } else {
+        // Deep tail: the literal Eq. (1) evaluation loses precision to
+        // 1 - cdf cancellation (the very reason the survival form
+        // exists); only order-of-magnitude agreement is meaningful.
+        EXPECT_GT(product_form, 0.3 * survival_form)
+            << param.label << " i=" << i << " r=" << r;
+        EXPECT_LT(product_form, 3.0 * survival_form)
+            << param.label << " i=" << i << " r=" << r;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, TelescopeSweep,
+    ::testing::Values(TelescopeCase{"fig2", 1e-15, 10.0, 1.0},
+                      TelescopeCase{"sec45_r2", 1e-5, 10.0, 1.0},
+                      TelescopeCase{"sec45_r02", 1e-10, 100.0, 0.1},
+                      TelescopeCase{"sec6", 1e-12, 10.0, 1e-3},
+                      TelescopeCase{"lossy", 0.3, 2.0, 0.5}),
+    [](const ::testing::TestParamInfo<TelescopeCase>& param_info) {
+      return param_info.param.label;
+    });
+
+}  // namespace

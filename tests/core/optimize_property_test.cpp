@@ -1,0 +1,119 @@
+/// Property suite for the optimization layer: randomly drawn scenarios,
+/// validated against brute-force grid search. Parameterized over seeds.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/cost.hpp"
+#include "core/optimize.hpp"
+#include "prob/rng.hpp"
+
+namespace {
+
+using namespace zc::core;
+
+/// Random but sane exponential scenario: moderate losses and costs so
+/// optima are interior and well-conditioned.
+ExponentialScenario random_scenario(zc::prob::Rng& rng) {
+  ExponentialScenario s;
+  s.q = rng.uniform(0.05, 0.6);
+  s.probe_cost = rng.uniform(0.1, 4.0);
+  s.error_cost = rng.uniform(50.0, 5e4);
+  s.loss = rng.uniform(1e-4, 0.05);
+  s.lambda = rng.uniform(2.0, 40.0);
+  s.round_trip = rng.uniform(0.01, 0.5);
+  return s;
+}
+
+class OptimizeProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimizeProperties, OptimalRBeatsDenseGrid) {
+  zc::prob::Rng rng(GetParam());
+  const auto scenario = random_scenario(rng).to_params();
+  for (unsigned n : {1u, 2u, 4u}) {
+    ROptOptions opts;
+    opts.r_max = 10.0;
+    const CostMinimum found = optimal_r(scenario, n, opts);
+    // A dense independent grid must not find anything meaningfully
+    // better.
+    double best_grid = std::numeric_limits<double>::infinity();
+    for (double r = 1e-3; r <= 10.0; r += 1e-3)
+      best_grid = std::min(
+          best_grid, mean_cost(scenario, ProtocolParams{n, r}));
+    EXPECT_LE(found.cost, best_grid * (1.0 + 1e-6)) << "n=" << n;
+  }
+}
+
+TEST_P(OptimizeProperties, JointOptimumBeatsBruteForce) {
+  zc::prob::Rng rng(GetParam() + 50);
+  const auto scenario = random_scenario(rng).to_params();
+  ROptOptions opts;
+  opts.r_max = 8.0;
+  const JointOptimum opt = joint_optimum(scenario, 8, opts);
+  for (unsigned n = 1; n <= 8; ++n)
+    for (double r = 0.01; r <= 8.0; r += 0.01)
+      EXPECT_LE(opt.cost,
+                mean_cost(scenario, ProtocolParams{n, r}) * (1.0 + 1e-6))
+          << "beaten at n=" << n << " r=" << r;
+}
+
+TEST_P(OptimizeProperties, OptimalNIsArgminOverProbeCounts) {
+  zc::prob::Rng rng(GetParam() + 100);
+  const auto scenario = random_scenario(rng).to_params();
+  for (double r : {0.1, 0.5, 1.5}) {
+    const unsigned best = optimal_n(scenario, r);
+    const double best_cost =
+        mean_cost(scenario, ProtocolParams{best, r});
+    for (unsigned n = 1; n <= 40; ++n) {
+      const double cost = mean_cost(scenario, ProtocolParams{n, r});
+      EXPECT_LE(best_cost, cost * (1.0 + 1e-12))
+          << "r=" << r << " beaten by n=" << n;
+      // Ties resolve to the smallest n (the paper's N(r) definition).
+      if (n < best) {
+        EXPECT_GT(cost, best_cost) << "r=" << r;
+      }
+    }
+  }
+}
+
+TEST_P(OptimizeProperties, MinCostIsEnvelopeEverywhere) {
+  zc::prob::Rng rng(GetParam() + 150);
+  const auto scenario = random_scenario(rng).to_params();
+  for (double r : {0.2, 0.7, 2.0}) {
+    const double envelope = min_cost(scenario, r);
+    for (unsigned n = 1; n <= 12; ++n)
+      EXPECT_LE(envelope,
+                mean_cost(scenario, ProtocolParams{n, r}) + 1e-9);
+  }
+}
+
+TEST_P(OptimizeProperties, BreakpointsConsistentWithOptimalN) {
+  // n_breakpoints resolves plateaus at its scan-grid resolution; the
+  // guarantee is that every *scan-grid point* lies in a plateau carrying
+  // its own optimal_n value (sub-grid dips in pathological scenarios may
+  // hide between points, so midpoints are not the right probe).
+  zc::prob::Rng rng(GetParam() + 200);
+  const auto scenario = random_scenario(rng).to_params();
+  const double lo = 0.05, hi = 3.0;
+  const std::size_t grid = 96;
+  const auto steps = n_breakpoints(scenario, lo, hi, grid);
+  ASSERT_FALSE(steps.empty());
+  EXPECT_DOUBLE_EQ(steps.front().r_from, lo);
+  EXPECT_DOUBLE_EQ(steps.back().r_to, hi);
+  for (std::size_t i = 0; i < grid; ++i) {
+    const double r =
+        lo + (hi - lo) * static_cast<double>(i) /
+                 static_cast<double>(grid - 1);
+    const NBreakpoint* containing = &steps.back();
+    for (const auto& step : steps)
+      if (step.r_from <= r && r < step.r_to) containing = &step;
+    EXPECT_EQ(optimal_n(scenario, std::min(r, hi)), containing->n)
+        << "grid point r=" << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizeProperties,
+                         ::testing::Values(7u, 77u, 777u, 7777u));
+
+}  // namespace

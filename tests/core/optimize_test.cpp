@@ -1,0 +1,200 @@
+#include "core/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contract.hpp"
+#include "core/cost.hpp"
+#include "core/scenarios.hpp"
+
+namespace {
+
+using namespace zc::core;
+
+TEST(OptimalR, Figure2MinimaDecreaseInRAndOrderInCost) {
+  // Fig. 2: r_opt decreases with n; C_3(r_opt3) < C_4(r_opt4) < ...
+  const auto scenario = scenarios::figure2().to_params();
+  double prev_r = 1e9;
+  double prev_cost = 0.0;
+  for (unsigned n = 3; n <= 8; ++n) {
+    const CostMinimum m = optimal_r(scenario, n);
+    EXPECT_LT(m.r, prev_r) << "n=" << n;
+    if (n > 3) {
+      EXPECT_GT(m.cost, prev_cost) << "n=" << n;
+    }
+    prev_r = m.r;
+    prev_cost = m.cost;
+  }
+}
+
+TEST(OptimalR, Figure2KnownValues) {
+  const auto scenario = scenarios::figure2().to_params();
+  const CostMinimum m3 = optimal_r(scenario, 3);
+  EXPECT_NEAR(m3.r, 2.14, 0.03);
+  EXPECT_NEAR(m3.cost, 12.60, 0.05);
+  const CostMinimum m4 = optimal_r(scenario, 4);
+  EXPECT_NEAR(m4.r, 1.24, 0.03);
+  EXPECT_NEAR(m4.cost, 13.10, 0.05);
+}
+
+TEST(OptimalR, StationaryPointHasZeroSlope) {
+  const auto scenario = scenarios::figure2().to_params();
+  const CostMinimum m = optimal_r(scenario, 4);
+  const double slope = cost_derivative_r(scenario, 4, m.r);
+  // Slope scale near the minimum is O(n); demand near-vanishing.
+  EXPECT_LT(std::fabs(slope), 1e-3);
+}
+
+TEST(OptimalR, MinimumBeatsNeighbors) {
+  const auto scenario = scenarios::sec45_r2().to_params();
+  const CostMinimum m = optimal_r(scenario, 4);
+  EXPECT_LT(m.cost, mean_cost(scenario, ProtocolParams{4, m.r * 0.9}));
+  EXPECT_LT(m.cost, mean_cost(scenario, ProtocolParams{4, m.r * 1.1}));
+}
+
+TEST(OptimalR, RespectsExplicitSearchRange) {
+  const auto scenario = scenarios::figure2().to_params();
+  ROptOptions opts;
+  opts.r_min = 3.0;
+  opts.r_max = 5.0;
+  const CostMinimum m = optimal_r(scenario, 3, opts);
+  EXPECT_GE(m.r, 3.0);
+  EXPECT_LE(m.r, 5.0);
+}
+
+TEST(OptimalR, InvalidOptionsRejected) {
+  const auto scenario = scenarios::figure2().to_params();
+  ROptOptions opts;
+  opts.r_min = 5.0;
+  opts.r_max = 1.0;
+  EXPECT_THROW((void)optimal_r(scenario, 3, opts), zc::ContractViolation);
+  EXPECT_THROW((void)optimal_r(scenario, 0), zc::ContractViolation);
+}
+
+TEST(OptimalN, Figure2ValuesAcrossR) {
+  const auto scenario = scenarios::figure2().to_params();
+  // At r = 2 the error term still punishes n = 3 (q E pi_3(2) ~ 6.6), so
+  // N(2) = 4; by r = 2.5 three probes suffice. The 4 -> 3 breakpoint of
+  // Fig. 3 sits between.
+  EXPECT_EQ(optimal_n(scenario, 2.0), 4u);
+  EXPECT_EQ(optimal_n(scenario, 2.5), 3u);
+  // Shorter listening periods demand more probes.
+  EXPECT_GT(optimal_n(scenario, 0.5), 4u);
+}
+
+TEST(OptimalN, NonIncreasingInR) {
+  const auto scenario = scenarios::figure2().to_params();
+  unsigned prev = 1000;
+  for (double r = 0.4; r <= 4.0; r += 0.1) {
+    const unsigned n = optimal_n(scenario, r);
+    EXPECT_LE(n, prev) << "N(r) must step down as r grows, r=" << r;
+    prev = n;
+  }
+}
+
+TEST(OptimalN, NeverBelowNuForReasonableR) {
+  const auto scenario = scenarios::figure2().to_params();
+  const unsigned nu = min_useful_n(scenario.error_cost(), 1e-15);
+  for (double r : {0.5, 1.0, 2.0, 4.0})
+    EXPECT_GE(optimal_n(scenario, r), nu);
+}
+
+TEST(MinUsefulN, PaperFormula) {
+  // nu = ceil(-log E / log(1-l)); Sec. 4.4 computes nu = 3 for
+  // E = 1e35, 1-l = 1e-15.
+  EXPECT_EQ(min_useful_n(1e35, 1e-15), 3u);
+  EXPECT_EQ(min_useful_n(1e30, 1e-15), 2u);
+  EXPECT_EQ(min_useful_n(1e20, 1e-5), 4u);
+  EXPECT_EQ(min_useful_n(1e35, 1e-10), 4u);  // sec45_r02: 35/10 -> 4
+}
+
+TEST(MinUsefulN, InvalidArgumentsRejected) {
+  EXPECT_THROW((void)min_useful_n(0.5, 1e-5), zc::ContractViolation);
+  EXPECT_THROW((void)min_useful_n(1e10, 0.0), zc::ContractViolation);
+  EXPECT_THROW((void)min_useful_n(1e10, 1.0), zc::ContractViolation);
+}
+
+TEST(MinCost, IsLowerEnvelope) {
+  const auto scenario = scenarios::figure2().to_params();
+  for (double r : {0.8, 1.5, 2.2, 3.0}) {
+    const double envelope = min_cost(scenario, r);
+    for (unsigned n = 1; n <= 10; ++n)
+      EXPECT_LE(envelope,
+                mean_cost(scenario, ProtocolParams{n, r}) + 1e-9)
+          << "r=" << r << " n=" << n;
+  }
+}
+
+TEST(JointOptimum, Figure2LandsOnNEquals3) {
+  const auto scenario = scenarios::figure2().to_params();
+  const JointOptimum opt = joint_optimum(scenario, 10);
+  EXPECT_EQ(opt.n, 3u);
+  EXPECT_NEAR(opt.r, 2.14, 0.03);
+  EXPECT_NEAR(opt.cost, 12.60, 0.05);
+  EXPECT_GT(opt.error_prob, 0.0);
+}
+
+TEST(JointOptimum, Section6RealisticScenario) {
+  // Sec. 6: optimum moves to n = 2, r ~ 1.75 with error ~ 4e-22.
+  const auto scenario = scenarios::sec6().to_params();
+  const JointOptimum opt = joint_optimum(scenario, 10);
+  EXPECT_EQ(opt.n, 2u);
+  EXPECT_NEAR(opt.r, 1.75, 0.05);
+  EXPECT_NEAR(opt.error_prob / 4e-22, 1.0, 0.25);
+}
+
+TEST(JointOptimum, DraftParametersOptimalUnderCalibratedCosts) {
+  // Sec. 4.5: with (E, c) = (5e20, 3.5) the draft's (4, 2) is optimal;
+  // with (1e35, 0.5) the draft's (4, 0.2) is optimal.
+  const JointOptimum unreliable =
+      joint_optimum(scenarios::sec45_r2().to_params(), 10);
+  EXPECT_EQ(unreliable.n, 4u);
+  EXPECT_NEAR(unreliable.r, 2.0, 0.05);
+
+  const JointOptimum reliable =
+      joint_optimum(scenarios::sec45_r02().to_params(), 10);
+  EXPECT_EQ(reliable.n, 4u);
+  EXPECT_NEAR(reliable.r, 0.2, 0.02);
+}
+
+TEST(NBreakpoints, PartitionTheInterval) {
+  const auto scenario = scenarios::figure2().to_params();
+  const auto steps = n_breakpoints(scenario, 0.5, 4.0, 128);
+  ASSERT_FALSE(steps.empty());
+  EXPECT_DOUBLE_EQ(steps.front().r_from, 0.5);
+  EXPECT_DOUBLE_EQ(steps.back().r_to, 4.0);
+  for (std::size_t i = 1; i < steps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(steps[i].r_from, steps[i - 1].r_to);
+    EXPECT_LT(steps[i].n, steps[i - 1].n);  // strictly decreasing plateaus
+  }
+}
+
+TEST(NBreakpoints, ValuesMatchOptimalNInsideEachPlateau) {
+  const auto scenario = scenarios::figure2().to_params();
+  const auto steps = n_breakpoints(scenario, 0.8, 3.5, 96);
+  for (const auto& step : steps) {
+    const double mid = 0.5 * (step.r_from + step.r_to);
+    EXPECT_EQ(optimal_n(scenario, mid), step.n)
+        << "plateau [" << step.r_from << ", " << step.r_to << ")";
+  }
+}
+
+TEST(NBreakpoints, SinglePlateauWhenRangeIsNarrow) {
+  const auto scenario = scenarios::figure2().to_params();
+  // [3.0, 3.05] sits deep inside the N = 3 plateau (the 4 -> 3 step is
+  // near r ~ 2.03 and the 3 -> 2 step far beyond 4).
+  const auto steps = n_breakpoints(scenario, 3.0, 3.05, 16);
+  EXPECT_EQ(steps.size(), 1u);
+  EXPECT_EQ(steps.front().n, optimal_n(scenario, 3.02));
+}
+
+TEST(NBreakpoints, InvalidRangeRejected) {
+  const auto scenario = scenarios::figure2().to_params();
+  EXPECT_THROW((void)n_breakpoints(scenario, 2.0, 1.0),
+               zc::ContractViolation);
+  EXPECT_THROW((void)n_breakpoints(scenario, 0.0, 1.0),
+               zc::ContractViolation);
+}
+
+}  // namespace

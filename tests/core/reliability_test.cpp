@@ -1,0 +1,141 @@
+#include "core/reliability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/no_answer.hpp"
+#include "core/scenarios.hpp"
+
+namespace {
+
+using namespace zc::core;
+
+ScenarioParams lossy_scenario() {
+  return ScenarioParams(0.3, 1.0, 50.0,
+                        zc::prob::paper_reply_delay(0.25, 2.0, 0.3));
+}
+
+TEST(Reliability, HandComputedEq4) {
+  const auto scenario = lossy_scenario();
+  const ProtocolParams protocol{2, 1.0};
+  const auto pi = pi_values(scenario.reply_delay(), 2, 1.0);
+  const double expected =
+      scenario.q() * pi[2] / (1.0 - scenario.q() * (1.0 - pi[2]));
+  EXPECT_NEAR(error_probability(scenario, protocol), expected, 1e-14);
+}
+
+TEST(Reliability, AnalyticMatchesAbsorbingChain) {
+  // Eq. (4) vs s (I - P'_n)^{-1} e (Sec. 5).
+  const auto scenario = lossy_scenario();
+  for (unsigned n : {1u, 2u, 4u, 7u}) {
+    for (double r : {0.2, 0.8, 2.0}) {
+      const ProtocolParams protocol{n, r};
+      EXPECT_NEAR(error_probability_numeric(scenario, protocol) /
+                      error_probability(scenario, protocol),
+                  1.0, 1e-10)
+          << "n=" << n << " r=" << r;
+    }
+  }
+}
+
+TEST(Reliability, ComplementOfErrorProbability) {
+  const auto scenario = lossy_scenario();
+  const ProtocolParams protocol{3, 0.9};
+  EXPECT_DOUBLE_EQ(reliability(scenario, protocol),
+                   1.0 - error_probability(scenario, protocol));
+}
+
+TEST(Reliability, ErrorDecreasesInN) {
+  const auto scenario = lossy_scenario();
+  double prev = 1.0;
+  for (unsigned n = 1; n <= 8; ++n) {
+    const double e = error_probability(scenario, ProtocolParams{n, 1.0});
+    EXPECT_LT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(Reliability, ErrorDecreasesInR) {
+  const auto scenario = lossy_scenario();
+  double prev = 1.0;
+  for (double r = 0.4; r <= 4.0; r += 0.4) {
+    const double e = error_probability(scenario, ProtocolParams{3, r});
+    EXPECT_LE(e, prev + 1e-15);
+    prev = e;
+  }
+}
+
+TEST(Reliability, AtZeroRListeningIsUseless) {
+  // pi_n(0) = 1: the collision probability equals q (picking an occupied
+  // address goes straight to error).
+  const auto scenario = lossy_scenario();
+  EXPECT_NEAR(error_probability(scenario, ProtocolParams{5, 0.0}),
+              scenario.q(), 1e-14);
+}
+
+TEST(Reliability, LargeRFloorFromLoss) {
+  // r -> inf: pi_n -> loss^n, error -> q loss^n / (1 - q(1-loss^n)).
+  const double q = 0.2, loss = 1e-3;
+  const ScenarioParams scenario(q, 1.0, 10.0,
+                                zc::prob::paper_reply_delay(loss, 5.0, 0.1));
+  const unsigned n = 3;
+  const double pin = std::pow(loss, n);
+  const double expected = q * pin / (1.0 - q * (1.0 - pin));
+  EXPECT_NEAR(error_probability(scenario, ProtocolParams{n, 1e5}) /
+                  expected,
+              1.0, 1e-9);
+}
+
+TEST(Reliability, IndependentOfCosts) {
+  // Eq. (4) involves neither c nor E.
+  const auto scenario = lossy_scenario();
+  const ProtocolParams protocol{3, 1.3};
+  EXPECT_DOUBLE_EQ(
+      error_probability(scenario.with_error_cost(1.0), protocol),
+      error_probability(scenario.with_error_cost(1e30), protocol));
+  EXPECT_DOUBLE_EQ(
+      error_probability(scenario.with_probe_cost(0.0), protocol),
+      error_probability(scenario.with_probe_cost(99.0), protocol));
+}
+
+TEST(Reliability, Log10MatchesDirectWhereRepresentable) {
+  const auto scenario = lossy_scenario();
+  for (unsigned n : {1u, 3u, 5u}) {
+    for (double r : {0.5, 1.5}) {
+      const ProtocolParams protocol{n, r};
+      EXPECT_NEAR(log10_error_probability(scenario, protocol),
+                  std::log10(error_probability(scenario, protocol)), 1e-9);
+    }
+  }
+}
+
+TEST(Reliability, Log10WorksBeyondDoubleUnderflow) {
+  // Fig. 5/6 regime pushed far: n * r huge => pi_n underflows in linear
+  // domain but the log-domain path stays exact.
+  const auto scenario = scenarios::figure2().to_params();
+  const double lg =
+      log10_error_probability(scenario, ProtocolParams{30, 50.0});
+  // pi_30 ~ loss^30 = 1e-450; with q ~ 1.5e-2: expect ~ -451.8.
+  EXPECT_NEAR(lg, -451.8, 0.5);
+}
+
+TEST(Reliability, Figure5OrderOfMagnitudes) {
+  // Fig. 5 plots E(n, r) on a log scale roughly spanning 1e-60..1e-5 for
+  // n = 1..8 over small r; spot-check the n = 4 curve's plateau at the
+  // loss floor for large r.
+  const auto scenario = scenarios::figure2().to_params();
+  const double floor4 =
+      error_probability(scenario, ProtocolParams{4, 100.0});
+  // q * (1e-15)^4 / (...) ~ 1.5e-62.
+  EXPECT_NEAR(std::log10(floor4), -61.8, 0.5);
+}
+
+TEST(Reliability, PaperSection6Value) {
+  // Sec. 6: E(2, 1.75) ~ 4e-22 in the realistic scenario.
+  const auto scenario = scenarios::sec6().to_params();
+  const double e = error_probability(scenario, ProtocolParams{2, 1.75});
+  EXPECT_NEAR(e / 4e-22, 1.0, 0.15);
+}
+
+}  // namespace

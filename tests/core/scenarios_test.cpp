@@ -1,0 +1,108 @@
+#include "core/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+
+namespace {
+
+using namespace zc::core;
+
+TEST(Scenarios, Figure2MatchesPaperSection43) {
+  const ExponentialScenario s = scenarios::figure2();
+  EXPECT_DOUBLE_EQ(s.q, 1000.0 / 65024.0);
+  EXPECT_DOUBLE_EQ(s.probe_cost, 2.0);
+  EXPECT_DOUBLE_EQ(s.error_cost, 1e35);
+  EXPECT_DOUBLE_EQ(s.loss, 1e-15);
+  EXPECT_DOUBLE_EQ(s.lambda, 10.0);
+  EXPECT_DOUBLE_EQ(s.round_trip, 1.0);
+}
+
+TEST(Scenarios, Sec45SettingsMatchPaper) {
+  const ExponentialScenario r2 = scenarios::sec45_r2();
+  EXPECT_DOUBLE_EQ(r2.loss, 1e-5);
+  EXPECT_DOUBLE_EQ(r2.round_trip, 1.0);
+  EXPECT_DOUBLE_EQ(r2.lambda, 10.0);
+  EXPECT_DOUBLE_EQ(r2.error_cost, 5e20);
+  EXPECT_DOUBLE_EQ(r2.probe_cost, 3.5);
+
+  const ExponentialScenario r02 = scenarios::sec45_r02();
+  EXPECT_DOUBLE_EQ(r02.loss, 1e-10);
+  EXPECT_DOUBLE_EQ(r02.round_trip, 0.1);
+  EXPECT_DOUBLE_EQ(r02.lambda, 100.0);
+  EXPECT_DOUBLE_EQ(r02.error_cost, 1e35);
+  EXPECT_DOUBLE_EQ(r02.probe_cost, 0.5);
+}
+
+TEST(Scenarios, Sec6KeepsCalibratedCosts) {
+  const ExponentialScenario s6 = scenarios::sec6();
+  const ExponentialScenario r2 = scenarios::sec45_r2();
+  EXPECT_EQ(s6.error_cost, r2.error_cost);
+  EXPECT_EQ(s6.probe_cost, r2.probe_cost);
+  EXPECT_EQ(s6.q, r2.q);
+  EXPECT_DOUBLE_EQ(s6.loss, 1e-12);
+  EXPECT_DOUBLE_EQ(s6.round_trip, 1e-3);
+}
+
+TEST(Scenarios, DraftProtocolParams) {
+  EXPECT_EQ(scenarios::draft_unreliable().n, 4u);
+  EXPECT_DOUBLE_EQ(scenarios::draft_unreliable().r, 2.0);
+  EXPECT_EQ(scenarios::draft_reliable().n, 4u);
+  EXPECT_DOUBLE_EQ(scenarios::draft_reliable().r, 0.2);
+}
+
+TEST(Scenarios, ToParamsBuildsPaperDistribution) {
+  const auto params = scenarios::figure2().to_params();
+  const auto& fx = params.reply_delay();
+  EXPECT_DOUBLE_EQ(fx.loss_probability(), 1e-15);
+  EXPECT_DOUBLE_EQ(fx.mean_given_arrival(), 1.1);  // d + 1/lambda
+  EXPECT_EQ(fx.cdf(0.5), 0.0);                     // before round-trip
+}
+
+TEST(ScenarioParams, QFromHosts) {
+  EXPECT_DOUBLE_EQ(ScenarioParams::q_from_hosts(1000),
+                   1000.0 / kAddressSpaceSize);
+  EXPECT_DOUBLE_EQ(ScenarioParams::q_from_hosts(1),
+                   1.0 / kAddressSpaceSize);
+}
+
+TEST(ScenarioParams, QFromHostsBoundsEnforced) {
+  EXPECT_THROW((void)ScenarioParams::q_from_hosts(0),
+               zc::ContractViolation);
+  EXPECT_THROW((void)ScenarioParams::q_from_hosts(kAddressSpaceSize),
+               zc::ContractViolation);
+}
+
+TEST(ScenarioParams, ValidationOfConstructorArguments) {
+  const auto fx = zc::prob::paper_reply_delay(0.1, 1.0, 0.0);
+  const std::shared_ptr<const zc::prob::DelayDistribution> shared =
+      fx->clone();
+  EXPECT_THROW(ScenarioParams(0.0, 1.0, 1.0, shared),
+               zc::ContractViolation);
+  EXPECT_THROW(ScenarioParams(1.0, 1.0, 1.0, shared),
+               zc::ContractViolation);
+  EXPECT_THROW(ScenarioParams(0.5, -1.0, 1.0, shared),
+               zc::ContractViolation);
+  EXPECT_THROW(ScenarioParams(0.5, 1.0, -1.0, shared),
+               zc::ContractViolation);
+  EXPECT_THROW(ScenarioParams(0.5, 1.0, 1.0, nullptr),
+               zc::ContractViolation);
+}
+
+TEST(ScenarioParams, WithersPreserveOtherFields) {
+  const auto base = scenarios::figure2().to_params();
+  const auto changed = base.with_error_cost(7.0).with_probe_cost(0.25);
+  EXPECT_DOUBLE_EQ(changed.error_cost(), 7.0);
+  EXPECT_DOUBLE_EQ(changed.probe_cost(), 0.25);
+  EXPECT_DOUBLE_EQ(changed.q(), base.q());
+  EXPECT_EQ(&changed.reply_delay(), &base.reply_delay());  // shared
+}
+
+TEST(ScenarioParams, WithQReplacesOnlyQ) {
+  const auto base = scenarios::figure2().to_params();
+  const auto changed = base.with_q(0.5);
+  EXPECT_DOUBLE_EQ(changed.q(), 0.5);
+  EXPECT_DOUBLE_EQ(changed.error_cost(), base.error_cost());
+}
+
+}  // namespace

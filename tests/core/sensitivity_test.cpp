@@ -1,0 +1,127 @@
+#include "core/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contract.hpp"
+#include "core/reliability.hpp"
+#include "core/scenarios.hpp"
+
+namespace {
+
+using namespace zc::core;
+
+const Elasticity& find(const std::vector<Elasticity>& all,
+                       const std::string& name) {
+  for (const auto& e : all)
+    if (e.parameter == name) return e;
+  throw std::runtime_error("missing parameter " + name);
+}
+
+TEST(Sensitivity, ReportsAllParameters) {
+  const auto all =
+      sensitivities(scenarios::figure2(), ProtocolParams{4, 2.0});
+  EXPECT_EQ(all.size(), 7u);
+  for (const char* name : {"q", "c", "E", "loss", "lambda", "d", "r"})
+    EXPECT_NO_THROW((void)find(all, name)) << name;
+}
+
+TEST(Sensitivity, ErrorProbabilityIndependentOfCosts) {
+  // Eq. (4) has no c or E: their error elasticities vanish.
+  const auto all =
+      sensitivities(scenarios::figure2(), ProtocolParams{4, 2.0});
+  EXPECT_NEAR(find(all, "c").error_elasticity, 0.0, 1e-10);
+  EXPECT_NEAR(find(all, "E").error_elasticity, 0.0, 1e-10);
+}
+
+TEST(Sensitivity, CostIncreasesWithQAndC) {
+  const auto all =
+      sensitivities(scenarios::sec45_r2(), ProtocolParams{4, 2.0});
+  EXPECT_GT(find(all, "q").cost_elasticity, 0.0);
+  EXPECT_GT(find(all, "c").cost_elasticity, 0.0);
+}
+
+TEST(Sensitivity, ErrorIncreasesWithLossAndQ) {
+  const auto all =
+      sensitivities(scenarios::sec45_r2(), ProtocolParams{4, 2.0});
+  EXPECT_GT(find(all, "loss").error_elasticity, 0.0);
+  EXPECT_GT(find(all, "q").error_elasticity, 0.0);
+}
+
+TEST(Sensitivity, LongerRoundTripHurtsReliability) {
+  // Larger d shifts reply arrival later: more unanswered probes.
+  const auto all =
+      sensitivities(scenarios::sec45_r2(), ProtocolParams{4, 2.0});
+  EXPECT_GT(find(all, "d").error_elasticity, 0.0);
+}
+
+TEST(Sensitivity, FasterRepliesImproveReliability) {
+  const auto all =
+      sensitivities(scenarios::sec45_r2(), ProtocolParams{4, 2.0});
+  EXPECT_LT(find(all, "lambda").error_elasticity, 0.0);
+}
+
+TEST(Sensitivity, LongerListeningImprovesReliability) {
+  const auto all =
+      sensitivities(scenarios::sec45_r2(), ProtocolParams{4, 2.0});
+  EXPECT_LT(find(all, "r").error_elasticity, 0.0);
+}
+
+TEST(Sensitivity, CostSlopeSignMatchesSideOfMinimum) {
+  // Left of r_opt the cost decreases in r; right of it, increases.
+  const auto scenario = scenarios::figure2();
+  const auto left = sensitivities(scenario, ProtocolParams{3, 1.8});
+  const auto right = sensitivities(scenario, ProtocolParams{3, 2.6});
+  EXPECT_LT(find(left, "r").cost_elasticity, 0.0);
+  EXPECT_GT(find(right, "r").cost_elasticity, 0.0);
+}
+
+TEST(Sensitivity, ErrorElasticityOfQIsNearOne) {
+  // E(n,r) ~ q pi_n for small q: elasticity w.r.t. q ~ 1.
+  const auto all =
+      sensitivities(scenarios::figure2(), ProtocolParams{4, 2.0});
+  EXPECT_NEAR(find(all, "q").error_elasticity, 1.0, 0.05);
+}
+
+TEST(OptimumShifts, ReRunsJointOptimumPerFactor) {
+  const auto shifts = optimum_shifts(scenarios::sec6(), "loss",
+                                     {0.1, 1.0, 10.0}, 8);
+  ASSERT_EQ(shifts.size(), 3u);
+  for (const auto& s : shifts) {
+    EXPECT_EQ(s.parameter, "loss");
+    EXPECT_GE(s.n, 1u);
+    EXPECT_GT(s.r, 0.0);
+    EXPECT_GT(s.cost, 0.0);
+  }
+  // Identity factor reproduces the Sec. 6 optimum.
+  EXPECT_EQ(shifts[1].n, 2u);
+  EXPECT_NEAR(shifts[1].r, 1.75, 0.05);
+}
+
+TEST(OptimumShifts, HigherErrorCostBuysMoreProtection) {
+  const auto shifts = optimum_shifts(scenarios::sec6(), "E",
+                                     {1.0, 1e6}, 8);
+  ASSERT_EQ(shifts.size(), 2u);
+  // A much larger E makes the optimum more defensive (here: a third
+  // probe) and necessarily more expensive. Note the total listening time
+  // n*r may even shrink — extra probes substitute for longer waits.
+  EXPECT_GT(shifts[1].cost, shifts[0].cost);
+  EXPECT_TRUE(shifts[1].n > shifts[0].n || shifts[1].r > shifts[0].r);
+  ExponentialScenario scaled = scenarios::sec6();
+  scaled.error_cost *= 1e6;
+  const double err0 = error_probability(
+      scenarios::sec6().to_params(),
+      ProtocolParams{shifts[0].n, shifts[0].r});
+  const double err1 = error_probability(
+      scaled.to_params(), ProtocolParams{shifts[1].n, shifts[1].r});
+  EXPECT_LT(err1, err0);
+}
+
+TEST(OptimumShifts, UnknownParameterRejected) {
+  EXPECT_THROW(
+      (void)optimum_shifts(scenarios::sec6(), "bogus", {1.0}, 4),
+      zc::ContractViolation);
+}
+
+}  // namespace

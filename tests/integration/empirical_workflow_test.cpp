@@ -1,0 +1,125 @@
+/// The measure-then-model workflow the paper calls for in Sec. 7:
+/// measure reply delays on a (simulated) real network, build an empirical
+/// F_X, feed it into the analytic machinery, and check that decisions
+/// (costs, optima) agree with the ground-truth distribution.
+
+#include <gtest/gtest.h>
+
+#include "core/cost.hpp"
+#include "core/optimize.hpp"
+#include "core/reliability.hpp"
+#include "prob/empirical.hpp"
+#include "prob/smoothed.hpp"
+
+namespace {
+
+using namespace zc;
+
+class EmpiricalWorkflow : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    truth_ = prob::paper_reply_delay(0.2, 8.0, 0.25);
+    prob::Rng rng(314159);
+    measured_ = std::make_shared<prob::EmpiricalDelay>(
+        prob::measure(*truth_, 200000, rng));
+  }
+
+  [[nodiscard]] core::ScenarioParams scenario_with(
+      std::shared_ptr<const prob::DelayDistribution> fx) const {
+    return core::ScenarioParams(0.3, 1.0, 200.0, std::move(fx));
+  }
+
+  std::shared_ptr<const prob::DelayDistribution> truth_;
+  std::shared_ptr<const prob::EmpiricalDelay> measured_;
+};
+
+TEST_F(EmpiricalWorkflow, MeasuredLossMatchesTruth) {
+  EXPECT_NEAR(measured_->loss_probability(), truth_->loss_probability(),
+              0.005);
+}
+
+TEST_F(EmpiricalWorkflow, CostCurveMatchesTruthModel) {
+  const auto with_truth = scenario_with(truth_->clone());
+  const auto with_measured = scenario_with(measured_);
+  for (unsigned n : {1u, 2u, 4u}) {
+    for (double r : {0.3, 0.6, 1.0, 2.0}) {
+      const core::ProtocolParams protocol{n, r};
+      const double truth_cost = core::mean_cost(with_truth, protocol);
+      const double measured_cost = core::mean_cost(with_measured, protocol);
+      EXPECT_NEAR(measured_cost / truth_cost, 1.0, 0.03)
+          << "n=" << n << " r=" << r;
+    }
+  }
+}
+
+TEST_F(EmpiricalWorkflow, ErrorProbabilityMatchesTruthModel) {
+  const auto with_truth = scenario_with(truth_->clone());
+  const auto with_measured = scenario_with(measured_);
+  for (double r : {0.3, 0.8, 1.5}) {
+    const core::ProtocolParams protocol{2, r};
+    const double truth_err = core::error_probability(with_truth, protocol);
+    const double measured_err =
+        core::error_probability(with_measured, protocol);
+    EXPECT_NEAR(measured_err / truth_err, 1.0, 0.08) << "r=" << r;
+  }
+}
+
+TEST_F(EmpiricalWorkflow, OptimalConfigurationAgrees) {
+  const auto with_truth = scenario_with(truth_->clone());
+  const auto with_measured = scenario_with(measured_);
+  core::ROptOptions opts;
+  opts.r_max = 5.0;
+  const auto truth_opt = core::joint_optimum(with_truth, 8, opts);
+  const auto measured_opt = core::joint_optimum(with_measured, 8, opts);
+  EXPECT_EQ(measured_opt.n, truth_opt.n);
+  EXPECT_NEAR(measured_opt.r, truth_opt.r, 0.1 * truth_opt.r + 0.05);
+  EXPECT_NEAR(measured_opt.cost / truth_opt.cost, 1.0, 0.05);
+}
+
+TEST_F(EmpiricalWorkflow, SmallSampleStillGivesUsableEstimates) {
+  // Even a few hundred probes give decision-grade cost estimates.
+  prob::Rng rng(999);
+  const auto small = std::make_shared<prob::EmpiricalDelay>(
+      prob::measure(*truth_, 500, rng));
+  const auto with_truth = scenario_with(truth_->clone());
+  const auto with_small = scenario_with(small);
+  const core::ProtocolParams protocol{3, 0.8};
+  EXPECT_NEAR(core::mean_cost(with_small, protocol) /
+                  core::mean_cost(with_truth, protocol),
+              1.0, 0.2);
+}
+
+TEST_F(EmpiricalWorkflow, SmoothedNonparametricModelAgreesWithTruth) {
+  // The PCHIP-smoothed ECDF is the nonparametric alternative to the
+  // parametric fit: model outputs must track the truth closely.
+  const auto smooth =
+      std::make_shared<prob::SmoothedEmpiricalDelay>(*measured_);
+  const auto with_truth = scenario_with(truth_->clone());
+  const auto with_smooth = scenario_with(smooth);
+  for (unsigned n : {1u, 2u, 4u}) {
+    for (double r : {0.4, 0.8, 1.5}) {
+      const core::ProtocolParams protocol{n, r};
+      EXPECT_NEAR(core::mean_cost(with_smooth, protocol) /
+                      core::mean_cost(with_truth, protocol),
+                  1.0, 0.03)
+          << "n=" << n << " r=" << r;
+    }
+  }
+}
+
+TEST_F(EmpiricalWorkflow, SmoothedModelSupportsOptimization) {
+  // Differentiable enough for the optimizer: the found optimum matches
+  // the truth-model optimum.
+  const auto smooth =
+      std::make_shared<prob::SmoothedEmpiricalDelay>(*measured_);
+  core::ROptOptions opts;
+  opts.r_max = 5.0;
+  const auto truth_opt =
+      core::joint_optimum(scenario_with(truth_->clone()), 8, opts);
+  const auto smooth_opt =
+      core::joint_optimum(scenario_with(smooth), 8, opts);
+  EXPECT_EQ(smooth_opt.n, truth_opt.n);
+  EXPECT_NEAR(smooth_opt.r, truth_opt.r, 0.15 * truth_opt.r + 0.05);
+}
+
+}  // namespace

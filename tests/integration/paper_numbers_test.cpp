@@ -1,0 +1,123 @@
+/// End-to-end reproduction of the paper's headline numbers, as an
+/// always-on regression net under the bench harness.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/calibrate.hpp"
+#include "core/cost.hpp"
+#include "core/optimize.hpp"
+#include "core/reliability.hpp"
+#include "core/scenarios.hpp"
+
+namespace {
+
+using namespace zc::core;
+
+TEST(PaperNumbers, Figure2ShapeAndOrdering) {
+  const auto scenario = scenarios::figure2().to_params();
+  // nu = 3: n = 1, 2 invisible in the figure.
+  EXPECT_EQ(min_useful_n(1e35, 1e-15), 3u);
+  EXPECT_GT(optimal_r(scenario, 1).cost, 1e15);
+  EXPECT_GT(optimal_r(scenario, 2).cost, 1e3);
+  // C_3(r_opt3) < C_4(r_opt4) < ... < C_8(r_opt8).
+  double prev = 0.0;
+  for (unsigned n = 3; n <= 8; ++n) {
+    const double c = optimal_r(scenario, n).cost;
+    EXPECT_GT(c, prev);
+    EXPECT_LT(c, 25.0);
+    prev = c;
+  }
+}
+
+TEST(PaperNumbers, Figure4GlobalMinimum) {
+  const auto scenario = scenarios::figure2().to_params();
+  const JointOptimum opt = joint_optimum(scenario, 12);
+  EXPECT_EQ(opt.n, 3u);
+  EXPECT_NEAR(opt.r, 2.14, 0.05);
+  EXPECT_NEAR(opt.cost, 12.6, 0.1);
+}
+
+TEST(PaperNumbers, Figure6ErrorBandUnderOptimalCost) {
+  // Sec. 5: under cost-optimal N(r) the collision probability stays
+  // roughly within [1e-54, 1e-35] over the plotted r range.
+  const auto scenario = scenarios::figure2().to_params();
+  for (double r = 0.6; r <= 3.4; r += 0.2) {
+    const unsigned n = optimal_n(scenario, r);
+    const double lg =
+        log10_error_probability(scenario, ProtocolParams{n, r});
+    EXPECT_LT(lg, -33.0) << "r=" << r;
+    EXPECT_GT(lg, -56.0) << "r=" << r;
+  }
+}
+
+TEST(PaperNumbers, Section45ForwardCheck) {
+  // With the paper's derived (E, c), the draft parameters are optimal.
+  const JointOptimum wireless =
+      joint_optimum(scenarios::sec45_r2().to_params(), 10);
+  EXPECT_EQ(wireless.n, 4u);
+  EXPECT_NEAR(wireless.r, 2.0, 0.1);
+
+  const JointOptimum wired =
+      joint_optimum(scenarios::sec45_r02().to_params(), 10);
+  EXPECT_EQ(wired.n, 4u);
+  EXPECT_NEAR(wired.r, 0.2, 0.02);
+}
+
+TEST(PaperNumbers, Section45InverseCheck) {
+  // Full calibration recovers E within half an order of magnitude and c
+  // within the paper's single-digit precision.
+  const auto r2 = calibrate(scenarios::sec45_r2().to_params(),
+                            ProtocolParams{4, 2.0});
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_NEAR(std::log10(r2->error_cost), std::log10(5e20), 0.5);
+  EXPECT_NEAR(r2->probe_cost, 3.5, 1.0);
+}
+
+TEST(PaperNumbers, Section6Assessment) {
+  const auto scenario = scenarios::sec6().to_params();
+  const JointOptimum opt = joint_optimum(scenario, 10);
+  EXPECT_EQ(opt.n, 2u);
+  EXPECT_NEAR(opt.r, 1.75, 0.05);
+  EXPECT_NEAR(opt.error_prob / 4e-22, 1.0, 0.25);
+  // "The waiting time will be generally only about 3.5 seconds, rather
+  // than 8": n * r ~ 3.5.
+  EXPECT_NEAR(opt.n * opt.r, 3.5, 0.15);
+}
+
+TEST(PaperNumbers, Section6DraftComparison) {
+  // The draft's (4, 2) in the same realistic scenario costs more than
+  // the optimized (2, 1.75).
+  const auto scenario = scenarios::sec6().to_params();
+  const double draft = mean_cost(scenario, scenarios::draft_unreliable());
+  const JointOptimum opt = joint_optimum(scenario, 10);
+  EXPECT_GT(draft, opt.cost);
+  // Configuration time halves (8 s -> ~3.5 s).
+  EXPECT_GT(4 * 2.0, 2.0 * opt.n * opt.r);
+}
+
+TEST(PaperNumbers, TradeoffCostVsReliability) {
+  // Abstract: minimal cost and maximal reliability cannot be achieved
+  // simultaneously. At the cost-optimal r the error is strictly worse
+  // than at a longer (more expensive) r with the same n.
+  const auto scenario = scenarios::figure2().to_params();
+  const JointOptimum opt = joint_optimum(scenario, 10);
+  const ProtocolParams at_opt{opt.n, opt.r};
+  const ProtocolParams longer{opt.n, opt.r * 1.5};
+  EXPECT_LT(mean_cost(scenario, at_opt), mean_cost(scenario, longer));
+  EXPECT_GT(error_probability(scenario, at_opt),
+            error_probability(scenario, longer));
+}
+
+TEST(PaperNumbers, LowerRLowerCostLowerReliability) {
+  // Conclusion (Sec. 7): "the lower r is set, the lower the cost
+  // becomes, but also the reliability decreases" — on the falling branch
+  // left of the optimum the error grows as r shrinks.
+  const auto scenario = scenarios::sec6().to_params();
+  const double r_hi = 1.75, r_lo = 1.2;
+  EXPECT_LT(error_probability(scenario, ProtocolParams{2, r_hi}),
+            error_probability(scenario, ProtocolParams{2, r_lo}));
+}
+
+}  // namespace

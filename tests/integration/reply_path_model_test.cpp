@@ -1,0 +1,104 @@
+/// Physical-decomposition validation: build F_X from a three-leg reply
+/// path (probe transit -> responder -> reply transit), both analytically
+/// (hypoexponential) and empirically (sampled), feed both into the cost
+/// model, and confirm the model is insensitive to which construction is
+/// used. Bridges zc::prob::ReplyPath with zc::core.
+
+#include <gtest/gtest.h>
+
+#include "core/cost.hpp"
+#include "core/optimize.hpp"
+#include "core/reliability.hpp"
+#include "prob/families.hpp"
+#include "prob/reply_path.hpp"
+
+namespace {
+
+using namespace zc;
+
+prob::ReplyPath make_path() {
+  prob::Leg probe{0.02, std::make_unique<prob::Exponential>(40.0)};
+  prob::Leg processing{0.01, std::make_unique<prob::Exponential>(15.0)};
+  prob::Leg reply{0.02, std::make_unique<prob::Exponential>(60.0)};
+  return prob::ReplyPath(std::move(probe), std::move(processing),
+                         std::move(reply), 0.05);
+}
+
+core::ScenarioParams scenario_with(
+    std::shared_ptr<const prob::DelayDistribution> fx) {
+  return core::ScenarioParams(0.25, 0.5, 500.0, std::move(fx));
+}
+
+TEST(ReplyPathModel, AnalyticCompositionFeedsCostModel) {
+  const auto analytic = make_path().to_analytic();
+  ASSERT_NE(analytic, nullptr);
+  const auto scenario = scenario_with(analytic->clone());
+  const double cost = core::mean_cost(scenario, core::ProtocolParams{3, 0.3});
+  EXPECT_GT(cost, 0.0);
+  EXPECT_NEAR(core::mean_cost_numeric(scenario,
+                                      core::ProtocolParams{3, 0.3}) /
+                  cost,
+              1.0, 1e-10);
+}
+
+TEST(ReplyPathModel, EmpiricalAndAnalyticGiveSameCosts) {
+  const auto path = make_path();
+  const auto analytic = path.to_analytic();
+  ASSERT_NE(analytic, nullptr);
+  prob::Rng rng(2718);
+  const auto empirical = std::make_shared<prob::EmpiricalDelay>(
+      path.to_empirical(150000, rng));
+
+  const auto s_analytic = scenario_with(analytic->clone());
+  const auto s_empirical = scenario_with(empirical);
+  for (unsigned n : {1u, 2u, 4u}) {
+    for (double r : {0.1, 0.25, 0.5}) {
+      const core::ProtocolParams protocol{n, r};
+      EXPECT_NEAR(core::mean_cost(s_empirical, protocol) /
+                      core::mean_cost(s_analytic, protocol),
+                  1.0, 0.05)
+          << "n=" << n << " r=" << r;
+    }
+  }
+}
+
+TEST(ReplyPathModel, ErrorProbabilityAgreesAcrossConstructions) {
+  const auto path = make_path();
+  const auto analytic = path.to_analytic();
+  prob::Rng rng(1618);
+  const auto empirical = std::make_shared<prob::EmpiricalDelay>(
+      path.to_empirical(150000, rng));
+  const auto s_analytic = scenario_with(analytic->clone());
+  const auto s_empirical = scenario_with(empirical);
+  const core::ProtocolParams protocol{2, 0.3};
+  EXPECT_NEAR(core::error_probability(s_empirical, protocol) /
+                  core::error_probability(s_analytic, protocol),
+              1.0, 0.1);
+}
+
+TEST(ReplyPathModel, LossierPathsShiftOptimumTowardMoreProbes) {
+  // Physical insight end to end: a lossier path needs more probes at the
+  // cost optimum (or equal, when already saturated).
+  prob::Leg p1{0.001, std::make_unique<prob::Exponential>(40.0)};
+  prob::Leg c1{0.001, std::make_unique<prob::Exponential>(15.0)};
+  prob::Leg r1{0.001, std::make_unique<prob::Exponential>(60.0)};
+  const prob::ReplyPath reliable(std::move(p1), std::move(c1), std::move(r1),
+                                 0.05);
+
+  prob::Leg p2{0.15, std::make_unique<prob::Exponential>(40.0)};
+  prob::Leg c2{0.1, std::make_unique<prob::Exponential>(15.0)};
+  prob::Leg r2{0.15, std::make_unique<prob::Exponential>(60.0)};
+  const prob::ReplyPath lossy(std::move(p2), std::move(c2), std::move(r2),
+                              0.05);
+
+  core::ROptOptions opts;
+  opts.r_max = 3.0;
+  const auto opt_reliable =
+      core::joint_optimum(scenario_with(reliable.to_analytic()), 12, opts);
+  const auto opt_lossy =
+      core::joint_optimum(scenario_with(lossy.to_analytic()), 12, opts);
+  EXPECT_GE(opt_lossy.n, opt_reliable.n);
+  EXPECT_GT(opt_lossy.cost, opt_reliable.cost);
+}
+
+}  // namespace

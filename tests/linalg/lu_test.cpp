@@ -1,0 +1,134 @@
+#include "linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+#include "linalg/norms.hpp"
+#include "prob/rng.hpp"
+
+namespace {
+
+using zc::linalg::Lu;
+using zc::linalg::Matrix;
+using zc::linalg::Vector;
+
+TEST(Lu, SolvesKnownSystem) {
+  const Matrix a{{2, 1}, {1, 3}};
+  const Vector x = zc::linalg::solve(a, {3, 5});
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(Lu, SingularMatrixReturnsNullopt) {
+  const Matrix singular{{1, 2}, {2, 4}};
+  EXPECT_FALSE(Lu::decompose(singular).has_value());
+}
+
+TEST(Lu, ZeroMatrixIsSingular) {
+  EXPECT_FALSE(Lu::decompose(Matrix(3, 3, 0.0)).has_value());
+}
+
+TEST(Lu, NonSquareRejected) {
+  EXPECT_THROW((void)Lu::decompose(Matrix(2, 3)), zc::ContractViolation);
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingEntry) {
+  // Naive LU without pivoting would divide by zero here.
+  const Matrix a{{0, 1}, {1, 0}};
+  const Vector x = zc::linalg::solve(a, {2, 3});
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST(Lu, DeterminantOfKnownMatrix) {
+  const auto lu = Lu::decompose(Matrix{{1, 2}, {3, 4}});
+  ASSERT_TRUE(lu.has_value());
+  EXPECT_NEAR(lu->determinant(), -2.0, 1e-12);
+}
+
+TEST(Lu, DeterminantOfIdentity) {
+  const auto lu = Lu::decompose(Matrix::identity(5));
+  ASSERT_TRUE(lu.has_value());
+  EXPECT_DOUBLE_EQ(lu->determinant(), 1.0);
+}
+
+TEST(Lu, DeterminantTracksPermutationSign) {
+  // A permutation matrix swapping two rows has determinant -1.
+  const Matrix p{{0, 1}, {1, 0}};
+  const auto lu = Lu::decompose(p);
+  ASSERT_TRUE(lu.has_value());
+  EXPECT_DOUBLE_EQ(lu->determinant(), -1.0);
+}
+
+TEST(Lu, InverseOfKnownMatrix) {
+  const Matrix a{{4, 7}, {2, 6}};
+  const Matrix inv = zc::linalg::inverse(a);
+  EXPECT_NEAR(inv(0, 0), 0.6, 1e-12);
+  EXPECT_NEAR(inv(0, 1), -0.7, 1e-12);
+  EXPECT_NEAR(inv(1, 0), -0.2, 1e-12);
+  EXPECT_NEAR(inv(1, 1), 0.4, 1e-12);
+}
+
+TEST(Lu, MatrixRhsSolveMatchesColumnwise) {
+  const Matrix a{{3, 1}, {1, 2}};
+  const Matrix b{{1, 0}, {0, 1}};
+  const auto lu = Lu::decompose(a);
+  ASSERT_TRUE(lu.has_value());
+  const Matrix x = lu->solve(b);
+  EXPECT_LT(zc::linalg::max_abs_diff(a * x, b), 1e-13);
+}
+
+/// Property suite over random well-conditioned systems of varying size.
+class LuRandomSystems : public ::testing::TestWithParam<std::size_t> {};
+
+Matrix random_diag_dominant(std::size_t n, zc::prob::Rng& rng) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double off_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      a(i, j) = rng.uniform(-1.0, 1.0);
+      off_sum += std::abs(a(i, j));
+    }
+    a(i, i) = off_sum + 1.0;  // strict diagonal dominance => nonsingular
+  }
+  return a;
+}
+
+TEST_P(LuRandomSystems, SolveReproducesRhs) {
+  zc::prob::Rng rng(GetParam() * 7919 + 1);
+  const std::size_t n = GetParam();
+  const Matrix a = random_diag_dominant(n, rng);
+  Vector b(n);
+  for (auto& v : b) v = rng.uniform(-10.0, 10.0);
+  const Vector x = zc::linalg::solve(a, b);
+  EXPECT_LT(zc::linalg::max_abs_diff(a * x, b), 1e-10)
+      << "residual too large for n=" << n;
+}
+
+TEST_P(LuRandomSystems, InverseTimesMatrixIsIdentity) {
+  zc::prob::Rng rng(GetParam() * 104729 + 2);
+  const std::size_t n = GetParam();
+  const Matrix a = random_diag_dominant(n, rng);
+  const Matrix inv = zc::linalg::inverse(a);
+  EXPECT_LT(zc::linalg::max_abs_diff(a * inv, Matrix::identity(n)), 1e-10);
+  EXPECT_LT(zc::linalg::max_abs_diff(inv * a, Matrix::identity(n)), 1e-10);
+}
+
+TEST_P(LuRandomSystems, DeterminantMatchesProductViaInverse) {
+  zc::prob::Rng rng(GetParam() * 1299709 + 3);
+  const std::size_t n = GetParam();
+  const Matrix a = random_diag_dominant(n, rng);
+  const auto lu_a = Lu::decompose(a);
+  ASSERT_TRUE(lu_a.has_value());
+  const auto lu_inv = Lu::decompose(lu_a->inverse());
+  ASSERT_TRUE(lu_inv.has_value());
+  // det(A) * det(A^{-1}) = 1.
+  EXPECT_NEAR(lu_a->determinant() * lu_inv->determinant(), 1.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandomSystems,
+                         ::testing::Values<std::size_t>(1, 2, 3, 5, 8, 13, 21,
+                                                        34, 55));
+
+}  // namespace

@@ -1,0 +1,158 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+
+namespace {
+
+using zc::linalg::Matrix;
+using zc::linalg::Vector;
+
+TEST(Matrix, DefaultIsEmpty) {
+  const Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(Matrix, FillConstruction) {
+  const Matrix m(2, 3, 7.0);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(m(i, j), 7.0);
+}
+
+TEST(Matrix, InitializerListConstruction) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, RaggedInitializerListRejected) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), zc::ContractViolation);
+}
+
+TEST(Matrix, IdentityHasOnesOnDiagonal) {
+  const Matrix id = Matrix::identity(3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_EQ(id(i, j), i == j ? 1.0 : 0.0);
+}
+
+TEST(Matrix, OutOfRangeAccessRejected) {
+  const Matrix m(2, 2);
+  EXPECT_THROW((void)m(2, 0), zc::ContractViolation);
+  EXPECT_THROW((void)m(0, 2), zc::ContractViolation);
+}
+
+TEST(Matrix, BlockExtraction) {
+  const Matrix m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  const Matrix b = m.block(1, 3, 0, 2);
+  EXPECT_EQ(b.rows(), 2u);
+  EXPECT_EQ(b.cols(), 2u);
+  EXPECT_EQ(b(0, 0), 4.0);
+  EXPECT_EQ(b(1, 1), 8.0);
+}
+
+TEST(Matrix, RowAndColExtraction) {
+  const Matrix m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m.row(1), (Vector{3.0, 4.0}));
+  EXPECT_EQ(m.col(0), (Vector{1.0, 3.0}));
+}
+
+TEST(Matrix, TransposeSwapsIndices) {
+  const Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(t(j, i), m(i, j));
+}
+
+TEST(Matrix, TransposeTwiceIsIdentity) {
+  const Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.transpose().transpose(), m);
+}
+
+TEST(Matrix, AdditionAndSubtraction) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  const Matrix sum = a + b;
+  EXPECT_EQ(sum(0, 0), 6.0);
+  EXPECT_EQ(sum(1, 1), 12.0);
+  EXPECT_EQ(sum - b, a);
+}
+
+TEST(Matrix, MismatchedShapesRejected) {
+  Matrix a(2, 2);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a += b, zc::ContractViolation);
+}
+
+TEST(Matrix, ScalarMultiplication) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix twice = 2.0 * a;
+  EXPECT_EQ(twice, a * 2.0);
+  EXPECT_EQ(twice(1, 0), 6.0);
+}
+
+TEST(Matrix, MatrixProduct) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  const Matrix ab = a * b;
+  EXPECT_EQ(ab(0, 0), 19.0);
+  EXPECT_EQ(ab(0, 1), 22.0);
+  EXPECT_EQ(ab(1, 0), 43.0);
+  EXPECT_EQ(ab(1, 1), 50.0);
+}
+
+TEST(Matrix, ProductWithIdentityIsNoop) {
+  const Matrix a{{1, 2}, {3, 4}};
+  EXPECT_EQ(a * Matrix::identity(2), a);
+  EXPECT_EQ(Matrix::identity(2) * a, a);
+}
+
+TEST(Matrix, ProductShapeMismatchRejected) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW((void)(a * b), zc::ContractViolation);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Vector x{1.0, 1.0};
+  EXPECT_EQ(a * x, (Vector{3.0, 7.0}));
+}
+
+TEST(Matrix, LeftVectorProduct) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Vector x{1.0, 1.0};
+  EXPECT_EQ(zc::linalg::mul_left(x, a), (Vector{4.0, 6.0}));
+}
+
+TEST(Matrix, LeftAndRightProductsAgreeViaTranspose) {
+  const Matrix a{{1, 2, 0}, {0, 3, 4}, {5, 0, 6}};
+  const Vector x{0.25, 0.5, 0.25};
+  EXPECT_EQ(zc::linalg::mul_left(x, a), a.transpose() * x);
+}
+
+TEST(VectorOps, DotProduct) {
+  EXPECT_EQ(zc::linalg::dot({1, 2, 3}, {4, 5, 6}), 32.0);
+}
+
+TEST(VectorOps, DotSizeMismatchRejected) {
+  EXPECT_THROW((void)zc::linalg::dot({1.0}, {1.0, 2.0}),
+               zc::ContractViolation);
+}
+
+TEST(VectorOps, AddSubScale) {
+  EXPECT_EQ(zc::linalg::add({1, 2}, {3, 4}), (Vector{4.0, 6.0}));
+  EXPECT_EQ(zc::linalg::sub({3, 4}, {1, 2}), (Vector{2.0, 2.0}));
+  EXPECT_EQ(zc::linalg::scale({1, 2}, 3.0), (Vector{3.0, 6.0}));
+}
+
+}  // namespace

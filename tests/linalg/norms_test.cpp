@@ -1,0 +1,77 @@
+#include "linalg/norms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contract.hpp"
+
+namespace {
+
+using zc::linalg::Matrix;
+using zc::linalg::Vector;
+
+TEST(VectorNorms, InfNorm) {
+  EXPECT_EQ(zc::linalg::norm_inf(Vector{1.0, -5.0, 3.0}), 5.0);
+}
+
+TEST(VectorNorms, OneNorm) {
+  EXPECT_EQ(zc::linalg::norm_1(Vector{1.0, -5.0, 3.0}), 9.0);
+}
+
+TEST(VectorNorms, TwoNorm) {
+  EXPECT_DOUBLE_EQ(zc::linalg::norm_2(Vector{3.0, 4.0}), 5.0);
+}
+
+TEST(VectorNorms, TwoNormAvoidsOverflow) {
+  const double big = 1e200;
+  EXPECT_DOUBLE_EQ(zc::linalg::norm_2(Vector{big, big}),
+                   big * std::sqrt(2.0));
+}
+
+TEST(VectorNorms, ZeroVector) {
+  const Vector z{0.0, 0.0};
+  EXPECT_EQ(zc::linalg::norm_inf(z), 0.0);
+  EXPECT_EQ(zc::linalg::norm_1(z), 0.0);
+  EXPECT_EQ(zc::linalg::norm_2(z), 0.0);
+}
+
+TEST(MatrixNorms, InfNormIsMaxRowSum) {
+  const Matrix a{{1, -2}, {3, 4}};
+  EXPECT_EQ(zc::linalg::norm_inf(a), 7.0);
+}
+
+TEST(MatrixNorms, OneNormIsMaxColSum) {
+  const Matrix a{{1, -2}, {3, 4}};
+  EXPECT_EQ(zc::linalg::norm_1(a), 6.0);
+}
+
+TEST(MatrixNorms, FrobeniusNorm) {
+  const Matrix a{{3, 0}, {0, 4}};
+  EXPECT_DOUBLE_EQ(zc::linalg::norm_frobenius(a), 5.0);
+}
+
+TEST(MatrixNorms, NormOfTransposeSwapsOneAndInf) {
+  const Matrix a{{1, -2, 5}, {3, 4, 0}};
+  EXPECT_EQ(zc::linalg::norm_inf(a), zc::linalg::norm_1(a.transpose()));
+  EXPECT_EQ(zc::linalg::norm_1(a), zc::linalg::norm_inf(a.transpose()));
+}
+
+TEST(MaxAbsDiff, Matrices) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{1, 2.5}, {3, 3}};
+  EXPECT_EQ(zc::linalg::max_abs_diff(a, b), 1.0);
+}
+
+TEST(MaxAbsDiff, Vectors) {
+  EXPECT_EQ(zc::linalg::max_abs_diff(Vector{1, 2}, Vector{0, 2}), 1.0);
+}
+
+TEST(MaxAbsDiff, ShapeMismatchRejected) {
+  EXPECT_THROW((void)zc::linalg::max_abs_diff(Matrix(2, 2), Matrix(2, 3)),
+               zc::ContractViolation);
+  EXPECT_THROW((void)zc::linalg::max_abs_diff(Vector{1}, Vector{1, 2}),
+               zc::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+#include "markov/absorbing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contract.hpp"
+#include "linalg/norms.hpp"
+
+namespace {
+
+using zc::linalg::Matrix;
+using zc::markov::AbsorbingAnalysis;
+using zc::markov::Dtmc;
+
+/// Gambler's ruin on {0..4}: states 0 and 4 absorbing, p(win) = p.
+Dtmc gamblers_ruin(double p) {
+  Matrix m(5, 5, 0.0);
+  m(0, 0) = 1.0;
+  m(4, 4) = 1.0;
+  for (std::size_t i = 1; i <= 3; ++i) {
+    m(i, i + 1) = p;
+    m(i, i - 1) = 1.0 - p;
+  }
+  return Dtmc(std::move(m));
+}
+
+TEST(Absorbing, FairGamblersRuinProbabilities) {
+  // Fair game: ruin probability from state i is 1 - i/4.
+  const AbsorbingAnalysis a(gamblers_ruin(0.5));
+  for (std::size_t i = 1; i <= 3; ++i) {
+    EXPECT_NEAR(a.absorption_probability(i, 0),
+                1.0 - static_cast<double>(i) / 4.0, 1e-12);
+    EXPECT_NEAR(a.absorption_probability(i, 4),
+                static_cast<double>(i) / 4.0, 1e-12);
+  }
+}
+
+TEST(Absorbing, BiasedGamblersRuinClosedForm) {
+  // P(reach N before 0 | start i) = (1-(q/p)^i) / (1-(q/p)^N).
+  const double p = 0.6, q = 0.4, ratio = q / p;
+  const AbsorbingAnalysis a(gamblers_ruin(p));
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double expected =
+        (1.0 - std::pow(ratio, static_cast<double>(i))) /
+        (1.0 - std::pow(ratio, 4.0));
+    EXPECT_NEAR(a.absorption_probability(i, 4), expected, 1e-12);
+  }
+}
+
+TEST(Absorbing, RowsOfAbsorptionMatrixSumToOne) {
+  const AbsorbingAnalysis a(gamblers_ruin(0.37));
+  const auto& b = a.absorption_matrix();
+  for (std::size_t i = 0; i < b.rows(); ++i) {
+    double row = 0.0;
+    for (std::size_t k = 0; k < b.cols(); ++k) row += b(i, k);
+    EXPECT_NEAR(row, 1.0, 1e-12);
+  }
+}
+
+TEST(Absorbing, FairRuinExpectedSteps) {
+  // Fair game: expected duration from i is i (N - i).
+  const AbsorbingAnalysis a(gamblers_ruin(0.5));
+  const auto steps = a.expected_steps();
+  const auto& transient = a.transient_states();
+  for (std::size_t idx = 0; idx < transient.size(); ++idx) {
+    const auto i = static_cast<double>(transient[idx]);
+    EXPECT_NEAR(steps[idx], i * (4.0 - i), 1e-10);
+  }
+}
+
+TEST(Absorbing, FundamentalMatrixKnownExample) {
+  // Kemeny-Snell style 1-transient-state chain: N = 1/(1-q).
+  const Dtmc chain(Matrix{{0.25, 0.75}, {0.0, 1.0}});
+  const AbsorbingAnalysis a(chain);
+  EXPECT_NEAR(a.fundamental()(0, 0), 1.0 / 0.75, 1e-14);
+  EXPECT_NEAR(a.expected_visits(0, 0), 1.0 / 0.75, 1e-14);
+}
+
+TEST(Absorbing, AbsorptionFromAbsorbingState) {
+  const AbsorbingAnalysis a(gamblers_ruin(0.5));
+  EXPECT_EQ(a.absorption_probability(0, 0), 1.0);
+  EXPECT_EQ(a.absorption_probability(0, 4), 0.0);
+}
+
+TEST(Absorbing, PartitionIndicesSorted) {
+  const AbsorbingAnalysis a(gamblers_ruin(0.5));
+  EXPECT_EQ(a.transient_states(), (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_EQ(a.absorbing_states(), (std::vector<std::size_t>{0, 4}));
+}
+
+TEST(Absorbing, QAndRSubmatricesExtracted) {
+  const Dtmc chain(Matrix{{0.2, 0.3, 0.5}, {0.0, 1.0, 0.0},
+                          {0.0, 0.0, 1.0}});
+  const AbsorbingAnalysis a(chain);
+  EXPECT_EQ(a.transient_matrix().rows(), 1u);
+  EXPECT_EQ(a.transient_matrix()(0, 0), 0.2);
+  EXPECT_EQ(a.absorbing_jump_matrix()(0, 0), 0.3);
+  EXPECT_EQ(a.absorbing_jump_matrix()(0, 1), 0.5);
+}
+
+TEST(Absorbing, NonAbsorbingChainRejected) {
+  // A closed 2-cycle means not every state reaches an absorber.
+  const Dtmc chain(Matrix{{0.5, 0.25, 0.25, 0.0},
+                          {0.0, 1.0, 0.0, 0.0},
+                          {0.0, 0.0, 0.0, 1.0},
+                          {0.0, 0.0, 1.0, 0.0}});
+  EXPECT_THROW(AbsorbingAnalysis{chain}, zc::ContractViolation);
+}
+
+TEST(Absorbing, ChainWithoutAbsorbersRejected) {
+  const Dtmc chain(Matrix{{0.5, 0.5}, {0.5, 0.5}});
+  EXPECT_THROW(AbsorbingAnalysis{chain}, zc::ContractViolation);
+}
+
+TEST(Absorbing, SolveTransientMatchesFundamentalTimesRhs) {
+  const AbsorbingAnalysis a(gamblers_ruin(0.42));
+  const zc::linalg::Vector rhs{1.0, 2.0, 3.0};
+  const auto direct = a.solve_transient(rhs);
+  const auto via_n = a.fundamental() * rhs;
+  EXPECT_LT(zc::linalg::max_abs_diff(direct, via_n), 1e-12);
+}
+
+TEST(Absorbing, SolveTransientSizeMismatchRejected) {
+  const AbsorbingAnalysis a(gamblers_ruin(0.5));
+  EXPECT_THROW((void)a.solve_transient({1.0}), zc::ContractViolation);
+}
+
+TEST(Absorbing, ExpectedVisitsOfLinearChain) {
+  // 0 -> 1 -> 2(absorbing), deterministic: each transient visited once.
+  const Dtmc chain(Matrix{{0.0, 1.0, 0.0},
+                          {0.0, 0.0, 1.0},
+                          {0.0, 0.0, 1.0}});
+  const AbsorbingAnalysis a(chain);
+  EXPECT_NEAR(a.expected_visits(0, 0), 1.0, 1e-14);
+  EXPECT_NEAR(a.expected_visits(0, 1), 1.0, 1e-14);
+  EXPECT_NEAR(a.expected_visits(1, 0), 0.0, 1e-14);
+}
+
+}  // namespace

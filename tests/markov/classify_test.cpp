@@ -1,0 +1,119 @@
+#include "markov/classify.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using zc::linalg::Matrix;
+using zc::markov::classify;
+using zc::markov::Dtmc;
+using zc::markov::is_absorbing_chain;
+
+TEST(Classify, SingleAbsorbingState) {
+  const Dtmc chain(Matrix{{1.0}});
+  const auto cls = classify(chain);
+  EXPECT_EQ(cls.num_components, 1u);
+  EXPECT_TRUE(cls.recurrent[0]);
+}
+
+TEST(Classify, TransientFeedingAbsorbing) {
+  const Dtmc chain(Matrix{{0.5, 0.5}, {0.0, 1.0}});
+  const auto cls = classify(chain);
+  EXPECT_EQ(cls.num_components, 2u);
+  EXPECT_FALSE(cls.recurrent[0]);
+  EXPECT_TRUE(cls.recurrent[1]);
+  EXPECT_TRUE(cls.is_transient(0));
+}
+
+TEST(Classify, IrreducibleChainIsOneRecurrentComponent) {
+  const Dtmc chain(Matrix{{0.1, 0.9}, {0.6, 0.4}});
+  const auto cls = classify(chain);
+  EXPECT_EQ(cls.num_components, 1u);
+  EXPECT_TRUE(cls.recurrent[0]);
+  EXPECT_TRUE(cls.recurrent[1]);
+}
+
+TEST(Classify, TwoStateCycleIsRecurrent) {
+  const Dtmc chain(Matrix{{0.0, 1.0}, {1.0, 0.0}});
+  const auto cls = classify(chain);
+  EXPECT_EQ(cls.num_components, 1u);
+  EXPECT_TRUE(cls.recurrent[0]);
+}
+
+TEST(Classify, TransientCycleFeedingAbsorber) {
+  // 0 <-> 1 with leak to 2 (absorbing): {0,1} is one transient SCC.
+  const Dtmc chain(Matrix{{0.0, 0.9, 0.1},
+                          {1.0, 0.0, 0.0},
+                          {0.0, 0.0, 1.0}});
+  const auto cls = classify(chain);
+  EXPECT_EQ(cls.component[0], cls.component[1]);
+  EXPECT_NE(cls.component[0], cls.component[2]);
+  EXPECT_FALSE(cls.recurrent[0]);
+  EXPECT_FALSE(cls.recurrent[1]);
+  EXPECT_TRUE(cls.recurrent[2]);
+}
+
+TEST(Classify, MultipleAbsorbingStates) {
+  const Dtmc chain(Matrix{{0.2, 0.4, 0.4},
+                          {0.0, 1.0, 0.0},
+                          {0.0, 0.0, 1.0}});
+  const auto cls = classify(chain);
+  EXPECT_EQ(cls.num_components, 3u);
+  EXPECT_FALSE(cls.recurrent[0]);
+  EXPECT_TRUE(cls.recurrent[1]);
+  EXPECT_TRUE(cls.recurrent[2]);
+}
+
+TEST(Classify, ClosedNonAbsorbingClassDetected) {
+  // States 1,2 cycle forever: recurrent but not absorbing.
+  const Dtmc chain(Matrix{{0.0, 1.0, 0.0},
+                          {0.0, 0.0, 1.0},
+                          {0.0, 1.0, 0.0}});
+  const auto cls = classify(chain);
+  EXPECT_FALSE(cls.recurrent[0]);
+  EXPECT_TRUE(cls.recurrent[1]);
+  EXPECT_TRUE(cls.recurrent[2]);
+}
+
+TEST(Classify, ComponentIndicesAreReverseTopological) {
+  // Edge 0 -> 1: component[0] must be higher than component[1].
+  const Dtmc chain(Matrix{{0.0, 1.0}, {0.0, 1.0}});
+  const auto cls = classify(chain);
+  EXPECT_GT(cls.component[0], cls.component[1]);
+}
+
+TEST(IsAbsorbingChain, TrueForDrmShape) {
+  const Dtmc chain(Matrix{{0.2, 0.4, 0.4},
+                          {0.0, 1.0, 0.0},
+                          {0.0, 0.0, 1.0}});
+  EXPECT_TRUE(is_absorbing_chain(chain));
+}
+
+TEST(IsAbsorbingChain, FalseWithoutAbsorbingStates) {
+  const Dtmc chain(Matrix{{0.5, 0.5}, {0.5, 0.5}});
+  EXPECT_FALSE(is_absorbing_chain(chain));
+}
+
+TEST(IsAbsorbingChain, FalseWithClosedRecurrentCycle) {
+  const Dtmc chain(Matrix{{0.5, 0.25, 0.25, 0.0},
+                          {0.0, 1.0, 0.0, 0.0},
+                          {0.0, 0.0, 0.0, 1.0},
+                          {0.0, 0.0, 1.0, 0.0}});
+  EXPECT_FALSE(is_absorbing_chain(chain));
+}
+
+TEST(Classify, LargeChainIterativeDfsDoesNotOverflow) {
+  // Long path 0 -> 1 -> ... -> n-1 (absorbing); recursion-free Tarjan
+  // must handle thousands of states.
+  const std::size_t n = 5000;
+  Matrix p(n, n, 0.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) p(i, i + 1) = 1.0;
+  p(n - 1, n - 1) = 1.0;
+  const Dtmc chain(std::move(p));
+  const auto cls = classify(chain);
+  EXPECT_EQ(cls.num_components, n);
+  EXPECT_TRUE(cls.recurrent[n - 1]);
+  EXPECT_FALSE(cls.recurrent[0]);
+}
+
+}  // namespace

@@ -1,0 +1,93 @@
+#include "markov/dtmc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+
+namespace {
+
+using zc::linalg::Matrix;
+using zc::markov::Dtmc;
+
+Matrix simple_absorbing() {
+  // s0 -> s1 (0.5) | s0 (0.5); s1 absorbing.
+  return Matrix{{0.5, 0.5}, {0.0, 1.0}};
+}
+
+TEST(Dtmc, AcceptsValidStochasticMatrix) {
+  const Dtmc chain(simple_absorbing());
+  EXPECT_EQ(chain.num_states(), 2u);
+  EXPECT_EQ(chain.probability(0, 1), 0.5);
+}
+
+TEST(Dtmc, RejectsNonSquare) {
+  EXPECT_THROW(Dtmc(Matrix(2, 3, 0.5)), zc::ContractViolation);
+}
+
+TEST(Dtmc, RejectsRowNotSummingToOne) {
+  EXPECT_THROW(Dtmc(Matrix{{0.5, 0.4}, {0.0, 1.0}}), zc::ContractViolation);
+}
+
+TEST(Dtmc, RejectsNegativeEntries) {
+  EXPECT_THROW(Dtmc(Matrix{{1.2, -0.2}, {0.0, 1.0}}),
+               zc::ContractViolation);
+}
+
+TEST(Dtmc, RejectsEmptyMatrix) {
+  EXPECT_THROW(Dtmc(Matrix{}), zc::ContractViolation);
+}
+
+TEST(Dtmc, ToleratesTinyRoundingInRowSums) {
+  Matrix p{{0.5, 0.5}, {0.0, 1.0}};
+  p(0, 0) = 0.5 + 1e-12;
+  EXPECT_NO_THROW(Dtmc(std::move(p)));
+}
+
+TEST(Dtmc, AutoNamesStates) {
+  const Dtmc chain(simple_absorbing());
+  EXPECT_EQ(chain.state_name(0), "s0");
+  EXPECT_EQ(chain.state_name(1), "s1");
+}
+
+TEST(Dtmc, CustomNames) {
+  const Dtmc chain(simple_absorbing(), {"start", "done"});
+  EXPECT_EQ(chain.state_name(0), "start");
+  EXPECT_EQ(chain.state_name(1), "done");
+}
+
+TEST(Dtmc, NameCountMismatchRejected) {
+  EXPECT_THROW(Dtmc(simple_absorbing(), {"only-one"}),
+               zc::ContractViolation);
+}
+
+TEST(Dtmc, AbsorbingDetection) {
+  const Dtmc chain(simple_absorbing());
+  EXPECT_FALSE(chain.is_absorbing(0));
+  EXPECT_TRUE(chain.is_absorbing(1));
+  EXPECT_EQ(chain.absorbing_states(), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(chain.non_absorbing_states(), (std::vector<std::size_t>{0}));
+}
+
+TEST(Dtmc, SelfLoopBelowOneIsNotAbsorbing) {
+  const Dtmc chain(Matrix{{0.999, 0.001}, {0.0, 1.0}});
+  EXPECT_FALSE(chain.is_absorbing(0));
+}
+
+TEST(Dtmc, ReachabilityFollowsPositiveEdges) {
+  // 0 -> 1 -> 2(absorbing); 3 unreachable from 0.
+  const Matrix p{{0.0, 1.0, 0.0, 0.0},
+                 {0.0, 0.0, 1.0, 0.0},
+                 {0.0, 0.0, 1.0, 0.0},
+                 {0.0, 0.0, 0.0, 1.0}};
+  const Dtmc chain(p);
+  EXPECT_EQ(chain.reachable_from(0), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(chain.reachable_from(3), (std::vector<std::size_t>{3}));
+}
+
+TEST(Dtmc, ReachabilityIncludesSelf) {
+  const Dtmc chain(simple_absorbing());
+  const auto reach = chain.reachable_from(1);
+  EXPECT_EQ(reach, (std::vector<std::size_t>{1}));
+}
+
+}  // namespace

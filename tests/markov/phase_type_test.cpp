@@ -1,0 +1,152 @@
+#include "markov/phase_type.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contract.hpp"
+#include "markov/absorbing.hpp"
+#include "markov/transient.hpp"
+#include "numerics/kahan.hpp"
+
+namespace {
+
+using zc::linalg::Matrix;
+using zc::linalg::Vector;
+using zc::markov::DiscretePhaseType;
+using zc::markov::Dtmc;
+
+DiscretePhaseType geometric(double stay) {
+  return DiscretePhaseType(Vector{1.0}, Matrix{{stay}});
+}
+
+TEST(PhaseType, GeometricPmf) {
+  const double q = 0.3;
+  const auto dph = geometric(q);
+  for (std::size_t k = 1; k <= 6; ++k)
+    EXPECT_NEAR(dph.pmf(k), std::pow(q, static_cast<double>(k - 1)) * (1 - q),
+                1e-14)
+        << "k=" << k;
+  EXPECT_EQ(dph.pmf(0), 0.0);
+}
+
+TEST(PhaseType, GeometricMoments) {
+  const double q = 0.65;
+  const auto dph = geometric(q);
+  EXPECT_NEAR(dph.mean(), 1.0 / (1.0 - q), 1e-12);
+  EXPECT_NEAR(dph.variance(), q / ((1.0 - q) * (1.0 - q)), 1e-10);
+}
+
+TEST(PhaseType, DeficientAlphaGivesAtomAtZero) {
+  const DiscretePhaseType dph(Vector{0.4}, Matrix{{0.5}});
+  EXPECT_NEAR(dph.pmf(0), 0.6, 1e-14);
+  EXPECT_NEAR(dph.cdf(0), 0.6, 1e-14);
+}
+
+TEST(PhaseType, PmfSumsToOne) {
+  const DiscretePhaseType dph(Vector{0.5, 0.5},
+                              Matrix{{0.2, 0.3}, {0.1, 0.6}});
+  zc::numerics::KahanSum total;
+  for (const double p : dph.pmf_prefix(400)) total.add(p);
+  EXPECT_NEAR(total.value(), 1.0, 1e-12);
+}
+
+TEST(PhaseType, PmfPrefixMatchesPointwisePmf) {
+  const DiscretePhaseType dph(Vector{0.7, 0.3},
+                              Matrix{{0.4, 0.1}, {0.2, 0.5}});
+  const auto prefix = dph.pmf_prefix(10);
+  for (std::size_t k = 0; k <= 10; ++k)
+    EXPECT_NEAR(prefix[k], dph.pmf(k), 1e-14) << "k=" << k;
+}
+
+TEST(PhaseType, CdfMatchesPartialSums) {
+  const DiscretePhaseType dph(Vector{1.0, 0.0},
+                              Matrix{{0.3, 0.2}, {0.0, 0.7}});
+  zc::numerics::KahanSum acc;
+  for (std::size_t k = 0; k <= 20; ++k) {
+    acc.add(dph.pmf(k));
+    EXPECT_NEAR(dph.cdf(k), acc.value(), 1e-13) << "k=" << k;
+  }
+}
+
+TEST(PhaseType, AbsorptionTimeOfGamblersRuin) {
+  // Fair gambler's ruin on {0..4}: duration from i has mean i (4 - i).
+  Matrix m(5, 5, 0.0);
+  m(0, 0) = 1.0;
+  m(4, 4) = 1.0;
+  for (std::size_t i = 1; i <= 3; ++i) {
+    m(i, i + 1) = 0.5;
+    m(i, i - 1) = 0.5;
+  }
+  const Dtmc chain(std::move(m));
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const auto dph = DiscretePhaseType::absorption_time(chain, i);
+    const double di = static_cast<double>(i);
+    EXPECT_NEAR(dph.mean(), di * (4.0 - di), 1e-10);
+  }
+}
+
+TEST(PhaseType, AbsorptionTimeMeanMatchesFundamentalMatrix) {
+  const Dtmc chain(Matrix{{0.3, 0.2, 0.1, 0.4},
+                          {0.25, 0.25, 0.25, 0.25},
+                          {0.0, 0.0, 1.0, 0.0},
+                          {0.0, 0.0, 0.0, 1.0}});
+  const zc::markov::AbsorbingAnalysis analysis(chain);
+  const auto steps = analysis.expected_steps();
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto dph = DiscretePhaseType::absorption_time(chain, i);
+    EXPECT_NEAR(dph.mean(), steps[i], 1e-12) << "from " << i;
+  }
+}
+
+TEST(PhaseType, AbsorptionTimeCdfMatchesTransientAnalysis) {
+  // P(K <= k) must equal the total absorbed mass within k steps.
+  const Dtmc chain(Matrix{{0.5, 0.3, 0.2}, {0.0, 1.0, 0.0},
+                          {0.0, 0.0, 1.0}});
+  const auto dph = DiscretePhaseType::absorption_time(chain, 0);
+  for (std::size_t k : {1u, 3u, 7u, 15u}) {
+    const double absorbed =
+        zc::markov::absorbed_within(chain, 0, 1, k) +
+        zc::markov::absorbed_within(chain, 0, 2, k);
+    EXPECT_NEAR(dph.cdf(k), absorbed, 1e-12) << "k=" << k;
+  }
+}
+
+TEST(PhaseType, AbsorptionTimeFromAbsorbingStateIsZero) {
+  const Dtmc chain(Matrix{{0.5, 0.5}, {0.0, 1.0}});
+  const auto dph = DiscretePhaseType::absorption_time(chain, 1);
+  EXPECT_EQ(dph.pmf(0), 1.0);
+  EXPECT_EQ(dph.quantile(0.99), 0u);
+}
+
+TEST(PhaseType, QuantileInvertsCdf) {
+  const auto dph = geometric(0.8);
+  for (const double p : {0.1, 0.5, 0.9, 0.999}) {
+    const std::size_t k = dph.quantile(p);
+    EXPECT_GE(dph.cdf(k), p);
+    if (k > 0) {
+      EXPECT_LT(dph.cdf(k - 1), p);
+    }
+  }
+}
+
+TEST(PhaseType, VarianceNonNegativeAcrossShapes) {
+  const DiscretePhaseType a(Vector{1.0, 0.0},
+                            Matrix{{0.0, 1.0}, {0.0, 0.0}});
+  // Deterministic 2-step absorption: variance 0.
+  EXPECT_NEAR(a.mean(), 2.0, 1e-12);
+  EXPECT_NEAR(a.variance(), 0.0, 1e-10);
+}
+
+TEST(PhaseType, ValidationRejectsBadInputs) {
+  EXPECT_THROW(DiscretePhaseType(Vector{1.0}, Matrix{{1.5}}),
+               zc::ContractViolation);  // row sum > 1
+  EXPECT_THROW(DiscretePhaseType(Vector{1.0, 0.0}, Matrix{{0.5}}),
+               zc::ContractViolation);  // size mismatch
+  EXPECT_THROW(DiscretePhaseType(Vector{1.0}, Matrix{{1.0}}),
+               zc::ContractViolation);  // (I-Q) singular
+  EXPECT_THROW(DiscretePhaseType(Vector{-0.2}, Matrix{{0.5}}),
+               zc::ContractViolation);  // negative alpha
+}
+
+}  // namespace

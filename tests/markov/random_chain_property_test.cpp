@@ -1,0 +1,174 @@
+/// Property suite: randomly generated absorbing chains, validated three
+/// ways against each other — closed-form analysis (fundamental matrix),
+/// phase-type absorption-time laws, and direct Monte-Carlo simulation of
+/// the chain. Parameterized over RNG seeds.
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.hpp"
+#include "markov/absorbing.hpp"
+#include "markov/phase_type.hpp"
+#include "markov/reward.hpp"
+#include "prob/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using zc::linalg::Matrix;
+using zc::markov::Dtmc;
+using zc::prob::Rng;
+
+/// Random absorbing chain: `transients` transient states, 2 absorbing
+/// ones; every transient row mixes random transitions with a guaranteed
+/// positive absorption leak so the chain is absorbing by construction.
+Dtmc random_absorbing_chain(std::size_t transients, Rng& rng) {
+  const std::size_t n = transients + 2;
+  Matrix p(n, n, 0.0);
+  for (std::size_t i = 0; i < transients; ++i) {
+    std::vector<double> weights(n);
+    double total = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      weights[j] = rng.uniform(0.0, 1.0);
+      total += weights[j];
+    }
+    // Ensure a real leak to the absorbers.
+    weights[transients] += 0.2 * total;
+    weights[transients + 1] += 0.1 * total;
+    total *= 1.3;
+    for (std::size_t j = 0; j < n; ++j) p(i, j) = weights[j] / total;
+    // Normalize exactly.
+    double row = 0.0;
+    for (std::size_t j = 0; j < n; ++j) row += p(i, j);
+    p(i, i) += 1.0 - row;
+  }
+  p(transients, transients) = 1.0;
+  p(transients + 1, transients + 1) = 1.0;
+  return Dtmc(std::move(p));
+}
+
+/// One simulated path: returns (absorbing state reached, steps taken,
+/// reward accumulated under `rewards`).
+struct PathResult {
+  std::size_t absorbed_in = 0;
+  std::size_t steps = 0;
+  double reward = 0.0;
+};
+
+PathResult simulate_path(const Dtmc& chain, const Matrix& rewards,
+                         std::size_t from, Rng& rng) {
+  PathResult out;
+  std::size_t state = from;
+  while (!chain.is_absorbing(state)) {
+    const double u = rng.uniform();
+    double acc = 0.0;
+    std::size_t next = chain.num_states() - 1;
+    for (std::size_t j = 0; j < chain.num_states(); ++j) {
+      acc += chain.probability(state, j);
+      if (u < acc) {
+        next = j;
+        break;
+      }
+    }
+    out.reward += rewards(state, next);
+    ++out.steps;
+    state = next;
+  }
+  out.absorbed_in = state;
+  return out;
+}
+
+Matrix random_rewards(const Dtmc& chain, Rng& rng) {
+  const std::size_t n = chain.num_states();
+  Matrix rewards(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (chain.is_absorbing(i)) continue;
+    for (std::size_t j = 0; j < n; ++j)
+      if (chain.probability(i, j) > 0.0)
+        rewards(i, j) = rng.uniform(0.0, 5.0);
+  }
+  return rewards;
+}
+
+class RandomChains : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static constexpr std::size_t kTransients = 5;
+  static constexpr std::size_t kPaths = 60000;
+};
+
+TEST_P(RandomChains, AbsorptionProbabilitiesMatchSimulation) {
+  Rng rng(GetParam());
+  const Dtmc chain = random_absorbing_chain(kTransients, rng);
+  const zc::markov::AbsorbingAnalysis analysis(chain);
+  const Matrix zero(chain.num_states(), chain.num_states(), 0.0);
+
+  std::size_t into_first = 0;
+  for (std::size_t k = 0; k < kPaths; ++k)
+    if (simulate_path(chain, zero, 0, rng).absorbed_in == kTransients)
+      ++into_first;
+  const auto ci = zc::sim::wilson_ci95(into_first, kPaths);
+  const double exact = analysis.absorption_probability(0, kTransients);
+  EXPECT_GE(exact, ci.lower * 0.98);
+  EXPECT_LE(exact, ci.upper * 1.02);
+}
+
+TEST_P(RandomChains, ExpectedStepsMatchSimulation) {
+  Rng rng(GetParam() + 1000);
+  const Dtmc chain = random_absorbing_chain(kTransients, rng);
+  const zc::markov::AbsorbingAnalysis analysis(chain);
+  const Matrix zero(chain.num_states(), chain.num_states(), 0.0);
+
+  zc::sim::RunningStats steps;
+  for (std::size_t k = 0; k < kPaths; ++k)
+    steps.add(static_cast<double>(simulate_path(chain, zero, 0, rng).steps));
+  EXPECT_NEAR(analysis.expected_steps()[0], steps.mean(),
+              5.0 * steps.ci95_halfwidth());
+}
+
+TEST_P(RandomChains, ExpectedRewardMatchesSimulation) {
+  Rng rng(GetParam() + 2000);
+  const Dtmc chain = random_absorbing_chain(kTransients, rng);
+  const Matrix rewards = random_rewards(chain, rng);
+  const zc::markov::MarkovRewardModel model(chain, rewards);
+
+  zc::sim::RunningStats total;
+  for (std::size_t k = 0; k < kPaths; ++k)
+    total.add(simulate_path(chain, rewards, 0, rng).reward);
+  EXPECT_NEAR(model.expected_total_reward(0), total.mean(),
+              5.0 * total.ci95_halfwidth());
+}
+
+TEST_P(RandomChains, RewardVarianceMatchesSimulation) {
+  Rng rng(GetParam() + 3000);
+  const Dtmc chain = random_absorbing_chain(kTransients, rng);
+  const Matrix rewards = random_rewards(chain, rng);
+  const zc::markov::MarkovRewardModel model(chain, rewards);
+
+  zc::sim::RunningStats total;
+  for (std::size_t k = 0; k < kPaths; ++k)
+    total.add(simulate_path(chain, rewards, 0, rng).reward);
+  EXPECT_NEAR(model.variance_total_reward(0) / total.variance(), 1.0, 0.1);
+}
+
+TEST_P(RandomChains, PhaseTypeCdfMatchesSimulatedSteps) {
+  Rng rng(GetParam() + 4000);
+  const Dtmc chain = random_absorbing_chain(kTransients, rng);
+  const auto dph =
+      zc::markov::DiscretePhaseType::absorption_time(chain, 0);
+  const Matrix zero(chain.num_states(), chain.num_states(), 0.0);
+
+  std::vector<std::size_t> counts(32, 0);
+  for (std::size_t k = 0; k < kPaths; ++k) {
+    const std::size_t steps = simulate_path(chain, zero, 0, rng).steps;
+    if (steps < counts.size()) ++counts[steps];
+  }
+  double cumulative = 0.0;
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    cumulative += static_cast<double>(counts[s]) / kPaths;
+    EXPECT_NEAR(dph.cdf(s), cumulative, 0.01) << "steps<=" << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomChains,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u));
+
+}  // namespace

@@ -1,0 +1,187 @@
+#include "markov/reward.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+
+namespace {
+
+using zc::linalg::Matrix;
+using zc::markov::Dtmc;
+using zc::markov::MarkovRewardModel;
+
+/// One transient state that loops with probability q, paying `loop_cost`
+/// per loop and `exit_cost` on absorption: a geometric total reward with
+/// closed-form mean and variance.
+MarkovRewardModel geometric_model(double q, double loop_cost,
+                                  double exit_cost) {
+  Dtmc chain(Matrix{{q, 1.0 - q}, {0.0, 1.0}});
+  Matrix rewards(2, 2, 0.0);
+  rewards(0, 0) = loop_cost;
+  rewards(0, 1) = exit_cost;
+  return MarkovRewardModel(std::move(chain), std::move(rewards));
+}
+
+TEST(Reward, GeometricMeanClosedForm) {
+  // Loops L ~ Geometric(1-q) (count of self-loops): E[L] = q/(1-q).
+  // Total = loop_cost * L + exit_cost.
+  const double q = 0.3, loop = 2.0, exit = 5.0;
+  const auto model = geometric_model(q, loop, exit);
+  EXPECT_NEAR(model.expected_total_reward(0),
+              loop * q / (1.0 - q) + exit, 1e-12);
+}
+
+TEST(Reward, GeometricVarianceClosedForm) {
+  // Var[L] = q/(1-q)^2 for the number of self-loops.
+  const double q = 0.3, loop = 2.0, exit = 5.0;
+  const auto model = geometric_model(q, loop, exit);
+  EXPECT_NEAR(model.variance_total_reward(0),
+              loop * loop * q / ((1.0 - q) * (1.0 - q)), 1e-10);
+}
+
+TEST(Reward, ZeroRewardsGiveZeroTotal) {
+  Dtmc chain(Matrix{{0.5, 0.5}, {0.0, 1.0}});
+  MarkovRewardModel model(std::move(chain), Matrix(2, 2, 0.0));
+  EXPECT_EQ(model.expected_total_reward(0), 0.0);
+  EXPECT_EQ(model.variance_total_reward(0), 0.0);
+}
+
+TEST(Reward, DeterministicPathAccumulatesExactly) {
+  // 0 ->(c=1) 1 ->(c=2) 2(absorbing): total reward 3, variance 0.
+  Dtmc chain(Matrix{{0.0, 1.0, 0.0},
+                    {0.0, 0.0, 1.0},
+                    {0.0, 0.0, 1.0}});
+  Matrix rewards(3, 3, 0.0);
+  rewards(0, 1) = 1.0;
+  rewards(1, 2) = 2.0;
+  MarkovRewardModel model(std::move(chain), std::move(rewards));
+  EXPECT_NEAR(model.expected_total_reward(0), 3.0, 1e-14);
+  EXPECT_NEAR(model.expected_total_reward(1), 2.0, 1e-14);
+  EXPECT_NEAR(model.variance_total_reward(0), 0.0, 1e-10);
+}
+
+TEST(Reward, BranchingMixtureMeanAndVariance) {
+  // 0 -> A (p=0.5, cost 0) or B (p=0.5, cost 10): Bernoulli total.
+  Dtmc chain(Matrix{{0.0, 0.5, 0.5},
+                    {0.0, 1.0, 0.0},
+                    {0.0, 0.0, 1.0}});
+  Matrix rewards(3, 3, 0.0);
+  rewards(0, 2) = 10.0;
+  MarkovRewardModel model(std::move(chain), std::move(rewards));
+  EXPECT_NEAR(model.expected_total_reward(0), 5.0, 1e-14);
+  EXPECT_NEAR(model.variance_total_reward(0), 25.0, 1e-10);
+}
+
+TEST(Reward, AbsorbingStatesHaveZeroTotal) {
+  const auto model = geometric_model(0.4, 1.0, 1.0);
+  EXPECT_EQ(model.expected_total_reward(1), 0.0);
+  EXPECT_EQ(model.variance_total_reward(1), 0.0);
+}
+
+TEST(Reward, RewardOnMissingTransitionRejected) {
+  Dtmc chain(Matrix{{0.5, 0.5}, {0.0, 1.0}});
+  Matrix rewards(2, 2, 0.0);
+  rewards(1, 0) = 3.0;  // p(1,0) == 0
+  EXPECT_THROW(MarkovRewardModel(std::move(chain), std::move(rewards)),
+               zc::ContractViolation);
+}
+
+TEST(Reward, AbsorbingSelfLoopRewardRejected) {
+  Dtmc chain(Matrix{{0.5, 0.5}, {0.0, 1.0}});
+  Matrix rewards(2, 2, 0.0);
+  rewards(1, 1) = 1.0;  // infinite accumulation
+  EXPECT_THROW(MarkovRewardModel(std::move(chain), std::move(rewards)),
+               zc::ContractViolation);
+}
+
+TEST(Reward, ShapeMismatchRejected) {
+  Dtmc chain(Matrix{{0.5, 0.5}, {0.0, 1.0}});
+  EXPECT_THROW(MarkovRewardModel(std::move(chain), Matrix(3, 3, 0.0)),
+               zc::ContractViolation);
+}
+
+TEST(Reward, SecondMomentConsistentWithMeanAndVariance) {
+  const auto model = geometric_model(0.6, 1.5, 0.5);
+  const auto m1 = model.expected_total_reward();
+  const auto m2 = model.second_moment_total_reward();
+  const auto var = model.variance_total_reward();
+  for (std::size_t i = 0; i < m1.size(); ++i)
+    EXPECT_NEAR(var[i], m2[i] - m1[i] * m1[i], 1e-9);
+}
+
+TEST(Reward, ConditionalRewardOfBranchingMixture) {
+  // 0 -> A (p=0.5, cost 0) or B (p=0.5, cost 10): conditioning separates
+  // the two atoms exactly.
+  Dtmc chain(Matrix{{0.0, 0.5, 0.5},
+                    {0.0, 1.0, 0.0},
+                    {0.0, 0.0, 1.0}});
+  Matrix rewards(3, 3, 0.0);
+  rewards(0, 2) = 10.0;
+  MarkovRewardModel model(std::move(chain), std::move(rewards));
+  EXPECT_NEAR(model.expected_total_reward_given_absorption(0, 1), 0.0,
+              1e-12);
+  EXPECT_NEAR(model.expected_total_reward_given_absorption(0, 2), 10.0,
+              1e-12);
+}
+
+TEST(Reward, ConditionalRewardsSatisfyTotalExpectation) {
+  // E[T] = sum_A P(A) E[T | A] over the absorbing states.
+  Dtmc chain(Matrix{{0.2, 0.3, 0.2, 0.3},
+                    {0.1, 0.1, 0.5, 0.3},
+                    {0.0, 0.0, 1.0, 0.0},
+                    {0.0, 0.0, 0.0, 1.0}});
+  Matrix rewards(4, 4, 0.0);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      if (chain.probability(i, j) > 0.0)
+        rewards(i, j) = static_cast<double>(i + j + 1);
+  MarkovRewardModel model(chain, rewards);
+  const double p2 = model.analysis().absorption_probability(0, 2);
+  const double p3 = model.analysis().absorption_probability(0, 3);
+  const double reconstructed =
+      p2 * model.expected_total_reward_given_absorption(0, 2) +
+      p3 * model.expected_total_reward_given_absorption(0, 3);
+  EXPECT_NEAR(reconstructed, model.expected_total_reward(0), 1e-10);
+}
+
+TEST(Reward, ConditionalRewardFromAbsorbingState) {
+  const auto model = geometric_model(0.5, 1.0, 2.0);
+  EXPECT_EQ(model.expected_total_reward_given_absorption(1, 1), 0.0);
+}
+
+TEST(Reward, ConditionalRewardRequiresReachableTarget) {
+  // Two absorbers, but state 0 can only reach absorber 1.
+  Dtmc chain(Matrix{{0.5, 0.5, 0.0},
+                    {0.0, 1.0, 0.0},
+                    {0.0, 0.0, 1.0}});
+  MarkovRewardModel model(std::move(chain), Matrix(3, 3, 0.0));
+  EXPECT_THROW(
+      (void)model.expected_total_reward_given_absorption(0, 2),
+      zc::ContractViolation);
+}
+
+/// Sweep the loop probability: mean/variance closed forms must hold
+/// across the whole range.
+class GeometricSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GeometricSweep, MeanMatchesClosedForm) {
+  const double q = GetParam();
+  const auto model = geometric_model(q, 1.0, 0.0);
+  EXPECT_NEAR(model.expected_total_reward(0), q / (1.0 - q),
+              1e-9 * (1.0 + q / (1.0 - q)));
+}
+
+TEST_P(GeometricSweep, VarianceMatchesClosedForm) {
+  const double q = GetParam();
+  const auto model = geometric_model(q, 1.0, 0.0);
+  const double expected = q / ((1.0 - q) * (1.0 - q));
+  EXPECT_NEAR(model.variance_total_reward(0) / (expected + 1e-300), 1.0,
+              1e-7)
+      << "q=" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(LoopProbabilities, GeometricSweep,
+                         ::testing::Values(0.01, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           0.99));
+
+}  // namespace

@@ -1,0 +1,111 @@
+#include "markov/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+#include "markov/absorbing.hpp"
+#include "numerics/kahan.hpp"
+
+namespace {
+
+using zc::linalg::Matrix;
+using zc::linalg::Vector;
+using zc::markov::Dtmc;
+
+TEST(Transient, ZeroStepsIsInitialDistribution) {
+  const Dtmc chain(Matrix{{0.5, 0.5}, {0.0, 1.0}});
+  const Vector init{1.0, 0.0};
+  EXPECT_EQ(zc::markov::distribution_after(chain, init, 0), init);
+}
+
+TEST(Transient, OneStepMatchesRow) {
+  const Dtmc chain(Matrix{{0.3, 0.7}, {0.0, 1.0}});
+  const Vector dist =
+      zc::markov::distribution_after(chain, {1.0, 0.0}, 1);
+  EXPECT_NEAR(dist[0], 0.3, 1e-15);
+  EXPECT_NEAR(dist[1], 0.7, 1e-15);
+}
+
+TEST(Transient, DistributionStaysNormalized) {
+  const Dtmc chain(Matrix{{0.2, 0.5, 0.3},
+                          {0.1, 0.6, 0.3},
+                          {0.0, 0.0, 1.0}});
+  Vector dist{0.5, 0.5, 0.0};
+  for (std::size_t k = 1; k <= 20; ++k) {
+    dist = zc::markov::distribution_after(chain, dist, 1);
+    zc::numerics::KahanSum sum;
+    for (double v : dist) sum.add(v);
+    EXPECT_NEAR(sum.value(), 1.0, 1e-12) << "step " << k;
+  }
+}
+
+TEST(Transient, KStepProbabilityGeometricLoop) {
+  const double q = 0.4;
+  const Dtmc chain(Matrix{{q, 1.0 - q}, {0.0, 1.0}});
+  // Still in state 0 after k steps: q^k.
+  for (std::size_t k : {1u, 2u, 5u, 10u})
+    EXPECT_NEAR(zc::markov::k_step_probability(chain, 0, 0, k),
+                std::pow(q, static_cast<double>(k)), 1e-12);
+}
+
+TEST(Transient, AbsorbedWithinIsMonotone) {
+  const Dtmc chain(Matrix{{0.6, 0.4}, {0.0, 1.0}});
+  double prev = 0.0;
+  for (std::size_t h : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const double p = zc::markov::absorbed_within(chain, 0, 1, h);
+    EXPECT_GE(p, prev - 1e-15);
+    prev = p;
+  }
+}
+
+TEST(Transient, AbsorbedWithinConvergesToClosedForm) {
+  const Dtmc chain(Matrix{{0.25, 0.35, 0.4},
+                          {0.0, 1.0, 0.0},
+                          {0.0, 0.0, 1.0}});
+  const zc::markov::AbsorbingAnalysis exact(chain);
+  const double limit = exact.absorption_probability(0, 1);
+  EXPECT_NEAR(zc::markov::absorbed_within(chain, 0, 1, 100), limit, 1e-12);
+}
+
+TEST(Transient, AbsorbedWithinRequiresAbsorbingTarget) {
+  const Dtmc chain(Matrix{{0.5, 0.5}, {0.0, 1.0}});
+  EXPECT_THROW((void)zc::markov::absorbed_within(chain, 0, 0, 5),
+               zc::ContractViolation);
+}
+
+TEST(Transient, SeriesMatchesDirectCumulative) {
+  // The paper's Sec. 5 series s (P')^{k-1} e must equal the cumulative
+  // k-step absorption probability for every horizon.
+  const Dtmc chain(Matrix{{0.3, 0.2, 0.1, 0.4},
+                          {0.25, 0.25, 0.25, 0.25},
+                          {0.0, 0.0, 1.0, 0.0},
+                          {0.0, 0.0, 0.0, 1.0}});
+  for (std::size_t h : {1u, 3u, 10u, 50u}) {
+    EXPECT_NEAR(zc::markov::absorption_series(chain, 0, 2, h),
+                zc::markov::absorbed_within(chain, 0, 2, h), 1e-12)
+        << "horizon " << h;
+  }
+}
+
+TEST(Transient, SeriesConvergesToFundamentalSolution) {
+  const Dtmc chain(Matrix{{0.5, 0.3, 0.2}, {0.0, 1.0, 0.0},
+                          {0.0, 0.0, 1.0}});
+  const zc::markov::AbsorbingAnalysis exact(chain);
+  EXPECT_NEAR(zc::markov::absorption_series(chain, 0, 1, 200),
+              exact.absorption_probability(0, 1), 1e-12);
+}
+
+TEST(Transient, SeriesFromNonTransientStateRejected) {
+  const Dtmc chain(Matrix{{0.5, 0.5}, {0.0, 1.0}});
+  EXPECT_THROW((void)zc::markov::absorption_series(chain, 1, 1, 5),
+               zc::ContractViolation);
+}
+
+TEST(Transient, MismatchedInitialSizeRejected) {
+  const Dtmc chain(Matrix{{0.5, 0.5}, {0.0, 1.0}});
+  EXPECT_THROW(
+      (void)zc::markov::distribution_after(chain, Vector{1.0}, 1),
+      zc::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,88 @@
+#include "numerics/derivative.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using zc::numerics::central_derivative;
+using zc::numerics::richardson_derivative;
+using zc::numerics::second_derivative;
+
+TEST(CentralDerivative, Quadratic) {
+  const auto f = [](double x) { return x * x; };
+  EXPECT_NEAR(central_derivative(f, 3.0), 6.0, 1e-7);
+}
+
+TEST(CentralDerivative, ExactForAffineFunctions) {
+  const auto f = [](double x) { return 2.5 * x - 7.0; };
+  EXPECT_NEAR(central_derivative(f, 10.0), 2.5, 1e-9);
+}
+
+TEST(CentralDerivative, Exponential) {
+  EXPECT_NEAR(central_derivative([](double x) { return std::exp(x); }, 1.0),
+              std::exp(1.0), 1e-6);
+}
+
+TEST(CentralDerivative, AtZero) {
+  EXPECT_NEAR(central_derivative([](double x) { return std::sin(x); }, 0.0),
+              1.0, 1e-8);
+}
+
+TEST(RichardsonDerivative, MoreAccurateThanCentral) {
+  const auto f = [](double x) { return std::sin(std::exp(x)); };
+  const double x0 = 1.1;
+  const double exact = std::cos(std::exp(x0)) * std::exp(x0);
+  const double central_err = std::fabs(central_derivative(f, x0) - exact);
+  const double rich_err = std::fabs(richardson_derivative(f, x0) - exact);
+  // Both are near the rounding floor here; Richardson must not be
+  // meaningfully worse and must hit tight absolute accuracy.
+  EXPECT_LT(rich_err, 2.0 * central_err + 1e-10);
+  EXPECT_NEAR(richardson_derivative(f, x0), exact, 1e-7);
+}
+
+TEST(RichardsonDerivative, SteepExponentialDecay) {
+  // The shape of the zeroconf error term q E pi_n(r).
+  const auto f = [](double x) { return 1e20 * std::exp(-10.0 * x); };
+  const double x0 = 2.0;
+  const double exact = -10.0 * 1e20 * std::exp(-20.0);
+  EXPECT_NEAR(richardson_derivative(f, x0) / exact, 1.0, 1e-6);
+}
+
+TEST(SecondDerivative, Quadratic) {
+  EXPECT_NEAR(second_derivative([](double x) { return 3.0 * x * x; }, 5.0),
+              6.0, 1e-4);
+}
+
+TEST(SecondDerivative, Cosine) {
+  EXPECT_NEAR(second_derivative([](double x) { return std::cos(x); }, 0.0),
+              -1.0, 1e-5);
+}
+
+TEST(SecondDerivative, PositiveAtMinimum) {
+  const auto f = [](double x) { return (x - 2.0) * (x - 2.0) + 1.0; };
+  EXPECT_GT(second_derivative(f, 2.0), 0.0);
+}
+
+/// Derivatives of monomials across evaluation points.
+class MonomialSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(MonomialSweep, RichardsonMatchesPowerRule) {
+  const auto [power, x0] = GetParam();
+  const auto f = [power](double x) {
+    return std::pow(x, static_cast<double>(power));
+  };
+  const double exact =
+      static_cast<double>(power) * std::pow(x0, static_cast<double>(power - 1));
+  EXPECT_NEAR(richardson_derivative(f, x0) / exact, 1.0, 1e-6)
+      << "d/dx x^" << power << " at " << x0;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Powers, MonomialSweep,
+    ::testing::Combine(::testing::Values(2, 3, 5, 8),
+                       ::testing::Values(0.5, 1.0, 2.0, 10.0)));
+
+}  // namespace

@@ -1,0 +1,77 @@
+#include "numerics/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+
+namespace {
+
+TEST(Linspace, EndpointsExact) {
+  const auto g = zc::numerics::linspace(0.1, 0.9, 7);
+  EXPECT_EQ(g.size(), 7u);
+  EXPECT_EQ(g.front(), 0.1);
+  EXPECT_EQ(g.back(), 0.9);
+}
+
+TEST(Linspace, UniformSpacing) {
+  const auto g = zc::numerics::linspace(0.0, 1.0, 5);
+  for (std::size_t i = 0; i < g.size(); ++i)
+    EXPECT_NEAR(g[i], 0.25 * static_cast<double>(i), 1e-15);
+}
+
+TEST(Linspace, TwoPoints) {
+  const auto g = zc::numerics::linspace(-1.0, 1.0, 2);
+  EXPECT_EQ(g, (std::vector<double>{-1.0, 1.0}));
+}
+
+TEST(Linspace, DegenerateIntervalAllowed) {
+  const auto g = zc::numerics::linspace(2.0, 2.0, 3);
+  for (double v : g) EXPECT_EQ(v, 2.0);
+}
+
+TEST(Linspace, TooFewPointsRejected) {
+  EXPECT_THROW((void)zc::numerics::linspace(0.0, 1.0, 1),
+               zc::ContractViolation);
+}
+
+TEST(Linspace, ReversedIntervalRejected) {
+  EXPECT_THROW((void)zc::numerics::linspace(1.0, 0.0, 4),
+               zc::ContractViolation);
+}
+
+TEST(Logspace, EndpointsExact) {
+  const auto g = zc::numerics::logspace(1e-3, 1e3, 7);
+  EXPECT_EQ(g.front(), 1e-3);
+  EXPECT_EQ(g.back(), 1e3);
+}
+
+TEST(Logspace, GeometricRatios) {
+  const auto g = zc::numerics::logspace(1.0, 16.0, 5);
+  for (std::size_t i = 1; i < g.size(); ++i)
+    EXPECT_NEAR(g[i] / g[i - 1], 2.0, 1e-12);
+}
+
+TEST(Logspace, NonPositiveLowerBoundRejected) {
+  EXPECT_THROW((void)zc::numerics::logspace(0.0, 1.0, 4),
+               zc::ContractViolation);
+  EXPECT_THROW((void)zc::numerics::logspace(-1.0, 1.0, 4),
+               zc::ContractViolation);
+}
+
+TEST(Midpoints, BetweenConsecutiveEntries) {
+  const auto mids =
+      zc::numerics::midpoints(std::vector<double>{0.0, 1.0, 3.0});
+  EXPECT_EQ(mids, (std::vector<double>{0.5, 2.0}));
+}
+
+TEST(Midpoints, SinglePairGrid) {
+  const auto mids = zc::numerics::midpoints(std::vector<double>{2.0, 4.0});
+  EXPECT_EQ(mids, (std::vector<double>{3.0}));
+}
+
+TEST(Midpoints, TooShortRejected) {
+  EXPECT_THROW((void)zc::numerics::midpoints(std::vector<double>{1.0}),
+               zc::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,72 @@
+#include "numerics/kahan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using zc::numerics::KahanSum;
+
+TEST(Kahan, EmptySumIsZero) {
+  const KahanSum acc;
+  EXPECT_EQ(acc.value(), 0.0);
+}
+
+TEST(Kahan, SimpleSum) {
+  KahanSum acc;
+  acc.add(1.0);
+  acc.add(2.0);
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.value(), 6.0);
+}
+
+TEST(Kahan, RecoversCancellationNaiveSumLoses) {
+  // 1 + 1e-16 repeated: naive summation loses every tiny term.
+  KahanSum acc;
+  acc.add(1.0);
+  double naive = 1.0;
+  for (int i = 0; i < 10000; ++i) {
+    acc.add(1e-16);
+    naive += 1e-16;
+  }
+  EXPECT_DOUBLE_EQ(naive, 1.0);  // demonstrates the naive failure
+  EXPECT_NEAR(acc.value(), 1.0 + 1e-12, 1e-15);
+}
+
+TEST(Kahan, NeumaierHandlesLargeLateTerm) {
+  // Classic case plain Kahan gets wrong: small terms first, then huge.
+  KahanSum acc;
+  acc.add(1.0);
+  acc.add(1e100);
+  acc.add(1.0);
+  acc.add(-1e100);
+  EXPECT_DOUBLE_EQ(acc.value(), 2.0);
+}
+
+TEST(Kahan, NegativeTerms) {
+  KahanSum acc;
+  for (int i = 0; i < 100; ++i) {
+    acc.add(0.1);
+    acc.add(-0.1);
+  }
+  EXPECT_NEAR(acc.value(), 0.0, 1e-18);
+}
+
+TEST(Kahan, OperatorPlusEquals) {
+  KahanSum acc;
+  acc += 2.0;
+  acc += 3.0;
+  EXPECT_DOUBLE_EQ(acc.value(), 5.0);
+}
+
+TEST(Kahan, SpanHelper) {
+  const std::vector<double> xs{0.1, 0.2, 0.3, 0.4};
+  EXPECT_NEAR(zc::numerics::kahan_sum(xs), 1.0, 1e-15);
+}
+
+TEST(Kahan, SpanHelperEmpty) {
+  EXPECT_EQ(zc::numerics::kahan_sum(std::vector<double>{}), 0.0);
+}
+
+}  // namespace

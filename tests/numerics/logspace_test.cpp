@@ -1,0 +1,93 @@
+#include "numerics/logspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using zc::numerics::kLogZero;
+
+TEST(LogAddExp, MatchesDirectComputation) {
+  const double a = std::log(0.3), b = std::log(0.4);
+  EXPECT_NEAR(zc::numerics::log_add_exp(a, b), std::log(0.7), 1e-14);
+}
+
+TEST(LogAddExp, HandlesLogZeroIdentity) {
+  EXPECT_EQ(zc::numerics::log_add_exp(kLogZero, 1.5), 1.5);
+  EXPECT_EQ(zc::numerics::log_add_exp(1.5, kLogZero), 1.5);
+  EXPECT_EQ(zc::numerics::log_add_exp(kLogZero, kLogZero), kLogZero);
+}
+
+TEST(LogAddExp, NoOverflowForHugeInputs) {
+  const double v = zc::numerics::log_add_exp(1000.0, 1000.0);
+  EXPECT_NEAR(v, 1000.0 + std::log(2.0), 1e-12);
+}
+
+TEST(LogAddExp, NoUnderflowForTinyInputs) {
+  const double v = zc::numerics::log_add_exp(-1000.0, -1000.0);
+  EXPECT_NEAR(v, -1000.0 + std::log(2.0), 1e-12);
+}
+
+TEST(LogAddExp, AsymmetricMagnitudes) {
+  // exp(-1000) is negligible against exp(0).
+  EXPECT_NEAR(zc::numerics::log_add_exp(0.0, -1000.0), 0.0, 1e-15);
+}
+
+TEST(LogSumExp, MatchesDirectSum) {
+  const std::vector<double> xs{std::log(0.1), std::log(0.2), std::log(0.3)};
+  EXPECT_NEAR(zc::numerics::log_sum_exp(xs), std::log(0.6), 1e-14);
+}
+
+TEST(LogSumExp, EmptyIsLogZero) {
+  EXPECT_EQ(zc::numerics::log_sum_exp(std::vector<double>{}), kLogZero);
+}
+
+TEST(LogSumExp, AllLogZero) {
+  const std::vector<double> xs{kLogZero, kLogZero};
+  EXPECT_EQ(zc::numerics::log_sum_exp(xs), kLogZero);
+}
+
+TEST(LogSumExp, ExtremeScaleSpread) {
+  // exp(800) + exp(-800): the large term dominates without overflow.
+  const std::vector<double> xs{800.0, -800.0};
+  EXPECT_NEAR(zc::numerics::log_sum_exp(xs), 800.0, 1e-12);
+}
+
+TEST(Log1mExp, AccurateNearZeroArgument) {
+  // x = -1e-10: 1 - e^x ~ 1e-10; naive log(1-exp(x)) would lose digits.
+  const double v = zc::numerics::log1m_exp(-1e-10);
+  EXPECT_NEAR(v, std::log(1e-10), 1e-6);
+}
+
+TEST(Log1mExp, AccurateForLargeNegatives) {
+  // 1 - e^{-50} ~ 1, log ~ -e^{-50}.
+  EXPECT_NEAR(zc::numerics::log1m_exp(-50.0), -std::exp(-50.0), 1e-30);
+}
+
+TEST(Log1mExp, SwitchoverPointContinuity) {
+  constexpr double kLn2 = 0.6931471805599453;
+  const double below = zc::numerics::log1m_exp(-kLn2 - 1e-9);
+  const double above = zc::numerics::log1m_exp(-kLn2 + 1e-9);
+  EXPECT_NEAR(below, above, 1e-8);
+}
+
+TEST(Log1mExp, NonNegativeArgumentGivesLogZero) {
+  EXPECT_EQ(zc::numerics::log1m_exp(0.0), kLogZero);
+}
+
+TEST(Log1pExp, MatchesDirectForModerate) {
+  EXPECT_NEAR(zc::numerics::log1p_exp(1.0), std::log1p(std::exp(1.0)),
+              1e-14);
+}
+
+TEST(Log1pExp, LargePositiveIsNearlyIdentity) {
+  EXPECT_NEAR(zc::numerics::log1p_exp(800.0), 800.0, 1e-12);
+}
+
+TEST(Log1pExp, LargeNegativeIsNearlyExp) {
+  EXPECT_NEAR(zc::numerics::log1p_exp(-40.0), std::exp(-40.0), 1e-25);
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+#include "numerics/minimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contract.hpp"
+
+namespace {
+
+using zc::numerics::brent_minimize;
+using zc::numerics::golden_section_minimize;
+using zc::numerics::scan_then_refine_minimize;
+
+TEST(GoldenSection, QuadraticMinimum) {
+  const auto r = golden_section_minimize(
+      [](double x) { return (x - 1.5) * (x - 1.5); }, 0.0, 4.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 1.5, 1e-8);
+  EXPECT_NEAR(r.value, 0.0, 1e-15);
+}
+
+TEST(GoldenSection, MinimumAtBoundary) {
+  const auto r = golden_section_minimize([](double x) { return x; }, 2.0,
+                                         5.0);
+  EXPECT_NEAR(r.x, 2.0, 1e-7);
+}
+
+TEST(GoldenSection, InvalidBracketRejected) {
+  EXPECT_THROW(
+      (void)golden_section_minimize([](double x) { return x; }, 1.0, 1.0),
+      zc::ContractViolation);
+}
+
+TEST(BrentMinimize, QuadraticConvergesFast) {
+  const auto r =
+      brent_minimize([](double x) { return (x + 2.0) * (x + 2.0) + 3.0; },
+                     -10.0, 10.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, -2.0, 1e-7);
+  EXPECT_NEAR(r.value, 3.0, 1e-12);
+  EXPECT_LT(r.evaluations, 60);
+}
+
+TEST(BrentMinimize, NonSmoothAbsoluteValue) {
+  const auto r =
+      brent_minimize([](double x) { return std::fabs(x - 0.3); }, -1.0, 1.0);
+  EXPECT_NEAR(r.x, 0.3, 1e-7);
+}
+
+TEST(BrentMinimize, CosineMinimum) {
+  const auto r = brent_minimize([](double x) { return std::cos(x); }, 2.0,
+                                5.0);
+  EXPECT_NEAR(r.x, 3.14159265358979, 1e-6);
+  EXPECT_NEAR(r.value, -1.0, 1e-12);
+}
+
+TEST(BrentMinimize, BeatsGoldenSectionOnSmoothFunctions) {
+  const auto f = [](double x) { return std::pow(x - 0.7, 4) + x * x; };
+  const auto brent = brent_minimize(f, -3.0, 3.0, 1e-10);
+  const auto golden = golden_section_minimize(f, -3.0, 3.0, 1e-10);
+  EXPECT_NEAR(brent.value, golden.value, 1e-10);
+  EXPECT_LE(brent.evaluations, golden.evaluations);
+}
+
+TEST(ScanRefine, FindsGlobalMinimumOfMultimodal) {
+  // Two valleys; the deeper one is at x ~ 4.5.
+  const auto f = [](double x) {
+    return std::sin(x) + 0.1 * (x - 4.0) * (x - 4.0);
+  };
+  const auto r = scan_then_refine_minimize(f, 0.0, 8.0, 256);
+  EXPECT_NEAR(r.x, 4.71, 0.15);
+}
+
+TEST(ScanRefine, HandlesFlatThenDropShape) {
+  // Flat plateau followed by a sharp dip — the shape of C_n(r) near 0.
+  const auto f = [](double x) {
+    return x < 1.0 ? 10.0 : 10.0 + (x - 1.5) * (x - 1.5) - 1.0;
+  };
+  const auto r = scan_then_refine_minimize(f, 0.01, 3.0, 256);
+  EXPECT_NEAR(r.x, 1.5, 1e-6);
+  EXPECT_NEAR(r.value, 9.0, 1e-12);
+}
+
+/// Parametric sweep: polynomial minima at known positions.
+class KnownMinimaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(KnownMinimaSweep, BrentLocatesShiftedQuartic) {
+  const double target = GetParam();
+  const auto r = brent_minimize(
+      [target](double x) { return std::pow(x - target, 4); }, target - 5.0,
+      target + 3.0);
+  EXPECT_NEAR(r.x, target, 1e-3);  // quartic is flat; 1e-3 is fair
+  EXPECT_NEAR(r.value, 0.0, 1e-12);
+}
+
+TEST_P(KnownMinimaSweep, ScanRefineLocatesShiftedQuadratic) {
+  const double target = GetParam();
+  const auto r = scan_then_refine_minimize(
+      [target](double x) { return (x - target) * (x - target); },
+      target - 7.0, target + 11.0, 64);
+  EXPECT_NEAR(r.x, target, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, KnownMinimaSweep,
+                         ::testing::Values(-3.0, -0.5, 0.0, 0.25, 1.0, 2.5,
+                                           7.75, 42.0));
+
+}  // namespace

@@ -1,0 +1,107 @@
+#include "numerics/pchip.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contract.hpp"
+#include "numerics/grid.hpp"
+
+namespace {
+
+using zc::numerics::MonotoneCubic;
+
+TEST(Pchip, InterpolatesKnotsExactly) {
+  const MonotoneCubic f({0.0, 1.0, 2.5, 4.0}, {1.0, 3.0, 3.5, 7.0});
+  EXPECT_DOUBLE_EQ(f(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(f(2.5), 3.5);
+  EXPECT_DOUBLE_EQ(f(4.0), 7.0);
+}
+
+TEST(Pchip, TwoPointsIsLinear) {
+  const MonotoneCubic f({0.0, 2.0}, {1.0, 5.0});
+  for (double x = 0.0; x <= 2.0; x += 0.25)
+    EXPECT_NEAR(f(x), 1.0 + 2.0 * x, 1e-12);
+}
+
+TEST(Pchip, PreservesMonotonicityOfIncreasingData) {
+  // Data with an abrupt step — classic case where a natural cubic spline
+  // overshoots but PCHIP must not.
+  const MonotoneCubic f({0.0, 1.0, 2.0, 3.0, 4.0},
+                        {0.0, 0.01, 0.02, 0.98, 1.0});
+  double prev = -1.0;
+  for (double x = 0.0; x <= 4.0; x += 0.01) {
+    const double y = f(x);
+    EXPECT_GE(y, prev - 1e-12) << "x=" << x;
+    EXPECT_GE(y, 0.0 - 1e-12);
+    EXPECT_LE(y, 1.0 + 1e-12);
+    prev = y;
+  }
+}
+
+TEST(Pchip, NoOvershootBeyondDataRange) {
+  const MonotoneCubic f({0.0, 1.0, 1.1, 2.0}, {0.0, 0.0, 1.0, 1.0});
+  for (double x = 0.0; x <= 2.0; x += 0.005) {
+    EXPECT_GE(f(x), -1e-12);
+    EXPECT_LE(f(x), 1.0 + 1e-12);
+  }
+}
+
+TEST(Pchip, ClampsOutsideRange) {
+  const MonotoneCubic f({1.0, 2.0}, {10.0, 20.0});
+  EXPECT_EQ(f(0.0), 10.0);
+  EXPECT_EQ(f(3.0), 20.0);
+}
+
+TEST(Pchip, DerivativeNonNegativeForMonotoneData) {
+  const MonotoneCubic f({0.0, 0.5, 1.5, 3.0}, {0.0, 0.4, 0.5, 1.0});
+  for (double x = 0.0; x <= 3.0; x += 0.01)
+    EXPECT_GE(f.derivative(x), -1e-12) << "x=" << x;
+}
+
+TEST(Pchip, DerivativeMatchesFiniteDifference) {
+  const MonotoneCubic f({0.0, 1.0, 2.0, 3.0}, {0.0, 1.0, 1.5, 3.0});
+  for (double x : {0.25, 0.75, 1.5, 2.4}) {
+    const double h = 1e-6;
+    const double fd = (f(x + h) - f(x - h)) / (2.0 * h);
+    EXPECT_NEAR(f.derivative(x), fd, 1e-6) << "x=" << x;
+  }
+}
+
+TEST(Pchip, DerivativeZeroOutsideRange) {
+  const MonotoneCubic f({0.0, 1.0}, {0.0, 1.0});
+  EXPECT_EQ(f.derivative(-0.5), 0.0);
+  EXPECT_EQ(f.derivative(1.5), 0.0);
+}
+
+TEST(Pchip, FlatSegmentsStayFlat) {
+  const MonotoneCubic f({0.0, 1.0, 2.0}, {0.5, 0.5, 1.0});
+  for (double x = 0.0; x <= 1.0; x += 0.1)
+    EXPECT_NEAR(f(x), 0.5, 1e-12) << "x=" << x;
+}
+
+TEST(Pchip, LocalExtremumInDataGetsZeroTangent) {
+  // Non-monotone data: no overshoot past the peak value.
+  const MonotoneCubic f({0.0, 1.0, 2.0}, {0.0, 1.0, 0.0});
+  for (double x = 0.0; x <= 2.0; x += 0.01) EXPECT_LE(f(x), 1.0 + 1e-12);
+  EXPECT_DOUBLE_EQ(f(1.0), 1.0);
+}
+
+TEST(Pchip, ApproximatesSmoothFunctionsWell) {
+  const auto knots_x = zc::numerics::linspace(0.0, 3.14159, 24);
+  std::vector<double> knots_y;
+  for (const double x : knots_x) knots_y.push_back(std::sin(x / 2.0));
+  const MonotoneCubic f(knots_x, knots_y);
+  for (double x = 0.0; x <= 3.14; x += 0.05)
+    EXPECT_NEAR(f(x), std::sin(x / 2.0), 5e-4) << "x=" << x;
+}
+
+TEST(Pchip, ValidationRejectsBadKnots) {
+  EXPECT_THROW(MonotoneCubic({1.0}, {1.0}), zc::ContractViolation);
+  EXPECT_THROW(MonotoneCubic({0.0, 0.0}, {1.0, 2.0}),
+               zc::ContractViolation);  // not strictly increasing
+  EXPECT_THROW(MonotoneCubic({0.0, 1.0}, {1.0}), zc::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,85 @@
+#include "numerics/quadrature.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contract.hpp"
+
+namespace {
+
+using zc::numerics::integrate;
+
+TEST(Quadrature, ConstantFunction) {
+  const auto r = integrate([](double) { return 2.0; }, 0.0, 3.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.value, 6.0, 1e-12);
+}
+
+TEST(Quadrature, CubicIsExactForSimpson) {
+  const auto r = integrate([](double x) { return x * x * x; }, 0.0, 2.0);
+  EXPECT_NEAR(r.value, 4.0, 1e-12);
+  EXPECT_LE(r.evaluations, 10);  // Simpson is exact; no refinement needed
+}
+
+TEST(Quadrature, Exponential) {
+  const auto r = integrate([](double x) { return std::exp(x); }, 0.0, 1.0);
+  EXPECT_NEAR(r.value, std::exp(1.0) - 1.0, 1e-10);
+}
+
+TEST(Quadrature, OscillatoryIntegrand) {
+  const auto r =
+      integrate([](double x) { return std::sin(10.0 * x); }, 0.0, 3.14159);
+  EXPECT_NEAR(r.value, (1.0 - std::cos(31.4159)) / 10.0, 1e-8);
+}
+
+TEST(Quadrature, EmptyInterval) {
+  const auto r = integrate([](double x) { return x; }, 1.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.value, 0.0);
+}
+
+TEST(Quadrature, ReversedIntervalRejected) {
+  EXPECT_THROW((void)integrate([](double x) { return x; }, 1.0, 0.0),
+               zc::ContractViolation);
+}
+
+TEST(Quadrature, SharpPeakRefinesLocally) {
+  // Narrow Gaussian at 0.5: adaptive subdivision must find it.
+  const auto f = [](double x) {
+    return std::exp(-1000.0 * (x - 0.5) * (x - 0.5));
+  };
+  const auto r = integrate(f, 0.0, 1.0, 1e-10);
+  EXPECT_NEAR(r.value, std::sqrt(3.141592653589793 / 1000.0), 1e-8);
+}
+
+TEST(Quadrature, SurvivalFunctionMeanRecovery) {
+  // E[X] = int_0^inf S(t) dt for X ~ Exp(rate): truncate far in the tail.
+  const double rate = 4.0;
+  const auto r = integrate(
+      [rate](double t) { return std::exp(-rate * t); }, 0.0, 20.0);
+  EXPECT_NEAR(r.value, 1.0 / rate, 1e-9);
+}
+
+TEST(Quadrature, DepthLimitReportedAsNotConverged) {
+  // Discontinuity forces deep recursion at a tight tolerance.
+  const auto f = [](double x) { return x < 0.3333333 ? 0.0 : 1.0; };
+  const auto r = integrate(f, 0.0, 1.0, 1e-15, 8);
+  EXPECT_FALSE(r.converged);
+}
+
+/// Power sweep: integral of x^k on [0, 1] is 1/(k+1).
+class PowerIntegrals : public ::testing::TestWithParam<int> {};
+
+TEST_P(PowerIntegrals, MatchesClosedForm) {
+  const int k = GetParam();
+  const auto r = integrate(
+      [k](double x) { return std::pow(x, static_cast<double>(k)); }, 0.0,
+      1.0, 1e-11);
+  EXPECT_NEAR(r.value, 1.0 / static_cast<double>(k + 1), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Powers, PowerIntegrals,
+                         ::testing::Values(0, 1, 2, 3, 4, 6, 9, 12));
+
+}  // namespace

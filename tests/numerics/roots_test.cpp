@@ -1,0 +1,116 @@
+#include "numerics/roots.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using zc::numerics::bisect;
+using zc::numerics::brent_root;
+using zc::numerics::find_bracket;
+
+TEST(Bisect, LinearRoot) {
+  const auto r = bisect([](double x) { return x - 2.0; }, 0.0, 5.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->converged);
+  EXPECT_NEAR(r->x, 2.0, 1e-10);
+}
+
+TEST(Bisect, NoSignChangeReturnsNullopt) {
+  EXPECT_FALSE(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0)
+                   .has_value());
+}
+
+TEST(Bisect, RootAtEndpointDetected) {
+  const auto r = bisect([](double x) { return x; }, 0.0, 1.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->x, 0.0);
+}
+
+TEST(Bisect, DiscontinuousSignChange) {
+  // Step function: bisection still localizes the jump.
+  const auto r =
+      bisect([](double x) { return x < 0.7 ? -1.0 : 1.0; }, 0.0, 1.0, 1e-9);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(r->x, 0.7, 1e-8);
+}
+
+TEST(BrentRoot, CubicRoot) {
+  const auto r = brent_root(
+      [](double x) { return (x - 1.0) * (x + 4.0) * (x - 9.0); }, 0.0, 3.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->converged);
+  EXPECT_NEAR(r->x, 1.0, 1e-10);
+}
+
+TEST(BrentRoot, TranscendentalRoot) {
+  const auto r =
+      brent_root([](double x) { return std::cos(x) - x; }, 0.0, 1.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(r->x, 0.7390851332151607, 1e-9);
+}
+
+TEST(BrentRoot, NoBracketReturnsNullopt) {
+  EXPECT_FALSE(
+      brent_root([](double x) { return x * x + 0.5; }, -2.0, 2.0)
+          .has_value());
+}
+
+TEST(BrentRoot, SteepExponentialRoot) {
+  // The kind of function calibration inverts: exp-dominated residuals.
+  const auto r = brent_root(
+      [](double x) { return std::exp(x) - 1e6; }, 0.0, 30.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(r->x, std::log(1e6), 1e-8);
+}
+
+TEST(BrentRoot, FewerEvaluationsThanBisection) {
+  const auto f = [](double x) { return std::tanh(x - 3.0); };
+  const auto brent = brent_root(f, 0.0, 10.0, 1e-12);
+  const auto bis = bisect(f, 0.0, 10.0, 1e-12);
+  ASSERT_TRUE(brent.has_value());
+  ASSERT_TRUE(bis.has_value());
+  EXPECT_LT(brent->evaluations, bis->evaluations);
+}
+
+TEST(FindBracket, LocatesSignChange) {
+  const auto b =
+      find_bracket([](double x) { return x - 3.3; }, 0.0, 10.0, 32);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_LE(b->first, 3.3);
+  EXPECT_GE(b->second, 3.3);
+}
+
+TEST(FindBracket, NoneWhenFunctionPositive) {
+  EXPECT_FALSE(find_bracket([](double) { return 1.0; }, 0.0, 1.0, 16)
+                   .has_value());
+}
+
+TEST(FindBracket, FeedsBrentRoot) {
+  const auto f = [](double x) { return std::log(x) - 1.0; };
+  const auto b = find_bracket(f, 0.5, 10.0, 64);
+  ASSERT_TRUE(b.has_value());
+  const auto r = brent_root(f, b->first, b->second);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(r->x, std::exp(1.0), 1e-9);
+}
+
+/// Root-position sweep for the bracket + Brent pipeline.
+class RootSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RootSweep, PipelineFindsArctanRoot) {
+  const double root = GetParam();
+  const auto f = [root](double x) { return std::atan(x - root); };
+  const auto b = find_bracket(f, root - 20.0, root + 13.0, 64);
+  ASSERT_TRUE(b.has_value());
+  const auto r = brent_root(f, b->first, b->second);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(r->x, root, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Roots, RootSweep,
+                         ::testing::Values(-11.0, -2.5, 0.0, 0.1, 1.0, 6.5,
+                                           17.0));
+
+}  // namespace

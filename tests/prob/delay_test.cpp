@@ -1,0 +1,152 @@
+#include "prob/delay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contract.hpp"
+#include "prob/families.hpp"
+
+namespace {
+
+using namespace zc::prob;
+
+TEST(DefectiveDelay, PaperFormulaForCdf) {
+  // F_X(t) = l (1 - e^{-lambda (t-d)}) for t >= d (Sec. 4.3).
+  const double loss = 1e-3, lambda = 10.0, d = 1.0;
+  const auto fx = paper_reply_delay(loss, lambda, d);
+  const double l = 1.0 - loss;
+  for (double t : {1.0, 1.1, 1.5, 2.0, 5.0}) {
+    const double expected = l * (1.0 - std::exp(-lambda * (t - d)));
+    EXPECT_NEAR(fx->cdf(t), expected, 1e-12) << "t=" << t;
+  }
+}
+
+TEST(DefectiveDelay, ZeroBeforeRoundTrip) {
+  const auto fx = paper_reply_delay(0.01, 10.0, 1.0);
+  EXPECT_EQ(fx->cdf(0.0), 0.0);
+  EXPECT_EQ(fx->cdf(0.999), 0.0);
+  EXPECT_EQ(fx->survival(0.5), 1.0);
+}
+
+TEST(DefectiveDelay, CdfSaturatesAtArrivalMass) {
+  const double loss = 0.2;
+  const auto fx = paper_reply_delay(loss, 10.0, 0.1);
+  EXPECT_NEAR(fx->cdf(1e6), 1.0 - loss, 1e-12);
+  EXPECT_NEAR(fx->survival(1e6), loss, 1e-12);
+}
+
+TEST(DefectiveDelay, SurvivalExactForTinyLoss) {
+  // The paper's l = 1-1e-15: survival must resolve the 1e-15 floor.
+  const double loss = 1e-15;
+  const auto fx = paper_reply_delay(loss, 10.0, 1.0);
+  // Far in the tail: survival == loss exactly, not 0 and not 1.1e-15.
+  EXPECT_NEAR(fx->survival(1000.0) / loss, 1.0, 1e-9);
+}
+
+TEST(DefectiveDelay, SurvivalAvoidsCancellation) {
+  const double loss = 1e-15;
+  const auto fx = paper_reply_delay(loss, 10.0, 1.0);
+  // At t = d + 10: proper survival e^{-100} ~ 3.7e-44 << loss.
+  const double s = fx->survival(11.0);
+  EXPECT_NEAR(s, loss + (1 - loss) * std::exp(-100.0), 1e-30);
+  // 1 - cdf would return exactly 0 or a value with no correct digits;
+  // survival keeps full relative precision.
+  EXPECT_GT(s, 0.0);
+}
+
+TEST(DefectiveDelay, LossProbabilityAccessors) {
+  const auto fx = paper_reply_delay(0.25, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(fx->loss_probability(), 0.25);
+  EXPECT_DOUBLE_EQ(fx->arrival_mass(), 0.75);
+}
+
+TEST(DefectiveDelay, MeanGivenArrival) {
+  // d + 1/lambda (Sec. 4.3: "the mean time a reply is received").
+  const auto fx = paper_reply_delay(0.1, 10.0, 1.0);
+  EXPECT_DOUBLE_EQ(fx->mean_given_arrival(), 1.1);
+}
+
+TEST(DefectiveDelay, SampleLossFractionMatches) {
+  const double loss = 0.3;
+  const auto fx = paper_reply_delay(loss, 5.0, 0.2);
+  Rng rng(77);
+  int lost = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (!fx->sample(rng).has_value()) ++lost;
+  EXPECT_NEAR(static_cast<double>(lost) / n, loss, 0.01);
+}
+
+TEST(DefectiveDelay, SamplesRespectShift) {
+  const auto fx = paper_reply_delay(0.0, 10.0, 1.5);
+  Rng rng(88);
+  for (int i = 0; i < 1000; ++i) {
+    const auto s = fx->sample(rng);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_GE(*s, 1.5);
+  }
+}
+
+TEST(DefectiveDelay, SampleMeanMatchesConditionalMean) {
+  const auto fx = paper_reply_delay(0.2, 4.0, 0.5);
+  Rng rng(99);
+  double sum = 0.0;
+  int arrived = 0;
+  for (int i = 0; i < 200000; ++i) {
+    if (const auto s = fx->sample(rng)) {
+      sum += *s;
+      ++arrived;
+    }
+  }
+  EXPECT_NEAR(sum / arrived, fx->mean_given_arrival(),
+              0.01 * fx->mean_given_arrival());
+}
+
+TEST(DefectiveDelay, LogSurvivalConsistent) {
+  const auto fx = paper_reply_delay(1e-12, 10.0, 1.0);
+  for (double t : {0.5, 1.0, 1.5, 3.0, 10.0}) {
+    EXPECT_NEAR(fx->log_survival(t), std::log(fx->survival(t)), 1e-12);
+  }
+}
+
+TEST(DefectiveDelay, ZeroLossIsProper) {
+  const auto fx = paper_reply_delay(0.0, 2.0, 0.0);
+  EXPECT_EQ(fx->loss_probability(), 0.0);
+  EXPECT_NEAR(fx->cdf(100.0), 1.0, 1e-12);
+}
+
+TEST(DefectiveDelay, FullLossRejected) {
+  EXPECT_THROW(
+      DefectiveDelay(std::make_unique<Exponential>(1.0), 1.0, 0.0),
+      zc::ContractViolation);
+}
+
+TEST(DefectiveDelay, NegativeShiftRejected) {
+  EXPECT_THROW(
+      DefectiveDelay(std::make_unique<Exponential>(1.0), 0.0, -1.0),
+      zc::ContractViolation);
+}
+
+TEST(DefectiveDelay, CopySemantics) {
+  const DefectiveDelay original(std::make_unique<Exponential>(3.0), 0.1, 0.5);
+  const DefectiveDelay copy(original);
+  EXPECT_EQ(copy.cdf(1.0), original.cdf(1.0));
+  EXPECT_EQ(copy.loss_probability(), original.loss_probability());
+  EXPECT_EQ(copy.shift(), original.shift());
+}
+
+TEST(DefectiveDelay, CloneIsDeepAndEquivalent) {
+  const auto fx = paper_reply_delay(0.05, 2.0, 0.25);
+  const auto copy = fx->clone();
+  for (double t : {0.1, 0.3, 1.0, 4.0}) EXPECT_EQ(copy->cdf(t), fx->cdf(t));
+  EXPECT_EQ(copy->name(), fx->name());
+}
+
+TEST(DefectiveDelay, WrapsNonExponentialBases) {
+  const DefectiveDelay fx(std::make_unique<Uniform>(0.0, 1.0), 0.5, 1.0);
+  EXPECT_NEAR(fx.cdf(1.5), 0.5 * 0.5, 1e-12);
+  EXPECT_NEAR(fx.survival(2.0), 0.5, 1e-12);
+}
+
+}  // namespace

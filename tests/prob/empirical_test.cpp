@@ -1,0 +1,139 @@
+#include "prob/empirical.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+#include "prob/families.hpp"
+
+namespace {
+
+using namespace zc::prob;
+
+TEST(Empirical, EcdfStepsAtSamples) {
+  const Empirical e({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(e.cdf(0.5), 0.0);
+  EXPECT_EQ(e.cdf(1.0), 0.25);
+  EXPECT_EQ(e.cdf(2.5), 0.5);
+  EXPECT_EQ(e.cdf(4.0), 1.0);
+  EXPECT_EQ(e.cdf(100.0), 1.0);
+}
+
+TEST(Empirical, MeanOfSamples) {
+  const Empirical e({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(e.mean(), 2.0);
+}
+
+TEST(Empirical, UnsortedInputHandled) {
+  const Empirical e({3.0, 1.0, 2.0});
+  EXPECT_EQ(e.cdf(1.5), 1.0 / 3.0);
+}
+
+TEST(Empirical, DuplicateValues) {
+  const Empirical e({2.0, 2.0, 2.0, 5.0});
+  EXPECT_EQ(e.cdf(2.0), 0.75);
+  EXPECT_EQ(e.cdf(1.9), 0.0);
+}
+
+TEST(Empirical, EmptyRejected) {
+  EXPECT_THROW(Empirical({}), zc::ContractViolation);
+}
+
+TEST(Empirical, NegativeSamplesRejected) {
+  EXPECT_THROW(Empirical({1.0, -0.5}), zc::ContractViolation);
+}
+
+TEST(Empirical, QuantilesNearestRank) {
+  const Empirical e({10.0, 20.0, 30.0, 40.0});
+  EXPECT_EQ(e.quantile(0.0), 10.0);
+  EXPECT_EQ(e.quantile(0.25), 10.0);
+  EXPECT_EQ(e.quantile(0.5), 20.0);
+  EXPECT_EQ(e.quantile(1.0), 40.0);
+}
+
+TEST(Empirical, BootstrapSamplesComeFromData) {
+  const Empirical e({1.0, 2.0, 3.0});
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const double s = e.sample(rng);
+    EXPECT_TRUE(s == 1.0 || s == 2.0 || s == 3.0);
+  }
+}
+
+TEST(Empirical, RecoversGeneratingDistribution) {
+  // ECDF of many exponential draws approximates the true CDF.
+  const Exponential truth(3.0);
+  Rng rng(6);
+  std::vector<double> samples(50000);
+  for (auto& s : samples) s = truth.sample(rng);
+  const Empirical e(std::move(samples));
+  for (double t : {0.1, 0.3, 0.6, 1.0})
+    EXPECT_NEAR(e.cdf(t), truth.cdf(t), 0.01);
+  EXPECT_NEAR(e.mean(), truth.mean(), 0.01);
+}
+
+TEST(EmpiricalDelay, LossFractionRecorded) {
+  const EmpiricalDelay d({1.0, 2.0, 3.0}, 1);
+  EXPECT_DOUBLE_EQ(d.loss_probability(), 0.25);
+  EXPECT_EQ(d.arrived_count(), 3u);
+}
+
+TEST(EmpiricalDelay, CdfScaledByArrivalMass) {
+  const EmpiricalDelay d({1.0, 3.0}, 2);  // loss 0.5
+  EXPECT_DOUBLE_EQ(d.cdf(2.0), 0.25);     // 0.5 * 0.5
+  EXPECT_DOUBLE_EQ(d.survival(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(d.cdf(10.0), 0.5);
+}
+
+TEST(EmpiricalDelay, NoLosses) {
+  const EmpiricalDelay d({1.0, 2.0}, 0);
+  EXPECT_EQ(d.loss_probability(), 0.0);
+  EXPECT_EQ(d.cdf(5.0), 1.0);
+}
+
+TEST(EmpiricalDelay, AllLost) {
+  const EmpiricalDelay d({}, 10);
+  EXPECT_EQ(d.loss_probability(), 1.0);
+  EXPECT_EQ(d.cdf(100.0), 0.0);
+  EXPECT_EQ(d.survival(100.0), 1.0);
+  EXPECT_EQ(d.arrived_count(), 0u);
+  Rng rng(9);
+  EXPECT_FALSE(d.sample(rng).has_value());
+}
+
+TEST(EmpiricalDelay, AllLostMeanRejected) {
+  const EmpiricalDelay d({}, 3);
+  EXPECT_THROW((void)d.mean_given_arrival(), zc::ContractViolation);
+}
+
+TEST(EmpiricalDelay, NoObservationsAtAllRejected) {
+  EXPECT_THROW(EmpiricalDelay({}, 0), zc::ContractViolation);
+}
+
+TEST(EmpiricalDelay, SampleLossRateMatches) {
+  const EmpiricalDelay d({1.0, 2.0, 3.0}, 3);  // loss 0.5
+  Rng rng(10);
+  int lost = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i)
+    if (!d.sample(rng).has_value()) ++lost;
+  EXPECT_NEAR(static_cast<double>(lost) / n, 0.5, 0.01);
+}
+
+TEST(Measure, RecoversTruthWithinTolerance) {
+  const auto truth = paper_reply_delay(0.1, 5.0, 0.5);
+  Rng rng(11);
+  const EmpiricalDelay measured = measure(*truth, 100000, rng);
+  EXPECT_NEAR(measured.loss_probability(), 0.1, 0.005);
+  EXPECT_NEAR(measured.mean_given_arrival(), truth->mean_given_arrival(),
+              0.01);
+  for (double t : {0.6, 0.8, 1.5})
+    EXPECT_NEAR(measured.cdf(t), truth->cdf(t), 0.01);
+}
+
+TEST(Measure, ZeroTrialsRejected) {
+  const auto truth = paper_reply_delay(0.1, 5.0, 0.5);
+  Rng rng(12);
+  EXPECT_THROW((void)measure(*truth, 0, rng), zc::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,253 @@
+#include "prob/families.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "numerics/quadrature.hpp"
+#include "prob/rng.hpp"
+
+namespace {
+
+using namespace zc::prob;
+
+// ------------------------------------------------------------ family sweeps
+
+using Factory = std::function<std::unique_ptr<ProperDistribution>()>;
+
+struct FamilyCase {
+  const char* label;
+  Factory make;
+  double horizon;  ///< integration horizon covering essentially all mass
+};
+
+class ProperFamilies : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(ProperFamilies, CdfIsMonotoneFromZero) {
+  const auto dist = GetParam().make();
+  EXPECT_EQ(dist->cdf(-1.0), 0.0);
+  double prev = 0.0;
+  for (double t = 0.0; t <= GetParam().horizon; t += GetParam().horizon / 64) {
+    const double c = dist->cdf(t);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_LE(c, 1.0 + 1e-12);
+    prev = c;
+  }
+}
+
+TEST_P(ProperFamilies, SurvivalComplementsCdf) {
+  const auto dist = GetParam().make();
+  for (double t : {0.0, 0.1, 0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(dist->cdf(t) + dist->survival(t), 1.0, 1e-9)
+        << GetParam().label << " at t=" << t;
+  }
+}
+
+TEST_P(ProperFamilies, CdfApproachesOneAtHorizon) {
+  const auto dist = GetParam().make();
+  EXPECT_GT(dist->cdf(GetParam().horizon), 0.999);
+}
+
+TEST_P(ProperFamilies, MeanMatchesSurvivalIntegral) {
+  // E[X] = int_0^inf S(t) dt.
+  const auto dist = GetParam().make();
+  const auto integral = zc::numerics::integrate(
+      [&](double t) { return dist->survival(t); }, 0.0, GetParam().horizon,
+      1e-10);
+  EXPECT_NEAR(integral.value, dist->mean(), 5e-3 * dist->mean() + 1e-9)
+      << GetParam().label;
+}
+
+TEST_P(ProperFamilies, SampleMeanMatchesAnalyticMean) {
+  const auto dist = GetParam().make();
+  Rng rng(1234);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += dist->sample(rng);
+  EXPECT_NEAR(sum / n, dist->mean(), 0.02 * dist->mean() + 1e-6)
+      << GetParam().label;
+}
+
+TEST_P(ProperFamilies, SampleDistributionMatchesCdf) {
+  // Coarse Kolmogorov-Smirnov-style check at fixed quantile probes.
+  const auto dist = GetParam().make();
+  Rng rng(4321);
+  const int n = 50000;
+  std::vector<double> samples(n);
+  for (auto& s : samples) s = dist->sample(rng);
+  for (double t : {0.25 * dist->mean(), dist->mean(), 2.0 * dist->mean()}) {
+    const auto below = static_cast<double>(
+        std::count_if(samples.begin(), samples.end(),
+                      [t](double s) { return s <= t; }));
+    EXPECT_NEAR(below / n, dist->cdf(t), 0.015)
+        << GetParam().label << " at t=" << t;
+  }
+}
+
+TEST_P(ProperFamilies, SamplesAreNonNegative) {
+  const auto dist = GetParam().make();
+  Rng rng(999);
+  for (int i = 0; i < 5000; ++i) EXPECT_GE(dist->sample(rng), 0.0);
+}
+
+TEST_P(ProperFamilies, CloneBehavesIdentically) {
+  const auto dist = GetParam().make();
+  const auto copy = dist->clone();
+  for (double t : {0.1, 0.7, 1.5, 3.0}) {
+    EXPECT_EQ(dist->cdf(t), copy->cdf(t));
+    EXPECT_EQ(dist->survival(t), copy->survival(t));
+  }
+  EXPECT_EQ(dist->mean(), copy->mean());
+  EXPECT_EQ(dist->name(), copy->name());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, ProperFamilies,
+    ::testing::Values(
+        FamilyCase{"exponential",
+                   [] { return std::make_unique<Exponential>(2.0); }, 12.0},
+        FamilyCase{"weibull_heavy",
+                   [] { return std::make_unique<Weibull>(0.8, 1.0); }, 40.0},
+        FamilyCase{"weibull_light",
+                   [] { return std::make_unique<Weibull>(2.5, 0.5); }, 4.0},
+        FamilyCase{"uniform",
+                   [] { return std::make_unique<Uniform>(0.2, 1.2); }, 1.3},
+        FamilyCase{"erlang2",
+                   [] { return std::make_unique<Erlang>(2, 3.0); }, 10.0},
+        FamilyCase{"erlang5",
+                   [] { return std::make_unique<Erlang>(5, 10.0); }, 6.0},
+        FamilyCase{"lognormal",
+                   [] { return std::make_unique<LogNormal>(-1.0, 0.5); },
+                   8.0},
+        FamilyCase{"hypoexp",
+                   [] {
+                     return std::make_unique<Hypoexponential>(
+                         std::vector<double>{1.0, 3.0, 10.0});
+                   },
+                   30.0}),
+    [](const ::testing::TestParamInfo<FamilyCase>& param_info) {
+      return param_info.param.label;
+    });
+
+// ------------------------------------------------------- family specifics
+
+TEST(Exponential, KnownCdfValues) {
+  const Exponential e(1.0);
+  EXPECT_NEAR(e.cdf(1.0), 1.0 - std::exp(-1.0), 1e-15);
+  EXPECT_NEAR(e.survival(2.0), std::exp(-2.0), 1e-15);
+}
+
+TEST(Exponential, SurvivalAccurateInDeepTail) {
+  const Exponential e(10.0);
+  // survival(20) = e^{-200}: representable and exact; 1-cdf would be 0.
+  EXPECT_NEAR(e.survival(20.0) / std::exp(-200.0), 1.0, 1e-12);
+}
+
+TEST(Exponential, InvalidRateRejected) {
+  EXPECT_THROW(Exponential(0.0), zc::ContractViolation);
+  EXPECT_THROW(Exponential(-1.0), zc::ContractViolation);
+}
+
+TEST(Weibull, ShapeOneIsExponential) {
+  const Weibull w(1.0, 0.5);
+  const Exponential e(2.0);
+  for (double t : {0.1, 0.5, 1.0, 2.0})
+    EXPECT_NEAR(w.cdf(t), e.cdf(t), 1e-12);
+}
+
+TEST(Weibull, MeanUsesGammaFunction) {
+  const Weibull w(2.0, 1.0);
+  EXPECT_NEAR(w.mean(), std::sqrt(3.141592653589793) / 2.0, 1e-12);
+}
+
+TEST(Uniform, LinearCdfBetweenBounds) {
+  const Uniform u(1.0, 3.0);
+  EXPECT_EQ(u.cdf(0.5), 0.0);
+  EXPECT_NEAR(u.cdf(2.0), 0.5, 1e-15);
+  EXPECT_EQ(u.cdf(4.0), 1.0);
+}
+
+TEST(Uniform, InvalidBoundsRejected) {
+  EXPECT_THROW(Uniform(2.0, 2.0), zc::ContractViolation);
+  EXPECT_THROW(Uniform(-1.0, 2.0), zc::ContractViolation);
+}
+
+TEST(Deterministic, StepCdf) {
+  const Deterministic d(1.5);
+  EXPECT_EQ(d.cdf(1.49), 0.0);
+  EXPECT_EQ(d.cdf(1.5), 1.0);
+  EXPECT_EQ(d.mean(), 1.5);
+}
+
+TEST(Deterministic, SampleIsConstant) {
+  const Deterministic d(0.7);
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(d.sample(rng), 0.7);
+}
+
+TEST(Erlang, ShapeOneIsExponential) {
+  const Erlang k1(1, 5.0);
+  const Exponential e(5.0);
+  for (double t : {0.05, 0.2, 1.0}) EXPECT_NEAR(k1.cdf(t), e.cdf(t), 1e-12);
+}
+
+TEST(Erlang, MeanIsShapeOverRate) {
+  EXPECT_DOUBLE_EQ(Erlang(4, 2.0).mean(), 2.0);
+}
+
+TEST(LogNormal, KnownMedianAndMean) {
+  const LogNormal ln(0.0, 1.0);
+  EXPECT_NEAR(ln.cdf(1.0), 0.5, 1e-12);          // median = e^mu
+  EXPECT_NEAR(ln.mean(), std::exp(0.5), 1e-12);  // e^{mu + sigma^2/2}
+}
+
+TEST(LogNormal, TailSurvivalAccurate) {
+  const LogNormal ln(0.0, 1.0);
+  // S(e^5) = Phi(-5) ~ 2.8665e-7: erfc keeps full precision.
+  EXPECT_NEAR(ln.survival(std::exp(5.0)) / 2.8665157187919391e-7, 1.0,
+              1e-9);
+}
+
+TEST(LogNormal, InvalidSigmaRejected) {
+  EXPECT_THROW(LogNormal(0.0, 0.0), zc::ContractViolation);
+  EXPECT_THROW(LogNormal(0.0, -1.0), zc::ContractViolation);
+}
+
+TEST(Hypoexponential, MatchesErlangLimitApproximately) {
+  // Rates close together approximate an Erlang.
+  const Hypoexponential h({10.0, 10.0001, 9.9999});
+  const Erlang e(3, 10.0);
+  for (double t : {0.1, 0.3, 0.6})
+    EXPECT_NEAR(h.cdf(t), e.cdf(t), 1e-4);
+}
+
+TEST(Hypoexponential, SingleRateIsExponential) {
+  const Hypoexponential h({4.0});
+  const Exponential e(4.0);
+  for (double t : {0.1, 0.5, 2.0}) EXPECT_NEAR(h.cdf(t), e.cdf(t), 1e-13);
+}
+
+TEST(Hypoexponential, DuplicateRatesRejected) {
+  EXPECT_THROW(Hypoexponential({1.0, 1.0}), zc::ContractViolation);
+}
+
+TEST(Hypoexponential, MeanIsSumOfStageMeans) {
+  const Hypoexponential h({1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(h.mean(), 1.0 + 0.5 + 0.25);
+}
+
+TEST(Hypoexponential, SurvivalClampedToUnitInterval) {
+  const Hypoexponential h({1.0, 100.0});
+  for (double t = 0.0; t < 50.0; t += 0.5) {
+    const double s = h.survival(t);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+}  // namespace

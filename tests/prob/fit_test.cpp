@@ -1,0 +1,95 @@
+#include "prob/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+
+namespace {
+
+using namespace zc::prob;
+
+EmpiricalDelay measure_paper_fx(double loss, double lambda, double d,
+                                std::size_t trials, std::uint64_t seed) {
+  const auto truth = paper_reply_delay(loss, lambda, d);
+  Rng rng(seed);
+  return measure(*truth, trials, rng);
+}
+
+TEST(Fit, RecoversGeneratingParameters) {
+  const double loss = 0.05, lambda = 8.0, d = 0.5;
+  const EmpiricalDelay data = measure_paper_fx(loss, lambda, d, 200000, 1);
+  const ExponentialFit fit = fit_defective_exponential(data);
+  EXPECT_NEAR(fit.loss, loss, 0.005);
+  EXPECT_NEAR(fit.shift, d, 0.01);
+  EXPECT_NEAR(fit.lambda / lambda, 1.0, 0.1);
+}
+
+TEST(Fit, FittedDistributionMatchesTruthCdf) {
+  const double loss = 0.1, lambda = 20.0, d = 0.05;
+  const EmpiricalDelay data = measure_paper_fx(loss, lambda, d, 200000, 2);
+  const auto fitted = fit_defective_exponential(data).to_distribution();
+  const auto truth = paper_reply_delay(loss, lambda, d);
+  for (double t : {0.06, 0.1, 0.2, 0.5}) {
+    EXPECT_NEAR(fitted->cdf(t), truth->cdf(t), 0.02) << "t=" << t;
+  }
+}
+
+TEST(Fit, FittedDistributionIsSmoothInR) {
+  // The whole point of fitting: unlike the ECDF, the fitted survival is
+  // strictly decreasing beyond the shift (usable by derivative code).
+  const EmpiricalDelay data = measure_paper_fx(0.02, 10.0, 0.1, 5000, 3);
+  const auto fitted = fit_defective_exponential(data).to_distribution();
+  double prev = fitted->survival(0.11);
+  for (double t = 0.13; t < 1.0; t += 0.02) {
+    const double s = fitted->survival(t);
+    EXPECT_LT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(Fit, ZeroLossData) {
+  const EmpiricalDelay data = measure_paper_fx(0.0, 5.0, 0.2, 50000, 4);
+  const ExponentialFit fit = fit_defective_exponential(data);
+  EXPECT_EQ(fit.loss, 0.0);
+  EXPECT_NO_THROW((void)fit.to_distribution());
+}
+
+TEST(Fit, DegenerateSingleValueData) {
+  // All arrivals at the same instant: lambda guards against division by
+  // zero and stays positive.
+  const EmpiricalDelay data({0.25, 0.25, 0.25}, 1);
+  const ExponentialFit fit = fit_defective_exponential(data);
+  EXPECT_GT(fit.lambda, 0.0);
+  EXPECT_DOUBLE_EQ(fit.shift, 0.25);
+}
+
+TEST(Fit, AllLostDataRejected) {
+  const EmpiricalDelay data({}, 10);
+  EXPECT_THROW((void)fit_defective_exponential(data),
+               zc::ContractViolation);
+}
+
+TEST(Fit, InvalidQuantileRejected) {
+  const EmpiricalDelay data({0.1, 0.2}, 0);
+  EXPECT_THROW((void)fit_defective_exponential(data, 1.0),
+               zc::ContractViolation);
+  EXPECT_THROW((void)fit_defective_exponential(data, -0.1),
+               zc::ContractViolation);
+}
+
+TEST(Fit, ShiftQuantileControlsRobustness) {
+  // A contaminated sample with one early outlier: a higher shift
+  // quantile ignores it.
+  std::vector<double> samples(1000, 0.0);
+  Rng rng(5);
+  const auto truth = paper_reply_delay(0.0, 10.0, 1.0);
+  for (auto& s : samples) s = *truth->sample(rng);
+  samples[0] = 0.001;  // bogus measurement far below the true floor
+  const EmpiricalDelay data(std::move(samples), 0);
+  const ExponentialFit strict = fit_defective_exponential(data, 0.0);
+  const ExponentialFit robust = fit_defective_exponential(data, 0.01);
+  EXPECT_LT(strict.shift, 0.01);
+  EXPECT_GT(robust.shift, 0.9);
+}
+
+}  // namespace

@@ -1,0 +1,98 @@
+#include "prob/mixture.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+#include "prob/families.hpp"
+
+namespace {
+
+using namespace zc::prob;
+
+MixtureDelay two_component() {
+  std::vector<MixtureDelay::Component> parts;
+  parts.push_back({0.3, paper_reply_delay(0.05, 20.0, 0.1)});
+  parts.push_back({0.7, paper_reply_delay(0.4, 2.0, 0.5)});
+  return MixtureDelay(std::move(parts));
+}
+
+TEST(Mixture, CdfIsConvexCombination) {
+  const auto a = paper_reply_delay(0.05, 20.0, 0.1);
+  const auto b = paper_reply_delay(0.4, 2.0, 0.5);
+  const auto mix = two_component();
+  for (double t : {0.2, 0.6, 1.0, 3.0}) {
+    EXPECT_NEAR(mix.cdf(t), 0.3 * a->cdf(t) + 0.7 * b->cdf(t), 1e-14);
+    EXPECT_NEAR(mix.survival(t),
+                0.3 * a->survival(t) + 0.7 * b->survival(t), 1e-14);
+  }
+}
+
+TEST(Mixture, LossIsWeightedAverage) {
+  EXPECT_NEAR(two_component().loss_probability(),
+              0.3 * 0.05 + 0.7 * 0.4, 1e-14);
+}
+
+TEST(Mixture, SurvivalPlusCdfIsOne) {
+  const auto mix = two_component();
+  for (double t : {0.0, 0.5, 2.0})
+    EXPECT_NEAR(mix.cdf(t) + mix.survival(t), 1.0, 1e-12);
+}
+
+TEST(Mixture, MeanGivenArrivalWeightsByArrivalMass) {
+  // E[X | arrival]: heavier weight on the component more likely to reply.
+  const auto mix = two_component();
+  const double expected =
+      (0.3 * 0.95 * (0.1 + 1.0 / 20.0) + 0.7 * 0.6 * (0.5 + 1.0 / 2.0)) /
+      (0.3 * 0.95 + 0.7 * 0.6);
+  EXPECT_NEAR(mix.mean_given_arrival(), expected, 1e-12);
+}
+
+TEST(Mixture, SingleComponentIsTransparent) {
+  std::vector<MixtureDelay::Component> parts;
+  parts.push_back({1.0, paper_reply_delay(0.1, 5.0, 0.2)});
+  const MixtureDelay mix(std::move(parts));
+  const auto base = paper_reply_delay(0.1, 5.0, 0.2);
+  for (double t : {0.1, 0.4, 1.0}) EXPECT_EQ(mix.cdf(t), base->cdf(t));
+}
+
+TEST(Mixture, SampleStatisticsMatch) {
+  const auto mix = two_component();
+  Rng rng(404);
+  const int n = 200000;
+  int lost = 0, below = 0;
+  const double probe_t = 0.7;
+  for (int i = 0; i < n; ++i) {
+    const auto s = mix.sample(rng);
+    if (!s.has_value()) {
+      ++lost;
+    } else if (*s <= probe_t) {
+      ++below;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / n, mix.loss_probability(), 0.005);
+  EXPECT_NEAR(static_cast<double>(below) / n, mix.cdf(probe_t), 0.005);
+}
+
+TEST(Mixture, CloneBehavesIdentically) {
+  const auto mix = two_component();
+  const auto copy = mix.clone();
+  for (double t : {0.3, 0.9}) EXPECT_EQ(copy->cdf(t), mix.cdf(t));
+  EXPECT_EQ(copy->loss_probability(), mix.loss_probability());
+}
+
+TEST(Mixture, ValidationRejectsBadInputs) {
+  EXPECT_THROW(MixtureDelay({}), zc::ContractViolation);
+  std::vector<MixtureDelay::Component> bad_weight;
+  bad_weight.push_back({0.5, paper_reply_delay(0.1, 5.0, 0.2)});
+  EXPECT_THROW(MixtureDelay(std::move(bad_weight)),
+               zc::ContractViolation);  // weights must sum to 1
+  std::vector<MixtureDelay::Component> null_dist;
+  null_dist.push_back({1.0, nullptr});
+  EXPECT_THROW(MixtureDelay(std::move(null_dist)), zc::ContractViolation);
+  std::vector<MixtureDelay::Component> negative;
+  negative.push_back({-0.5, paper_reply_delay(0.1, 5.0, 0.2)});
+  negative.push_back({1.5, paper_reply_delay(0.1, 5.0, 0.2)});
+  EXPECT_THROW(MixtureDelay(std::move(negative)), zc::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+#include "prob/reply_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+#include "prob/families.hpp"
+
+namespace {
+
+using namespace zc::prob;
+
+Leg exp_leg(double loss, double rate) {
+  return Leg{loss, std::make_unique<Exponential>(rate)};
+}
+
+TEST(ReplyPath, EffectiveLossComposesLegs) {
+  const ReplyPath path(exp_leg(0.1, 1.0), exp_leg(0.2, 2.0),
+                       exp_leg(0.3, 3.0), 0.0);
+  EXPECT_NEAR(path.effective_loss(), 1.0 - 0.9 * 0.8 * 0.7, 1e-12);
+}
+
+TEST(ReplyPath, LosslessLegsGiveZeroLoss) {
+  const ReplyPath path(exp_leg(0.0, 1.0), exp_leg(0.0, 2.0),
+                       exp_leg(0.0, 3.0), 0.5);
+  EXPECT_EQ(path.effective_loss(), 0.0);
+}
+
+TEST(ReplyPath, SampleIncludesFloor) {
+  const ReplyPath path(exp_leg(0.0, 10.0), exp_leg(0.0, 20.0),
+                       exp_leg(0.0, 30.0), 2.0);
+  Rng rng(21);
+  for (int i = 0; i < 1000; ++i) {
+    const auto s = path.sample(rng);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_GE(*s, 2.0);
+  }
+}
+
+TEST(ReplyPath, SampleLossRateMatchesEffectiveLoss) {
+  const ReplyPath path(exp_leg(0.1, 1.0), exp_leg(0.05, 2.0),
+                       exp_leg(0.15, 3.0), 0.0);
+  Rng rng(22);
+  int lost = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (!path.sample(rng).has_value()) ++lost;
+  EXPECT_NEAR(static_cast<double>(lost) / n, path.effective_loss(), 0.005);
+}
+
+TEST(ReplyPath, AnalyticAvailableForDistinctExponentialLegs) {
+  const ReplyPath path(exp_leg(0.01, 5.0), exp_leg(0.02, 7.0),
+                       exp_leg(0.03, 11.0), 0.1);
+  const auto analytic = path.to_analytic();
+  ASSERT_NE(analytic, nullptr);
+  EXPECT_NEAR(analytic->loss_probability(), path.effective_loss(), 1e-12);
+  EXPECT_NEAR(analytic->mean_given_arrival(),
+              0.1 + 1.0 / 5.0 + 1.0 / 7.0 + 1.0 / 11.0, 1e-12);
+}
+
+TEST(ReplyPath, AnalyticUnavailableForEqualRates) {
+  const ReplyPath path(exp_leg(0.0, 5.0), exp_leg(0.0, 5.0),
+                       exp_leg(0.0, 11.0), 0.0);
+  EXPECT_EQ(path.to_analytic(), nullptr);
+}
+
+TEST(ReplyPath, AnalyticUnavailableForNonExponentialLeg) {
+  const ReplyPath path(
+      Leg{0.0, std::make_unique<Uniform>(0.0, 1.0)}, exp_leg(0.0, 5.0),
+      exp_leg(0.0, 11.0), 0.0);
+  EXPECT_EQ(path.to_analytic(), nullptr);
+}
+
+TEST(ReplyPath, EmpiricalAgreesWithAnalytic) {
+  const ReplyPath path(exp_leg(0.05, 4.0), exp_leg(0.05, 9.0),
+                       exp_leg(0.05, 25.0), 0.2);
+  const auto analytic = path.to_analytic();
+  ASSERT_NE(analytic, nullptr);
+  Rng rng(23);
+  const EmpiricalDelay empirical = path.to_empirical(100000, rng);
+  EXPECT_NEAR(empirical.loss_probability(), analytic->loss_probability(),
+              0.005);
+  for (double t : {0.3, 0.5, 0.8, 1.5})
+    EXPECT_NEAR(empirical.cdf(t), analytic->cdf(t), 0.01) << "t=" << t;
+}
+
+TEST(ReplyPath, InvalidLegLossRejected) {
+  EXPECT_THROW(ReplyPath(exp_leg(1.0, 1.0), exp_leg(0.0, 2.0),
+                         exp_leg(0.0, 3.0), 0.0),
+               zc::ContractViolation);
+}
+
+TEST(ReplyPath, MissingLegDelayRejected) {
+  EXPECT_THROW(ReplyPath(Leg{0.0, nullptr}, exp_leg(0.0, 2.0),
+                         exp_leg(0.0, 3.0), 0.0),
+               zc::ContractViolation);
+}
+
+TEST(ReplyPath, NegativeFloorRejected) {
+  EXPECT_THROW(ReplyPath(exp_leg(0.0, 1.0), exp_leg(0.0, 2.0),
+                         exp_leg(0.0, 3.0), -0.1),
+               zc::ContractViolation);
+}
+
+TEST(ReplyPath, ZeroTrialsEmpiricalRejected) {
+  const ReplyPath path(exp_leg(0.0, 1.0), exp_leg(0.0, 2.0),
+                       exp_leg(0.0, 3.0), 0.0);
+  Rng rng(24);
+  EXPECT_THROW((void)path.to_empirical(0, rng), zc::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,182 @@
+#include "prob/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace {
+
+using zc::prob::Rng;
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() != b.next_u64()) ++differing;
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 2.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 2.0);
+  }
+}
+
+TEST(Rng, BernoulliRateMatchesP) {
+  Rng rng(17);
+  const double p = 0.3;
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(p)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerateProbabilities) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(23);
+  const double lambda = 4.0;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(lambda);
+  EXPECT_NEAR(sum / n, 1.0 / lambda, 0.01 / lambda);
+}
+
+TEST(Rng, ExponentialIsNonNegative) {
+  Rng rng(29);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, NormalMomentsMatchStandardNormal) {
+  Rng rng(71);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalQuantilesRoughlyGaussian) {
+  Rng rng(73);
+  int within_1sigma = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (std::fabs(rng.normal()) < 1.0) ++within_1sigma;
+  EXPECT_NEAR(static_cast<double>(within_1sigma) / n, 0.6827, 0.01);
+}
+
+TEST(Rng, NormalScalingAppliesMeanAndStddev) {
+  Rng rng(79);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, UniformBelowStaysBelowBound) {
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform_below(17), 17u);
+}
+
+TEST(Rng, UniformBelowCoversAllResidues) {
+  Rng rng(37);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformBelowZeroBoundReturnsZero) {
+  Rng rng(41);
+  EXPECT_EQ(rng.uniform_below(0), 0u);
+}
+
+TEST(Rng, UniformBelowIsApproximatelyUnbiased) {
+  Rng rng(43);
+  const std::uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_below(bound)];
+  for (const int c : counts)
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(47);
+  Rng child = parent.split();
+  // Child and parent should not emit identical sequences.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(53), b(53);
+  Rng ca = a.split(), cb = b.split();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
+}
+
+TEST(Rng, StandardLibraryInterop) {
+  // Usable as a UniformRandomBitGenerator.
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~std::uint64_t{0});
+  Rng rng(59);
+  const std::uint64_t v = rng();
+  (void)v;
+}
+
+TEST(Rng, ChiSquareUniformityOfBytes) {
+  // Coarse uniformity check on the top byte of the raw output.
+  Rng rng(61);
+  std::vector<int> counts(256, 0);
+  const int n = 256000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_u64() >> 56];
+  double chi2 = 0.0;
+  const double expected = n / 256.0;
+  for (const int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // 255 dof: mean 255, sd ~ 22.6. Accept within ~5 sigma.
+  EXPECT_GT(chi2, 255.0 - 5 * 22.6);
+  EXPECT_LT(chi2, 255.0 + 5 * 22.6);
+}
+
+}  // namespace

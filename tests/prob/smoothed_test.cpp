@@ -1,0 +1,107 @@
+#include "prob/smoothed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+#include "prob/families.hpp"
+
+namespace {
+
+using namespace zc::prob;
+
+EmpiricalDelay measure_truth(double loss, double lambda, double d,
+                             std::size_t trials, std::uint64_t seed) {
+  const auto truth = paper_reply_delay(loss, lambda, d);
+  Rng rng(seed);
+  return measure(*truth, trials, rng);
+}
+
+TEST(SmoothedEmpirical, CdfTracksTruth) {
+  const double loss = 0.1, lambda = 8.0, d = 0.3;
+  const auto data = measure_truth(loss, lambda, d, 100000, 1);
+  const SmoothedEmpiricalDelay smooth(data);
+  const auto truth = paper_reply_delay(loss, lambda, d);
+  for (double t : {0.35, 0.5, 0.8, 1.2}) {
+    EXPECT_NEAR(smooth.cdf(t), truth->cdf(t), 0.01) << "t=" << t;
+  }
+}
+
+TEST(SmoothedEmpirical, PreservesLossAndMean) {
+  const auto data = measure_truth(0.2, 5.0, 0.1, 50000, 2);
+  const SmoothedEmpiricalDelay smooth(data);
+  EXPECT_DOUBLE_EQ(smooth.loss_probability(), data.loss_probability());
+  EXPECT_DOUBLE_EQ(smooth.mean_given_arrival(), data.mean_given_arrival());
+}
+
+TEST(SmoothedEmpirical, CdfIsSmoothlyIncreasingOnSupport) {
+  const auto data = measure_truth(0.05, 10.0, 0.2, 20000, 3);
+  const SmoothedEmpiricalDelay smooth(data);
+  // Unlike the raw ECDF, consecutive evaluations differ gradually.
+  double prev = smooth.cdf(0.21);
+  double max_jump = 0.0;
+  for (double t = 0.212; t < 0.8; t += 0.002) {
+    const double c = smooth.cdf(t);
+    EXPECT_GE(c, prev - 1e-12);
+    max_jump = std::max(max_jump, c - prev);
+    prev = c;
+  }
+  // 20k samples would give ECDF steps of 5e-5 but clustered; the smooth
+  // version spreads increments: no step anywhere near a raw tie cluster.
+  EXPECT_LT(max_jump, 0.05);
+}
+
+TEST(SmoothedEmpirical, SurvivalFloorsAtLoss) {
+  const auto data = measure_truth(0.3, 10.0, 0.1, 20000, 4);
+  const SmoothedEmpiricalDelay smooth(data);
+  EXPECT_NEAR(smooth.survival(1e6), data.loss_probability(), 1e-12);
+  EXPECT_EQ(smooth.cdf(0.0), 0.0);
+  EXPECT_EQ(smooth.survival(0.0), 1.0);
+}
+
+TEST(SmoothedEmpirical, SampleMatchesCdf) {
+  const auto data = measure_truth(0.15, 6.0, 0.2, 50000, 5);
+  const SmoothedEmpiricalDelay smooth(data);
+  Rng rng(6);
+  const int n = 50000;
+  int lost = 0, below = 0;
+  const double probe_t = 0.45;
+  for (int i = 0; i < n; ++i) {
+    const auto s = smooth.sample(rng);
+    if (!s.has_value()) {
+      ++lost;
+    } else if (*s <= probe_t) {
+      ++below;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / n, 0.15, 0.01);
+  EXPECT_NEAR(static_cast<double>(below) / n, smooth.cdf(probe_t), 0.01);
+}
+
+TEST(SmoothedEmpirical, KnotCapRespected) {
+  const auto data = measure_truth(0.1, 5.0, 0.1, 50000, 7);
+  const SmoothedEmpiricalDelay smooth(data, 32);
+  EXPECT_LE(smooth.knots(), 32u);
+  EXPECT_GE(smooth.knots(), 2u);
+}
+
+TEST(SmoothedEmpirical, CloneIsEquivalent) {
+  const auto data = measure_truth(0.1, 5.0, 0.1, 5000, 8);
+  const SmoothedEmpiricalDelay smooth(data);
+  const auto copy = smooth.clone();
+  for (double t : {0.2, 0.4, 1.0})
+    EXPECT_EQ(copy->cdf(t), smooth.cdf(t));
+  EXPECT_EQ(copy->loss_probability(), smooth.loss_probability());
+}
+
+TEST(SmoothedEmpirical, RequiresTwoDistinctArrivals) {
+  EXPECT_THROW(SmoothedEmpiricalDelay(EmpiricalDelay({0.5, 0.5}, 1)),
+               zc::ContractViolation);
+  EXPECT_NO_THROW(SmoothedEmpiricalDelay(EmpiricalDelay({0.5, 0.6}, 1)));
+}
+
+TEST(SmoothedEmpirical, TinyKnotBudgetRejected) {
+  const auto data = measure_truth(0.1, 5.0, 0.1, 1000, 9);
+  EXPECT_THROW(SmoothedEmpiricalDelay(data, 1), zc::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+/// Tests of the maintenance phase (draft part 2): ARP announcements after
+/// claiming, defense by the legitimate owner, and collision detection —
+/// the machinery behind the paper's abstract collision cost E.
+
+#include <gtest/gtest.h>
+
+#include "prob/families.hpp"
+#include "sim/host.hpp"
+#include "sim/network.hpp"
+#include "sim/zeroconf_host.hpp"
+
+namespace {
+
+using namespace zc::sim;
+
+struct Fixture {
+  Simulator sim;
+  zc::prob::Rng rng{55};
+  Medium medium{sim, {}, rng};
+};
+
+ZeroconfConfig announcing(unsigned n = 1, double r = 0.1) {
+  ZeroconfConfig config;
+  config.n = n;
+  config.r = r;
+  config.announce_count = 2;
+  config.announce_interval = 2.0;
+  return config;
+}
+
+TEST(Announce, CleanClaimBroadcastsAnnouncements) {
+  Fixture f;
+  int announcements = 0;
+  const HostId monitor = f.medium.attach([&](const Packet& p) {
+    if (std::holds_alternative<ArpAnnounce>(p)) ++announcements;
+  });
+  for (Address a = 1; a <= 4; ++a) f.medium.subscribe(monitor, a);
+  ZeroconfHost joiner(f.sim, f.medium, 4, announcing(), f.rng);
+  joiner.start();
+  f.sim.run();
+  EXPECT_EQ(joiner.outcome(), Outcome::configured);
+  EXPECT_EQ(announcements, 2);
+  EXPECT_FALSE(joiner.collision_detected());
+}
+
+TEST(Announce, AnnouncementsSpacedByInterval) {
+  Fixture f;
+  std::vector<double> times;
+  const HostId monitor = f.medium.attach([&](const Packet& p) {
+    if (std::holds_alternative<ArpAnnounce>(p)) times.push_back(f.sim.now());
+  });
+  for (Address a = 1; a <= 4; ++a) f.medium.subscribe(monitor, a);
+  ZeroconfHost joiner(f.sim, f.medium, 4, announcing(1, 0.5), f.rng);
+  joiner.start();
+  f.sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 0.5);  // right at the claim
+  EXPECT_DOUBLE_EQ(times[1], 2.5);  // + announce_interval
+}
+
+TEST(Announce, SilentCollisionIsDetectedViaAnnouncement) {
+  Fixture f;
+  // Owner at address 1 never answers probes (all replies lost) but
+  // defends announcements instantly (nullptr response on defense is not
+  // configurable separately, so model the probe deafness in the response
+  // distribution and rely on announce defense below).
+  const auto always_lost = std::make_shared<zc::prob::DefectiveDelay>(
+      std::make_unique<zc::prob::Exponential>(100.0), 0.999999999, 0.0);
+  ConfiguredHost owner(f.sim, f.medium, 1, always_lost, f.rng);
+  ZeroconfConfig config = announcing(2, 0.1);
+  ZeroconfHost joiner(f.sim, f.medium, 1, config, f.rng);
+  joiner.start();
+  f.sim.run();
+  ASSERT_EQ(joiner.outcome(), Outcome::configured);
+  EXPECT_EQ(joiner.configured_address(), 1u);  // silent collision
+  // The owner observed the foreign announcements...
+  EXPECT_GE(owner.conflicts_seen(), 1u);
+  // ...but its defenses are also lost (same lossy path): detection is
+  // not guaranteed here. With a *reliable* owner the joiner never even
+  // collides, so detection is validated separately via a joiner-claimed
+  // duplicate (below).
+}
+
+TEST(Announce, DuplicateClaimsDetectEachOther) {
+  Fixture f;
+  // Two joiners, no conflict detection during probing (lossy world
+  // abstraction), both claim the single address; announcements then
+  // reveal the duplicate to both sides.
+  ZeroconfConfig config = announcing(1, 0.2);
+  config.detect_probe_conflicts = false;
+  ZeroconfHost a(f.sim, f.medium, 1, config, f.rng);
+  ZeroconfHost b(f.sim, f.medium, 1, config, f.rng);
+  a.start();
+  b.start();
+  f.sim.run();
+  ASSERT_EQ(a.outcome(), Outcome::configured);
+  ASSERT_EQ(b.outcome(), Outcome::configured);
+  ASSERT_EQ(a.configured_address(), b.configured_address());
+  EXPECT_TRUE(a.collision_detected() || b.collision_detected());
+}
+
+TEST(Announce, DetectionLatencyReportedInRunResult) {
+  NetworkConfig config;
+  config.address_space = 2;
+  config.hosts = 1;
+  // Probe replies always lost: every occupied pick becomes a silent
+  // collision; the owner's announce-defense is equally lossy, so use the
+  // duplicate-joiner path instead via simultaneous join.
+  config.responder_delay = std::make_shared<zc::prob::DefectiveDelay>(
+      std::make_unique<zc::prob::Exponential>(50.0), 0.999999999, 0.0);
+  Network net(config, 99);
+  ZeroconfConfig protocol = announcing(1, 0.1);
+  protocol.detect_probe_conflicts = false;
+  const auto results = net.run_simultaneous_join(protocol, 4);
+  bool any_detected = false;
+  for (const auto& r : results) {
+    if (r.collision_detected) {
+      any_detected = true;
+      EXPECT_GE(r.detection_latency, 0.0);
+      EXPECT_LT(r.detection_latency, 5.0);
+    }
+  }
+  // 4 joiners over 2 addresses: duplicates certain; detection near-certain
+  // (announcement delivery is lossless on the perfect medium).
+  EXPECT_TRUE(any_detected);
+}
+
+TEST(Announce, DisabledByDefault) {
+  Fixture f;
+  int announcements = 0;
+  const HostId monitor = f.medium.attach([&](const Packet& p) {
+    if (std::holds_alternative<ArpAnnounce>(p)) ++announcements;
+  });
+  for (Address a = 1; a <= 4; ++a) f.medium.subscribe(monitor, a);
+  ZeroconfConfig config;  // announce_count = 0
+  config.n = 1;
+  config.r = 0.1;
+  ZeroconfHost joiner(f.sim, f.medium, 4, config, f.rng);
+  joiner.start();
+  f.sim.run();
+  EXPECT_EQ(announcements, 0);
+}
+
+TEST(Announce, OwnerCountsMaintenanceConflicts) {
+  Fixture f;
+  ConfiguredHost owner(f.sim, f.medium, 3, nullptr, f.rng);
+  const HostId stranger = f.medium.attach([](const Packet&) {});
+  f.medium.broadcast(ArpAnnounce{3, stranger});
+  f.medium.broadcast(ArpAnnounce{3, stranger});
+  f.sim.run();
+  EXPECT_EQ(owner.conflicts_seen(), 2u);
+}
+
+TEST(Announce, OwnerDefendsAgainstAnnouncement) {
+  Fixture f;
+  ConfiguredHost owner(f.sim, f.medium, 3, nullptr, f.rng);
+  int replies = 0;
+  const HostId stranger = f.medium.attach([&](const Packet& p) {
+    if (std::holds_alternative<ArpReply>(p)) ++replies;
+  });
+  f.medium.subscribe(stranger, 3);
+  f.medium.broadcast(ArpAnnounce{3, stranger});
+  f.sim.run();
+  EXPECT_EQ(replies, 1);
+}
+
+}  // namespace

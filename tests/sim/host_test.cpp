@@ -1,0 +1,129 @@
+#include "sim/host.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+#include "prob/delay.hpp"
+#include "prob/families.hpp"
+
+namespace {
+
+using namespace zc::sim;
+
+struct Fixture {
+  Simulator sim;
+  zc::prob::Rng rng{7};
+  Medium medium{sim, {}, rng};
+};
+
+TEST(ConfiguredHost, RepliesToProbeForOwnAddress) {
+  Fixture f;
+  ConfiguredHost host(f.sim, f.medium, 42, nullptr, f.rng);
+  std::vector<Packet> seen;
+  const HostId prober =
+      f.medium.attach([&](const Packet& p) { seen.push_back(p); });
+  f.medium.subscribe(prober, 42);
+  f.medium.broadcast(ArpProbe{42, prober});
+  f.sim.run();
+  ASSERT_EQ(seen.size(), 1u);
+  const auto* reply = std::get_if<ArpReply>(&seen[0]);
+  ASSERT_NE(reply, nullptr);
+  EXPECT_EQ(reply->address, 42u);
+  EXPECT_EQ(reply->responder, host.id());
+  EXPECT_EQ(host.probes_answered(), 1u);
+}
+
+TEST(ConfiguredHost, IgnoresProbesForOtherAddresses) {
+  Fixture f;
+  ConfiguredHost host(f.sim, f.medium, 42, nullptr, f.rng);
+  const HostId prober = f.medium.attach([](const Packet&) {});
+  f.medium.broadcast(ArpProbe{43, prober});
+  f.sim.run();
+  EXPECT_EQ(host.probes_answered(), 0u);
+  EXPECT_EQ(host.probes_ignored(), 0u);
+}
+
+TEST(ConfiguredHost, IgnoresReplies) {
+  Fixture f;
+  ConfiguredHost host(f.sim, f.medium, 42, nullptr, f.rng);
+  const HostId other = f.medium.attach([](const Packet&) {});
+  f.medium.broadcast(ArpReply{42, other});
+  f.sim.run();
+  EXPECT_EQ(host.probes_answered(), 0u);
+}
+
+TEST(ConfiguredHost, ResponseDelayShiftsReplyTime) {
+  Fixture f;
+  const auto delay = zc::prob::paper_reply_delay(0.0, 1e9, 1.5);
+  ConfiguredHost host(f.sim, f.medium, 10,
+                      std::shared_ptr<const zc::prob::DelayDistribution>(
+                          delay->clone()),
+                      f.rng);
+  double reply_at = -1.0;
+  const HostId prober = f.medium.attach([&](const Packet& p) {
+    if (std::holds_alternative<ArpReply>(p)) reply_at = f.sim.now();
+  });
+  f.medium.subscribe(prober, 10);
+  f.medium.broadcast(ArpProbe{10, prober});
+  f.sim.run();
+  EXPECT_NEAR(reply_at, 1.5, 1e-6);
+}
+
+TEST(ConfiguredHost, DefectiveResponseNeverReplies) {
+  Fixture f;
+  // Loss probability effectively 1 via an extreme defective mass.
+  const auto delay = std::make_shared<zc::prob::DefectiveDelay>(
+      std::make_unique<zc::prob::Exponential>(1.0), 0.999999999, 0.0);
+  ConfiguredHost host(f.sim, f.medium, 10, delay, f.rng);
+  int replies = 0;
+  const HostId prober = f.medium.attach([&](const Packet& p) {
+    if (std::holds_alternative<ArpReply>(p)) ++replies;
+  });
+  f.medium.subscribe(prober, 10);
+  for (int i = 0; i < 100; ++i) f.medium.broadcast(ArpProbe{10, prober});
+  f.sim.run();
+  EXPECT_EQ(replies, 0);
+  EXPECT_EQ(host.probes_ignored(), 100u);
+}
+
+TEST(ConfiguredHost, LossFractionMatchesDistribution) {
+  Fixture f;
+  const auto delay = std::make_shared<zc::prob::DefectiveDelay>(
+      std::make_unique<zc::prob::Exponential>(100.0), 0.4, 0.0);
+  ConfiguredHost host(f.sim, f.medium, 10, delay, f.rng);
+  const HostId prober = f.medium.attach([](const Packet&) {});
+  f.medium.subscribe(prober, 10);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) f.medium.broadcast(ArpProbe{10, prober});
+  f.sim.run();
+  EXPECT_NEAR(static_cast<double>(host.probes_ignored()) / n, 0.4, 0.02);
+  EXPECT_EQ(host.probes_answered() + host.probes_ignored(),
+            static_cast<std::size_t>(n));
+}
+
+TEST(ConfiguredHost, InvalidAddressRejected) {
+  Fixture f;
+  EXPECT_THROW(ConfiguredHost(f.sim, f.medium, kNoAddress, nullptr, f.rng),
+               zc::ContractViolation);
+}
+
+TEST(ConfiguredHost, AnswersEveryProberOnSharedMedium) {
+  Fixture f;
+  ConfiguredHost host(f.sim, f.medium, 5, nullptr, f.rng);
+  int a_replies = 0, b_replies = 0;
+  const HostId a = f.medium.attach([&](const Packet& p) {
+    if (std::holds_alternative<ArpReply>(p)) ++a_replies;
+  });
+  const HostId b = f.medium.attach([&](const Packet& p) {
+    if (std::holds_alternative<ArpReply>(p)) ++b_replies;
+  });
+  f.medium.subscribe(a, 5);
+  f.medium.subscribe(b, 5);
+  f.medium.broadcast(ArpProbe{5, a});
+  f.sim.run();
+  // The ARP reply is broadcast: both subscribed hosts see it.
+  EXPECT_EQ(a_replies, 1);
+  EXPECT_EQ(b_replies, 1);
+}
+
+}  // namespace

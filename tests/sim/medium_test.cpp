@@ -1,0 +1,184 @@
+#include "sim/medium.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/contract.hpp"
+#include "prob/families.hpp"
+
+namespace {
+
+using namespace zc::sim;
+
+struct Fixture {
+  Simulator sim;
+  zc::prob::Rng rng{42};
+};
+
+TEST(Medium, DeliversToSubscriberOfAddress) {
+  Fixture f;
+  Medium medium(f.sim, {}, f.rng);
+  std::vector<Packet> received;
+  const HostId sender = medium.attach([](const Packet&) {});
+  const HostId receiver =
+      medium.attach([&](const Packet& p) { received.push_back(p); });
+  medium.subscribe(receiver, 7);
+  medium.broadcast(ArpProbe{7, sender});
+  f.sim.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(packet_address(received[0]), 7u);
+}
+
+TEST(Medium, DoesNotDeliverToOtherAddressSubscribers) {
+  Fixture f;
+  Medium medium(f.sim, {}, f.rng);
+  int count = 0;
+  const HostId sender = medium.attach([](const Packet&) {});
+  const HostId receiver = medium.attach([&](const Packet&) { ++count; });
+  medium.subscribe(receiver, 8);
+  medium.broadcast(ArpProbe{7, sender});
+  f.sim.run();
+  EXPECT_EQ(count, 0);
+}
+
+TEST(Medium, SenderDoesNotReceiveOwnPacket) {
+  Fixture f;
+  Medium medium(f.sim, {}, f.rng);
+  int count = 0;
+  const HostId host = medium.attach([&](const Packet&) { ++count; });
+  medium.subscribe(host, 5);
+  medium.broadcast(ArpProbe{5, host});
+  f.sim.run();
+  EXPECT_EQ(count, 0);
+}
+
+TEST(Medium, MultipleSubscribersAllReceive) {
+  Fixture f;
+  Medium medium(f.sim, {}, f.rng);
+  int count = 0;
+  const HostId sender = medium.attach([](const Packet&) {});
+  for (int i = 0; i < 5; ++i) {
+    const HostId receiver = medium.attach([&](const Packet&) { ++count; });
+    medium.subscribe(receiver, 3);
+  }
+  medium.broadcast(ArpReply{3, sender});
+  f.sim.run();
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Medium, UnsubscribeStopsDelivery) {
+  Fixture f;
+  Medium medium(f.sim, {}, f.rng);
+  int count = 0;
+  const HostId sender = medium.attach([](const Packet&) {});
+  const HostId receiver = medium.attach([&](const Packet&) { ++count; });
+  medium.subscribe(receiver, 9);
+  medium.unsubscribe(receiver, 9);
+  medium.broadcast(ArpProbe{9, sender});
+  f.sim.run();
+  EXPECT_EQ(count, 0);
+}
+
+TEST(Medium, UnsubscribeOfUnknownAddressIsNoop) {
+  Fixture f;
+  Medium medium(f.sim, {}, f.rng);
+  const HostId host = medium.attach([](const Packet&) {});
+  EXPECT_NO_THROW(medium.unsubscribe(host, 1234));
+}
+
+TEST(Medium, DuplicateSubscribeDeliversOnce) {
+  Fixture f;
+  Medium medium(f.sim, {}, f.rng);
+  int count = 0;
+  const HostId sender = medium.attach([](const Packet&) {});
+  const HostId receiver = medium.attach([&](const Packet&) { ++count; });
+  medium.subscribe(receiver, 4);
+  medium.subscribe(receiver, 4);
+  medium.broadcast(ArpProbe{4, sender});
+  f.sim.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Medium, InFlightPacketDroppedAfterUnsubscribe) {
+  // A packet delayed in transit must not reach a host that moved on.
+  Fixture f;
+  MediumConfig config;
+  config.transit_delay = std::make_shared<zc::prob::Deterministic>(1.0);
+  Medium medium(f.sim, config, f.rng);
+  int count = 0;
+  const HostId sender = medium.attach([](const Packet&) {});
+  const HostId receiver = medium.attach([&](const Packet&) { ++count; });
+  medium.subscribe(receiver, 6);
+  medium.broadcast(ArpProbe{6, sender});
+  medium.unsubscribe(receiver, 6);  // before delivery at t=1
+  f.sim.run();
+  EXPECT_EQ(count, 0);
+}
+
+TEST(Medium, TransitDelayDefersDelivery) {
+  Fixture f;
+  MediumConfig config;
+  config.transit_delay = std::make_shared<zc::prob::Deterministic>(2.5);
+  Medium medium(f.sim, config, f.rng);
+  double delivered_at = -1.0;
+  const HostId sender = medium.attach([](const Packet&) {});
+  const HostId receiver =
+      medium.attach([&](const Packet&) { delivered_at = f.sim.now(); });
+  medium.subscribe(receiver, 2);
+  medium.broadcast(ArpProbe{2, sender});
+  f.sim.run();
+  EXPECT_EQ(delivered_at, 2.5);
+}
+
+TEST(Medium, TotalLossDeliversNothing) {
+  Fixture f;
+  MediumConfig config;
+  config.loss = 0.999999999;
+  Medium medium(f.sim, config, f.rng);
+  int count = 0;
+  const HostId sender = medium.attach([](const Packet&) {});
+  const HostId receiver = medium.attach([&](const Packet&) { ++count; });
+  medium.subscribe(receiver, 1);
+  for (int i = 0; i < 50; ++i) medium.broadcast(ArpProbe{1, sender});
+  f.sim.run();
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(medium.packets_lost(), 50u);
+}
+
+TEST(Medium, LossRateMatchesConfiguredProbability) {
+  Fixture f;
+  MediumConfig config;
+  config.loss = 0.3;
+  Medium medium(f.sim, config, f.rng);
+  int count = 0;
+  const HostId sender = medium.attach([](const Packet&) {});
+  const HostId receiver = medium.attach([&](const Packet&) { ++count; });
+  medium.subscribe(receiver, 1);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) medium.broadcast(ArpProbe{1, sender});
+  f.sim.run();
+  EXPECT_NEAR(static_cast<double>(count) / n, 0.7, 0.01);
+  EXPECT_EQ(medium.packets_sent(), static_cast<std::size_t>(n));
+}
+
+TEST(Medium, InvalidLossRejected) {
+  Fixture f;
+  MediumConfig config;
+  config.loss = 1.0;
+  EXPECT_THROW(Medium(f.sim, config, f.rng), zc::ContractViolation);
+}
+
+TEST(Medium, SubscribeUnknownHostRejected) {
+  Fixture f;
+  Medium medium(f.sim, {}, f.rng);
+  EXPECT_THROW(medium.subscribe(99, 1), zc::ContractViolation);
+}
+
+TEST(Medium, NullReceiverRejected) {
+  Fixture f;
+  Medium medium(f.sim, {}, f.rng);
+  EXPECT_THROW((void)medium.attach(nullptr), zc::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,216 @@
+#include "sim/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+#include "prob/families.hpp"
+#include "core/cost.hpp"
+#include "core/reliability.hpp"
+#include "core/scenarios.hpp"
+
+namespace {
+
+using namespace zc::sim;
+
+/// An exaggerated-loss scenario in which collisions are frequent enough
+/// for Monte-Carlo estimation: 30 of 100 addresses taken (q = 0.3),
+/// replies lost 40% of the time, round-trip 0.1 s, rate 20.
+struct Exaggerated {
+  static constexpr double kQ = 0.3;
+  static constexpr double kLoss = 0.4;
+  static constexpr double kLambda = 20.0;
+  static constexpr double kRoundTrip = 0.1;
+
+  static NetworkConfig network() {
+    NetworkConfig config;
+    config.address_space = 100;
+    config.hosts = 30;
+    config.responder_delay =
+        std::shared_ptr<const zc::prob::DelayDistribution>(
+            zc::prob::paper_reply_delay(kLoss, kLambda, kRoundTrip));
+    return config;
+  }
+
+  static zc::core::ScenarioParams model(double probe_cost,
+                                        double error_cost) {
+    return zc::core::ScenarioParams(
+        kQ, probe_cost, error_cost,
+        zc::prob::paper_reply_delay(kLoss, kLambda, kRoundTrip));
+  }
+};
+
+TEST(MonteCarlo, CollisionRateMatchesAnalyticModel) {
+  ZeroconfConfig protocol;
+  protocol.n = 2;
+  protocol.r = 0.3;
+  MonteCarloOptions opts;
+  opts.trials = 20000;
+  opts.seed = 1;
+  const auto results = monte_carlo(Exaggerated::network(), protocol, opts);
+
+  const double analytic = zc::core::error_probability(
+      Exaggerated::model(opts.probe_cost, opts.error_cost),
+      zc::core::ProtocolParams{2, 0.3});
+  EXPECT_GT(analytic, 0.01);  // exaggeration worked: measurable rate
+  EXPECT_GE(analytic, results.collision_ci95.lower);
+  EXPECT_LE(analytic, results.collision_ci95.upper);
+}
+
+TEST(MonteCarlo, ModelCostMatchesAnalyticModel) {
+  ZeroconfConfig protocol;
+  protocol.n = 3;
+  protocol.r = 0.25;
+  MonteCarloOptions opts;
+  opts.trials = 20000;
+  opts.seed = 2;
+  opts.probe_cost = 1.5;
+  opts.error_cost = 40.0;
+  const auto results = monte_carlo(Exaggerated::network(), protocol, opts);
+
+  const double analytic = zc::core::mean_cost(
+      Exaggerated::model(opts.probe_cost, opts.error_cost),
+      zc::core::ProtocolParams{3, 0.25});
+  EXPECT_NEAR(results.model_cost.mean, analytic,
+              4.0 * results.model_cost.ci95_halfwidth);
+}
+
+TEST(MonteCarlo, ProbeCountMatchesAnalyticModel) {
+  ZeroconfConfig protocol;
+  protocol.n = 2;
+  protocol.r = 0.2;
+  MonteCarloOptions opts;
+  opts.trials = 20000;
+  opts.seed = 3;
+  const auto results = monte_carlo(Exaggerated::network(), protocol, opts);
+
+  // Mean probes = mean cost with unit per-probe charge and no error cost.
+  const auto probe_counter = Exaggerated::model(1.0, 0.0);
+  const double analytic =
+      zc::core::mean_cost(probe_counter, zc::core::ProtocolParams{2, 0.2}) /
+      (0.2 + 1.0);
+  EXPECT_NEAR(results.probes.mean, analytic,
+              4.0 * results.probes.ci95_halfwidth);
+}
+
+TEST(MonteCarlo, AttemptCountMatchesAnalyticModel) {
+  ZeroconfConfig protocol;
+  protocol.n = 2;
+  protocol.r = 0.2;
+  MonteCarloOptions opts;
+  opts.trials = 20000;
+  opts.seed = 4;
+  const auto results = monte_carlo(Exaggerated::network(), protocol, opts);
+
+  const double analytic = zc::core::mean_address_attempts(
+      Exaggerated::model(1.0, 0.0), zc::core::ProtocolParams{2, 0.2});
+  EXPECT_NEAR(results.attempts.mean, analytic,
+              4.0 * results.attempts.ci95_halfwidth);
+}
+
+TEST(MonteCarlo, ElapsedCostBelowModelCost) {
+  // Immediate abort on conflict makes true waiting shorter than the
+  // model's full-period accounting whenever conflicts occur.
+  ZeroconfConfig protocol;
+  protocol.n = 2;
+  protocol.r = 0.5;
+  MonteCarloOptions opts;
+  opts.trials = 5000;
+  opts.seed = 5;
+  opts.error_cost = 0.0;  // isolate the time component
+  opts.probe_cost = 0.0;
+  const auto results = monte_carlo(Exaggerated::network(), protocol, opts);
+  EXPECT_LT(results.elapsed_cost.mean, results.model_cost.mean);
+  EXPECT_GT(results.elapsed_cost.mean, 0.0);
+}
+
+TEST(MonteCarlo, WaitingTimeAtLeastNSilentPeriods) {
+  ZeroconfConfig protocol;
+  protocol.n = 3;
+  protocol.r = 0.4;
+  MonteCarloOptions opts;
+  opts.trials = 2000;
+  opts.seed = 6;
+  const auto results = monte_carlo(Exaggerated::network(), protocol, opts);
+  // Every run ends with n full silent periods.
+  EXPECT_GE(results.waiting_time.mean, 3 * 0.4 - 1e-9);
+}
+
+TEST(MonteCarlo, DeterministicForEqualSeeds) {
+  ZeroconfConfig protocol;
+  protocol.n = 2;
+  protocol.r = 0.3;
+  MonteCarloOptions opts;
+  opts.trials = 500;
+  opts.seed = 7;
+  const auto a = monte_carlo(Exaggerated::network(), protocol, opts);
+  const auto b = monte_carlo(Exaggerated::network(), protocol, opts);
+  EXPECT_EQ(a.collisions, b.collisions);
+  EXPECT_DOUBLE_EQ(a.model_cost.mean, b.model_cost.mean);
+}
+
+TEST(MonteCarlo, CiShrinksWithTrials) {
+  ZeroconfConfig protocol;
+  protocol.n = 2;
+  protocol.r = 0.3;
+  MonteCarloOptions small;
+  small.trials = 500;
+  small.seed = 8;
+  MonteCarloOptions large;
+  large.trials = 8000;
+  large.seed = 8;
+  const auto s = monte_carlo(Exaggerated::network(), protocol, small);
+  const auto l = monte_carlo(Exaggerated::network(), protocol, large);
+  EXPECT_LT(l.probes.ci95_halfwidth, s.probes.ci95_halfwidth);
+}
+
+TEST(MonteCarlo, ZeroTrialsRejected) {
+  MonteCarloOptions opts;
+  opts.trials = 0;
+  EXPECT_THROW(
+      (void)monte_carlo(Exaggerated::network(), ZeroconfConfig{}, opts),
+      zc::ContractViolation);
+}
+
+TEST(RunningStats, WelfordMeanAndVariance) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(stats.count(), 8u);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats stats;
+  stats.add(3.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.std_error(), 0.0);
+}
+
+TEST(WilsonCi, CoversTrueProportion) {
+  const auto ci = wilson_ci95(30, 100);
+  EXPECT_LT(ci.lower, 0.3);
+  EXPECT_GT(ci.upper, 0.3);
+  EXPECT_GT(ci.lower, 0.2);
+  EXPECT_LT(ci.upper, 0.42);
+}
+
+TEST(WilsonCi, ZeroSuccessesStillInformative) {
+  const auto ci = wilson_ci95(0, 1000);
+  EXPECT_NEAR(ci.lower, 0.0, 1e-12);
+  EXPECT_GT(ci.upper, 0.0);
+  EXPECT_LT(ci.upper, 0.01);
+}
+
+TEST(WilsonCi, AllSuccesses) {
+  const auto ci = wilson_ci95(1000, 1000);
+  EXPECT_LT(ci.lower, 1.0);
+  EXPECT_GT(ci.lower, 0.99);
+  EXPECT_EQ(ci.upper, 1.0);
+}
+
+TEST(WilsonCi, InvalidArgumentsRejected) {
+  EXPECT_THROW((void)wilson_ci95(1, 0), zc::ContractViolation);
+  EXPECT_THROW((void)wilson_ci95(5, 4), zc::ContractViolation);
+}
+
+}  // namespace

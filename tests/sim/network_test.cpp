@@ -1,0 +1,156 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/contract.hpp"
+#include "prob/families.hpp"
+
+namespace {
+
+using namespace zc::sim;
+
+NetworkConfig small_network(unsigned hosts = 20, Address space = 100) {
+  NetworkConfig config;
+  config.address_space = space;
+  config.hosts = hosts;
+  config.responder_delay = std::shared_ptr<const zc::prob::DelayDistribution>(
+      zc::prob::paper_reply_delay(0.0, 100.0, 0.01));
+  return config;
+}
+
+TEST(Network, PopulatesDistinctAddresses) {
+  Network net(small_network(50, 60), 1);
+  std::set<Address> used;
+  for (Address a = 1; a <= 60; ++a)
+    if (net.is_in_use(a)) used.insert(a);
+  EXPECT_EQ(used.size(), 50u);
+}
+
+TEST(Network, RejectsOverfullAddressSpace) {
+  NetworkConfig config = small_network(100, 100);
+  EXPECT_THROW(Network(config, 1), zc::ContractViolation);
+}
+
+TEST(Network, RunJoinConfiguresFreeAddress) {
+  Network net(small_network(), 2);
+  ZeroconfConfig protocol;
+  protocol.n = 3;
+  protocol.r = 0.5;
+  const RunResult result = net.run_join(protocol);
+  EXPECT_NE(result.address, kNoAddress);
+  // With reliable instant-ish responders, the claim is collision-free.
+  EXPECT_FALSE(result.collision);
+  EXPECT_FALSE(net.is_in_use(result.address));
+  EXPECT_GE(result.attempts, 1u);
+  // The final (successful) attempt sends all n probes; failed attempts
+  // send between 1 and n each.
+  EXPECT_GE(result.probes_sent, 3u);
+  EXPECT_LE(result.probes_sent, 3u * result.attempts);
+  EXPECT_GT(result.elapsed, 0.0);
+}
+
+TEST(Network, ConflictsReflectOccupancy) {
+  // Dense occupancy (80 of 100): expect conflicts before success.
+  Network net(small_network(80, 100), 3);
+  ZeroconfConfig protocol;
+  protocol.n = 2;
+  protocol.r = 0.2;
+  const RunResult result = net.run_join(protocol);
+  EXPECT_FALSE(result.collision);
+  EXPECT_GE(result.attempts, 1u);
+}
+
+TEST(Network, LossyRespondersCauseCollisions) {
+  // Responders whose replies are almost always lost: claiming an occupied
+  // address becomes likely when q is high.
+  NetworkConfig config = small_network(90, 100);
+  config.responder_delay = std::make_shared<zc::prob::DefectiveDelay>(
+      std::make_unique<zc::prob::Exponential>(100.0), 0.95, 0.0);
+  int collisions = 0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    Network net(config, seed);
+    ZeroconfConfig protocol;
+    protocol.n = 1;
+    protocol.r = 0.5;
+    if (net.run_join(protocol).collision) ++collisions;
+  }
+  EXPECT_GT(collisions, 10);
+}
+
+TEST(Network, ModelCostAccounting) {
+  RunResult r;
+  r.probes_sent = 6;
+  r.collision = false;
+  EXPECT_DOUBLE_EQ(r.model_cost(2.0, 3.0, 100.0), 30.0);
+  r.collision = true;
+  EXPECT_DOUBLE_EQ(r.model_cost(2.0, 3.0, 100.0), 130.0);
+}
+
+TEST(Network, ElapsedCostAccounting) {
+  RunResult r;
+  r.probes_sent = 4;
+  r.waiting_time = 5.5;
+  r.collision = false;
+  EXPECT_DOUBLE_EQ(r.elapsed_cost(0.5, 50.0), 7.5);
+  r.collision = true;
+  EXPECT_DOUBLE_EQ(r.elapsed_cost(0.5, 50.0), 57.5);
+}
+
+TEST(Network, SimultaneousJoinAllConfigure) {
+  Network net(small_network(10, 200), 4);
+  ZeroconfConfig protocol;
+  protocol.n = 2;
+  protocol.r = 0.3;
+  protocol.probe_wait_max = 1.0;
+  const auto results = net.run_simultaneous_join(protocol, 8);
+  ASSERT_EQ(results.size(), 8u);
+  for (const auto& r : results) {
+    EXPECT_NE(r.address, kNoAddress);
+    EXPECT_FALSE(net.is_in_use(r.address));
+  }
+}
+
+TEST(Network, SimultaneousJoinDetectsMutualCollisions) {
+  // Tiny address space forces joiners into each other; with probe-
+  // conflict detection disabled and lossy responders, duplicate claims
+  // are possible and must be flagged.
+  NetworkConfig config = small_network(1, 4);
+  config.responder_delay = std::make_shared<zc::prob::DefectiveDelay>(
+      std::make_unique<zc::prob::Exponential>(100.0), 0.9999, 0.0);
+  Network net(config, 5);
+  ZeroconfConfig protocol;
+  protocol.n = 1;
+  protocol.r = 0.1;
+  protocol.detect_probe_conflicts = false;
+  protocol.probe_wait_max = 0.0;  // maximal clash probability
+  const auto results = net.run_simultaneous_join(protocol, 6);
+  int collisions = 0;
+  for (const auto& r : results)
+    if (r.collision) ++collisions;
+  // 6 joiners over 4 addresses: pigeonhole guarantees duplicates.
+  EXPECT_GE(collisions, 2);
+}
+
+TEST(Network, DeterministicForEqualSeeds) {
+  ZeroconfConfig protocol;
+  protocol.n = 2;
+  protocol.r = 0.4;
+  Network a(small_network(40, 100), 9);
+  Network b(small_network(40, 100), 9);
+  const RunResult ra = a.run_join(protocol);
+  const RunResult rb = b.run_join(protocol);
+  EXPECT_EQ(ra.address, rb.address);
+  EXPECT_EQ(ra.probes_sent, rb.probes_sent);
+  EXPECT_EQ(ra.attempts, rb.attempts);
+  EXPECT_DOUBLE_EQ(ra.elapsed, rb.elapsed);
+}
+
+TEST(Network, SimultaneousJoinCountValidated) {
+  Network net(small_network(), 10);
+  EXPECT_THROW((void)net.run_simultaneous_join(ZeroconfConfig{}, 0),
+               zc::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/contract.hpp"
+#include "prob/rng.hpp"
+
+namespace {
+
+using zc::sim::EventHandle;
+using zc::sim::Simulator;
+
+TEST(Simulator, StartsAtTimeZero) {
+  const Simulator sim;
+  EXPECT_EQ(sim.now(), 0.0);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.schedule(2.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 2.5);
+  EXPECT_EQ(sim.now(), 2.5);
+}
+
+TEST(Simulator, TiesBreakFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(1.0, [&] { order.push_back(2); });
+  sim.schedule(1.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule(1.0, [&] {
+    times.push_back(sim.now());
+    sim.schedule(1.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Simulator, CancelledEventDoesNotFire) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelIsIdempotent) {
+  Simulator sim;
+  EventHandle h = sim.schedule(1.0, [] {});
+  h.cancel();
+  EXPECT_NO_THROW(h.cancel());
+}
+
+TEST(Simulator, CancelAfterFireIsHarmless) {
+  Simulator sim;
+  EventHandle h = sim.schedule(1.0, [] {});
+  sim.run();
+  EXPECT_NO_THROW(h.cancel());
+}
+
+TEST(Simulator, DefaultHandleIsNotPending) {
+  const EventHandle h;
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(Simulator, RunReturnsExecutedCount) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule(1.0 * i, [] {});
+  EXPECT_EQ(sim.run(), 5u);
+}
+
+TEST(Simulator, CancelledEventsNotCounted) {
+  Simulator sim;
+  sim.schedule(1.0, [] {});
+  sim.schedule(2.0, [] {}).cancel();
+  EXPECT_EQ(sim.run(), 1u);
+}
+
+TEST(Simulator, MaxEventsBoundsExecution) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) sim.schedule(1.0 * i, [] {});
+  EXPECT_EQ(sim.run(3), 3u);
+  EXPECT_EQ(sim.pending_events(), 7u);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0})
+    sim.schedule(t, [&, t] { fired.push_back(t); });
+  sim.run_until(2.5);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  // Events exactly at the horizon run too.
+  sim.run_until(3.0);
+  EXPECT_EQ(fired.back(), 3.0);
+}
+
+TEST(Simulator, NegativeDelayRejected) {
+  Simulator sim;
+  EXPECT_THROW((void)sim.schedule(-1.0, [] {}), zc::ContractViolation);
+}
+
+TEST(Simulator, PastAbsoluteTimeRejected) {
+  Simulator sim;
+  sim.schedule(5.0, [] {});
+  sim.run();
+  EXPECT_THROW((void)sim.schedule_at(4.0, [] {}), zc::ContractViolation);
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(1.0, [&] {
+    order.push_back(1);
+    sim.schedule(0.0, [&] { order.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), 1.0);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator sim;
+  double last = -1.0;
+  bool ordered = true;
+  zc::prob::Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    sim.schedule(rng.uniform(0.0, 100.0), [&] {
+      if (sim.now() < last) ordered = false;
+      last = sim.now();
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(ordered);
+}
+
+}  // namespace

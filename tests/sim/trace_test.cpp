@@ -1,0 +1,152 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/host.hpp"
+#include "sim/zeroconf_host.hpp"
+
+namespace {
+
+using namespace zc::sim;
+
+struct Fixture {
+  Simulator sim;
+  zc::prob::Rng rng{33};
+  Medium medium{sim, {}, rng};
+  TraceLog trace;
+
+  Fixture() { trace.attach(medium); }
+};
+
+TEST(Trace, RecordsDeliveries) {
+  Fixture f;
+  const HostId sender = f.medium.attach([](const Packet&) {});
+  const HostId receiver = f.medium.attach([](const Packet&) {});
+  f.medium.subscribe(receiver, 7);
+  f.medium.broadcast(ArpProbe{7, sender});
+  f.sim.run();
+  ASSERT_EQ(f.trace.size(), 1u);
+  EXPECT_EQ(packet_address(f.trace.records()[0].packet), 7u);
+  EXPECT_EQ(f.trace.records()[0].target, receiver);
+  EXPECT_FALSE(f.trace.records()[0].lost);
+}
+
+TEST(Trace, RecordsLosses) {
+  Fixture f2;
+  Simulator sim;
+  zc::prob::Rng rng{34};
+  MediumConfig lossy;
+  lossy.loss = 0.999999999;
+  Medium medium(sim, lossy, rng);
+  TraceLog trace;
+  trace.attach(medium);
+  const HostId sender = medium.attach([](const Packet&) {});
+  const HostId receiver = medium.attach([](const Packet&) {});
+  medium.subscribe(receiver, 3);
+  for (int i = 0; i < 20; ++i) medium.broadcast(ArpReply{3, sender});
+  sim.run();
+  EXPECT_EQ(trace.size(), 20u);
+  EXPECT_EQ(trace.losses(), 20u);
+}
+
+TEST(Trace, CapturesFullProtocolRun) {
+  Fixture f;
+  // The trace records *deliveries*: add a promiscuous monitor subscribed
+  // to every address so each probe has at least one receiver.
+  const HostId monitor = f.medium.attach([](const Packet&) {});
+  f.medium.subscribe(monitor, 1);
+  f.medium.subscribe(monitor, 2);
+  ConfiguredHost owner(f.sim, f.medium, 1, nullptr, f.rng);
+  ZeroconfConfig config;
+  config.n = 2;
+  config.r = 0.5;
+  config.avoid_failed_addresses = true;
+  ZeroconfHost joiner(f.sim, f.medium, 2, config, f.rng);
+  joiner.start();
+  f.sim.run();
+  EXPECT_EQ(joiner.outcome(), Outcome::configured);
+  // Every probe the joiner sent reached (at least) the monitor.
+  std::size_t probes = 0;
+  for (const auto& r : f.trace.records())
+    if (std::holds_alternative<ArpProbe>(r.packet) && r.target == monitor)
+      ++probes;
+  EXPECT_EQ(probes, joiner.probes_sent());
+}
+
+TEST(Trace, FilterByAddress) {
+  Fixture f;
+  const HostId sender = f.medium.attach([](const Packet&) {});
+  const HostId a = f.medium.attach([](const Packet&) {});
+  const HostId b = f.medium.attach([](const Packet&) {});
+  f.medium.subscribe(a, 1);
+  f.medium.subscribe(b, 2);
+  f.medium.broadcast(ArpProbe{1, sender});
+  f.medium.broadcast(ArpProbe{2, sender});
+  f.medium.broadcast(ArpProbe{2, sender});
+  f.sim.run();
+  EXPECT_EQ(f.trace.for_address(1).size(), 1u);
+  EXPECT_EQ(f.trace.for_address(2).size(), 2u);
+  EXPECT_TRUE(f.trace.for_address(99).empty());
+}
+
+TEST(Trace, ClearEmptiesTheLog) {
+  Fixture f;
+  const HostId sender = f.medium.attach([](const Packet&) {});
+  const HostId receiver = f.medium.attach([](const Packet&) {});
+  f.medium.subscribe(receiver, 4);
+  f.medium.broadcast(ArpProbe{4, sender});
+  f.sim.run();
+  EXPECT_FALSE(f.trace.empty());
+  f.trace.clear();
+  EXPECT_TRUE(f.trace.empty());
+}
+
+TEST(Trace, FormatMentionsKindAddressAndFate) {
+  DeliveryRecord lost;
+  lost.sent_at = 1.25;
+  lost.delivered_at = 1.25;
+  lost.packet = ArpProbe{42, 3};
+  lost.target = 9;
+  lost.lost = true;
+  const std::string line = format_record(lost);
+  EXPECT_NE(line.find("PROBE"), std::string::npos);
+  EXPECT_NE(line.find("addr=42"), std::string::npos);
+  EXPECT_NE(line.find("3 -> 9"), std::string::npos);
+  EXPECT_NE(line.find("LOST"), std::string::npos);
+
+  DeliveryRecord delayed;
+  delayed.sent_at = 0.0;
+  delayed.delivered_at = 0.5;
+  delayed.packet = ArpReply{7, 1};
+  delayed.target = 2;
+  const std::string line2 = format_record(delayed);
+  EXPECT_NE(line2.find("REPLY"), std::string::npos);
+  EXPECT_NE(line2.find("delivered"), std::string::npos);
+}
+
+TEST(Trace, PrintRespectsLineLimit) {
+  Fixture f;
+  const HostId sender = f.medium.attach([](const Packet&) {});
+  const HostId receiver = f.medium.attach([](const Packet&) {});
+  f.medium.subscribe(receiver, 5);
+  for (int i = 0; i < 10; ++i) f.medium.broadcast(ArpProbe{5, sender});
+  f.sim.run();
+  std::ostringstream os;
+  f.trace.print(os, 3);
+  EXPECT_NE(os.str().find("7 more"), std::string::npos);
+}
+
+TEST(Trace, DetachByReplacingObserver) {
+  Fixture f;
+  f.medium.set_observer(nullptr);
+  const HostId sender = f.medium.attach([](const Packet&) {});
+  const HostId receiver = f.medium.attach([](const Packet&) {});
+  f.medium.subscribe(receiver, 6);
+  f.medium.broadcast(ArpProbe{6, sender});
+  f.sim.run();
+  EXPECT_TRUE(f.trace.empty());
+}
+
+}  // namespace

@@ -1,0 +1,215 @@
+#include "sim/zeroconf_host.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+#include "sim/host.hpp"
+
+namespace {
+
+using namespace zc::sim;
+
+struct Fixture {
+  Simulator sim;
+  zc::prob::Rng rng{11};
+  Medium medium{sim, {}, rng};
+};
+
+TEST(ZeroconfHost, ClaimsFreeAddressAfterNPeriods) {
+  Fixture f;
+  ZeroconfConfig config;
+  config.n = 4;
+  config.r = 2.0;
+  ZeroconfHost host(f.sim, f.medium, 100, config, f.rng);
+  host.start();
+  f.sim.run();
+  EXPECT_EQ(host.outcome(), Outcome::configured);
+  EXPECT_NE(host.configured_address(), kNoAddress);
+  EXPECT_EQ(host.probes_sent(), 4u);
+  EXPECT_EQ(host.attempts(), 1u);
+  EXPECT_EQ(host.conflicts(), 0u);
+  EXPECT_DOUBLE_EQ(host.finish_time(), 8.0);  // n * r silent periods
+  EXPECT_DOUBLE_EQ(host.waiting_time(), 8.0);
+}
+
+TEST(ZeroconfHost, AddressWithinConfiguredSpace) {
+  Fixture f;
+  ZeroconfConfig config;
+  config.n = 1;
+  config.r = 0.1;
+  ZeroconfHost host(f.sim, f.medium, 10, config, f.rng);
+  host.start();
+  f.sim.run();
+  EXPECT_GE(host.configured_address(), 1u);
+  EXPECT_LE(host.configured_address(), 10u);
+}
+
+TEST(ZeroconfHost, RestartsOnConflictingReply) {
+  Fixture f;
+  ZeroconfConfig config;
+  config.n = 2;
+  config.r = 1.0;
+  // One owner (responding after 0.1 s) on an address space of size 1:
+  // every attempt must conflict; the host retries forever.
+  const auto response = std::shared_ptr<const zc::prob::DelayDistribution>(
+      zc::prob::paper_reply_delay(0.0, 1e9, 0.1));
+  ConfiguredHost owner(f.sim, f.medium, 1, response, f.rng);
+  ZeroconfHost host(f.sim, f.medium, 1, config, f.rng);
+  host.start();
+  f.sim.run_until(10.0);
+  EXPECT_EQ(host.outcome(), Outcome::pending);
+  EXPECT_GE(host.conflicts(), 2u);
+  EXPECT_EQ(host.attempts(), host.conflicts() + 1u);
+}
+
+TEST(ZeroconfHost, ConflictAbortsListeningImmediately) {
+  Fixture f;
+  ZeroconfConfig config;
+  config.n = 4;
+  config.r = 5.0;
+  const auto response = std::shared_ptr<const zc::prob::DelayDistribution>(
+      zc::prob::paper_reply_delay(0.0, 1e9, 0.2));
+  ConfiguredHost owner(f.sim, f.medium, 1, response, f.rng);
+  ZeroconfHost host(f.sim, f.medium, 1, config, f.rng);
+  host.start();
+  // Each reply lands 0.2 s into a 5 s period: the period is cut short
+  // and only the elapsed 0.2 s counts as waiting.
+  f.sim.run_until(0.5);
+  EXPECT_GE(host.conflicts(), 1u);
+  EXPECT_LT(host.waiting_time(), 1.0);
+  EXPECT_NEAR(host.waiting_time(), 0.2 * host.conflicts(), 1e-6);
+}
+
+TEST(ZeroconfHost, EventuallyConfiguresDespiteOccupiedAddresses) {
+  Fixture f;
+  ZeroconfConfig config;
+  config.n = 2;
+  config.r = 0.5;
+  // 3 of 10 addresses taken: expect a few conflicts then success.
+  std::vector<std::unique_ptr<ConfiguredHost>> owners;
+  for (Address a : {1u, 2u, 3u})
+    owners.push_back(
+        std::make_unique<ConfiguredHost>(f.sim, f.medium, a, nullptr, f.rng));
+  ZeroconfHost host(f.sim, f.medium, 10, config, f.rng);
+  host.start();
+  f.sim.run();
+  EXPECT_EQ(host.outcome(), Outcome::configured);
+  EXPECT_GT(host.configured_address(), 3u);  // must be a free one
+}
+
+TEST(ZeroconfHost, AvoidFailedAddressesNeverRetriesConflicted) {
+  Fixture f;
+  ZeroconfConfig config;
+  config.n = 1;
+  config.r = 0.1;
+  config.avoid_failed_addresses = true;
+  // 1 of 2 addresses taken: after the inevitable first conflict on the
+  // occupied address, the host must pick the other one.
+  ConfiguredHost owner(f.sim, f.medium, 1, nullptr, f.rng);
+  ZeroconfHost host(f.sim, f.medium, 2, config, f.rng);
+  host.start();
+  f.sim.run();
+  EXPECT_EQ(host.outcome(), Outcome::configured);
+  EXPECT_EQ(host.configured_address(), 2u);
+  EXPECT_LE(host.attempts(), 2u);
+}
+
+TEST(ZeroconfHost, RateLimitDelaysAttemptsAfterThreshold) {
+  Fixture f;
+  ZeroconfConfig config;
+  config.n = 1;
+  config.r = 0.1;
+  config.rate_limit = true;
+  config.rate_limit_threshold = 2;
+  config.rate_limit_delay = 60.0;
+  ConfiguredHost owner(f.sim, f.medium, 1, nullptr, f.rng);
+  ZeroconfHost host(f.sim, f.medium, 1, config, f.rng);
+  host.start();
+  // Conflicts at ~0 and then attempt 2 conflicts immediately; the third
+  // attempt must wait 60 s.
+  f.sim.run_until(30.0);
+  EXPECT_EQ(host.attempts(), 2u);
+  f.sim.run_until(100.0);
+  EXPECT_GE(host.attempts(), 3u);
+}
+
+TEST(ZeroconfHost, ProbeConflictDetectionBetweenTwoJoiners) {
+  Fixture f;
+  ZeroconfConfig config;
+  config.n = 4;
+  config.r = 1.0;
+  config.detect_probe_conflicts = true;
+  config.probe_wait_max = 0.5;  // draft PROBE_WAIT desynchronizes retries
+  // Address space of 1: both joiners pick the same candidate and must
+  // clash via probes (no configured owner exists).
+  ZeroconfHost a(f.sim, f.medium, 1, config, f.rng);
+  ZeroconfHost b(f.sim, f.medium, 1, config, f.rng);
+  a.start();
+  b.start();
+  f.sim.run_until(3.0);
+  EXPECT_GE(a.conflicts() + b.conflicts(), 1u);
+}
+
+TEST(ZeroconfHost, ConfiguredHostDefendsItsAddress) {
+  Fixture f;
+  ZeroconfConfig config;
+  config.n = 1;
+  config.r = 0.5;
+  ZeroconfHost first(f.sim, f.medium, 1, config, f.rng);
+  first.start();
+  f.sim.run();
+  ASSERT_EQ(first.outcome(), Outcome::configured);
+  // A second joiner probing the same (only) address must get a reply
+  // from the now-configured first host.
+  config.probe_wait_max = 0.5;  // keep its hopeless retries time-advancing
+  ZeroconfHost second(f.sim, f.medium, 1, config, f.rng);
+  second.start();
+  f.sim.run_until(f.sim.now() + 5.0);
+  EXPECT_GE(second.conflicts(), 1u);
+  EXPECT_EQ(second.outcome(), Outcome::pending);
+}
+
+TEST(ZeroconfHost, OnDoneCallbackInvokedOnce) {
+  Fixture f;
+  int done = 0;
+  ZeroconfConfig config;
+  config.n = 2;
+  config.r = 0.25;
+  ZeroconfHost host(f.sim, f.medium, 50, config, f.rng, [&] { ++done; });
+  host.start();
+  f.sim.run();
+  EXPECT_EQ(done, 1);
+}
+
+TEST(ZeroconfHost, DoubleStartRejected) {
+  Fixture f;
+  ZeroconfConfig config;
+  ZeroconfHost host(f.sim, f.medium, 50, config, f.rng);
+  host.start();
+  EXPECT_THROW(host.start(), zc::ContractViolation);
+}
+
+TEST(ZeroconfHost, InvalidConfigRejected) {
+  Fixture f;
+  ZeroconfConfig bad_n;
+  bad_n.n = 0;
+  EXPECT_THROW(ZeroconfHost(f.sim, f.medium, 50, bad_n, f.rng),
+               zc::ContractViolation);
+  ZeroconfConfig bad_r;
+  bad_r.r = -1.0;
+  EXPECT_THROW(ZeroconfHost(f.sim, f.medium, 50, bad_r, f.rng),
+               zc::ContractViolation);
+}
+
+TEST(ZeroconfHost, WaitingTimeCountsFullSilentPeriods) {
+  Fixture f;
+  ZeroconfConfig config;
+  config.n = 3;
+  config.r = 1.5;
+  ZeroconfHost host(f.sim, f.medium, 100, config, f.rng);
+  host.start();
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(host.waiting_time(), 4.5);
+}
+
+}  // namespace
