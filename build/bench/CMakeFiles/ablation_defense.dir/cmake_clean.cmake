@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_defense.dir/ablation_defense.cpp.o"
+  "CMakeFiles/ablation_defense.dir/ablation_defense.cpp.o.d"
+  "ablation_defense"
+  "ablation_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

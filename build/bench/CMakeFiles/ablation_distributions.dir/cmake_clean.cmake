@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_distributions.dir/ablation_distributions.cpp.o"
+  "CMakeFiles/ablation_distributions.dir/ablation_distributions.cpp.o.d"
+  "ablation_distributions"
+  "ablation_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

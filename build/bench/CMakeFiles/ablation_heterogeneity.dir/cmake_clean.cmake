@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_heterogeneity.dir/ablation_heterogeneity.cpp.o"
+  "CMakeFiles/ablation_heterogeneity.dir/ablation_heterogeneity.cpp.o.d"
+  "ablation_heterogeneity"
+  "ablation_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

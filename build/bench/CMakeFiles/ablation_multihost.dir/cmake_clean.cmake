@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multihost.dir/ablation_multihost.cpp.o"
+  "CMakeFiles/ablation_multihost.dir/ablation_multihost.cpp.o.d"
+  "ablation_multihost"
+  "ablation_multihost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multihost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sim_vs_model.dir/ablation_sim_vs_model.cpp.o"
+  "CMakeFiles/ablation_sim_vs_model.dir/ablation_sim_vs_model.cpp.o.d"
+  "ablation_sim_vs_model"
+  "ablation_sim_vs_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sim_vs_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

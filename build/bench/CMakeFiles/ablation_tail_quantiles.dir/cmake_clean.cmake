@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tail_quantiles.dir/ablation_tail_quantiles.cpp.o"
+  "CMakeFiles/ablation_tail_quantiles.dir/ablation_tail_quantiles.cpp.o.d"
+  "ablation_tail_quantiles"
+  "ablation_tail_quantiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tail_quantiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_cost_functions.dir/fig2_cost_functions.cpp.o"
+  "CMakeFiles/fig2_cost_functions.dir/fig2_cost_functions.cpp.o.d"
+  "fig2_cost_functions"
+  "fig2_cost_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_cost_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

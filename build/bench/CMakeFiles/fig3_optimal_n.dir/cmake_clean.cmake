@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_optimal_n.dir/fig3_optimal_n.cpp.o"
+  "CMakeFiles/fig3_optimal_n.dir/fig3_optimal_n.cpp.o.d"
+  "fig3_optimal_n"
+  "fig3_optimal_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_optimal_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

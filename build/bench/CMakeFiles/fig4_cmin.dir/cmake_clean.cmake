@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cmin.dir/fig4_cmin.cpp.o"
+  "CMakeFiles/fig4_cmin.dir/fig4_cmin.cpp.o.d"
+  "fig4_cmin"
+  "fig4_cmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

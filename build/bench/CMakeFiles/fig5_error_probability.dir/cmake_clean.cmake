@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_error_probability.dir/fig5_error_probability.cpp.o"
+  "CMakeFiles/fig5_error_probability.dir/fig5_error_probability.cpp.o.d"
+  "fig5_error_probability"
+  "fig5_error_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_error_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_error_optimal_cost.dir/fig6_error_optimal_cost.cpp.o"
+  "CMakeFiles/fig6_error_optimal_cost.dir/fig6_error_optimal_cost.cpp.o.d"
+  "fig6_error_optimal_cost"
+  "fig6_error_optimal_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_error_optimal_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_error_optimal_cost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_sec45_calibration.dir/tab_sec45_calibration.cpp.o"
+  "CMakeFiles/tab_sec45_calibration.dir/tab_sec45_calibration.cpp.o.d"
+  "tab_sec45_calibration"
+  "tab_sec45_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_sec45_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_sec6_assessment.dir/tab_sec6_assessment.cpp.o"
+  "CMakeFiles/tab_sec6_assessment.dir/tab_sec6_assessment.cpp.o.d"
+  "tab_sec6_assessment"
+  "tab_sec6_assessment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_sec6_assessment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adhoc_wireless.dir/adhoc_wireless.cpp.o"
+  "CMakeFiles/adhoc_wireless.dir/adhoc_wireless.cpp.o.d"
+  "adhoc_wireless"
+  "adhoc_wireless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adhoc_wireless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

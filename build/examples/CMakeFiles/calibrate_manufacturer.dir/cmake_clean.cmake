@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_manufacturer.dir/calibrate_manufacturer.cpp.o"
+  "CMakeFiles/calibrate_manufacturer.dir/calibrate_manufacturer.cpp.o.d"
+  "calibrate_manufacturer"
+  "calibrate_manufacturer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_manufacturer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/home_network_tuning.dir/home_network_tuning.cpp.o"
+  "CMakeFiles/home_network_tuning.dir/home_network_tuning.cpp.o.d"
+  "home_network_tuning"
+  "home_network_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/home_network_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_deep_dive.dir/protocol_deep_dive.cpp.o"
+  "CMakeFiles/protocol_deep_dive.dir/protocol_deep_dive.cpp.o.d"
+  "protocol_deep_dive"
+  "protocol_deep_dive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_deep_dive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

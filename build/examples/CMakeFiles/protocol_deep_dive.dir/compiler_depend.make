@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for protocol_deep_dive.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_collision.dir/simulate_collision.cpp.o"
+  "CMakeFiles/simulate_collision.dir/simulate_collision.cpp.o.d"
+  "simulate_collision"
+  "simulate_collision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_collision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

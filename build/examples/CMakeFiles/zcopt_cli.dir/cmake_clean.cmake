@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zcopt_cli.dir/zcopt_cli.cpp.o"
+  "CMakeFiles/zcopt_cli.dir/zcopt_cli.cpp.o.d"
+  "zcopt_cli"
+  "zcopt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zcopt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

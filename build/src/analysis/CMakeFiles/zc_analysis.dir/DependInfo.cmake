@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/ascii_plot.cpp" "src/analysis/CMakeFiles/zc_analysis.dir/ascii_plot.cpp.o" "gcc" "src/analysis/CMakeFiles/zc_analysis.dir/ascii_plot.cpp.o.d"
+  "/root/repo/src/analysis/csv.cpp" "src/analysis/CMakeFiles/zc_analysis.dir/csv.cpp.o" "gcc" "src/analysis/CMakeFiles/zc_analysis.dir/csv.cpp.o.d"
+  "/root/repo/src/analysis/expectation.cpp" "src/analysis/CMakeFiles/zc_analysis.dir/expectation.cpp.o" "gcc" "src/analysis/CMakeFiles/zc_analysis.dir/expectation.cpp.o.d"
+  "/root/repo/src/analysis/gnuplot.cpp" "src/analysis/CMakeFiles/zc_analysis.dir/gnuplot.cpp.o" "gcc" "src/analysis/CMakeFiles/zc_analysis.dir/gnuplot.cpp.o.d"
+  "/root/repo/src/analysis/series.cpp" "src/analysis/CMakeFiles/zc_analysis.dir/series.cpp.o" "gcc" "src/analysis/CMakeFiles/zc_analysis.dir/series.cpp.o.d"
+  "/root/repo/src/analysis/table.cpp" "src/analysis/CMakeFiles/zc_analysis.dir/table.cpp.o" "gcc" "src/analysis/CMakeFiles/zc_analysis.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_analysis.dir/ascii_plot.cpp.o"
+  "CMakeFiles/zc_analysis.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/zc_analysis.dir/csv.cpp.o"
+  "CMakeFiles/zc_analysis.dir/csv.cpp.o.d"
+  "CMakeFiles/zc_analysis.dir/expectation.cpp.o"
+  "CMakeFiles/zc_analysis.dir/expectation.cpp.o.d"
+  "CMakeFiles/zc_analysis.dir/gnuplot.cpp.o"
+  "CMakeFiles/zc_analysis.dir/gnuplot.cpp.o.d"
+  "CMakeFiles/zc_analysis.dir/series.cpp.o"
+  "CMakeFiles/zc_analysis.dir/series.cpp.o.d"
+  "CMakeFiles/zc_analysis.dir/table.cpp.o"
+  "CMakeFiles/zc_analysis.dir/table.cpp.o.d"
+  "libzc_analysis.a"
+  "libzc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_common.dir/args.cpp.o"
+  "CMakeFiles/zc_common.dir/args.cpp.o.d"
+  "CMakeFiles/zc_common.dir/strings.cpp.o"
+  "CMakeFiles/zc_common.dir/strings.cpp.o.d"
+  "libzc_common.a"
+  "libzc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzc_common.a"
+)

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibrate.cpp" "src/core/CMakeFiles/zc_core.dir/calibrate.cpp.o" "gcc" "src/core/CMakeFiles/zc_core.dir/calibrate.cpp.o.d"
+  "/root/repo/src/core/cost.cpp" "src/core/CMakeFiles/zc_core.dir/cost.cpp.o" "gcc" "src/core/CMakeFiles/zc_core.dir/cost.cpp.o.d"
+  "/root/repo/src/core/distribution.cpp" "src/core/CMakeFiles/zc_core.dir/distribution.cpp.o" "gcc" "src/core/CMakeFiles/zc_core.dir/distribution.cpp.o.d"
+  "/root/repo/src/core/drm.cpp" "src/core/CMakeFiles/zc_core.dir/drm.cpp.o" "gcc" "src/core/CMakeFiles/zc_core.dir/drm.cpp.o.d"
+  "/root/repo/src/core/heterogeneous.cpp" "src/core/CMakeFiles/zc_core.dir/heterogeneous.cpp.o" "gcc" "src/core/CMakeFiles/zc_core.dir/heterogeneous.cpp.o.d"
+  "/root/repo/src/core/no_answer.cpp" "src/core/CMakeFiles/zc_core.dir/no_answer.cpp.o" "gcc" "src/core/CMakeFiles/zc_core.dir/no_answer.cpp.o.d"
+  "/root/repo/src/core/optimize.cpp" "src/core/CMakeFiles/zc_core.dir/optimize.cpp.o" "gcc" "src/core/CMakeFiles/zc_core.dir/optimize.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/zc_core.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/zc_core.dir/params.cpp.o.d"
+  "/root/repo/src/core/reliability.cpp" "src/core/CMakeFiles/zc_core.dir/reliability.cpp.o" "gcc" "src/core/CMakeFiles/zc_core.dir/reliability.cpp.o.d"
+  "/root/repo/src/core/scenarios.cpp" "src/core/CMakeFiles/zc_core.dir/scenarios.cpp.o" "gcc" "src/core/CMakeFiles/zc_core.dir/scenarios.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/zc_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/zc_core.dir/sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/zc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/zc_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/zc_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/zc_markov.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_core.dir/calibrate.cpp.o"
+  "CMakeFiles/zc_core.dir/calibrate.cpp.o.d"
+  "CMakeFiles/zc_core.dir/cost.cpp.o"
+  "CMakeFiles/zc_core.dir/cost.cpp.o.d"
+  "CMakeFiles/zc_core.dir/distribution.cpp.o"
+  "CMakeFiles/zc_core.dir/distribution.cpp.o.d"
+  "CMakeFiles/zc_core.dir/drm.cpp.o"
+  "CMakeFiles/zc_core.dir/drm.cpp.o.d"
+  "CMakeFiles/zc_core.dir/heterogeneous.cpp.o"
+  "CMakeFiles/zc_core.dir/heterogeneous.cpp.o.d"
+  "CMakeFiles/zc_core.dir/no_answer.cpp.o"
+  "CMakeFiles/zc_core.dir/no_answer.cpp.o.d"
+  "CMakeFiles/zc_core.dir/optimize.cpp.o"
+  "CMakeFiles/zc_core.dir/optimize.cpp.o.d"
+  "CMakeFiles/zc_core.dir/params.cpp.o"
+  "CMakeFiles/zc_core.dir/params.cpp.o.d"
+  "CMakeFiles/zc_core.dir/reliability.cpp.o"
+  "CMakeFiles/zc_core.dir/reliability.cpp.o.d"
+  "CMakeFiles/zc_core.dir/scenarios.cpp.o"
+  "CMakeFiles/zc_core.dir/scenarios.cpp.o.d"
+  "CMakeFiles/zc_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/zc_core.dir/sensitivity.cpp.o.d"
+  "libzc_core.a"
+  "libzc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

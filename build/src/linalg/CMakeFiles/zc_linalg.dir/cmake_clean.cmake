@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_linalg.dir/lu.cpp.o"
+  "CMakeFiles/zc_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/zc_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/zc_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/zc_linalg.dir/norms.cpp.o"
+  "CMakeFiles/zc_linalg.dir/norms.cpp.o.d"
+  "libzc_linalg.a"
+  "libzc_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

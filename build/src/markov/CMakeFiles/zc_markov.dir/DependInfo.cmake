@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/markov/absorbing.cpp" "src/markov/CMakeFiles/zc_markov.dir/absorbing.cpp.o" "gcc" "src/markov/CMakeFiles/zc_markov.dir/absorbing.cpp.o.d"
+  "/root/repo/src/markov/classify.cpp" "src/markov/CMakeFiles/zc_markov.dir/classify.cpp.o" "gcc" "src/markov/CMakeFiles/zc_markov.dir/classify.cpp.o.d"
+  "/root/repo/src/markov/dtmc.cpp" "src/markov/CMakeFiles/zc_markov.dir/dtmc.cpp.o" "gcc" "src/markov/CMakeFiles/zc_markov.dir/dtmc.cpp.o.d"
+  "/root/repo/src/markov/phase_type.cpp" "src/markov/CMakeFiles/zc_markov.dir/phase_type.cpp.o" "gcc" "src/markov/CMakeFiles/zc_markov.dir/phase_type.cpp.o.d"
+  "/root/repo/src/markov/reward.cpp" "src/markov/CMakeFiles/zc_markov.dir/reward.cpp.o" "gcc" "src/markov/CMakeFiles/zc_markov.dir/reward.cpp.o.d"
+  "/root/repo/src/markov/stationary.cpp" "src/markov/CMakeFiles/zc_markov.dir/stationary.cpp.o" "gcc" "src/markov/CMakeFiles/zc_markov.dir/stationary.cpp.o.d"
+  "/root/repo/src/markov/transient.cpp" "src/markov/CMakeFiles/zc_markov.dir/transient.cpp.o" "gcc" "src/markov/CMakeFiles/zc_markov.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/zc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/zc_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

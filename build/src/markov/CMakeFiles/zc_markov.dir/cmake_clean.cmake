@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_markov.dir/absorbing.cpp.o"
+  "CMakeFiles/zc_markov.dir/absorbing.cpp.o.d"
+  "CMakeFiles/zc_markov.dir/classify.cpp.o"
+  "CMakeFiles/zc_markov.dir/classify.cpp.o.d"
+  "CMakeFiles/zc_markov.dir/dtmc.cpp.o"
+  "CMakeFiles/zc_markov.dir/dtmc.cpp.o.d"
+  "CMakeFiles/zc_markov.dir/phase_type.cpp.o"
+  "CMakeFiles/zc_markov.dir/phase_type.cpp.o.d"
+  "CMakeFiles/zc_markov.dir/reward.cpp.o"
+  "CMakeFiles/zc_markov.dir/reward.cpp.o.d"
+  "CMakeFiles/zc_markov.dir/stationary.cpp.o"
+  "CMakeFiles/zc_markov.dir/stationary.cpp.o.d"
+  "CMakeFiles/zc_markov.dir/transient.cpp.o"
+  "CMakeFiles/zc_markov.dir/transient.cpp.o.d"
+  "libzc_markov.a"
+  "libzc_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numerics/derivative.cpp" "src/numerics/CMakeFiles/zc_numerics.dir/derivative.cpp.o" "gcc" "src/numerics/CMakeFiles/zc_numerics.dir/derivative.cpp.o.d"
+  "/root/repo/src/numerics/grid.cpp" "src/numerics/CMakeFiles/zc_numerics.dir/grid.cpp.o" "gcc" "src/numerics/CMakeFiles/zc_numerics.dir/grid.cpp.o.d"
+  "/root/repo/src/numerics/logspace.cpp" "src/numerics/CMakeFiles/zc_numerics.dir/logspace.cpp.o" "gcc" "src/numerics/CMakeFiles/zc_numerics.dir/logspace.cpp.o.d"
+  "/root/repo/src/numerics/minimize.cpp" "src/numerics/CMakeFiles/zc_numerics.dir/minimize.cpp.o" "gcc" "src/numerics/CMakeFiles/zc_numerics.dir/minimize.cpp.o.d"
+  "/root/repo/src/numerics/pchip.cpp" "src/numerics/CMakeFiles/zc_numerics.dir/pchip.cpp.o" "gcc" "src/numerics/CMakeFiles/zc_numerics.dir/pchip.cpp.o.d"
+  "/root/repo/src/numerics/quadrature.cpp" "src/numerics/CMakeFiles/zc_numerics.dir/quadrature.cpp.o" "gcc" "src/numerics/CMakeFiles/zc_numerics.dir/quadrature.cpp.o.d"
+  "/root/repo/src/numerics/roots.cpp" "src/numerics/CMakeFiles/zc_numerics.dir/roots.cpp.o" "gcc" "src/numerics/CMakeFiles/zc_numerics.dir/roots.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_numerics.dir/derivative.cpp.o"
+  "CMakeFiles/zc_numerics.dir/derivative.cpp.o.d"
+  "CMakeFiles/zc_numerics.dir/grid.cpp.o"
+  "CMakeFiles/zc_numerics.dir/grid.cpp.o.d"
+  "CMakeFiles/zc_numerics.dir/logspace.cpp.o"
+  "CMakeFiles/zc_numerics.dir/logspace.cpp.o.d"
+  "CMakeFiles/zc_numerics.dir/minimize.cpp.o"
+  "CMakeFiles/zc_numerics.dir/minimize.cpp.o.d"
+  "CMakeFiles/zc_numerics.dir/pchip.cpp.o"
+  "CMakeFiles/zc_numerics.dir/pchip.cpp.o.d"
+  "CMakeFiles/zc_numerics.dir/quadrature.cpp.o"
+  "CMakeFiles/zc_numerics.dir/quadrature.cpp.o.d"
+  "CMakeFiles/zc_numerics.dir/roots.cpp.o"
+  "CMakeFiles/zc_numerics.dir/roots.cpp.o.d"
+  "libzc_numerics.a"
+  "libzc_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

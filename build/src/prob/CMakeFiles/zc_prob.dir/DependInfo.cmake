@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prob/delay.cpp" "src/prob/CMakeFiles/zc_prob.dir/delay.cpp.o" "gcc" "src/prob/CMakeFiles/zc_prob.dir/delay.cpp.o.d"
+  "/root/repo/src/prob/empirical.cpp" "src/prob/CMakeFiles/zc_prob.dir/empirical.cpp.o" "gcc" "src/prob/CMakeFiles/zc_prob.dir/empirical.cpp.o.d"
+  "/root/repo/src/prob/families.cpp" "src/prob/CMakeFiles/zc_prob.dir/families.cpp.o" "gcc" "src/prob/CMakeFiles/zc_prob.dir/families.cpp.o.d"
+  "/root/repo/src/prob/fit.cpp" "src/prob/CMakeFiles/zc_prob.dir/fit.cpp.o" "gcc" "src/prob/CMakeFiles/zc_prob.dir/fit.cpp.o.d"
+  "/root/repo/src/prob/mixture.cpp" "src/prob/CMakeFiles/zc_prob.dir/mixture.cpp.o" "gcc" "src/prob/CMakeFiles/zc_prob.dir/mixture.cpp.o.d"
+  "/root/repo/src/prob/reply_path.cpp" "src/prob/CMakeFiles/zc_prob.dir/reply_path.cpp.o" "gcc" "src/prob/CMakeFiles/zc_prob.dir/reply_path.cpp.o.d"
+  "/root/repo/src/prob/rng.cpp" "src/prob/CMakeFiles/zc_prob.dir/rng.cpp.o" "gcc" "src/prob/CMakeFiles/zc_prob.dir/rng.cpp.o.d"
+  "/root/repo/src/prob/smoothed.cpp" "src/prob/CMakeFiles/zc_prob.dir/smoothed.cpp.o" "gcc" "src/prob/CMakeFiles/zc_prob.dir/smoothed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/zc_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

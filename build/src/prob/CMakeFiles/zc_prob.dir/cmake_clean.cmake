@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_prob.dir/delay.cpp.o"
+  "CMakeFiles/zc_prob.dir/delay.cpp.o.d"
+  "CMakeFiles/zc_prob.dir/empirical.cpp.o"
+  "CMakeFiles/zc_prob.dir/empirical.cpp.o.d"
+  "CMakeFiles/zc_prob.dir/families.cpp.o"
+  "CMakeFiles/zc_prob.dir/families.cpp.o.d"
+  "CMakeFiles/zc_prob.dir/fit.cpp.o"
+  "CMakeFiles/zc_prob.dir/fit.cpp.o.d"
+  "CMakeFiles/zc_prob.dir/mixture.cpp.o"
+  "CMakeFiles/zc_prob.dir/mixture.cpp.o.d"
+  "CMakeFiles/zc_prob.dir/reply_path.cpp.o"
+  "CMakeFiles/zc_prob.dir/reply_path.cpp.o.d"
+  "CMakeFiles/zc_prob.dir/rng.cpp.o"
+  "CMakeFiles/zc_prob.dir/rng.cpp.o.d"
+  "CMakeFiles/zc_prob.dir/smoothed.cpp.o"
+  "CMakeFiles/zc_prob.dir/smoothed.cpp.o.d"
+  "libzc_prob.a"
+  "libzc_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/host.cpp" "src/sim/CMakeFiles/zc_sim.dir/host.cpp.o" "gcc" "src/sim/CMakeFiles/zc_sim.dir/host.cpp.o.d"
+  "/root/repo/src/sim/medium.cpp" "src/sim/CMakeFiles/zc_sim.dir/medium.cpp.o" "gcc" "src/sim/CMakeFiles/zc_sim.dir/medium.cpp.o.d"
+  "/root/repo/src/sim/monte_carlo.cpp" "src/sim/CMakeFiles/zc_sim.dir/monte_carlo.cpp.o" "gcc" "src/sim/CMakeFiles/zc_sim.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/zc_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/zc_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/zc_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/zc_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/zc_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/zc_sim.dir/trace.cpp.o.d"
+  "/root/repo/src/sim/zeroconf_host.cpp" "src/sim/CMakeFiles/zc_sim.dir/zeroconf_host.cpp.o" "gcc" "src/sim/CMakeFiles/zc_sim.dir/zeroconf_host.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/zc_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/zc_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

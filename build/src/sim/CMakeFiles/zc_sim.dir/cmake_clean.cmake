@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_sim.dir/host.cpp.o"
+  "CMakeFiles/zc_sim.dir/host.cpp.o.d"
+  "CMakeFiles/zc_sim.dir/medium.cpp.o"
+  "CMakeFiles/zc_sim.dir/medium.cpp.o.d"
+  "CMakeFiles/zc_sim.dir/monte_carlo.cpp.o"
+  "CMakeFiles/zc_sim.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/zc_sim.dir/network.cpp.o"
+  "CMakeFiles/zc_sim.dir/network.cpp.o.d"
+  "CMakeFiles/zc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/zc_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/zc_sim.dir/trace.cpp.o"
+  "CMakeFiles/zc_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/zc_sim.dir/zeroconf_host.cpp.o"
+  "CMakeFiles/zc_sim.dir/zeroconf_host.cpp.o.d"
+  "libzc_sim.a"
+  "libzc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

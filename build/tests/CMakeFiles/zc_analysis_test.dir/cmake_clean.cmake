@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_analysis_test.dir/analysis/ascii_plot_test.cpp.o"
+  "CMakeFiles/zc_analysis_test.dir/analysis/ascii_plot_test.cpp.o.d"
+  "CMakeFiles/zc_analysis_test.dir/analysis/csv_test.cpp.o"
+  "CMakeFiles/zc_analysis_test.dir/analysis/csv_test.cpp.o.d"
+  "CMakeFiles/zc_analysis_test.dir/analysis/expectation_test.cpp.o"
+  "CMakeFiles/zc_analysis_test.dir/analysis/expectation_test.cpp.o.d"
+  "CMakeFiles/zc_analysis_test.dir/analysis/gnuplot_test.cpp.o"
+  "CMakeFiles/zc_analysis_test.dir/analysis/gnuplot_test.cpp.o.d"
+  "CMakeFiles/zc_analysis_test.dir/analysis/series_test.cpp.o"
+  "CMakeFiles/zc_analysis_test.dir/analysis/series_test.cpp.o.d"
+  "CMakeFiles/zc_analysis_test.dir/analysis/table_test.cpp.o"
+  "CMakeFiles/zc_analysis_test.dir/analysis/table_test.cpp.o.d"
+  "zc_analysis_test"
+  "zc_analysis_test.pdb"
+  "zc_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_common_test.dir/common/args_test.cpp.o"
+  "CMakeFiles/zc_common_test.dir/common/args_test.cpp.o.d"
+  "CMakeFiles/zc_common_test.dir/common/contract_test.cpp.o"
+  "CMakeFiles/zc_common_test.dir/common/contract_test.cpp.o.d"
+  "CMakeFiles/zc_common_test.dir/common/strings_test.cpp.o"
+  "CMakeFiles/zc_common_test.dir/common/strings_test.cpp.o.d"
+  "zc_common_test"
+  "zc_common_test.pdb"
+  "zc_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/calibrate_test.cpp" "tests/CMakeFiles/zc_core_test.dir/core/calibrate_test.cpp.o" "gcc" "tests/CMakeFiles/zc_core_test.dir/core/calibrate_test.cpp.o.d"
+  "/root/repo/tests/core/cost_test.cpp" "tests/CMakeFiles/zc_core_test.dir/core/cost_test.cpp.o" "gcc" "tests/CMakeFiles/zc_core_test.dir/core/cost_test.cpp.o.d"
+  "/root/repo/tests/core/distribution_test.cpp" "tests/CMakeFiles/zc_core_test.dir/core/distribution_test.cpp.o" "gcc" "tests/CMakeFiles/zc_core_test.dir/core/distribution_test.cpp.o.d"
+  "/root/repo/tests/core/drm_test.cpp" "tests/CMakeFiles/zc_core_test.dir/core/drm_test.cpp.o" "gcc" "tests/CMakeFiles/zc_core_test.dir/core/drm_test.cpp.o.d"
+  "/root/repo/tests/core/heterogeneous_test.cpp" "tests/CMakeFiles/zc_core_test.dir/core/heterogeneous_test.cpp.o" "gcc" "tests/CMakeFiles/zc_core_test.dir/core/heterogeneous_test.cpp.o.d"
+  "/root/repo/tests/core/no_answer_test.cpp" "tests/CMakeFiles/zc_core_test.dir/core/no_answer_test.cpp.o" "gcc" "tests/CMakeFiles/zc_core_test.dir/core/no_answer_test.cpp.o.d"
+  "/root/repo/tests/core/optimize_property_test.cpp" "tests/CMakeFiles/zc_core_test.dir/core/optimize_property_test.cpp.o" "gcc" "tests/CMakeFiles/zc_core_test.dir/core/optimize_property_test.cpp.o.d"
+  "/root/repo/tests/core/optimize_test.cpp" "tests/CMakeFiles/zc_core_test.dir/core/optimize_test.cpp.o" "gcc" "tests/CMakeFiles/zc_core_test.dir/core/optimize_test.cpp.o.d"
+  "/root/repo/tests/core/reliability_test.cpp" "tests/CMakeFiles/zc_core_test.dir/core/reliability_test.cpp.o" "gcc" "tests/CMakeFiles/zc_core_test.dir/core/reliability_test.cpp.o.d"
+  "/root/repo/tests/core/scenarios_test.cpp" "tests/CMakeFiles/zc_core_test.dir/core/scenarios_test.cpp.o" "gcc" "tests/CMakeFiles/zc_core_test.dir/core/scenarios_test.cpp.o.d"
+  "/root/repo/tests/core/sensitivity_test.cpp" "tests/CMakeFiles/zc_core_test.dir/core/sensitivity_test.cpp.o" "gcc" "tests/CMakeFiles/zc_core_test.dir/core/sensitivity_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/zc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/zc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/zc_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/zc_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/zc_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/zc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_core_test.dir/core/calibrate_test.cpp.o"
+  "CMakeFiles/zc_core_test.dir/core/calibrate_test.cpp.o.d"
+  "CMakeFiles/zc_core_test.dir/core/cost_test.cpp.o"
+  "CMakeFiles/zc_core_test.dir/core/cost_test.cpp.o.d"
+  "CMakeFiles/zc_core_test.dir/core/distribution_test.cpp.o"
+  "CMakeFiles/zc_core_test.dir/core/distribution_test.cpp.o.d"
+  "CMakeFiles/zc_core_test.dir/core/drm_test.cpp.o"
+  "CMakeFiles/zc_core_test.dir/core/drm_test.cpp.o.d"
+  "CMakeFiles/zc_core_test.dir/core/heterogeneous_test.cpp.o"
+  "CMakeFiles/zc_core_test.dir/core/heterogeneous_test.cpp.o.d"
+  "CMakeFiles/zc_core_test.dir/core/no_answer_test.cpp.o"
+  "CMakeFiles/zc_core_test.dir/core/no_answer_test.cpp.o.d"
+  "CMakeFiles/zc_core_test.dir/core/optimize_property_test.cpp.o"
+  "CMakeFiles/zc_core_test.dir/core/optimize_property_test.cpp.o.d"
+  "CMakeFiles/zc_core_test.dir/core/optimize_test.cpp.o"
+  "CMakeFiles/zc_core_test.dir/core/optimize_test.cpp.o.d"
+  "CMakeFiles/zc_core_test.dir/core/reliability_test.cpp.o"
+  "CMakeFiles/zc_core_test.dir/core/reliability_test.cpp.o.d"
+  "CMakeFiles/zc_core_test.dir/core/scenarios_test.cpp.o"
+  "CMakeFiles/zc_core_test.dir/core/scenarios_test.cpp.o.d"
+  "CMakeFiles/zc_core_test.dir/core/sensitivity_test.cpp.o"
+  "CMakeFiles/zc_core_test.dir/core/sensitivity_test.cpp.o.d"
+  "zc_core_test"
+  "zc_core_test.pdb"
+  "zc_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

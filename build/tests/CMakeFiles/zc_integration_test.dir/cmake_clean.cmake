@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_integration_test.dir/integration/empirical_workflow_test.cpp.o"
+  "CMakeFiles/zc_integration_test.dir/integration/empirical_workflow_test.cpp.o.d"
+  "CMakeFiles/zc_integration_test.dir/integration/model_vs_sim_test.cpp.o"
+  "CMakeFiles/zc_integration_test.dir/integration/model_vs_sim_test.cpp.o.d"
+  "CMakeFiles/zc_integration_test.dir/integration/paper_numbers_test.cpp.o"
+  "CMakeFiles/zc_integration_test.dir/integration/paper_numbers_test.cpp.o.d"
+  "CMakeFiles/zc_integration_test.dir/integration/reply_path_model_test.cpp.o"
+  "CMakeFiles/zc_integration_test.dir/integration/reply_path_model_test.cpp.o.d"
+  "zc_integration_test"
+  "zc_integration_test.pdb"
+  "zc_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_linalg_test.dir/linalg/lu_test.cpp.o"
+  "CMakeFiles/zc_linalg_test.dir/linalg/lu_test.cpp.o.d"
+  "CMakeFiles/zc_linalg_test.dir/linalg/matrix_test.cpp.o"
+  "CMakeFiles/zc_linalg_test.dir/linalg/matrix_test.cpp.o.d"
+  "CMakeFiles/zc_linalg_test.dir/linalg/norms_test.cpp.o"
+  "CMakeFiles/zc_linalg_test.dir/linalg/norms_test.cpp.o.d"
+  "zc_linalg_test"
+  "zc_linalg_test.pdb"
+  "zc_linalg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_linalg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

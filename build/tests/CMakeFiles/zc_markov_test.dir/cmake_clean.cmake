@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_markov_test.dir/markov/absorbing_test.cpp.o"
+  "CMakeFiles/zc_markov_test.dir/markov/absorbing_test.cpp.o.d"
+  "CMakeFiles/zc_markov_test.dir/markov/classify_test.cpp.o"
+  "CMakeFiles/zc_markov_test.dir/markov/classify_test.cpp.o.d"
+  "CMakeFiles/zc_markov_test.dir/markov/dtmc_test.cpp.o"
+  "CMakeFiles/zc_markov_test.dir/markov/dtmc_test.cpp.o.d"
+  "CMakeFiles/zc_markov_test.dir/markov/phase_type_test.cpp.o"
+  "CMakeFiles/zc_markov_test.dir/markov/phase_type_test.cpp.o.d"
+  "CMakeFiles/zc_markov_test.dir/markov/random_chain_property_test.cpp.o"
+  "CMakeFiles/zc_markov_test.dir/markov/random_chain_property_test.cpp.o.d"
+  "CMakeFiles/zc_markov_test.dir/markov/reward_test.cpp.o"
+  "CMakeFiles/zc_markov_test.dir/markov/reward_test.cpp.o.d"
+  "CMakeFiles/zc_markov_test.dir/markov/stationary_test.cpp.o"
+  "CMakeFiles/zc_markov_test.dir/markov/stationary_test.cpp.o.d"
+  "CMakeFiles/zc_markov_test.dir/markov/transient_test.cpp.o"
+  "CMakeFiles/zc_markov_test.dir/markov/transient_test.cpp.o.d"
+  "zc_markov_test"
+  "zc_markov_test.pdb"
+  "zc_markov_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_markov_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

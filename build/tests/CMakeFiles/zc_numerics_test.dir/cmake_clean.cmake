@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_numerics_test.dir/numerics/derivative_test.cpp.o"
+  "CMakeFiles/zc_numerics_test.dir/numerics/derivative_test.cpp.o.d"
+  "CMakeFiles/zc_numerics_test.dir/numerics/grid_test.cpp.o"
+  "CMakeFiles/zc_numerics_test.dir/numerics/grid_test.cpp.o.d"
+  "CMakeFiles/zc_numerics_test.dir/numerics/kahan_test.cpp.o"
+  "CMakeFiles/zc_numerics_test.dir/numerics/kahan_test.cpp.o.d"
+  "CMakeFiles/zc_numerics_test.dir/numerics/logspace_test.cpp.o"
+  "CMakeFiles/zc_numerics_test.dir/numerics/logspace_test.cpp.o.d"
+  "CMakeFiles/zc_numerics_test.dir/numerics/minimize_test.cpp.o"
+  "CMakeFiles/zc_numerics_test.dir/numerics/minimize_test.cpp.o.d"
+  "CMakeFiles/zc_numerics_test.dir/numerics/pchip_test.cpp.o"
+  "CMakeFiles/zc_numerics_test.dir/numerics/pchip_test.cpp.o.d"
+  "CMakeFiles/zc_numerics_test.dir/numerics/quadrature_test.cpp.o"
+  "CMakeFiles/zc_numerics_test.dir/numerics/quadrature_test.cpp.o.d"
+  "CMakeFiles/zc_numerics_test.dir/numerics/roots_test.cpp.o"
+  "CMakeFiles/zc_numerics_test.dir/numerics/roots_test.cpp.o.d"
+  "zc_numerics_test"
+  "zc_numerics_test.pdb"
+  "zc_numerics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_numerics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

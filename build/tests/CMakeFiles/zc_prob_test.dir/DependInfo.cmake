@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/prob/delay_test.cpp" "tests/CMakeFiles/zc_prob_test.dir/prob/delay_test.cpp.o" "gcc" "tests/CMakeFiles/zc_prob_test.dir/prob/delay_test.cpp.o.d"
+  "/root/repo/tests/prob/empirical_test.cpp" "tests/CMakeFiles/zc_prob_test.dir/prob/empirical_test.cpp.o" "gcc" "tests/CMakeFiles/zc_prob_test.dir/prob/empirical_test.cpp.o.d"
+  "/root/repo/tests/prob/families_test.cpp" "tests/CMakeFiles/zc_prob_test.dir/prob/families_test.cpp.o" "gcc" "tests/CMakeFiles/zc_prob_test.dir/prob/families_test.cpp.o.d"
+  "/root/repo/tests/prob/fit_test.cpp" "tests/CMakeFiles/zc_prob_test.dir/prob/fit_test.cpp.o" "gcc" "tests/CMakeFiles/zc_prob_test.dir/prob/fit_test.cpp.o.d"
+  "/root/repo/tests/prob/mixture_test.cpp" "tests/CMakeFiles/zc_prob_test.dir/prob/mixture_test.cpp.o" "gcc" "tests/CMakeFiles/zc_prob_test.dir/prob/mixture_test.cpp.o.d"
+  "/root/repo/tests/prob/reply_path_test.cpp" "tests/CMakeFiles/zc_prob_test.dir/prob/reply_path_test.cpp.o" "gcc" "tests/CMakeFiles/zc_prob_test.dir/prob/reply_path_test.cpp.o.d"
+  "/root/repo/tests/prob/rng_test.cpp" "tests/CMakeFiles/zc_prob_test.dir/prob/rng_test.cpp.o" "gcc" "tests/CMakeFiles/zc_prob_test.dir/prob/rng_test.cpp.o.d"
+  "/root/repo/tests/prob/smoothed_test.cpp" "tests/CMakeFiles/zc_prob_test.dir/prob/smoothed_test.cpp.o" "gcc" "tests/CMakeFiles/zc_prob_test.dir/prob/smoothed_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/zc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/zc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/zc_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/zc_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/zc_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/zc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_prob_test.dir/prob/delay_test.cpp.o"
+  "CMakeFiles/zc_prob_test.dir/prob/delay_test.cpp.o.d"
+  "CMakeFiles/zc_prob_test.dir/prob/empirical_test.cpp.o"
+  "CMakeFiles/zc_prob_test.dir/prob/empirical_test.cpp.o.d"
+  "CMakeFiles/zc_prob_test.dir/prob/families_test.cpp.o"
+  "CMakeFiles/zc_prob_test.dir/prob/families_test.cpp.o.d"
+  "CMakeFiles/zc_prob_test.dir/prob/fit_test.cpp.o"
+  "CMakeFiles/zc_prob_test.dir/prob/fit_test.cpp.o.d"
+  "CMakeFiles/zc_prob_test.dir/prob/mixture_test.cpp.o"
+  "CMakeFiles/zc_prob_test.dir/prob/mixture_test.cpp.o.d"
+  "CMakeFiles/zc_prob_test.dir/prob/reply_path_test.cpp.o"
+  "CMakeFiles/zc_prob_test.dir/prob/reply_path_test.cpp.o.d"
+  "CMakeFiles/zc_prob_test.dir/prob/rng_test.cpp.o"
+  "CMakeFiles/zc_prob_test.dir/prob/rng_test.cpp.o.d"
+  "CMakeFiles/zc_prob_test.dir/prob/smoothed_test.cpp.o"
+  "CMakeFiles/zc_prob_test.dir/prob/smoothed_test.cpp.o.d"
+  "zc_prob_test"
+  "zc_prob_test.pdb"
+  "zc_prob_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_prob_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

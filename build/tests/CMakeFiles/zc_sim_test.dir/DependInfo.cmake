@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/announce_test.cpp" "tests/CMakeFiles/zc_sim_test.dir/sim/announce_test.cpp.o" "gcc" "tests/CMakeFiles/zc_sim_test.dir/sim/announce_test.cpp.o.d"
+  "/root/repo/tests/sim/host_test.cpp" "tests/CMakeFiles/zc_sim_test.dir/sim/host_test.cpp.o" "gcc" "tests/CMakeFiles/zc_sim_test.dir/sim/host_test.cpp.o.d"
+  "/root/repo/tests/sim/medium_test.cpp" "tests/CMakeFiles/zc_sim_test.dir/sim/medium_test.cpp.o" "gcc" "tests/CMakeFiles/zc_sim_test.dir/sim/medium_test.cpp.o.d"
+  "/root/repo/tests/sim/monte_carlo_test.cpp" "tests/CMakeFiles/zc_sim_test.dir/sim/monte_carlo_test.cpp.o" "gcc" "tests/CMakeFiles/zc_sim_test.dir/sim/monte_carlo_test.cpp.o.d"
+  "/root/repo/tests/sim/network_test.cpp" "tests/CMakeFiles/zc_sim_test.dir/sim/network_test.cpp.o" "gcc" "tests/CMakeFiles/zc_sim_test.dir/sim/network_test.cpp.o.d"
+  "/root/repo/tests/sim/simulator_test.cpp" "tests/CMakeFiles/zc_sim_test.dir/sim/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/zc_sim_test.dir/sim/simulator_test.cpp.o.d"
+  "/root/repo/tests/sim/trace_test.cpp" "tests/CMakeFiles/zc_sim_test.dir/sim/trace_test.cpp.o" "gcc" "tests/CMakeFiles/zc_sim_test.dir/sim/trace_test.cpp.o.d"
+  "/root/repo/tests/sim/zeroconf_host_test.cpp" "tests/CMakeFiles/zc_sim_test.dir/sim/zeroconf_host_test.cpp.o" "gcc" "tests/CMakeFiles/zc_sim_test.dir/sim/zeroconf_host_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/zc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/zc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/zc_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/zc_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/zc_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/zc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_sim_test.dir/sim/announce_test.cpp.o"
+  "CMakeFiles/zc_sim_test.dir/sim/announce_test.cpp.o.d"
+  "CMakeFiles/zc_sim_test.dir/sim/host_test.cpp.o"
+  "CMakeFiles/zc_sim_test.dir/sim/host_test.cpp.o.d"
+  "CMakeFiles/zc_sim_test.dir/sim/medium_test.cpp.o"
+  "CMakeFiles/zc_sim_test.dir/sim/medium_test.cpp.o.d"
+  "CMakeFiles/zc_sim_test.dir/sim/monte_carlo_test.cpp.o"
+  "CMakeFiles/zc_sim_test.dir/sim/monte_carlo_test.cpp.o.d"
+  "CMakeFiles/zc_sim_test.dir/sim/network_test.cpp.o"
+  "CMakeFiles/zc_sim_test.dir/sim/network_test.cpp.o.d"
+  "CMakeFiles/zc_sim_test.dir/sim/simulator_test.cpp.o"
+  "CMakeFiles/zc_sim_test.dir/sim/simulator_test.cpp.o.d"
+  "CMakeFiles/zc_sim_test.dir/sim/trace_test.cpp.o"
+  "CMakeFiles/zc_sim_test.dir/sim/trace_test.cpp.o.d"
+  "CMakeFiles/zc_sim_test.dir/sim/zeroconf_host_test.cpp.o"
+  "CMakeFiles/zc_sim_test.dir/sim/zeroconf_host_test.cpp.o.d"
+  "zc_sim_test"
+  "zc_sim_test.pdb"
+  "zc_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

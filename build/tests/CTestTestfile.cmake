@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/zc_common_test[1]_include.cmake")
+include("/root/repo/build/tests/zc_linalg_test[1]_include.cmake")
+include("/root/repo/build/tests/zc_numerics_test[1]_include.cmake")
+include("/root/repo/build/tests/zc_prob_test[1]_include.cmake")
+include("/root/repo/build/tests/zc_markov_test[1]_include.cmake")
+include("/root/repo/build/tests/zc_core_test[1]_include.cmake")
+include("/root/repo/build/tests/zc_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/zc_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/zc_integration_test[1]_include.cmake")
