@@ -11,8 +11,10 @@
 #include "bench_util.hpp"
 #include "common/strings.hpp"
 #include "core/cost.hpp"
+#include "core/cost_surface.hpp"
 #include "core/optimize.hpp"
 #include "core/scenarios.hpp"
+#include "exec/parallel.hpp"
 #include "numerics/grid.hpp"
 
 int main() {
@@ -22,17 +24,18 @@ int main() {
   const auto scenario = core::scenarios::figure2().to_params();
   const auto r_grid = numerics::linspace(0.4, 4.0, 200);
 
-  const auto cmin = analysis::sample_series(
-      "C_min", r_grid,
-      [&](double r) { return core::min_cost(scenario, r); });
+  // Envelope and family from one surface: the C_min walk reuses each
+  // column's survival ladder, and columns evaluate across the pool.
+  const core::CostSurface surface(scenario, 64);
+  analysis::Series cmin{"C_min", r_grid, std::vector<double>(r_grid.size())};
+  exec::parallel_for(r_grid.size(), [&](std::size_t i) {
+    cmin.y[i] = surface.min_over_n(r_grid[i]).cost;
+  });
   // Context: the individual C_n curves it envelopes.
+  const auto family = surface.costs(r_grid);
   std::vector<analysis::Series> curves{cmin};
-  for (unsigned n = 3; n <= 6; ++n) {
-    curves.push_back(analysis::sample_series(
-        "C_" + std::to_string(n), r_grid, [&](double r) {
-          return core::mean_cost(scenario, core::ProtocolParams{n, r});
-        }));
-  }
+  for (unsigned n = 3; n <= 6; ++n)
+    curves.push_back({"C_" + std::to_string(n), r_grid, family.row(n)});
 
   analysis::PlotOptions plot;
   plot.title = "Figure 4: C_min(r) (marker 1) under the C_n family";

@@ -11,6 +11,7 @@
 #include "analysis/table.hpp"
 #include "bench_util.hpp"
 #include "common/strings.hpp"
+#include "core/cost_surface.hpp"
 #include "core/reliability.hpp"
 #include "core/scenarios.hpp"
 #include "numerics/grid.hpp"
@@ -24,14 +25,14 @@ int main() {
   const auto scenario = core::scenarios::figure2().to_params();
   const auto r_grid = numerics::linspace(0.2, 4.0, 160);
 
+  // One parallel surface sweep: all eight Err(n, r) curves share each
+  // column's pi_n(r) ladder.
+  const core::CostSurface surface(scenario, 8);
+  const auto grid = surface.error_probabilities(r_grid);
+
   std::vector<analysis::Series> curves;
-  for (unsigned n = 1; n <= 8; ++n) {
-    curves.push_back(analysis::sample_series(
-        "E_" + std::to_string(n), r_grid, [&](double r) {
-          return core::error_probability(scenario,
-                                         core::ProtocolParams{n, r});
-        }));
-  }
+  for (unsigned n = 1; n <= 8; ++n)
+    curves.push_back({"E_" + std::to_string(n), r_grid, grid.row(n)});
 
   analysis::PlotOptions plot;
   plot.title = "Figure 5: E(n, r) for n = 1..8 (log-y)";

@@ -1,0 +1,168 @@
+/// PERF — Serial-vs-parallel wall times of the exec-layer hot paths:
+/// Monte-Carlo trial fan-out and the joint (n, r) optimization sweep, at
+/// thread counts {1, 2, hardware}. Verifies along the way that every
+/// thread count produces bitwise-identical results (the exec layer's
+/// core guarantee), and emits BENCH_parallel.json with the measurements
+/// so CI can track the speedup.
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/expectation.hpp"
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "core/optimize.hpp"
+#include "core/scenarios.hpp"
+#include "exec/thread_pool.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double time_ms(const std::function<void()>& work) {
+  const auto start = Clock::now();
+  work();
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Median-of-3 to keep one-off scheduler noise out of the record.
+double timed_median_ms(const std::function<void()>& work) {
+  std::vector<double> times;
+  for (int rep = 0; rep < 3; ++rep) times.push_back(time_ms(work));
+  std::sort(times.begin(), times.end());
+  return times[1];
+}
+
+struct Measurement {
+  std::string name;
+  unsigned threads = 1;
+  double wall_ms = 0.0;
+  double speedup_vs_serial = 1.0;
+};
+
+void emit_json(const std::vector<Measurement>& rows, unsigned hardware,
+               bool deterministic) {
+  std::ofstream out("BENCH_parallel.json");
+  if (!out) {
+    std::cout << "[warning: could not write BENCH_parallel.json]\n";
+    return;
+  }
+  out << "{\n  \"hardware_threads\": " << hardware
+      << ",\n  \"bitwise_deterministic\": "
+      << (deterministic ? "true" : "false") << ",\n  \"measurements\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Measurement& m = rows[i];
+    out << "    {\"name\": \"" << m.name << "\", \"threads\": " << m.threads
+        << ", \"wall_ms\": " << m.wall_ms
+        << ", \"speedup_vs_serial\": " << m.speedup_vs_serial << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "[bench data: BENCH_parallel.json]\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace zc;
+  bench::banner("PERF-PARALLEL",
+                "serial vs parallel wall times: monte_carlo + joint_optimum");
+
+  const unsigned hardware = exec::hardware_threads();
+  std::vector<unsigned> thread_counts{1, 2, hardware};
+  if (hardware == 2) thread_counts = {1, 2};
+  if (hardware == 1) thread_counts = {1, 2};  // 2 still exercises the pool
+
+  std::cout << "hardware threads: " << hardware << "\n\n";
+
+  std::vector<Measurement> rows;
+  bool deterministic = true;
+
+  // --- Monte Carlo -------------------------------------------------------
+  sim::NetworkConfig network;
+  network.address_space = 65024;
+  network.hosts = 1000;
+  network.responder_delay =
+      std::shared_ptr<const prob::DelayDistribution>(
+          prob::paper_reply_delay(0.1, 10.0, 0.05));
+  sim::ZeroconfConfig protocol;
+  protocol.n = 4;
+  protocol.r = 0.25;
+  sim::MonteCarloOptions mc;
+  mc.trials = 6000;
+  mc.seed = 2026;
+
+  sim::MonteCarloResults reference;
+  for (unsigned threads : thread_counts) {
+    mc.threads = threads;
+    sim::MonteCarloResults last;
+    const double ms = timed_median_ms(
+        [&] { last = sim::monte_carlo(network, protocol, mc); });
+    if (threads == thread_counts.front()) {
+      reference = last;
+    } else {
+      deterministic &= last.collisions == reference.collisions &&
+                       last.model_cost.mean == reference.model_cost.mean &&
+                       last.probes.stddev == reference.probes.stddev;
+    }
+    Measurement m;
+    m.name = "monte_carlo_6000_trials";
+    m.threads = threads;
+    m.wall_ms = ms;
+    m.speedup_vs_serial = rows.empty() ? 1.0 : rows.front().wall_ms / ms;
+    rows.push_back(m);
+    std::cout << "monte_carlo   threads=" << threads << "  "
+              << zc::format_sig(ms, 4) << " ms  (x"
+              << zc::format_sig(m.speedup_vs_serial, 3) << ")\n";
+  }
+
+  // --- Joint optimum sweep ----------------------------------------------
+  const auto scenario = core::scenarios::figure2().to_params();
+  const std::size_t mc_rows = rows.size();
+  core::JointOptimum ref_opt;
+  for (unsigned threads : thread_counts) {
+    core::ROptOptions opts;
+    opts.exec.threads = threads;
+    core::JointOptimum last;
+    const double ms = timed_median_ms(
+        [&] { last = core::joint_optimum(scenario, 16, opts); });
+    if (threads == thread_counts.front()) {
+      ref_opt = last;
+    } else {
+      deterministic &= last.n == ref_opt.n && last.r == ref_opt.r &&
+                       last.cost == ref_opt.cost;
+    }
+    Measurement m;
+    m.name = "joint_optimum_n16";
+    m.threads = threads;
+    m.wall_ms = ms;
+    m.speedup_vs_serial =
+        rows.size() == mc_rows ? 1.0 : rows[mc_rows].wall_ms / ms;
+    rows.push_back(m);
+    std::cout << "joint_optimum threads=" << threads << "  "
+              << zc::format_sig(ms, 4) << " ms  (x"
+              << zc::format_sig(m.speedup_vs_serial, 3) << ")\n";
+  }
+
+  emit_json(rows, hardware, deterministic);
+
+  analysis::PaperCheck check("PERF-PARALLEL");
+  check.expect_true("bitwise-deterministic",
+                    "every thread count reproduced the serial results "
+                    "bitwise",
+                    deterministic);
+  check.expect_true("timings-positive", "all wall times are positive",
+                    [&] {
+                      for (const auto& m : rows)
+                        if (m.wall_ms <= 0.0) return false;
+                      return true;
+                    }());
+  return bench::finish(check);
+}

@@ -9,10 +9,13 @@
 
 #include "core/calibrate.hpp"
 #include "core/cost.hpp"
+#include "core/cost_surface.hpp"
 #include "core/drm.hpp"
 #include "core/optimize.hpp"
 #include "core/reliability.hpp"
 #include "core/scenarios.hpp"
+#include "exec/thread_pool.hpp"
+#include "numerics/grid.hpp"
 #include "sim/monte_carlo.hpp"
 
 namespace {
@@ -117,6 +120,93 @@ void BM_SimulatedConfigurationRun(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulatedConfigurationRun)->Arg(100)->Arg(1000);
+
+// ---- Parallel execution layer (src/exec) -------------------------------
+// Thread-count sweeps over the two hot paths the exec layer accelerates.
+// Results are bitwise-identical across the sweep; only wall time moves.
+
+sim::NetworkConfig mc_network() {
+  sim::NetworkConfig config;
+  config.address_space = 65024;
+  config.hosts = 1000;
+  config.responder_delay =
+      std::shared_ptr<const prob::DelayDistribution>(
+          prob::paper_reply_delay(0.1, 10.0, 0.05));
+  return config;
+}
+
+void BM_MonteCarloParallel(benchmark::State& state) {
+  const auto network = mc_network();
+  sim::ZeroconfConfig protocol;
+  protocol.n = 4;
+  protocol.r = 0.25;
+  sim::MonteCarloOptions opts;
+  opts.trials = 2000;
+  opts.seed = 7;
+  opts.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::monte_carlo(network, protocol, opts));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(opts.trials));
+}
+BENCHMARK(BM_MonteCarloParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(static_cast<long>(zc::exec::hardware_threads()))
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_JointOptimumParallel(benchmark::State& state) {
+  core::ROptOptions opts;
+  opts.exec.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::joint_optimum(fig2(), 12, opts));
+  }
+}
+BENCHMARK(BM_JointOptimumParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(static_cast<long>(zc::exec::hardware_threads()))
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CostSurfaceGrid(benchmark::State& state) {
+  const core::CostSurface surface(fig2(), 16);
+  const auto r_grid = numerics::linspace(0.05, 4.0, 256);
+  exec::ExecOptions opts;
+  opts.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(surface.costs(r_grid, opts));
+  }
+}
+BENCHMARK(BM_CostSurfaceGrid)
+    ->Arg(1)
+    ->Arg(static_cast<long>(zc::exec::hardware_threads()))
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The column cache itself, independent of threading: one amortized
+// column against n_max pointwise mean_cost calls.
+void BM_CostColumnAmortized(benchmark::State& state) {
+  const auto n_max = static_cast<unsigned>(state.range(0));
+  const core::CostSurface surface(fig2(), n_max);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(surface.cost_column(1.7));
+  }
+}
+BENCHMARK(BM_CostColumnAmortized)->Arg(16)->Arg(64);
+
+void BM_CostColumnPointwise(benchmark::State& state) {
+  const auto n_max = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    for (unsigned n = 1; n <= n_max; ++n) {
+      benchmark::DoNotOptimize(
+          core::mean_cost(fig2(), core::ProtocolParams{n, 1.7}));
+    }
+  }
+}
+BENCHMARK(BM_CostColumnPointwise)->Arg(16)->Arg(64);
 
 }  // namespace
 

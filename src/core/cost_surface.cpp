@@ -1,0 +1,145 @@
+#include "core/cost_surface.hpp"
+
+#include "common/contract.hpp"
+#include "numerics/kahan.hpp"
+
+namespace zc::core {
+
+namespace {
+
+/// Incremental column walker. Extends the survival ladder one rung per
+/// step and hands `visit` the pieces every per-n quantity is built from:
+/// pi_partial = sum_{i=0}^{n-1} pi_i(r) (compensated, same add order as
+/// mean_cost's KahanSum) and pi_n(r) (same product order as pi_values).
+/// `visit` returns false to stop early.
+template <typename Visit>
+void walk_column(const ScenarioParams& scenario, unsigned n_max, double r,
+                 Visit&& visit) {
+  const prob::DelayDistribution& fx = scenario.reply_delay();
+  numerics::KahanSum pi_partial;
+  double pi = 1.0;  // pi_0
+  for (unsigned n = 1; n <= n_max; ++n) {
+    pi_partial.add(pi);  // adds pi_{n-1}; prefix of mean_cost's loop
+    pi = pi * fx.survival(static_cast<double>(n) * r);  // pi_n
+    if (!visit(n, pi_partial.value(), pi)) return;
+  }
+}
+
+double cost_from_pieces(const ScenarioParams& scenario, unsigned n, double r,
+                        double pi_partial, double pi_n) {
+  // Verbatim arithmetic of cost.cpp's mean_cost numerator/denominator.
+  const double q = scenario.q();
+  const double per_probe = r + scenario.probe_cost();
+  const double numerator =
+      per_probe * (static_cast<double>(n) * (1.0 - q) + q * pi_partial) +
+      q * scenario.error_cost() * pi_n;
+  const double denominator = 1.0 - q * (1.0 - pi_n);
+  ZC_ASSERT(denominator > 0.0);
+  return numerator / denominator;
+}
+
+double error_from_pieces(const ScenarioParams& scenario, double pi_n) {
+  // Verbatim arithmetic of reliability.cpp's error_probability.
+  const double q = scenario.q();
+  const double denominator = 1.0 - q * (1.0 - pi_n);
+  ZC_ASSERT(denominator > 0.0);
+  return q * pi_n / denominator;
+}
+
+}  // namespace
+
+CostSurface::CostSurface(ScenarioParams scenario, unsigned n_max)
+    : scenario_(std::move(scenario)), n_max_(n_max) {
+  ZC_EXPECTS(n_max >= 1);
+}
+
+std::vector<double> CostSurface::cost_column(double r) const {
+  ZC_EXPECTS(r >= 0.0);
+  std::vector<double> out(n_max_);
+  walk_column(scenario_, n_max_, r,
+              [&](unsigned n, double pi_partial, double pi_n) {
+                out[n - 1] = cost_from_pieces(scenario_, n, r, pi_partial, pi_n);
+                return true;
+              });
+  return out;
+}
+
+std::vector<double> CostSurface::error_column(double r) const {
+  ZC_EXPECTS(r >= 0.0);
+  std::vector<double> out(n_max_);
+  walk_column(scenario_, n_max_, r,
+              [&](unsigned n, double, double pi_n) {
+                out[n - 1] = error_from_pieces(scenario_, pi_n);
+                return true;
+              });
+  return out;
+}
+
+CostSurface::ColumnMin CostSurface::min_over_n(double r) const {
+  ZC_EXPECTS(r >= 0.0);
+  // Same decision sequence as the former O(n_max^2) optimal_n scan: track
+  // the best cost, stop after 8 consecutive rises.
+  ColumnMin best;
+  unsigned rises_in_a_row = 0;
+  double prev = 0.0;
+  walk_column(scenario_, n_max_, r,
+              [&](unsigned n, double pi_partial, double pi_n) {
+                const double cost =
+                    cost_from_pieces(scenario_, n, r, pi_partial, pi_n);
+                if (n == 1) {
+                  best = {1, cost};
+                  prev = cost;
+                  return true;
+                }
+                if (cost < best.cost) best = {n, cost};
+                rises_in_a_row = (cost > prev) ? rises_in_a_row + 1 : 0;
+                prev = cost;
+                return rises_in_a_row < 8;
+              });
+  return best;
+}
+
+std::vector<double> CostSurface::Surface::row(unsigned n) const {
+  const std::size_t cols = r_grid.size();
+  const auto first =
+      values.begin() + static_cast<std::ptrdiff_t>((n - 1) * cols);
+  return std::vector<double>(first, first + static_cast<std::ptrdiff_t>(cols));
+}
+
+namespace {
+
+CostSurface::Surface evaluate_surface(
+    const CostSurface& surface, std::vector<double> r_grid,
+    const exec::ExecOptions& opts,
+    std::vector<double> (CostSurface::*column)(double) const) {
+  CostSurface::Surface out;
+  out.n_max = surface.n_max();
+  out.r_grid = std::move(r_grid);
+  const std::size_t cols = out.r_grid.size();
+  out.values.resize(static_cast<std::size_t>(out.n_max) * cols);
+  exec::parallel_for(
+      cols,
+      [&](std::size_t j) {
+        const std::vector<double> col = (surface.*column)(out.r_grid[j]);
+        for (unsigned n = 1; n <= out.n_max; ++n)
+          out.values[(n - 1) * cols + j] = col[n - 1];
+      },
+      opts);
+  return out;
+}
+
+}  // namespace
+
+CostSurface::Surface CostSurface::costs(std::vector<double> r_grid,
+                                        const exec::ExecOptions& opts) const {
+  return evaluate_surface(*this, std::move(r_grid), opts,
+                          &CostSurface::cost_column);
+}
+
+CostSurface::Surface CostSurface::error_probabilities(
+    std::vector<double> r_grid, const exec::ExecOptions& opts) const {
+  return evaluate_surface(*this, std::move(r_grid), opts,
+                          &CostSurface::error_column);
+}
+
+}  // namespace zc::core

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file cost_surface.hpp
+/// Amortized evaluation of the model over an (n, r) grid. For a fixed r,
+/// C(n, r) and Err(n, r) for every n share one survival ladder
+/// S(r), S(2r), ..., S(n_max r): the path products pi_n(r) and the Kahan
+/// prefix sum sum_{i<n} pi_i(r) extend incrementally, so a whole r-column
+/// costs O(n_max) survival evaluations instead of the O(n_max^2) a
+/// per-(n, r) mean_cost scan pays. The incremental recurrence performs
+/// the *same* floating-point operations in the same order as
+/// mean_cost / error_probability, so every surface entry is bitwise
+/// equal to the pointwise evaluation it replaces.
+///
+/// Columns are independent, which is what the parallel grid evaluators
+/// exploit: exec::parallel_for over r-columns, deterministic at any
+/// thread count.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/params.hpp"
+#include "exec/parallel.hpp"
+
+namespace zc::core {
+
+/// Evaluator of C(n, r) / Err(n, r) columns for n = 1..n_max.
+class CostSurface {
+ public:
+  CostSurface(ScenarioParams scenario, unsigned n_max);
+
+  [[nodiscard]] unsigned n_max() const noexcept { return n_max_; }
+  [[nodiscard]] const ScenarioParams& scenario() const noexcept {
+    return scenario_;
+  }
+
+  /// One column of mean costs: result[n-1] == mean_cost(scenario, {n, r})
+  /// bitwise, for n = 1..n_max, in O(n_max) survival calls.
+  [[nodiscard]] std::vector<double> cost_column(double r) const;
+
+  /// One column of collision probabilities: result[n-1] ==
+  /// error_probability(scenario, {n, r}) bitwise, for n = 1..n_max.
+  [[nodiscard]] std::vector<double> error_column(double r) const;
+
+  /// The n minimizing C(n, r) and the minimal cost, walking the column
+  /// incrementally with the same early-stop rule as optimize.cpp's
+  /// optimal_n (stop after 8 consecutive cost rises): identical results,
+  /// one survival call per visited n.
+  struct ColumnMin {
+    unsigned n = 1;
+    double cost = 0.0;
+  };
+  [[nodiscard]] ColumnMin min_over_n(double r) const;
+
+  /// A fully evaluated surface over an r-grid; values laid out row-major
+  /// by n so a fixed-n curve is one contiguous row.
+  struct Surface {
+    std::vector<double> r_grid;
+    unsigned n_max = 0;
+    std::vector<double> values;  ///< size n_max * r_grid.size()
+
+    [[nodiscard]] double at(unsigned n, std::size_t j) const {
+      return values[(n - 1) * r_grid.size() + j];
+    }
+    /// Copy of the fixed-n curve over the whole r-grid.
+    [[nodiscard]] std::vector<double> row(unsigned n) const;
+  };
+
+  /// Evaluate all cost columns over `r_grid`, one parallel task per
+  /// column chunk. Deterministic at any opts.threads.
+  [[nodiscard]] Surface costs(std::vector<double> r_grid,
+                              const exec::ExecOptions& opts = {}) const;
+
+  /// Same for collision probabilities.
+  [[nodiscard]] Surface error_probabilities(
+      std::vector<double> r_grid, const exec::ExecOptions& opts = {}) const;
+
+ private:
+  ScenarioParams scenario_;
+  unsigned n_max_;
+};
+
+}  // namespace zc::core

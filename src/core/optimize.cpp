@@ -5,7 +5,9 @@
 
 #include "common/contract.hpp"
 #include "core/cost.hpp"
+#include "core/cost_surface.hpp"
 #include "core/reliability.hpp"
+#include "numerics/grid.hpp"
 #include "numerics/minimize.hpp"
 
 namespace zc::core {
@@ -26,37 +28,29 @@ CostMinimum optimal_r(const ScenarioParams& scenario, unsigned n,
   ZC_EXPECTS(n >= 1);
   const double r_max = resolve_r_max(scenario, opts);
   ZC_EXPECTS(opts.r_min > 0.0 && opts.r_min < r_max);
-  const auto result = numerics::scan_then_refine_minimize(
-      [&](double r) { return mean_cost(scenario, ProtocolParams{n, r}); },
-      opts.r_min, r_max, opts.grid_points, opts.x_tol);
+  ZC_EXPECTS(opts.grid_points >= 3);
+  const auto cost = [&](double r) {
+    return mean_cost(scenario, ProtocolParams{n, r});
+  };
+  // Coarse scan in parallel (grid values are scheduling-independent),
+  // then the exact same bracketing + Brent refinement as the serial path.
+  const auto xs = numerics::linspace(opts.r_min, r_max, opts.grid_points);
+  std::vector<double> values(xs.size());
+  exec::parallel_for(
+      xs.size(), [&](std::size_t i) { values[i] = cost(xs[i]); }, opts.exec);
+  const auto result =
+      numerics::refine_scanned_minimize(cost, xs, values, opts.x_tol);
   return {result.x, result.value};
 }
 
 unsigned optimal_n(const ScenarioParams& scenario, double r, unsigned n_max) {
   ZC_EXPECTS(r >= 0.0);
   ZC_EXPECTS(n_max >= 1);
-  unsigned best_n = 1;
-  double best_cost = mean_cost(scenario, ProtocolParams{1, r});
-  unsigned rises_in_a_row = 0;
-  double prev = best_cost;
-  for (unsigned n = 2; n <= n_max; ++n) {
-    const double cost = mean_cost(scenario, ProtocolParams{n, r});
-    if (cost < best_cost) {
-      best_cost = cost;
-      best_n = n;
-    }
-    // After the error term is exhausted the cost grows by ~(r+c)(1-q) per
-    // extra probe; several consecutive rises mean the minimum is behind us.
-    rises_in_a_row = (cost > prev) ? rises_in_a_row + 1 : 0;
-    if (rises_in_a_row >= 8) break;
-    prev = cost;
-  }
-  return best_n;
+  return CostSurface(scenario, n_max).min_over_n(r).n;
 }
 
 double min_cost(const ScenarioParams& scenario, double r, unsigned n_max) {
-  const unsigned n = optimal_n(scenario, r, n_max);
-  return mean_cost(scenario, ProtocolParams{n, r});
+  return CostSurface(scenario, n_max).min_over_n(r).cost;
 }
 
 unsigned min_useful_n(double error_cost, double loss) {
@@ -70,10 +64,25 @@ unsigned min_useful_n(double error_cost, double loss) {
 JointOptimum joint_optimum(const ScenarioParams& scenario, unsigned n_max,
                            const ROptOptions& opts) {
   ZC_EXPECTS(n_max >= 1);
+  // Each per-n search is independent; run them across the pool and keep
+  // the inner scans serial (parallelism composes poorly when nested and
+  // the outer loop already saturates the workers).
+  ROptOptions inner = opts;
+  inner.exec.threads = 1;
+  std::vector<CostMinimum> minima(n_max);
+  exec::ExecOptions outer = opts.exec;
+  outer.chunk_size = 1;  // n-searches vary a lot in cost; balance finely
+  exec::parallel_for(
+      n_max,
+      [&](std::size_t i) {
+        minima[i] = optimal_r(scenario, static_cast<unsigned>(i) + 1, inner);
+      },
+      outer);
+
   JointOptimum best;
   best.cost = std::numeric_limits<double>::infinity();
   for (unsigned n = 1; n <= n_max; ++n) {
-    const CostMinimum m = optimal_r(scenario, n, opts);
+    const CostMinimum& m = minima[n - 1];
     if (m.cost < best.cost) {
       best.n = n;
       best.r = m.r;
@@ -88,25 +97,39 @@ JointOptimum joint_optimum(const ScenarioParams& scenario, unsigned n_max,
 std::vector<NBreakpoint> n_breakpoints(const ScenarioParams& scenario,
                                        double r_lo, double r_hi,
                                        std::size_t grid_points, double r_tol,
-                                       unsigned n_max) {
+                                       unsigned n_max,
+                                       const exec::ExecOptions& exec) {
   ZC_EXPECTS(0.0 < r_lo && r_lo < r_hi);
   ZC_EXPECTS(grid_points >= 2);
 
-  std::vector<NBreakpoint> out;
+  const CostSurface surface(scenario, n_max);
   const double step =
       (r_hi - r_lo) / static_cast<double>(grid_points - 1);
+
+  // Pre-scan N(r) at every grid point in parallel; the serial walk below
+  // then only pays for bisections, each O(n_max) survival calls.
+  std::vector<unsigned> n_at(grid_points);
+  exec::parallel_for(
+      grid_points,
+      [&](std::size_t i) {
+        const double r = r_lo + static_cast<double>(i) * step;
+        n_at[i] = surface.min_over_n(std::min(r, r_hi)).n;
+      },
+      exec);
+
+  std::vector<NBreakpoint> out;
   double seg_start = r_lo;
-  unsigned seg_n = optimal_n(scenario, r_lo, n_max);
+  unsigned seg_n = n_at[0];
 
   for (std::size_t i = 1; i < grid_points; ++i) {
     const double r = r_lo + static_cast<double>(i) * step;
-    const unsigned n_here = optimal_n(scenario, std::min(r, r_hi), n_max);
+    const unsigned n_here = n_at[i];
     if (n_here == seg_n) continue;
     // Bisect the change point within (r - step, r].
     double lo = r - step, hi = std::min(r, r_hi);
     while (hi - lo > r_tol) {
       const double mid = 0.5 * (lo + hi);
-      if (optimal_n(scenario, mid, n_max) == seg_n)
+      if (surface.min_over_n(mid).n == seg_n)
         lo = mid;
       else
         hi = mid;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/params.hpp"
+#include "exec/parallel.hpp"
 
 namespace zc::core {
 
@@ -18,6 +19,10 @@ struct ROptOptions {
   double r_max = 0.0;           ///< upper end; 0 = auto from the delay dist.
   std::size_t grid_points = 512;  ///< coarse-scan resolution
   double x_tol = 1e-10;         ///< Brent refinement tolerance
+
+  /// Parallelism of the coarse scan (optimal_r) / the per-n searches
+  /// (joint_optimum). Results are identical at any thread count.
+  exec::ExecOptions exec{};
 };
 
 /// A located cost minimum.
@@ -67,10 +72,12 @@ struct NBreakpoint {
   unsigned n = 0;
 };
 
-/// Locate the steps of N(r) on [r_lo, r_hi]: scan a grid, then bisect each
-/// change to `r_tol`. Returned intervals partition [r_lo, r_hi].
+/// Locate the steps of N(r) on [r_lo, r_hi]: scan a grid (in parallel,
+/// deterministically), then bisect each change to `r_tol`. Returned
+/// intervals partition [r_lo, r_hi].
 [[nodiscard]] std::vector<NBreakpoint> n_breakpoints(
     const ScenarioParams& scenario, double r_lo, double r_hi,
-    std::size_t grid_points = 512, double r_tol = 1e-9, unsigned n_max = 64);
+    std::size_t grid_points = 512, double r_tol = 1e-9, unsigned n_max = 64,
+    const exec::ExecOptions& exec = {});
 
 }  // namespace zc::core

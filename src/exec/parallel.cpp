@@ -1,0 +1,136 @@
+#include "exec/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+#include "common/contract.hpp"
+
+namespace zc::exec {
+
+namespace {
+
+/// Shared state of one parallel section. Held by shared_ptr so that a
+/// queued helper task that fires after the section completed (all chunks
+/// already claimed) still has valid state to look at.
+struct Section {
+  std::size_t n = 0;
+  std::size_t chunk_size = 0;
+  std::size_t chunks = 0;
+  const std::function<void(ChunkRange)>* body = nullptr;
+
+  std::atomic<std::size_t> next_chunk{0};
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t submitted = 0;
+  std::size_t finished = 0;
+  std::exception_ptr error;
+
+  /// Claim and run chunks until none remain. Never throws; the first
+  /// chunk exception is parked in `error` for the caller to rethrow.
+  void drain() {
+    for (;;) {
+      const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      ChunkRange range;
+      range.index = c;
+      range.begin = c * chunk_size;
+      range.end = std::min(range.begin + chunk_size, n);
+      try {
+        (*body)(range);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+
+  void mark_finished() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      ++finished;
+    }
+    done_cv.notify_all();
+  }
+};
+
+}  // namespace
+
+std::size_t resolve_chunk_size(std::size_t n, std::size_t requested) noexcept {
+  if (requested > 0) return requested;
+  // Target 64 chunks independent of thread count: enough slack for any
+  // sane worker count to balance load, few enough that per-chunk
+  // accumulators stay cheap.
+  return std::max<std::size_t>(1, (n + 63) / 64);
+}
+
+std::size_t chunk_count(std::size_t n, std::size_t chunk_size) noexcept {
+  if (n == 0 || chunk_size == 0) return 0;
+  return (n + chunk_size - 1) / chunk_size;
+}
+
+void parallel_for_chunks(std::size_t n, std::size_t chunk_size,
+                         const std::function<void(ChunkRange)>& body,
+                         unsigned threads) {
+  ZC_EXPECTS(chunk_size > 0);
+  if (n == 0) return;
+
+  auto section = std::make_shared<Section>();
+  section->n = n;
+  section->chunk_size = chunk_size;
+  section->chunks = chunk_count(n, chunk_size);
+  section->body = &body;
+
+  const unsigned requested = threads == 0 ? hardware_threads() : threads;
+  const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
+      requested, section->chunks));
+
+  if (workers <= 1) {
+    // Inline serial path: chunks run in ascending order on this thread.
+    section->drain();
+  } else {
+    ThreadPool& pool = ThreadPool::shared();
+    section->submitted = workers - 1;  // the caller is worker zero
+    for (unsigned w = 1; w < workers; ++w) {
+      pool.submit([section] {
+        section->drain();
+        section->mark_finished();
+      });
+    }
+    section->drain();
+    // Help with queued work (possibly our own helper tasks, possibly a
+    // nested section's) until all our helpers have finished; then a plain
+    // wait is safe: the stragglers are *running*, not queued.
+    std::unique_lock<std::mutex> lock(section->mutex);
+    while (section->finished < section->submitted) {
+      lock.unlock();
+      if (!pool.run_one()) {
+        lock.lock();
+        section->done_cv.wait(lock, [&] {
+          return section->finished >= section->submitted;
+        });
+        break;
+      }
+      lock.lock();
+    }
+  }
+
+  if (section->error) std::rethrow_exception(section->error);
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  const ExecOptions& opts) {
+  const std::size_t chunk = resolve_chunk_size(n, opts.chunk_size);
+  parallel_for_chunks(
+      n, chunk,
+      [&](ChunkRange range) {
+        for (std::size_t i = range.begin; i < range.end; ++i) body(i);
+      },
+      opts.threads);
+}
+
+}  // namespace zc::exec

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file parallel.hpp
+/// Deterministic data-parallel primitives: parallel_for / parallel_reduce
+/// over an index range with *static chunk assignment*.
+///
+/// The range [0, n) is split into contiguous chunks whose boundaries
+/// depend only on `n` and the (explicit or default) chunk size — never on
+/// the number of threads or on scheduling. Worker threads race only for
+/// *which chunk to run next*; each chunk's work and each chunk's
+/// accumulator are private to the chunk. parallel_reduce then merges the
+/// per-chunk accumulators **in chunk-index order** on the calling thread.
+/// Consequence: results are bitwise-identical at any thread count,
+/// including threads = 1 (which runs inline without touching the pool).
+///
+/// Waiting callers help drain the shared pool's queue (ThreadPool::
+/// run_one), so nested parallel sections cannot deadlock.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace zc::exec {
+
+/// Knobs of a parallel section.
+struct ExecOptions {
+  /// Worker count: 0 = hardware concurrency, 1 = run inline (serial).
+  /// Results never depend on this value — only wall-clock time does.
+  unsigned threads = 0;
+
+  /// Elements per chunk; 0 = ceil(n / 64) (one chunk per element for
+  /// n < 64). Chunk boundaries are what merge order is defined over, so
+  /// overriding this *does* change floating-point merge results — pick a
+  /// value and keep it fixed when comparing runs.
+  std::size_t chunk_size = 0;
+};
+
+/// One statically-assigned chunk of the index range.
+struct ChunkRange {
+  std::size_t begin = 0;  ///< first index, inclusive
+  std::size_t end = 0;    ///< last index, exclusive
+  std::size_t index = 0;  ///< chunk ordinal in [0, chunk_count)
+};
+
+/// Resolved elements-per-chunk for a range of `n` (default: 64 chunks).
+[[nodiscard]] std::size_t resolve_chunk_size(std::size_t n,
+                                             std::size_t requested) noexcept;
+
+/// Number of chunks the range [0, n) splits into at the given chunk size.
+[[nodiscard]] std::size_t chunk_count(std::size_t n,
+                                      std::size_t chunk_size) noexcept;
+
+/// Run `body` once per chunk, distributing chunks over `threads` workers
+/// of the shared pool (the caller participates). Exceptions thrown by any
+/// chunk are rethrown on the calling thread (first one wins).
+void parallel_for_chunks(std::size_t n, std::size_t chunk_size,
+                         const std::function<void(ChunkRange)>& body,
+                         unsigned threads);
+
+/// Run `body(i)` for every i in [0, n) exactly once.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  const ExecOptions& opts = {});
+
+/// Chunked reduction: one `Acc` per chunk (copy-constructed from `init`),
+/// `body(acc, i)` folds element i into its chunk's accumulator, and
+/// `merge(into, from)` combines accumulators in ascending chunk order.
+/// Deterministic at any thread count (see file comment).
+template <typename Acc, typename Body, typename Merge>
+[[nodiscard]] Acc parallel_reduce(std::size_t n, Acc init, Body&& body,
+                                  Merge&& merge, const ExecOptions& opts = {}) {
+  const std::size_t chunk = resolve_chunk_size(n, opts.chunk_size);
+  const std::size_t chunks = chunk_count(n, chunk);
+  std::vector<Acc> accumulators(chunks, init);
+  parallel_for_chunks(
+      n, chunk,
+      [&](ChunkRange range) {
+        Acc& acc = accumulators[range.index];
+        for (std::size_t i = range.begin; i < range.end; ++i) body(acc, i);
+      },
+      opts.threads);
+  Acc out = init;
+  for (Acc& acc : accumulators) merge(out, acc);
+  return out;
+}
+
+}  // namespace zc::exec

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Fixed-size worker pool underpinning the deterministic parallel layer
+/// (parallel.hpp). The pool itself is a plain FIFO task queue; all
+/// determinism guarantees live one level up, in the static chunk
+/// assignment of parallel_for / parallel_reduce.
+///
+/// Blocking-wait callers can *help*: run_one() lets a thread that is
+/// waiting for its own tasks drain the queue instead of sleeping, which
+/// both avoids idle cores and makes nested parallel sections
+/// deadlock-free even on a pool of size 1.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace zc::exec {
+
+/// Number of workers a `threads = 0` request resolves to: the hardware
+/// concurrency, with a floor of 1 (hardware_concurrency may report 0).
+[[nodiscard]] unsigned hardware_threads() noexcept;
+
+/// Fixed-size FIFO thread pool. Tasks are arbitrary void() callables;
+/// exceptions must be handled inside the task (see parallel.cpp, which
+/// funnels them through an exception_ptr).
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (0 = hardware_threads()).
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains nothing: outstanding tasks are completed, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Thread-safe.
+  void submit(std::function<void()> task);
+
+  /// Pop and run one queued task on the calling thread; returns false if
+  /// the queue was empty. Lets waiters help instead of blocking, which
+  /// keeps nested parallel sections live even when every pool worker is
+  /// itself inside a waiting parallel section.
+  bool run_one();
+
+  /// Number of worker threads.
+  [[nodiscard]] unsigned size() const noexcept { return size_; }
+
+  /// Process-wide pool sized to the hardware, created on first use.
+  /// Shared by every parallel_for unless a caller brings its own pool.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  unsigned size_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace zc::exec

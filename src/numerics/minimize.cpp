@@ -132,23 +132,22 @@ MinResult brent_minimize(const Fn1D& f, double lo, double hi, double x_tol,
   return {x, fx, evals, false};
 }
 
-MinResult scan_then_refine_minimize(const Fn1D& f, double lo, double hi,
-                                    std::size_t grid_points, double x_tol) {
-  ZC_EXPECTS(lo < hi);
-  ZC_EXPECTS(grid_points >= 3);
+MinResult refine_scanned_minimize(const Fn1D& f,
+                                  const std::vector<double>& xs,
+                                  const std::vector<double>& values,
+                                  double x_tol) {
+  ZC_EXPECTS(xs.size() >= 3);
+  ZC_EXPECTS(xs.size() == values.size());
 
-  const auto xs = linspace(lo, hi, grid_points);
   std::size_t best = 0;
-  double best_val = f(xs[0]);
-  int evals = 1;
-  for (std::size_t i = 1; i < xs.size(); ++i) {
-    const double v = f(xs[i]);
-    ++evals;
-    if (v < best_val) {
-      best_val = v;
+  double best_val = values[0];
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    if (values[i] < best_val) {
+      best_val = values[i];
       best = i;
     }
   }
+  const int evals = static_cast<int>(xs.size());
   const double bl = (best == 0) ? xs[0] : xs[best - 1];
   const double bh = (best + 1 == xs.size()) ? xs.back() : xs[best + 1];
   if (bl == bh) return {xs[best], best_val, evals, true};
@@ -160,6 +159,17 @@ MinResult scan_then_refine_minimize(const Fn1D& f, double lo, double hi,
     refined.value = best_val;
   }
   return refined;
+}
+
+MinResult scan_then_refine_minimize(const Fn1D& f, double lo, double hi,
+                                    std::size_t grid_points, double x_tol) {
+  ZC_EXPECTS(lo < hi);
+  ZC_EXPECTS(grid_points >= 3);
+
+  const auto xs = linspace(lo, hi, grid_points);
+  std::vector<double> values(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) values[i] = f(xs[i]);
+  return refine_scanned_minimize(f, xs, values, x_tol);
 }
 
 }  // namespace zc::numerics

@@ -6,6 +6,7 @@
 /// zeroconf cost C_n(r)) that are unimodal only on part of their domain.
 
 #include <functional>
+#include <vector>
 
 namespace zc::numerics {
 
@@ -39,5 +40,15 @@ using Fn1D = std::function<double(double)>;
                                                   double hi,
                                                   std::size_t grid_points = 256,
                                                   double x_tol = 1e-10);
+
+/// The refine half of scan_then_refine_minimize for callers that already
+/// hold the scan: `values[i]` must equal f(xs[i]). Picks the best sample
+/// (first on ties), brackets it with its neighbours, refines with Brent.
+/// scan_then_refine_minimize(f, ...) == refine_scanned_minimize(f, xs,
+/// serially-computed values, x_tol) — which is what makes a *parallel*
+/// scan drop-in safe: the values are the same doubles either way.
+[[nodiscard]] MinResult refine_scanned_minimize(
+    const Fn1D& f, const std::vector<double>& xs,
+    const std::vector<double>& values, double x_tol = 1e-10);
 
 }  // namespace zc::numerics

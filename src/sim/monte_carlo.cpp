@@ -1,6 +1,8 @@
 #include "sim/monte_carlo.hpp"
 
 #include "common/contract.hpp"
+#include "exec/parallel.hpp"
+#include "exec/seeding.hpp"
 
 namespace zc::sim {
 
@@ -10,6 +12,21 @@ Estimate to_estimate(const RunningStats& stats) {
   return {stats.mean(), stats.stddev(), stats.ci95_halfwidth()};
 }
 
+/// Per-chunk partial aggregation of a slice of trials.
+struct TrialAccumulator {
+  RunningStats model_cost, elapsed_cost, probes, attempts, waiting;
+  std::size_t collisions = 0;
+
+  void merge(const TrialAccumulator& other) {
+    model_cost.merge(other.model_cost);
+    elapsed_cost.merge(other.elapsed_cost);
+    probes.merge(other.probes);
+    attempts.merge(other.attempts);
+    waiting.merge(other.waiting);
+    collisions += other.collisions;
+  }
+};
+
 }  // namespace
 
 MonteCarloResults monte_carlo(const NetworkConfig& network,
@@ -17,33 +34,42 @@ MonteCarloResults monte_carlo(const NetworkConfig& network,
                               const MonteCarloOptions& opts) {
   ZC_EXPECTS(opts.trials > 0);
 
-  prob::Rng seeder(opts.seed);
-  RunningStats model_cost, elapsed_cost, probes, attempts, waiting;
-  std::size_t collisions = 0;
+  exec::ExecOptions exec_opts;
+  exec_opts.threads = opts.threads;
+  exec_opts.chunk_size = opts.chunk_size;
 
-  for (std::size_t t = 0; t < opts.trials; ++t) {
-    Network net(network, seeder.next_u64());
-    const RunResult run = net.run_join(protocol);
-    model_cost.add(run.model_cost(protocol.r, opts.probe_cost,
-                                  opts.error_cost));
-    elapsed_cost.add(run.elapsed_cost(opts.probe_cost, opts.error_cost));
-    probes.add(static_cast<double>(run.probes_sent));
-    attempts.add(static_cast<double>(run.attempts));
-    waiting.add(run.waiting_time);
-    if (run.collision) ++collisions;
-  }
+  const TrialAccumulator total = exec::parallel_reduce(
+      opts.trials, TrialAccumulator{},
+      [&](TrialAccumulator& acc, std::size_t t) {
+        // Counter-based seed: trial t's stream depends only on
+        // (opts.seed, t), never on thread assignment or run order.
+        Network net(network, exec::split_seed(opts.seed, t));
+        const RunResult run = net.run_join(protocol);
+        acc.model_cost.add(
+            run.model_cost(protocol.r, opts.probe_cost, opts.error_cost));
+        acc.elapsed_cost.add(
+            run.elapsed_cost(opts.probe_cost, opts.error_cost));
+        acc.probes.add(static_cast<double>(run.probes_sent));
+        acc.attempts.add(static_cast<double>(run.attempts));
+        acc.waiting.add(run.waiting_time);
+        if (run.collision) ++acc.collisions;
+      },
+      [](TrialAccumulator& into, const TrialAccumulator& from) {
+        into.merge(from);
+      },
+      exec_opts);
 
   MonteCarloResults out;
   out.trials = opts.trials;
-  out.model_cost = to_estimate(model_cost);
-  out.elapsed_cost = to_estimate(elapsed_cost);
-  out.probes = to_estimate(probes);
-  out.attempts = to_estimate(attempts);
-  out.waiting_time = to_estimate(waiting);
-  out.collisions = collisions;
-  out.collision_rate =
-      static_cast<double>(collisions) / static_cast<double>(opts.trials);
-  out.collision_ci95 = wilson_ci95(collisions, opts.trials);
+  out.model_cost = to_estimate(total.model_cost);
+  out.elapsed_cost = to_estimate(total.elapsed_cost);
+  out.probes = to_estimate(total.probes);
+  out.attempts = to_estimate(total.attempts);
+  out.waiting_time = to_estimate(total.waiting);
+  out.collisions = total.collisions;
+  out.collision_rate = static_cast<double>(total.collisions) /
+                       static_cast<double>(opts.trials);
+  out.collision_ci95 = wilson_ci95(total.collisions, opts.trials);
   return out;
 }
 

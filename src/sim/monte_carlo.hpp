@@ -41,6 +41,17 @@ struct MonteCarloOptions {
   std::uint64_t seed = 42;
   double probe_cost = 2.0;   ///< c, for the cost estimates
   double error_cost = 1e35;  ///< E, for the cost estimates
+
+  /// Worker threads: 0 = hardware concurrency, 1 = serial on the calling
+  /// thread. Results are bitwise-identical at every setting: trial t is
+  /// seeded by the pure function exec::split_seed(seed, t) and chunk
+  /// accumulators merge in a fixed order, so scheduling never leaks into
+  /// the estimates.
+  unsigned threads = 0;
+
+  /// Trials per work chunk (0 = auto, ~64 chunks). Fixed per campaign;
+  /// see exec::ExecOptions::chunk_size for the determinism contract.
+  std::size_t chunk_size = 0;
 };
 
 /// Run `opts.trials` independent configuration runs, each on a freshly

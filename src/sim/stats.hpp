@@ -21,6 +21,26 @@ class RunningStats {
     m2_ += delta * (x - mean_);
   }
 
+  /// Fold another accumulator into this one (Chan et al.'s pairwise
+  /// mean/M2 combination), as if this accumulator had also seen every
+  /// sample the other did. The workhorse of parallel reduction: chunk
+  /// accumulators merge in chunk order, giving results independent of
+  /// which thread ran which chunk.
+  void merge(const RunningStats& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double n_a = static_cast<double>(count_);
+    const double n_b = static_cast<double>(other.count_);
+    const double n = n_a + n_b;
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * (n_b / n);
+    m2_ += other.m2_ + delta * delta * (n_a * n_b / n);
+    count_ += other.count_;
+  }
+
   [[nodiscard]] std::size_t count() const noexcept { return count_; }
   [[nodiscard]] double mean() const noexcept { return mean_; }
 

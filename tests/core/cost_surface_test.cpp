@@ -1,0 +1,118 @@
+#include "core/cost_surface.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+#include "core/cost.hpp"
+#include "core/optimize.hpp"
+#include "core/reliability.hpp"
+#include "core/scenarios.hpp"
+#include "numerics/grid.hpp"
+
+namespace {
+
+using namespace zc::core;
+
+const ScenarioParams& fig2() {
+  static const ScenarioParams scenario = scenarios::figure2().to_params();
+  return scenario;
+}
+
+TEST(CostSurface, CostColumnBitwiseEqualsPointwiseMeanCost) {
+  const CostSurface surface(fig2(), 12);
+  for (double r : {0.0, 0.05, 0.5, 1.7, 2.14, 4.0, 50.0}) {
+    const auto column = surface.cost_column(r);
+    ASSERT_EQ(column.size(), 12u);
+    for (unsigned n = 1; n <= 12; ++n) {
+      EXPECT_EQ(column[n - 1], mean_cost(fig2(), ProtocolParams{n, r}))
+          << "n=" << n << " r=" << r;
+    }
+  }
+}
+
+TEST(CostSurface, ErrorColumnBitwiseEqualsPointwiseErrorProbability) {
+  const CostSurface surface(fig2(), 10);
+  for (double r : {0.0, 0.3, 1.7, 4.0}) {
+    const auto column = surface.error_column(r);
+    for (unsigned n = 1; n <= 10; ++n) {
+      EXPECT_EQ(column[n - 1],
+                error_probability(fig2(), ProtocolParams{n, r}))
+          << "n=" << n << " r=" << r;
+    }
+  }
+}
+
+TEST(CostSurface, MinOverNMatchesOptimalN) {
+  const CostSurface surface(fig2(), 64);
+  for (double r = 0.4; r <= 4.0; r += 0.05) {
+    const auto m = surface.min_over_n(r);
+    EXPECT_EQ(m.n, optimal_n(fig2(), r)) << "r=" << r;
+    EXPECT_EQ(m.cost, mean_cost(fig2(), ProtocolParams{m.n, r})) << "r=" << r;
+  }
+}
+
+TEST(CostSurface, ParallelGridBitwiseEqualsSerialGrid) {
+  const CostSurface surface(fig2(), 8);
+  const auto r_grid = zc::numerics::linspace(0.05, 4.0, 97);
+  const auto serial = surface.costs(r_grid, {1, 0});
+  const auto parallel = surface.costs(r_grid, {8, 2});
+  ASSERT_EQ(serial.values.size(), parallel.values.size());
+  EXPECT_EQ(serial.values, parallel.values);
+  const auto serial_err = surface.error_probabilities(r_grid, {1, 0});
+  const auto parallel_err = surface.error_probabilities(r_grid, {8, 2});
+  EXPECT_EQ(serial_err.values, parallel_err.values);
+}
+
+TEST(CostSurface, SurfaceRowsAndAtAgree) {
+  const CostSurface surface(fig2(), 6);
+  const auto r_grid = zc::numerics::linspace(0.5, 3.5, 31);
+  const auto grid = surface.costs(r_grid);
+  for (unsigned n = 1; n <= 6; ++n) {
+    const auto row = grid.row(n);
+    ASSERT_EQ(row.size(), r_grid.size());
+    for (std::size_t j = 0; j < r_grid.size(); ++j) {
+      EXPECT_EQ(row[j], grid.at(n, j));
+      EXPECT_EQ(row[j], mean_cost(fig2(), ProtocolParams{n, r_grid[j]}));
+    }
+  }
+}
+
+TEST(CostSurface, ParallelOptimizersMatchSerialOnes) {
+  // The r-scan of optimal_r and the n-sweep of joint_optimum go through
+  // the exec layer; any thread count must reproduce the serial answer
+  // exactly.
+  ROptOptions serial;
+  serial.exec.threads = 1;
+  ROptOptions parallel;
+  parallel.exec.threads = 8;
+  const CostMinimum m_serial = optimal_r(fig2(), 4, serial);
+  const CostMinimum m_parallel = optimal_r(fig2(), 4, parallel);
+  EXPECT_EQ(m_serial.r, m_parallel.r);
+  EXPECT_EQ(m_serial.cost, m_parallel.cost);
+
+  const JointOptimum j_serial = joint_optimum(fig2(), 8, serial);
+  const JointOptimum j_parallel = joint_optimum(fig2(), 8, parallel);
+  EXPECT_EQ(j_serial.n, j_parallel.n);
+  EXPECT_EQ(j_serial.r, j_parallel.r);
+  EXPECT_EQ(j_serial.cost, j_parallel.cost);
+  EXPECT_EQ(j_serial.error_prob, j_parallel.error_prob);
+}
+
+TEST(CostSurface, BreakpointsMatchAcrossThreadCounts) {
+  const auto serial = n_breakpoints(fig2(), 0.5, 3.5, 64, 1e-6, 64, {1, 0});
+  const auto parallel = n_breakpoints(fig2(), 0.5, 3.5, 64, 1e-6, 64, {8, 1});
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].n, parallel[i].n);
+    EXPECT_EQ(serial[i].r_from, parallel[i].r_from);
+    EXPECT_EQ(serial[i].r_to, parallel[i].r_to);
+  }
+}
+
+TEST(CostSurface, InvalidArgumentsRejected) {
+  EXPECT_THROW(CostSurface(fig2(), 0), zc::ContractViolation);
+  const CostSurface surface(fig2(), 4);
+  EXPECT_THROW((void)surface.cost_column(-1.0), zc::ContractViolation);
+}
+
+}  // namespace

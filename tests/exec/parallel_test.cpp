@@ -1,0 +1,179 @@
+#include "exec/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "exec/seeding.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace {
+
+using namespace zc::exec;
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  for (int i = 0; i < 50; ++i)
+    pool.submit([&] { hits.fetch_add(1); });
+  // Destructor drains the queue and joins.
+  while (hits.load() < 50) std::this_thread::yield();
+  EXPECT_EQ(hits.load(), 50);
+}
+
+TEST(ThreadPool, RunOneDrainsQueue) {
+  ThreadPool pool(1);
+  // Pin the single worker on a task that waits for a flag, then drain a
+  // second task from the submitting thread itself.
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  std::atomic<bool> second_ran{false};
+  pool.submit([&] {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!started.load()) std::this_thread::yield();
+  pool.submit([&] { second_ran.store(true); });
+  EXPECT_TRUE(pool.run_one());
+  EXPECT_TRUE(second_ran.load());
+  release.store(true);
+}
+
+TEST(ChunkLayout, CoversRangeExactly) {
+  for (std::size_t n : {0ul, 1ul, 63ul, 64ul, 65ul, 1000ul}) {
+    const std::size_t chunk = resolve_chunk_size(n, 0);
+    const std::size_t chunks = chunk_count(n, chunk);
+    if (n == 0) {
+      EXPECT_EQ(chunks, 0u);
+      continue;
+    }
+    EXPECT_GE(chunks * chunk, n);
+    EXPECT_LT((chunks - 1) * chunk, n);
+  }
+}
+
+TEST(ChunkLayout, IndependentOfThreadCount) {
+  // The layout is a pure function of (n, chunk_size): nothing about the
+  // thread count enters. Guard the default against regressions.
+  EXPECT_EQ(resolve_chunk_size(6400, 0), 100u);
+  EXPECT_EQ(resolve_chunk_size(10, 0), 1u);
+  EXPECT_EQ(resolve_chunk_size(100, 7), 7u);
+}
+
+TEST(ParallelFor, EveryIndexExactlyOnceUnderOversubscription) {
+  // 16 threads on (typically far fewer) cores, tiny chunks: maximal
+  // scheduling churn. Each index must still be visited exactly once.
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> visits(kN);
+  ExecOptions opts;
+  opts.threads = 16;
+  opts.chunk_size = 3;
+  parallel_for(
+      kN, [&](std::size_t i) { visits[i].fetch_add(1); }, opts);
+  for (std::size_t i = 0; i < kN; ++i)
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelFor, SerialAndParallelVisitSameIndices) {
+  constexpr std::size_t kN = 777;
+  std::vector<int> serial(kN, 0), parallel(kN, 0);
+  parallel_for(
+      kN, [&](std::size_t i) { serial[i] = static_cast<int>(i) + 1; },
+      {1, 0});
+  parallel_for(
+      kN, [&](std::size_t i) { parallel[i] = static_cast<int>(i) + 1; },
+      {8, 0});
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelFor, EmptyRangeIsANoop) {
+  bool touched = false;
+  parallel_for(0, [&](std::size_t) { touched = true; }, {8, 0});
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, ExceptionsPropagateToCaller) {
+  ExecOptions opts;
+  opts.threads = 4;
+  opts.chunk_size = 1;
+  EXPECT_THROW(
+      parallel_for(
+          100,
+          [&](std::size_t i) {
+            if (i == 37) throw std::runtime_error("boom");
+          },
+          opts),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, NestedSectionsComplete) {
+  // A parallel body that itself opens a parallel section must not
+  // deadlock, even oversubscribed (waiters help drain the pool queue).
+  std::atomic<int> total{0};
+  ExecOptions outer{8, 1};
+  parallel_for(
+      8,
+      [&](std::size_t) {
+        parallel_for(
+            16, [&](std::size_t) { total.fetch_add(1); }, {4, 1});
+      },
+      outer);
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ParallelReduce, SumMatchesSerialAtAnyThreadCount) {
+  constexpr std::size_t kN = 12345;
+  const auto body = [](long long& acc, std::size_t i) {
+    acc += static_cast<long long>(i);
+  };
+  const auto merge = [](long long& into, const long long& from) {
+    into += from;
+  };
+  const long long expected =
+      static_cast<long long>(kN) * static_cast<long long>(kN - 1) / 2;
+  for (unsigned threads : {1u, 2u, 8u, 16u}) {
+    ExecOptions opts;
+    opts.threads = threads;
+    EXPECT_EQ(parallel_reduce(kN, 0LL, body, merge, opts), expected)
+        << threads << " threads";
+  }
+}
+
+TEST(ParallelReduce, FloatingPointBitwiseIdenticalAcrossThreads) {
+  // The double-precision result depends on chunk boundaries and merge
+  // order — both fixed — so any thread count must agree *bitwise*.
+  constexpr std::size_t kN = 9999;
+  const auto body = [](double& acc, std::size_t i) {
+    acc += 1.0 / (1.0 + static_cast<double>(i));
+  };
+  const auto merge = [](double& into, const double& from) { into += from; };
+  const double serial = parallel_reduce(kN, 0.0, body, merge, {1, 0});
+  for (unsigned threads : {2u, 5u, 16u}) {
+    ExecOptions opts;
+    opts.threads = threads;
+    const double parallel = parallel_reduce(kN, 0.0, body, merge, opts);
+    EXPECT_EQ(serial, parallel) << threads << " threads";
+  }
+}
+
+TEST(Seeding, SplitSeedIsPureAndSpreads) {
+  EXPECT_EQ(split_seed(42, 7), split_seed(42, 7));
+  // Neighbouring indices and neighbouring seeds land far apart.
+  EXPECT_NE(split_seed(42, 7), split_seed(42, 8));
+  EXPECT_NE(split_seed(42, 7), split_seed(43, 7));
+  // No shifted-stream aliasing between adjacent master seeds.
+  EXPECT_NE(split_seed(42, 1), split_seed(43, 0));
+}
+
+TEST(Seeding, SplitMix64KnownVector) {
+  // Reference values from the canonical splitmix64.c (Vigna), state 1234567.
+  std::uint64_t state = 1234567;
+  const std::uint64_t first = splitmix64(state);
+  EXPECT_EQ(first, 6457827717110365317ULL);
+}
+
+}  // namespace

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/contract.hpp"
 #include "prob/families.hpp"
+#include "prob/rng.hpp"
 #include "core/cost.hpp"
 #include "core/reliability.hpp"
 #include "core/scenarios.hpp"
@@ -148,6 +151,55 @@ TEST(MonteCarlo, DeterministicForEqualSeeds) {
   EXPECT_DOUBLE_EQ(a.model_cost.mean, b.model_cost.mean);
 }
 
+TEST(MonteCarlo, DeterministicAcrossThreadCounts) {
+  // The whole point of the counter-based seeding + ordered chunk merge:
+  // thread count is a pure performance knob. Estimates must agree
+  // *bitwise*, not just statistically.
+  ZeroconfConfig protocol;
+  protocol.n = 3;
+  protocol.r = 0.3;
+  MonteCarloOptions serial;
+  serial.trials = 4000;
+  serial.seed = 99;
+  serial.threads = 1;
+  MonteCarloOptions parallel = serial;
+  parallel.threads = 8;
+  const auto a = monte_carlo(Exaggerated::network(), protocol, serial);
+  const auto b = monte_carlo(Exaggerated::network(), protocol, parallel);
+
+  EXPECT_EQ(a.collisions, b.collisions);
+  EXPECT_EQ(a.collision_rate, b.collision_rate);
+  EXPECT_EQ(a.collision_ci95.lower, b.collision_ci95.lower);
+  EXPECT_EQ(a.collision_ci95.upper, b.collision_ci95.upper);
+  const auto expect_same = [](const Estimate& x, const Estimate& y) {
+    EXPECT_EQ(x.mean, y.mean);
+    EXPECT_EQ(x.stddev, y.stddev);
+    EXPECT_EQ(x.ci95_halfwidth, y.ci95_halfwidth);
+  };
+  expect_same(a.model_cost, b.model_cost);
+  expect_same(a.elapsed_cost, b.elapsed_cost);
+  expect_same(a.probes, b.probes);
+  expect_same(a.attempts, b.attempts);
+  expect_same(a.waiting_time, b.waiting_time);
+}
+
+TEST(MonteCarlo, HardwareThreadsDefaultMatchesSerial) {
+  ZeroconfConfig protocol;
+  protocol.n = 2;
+  protocol.r = 0.25;
+  MonteCarloOptions opts;
+  opts.trials = 1500;
+  opts.seed = 123;
+  opts.threads = 0;  // hardware concurrency
+  MonteCarloOptions serial = opts;
+  serial.threads = 1;
+  const auto a = monte_carlo(Exaggerated::network(), protocol, opts);
+  const auto b = monte_carlo(Exaggerated::network(), protocol, serial);
+  EXPECT_EQ(a.collisions, b.collisions);
+  EXPECT_EQ(a.model_cost.mean, b.model_cost.mean);
+  EXPECT_EQ(a.probes.stddev, b.probes.stddev);
+}
+
 TEST(MonteCarlo, CiShrinksWithTrials) {
   ZeroconfConfig protocol;
   protocol.n = 2;
@@ -184,6 +236,41 @@ TEST(RunningStats, SingleSampleHasZeroVariance) {
   stats.add(3.0);
   EXPECT_EQ(stats.variance(), 0.0);
   EXPECT_EQ(stats.std_error(), 0.0);
+}
+
+TEST(RunningStats, MergeOfHalvesEqualsOnePass) {
+  // Chan's pairwise combination: accumulating [a | b] in one pass and
+  // merging separate accumulators of a and b must agree to near-ulp.
+  zc::prob::Rng rng(2024);
+  std::vector<double> samples(501);
+  for (double& x : samples) x = rng.normal(5.0, 3.0);
+
+  RunningStats one_pass, left, right;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    one_pass.add(samples[i]);
+    (i < samples.size() / 2 ? left : right).add(samples[i]);
+  }
+  RunningStats merged = left;
+  merged.merge(right);
+
+  EXPECT_EQ(merged.count(), one_pass.count());
+  EXPECT_NEAR(merged.mean(), one_pass.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), one_pass.variance(), 1e-12);
+}
+
+TEST(RunningStats, MergeWithEmptySidesIsIdentity) {
+  RunningStats stats;
+  for (double x : {1.0, 2.0, 4.0}) stats.add(x);
+  RunningStats empty;
+  RunningStats merged = stats;
+  merged.merge(empty);
+  EXPECT_EQ(merged.mean(), stats.mean());
+  EXPECT_EQ(merged.variance(), stats.variance());
+  RunningStats other;
+  other.merge(stats);
+  EXPECT_EQ(other.mean(), stats.mean());
+  EXPECT_EQ(other.variance(), stats.variance());
+  EXPECT_EQ(other.count(), stats.count());
 }
 
 TEST(WilsonCi, CoversTrueProportion) {
