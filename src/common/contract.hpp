@@ -20,12 +20,23 @@ class ContractViolation : public std::logic_error {
                     int line)
       : std::logic_error(std::string(kind) + " failed: " + expr + " at " +
                          file + ":" + std::to_string(line)) {}
+
+  /// Pre-formatted message (ZC_REQUIRE's named-field diagnostics).
+  explicit ContractViolation(std::string what) : std::logic_error(what) {}
 };
 
 namespace detail {
 [[noreturn]] inline void contract_fail(const char* kind, const char* expr,
                                        const char* file, int line) {
   throw ContractViolation(kind, expr, file, line);
+}
+
+[[noreturn]] inline void requirement_fail(const char* expr,
+                                          const std::string& message,
+                                          const char* file, int line) {
+  throw ContractViolation(
+      std::string("requirement failed: ") + message + " (" + expr + ") at " +
+      file + ":" + std::to_string(line));
 }
 }  // namespace detail
 
@@ -52,4 +63,16 @@ namespace detail {
   do {                                                                     \
     if (!(cond))                                                           \
       ::zc::detail::contract_fail("invariant", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+/// Validation of user-supplied configuration with a human-readable message
+/// naming the offending field, e.g.
+///   ZC_REQUIRE(0.0 <= loss && loss < 1.0,
+///              "MediumConfig.loss must be in [0, 1)");
+/// Fails fast (throws ContractViolation) instead of letting a bad value
+/// propagate into silently-NaN estimates.
+#define ZC_REQUIRE(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::zc::detail::requirement_fail(#cond, (msg), __FILE__, __LINE__);    \
   } while (false)

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file fault.hpp
+/// The fault-model seam between the broadcast medium and the
+/// fault-injection subsystem. `sim::Medium` consults an installed
+/// `FaultModel` once per (packet, receiver) delivery decision; the model
+/// answers with a `FaultDecision` — drop (and why), duplicate, or adjust
+/// the transit delay. The concrete composable implementation lives in
+/// `faults::FaultInjector`; keeping the interface here (depending only on
+/// the header-only packet types) avoids a sim <-> faults cycle.
+
+#include <cstdint>
+
+#include "sim/packet.hpp"
+
+namespace zc::faults {
+
+/// Why a (packet, receiver) delivery ended the way it did. Extends the
+/// medium's former boolean `lost` so traces stay auditable under injected
+/// faults: every drop names its mechanism, and delivered packets that were
+/// jittered or duplicated are distinguishable from clean deliveries.
+enum class DeliveryCause : std::uint8_t {
+  delivered,    ///< clean delivery, no fault involved
+  reordered,    ///< delivered, but with injected reordering jitter
+  duplicate,    ///< delivered extra copy injected by duplication
+  random_loss,  ///< the medium's i.i.d. per-delivery loss
+  burst_loss,   ///< lost in a Gilbert-Elliott burst (bad state)
+  blackout,     ///< dropped inside a link blackout / flap window
+  target_deaf,  ///< receiving host churned out (deaf window)
+};
+
+/// True for the causes that mean the packet never arrived.
+[[nodiscard]] constexpr bool is_drop(DeliveryCause cause) noexcept {
+  return cause == DeliveryCause::random_loss ||
+         cause == DeliveryCause::burst_loss ||
+         cause == DeliveryCause::blackout ||
+         cause == DeliveryCause::target_deaf;
+}
+
+/// Short lowercase label, e.g. "burst-loss".
+[[nodiscard]] const char* to_string(DeliveryCause cause) noexcept;
+
+/// One delivery decision as seen by the fault model.
+struct FaultContext {
+  double now = 0.0;  ///< virtual send time
+  sim::HostId sender = 0;
+  sim::HostId target = 0;
+};
+
+/// The fault model's verdict for one delivery.
+struct FaultDecision {
+  /// Upper bound on injected duplication (primary + extra copies).
+  static constexpr unsigned kMaxCopies = 4;
+
+  bool drop = false;                ///< drop every copy
+  DeliveryCause cause = DeliveryCause::delivered;  ///< drop reason
+  unsigned copies = 1;              ///< deliveries to schedule (>= 1)
+  double delay_multiplier = 1.0;    ///< scales the base transit delay
+  double extra_delay[kMaxCopies] = {0.0, 0.0, 0.0, 0.0};  ///< per copy
+  bool reordered = false;           ///< jitter was injected into copy 0
+};
+
+/// Interface the medium consults; implemented by faults::FaultInjector.
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+
+  /// Decide the fate of one (packet, receiver) delivery at virtual time
+  /// `ctx.now`. Called in deterministic simulation order; implementations
+  /// draw randomness only from their own seeded stream.
+  [[nodiscard]] virtual FaultDecision on_delivery(const FaultContext& ctx) = 0;
+
+ protected:
+  FaultModel() = default;
+  FaultModel(const FaultModel&) = default;
+  FaultModel& operator=(const FaultModel&) = default;
+};
+
+}  // namespace zc::faults

@@ -1,0 +1,100 @@
+#include "faults/injector.hpp"
+
+#include <algorithm>
+
+#include "exec/seeding.hpp"
+
+namespace zc::faults {
+
+namespace {
+
+/// Uniform [0, 1) from a 64-bit hash (53 mantissa bits).
+double u01(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultSchedule schedule, std::uint64_t seed)
+    : schedule_(schedule),
+      rng_(seed),
+      churn_seed_(exec::split_seed(seed, kFaultSeedStream)) {
+  schedule_.validate();
+}
+
+bool FaultInjector::host_deaf_at(sim::HostId host, double t) const noexcept {
+  const HostChurn& churn = schedule_.host_churn;
+  if (!churn.enabled()) return false;
+  // Affected-subset membership and window phase are pure functions of
+  // (churn_seed_, host): trial-reproducible, host-decorrelated.
+  const std::uint64_t h1 = exec::split_seed(churn_seed_, host);
+  if (u01(h1) >= churn.deaf_fraction) return false;
+  if (churn.period <= 0.0) return true;  // permanently deaf
+  const double phase = u01(exec::splitmix64(h1)) * churn.period;
+  TimeWindows windows;
+  windows.start = phase;
+  windows.duration = churn.deaf_duration;
+  windows.period = churn.period;
+  return windows.contains(t);
+}
+
+FaultDecision FaultInjector::on_delivery(const FaultContext& ctx) {
+  FaultDecision out;
+
+  // Link-level outage dominates everything else: nothing traverses.
+  if (schedule_.blackout.enabled() &&
+      schedule_.blackout.windows.contains(ctx.now)) {
+    out.drop = true;
+    out.cause = DeliveryCause::blackout;
+    return out;
+  }
+
+  if (host_deaf_at(ctx.target, ctx.now)) {
+    out.drop = true;
+    out.cause = DeliveryCause::target_deaf;
+    return out;
+  }
+
+  const GilbertElliott& ge = schedule_.gilbert_elliott;
+  if (ge.enabled()) {
+    // Step the two-state chain once per delivery, then apply the loss
+    // probability of the state the delivery sees.
+    if (burst_) {
+      if (rng_.bernoulli(ge.p_exit_burst)) burst_ = false;
+    } else {
+      if (rng_.bernoulli(ge.p_enter_burst)) burst_ = true;
+    }
+    const double loss = burst_ ? ge.loss_bad : ge.loss_good;
+    if (loss > 0.0 && rng_.bernoulli(loss)) {
+      out.drop = true;
+      out.cause = DeliveryCause::burst_loss;
+      return out;
+    }
+  }
+
+  if (schedule_.duplication.enabled() &&
+      rng_.bernoulli(schedule_.duplication.probability)) {
+    out.copies = std::min(schedule_.duplication.copies,
+                          FaultDecision::kMaxCopies);
+  }
+
+  double window_extra = 0.0;
+  const DelaySpike& spike = schedule_.delay_spike;
+  if (spike.enabled() && spike.windows.contains(ctx.now)) {
+    out.delay_multiplier = spike.multiplier;
+    window_extra = spike.extra;
+  }
+
+  const Reordering& reorder = schedule_.reordering;
+  for (unsigned copy = 0; copy < out.copies; ++copy) {
+    double extra = window_extra;
+    if (reorder.enabled() && rng_.bernoulli(reorder.probability)) {
+      extra += rng_.uniform(0.0, reorder.max_jitter);
+      if (copy == 0) out.reordered = true;
+    }
+    out.extra_delay[copy] = extra;
+  }
+  return out;
+}
+
+}  // namespace zc::faults

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file injector.hpp
+/// Runtime fault injection: turns a declarative `FaultSchedule` into
+/// per-delivery `FaultDecision`s. One injector serves one simulation run;
+/// it owns its RNG (seeded by the caller, typically with
+/// exec::split_seed(trial_seed, kFaultSeedStream)) so fault randomness
+/// never perturbs the main simulation stream — enabling a fault leaves
+/// the fault-free draws of the same trial untouched.
+
+#include <cstdint>
+
+#include "faults/schedule.hpp"
+#include "prob/rng.hpp"
+
+namespace zc::faults {
+
+/// Sub-stream index reserved for fault randomness when splitting a trial
+/// seed (any fixed constant works; named so all call sites agree).
+inline constexpr std::uint64_t kFaultSeedStream = 0xFA017EED2026ULL;
+
+/// Deterministic composable fault model; install into a sim::Medium.
+class FaultInjector final : public FaultModel {
+ public:
+  /// Validates `schedule` (ZC_REQUIRE) and seeds the private stream.
+  FaultInjector(FaultSchedule schedule, std::uint64_t seed);
+
+  [[nodiscard]] FaultDecision on_delivery(const FaultContext& ctx) override;
+
+  [[nodiscard]] const FaultSchedule& schedule() const noexcept {
+    return schedule_;
+  }
+
+  /// Is the Gilbert-Elliott channel currently in the burst state?
+  [[nodiscard]] bool in_burst() const noexcept { return burst_; }
+
+  /// Is `host` deaf at virtual time `t` under the churn schedule?
+  /// Deterministic pure function of (seed, host, t).
+  [[nodiscard]] bool host_deaf_at(sim::HostId host, double t) const noexcept;
+
+ private:
+  FaultSchedule schedule_;
+  prob::Rng rng_;
+  std::uint64_t churn_seed_;
+  bool burst_ = false;
+};
+
+}  // namespace zc::faults

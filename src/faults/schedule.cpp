@@ -1,0 +1,109 @@
+#include "faults/schedule.hpp"
+
+#include <cmath>
+
+#include "common/contract.hpp"
+
+namespace zc::faults {
+
+const char* to_string(DeliveryCause cause) noexcept {
+  switch (cause) {
+    case DeliveryCause::delivered: return "delivered";
+    case DeliveryCause::reordered: return "reordered";
+    case DeliveryCause::duplicate: return "duplicate";
+    case DeliveryCause::random_loss: return "loss";
+    case DeliveryCause::burst_loss: return "burst-loss";
+    case DeliveryCause::blackout: return "blackout";
+    case DeliveryCause::target_deaf: return "target-deaf";
+  }
+  return "?";
+}
+
+bool TimeWindows::contains(double t) const noexcept {
+  if (duration <= 0.0 || t < start) return false;
+  if (period <= 0.0) return t < start + duration;
+  const double phase = std::fmod(t - start, period);
+  return phase < duration;
+}
+
+namespace {
+
+void require_probability(double p, const char* field) {
+  ZC_REQUIRE(std::isfinite(p) && 0.0 <= p && p <= 1.0,
+             std::string(field) + " must be a probability in [0, 1]");
+}
+
+void require_windows(const TimeWindows& w, const char* owner) {
+  const std::string prefix(owner);
+  ZC_REQUIRE(std::isfinite(w.start) && w.start >= 0.0,
+             prefix + ".windows.start must be finite and >= 0");
+  ZC_REQUIRE(std::isfinite(w.duration) && w.duration >= 0.0,
+             prefix + ".windows.duration must be finite and >= 0");
+  ZC_REQUIRE(std::isfinite(w.period) && w.period >= 0.0,
+             prefix + ".windows.period must be finite and >= 0");
+  ZC_REQUIRE(w.period == 0.0 || w.period >= w.duration,
+             prefix + ".windows.period must be 0 (one-shot) or >= duration");
+}
+
+}  // namespace
+
+void FaultSchedule::validate() const {
+  require_probability(gilbert_elliott.p_enter_burst,
+                      "GilbertElliott.p_enter_burst");
+  require_probability(gilbert_elliott.p_exit_burst,
+                      "GilbertElliott.p_exit_burst");
+  require_probability(gilbert_elliott.loss_good, "GilbertElliott.loss_good");
+  require_probability(gilbert_elliott.loss_bad, "GilbertElliott.loss_bad");
+
+  require_windows(blackout.windows, "Blackout");
+  require_windows(delay_spike.windows, "DelaySpike");
+  ZC_REQUIRE(std::isfinite(delay_spike.multiplier) &&
+                 delay_spike.multiplier >= 1.0,
+             "DelaySpike.multiplier must be finite and >= 1");
+  ZC_REQUIRE(std::isfinite(delay_spike.extra) && delay_spike.extra >= 0.0,
+             "DelaySpike.extra must be finite and >= 0");
+
+  require_probability(duplication.probability, "Duplication.probability");
+  if (duplication.enabled()) {
+    ZC_REQUIRE(2 <= duplication.copies &&
+                   duplication.copies <= FaultDecision::kMaxCopies,
+               "Duplication.copies must be in [2, FaultDecision::kMaxCopies]");
+  }
+
+  require_probability(reordering.probability, "Reordering.probability");
+  ZC_REQUIRE(std::isfinite(reordering.max_jitter) &&
+                 reordering.max_jitter >= 0.0,
+             "Reordering.max_jitter must be finite and >= 0");
+  if (reordering.enabled()) {
+    ZC_REQUIRE(reordering.max_jitter > 0.0,
+               "Reordering.max_jitter must be > 0 when reordering is on");
+  }
+
+  require_probability(host_churn.deaf_fraction, "HostChurn.deaf_fraction");
+  ZC_REQUIRE(std::isfinite(host_churn.period) && host_churn.period >= 0.0,
+             "HostChurn.period must be finite and >= 0");
+  ZC_REQUIRE(std::isfinite(host_churn.deaf_duration) &&
+                 host_churn.deaf_duration >= 0.0,
+             "HostChurn.deaf_duration must be finite and >= 0");
+  if (host_churn.enabled() && host_churn.period > 0.0) {
+    ZC_REQUIRE(host_churn.deaf_duration <= host_churn.period,
+               "HostChurn.deaf_duration must be <= period");
+  }
+}
+
+std::string FaultSchedule::summary() const {
+  std::string out;
+  const auto append = [&out](const char* label) {
+    if (!out.empty()) out += '+';
+    out += label;
+  };
+  if (gilbert_elliott.enabled()) append("gilbert-elliott");
+  if (blackout.enabled()) append("blackout");
+  if (delay_spike.enabled()) append("delay-spike");
+  if (duplication.enabled()) append("duplication");
+  if (reordering.enabled()) append("reordering");
+  if (host_churn.enabled()) append("host-churn");
+  return out.empty() ? "none" : out;
+}
+
+}  // namespace zc::faults

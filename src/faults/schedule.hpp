@@ -1,0 +1,142 @@
+#pragma once
+
+/// \file schedule.hpp
+/// Declarative, value-semantic descriptions of adversarial network
+/// conditions. A `FaultSchedule` is carried by `sim::NetworkConfig`; each
+/// Monte-Carlo trial instantiates a fresh `FaultInjector` from it with a
+/// per-trial seed (exec::split_seed), so campaigns stay bitwise-
+/// reproducible at any thread count.
+///
+/// The schedules deliberately violate the paper's i.i.d.-reply assumption
+/// (Eq. 1 telescopes only because every probe sees the same defective
+/// F_X): bursty correlated loss, time-windowed outages, delay spikes,
+/// duplication, bounded reordering and host churn are exactly the regimes
+/// where the recommended (n, r) optimum may stop being optimal.
+
+#include <string>
+
+#include "faults/fault.hpp"
+
+namespace zc::faults {
+
+/// Periodic (or one-shot) activity windows on the virtual-time axis:
+/// active during [start + k*period, start + k*period + duration) for
+/// k = 0, 1, ... — `period == 0` means a single window.
+struct TimeWindows {
+  double start = 0.0;
+  double duration = 0.0;  ///< 0 = disabled
+  double period = 0.0;    ///< 0 = one-shot; else repeat every `period`
+
+  [[nodiscard]] bool enabled() const noexcept { return duration > 0.0; }
+
+  /// Is `t` inside an active window?
+  [[nodiscard]] bool contains(double t) const noexcept;
+
+  /// Fraction of the time axis covered (1 for a one-shot window of
+  /// infinite tail handling: one-shot windows report duration / +inf = 0;
+  /// meaningful for periodic windows only).
+  [[nodiscard]] double duty_cycle() const noexcept {
+    return period > 0.0 ? duration / period : 0.0;
+  }
+};
+
+/// Two-state bursty loss channel (Gilbert-Elliott), stepped once per
+/// delivery decision: in the good state a delivery is lost with
+/// `loss_good`, in the bad (burst) state with `loss_bad`; the state
+/// transitions good->bad with `p_enter_burst` and bad->good with
+/// `p_exit_burst` per delivery.
+struct GilbertElliott {
+  double p_enter_burst = 0.0;  ///< P(good -> bad) per delivery; 0 = off
+  double p_exit_burst = 1.0;   ///< P(bad -> good) per delivery
+  double loss_good = 0.0;      ///< per-delivery loss in the good state
+  double loss_bad = 1.0;       ///< per-delivery loss in a burst
+
+  [[nodiscard]] bool enabled() const noexcept { return p_enter_burst > 0.0; }
+
+  /// Stationary probability of the bad state,
+  /// p_enter / (p_enter + p_exit).
+  [[nodiscard]] double stationary_bad() const noexcept {
+    return p_enter_burst / (p_enter_burst + p_exit_burst);
+  }
+
+  /// Long-run per-delivery loss probability under stationarity.
+  [[nodiscard]] double long_run_loss() const noexcept {
+    const double bad = stationary_bad();
+    return (1.0 - bad) * loss_good + bad * loss_bad;
+  }
+};
+
+/// Total link outage during the given windows: nothing traverses the
+/// medium. A periodic window is a link flap.
+struct Blackout {
+  TimeWindows windows;
+  [[nodiscard]] bool enabled() const noexcept { return windows.enabled(); }
+};
+
+/// Transit-delay inflation during the given windows: each delivery's
+/// base transit delay is scaled by `multiplier` and `extra` seconds are
+/// added. With a zero-delay medium, `extra` alone models the spike.
+struct DelaySpike {
+  TimeWindows windows;
+  double multiplier = 1.0;  ///< scales the sampled base transit delay
+  double extra = 0.0;       ///< additive transit delay, seconds
+  [[nodiscard]] bool enabled() const noexcept { return windows.enabled(); }
+};
+
+/// Random packet duplication: with `probability`, a delivery is scheduled
+/// `copies` times (each copy samples its own transit delay).
+struct Duplication {
+  double probability = 0.0;  ///< 0 = off
+  unsigned copies = 2;       ///< total copies, 2..FaultDecision::kMaxCopies
+  [[nodiscard]] bool enabled() const noexcept { return probability > 0.0; }
+};
+
+/// Bounded reordering: with `probability`, a delivery is held back by an
+/// extra Uniform[0, max_jitter] transit delay, letting later sends
+/// overtake it (the medium delivers strictly in adjusted-time order, so
+/// the jitter bound caps how far a packet can fall behind).
+struct Reordering {
+  double probability = 0.0;  ///< 0 = off
+  double max_jitter = 0.0;   ///< upper bound on the injected delay
+  [[nodiscard]] bool enabled() const noexcept { return probability > 0.0; }
+};
+
+/// Host churn / deafness: a deterministic per-host subset of interfaces
+/// (`deaf_fraction` of them, selected by a seeded hash) is deaf — drops
+/// every incoming delivery — during per-host phase-shifted windows of
+/// `deaf_duration` every `period` seconds. `period == 0` makes the
+/// affected hosts permanently deaf (host loss / crash).
+struct HostChurn {
+  double deaf_fraction = 0.0;  ///< fraction of hosts affected; 0 = off
+  double period = 0.0;         ///< churn cycle; 0 = permanently deaf
+  double deaf_duration = 0.0;  ///< deaf span per cycle (ignored if period=0)
+  [[nodiscard]] bool enabled() const noexcept { return deaf_fraction > 0.0; }
+};
+
+/// A composable bundle of adversarial conditions; all default-disabled.
+struct FaultSchedule {
+  GilbertElliott gilbert_elliott;
+  Blackout blackout;
+  DelaySpike delay_spike;
+  Duplication duplication;
+  Reordering reordering;
+  HostChurn host_churn;
+
+  /// Any fault active? (A schedule with none is free: the medium skips
+  /// the fault hook entirely.)
+  [[nodiscard]] bool any() const noexcept {
+    return gilbert_elliott.enabled() || blackout.enabled() ||
+           delay_spike.enabled() || duplication.enabled() ||
+           reordering.enabled() || host_churn.enabled();
+  }
+
+  /// Fail fast (ZC_REQUIRE, naming the offending field) on out-of-range
+  /// parameters instead of producing silently-wrong simulations.
+  void validate() const;
+
+  /// Compact summary of the enabled faults, e.g.
+  /// "gilbert-elliott+blackout" ("none" when empty).
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace zc::faults

@@ -1,6 +1,7 @@
 #include "sim/medium.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/contract.hpp"
 
@@ -8,7 +9,9 @@ namespace zc::sim {
 
 Medium::Medium(Simulator& sim, MediumConfig config, prob::Rng& rng)
     : sim_(sim), config_(std::move(config)), rng_(rng) {
-  ZC_EXPECTS(0.0 <= config_.loss && config_.loss < 1.0);
+  ZC_REQUIRE(std::isfinite(config_.loss) && 0.0 <= config_.loss &&
+                 config_.loss < 1.0,
+             "MediumConfig.loss must be in [0, 1)");
 }
 
 HostId Medium::attach(Receiver receiver) {
@@ -41,25 +44,52 @@ void Medium::broadcast(const Packet& packet) {
   for (const HostId target : targets) {
     if (target == sender) continue;
     ++packets_sent_;
+
+    // Injected faults first: a faulted delivery never consumes draws from
+    // the medium's own stream, so the fault-free portion of a run is
+    // unchanged by enabling a schedule.
+    faults::FaultDecision fate;
+    if (fault_model_ != nullptr)
+      fate = fault_model_->on_delivery({sim_.now(), sender, target});
+    if (fate.drop) {
+      ++packets_lost_;
+      ++packets_faulted_;
+      if (observer_)
+        observer_({sim_.now(), sim_.now(), packet, target, true, fate.cause});
+      continue;
+    }
+
     if (config_.loss > 0.0 && rng_.bernoulli(config_.loss)) {
       ++packets_lost_;
       if (observer_)
-        observer_({sim_.now(), sim_.now(), packet, target, true});
+        observer_({sim_.now(), sim_.now(), packet, target, true,
+                   faults::DeliveryCause::random_loss});
       continue;
     }
-    const double delay =
-        config_.transit_delay ? config_.transit_delay->sample(rng_) : 0.0;
-    if (observer_)
-      observer_({sim_.now(), sim_.now() + delay, packet, target, false});
-    sim_.schedule(delay, [this, target, packet] {
-      // Deliver only if the target is still subscribed to this address at
-      // delivery time (it may have moved on to a new candidate).
-      const auto subs_it = subscribers_.find(packet_address(packet));
-      if (subs_it == subscribers_.end()) return;
-      const auto& subs = subs_it->second;
-      if (std::find(subs.begin(), subs.end(), target) == subs.end()) return;
-      receivers_[target](packet);
-    });
+
+    for (unsigned copy = 0; copy < fate.copies; ++copy) {
+      const double base =
+          config_.transit_delay ? config_.transit_delay->sample(rng_) : 0.0;
+      const double delay =
+          base * fate.delay_multiplier + fate.extra_delay[copy];
+      const faults::DeliveryCause cause =
+          copy > 0 ? faults::DeliveryCause::duplicate
+                   : (fate.reordered ? faults::DeliveryCause::reordered
+                                     : faults::DeliveryCause::delivered);
+      if (copy > 0) ++packets_duplicated_;
+      if (observer_)
+        observer_(
+            {sim_.now(), sim_.now() + delay, packet, target, false, cause});
+      sim_.schedule(delay, [this, target, packet] {
+        // Deliver only if the target is still subscribed to this address
+        // at delivery time (it may have moved on to a new candidate).
+        const auto subs_it = subscribers_.find(packet_address(packet));
+        if (subs_it == subscribers_.end()) return;
+        const auto& subs = subs_it->second;
+        if (std::find(subs.begin(), subs.end(), target) == subs.end()) return;
+        receivers_[target](packet);
+      });
+    }
   }
 }
 

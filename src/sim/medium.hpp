@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "faults/fault.hpp"
 #include "prob/proper.hpp"
 #include "sim/packet.hpp"
 #include "sim/simulator.hpp"
@@ -37,7 +38,12 @@ struct DeliveryRecord {
   double delivered_at = 0.0; ///< delivery time (== sent_at when lost)
   Packet packet;
   HostId target = 0;
-  bool lost = false;
+  bool lost = false;         ///< convenience: is_drop(cause)
+  /// Why the delivery ended this way — distinguishes injected-fault drops
+  /// (blackout, burst loss, deaf target) from the medium's own random
+  /// loss, and flags duplicated/reordered deliveries, so traces stay
+  /// auditable under fault injection.
+  faults::DeliveryCause cause = faults::DeliveryCause::delivered;
 };
 
 /// One broadcast segment.
@@ -75,15 +81,33 @@ class Medium {
   /// nullptr to disable tracing.
   void set_observer(Observer observer) { observer_ = std::move(observer); }
 
+  /// Install a fault model consulted once per (packet, receiver) delivery
+  /// decision (adversarial conditions layered over the base loss/delay).
+  /// Non-owning; the model must outlive the medium's use. Pass nullptr to
+  /// restore the fault-free medium.
+  void set_fault_model(faults::FaultModel* model) { fault_model_ = model; }
+
+  /// Deliveries dropped by the fault model (subset of packets_lost()).
+  [[nodiscard]] std::size_t packets_faulted() const noexcept {
+    return packets_faulted_;
+  }
+  /// Extra copies injected by duplication (not counted in packets_sent()).
+  [[nodiscard]] std::size_t packets_duplicated() const noexcept {
+    return packets_duplicated_;
+  }
+
  private:
   Observer observer_;
   Simulator& sim_;
   MediumConfig config_;
   prob::Rng& rng_;
+  faults::FaultModel* fault_model_ = nullptr;
   std::vector<Receiver> receivers_;
   std::unordered_map<Address, std::vector<HostId>> subscribers_;
   std::size_t packets_sent_ = 0;
   std::size_t packets_lost_ = 0;
+  std::size_t packets_faulted_ = 0;
+  std::size_t packets_duplicated_ = 0;
 };
 
 }  // namespace zc::sim

@@ -1,5 +1,7 @@
 #include "sim/monte_carlo.hpp"
 
+#include <cmath>
+
 #include "common/contract.hpp"
 #include "exec/parallel.hpp"
 #include "exec/seeding.hpp"
@@ -16,6 +18,8 @@ Estimate to_estimate(const RunningStats& stats) {
 struct TrialAccumulator {
   RunningStats model_cost, elapsed_cost, probes, attempts, waiting;
   std::size_t collisions = 0;
+  std::size_t aborted = 0;
+  std::size_t non_finite = 0;
 
   void merge(const TrialAccumulator& other) {
     model_cost.merge(other.model_cost);
@@ -24,6 +28,8 @@ struct TrialAccumulator {
     attempts.merge(other.attempts);
     waiting.merge(other.waiting);
     collisions += other.collisions;
+    aborted += other.aborted;
+    non_finite += other.non_finite;
   }
 };
 
@@ -32,7 +38,11 @@ struct TrialAccumulator {
 MonteCarloResults monte_carlo(const NetworkConfig& network,
                               const ZeroconfConfig& protocol,
                               const MonteCarloOptions& opts) {
-  ZC_EXPECTS(opts.trials > 0);
+  ZC_REQUIRE(opts.trials > 0, "MonteCarloOptions.trials must be > 0");
+  ZC_REQUIRE(std::isfinite(opts.probe_cost) && opts.probe_cost >= 0.0,
+             "MonteCarloOptions.probe_cost must be finite and >= 0");
+  ZC_REQUIRE(std::isfinite(opts.error_cost) && opts.error_cost >= 0.0,
+             "MonteCarloOptions.error_cost must be finite and >= 0");
 
   exec::ExecOptions exec_opts;
   exec_opts.threads = opts.threads;
@@ -45,10 +55,25 @@ MonteCarloResults monte_carlo(const NetworkConfig& network,
         // (opts.seed, t), never on thread assignment or run order.
         Network net(network, exec::split_seed(opts.seed, t));
         const RunResult run = net.run_join(protocol);
-        acc.model_cost.add(
-            run.model_cost(protocol.r, opts.probe_cost, opts.error_cost));
-        acc.elapsed_cost.add(
-            run.elapsed_cost(opts.probe_cost, opts.error_cost));
+        if (run.aborted) {
+          // A safety-capped run claimed no address; folding its truncated
+          // cost into the estimates would bias them. Tally it instead.
+          ++acc.aborted;
+          return;
+        }
+        const double model =
+            run.model_cost(protocol.r, opts.probe_cost, opts.error_cost);
+        const double elapsed =
+            run.elapsed_cost(opts.probe_cost, opts.error_cost);
+        if (!std::isfinite(model) || !std::isfinite(elapsed) ||
+            !std::isfinite(run.waiting_time)) {
+          // Overflow guard: never let an inf/NaN sample poison the
+          // Welford accumulators.
+          ++acc.non_finite;
+          return;
+        }
+        acc.model_cost.add(model);
+        acc.elapsed_cost.add(elapsed);
         acc.probes.add(static_cast<double>(run.probes_sent));
         acc.attempts.add(static_cast<double>(run.attempts));
         acc.waiting.add(run.waiting_time);
@@ -61,15 +86,28 @@ MonteCarloResults monte_carlo(const NetworkConfig& network,
 
   MonteCarloResults out;
   out.trials = opts.trials;
+  out.aborted = total.aborted;
+  out.non_finite = total.non_finite;
+  out.completed = opts.trials - total.aborted - total.non_finite;
+  out.aborted_rate = static_cast<double>(total.aborted) /
+                     static_cast<double>(opts.trials);
   out.model_cost = to_estimate(total.model_cost);
   out.elapsed_cost = to_estimate(total.elapsed_cost);
   out.probes = to_estimate(total.probes);
   out.attempts = to_estimate(total.attempts);
   out.waiting_time = to_estimate(total.waiting);
   out.collisions = total.collisions;
-  out.collision_rate = static_cast<double>(total.collisions) /
-                       static_cast<double>(opts.trials);
-  out.collision_ci95 = wilson_ci95(total.collisions, opts.trials);
+  if (out.completed > 0) {
+    out.collision_rate = static_cast<double>(total.collisions) /
+                         static_cast<double>(out.completed);
+    out.collision_ci95 = wilson_ci95(total.collisions, out.completed);
+  } else {
+    // Every trial aborted: no claim was made, so the collision rate is
+    // undefined; report 0 with a maximally-uninformative interval rather
+    // than dividing by zero.
+    out.collision_rate = 0.0;
+    out.collision_ci95 = {0.0, 1.0};
+  }
   return out;
 }
 

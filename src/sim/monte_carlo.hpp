@@ -21,8 +21,21 @@ struct Estimate {
 };
 
 /// Aggregated Monte-Carlo results over independent configuration runs.
+///
+/// Runs that hit a safety cap (RunResult::aborted) are tallied separately
+/// and excluded from the estimates: an aborted run claimed no address, so
+/// folding its truncated cost into the means would silently bias them —
+/// and in pathological scenarios (error_cost * huge probe counts) could
+/// push accumulators to inf/NaN. Estimates therefore always aggregate
+/// finite samples over `completed` runs only.
 struct MonteCarloResults {
   std::size_t trials = 0;
+  std::size_t completed = 0;  ///< trials that configured an address
+  std::size_t aborted = 0;    ///< trials stopped by a safety cap / budget
+  double aborted_rate = 0.0;  ///< aborted / trials
+  /// Cost samples rejected by the overflow guard (non-finite); always 0
+  /// unless a scenario multiplies extreme costs into double overflow.
+  std::size_t non_finite = 0;
 
   Estimate model_cost;    ///< (r+c) * probes + E * collision, per run
   Estimate elapsed_cost;  ///< waiting + c * probes + E * collision
@@ -31,6 +44,7 @@ struct MonteCarloResults {
   Estimate waiting_time;  ///< elapsed listening time per run
 
   std::size_t collisions = 0;
+  /// Collision rate among *completed* runs (0 when none completed).
   double collision_rate = 0.0;
   ProportionCi collision_ci95;
 };

@@ -1,8 +1,10 @@
 #include "sim/network.hpp"
 
+#include <cmath>
 #include <unordered_map>
 
 #include "common/contract.hpp"
+#include "exec/seeding.hpp"
 
 namespace zc::sim {
 
@@ -10,7 +12,20 @@ Network::Network(NetworkConfig config, std::uint64_t seed)
     : config_(std::move(config)),
       rng_(seed),
       medium_(sim_, config_.medium, rng_) {
-  ZC_EXPECTS(config_.hosts < config_.address_space);
+  ZC_REQUIRE(config_.hosts < config_.address_space,
+             "NetworkConfig.hosts must be < address_space");
+  ZC_REQUIRE(std::isfinite(config_.max_virtual_time) &&
+                 config_.max_virtual_time >= 0.0,
+             "NetworkConfig.max_virtual_time must be finite and >= 0");
+  if (config_.faults.any()) {
+    // Fault randomness lives on its own split stream: the same trial with
+    // faults disabled draws exactly the same main-stream values.
+    injector_ = std::make_unique<faults::FaultInjector>(
+        config_.faults, exec::split_seed(seed, faults::kFaultSeedStream));
+    medium_.set_fault_model(injector_.get());
+  } else {
+    config_.faults.validate();
+  }
   used_.reserve(config_.hosts);
   hosts_.reserve(config_.hosts);
   while (used_.size() < config_.hosts) {
@@ -27,18 +42,22 @@ Network::Network(NetworkConfig config, std::uint64_t seed)
   }
 }
 
-RunResult Network::run_join(const ZeroconfConfig& protocol) {
-  ZeroconfHost joiner(sim_, medium_, config_.address_space, protocol, rng_);
-  const double start = sim_.now();
-  joiner.start();
-  // Drain everything the configuration attempt spawned. Late, irrelevant
-  // replies may remain scheduled; they execute harmlessly.
-  sim_.run();
-  ZC_ASSERT(joiner.outcome() == Outcome::configured);
+void Network::run_events(double start) {
+  if (config_.max_virtual_time > 0.0) {
+    sim_.run_until(start + config_.max_virtual_time);
+  } else {
+    // Drain everything the configuration attempt spawned. Late,
+    // irrelevant replies may remain scheduled; they execute harmlessly.
+    sim_.run();
+  }
+}
 
+RunResult Network::result_of(ZeroconfHost& joiner, double start) const {
+  ZC_ASSERT(joiner.outcome() != Outcome::pending);
   RunResult out;
+  out.aborted = joiner.outcome() == Outcome::aborted;
   out.address = joiner.configured_address();
-  out.collision = is_in_use(out.address);
+  out.collision = !out.aborted && is_in_use(out.address);
   out.probes_sent = joiner.probes_sent();
   out.attempts = joiner.attempts();
   out.conflicts = joiner.conflicts();
@@ -51,6 +70,17 @@ RunResult Network::run_join(const ZeroconfConfig& protocol) {
   return out;
 }
 
+RunResult Network::run_join(const ZeroconfConfig& protocol) {
+  ZeroconfHost joiner(sim_, medium_, config_.address_space, protocol, rng_);
+  const double start = sim_.now();
+  joiner.start();
+  run_events(start);
+  // A virtual-time budget may leave the joiner mid-attempt: give up
+  // explicitly so the outcome is always terminal.
+  joiner.abort();
+  return result_of(joiner, start);
+}
+
 std::vector<RunResult> Network::run_simultaneous_join(
     const ZeroconfConfig& protocol, unsigned count) {
   ZC_EXPECTS(count >= 1);
@@ -61,30 +91,20 @@ std::vector<RunResult> Network::run_simultaneous_join(
     joiners.push_back(std::make_unique<ZeroconfHost>(
         sim_, medium_, config_.address_space, protocol, rng_));
   for (auto& j : joiners) j->start();
-  sim_.run();
+  run_events(start);
+  for (auto& j : joiners) j->abort();
 
   // Claimed addresses: collisions can be with configured hosts or among
-  // the joiners themselves.
+  // the joiners themselves. Aborted joiners claimed nothing.
   std::unordered_map<Address, unsigned> claims;
-  for (auto& j : joiners) {
-    ZC_ASSERT(j->outcome() == Outcome::configured);
-    ++claims[j->configured_address()];
-  }
+  for (auto& j : joiners)
+    if (j->outcome() == Outcome::configured) ++claims[j->configured_address()];
 
   std::vector<RunResult> results;
   results.reserve(count);
   for (auto& j : joiners) {
-    RunResult r;
-    r.address = j->configured_address();
-    r.collision = is_in_use(r.address) || claims[r.address] > 1;
-    r.probes_sent = j->probes_sent();
-    r.attempts = j->attempts();
-    r.conflicts = j->conflicts();
-    r.waiting_time = j->waiting_time();
-    r.elapsed = j->finish_time() - start;
-    r.collision_detected = j->collision_detected();
-    if (r.collision_detected)
-      r.detection_latency = j->collision_detected_at() - j->finish_time();
+    RunResult r = result_of(*j, start);
+    r.collision = !r.aborted && (is_in_use(r.address) || claims[r.address] > 1);
     results.push_back(r);
   }
   return results;

@@ -11,6 +11,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "faults/injector.hpp"
 #include "prob/delay.hpp"
 #include "sim/host.hpp"
 #include "sim/zeroconf_host.hpp"
@@ -35,11 +36,26 @@ struct NetworkConfig {
   /// *in addition* to responder_delay; defaults to a perfect medium so
   /// that responder_delay alone equals the model's F_X.
   MediumConfig medium;
+
+  /// Adversarial conditions injected into the medium (bursty loss, link
+  /// flaps, delay spikes, duplication, reordering, host churn). Default:
+  /// none. Each Network seeds its injector from the construction seed via
+  /// exec::split_seed, preserving bitwise reproducibility per trial.
+  faults::FaultSchedule faults;
+
+  /// Virtual-time budget per run_join / run_simultaneous_join call: when
+  /// > 0, events later than start + max_virtual_time do not run and any
+  /// still-pending joiner is aborted (RunResult::aborted). 0 = unbounded.
+  double max_virtual_time = 0.0;
 };
 
 /// Result of one configuration run.
 struct RunResult {
   bool collision = false;      ///< claimed an address already in use
+  /// Run terminated by a safety cap (ZeroconfConfig::max_attempts /
+  /// max_probes) or the network's virtual-time budget instead of
+  /// configuring; no address was claimed, so `collision` is false.
+  bool aborted = false;
   Address address = kNoAddress;
   unsigned probes_sent = 0;
   unsigned attempts = 0;
@@ -98,10 +114,17 @@ class Network {
       const ZeroconfConfig& protocol, unsigned count);
 
  private:
+  /// Drain the event queue, bounded by the virtual-time budget when one
+  /// is configured.
+  void run_events(double start);
+
+  [[nodiscard]] RunResult result_of(ZeroconfHost& joiner, double start) const;
+
   NetworkConfig config_;
   prob::Rng rng_;
   Simulator sim_;
   Medium medium_;
+  std::unique_ptr<faults::FaultInjector> injector_;
   std::unordered_set<Address> used_;
   std::vector<std::unique_ptr<ConfiguredHost>> hosts_;
 };

@@ -18,6 +18,13 @@ std::size_t TraceLog::losses() const {
   return lost;
 }
 
+std::size_t TraceLog::count(faults::DeliveryCause cause) const {
+  std::size_t n = 0;
+  for (const auto& r : records_)
+    if (r.cause == cause) ++n;
+  return n;
+}
+
 std::vector<DeliveryRecord> TraceLog::for_address(Address address) const {
   std::vector<DeliveryRecord> out;
   for (const auto& r : records_)
@@ -37,16 +44,28 @@ void TraceLog::print(std::ostream& os, std::size_t max_lines) const {
 }
 
 std::string format_record(const DeliveryRecord& record) {
-  const bool is_probe = std::holds_alternative<ArpProbe>(record.packet);
-  std::string out = "t=" + zc::format_fixed(record.sent_at, 4) + "  " +
-                    (is_probe ? "PROBE" : "REPLY") + " addr=" +
+  const char* kind = std::holds_alternative<ArpProbe>(record.packet) ? "PROBE"
+                     : std::holds_alternative<ArpReply>(record.packet)
+                         ? "REPLY"
+                         : "ANNC ";
+  std::string out = "t=" + zc::format_fixed(record.sent_at, 4) + "  " + kind +
+                    " addr=" +
                     std::to_string(packet_address(record.packet)) + "  " +
                     std::to_string(packet_sender(record.packet)) + " -> " +
                     std::to_string(record.target);
   if (record.lost) {
     out += "  LOST";
-  } else if (record.delivered_at > record.sent_at) {
-    out += "  delivered t=" + zc::format_fixed(record.delivered_at, 4);
+    // Name the mechanism when it was not the medium's plain random loss
+    // (e.g. an injected blackout or burst) so fault traces stay auditable.
+    if (record.cause != faults::DeliveryCause::random_loss &&
+        record.cause != faults::DeliveryCause::delivered)
+      out += std::string(" (") + faults::to_string(record.cause) + ")";
+  } else {
+    if (record.delivered_at > record.sent_at)
+      out += "  delivered t=" + zc::format_fixed(record.delivered_at, 4);
+    if (record.cause == faults::DeliveryCause::duplicate ||
+        record.cause == faults::DeliveryCause::reordered)
+      out += std::string("  [") + faults::to_string(record.cause) + "]";
   }
   return out;
 }

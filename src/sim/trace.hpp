@@ -27,8 +27,13 @@ class TraceLog {
   [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
   void clear() { records_.clear(); }
 
-  /// Number of recorded losses.
+  /// Number of recorded losses (every drop cause).
   [[nodiscard]] std::size_t losses() const;
+
+  /// Number of records with the given delivery cause — e.g. how many
+  /// deliveries a blackout swallowed, or how many duplicates were
+  /// injected.
+  [[nodiscard]] std::size_t count(faults::DeliveryCause cause) const;
 
   /// Records concerning one address (probe target / defended address).
   [[nodiscard]] std::vector<DeliveryRecord> for_address(

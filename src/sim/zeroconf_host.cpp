@@ -26,6 +26,25 @@ void ZeroconfHost::start() {
   begin_attempt();
 }
 
+void ZeroconfHost::abort() {
+  if (outcome_ != Outcome::pending) return;
+  outcome_ = Outcome::aborted;
+  if (candidate_ != kNoAddress) {
+    // Count the partial listening period only if one was in flight.
+    if (period_timer_.pending()) waiting_time_ += sim_.now() - period_start_;
+    medium_.unsubscribe(id_, candidate_);
+    candidate_ = kNoAddress;
+  }
+  period_timer_.cancel();
+  finish_time_ = sim_.now();
+  if (on_done_) on_done_();
+}
+
+bool ZeroconfHost::hit_safety_cap() const {
+  return (config_.max_attempts > 0 && attempts_ >= config_.max_attempts) ||
+         (config_.max_probes > 0 && probes_sent_ >= config_.max_probes);
+}
+
 Address ZeroconfHost::pick_candidate() {
   // Uniform over [1, address_space]; with avoidance on, re-draw until a
   // fresh address appears (the failed set is tiny relative to the space).
@@ -40,6 +59,13 @@ Address ZeroconfHost::pick_candidate() {
 }
 
 void ZeroconfHost::begin_attempt() {
+  // Safety cap: in a hostile regime (every address taken, permanently
+  // jammed medium) the draft's loop would never terminate; give up with
+  // an explicit aborted outcome instead.
+  if (hit_safety_cap()) {
+    abort();
+    return;
+  }
   ++attempts_;
   probes_this_attempt_ = 0;
   candidate_ = pick_candidate();
@@ -55,6 +81,10 @@ void ZeroconfHost::begin_attempt() {
 }
 
 void ZeroconfHost::send_probe() {
+  if (config_.max_probes > 0 && probes_sent_ >= config_.max_probes) {
+    abort();
+    return;
+  }
   ++probes_this_attempt_;
   ++probes_sent_;
   medium_.broadcast(ArpProbe{candidate_, id_});

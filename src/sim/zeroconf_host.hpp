@@ -57,12 +57,20 @@ struct ZeroconfConfig {
   /// the claimed address) marks the collision as *detected*. 0 = off.
   unsigned announce_count = 0;
   double announce_interval = 2.0;  ///< draft ANNOUNCE_INTERVAL
+
+  /// Runaway-run safeguards for adversarial scenarios (e.g. every address
+  /// appears taken): instead of looping forever, the host gives up with
+  /// Outcome::aborted before starting attempt `max_attempts + 1` or
+  /// sending probe `max_probes + 1`. 0 = unbounded (model-faithful).
+  unsigned max_attempts = 0;
+  unsigned max_probes = 0;
 };
 
 /// Terminal state of a configuration run.
 enum class Outcome {
   pending,     ///< still probing
   configured,  ///< address claimed after n silent periods
+  aborted,     ///< gave up: safety cap hit or externally aborted
 };
 
 /// A host executing the zeroconf initialization phase.
@@ -80,6 +88,11 @@ class ZeroconfHost {
 
   /// Begin the first attempt (at the current simulation time).
   void start();
+
+  /// Give up now (Outcome::aborted): cancels pending timers and releases
+  /// the candidate. Used by Network when a virtual-time budget expires;
+  /// no-op once the host reached a terminal state.
+  void abort();
 
   [[nodiscard]] Outcome outcome() const noexcept { return outcome_; }
   /// The claimed address; kNoAddress while pending.
@@ -112,6 +125,7 @@ class ZeroconfHost {
  private:
   void begin_attempt();
   void send_probe();
+  [[nodiscard]] bool hit_safety_cap() const;
   void on_period_end();
   void on_packet(const Packet& packet);
   void handle_conflict();

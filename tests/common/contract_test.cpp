@@ -36,6 +36,29 @@ TEST(Contract, ViolationIsALogicError) {
   EXPECT_THROW(ZC_ASSERT(false), std::logic_error);
 }
 
+TEST(Contract, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(ZC_REQUIRE(true, "never shown"));
+}
+
+TEST(Contract, RequireMessageNamesFieldExpressionAndLocation) {
+  const double loss = 1.5;
+  try {
+    ZC_REQUIRE(loss < 1.0, "MediumConfig.loss must be in [0, 1)");
+    FAIL() << "expected a ContractViolation";
+  } catch (const zc::ContractViolation& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("MediumConfig.loss"), std::string::npos);
+    EXPECT_NE(msg.find("loss < 1.0"), std::string::npos);
+    EXPECT_NE(msg.find("contract_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contract, RequireAcceptsComposedStdStringMessages) {
+  const std::string field = "DelaySpike.extra";
+  EXPECT_THROW(ZC_REQUIRE(false, field + " must be finite"),
+               zc::ContractViolation);
+}
+
 TEST(Contract, ConditionEvaluatedExactlyOnce) {
   int calls = 0;
   const auto count = [&] {

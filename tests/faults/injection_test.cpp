@@ -1,0 +1,309 @@
+#include "faults/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "prob/families.hpp"
+#include "sim/medium.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace zc::faults;
+using namespace zc::sim;
+
+/// Medium + trace + one subscribed receiver, ready for fault injection.
+struct Fixture {
+  Simulator sim;
+  zc::prob::Rng rng{7};
+  Medium medium{sim, {}, rng};
+  TraceLog trace;
+  HostId sender = 0;
+  HostId receiver = 0;
+  int received = 0;
+
+  Fixture() {
+    trace.attach(medium);
+    sender = medium.attach([](const Packet&) {});
+    receiver = medium.attach([this](const Packet&) { ++received; });
+    medium.subscribe(receiver, 5);
+  }
+
+  void broadcast_at(double t) {
+    sim.schedule_at(t, [this] { medium.broadcast(ArpProbe{5, sender}); });
+  }
+};
+
+TEST(FaultInjection, BlackoutWindowDropsAllDeliveriesWithCause) {
+  FaultSchedule schedule;
+  schedule.blackout.windows.start = 1.0;
+  schedule.blackout.windows.duration = 2.0;
+  FaultInjector injector(schedule, 42);
+
+  Fixture f;
+  f.medium.set_fault_model(&injector);
+  f.broadcast_at(0.5);  // before the window: delivered
+  f.broadcast_at(1.5);  // inside: dropped
+  f.broadcast_at(2.9);  // inside: dropped
+  f.broadcast_at(3.5);  // after: delivered
+  f.sim.run();
+
+  EXPECT_EQ(f.received, 2);
+  EXPECT_EQ(f.trace.count(DeliveryCause::blackout), 2u);
+  EXPECT_EQ(f.trace.losses(), 2u);
+  EXPECT_EQ(f.medium.packets_faulted(), 2u);
+}
+
+TEST(FaultInjection, LinkFlapRepeatsEveryPeriod) {
+  FaultSchedule schedule;
+  schedule.blackout.windows.duration = 1.0;
+  schedule.blackout.windows.period = 4.0;  // down 25% of the time
+  FaultInjector injector(schedule, 42);
+
+  Fixture f;
+  f.medium.set_fault_model(&injector);
+  // Down windows: [0,1), [4,5), [8,9) ...
+  f.broadcast_at(0.5);
+  f.broadcast_at(2.0);
+  f.broadcast_at(4.5);
+  f.broadcast_at(6.0);
+  f.broadcast_at(8.5);
+  f.sim.run();
+
+  EXPECT_EQ(f.received, 2);
+  EXPECT_EQ(f.trace.count(DeliveryCause::blackout), 3u);
+}
+
+TEST(FaultInjection, DuplicationDeliversExtraCopies) {
+  FaultSchedule schedule;
+  schedule.duplication.probability = 1.0;
+  schedule.duplication.copies = 3;
+  FaultInjector injector(schedule, 42);
+
+  Fixture f;
+  f.medium.set_fault_model(&injector);
+  f.broadcast_at(0.0);
+  f.sim.run();
+
+  EXPECT_EQ(f.received, 3);
+  EXPECT_EQ(f.trace.count(DeliveryCause::duplicate), 2u);
+  EXPECT_EQ(f.medium.packets_sent(), 1u);        // one logical delivery
+  EXPECT_EQ(f.medium.packets_duplicated(), 2u);  // two injected copies
+}
+
+TEST(FaultInjection, ReorderingJitterIsBounded) {
+  FaultSchedule schedule;
+  schedule.reordering.probability = 1.0;
+  schedule.reordering.max_jitter = 0.4;
+  FaultInjector injector(schedule, 42);
+
+  Fixture f;
+  f.medium.set_fault_model(&injector);
+  for (int i = 0; i < 20; ++i) f.broadcast_at(static_cast<double>(i));
+  f.sim.run();
+
+  EXPECT_EQ(f.received, 20);
+  EXPECT_EQ(f.trace.count(DeliveryCause::reordered), 20u);
+  for (const auto& record : f.trace.records()) {
+    const double jitter = record.delivered_at - record.sent_at;
+    EXPECT_GE(jitter, 0.0);
+    EXPECT_LT(jitter, 0.4);
+  }
+}
+
+TEST(FaultInjection, DelaySpikeAddsExtraTransitDelayInsideWindow) {
+  FaultSchedule schedule;
+  schedule.delay_spike.windows.start = 10.0;
+  schedule.delay_spike.windows.duration = 5.0;
+  schedule.delay_spike.extra = 1.5;
+  FaultInjector injector(schedule, 42);
+
+  Fixture f;
+  f.medium.set_fault_model(&injector);
+  f.broadcast_at(1.0);   // outside: instantaneous
+  f.broadcast_at(12.0);  // inside: +1.5 s
+  f.sim.run();
+
+  ASSERT_EQ(f.trace.size(), 2u);
+  EXPECT_DOUBLE_EQ(f.trace.records()[0].delivered_at, 1.0);
+  EXPECT_DOUBLE_EQ(f.trace.records()[1].delivered_at, 13.5);
+  EXPECT_EQ(f.received, 2);
+}
+
+TEST(FaultInjection, PermanentChurnSilencesAffectedHosts) {
+  FaultSchedule schedule;
+  schedule.host_churn.deaf_fraction = 1.0;  // everyone
+  FaultInjector injector(schedule, 42);
+
+  Fixture f;
+  f.medium.set_fault_model(&injector);
+  f.broadcast_at(0.0);
+  f.broadcast_at(7.0);
+  f.sim.run();
+
+  EXPECT_EQ(f.received, 0);
+  EXPECT_EQ(f.trace.count(DeliveryCause::target_deaf), 2u);
+}
+
+TEST(FaultInjection, ChurnSelectsDeterministicHostSubset) {
+  FaultSchedule schedule;
+  schedule.host_churn.deaf_fraction = 0.5;
+  FaultInjector a(schedule, 1234);
+  FaultInjector b(schedule, 1234);
+
+  int deaf = 0;
+  for (HostId h = 0; h < 1000; ++h) {
+    EXPECT_EQ(a.host_deaf_at(h, 3.0), b.host_deaf_at(h, 3.0));
+    if (a.host_deaf_at(h, 3.0)) ++deaf;
+  }
+  // Seeded hash selection: close to the requested fraction.
+  EXPECT_NEAR(deaf, 500, 60);
+}
+
+TEST(FaultInjection, PeriodicChurnFlapsHostsInAndOut) {
+  FaultSchedule schedule;
+  schedule.host_churn.deaf_fraction = 1.0;
+  schedule.host_churn.period = 4.0;
+  schedule.host_churn.deaf_duration = 2.0;
+  FaultInjector injector(schedule, 99);
+
+  // Every host is deaf exactly half of each cycle (phase per host).
+  for (HostId h = 0; h < 8; ++h) {
+    int deaf_samples = 0;
+    const int samples = 400;
+    for (int i = 0; i < samples; ++i) {
+      const double t = i * 0.04;  // 4 full period-4 cycles at 0.04 s steps
+      if (injector.host_deaf_at(h, t)) ++deaf_samples;
+    }
+    EXPECT_NEAR(static_cast<double>(deaf_samples) / samples, 0.5, 0.1)
+        << "host " << h;
+  }
+}
+
+TEST(FaultInjection, GilbertElliottLongRunLossMatchesStationaryProbability) {
+  // Statistical check: the empirical per-delivery drop rate of the
+  // two-state chain converges to loss_good*pi_good + loss_bad*pi_bad.
+  FaultSchedule schedule;
+  schedule.gilbert_elliott.p_enter_burst = 0.02;
+  schedule.gilbert_elliott.p_exit_burst = 0.08;
+  schedule.gilbert_elliott.loss_good = 0.0;
+  schedule.gilbert_elliott.loss_bad = 1.0;
+  FaultInjector injector(schedule, 2026);
+
+  const int n = 200000;
+  int drops = 0;
+  for (int i = 0; i < n; ++i) {
+    const FaultDecision d = injector.on_delivery({0.0, 0, 1});
+    if (d.drop) {
+      EXPECT_EQ(d.cause, DeliveryCause::burst_loss);
+      ++drops;
+    }
+  }
+  const double expected = schedule.gilbert_elliott.long_run_loss();
+  EXPECT_NEAR(expected, 0.2, 1e-12);
+  // Autocorrelated chain: mixing time ~ 1/(p_enter+p_exit) = 10, so the
+  // variance of the mean is ~20x the i.i.d. value; +-0.015 is ~4 sigma.
+  EXPECT_NEAR(static_cast<double>(drops) / n, expected, 0.015);
+}
+
+TEST(FaultInjection, GilbertElliottBurstsAreBursty) {
+  // Consecutive-drop runs must be far longer than under i.i.d. loss of
+  // the same rate: that is the whole point of the correlated channel.
+  FaultSchedule schedule;
+  schedule.gilbert_elliott.p_enter_burst = 0.02;
+  schedule.gilbert_elliott.p_exit_burst = 0.08;
+  schedule.gilbert_elliott.loss_bad = 1.0;
+  FaultInjector injector(schedule, 7);
+
+  const int n = 100000;
+  int drops = 0, runs = 0;
+  bool in_run = false;
+  for (int i = 0; i < n; ++i) {
+    const bool drop = injector.on_delivery({0.0, 0, 1}).drop;
+    drops += drop ? 1 : 0;
+    if (drop && !in_run) ++runs;
+    in_run = drop;
+  }
+  ASSERT_GT(runs, 0);
+  const double mean_burst = static_cast<double>(drops) / runs;
+  // Geometric(p_exit) burst length: mean 1/0.08 = 12.5. An i.i.d. channel
+  // at the same loss rate would give mean run length ~1/(1-0.2) = 1.25.
+  EXPECT_GT(mean_burst, 6.0);
+  EXPECT_LT(mean_burst, 25.0);
+}
+
+TEST(FaultInjection, SameSeedSameDecisionStream) {
+  FaultSchedule schedule;
+  schedule.gilbert_elliott.p_enter_burst = 0.05;
+  schedule.gilbert_elliott.p_exit_burst = 0.2;
+  schedule.duplication.probability = 0.3;
+  schedule.reordering.probability = 0.4;
+  schedule.reordering.max_jitter = 0.5;
+  FaultInjector a(schedule, 555);
+  FaultInjector b(schedule, 555);
+
+  for (int i = 0; i < 5000; ++i) {
+    const FaultContext ctx{static_cast<double>(i) * 0.01, 0,
+                           static_cast<HostId>(i % 7)};
+    const FaultDecision da = a.on_delivery(ctx);
+    const FaultDecision db = b.on_delivery(ctx);
+    ASSERT_EQ(da.drop, db.drop);
+    ASSERT_EQ(da.cause, db.cause);
+    ASSERT_EQ(da.copies, db.copies);
+    ASSERT_EQ(da.reordered, db.reordered);
+    for (unsigned c = 0; c < da.copies; ++c)
+      ASSERT_EQ(da.extra_delay[c], db.extra_delay[c]);
+  }
+}
+
+TEST(FaultInjection, InvalidScheduleRejectedAtConstruction) {
+  FaultSchedule schedule;
+  schedule.gilbert_elliott.p_enter_burst = -0.1;
+  EXPECT_THROW(FaultInjector(schedule, 1), zc::ContractViolation);
+}
+
+TEST(FaultInjection, FaultFreeMainStreamUnchangedByFaultDrops) {
+  // A faulted delivery must not consume draws from the medium's own RNG:
+  // the delivered packets of a blackout run line up with the same run
+  // minus the blacked-out sends.
+  FaultSchedule schedule;
+  schedule.blackout.windows.start = 1.0;
+  schedule.blackout.windows.duration = 1.0;
+  FaultInjector injector(schedule, 3);
+
+  const auto delivery_times = [&](bool with_faults, bool skip_window) {
+    Simulator sim;
+    zc::prob::Rng rng(11);
+    MediumConfig config;
+    config.transit_delay =
+        std::make_shared<const zc::prob::Exponential>(10.0);
+    Medium medium(sim, config, rng);
+    TraceLog trace;
+    trace.attach(medium);
+    const HostId sender = medium.attach([](const Packet&) {});
+    const HostId receiver = medium.attach([](const Packet&) {});
+    medium.subscribe(receiver, 5);
+    if (with_faults) medium.set_fault_model(&injector);
+    for (int i = 0; i < 6; ++i) {
+      const double t = i * 0.5;
+      if (skip_window && t >= 1.0 && t < 2.0) continue;
+      sim.schedule_at(t, [&medium, sender] {
+        medium.broadcast(ArpProbe{5, sender});
+      });
+    }
+    sim.run();
+    std::vector<double> delivered;
+    for (const auto& r : trace.records())
+      if (!r.lost) delivered.push_back(r.delivered_at);
+    return delivered;
+  };
+
+  const auto faulted = delivery_times(true, false);
+  const auto clean = delivery_times(false, true);
+  ASSERT_EQ(faulted.size(), clean.size());
+  for (std::size_t i = 0; i < faulted.size(); ++i)
+    EXPECT_DOUBLE_EQ(faulted[i], clean[i]);
+}
+
+}  // namespace

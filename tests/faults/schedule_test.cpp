@@ -1,0 +1,176 @@
+#include "faults/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "common/contract.hpp"
+
+namespace {
+
+using namespace zc::faults;
+
+// --- TimeWindows ----------------------------------------------------------
+
+TEST(TimeWindows, DisabledWindowContainsNothing) {
+  TimeWindows w;
+  EXPECT_FALSE(w.enabled());
+  EXPECT_FALSE(w.contains(0.0));
+  EXPECT_FALSE(w.contains(100.0));
+}
+
+TEST(TimeWindows, OneShotWindowIsHalfOpen) {
+  TimeWindows w;
+  w.start = 2.0;
+  w.duration = 1.0;
+  EXPECT_FALSE(w.contains(1.999));
+  EXPECT_TRUE(w.contains(2.0));
+  EXPECT_TRUE(w.contains(2.999));
+  EXPECT_FALSE(w.contains(3.0));
+  EXPECT_FALSE(w.contains(50.0));
+}
+
+TEST(TimeWindows, PeriodicWindowRepeats) {
+  TimeWindows w;
+  w.start = 1.0;
+  w.duration = 0.5;
+  w.period = 2.0;
+  for (int k = 0; k < 5; ++k) {
+    const double base = 1.0 + 2.0 * k;
+    EXPECT_TRUE(w.contains(base + 0.25)) << "cycle " << k;
+    EXPECT_FALSE(w.contains(base + 0.75)) << "cycle " << k;
+  }
+  EXPECT_FALSE(w.contains(0.5));  // before the first window
+}
+
+TEST(TimeWindows, DutyCycleOfPeriodicWindow) {
+  TimeWindows w;
+  w.duration = 1.0;
+  w.period = 5.0;
+  EXPECT_DOUBLE_EQ(w.duty_cycle(), 0.2);
+}
+
+// --- Gilbert-Elliott derived quantities -----------------------------------
+
+TEST(GilbertElliott, StationaryBadProbability) {
+  GilbertElliott ge;
+  ge.p_enter_burst = 0.02;
+  ge.p_exit_burst = 0.08;
+  EXPECT_NEAR(ge.stationary_bad(), 0.2, 1e-12);
+}
+
+TEST(GilbertElliott, LongRunLossMixesStateLosses) {
+  GilbertElliott ge;
+  ge.p_enter_burst = 0.02;
+  ge.p_exit_burst = 0.08;
+  ge.loss_good = 0.1;
+  ge.loss_bad = 0.9;
+  // 0.8 * 0.1 + 0.2 * 0.9
+  EXPECT_NEAR(ge.long_run_loss(), 0.26, 1e-12);
+}
+
+// --- Validation (ZC_REQUIRE, naming the bad field) ------------------------
+
+TEST(FaultScheduleValidate, EmptyScheduleIsValid) {
+  FaultSchedule schedule;
+  EXPECT_FALSE(schedule.any());
+  EXPECT_NO_THROW(schedule.validate());
+}
+
+TEST(FaultScheduleValidate, RejectsOutOfRangeGilbertElliott) {
+  FaultSchedule schedule;
+  schedule.gilbert_elliott.p_enter_burst = 1.5;
+  try {
+    schedule.validate();
+    FAIL() << "expected a ContractViolation";
+  } catch (const zc::ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("GilbertElliott.p_enter_burst"),
+              std::string::npos);
+  }
+}
+
+TEST(FaultScheduleValidate, RejectsWindowPeriodShorterThanDuration) {
+  FaultSchedule schedule;
+  schedule.blackout.windows.duration = 2.0;
+  schedule.blackout.windows.period = 1.0;
+  try {
+    schedule.validate();
+    FAIL() << "expected a ContractViolation";
+  } catch (const zc::ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("Blackout.windows.period"),
+              std::string::npos);
+  }
+}
+
+TEST(FaultScheduleValidate, RejectsSubUnitDelayMultiplier) {
+  FaultSchedule schedule;
+  schedule.delay_spike.windows.duration = 1.0;
+  schedule.delay_spike.multiplier = 0.5;
+  EXPECT_THROW(schedule.validate(), zc::ContractViolation);
+}
+
+TEST(FaultScheduleValidate, RejectsTooManyDuplicationCopies) {
+  FaultSchedule schedule;
+  schedule.duplication.probability = 0.5;
+  schedule.duplication.copies = FaultDecision::kMaxCopies + 1;
+  try {
+    schedule.validate();
+    FAIL() << "expected a ContractViolation";
+  } catch (const zc::ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("Duplication.copies"),
+              std::string::npos);
+  }
+}
+
+TEST(FaultScheduleValidate, RejectsReorderingWithoutJitterBound) {
+  FaultSchedule schedule;
+  schedule.reordering.probability = 0.3;
+  schedule.reordering.max_jitter = 0.0;
+  EXPECT_THROW(schedule.validate(), zc::ContractViolation);
+}
+
+TEST(FaultScheduleValidate, RejectsChurnDeafLongerThanPeriod) {
+  FaultSchedule schedule;
+  schedule.host_churn.deaf_fraction = 0.5;
+  schedule.host_churn.period = 1.0;
+  schedule.host_churn.deaf_duration = 2.0;
+  try {
+    schedule.validate();
+    FAIL() << "expected a ContractViolation";
+  } catch (const zc::ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("HostChurn.deaf_duration"),
+              std::string::npos);
+  }
+}
+
+TEST(FaultScheduleValidate, RejectsNonFiniteParameters) {
+  FaultSchedule schedule;
+  schedule.delay_spike.windows.duration = 1.0;
+  schedule.delay_spike.extra = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(schedule.validate(), zc::ContractViolation);
+}
+
+// --- Summary / cause labels -----------------------------------------------
+
+TEST(FaultSchedule, SummaryListsEnabledFaults) {
+  FaultSchedule schedule;
+  EXPECT_EQ(schedule.summary(), "none");
+  schedule.gilbert_elliott.p_enter_burst = 0.1;
+  schedule.blackout.windows.duration = 1.0;
+  EXPECT_EQ(schedule.summary(), "gilbert-elliott+blackout");
+}
+
+TEST(DeliveryCause, DropPredicateAndLabels) {
+  EXPECT_FALSE(is_drop(DeliveryCause::delivered));
+  EXPECT_FALSE(is_drop(DeliveryCause::reordered));
+  EXPECT_FALSE(is_drop(DeliveryCause::duplicate));
+  EXPECT_TRUE(is_drop(DeliveryCause::random_loss));
+  EXPECT_TRUE(is_drop(DeliveryCause::burst_loss));
+  EXPECT_TRUE(is_drop(DeliveryCause::blackout));
+  EXPECT_TRUE(is_drop(DeliveryCause::target_deaf));
+  EXPECT_STREQ(to_string(DeliveryCause::burst_loss), "burst-loss");
+  EXPECT_STREQ(to_string(DeliveryCause::blackout), "blackout");
+}
+
+}  // namespace

@@ -1,0 +1,328 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "faults/schedule.hpp"
+#include "prob/delay.hpp"
+#include "sim/medium.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/network.hpp"
+
+namespace {
+
+using namespace zc::sim;
+
+/// Same exaggerated-loss scenario as the Monte-Carlo tests: measurable
+/// collision rates, fast runs.
+NetworkConfig exaggerated_network() {
+  NetworkConfig config;
+  config.address_space = 100;
+  config.hosts = 30;
+  config.responder_delay =
+      std::shared_ptr<const zc::prob::DelayDistribution>(
+          zc::prob::paper_reply_delay(0.4, 20.0, 0.1));
+  return config;
+}
+
+/// One of everything: the schedule used to prove determinism is
+/// independent of which faults are active.
+zc::faults::FaultSchedule everything_schedule() {
+  zc::faults::FaultSchedule faults;
+  faults.gilbert_elliott.p_enter_burst = 0.05;
+  faults.gilbert_elliott.p_exit_burst = 0.25;
+  faults.gilbert_elliott.loss_bad = 0.9;
+  faults.blackout.windows.start = 0.5;
+  faults.blackout.windows.duration = 0.2;
+  faults.blackout.windows.period = 2.0;
+  faults.delay_spike.windows.start = 1.0;
+  faults.delay_spike.windows.duration = 0.5;
+  faults.delay_spike.windows.period = 3.0;
+  faults.delay_spike.multiplier = 4.0;
+  faults.delay_spike.extra = 0.05;
+  faults.duplication.probability = 0.15;
+  faults.duplication.copies = 2;
+  faults.reordering.probability = 0.3;
+  faults.reordering.max_jitter = 0.2;
+  faults.host_churn.deaf_fraction = 0.3;
+  faults.host_churn.period = 4.0;
+  faults.host_churn.deaf_duration = 1.0;
+  return faults;
+}
+
+// --- Runaway-run safeguards ------------------------------------------------
+
+TEST(Safeguards, FullyOccupiedSpaceAbortsAtAttemptCap) {
+  // Every address in [1, space] is defended by an instantly-replying
+  // host: without a cap the joiner would retry forever. Network forbids
+  // hosts == address_space, so build the segment directly.
+  Simulator sim;
+  zc::prob::Rng rng(11);
+  Medium medium(sim, MediumConfig{}, rng);
+  constexpr Address kSpace = 8;
+  std::vector<std::unique_ptr<ConfiguredHost>> defenders;
+  for (Address a = 1; a <= kSpace; ++a)
+    defenders.push_back(
+        std::make_unique<ConfiguredHost>(sim, medium, a, nullptr, rng));
+
+  ZeroconfConfig protocol;
+  protocol.n = 2;
+  protocol.r = 0.5;
+  protocol.max_attempts = 50;
+  ZeroconfHost joiner(sim, medium, kSpace, protocol, rng);
+  joiner.start();
+  sim.run();  // terminates only because of the cap
+
+  EXPECT_EQ(joiner.outcome(), Outcome::aborted);
+  EXPECT_EQ(joiner.attempts(), 50u);
+  EXPECT_EQ(joiner.configured_address(), kNoAddress);
+}
+
+TEST(Safeguards, ProbeCapAbortsFullyOccupiedSpace) {
+  Simulator sim;
+  zc::prob::Rng rng(12);
+  Medium medium(sim, MediumConfig{}, rng);
+  constexpr Address kSpace = 4;
+  std::vector<std::unique_ptr<ConfiguredHost>> defenders;
+  for (Address a = 1; a <= kSpace; ++a)
+    defenders.push_back(
+        std::make_unique<ConfiguredHost>(sim, medium, a, nullptr, rng));
+
+  ZeroconfConfig protocol;
+  protocol.n = 3;
+  protocol.r = 0.5;
+  protocol.max_probes = 40;
+  ZeroconfHost joiner(sim, medium, kSpace, protocol, rng);
+  joiner.start();
+  sim.run();
+
+  EXPECT_EQ(joiner.outcome(), Outcome::aborted);
+  EXPECT_LE(joiner.probes_sent(), 40u);
+  EXPECT_EQ(joiner.configured_address(), kNoAddress);
+}
+
+TEST(Safeguards, CapsDoNotTriggerOnNormalRuns) {
+  // Generous caps must be invisible: an uncontended join configures.
+  NetworkConfig net = exaggerated_network();
+  net.hosts = 1;
+  Network network(net, 21);
+  ZeroconfConfig protocol;
+  protocol.n = 2;
+  protocol.r = 0.2;
+  protocol.max_attempts = 1000;
+  protocol.max_probes = 10000;
+  const auto result = network.run_join(protocol);
+  EXPECT_FALSE(result.aborted);
+  EXPECT_NE(result.address, kNoAddress);
+}
+
+TEST(Safeguards, VirtualTimeBudgetAbortsPendingJoiner) {
+  // n = 1, r = 2: the earliest possible claim is t = 2, past the budget.
+  NetworkConfig net = exaggerated_network();
+  net.max_virtual_time = 0.5;
+  Network network(net, 31);
+  ZeroconfConfig protocol;
+  protocol.n = 1;
+  protocol.r = 2.0;
+  const auto result = network.run_join(protocol);
+  EXPECT_TRUE(result.aborted);
+  EXPECT_FALSE(result.collision);
+  EXPECT_EQ(result.address, kNoAddress);
+}
+
+TEST(Safeguards, PermanentBlackoutWithBudgetTerminates) {
+  // A permanent blackout swallows every probe; defenders never answer, so
+  // the joiner happily claims after n silent periods — unless churn also
+  // deafens it. The important property: with a budget, *every* such run
+  // terminates with an explicit outcome instead of hanging.
+  NetworkConfig net = exaggerated_network();
+  net.faults.blackout.windows.duration = 1e9;  // effectively forever
+  net.max_virtual_time = 50.0;
+  Network network(net, 41);
+  ZeroconfConfig protocol;
+  protocol.n = 4;
+  protocol.r = 2.0;
+  protocol.max_attempts = 64;
+  const auto result = network.run_join(protocol);
+  EXPECT_TRUE(result.aborted || result.address != kNoAddress);
+}
+
+// --- Monte-Carlo aggregation under aborts ----------------------------------
+
+TEST(MonteCarloRobustness, AllAbortedTrialsStayFinite) {
+  NetworkConfig net = exaggerated_network();
+  net.max_virtual_time = 0.5;
+  ZeroconfConfig protocol;
+  protocol.n = 1;
+  protocol.r = 2.0;
+  MonteCarloOptions opts;
+  opts.trials = 200;
+  opts.seed = 51;
+  const auto results = monte_carlo(net, protocol, opts);
+
+  EXPECT_EQ(results.aborted, results.trials);
+  EXPECT_EQ(results.completed, 0u);
+  EXPECT_DOUBLE_EQ(results.aborted_rate, 1.0);
+  EXPECT_EQ(results.collisions, 0u);
+  EXPECT_DOUBLE_EQ(results.collision_rate, 0.0);
+  // Degenerate CI is the vacuous [0, 1], not NaN.
+  EXPECT_DOUBLE_EQ(results.collision_ci95.lower, 0.0);
+  EXPECT_DOUBLE_EQ(results.collision_ci95.upper, 1.0);
+  EXPECT_TRUE(std::isfinite(results.model_cost.mean));
+  EXPECT_TRUE(std::isfinite(results.elapsed_cost.mean));
+  EXPECT_TRUE(std::isfinite(results.waiting_time.mean));
+}
+
+TEST(MonteCarloRobustness, PartialAbortsAreTalliedAndExcluded) {
+  // Nearly-full space (3 of 4 addresses taken), reliable instant replies,
+  // and a tight attempt cap: some trials abort, some configure.
+  NetworkConfig net;
+  net.address_space = 4;
+  net.hosts = 3;
+  ZeroconfConfig protocol;
+  protocol.n = 2;
+  protocol.r = 0.3;
+  protocol.max_attempts = 3;
+  MonteCarloOptions opts;
+  opts.trials = 2000;
+  opts.seed = 61;
+  const auto results = monte_carlo(net, protocol, opts);
+
+  EXPECT_GT(results.aborted, 0u);
+  EXPECT_GT(results.completed, 0u);
+  EXPECT_EQ(results.completed + results.aborted + results.non_finite,
+            results.trials);
+  EXPECT_NEAR(results.aborted_rate,
+              static_cast<double>(results.aborted) /
+                  static_cast<double>(results.trials),
+              1e-12);
+  EXPECT_TRUE(std::isfinite(results.model_cost.mean));
+  EXPECT_TRUE(std::isfinite(results.model_cost.stddev));
+  EXPECT_TRUE(std::isfinite(results.elapsed_cost.mean));
+  EXPECT_TRUE(std::isfinite(results.probes.mean));
+  EXPECT_TRUE(std::isfinite(results.attempts.mean));
+  // Completed runs claimed the one free address without a lost reply, so
+  // none of them collided; aborted runs must not count as collisions.
+  EXPECT_EQ(results.collisions, 0u);
+}
+
+TEST(MonteCarloRobustness, DeterministicAcrossThreadCountsUnderFaults) {
+  // The determinism contract must survive the fault layer: the injector
+  // draws from its own split-seeded stream, so thread count stays a pure
+  // performance knob even with every fault class active.
+  NetworkConfig net = exaggerated_network();
+  net.faults = everything_schedule();
+  ZeroconfConfig protocol;
+  protocol.n = 3;
+  protocol.r = 0.3;
+  protocol.max_attempts = 64;
+
+  MonteCarloOptions serial;
+  serial.trials = 1500;
+  serial.seed = 71;
+  serial.threads = 1;
+  MonteCarloOptions two = serial;
+  two.threads = 2;
+  MonteCarloOptions hardware = serial;
+  hardware.threads = 0;
+
+  const auto a = monte_carlo(net, protocol, serial);
+  const auto b = monte_carlo(net, protocol, two);
+  const auto c = monte_carlo(net, protocol, hardware);
+
+  const auto expect_same = [](const MonteCarloResults& x,
+                              const MonteCarloResults& y) {
+    EXPECT_EQ(x.collisions, y.collisions);
+    EXPECT_EQ(x.aborted, y.aborted);
+    EXPECT_EQ(x.completed, y.completed);
+    EXPECT_EQ(x.collision_rate, y.collision_rate);
+    EXPECT_EQ(x.collision_ci95.lower, y.collision_ci95.lower);
+    EXPECT_EQ(x.collision_ci95.upper, y.collision_ci95.upper);
+    EXPECT_EQ(x.model_cost.mean, y.model_cost.mean);
+    EXPECT_EQ(x.model_cost.stddev, y.model_cost.stddev);
+    EXPECT_EQ(x.elapsed_cost.mean, y.elapsed_cost.mean);
+    EXPECT_EQ(x.probes.mean, y.probes.mean);
+    EXPECT_EQ(x.attempts.mean, y.attempts.mean);
+    EXPECT_EQ(x.waiting_time.mean, y.waiting_time.mean);
+  };
+  expect_same(a, b);
+  expect_same(a, c);
+}
+
+TEST(MonteCarloRobustness, FaultsShiftEstimatesButKeepThemFinite) {
+  // Sanity: the adversarial schedule actually changes the measured
+  // protocol behaviour (more probes / retries than the clean run).
+  ZeroconfConfig protocol;
+  protocol.n = 3;
+  protocol.r = 0.3;
+  protocol.max_attempts = 64;
+  MonteCarloOptions opts;
+  opts.trials = 1500;
+  opts.seed = 81;
+
+  const auto clean = monte_carlo(exaggerated_network(), protocol, opts);
+  NetworkConfig faulty = exaggerated_network();
+  faulty.faults = everything_schedule();
+  const auto adversarial = monte_carlo(faulty, protocol, opts);
+
+  EXPECT_TRUE(std::isfinite(adversarial.model_cost.mean));
+  EXPECT_NE(adversarial.model_cost.mean, clean.model_cost.mean);
+}
+
+// --- Construction-time validation ------------------------------------------
+
+TEST(Validation, MediumLossAboveRangeRejectedByName) {
+  Simulator sim;
+  zc::prob::Rng rng(1);
+  MediumConfig config;
+  config.loss = 1.0;  // certain loss would spin the protocol forever
+  try {
+    Medium medium(sim, config, rng);
+    FAIL() << "expected a ContractViolation";
+  } catch (const zc::ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("MediumConfig.loss"),
+              std::string::npos);
+  }
+}
+
+TEST(Validation, NonFiniteCostOptionsRejectedByName) {
+  MonteCarloOptions opts;
+  opts.trials = 10;
+  opts.probe_cost = std::nan("");
+  try {
+    (void)monte_carlo(exaggerated_network(), ZeroconfConfig{}, opts);
+    FAIL() << "expected a ContractViolation";
+  } catch (const zc::ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("MonteCarloOptions.probe_cost"),
+              std::string::npos);
+  }
+}
+
+TEST(Validation, NegativeErrorCostRejectedByName) {
+  MonteCarloOptions opts;
+  opts.trials = 10;
+  opts.error_cost = -1.0;
+  try {
+    (void)monte_carlo(exaggerated_network(), ZeroconfConfig{}, opts);
+    FAIL() << "expected a ContractViolation";
+  } catch (const zc::ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("MonteCarloOptions.error_cost"),
+              std::string::npos);
+  }
+}
+
+TEST(Validation, NetworkRejectsInvalidFaultScheduleAtConstruction) {
+  NetworkConfig net = exaggerated_network();
+  net.faults.gilbert_elliott.p_enter_burst = 2.0;
+  EXPECT_THROW((void)Network(net, 1), zc::ContractViolation);
+}
+
+TEST(Validation, NegativeVirtualTimeBudgetRejected) {
+  NetworkConfig net = exaggerated_network();
+  net.max_virtual_time = -1.0;
+  EXPECT_THROW((void)Network(net, 1), zc::ContractViolation);
+}
+
+}  // namespace
