@@ -17,6 +17,7 @@
 #include "analysis/expectation.hpp"
 #include "analysis/gnuplot.hpp"
 #include "analysis/series.hpp"
+#include "obs/report.hpp"
 
 namespace zc::bench {
 
@@ -41,6 +42,20 @@ inline void emit_figure(const std::string& basename,
   } else {
     std::cout << "[warning: could not write " << path
               << ".{csv,gp} - continuing]\n";
+  }
+}
+
+/// Serialize a run report to `filename` under the working directory —
+/// the single funnel every BENCH_*.json manifest goes through, so all of
+/// them share the zcopt-run-report schema. Warns (but does not fail) on
+/// I/O problems, matching emit_figure.
+inline void emit_report(const obs::RunReport& report,
+                        const std::string& filename) {
+  if (report.write_file(filename)) {
+    std::cout << "[bench data: " << filename << "]\n";
+  } else {
+    std::cout << "[warning: could not write " << filename
+              << " - continuing]\n";
   }
 }
 

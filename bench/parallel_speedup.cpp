@@ -7,7 +7,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <fstream>
 #include <functional>
 #include <iostream>
 #include <string>
@@ -19,10 +18,12 @@
 #include "core/optimize.hpp"
 #include "core/scenarios.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/timer.hpp"
 #include "sim/monte_carlo.hpp"
 
 namespace {
 
+using namespace zc;
 using Clock = std::chrono::steady_clock;
 
 double time_ms(const std::function<void()>& work) {
@@ -48,24 +49,32 @@ struct Measurement {
 };
 
 void emit_json(const std::vector<Measurement>& rows, unsigned hardware,
-               bool deterministic) {
-  std::ofstream out("BENCH_parallel.json");
-  if (!out) {
-    std::cout << "[warning: could not write BENCH_parallel.json]\n";
-    return;
+               std::uint64_t seed, bool deterministic) {
+  obs::RunReport report("parallel_speedup",
+                        "serial vs parallel wall times: monte_carlo + "
+                        "joint_optimum");
+  report.set_seed(seed);
+  report.config()["hardware_threads"] = hardware;
+
+  obs::JsonValue measurements = obs::JsonValue::array();
+  for (const Measurement& m : rows) {
+    obs::JsonValue entry = obs::JsonValue::object();
+    entry["name"] = m.name;
+    entry["threads"] = m.threads;
+    entry["wall_ms"] = m.wall_ms;
+    entry["speedup_vs_serial"] = m.speedup_vs_serial;
+    measurements.push_back(std::move(entry));
   }
-  out << "{\n  \"hardware_threads\": " << hardware
-      << ",\n  \"bitwise_deterministic\": "
-      << (deterministic ? "true" : "false") << ",\n  \"measurements\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Measurement& m = rows[i];
-    out << "    {\"name\": \"" << m.name << "\", \"threads\": " << m.threads
-        << ", \"wall_ms\": " << m.wall_ms
-        << ", \"speedup_vs_serial\": " << m.speedup_vs_serial << "}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
-  std::cout << "[bench data: BENCH_parallel.json]\n";
+  report.data()["bitwise_deterministic"] = deterministic;
+  report.data()["measurements"] = std::move(measurements);
+
+  // Pool utilization is scheduling-dependent: runtime section, never
+  // semantic metrics.
+  zc::obs::MetricSet runtime;
+  zc::exec::ThreadPool::shared().export_metrics(runtime);
+  report.set_runtime(runtime);
+  report.capture_registry();
+  bench::emit_report(report, "BENCH_parallel.json");
 }
 
 }  // namespace
@@ -100,6 +109,7 @@ int main() {
   mc.seed = 2026;
 
   sim::MonteCarloResults reference;
+  obs::ScopedTimer mc_phase("monte_carlo_phase");
   for (unsigned threads : thread_counts) {
     mc.threads = threads;
     sim::MonteCarloResults last;
@@ -123,10 +133,13 @@ int main() {
               << zc::format_sig(m.speedup_vs_serial, 3) << ")\n";
   }
 
+  mc_phase.stop();
+
   // --- Joint optimum sweep ----------------------------------------------
   const auto scenario = core::scenarios::figure2().to_params();
   const std::size_t mc_rows = rows.size();
   core::JointOptimum ref_opt;
+  obs::ScopedTimer opt_phase("joint_optimum_phase");
   for (unsigned threads : thread_counts) {
     core::ROptOptions opts;
     opts.exec.threads = threads;
@@ -151,7 +164,9 @@ int main() {
               << zc::format_sig(m.speedup_vs_serial, 3) << ")\n";
   }
 
-  emit_json(rows, hardware, deterministic);
+  opt_phase.stop();
+
+  emit_json(rows, hardware, mc.seed, deterministic);
 
   analysis::PaperCheck check("PERF-PARALLEL");
   check.expect_true("bitwise-deterministic",

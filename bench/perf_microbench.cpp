@@ -16,6 +16,7 @@
 #include "core/scenarios.hpp"
 #include "exec/thread_pool.hpp"
 #include "numerics/grid.hpp"
+#include "obs/metrics.hpp"
 #include "sim/monte_carlo.hpp"
 
 namespace {
@@ -155,6 +156,35 @@ BENCHMARK(BM_MonteCarloParallel)
     ->Arg(2)
     ->Arg(static_cast<long>(zc::exec::hardware_threads()))
     ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// ---- Observability layer (src/obs) -------------------------------------
+// The same Monte-Carlo hot path with metric collection on vs off (runtime
+// switch): the difference is the whole per-delivery/per-trial metrics
+// bill. The ObsOverhead test in zc_obs_test enforces a ceiling on this
+// gap; this bench records the actual numbers.
+
+void BM_MonteCarloMetrics(benchmark::State& state) {
+  const auto network = mc_network();
+  sim::ZeroconfConfig protocol;
+  protocol.n = 4;
+  protocol.r = 0.25;
+  sim::MonteCarloOptions opts;
+  opts.trials = 2000;
+  opts.seed = 7;
+  opts.threads = 1;
+  const bool enabled = state.range(0) != 0;
+  obs::Registry::global().set_enabled(enabled);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::monte_carlo(network, protocol, opts));
+  }
+  obs::Registry::global().set_enabled(true);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(opts.trials));
+}
+BENCHMARK(BM_MonteCarloMetrics)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 void BM_JointOptimumParallel(benchmark::State& state) {

@@ -9,7 +9,6 @@
 /// thread counts with every fault class active.
 
 #include <cmath>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -21,6 +20,7 @@
 #include "core/params.hpp"
 #include "core/reliability.hpp"
 #include "faults/schedule.hpp"
+#include "obs/timer.hpp"
 #include "sim/monte_carlo.hpp"
 
 namespace {
@@ -144,39 +144,48 @@ struct Row {
   std::vector<Cell> cells;
 };
 
-void emit_json(const std::vector<Row>& rows, bool deterministic) {
-  std::ofstream out("BENCH_robustness.json");
-  if (!out) {
-    std::cout << "[warning: could not write BENCH_robustness.json]\n";
-    return;
-  }
-  out << "{\n  \"trials_per_cell\": " << kTrials
-      << ",\n  \"q\": " << kQ << ",\n  \"reply_loss\": " << kLoss
-      << ",\n  \"probe_cost\": " << kProbeCost
-      << ",\n  \"error_cost\": " << kErrorCost
-      << ",\n  \"bitwise_deterministic\": "
-      << (deterministic ? "true" : "false") << ",\n  \"scenarios\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& row = rows[i];
-    out << "    {\"name\": \"" << row.scenario.name << "\", \"faults\": \""
-        << row.scenario.network.faults.summary() << "\", \"note\": \""
-        << row.scenario.note << "\", \"optima\": [\n";
-    for (std::size_t j = 0; j < row.cells.size(); ++j) {
-      const Cell& c = row.cells[j];
-      out << "      {\"n\": " << c.n << ", \"r\": " << c.r
-          << ", \"collision_rate\": " << c.collision_rate
-          << ", \"mean_cost\": " << c.mean_cost
-          << ", \"aborted_rate\": " << c.aborted_rate
-          << ", \"analytic_collision\": " << c.analytic_collision
-          << ", \"analytic_cost\": " << c.analytic_cost
-          << ", \"collision_degradation\": " << c.collision_degradation
-          << ", \"cost_degradation\": " << c.cost_degradation << "}"
-          << (j + 1 < row.cells.size() ? "," : "") << "\n";
+void emit_json(const std::vector<Row>& rows, std::uint64_t seed,
+               bool deterministic) {
+  obs::RunReport report("robustness_sweep",
+                        "collision rate & mean cost at the paper's optima "
+                        "under adversarial network conditions");
+  report.set_seed(seed);
+  report.config()["trials_per_cell"] = kTrials;
+  report.config()["q"] = kQ;
+  report.config()["reply_loss"] = kLoss;
+  report.config()["probe_cost"] = kProbeCost;
+  report.config()["error_cost"] = kErrorCost;
+
+  obs::JsonValue scenarios = obs::JsonValue::array();
+  for (const Row& row : rows) {
+    obs::JsonValue entry = obs::JsonValue::object();
+    entry["name"] = row.scenario.name;
+    entry["faults"] = row.scenario.network.faults.summary();
+    entry["note"] = row.scenario.note;
+    obs::JsonValue optima = obs::JsonValue::array();
+    for (const Cell& c : row.cells) {
+      obs::JsonValue cell = obs::JsonValue::object();
+      cell["n"] = c.n;
+      cell["r"] = c.r;
+      cell["collision_rate"] = c.collision_rate;
+      cell["mean_cost"] = c.mean_cost;
+      cell["aborted_rate"] = c.aborted_rate;
+      cell["analytic_collision"] = c.analytic_collision;
+      cell["analytic_cost"] = c.analytic_cost;
+      cell["collision_degradation"] = c.collision_degradation;
+      cell["cost_degradation"] = c.cost_degradation;
+      optima.push_back(std::move(cell));
     }
-    out << "    ]}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    entry["optima"] = std::move(optima);
+    scenarios.push_back(std::move(entry));
   }
-  out << "  ]\n}\n";
-  std::cout << "[bench data: BENCH_robustness.json]\n";
+  report.data()["bitwise_deterministic"] = deterministic;
+  report.data()["scenarios"] = std::move(scenarios);
+
+  // The campaign metrics every monte_carlo call published (per-cause
+  // delivery counters, trial tallies) plus the scenario timer tree.
+  report.capture_registry();
+  bench::emit_report(report, "BENCH_robustness.json");
 }
 
 }  // namespace
@@ -191,9 +200,11 @@ int main() {
   const std::vector<core::ProtocolParams> optima{{4, 2.0}, {2, 1.75}};
   const auto analytic = analytic_scenario();
 
+  constexpr std::uint64_t kSeed = 20260806;
   std::vector<Row> rows;
   bool all_terminated = true;
   for (const Scenario& scenario : scenarios()) {
+    const obs::ScopedTimer scenario_timer("scenario." + scenario.name);
     Row row{scenario, {}};
     std::cout << "\n--- " << scenario.name << ": " << scenario.note
               << "  [faults: " << scenario.network.faults.summary()
@@ -205,7 +216,7 @@ int main() {
       protocol.max_attempts = 64;  // runaway safeguard under test
       sim::MonteCarloOptions opts;
       opts.trials = kTrials;
-      opts.seed = 20260806;
+      opts.seed = kSeed;
       opts.probe_cost = kProbeCost;
       opts.error_cost = kErrorCost;
       const auto mc = sim::monte_carlo(scenario.network, protocol, opts);
@@ -241,6 +252,7 @@ int main() {
   // Determinism spot-check: the heaviest fault mix, serial vs 2 threads.
   bool deterministic = true;
   {
+    const obs::ScopedTimer determinism_timer("determinism_check");
     sim::NetworkConfig net = base_network();
     net.faults.gilbert_elliott.p_enter_burst = 0.05;
     net.faults.gilbert_elliott.p_exit_burst = 0.25;
@@ -265,12 +277,17 @@ int main() {
     deterministic = serial.collisions == parallel.collisions &&
                     serial.aborted == parallel.aborted &&
                     serial.model_cost.mean == parallel.model_cost.mean &&
-                    serial.probes.stddev == parallel.probes.stddev;
+                    serial.probes.stddev == parallel.probes.stddev &&
+                    // The semantic metric sets (per-cause delivery counts,
+                    // trial tallies, histograms) must serialize to the
+                    // same bytes, not just agree on headline numbers.
+                    obs::metrics_to_json(serial.metrics).dump() ==
+                        obs::metrics_to_json(parallel.metrics).dump();
     std::cout << "\nfault-injected monte_carlo threads 1 vs 2: "
               << (deterministic ? "bitwise identical" : "MISMATCH") << "\n";
   }
 
-  emit_json(rows, deterministic);
+  emit_json(rows, kSeed, deterministic);
 
   const Row& baseline = rows.front();
   const Row& full = rows.back();

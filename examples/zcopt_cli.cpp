@@ -20,6 +20,8 @@
 #include "core/optimize.hpp"
 #include "core/reliability.hpp"
 #include "core/scenarios.hpp"
+#include "obs/report.hpp"
+#include "obs/timer.hpp"
 
 namespace {
 
@@ -28,6 +30,21 @@ using namespace zc;
 int fail(const std::string& message) {
   std::cerr << "zcopt: " << message << '\n';
   return 2;
+}
+
+/// The measures print_configuration shows, as a report data object.
+obs::JsonValue configuration_json(const core::ScenarioParams& scenario,
+                                  const core::ProtocolParams& protocol) {
+  obs::JsonValue out = obs::JsonValue::object();
+  out["n"] = protocol.n;
+  out["r"] = protocol.r;
+  out["mean_cost"] = core::mean_cost(scenario, protocol);
+  out["cost_stddev"] = std::sqrt(core::cost_variance(scenario, protocol));
+  out["collision_probability"] =
+      core::error_probability(scenario, protocol);
+  out["mean_waiting_time"] = core::mean_waiting_time(scenario, protocol);
+  out["mean_attempts"] = core::mean_address_attempts(scenario, protocol);
+  return out;
 }
 
 void print_configuration(const core::ScenarioParams& scenario,
@@ -84,6 +101,9 @@ int main(int argc, char** argv) {
   parser.add_flag("calibrate",
                   "inverse problem: find (E, c) making (n, r) optimal");
   parser.add_flag("quantiles", "also print cost/probe-count quantiles");
+  parser.add_option("report",
+                    "write a zcopt-run-report JSON manifest to this path",
+                    "");
 
   if (!parser.parse(argc, argv)) return fail(parser.error());
   if (parser.help_requested()) {
@@ -91,31 +111,62 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // Assemble the scenario.
+  // Assemble the scenario. Every knob is parsed through the
+  // range-checked hook: non-numbers, "inf"/"nan", and out-of-range
+  // values all fail with the same actionable message.
   core::ExponentialScenario scenario;
-  const auto need = [&](const char* name) {
-    const auto v = parser.number(name);
+  const auto need = [&](const char* name, double min, double max) {
+    const auto v = parser.number(name, min, max);
     if (!v.has_value())
-      throw std::runtime_error(std::string("option --") + name +
-                               " is not a number");
+      throw std::runtime_error(
+          std::string("option --") + name +
+          " must be a finite number in [" + zc::format_sig(min, 4) + ", " +
+          zc::format_sig(max, 4) + "], got '" + parser.text(name) + "'");
     return *v;
   };
   try {
-    scenario.probe_cost = need("c");
-    scenario.error_cost = need("E");
-    scenario.loss = need("loss");
-    scenario.lambda = need("lambda");
-    scenario.round_trip = need("d");
+    obs::ScopedTimer cli_timer("zcopt_cli");
+    scenario.probe_cost = need("c", 0.0, 1e30);
+    scenario.error_cost = need("E", 0.0, 1e300);
+    scenario.loss = need("loss", 0.0, 1.0);
+    scenario.lambda = need("lambda", 1e-9, 1e12);
+    scenario.round_trip = need("d", 0.0, 1e9);
     if (parser.given("q")) {
-      scenario.q = need("q");
+      scenario.q = need("q", 0.0, 1.0);
     } else {
       scenario.q = core::ScenarioParams::q_from_hosts(
-          static_cast<unsigned>(need("hosts")));
+          static_cast<unsigned>(need("hosts", 1.0, 65023.0)));
     }
 
     const auto params = scenario.to_params();
     const core::ProtocolParams requested{
-        static_cast<unsigned>(need("n")), need("r")};
+        static_cast<unsigned>(need("n", 1.0, 1000.0)),
+        need("r", 1e-9, 1e9)};
+
+    obs::RunReport report("zcopt_cli",
+                          "zeroconf cost/reliability analysis (DSN'03 "
+                          "model)");
+    report.config()["q"] = scenario.q;
+    report.config()["c"] = scenario.probe_cost;
+    report.config()["E"] = scenario.error_cost;
+    report.config()["loss"] = scenario.loss;
+    report.config()["lambda"] = scenario.lambda;
+    report.config()["d"] = scenario.round_trip;
+    report.config()["n"] = requested.n;
+    report.config()["r"] = requested.r;
+    report.config()["mode"] = parser.flag("calibrate")  ? "calibrate"
+                              : parser.flag("optimize") ? "optimize"
+                                                        : "evaluate";
+    const auto emit_report = [&]() -> int {
+      if (!parser.given("report")) return 0;
+      cli_timer.stop();  // close the outer span so it appears in the tree
+      report.capture_registry();
+      if (!report.write_file(parser.text("report")))
+        return fail("could not write report to '" + parser.text("report") +
+                    "'");
+      std::cout << "[run report: " << parser.text("report") << "]\n";
+      return 0;
+    };
 
     std::cout << "scenario: q = " << zc::format_sig(scenario.q, 5)
               << ", c = " << zc::format_sig(scenario.probe_cost, 4)
@@ -126,7 +177,9 @@ int main(int argc, char** argv) {
               << "\n\n";
 
     if (parser.flag("calibrate")) {
+      obs::ScopedTimer mode_timer("calibrate");
       const auto result = core::calibrate(params, requested);
+      mode_timer.stop();
       if (!result.has_value())
         return fail("no (E, c) in the search box makes the target optimal");
       std::cout << "calibrated weights for (n = " << requested.n << ", r = "
@@ -137,23 +190,36 @@ int main(int argc, char** argv) {
                 << result->competitor << ")\n"
                 << "  verified joint-optimal: "
                 << (result->target_is_optimal ? "yes" : "no") << '\n';
-      return 0;
+      obs::JsonValue calibrated = obs::JsonValue::object();
+      calibrated["E"] = result->error_cost;
+      calibrated["c"] = result->probe_cost;
+      calibrated["competitor"] = result->competitor;
+      calibrated["target_is_optimal"] = result->target_is_optimal;
+      report.data()["calibrated"] = std::move(calibrated);
+      return emit_report();
     }
 
     if (parser.flag("optimize")) {
+      obs::ScopedTimer mode_timer("optimize");
       const core::JointOptimum opt = core::joint_optimum(params, 16);
+      mode_timer.stop();
       std::cout << "cost-optimal ";
       print_configuration(params, {opt.n, opt.r}, parser.flag("quantiles"));
+      report.data()["optimal"] = configuration_json(params, {opt.n, opt.r});
       if (parser.given("n") || parser.given("r")) {
         std::cout << "\nrequested ";
         print_configuration(params, requested, parser.flag("quantiles"));
+        report.data()["requested"] = configuration_json(params, requested);
       }
-      return 0;
+      return emit_report();
     }
 
+    obs::ScopedTimer mode_timer("evaluate");
     print_configuration(params, requested, parser.flag("quantiles"));
+    report.data()["configuration"] = configuration_json(params, requested);
+    mode_timer.stop();
+    return emit_report();
   } catch (const std::exception& e) {
     return fail(e.what());
   }
-  return 0;
 }

@@ -1,6 +1,8 @@
 #include "analysis/csv.hpp"
 
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <ostream>
 
 #include "common/contract.hpp"
@@ -8,12 +10,26 @@
 
 namespace zc::analysis {
 
-void write_csv(std::ostream& os, const std::vector<Series>& series,
+bool grids_equivalent(const std::vector<double>& a,
+                      const std::vector<double>& b) noexcept {
+  if (a.size() != b.size()) return false;
+  // A few ULPs of slack: enough for one logspace exp/log round trip,
+  // far below any real grid spacing.
+  constexpr double kRelTol = 16.0 * std::numeric_limits<double>::epsilon();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) continue;  // covers +-0 and exact matches
+    const double scale = std::fmax(std::fabs(a[i]), std::fabs(b[i]));
+    if (!(std::fabs(a[i] - b[i]) <= kRelTol * scale)) return false;
+  }
+  return true;
+}
+
+bool write_csv(std::ostream& os, const std::vector<Series>& series,
                const std::string& x_name) {
   ZC_EXPECTS(!series.empty());
   for (const Series& s : series) {
-    ZC_EXPECTS(s.x == series.front().x);
-    ZC_EXPECTS(s.y.size() == s.x.size());
+    if (!grids_equivalent(s.x, series.front().x)) return false;
+    if (s.y.size() != s.x.size()) return false;
   }
   os << x_name;
   for (const Series& s : series) os << ',' << s.name;
@@ -23,11 +39,12 @@ void write_csv(std::ostream& os, const std::vector<Series>& series,
     for (const Series& s : series) os << ',' << zc::format_sig(s.y[i], 12);
     os << '\n';
   }
+  return true;
 }
 
-void write_csv(std::ostream& os, const Series& series,
+bool write_csv(std::ostream& os, const Series& series,
                const std::string& x_name) {
-  write_csv(os, std::vector<Series>{series}, x_name);
+  return write_csv(os, std::vector<Series>{series}, x_name);
 }
 
 bool write_csv_file(const std::string& path,
@@ -35,7 +52,7 @@ bool write_csv_file(const std::string& path,
                     const std::string& x_name) {
   std::ofstream file(path);
   if (!file) return false;
-  write_csv(file, series, x_name);
+  if (!write_csv(file, series, x_name)) return false;
   return static_cast<bool>(file);
 }
 

@@ -12,16 +12,31 @@
 
 namespace zc::analysis {
 
+/// True when `a` and `b` are the same x grid up to floating-point noise:
+/// equal sizes and every element pair either identical or within a few
+/// ULPs relative (series built from a fresh `logspace` vs. a cached
+/// surface column may differ in the last bit). This is the equivalence
+/// `write_csv` uses to accept a shared grid.
+[[nodiscard]] bool grids_equivalent(const std::vector<double>& a,
+                                    const std::vector<double>& b) noexcept;
+
 /// Write series sharing one x grid as columns: x, <name1>, <name2>, ...
-/// All series must have identical x vectors.
-void write_csv(std::ostream& os, const std::vector<Series>& series,
-               const std::string& x_name = "x");
+/// The series' x vectors must be equivalent grids (`grids_equivalent`,
+/// the first series' x is the one written) and each y must match its x
+/// in length. Returns false — writing nothing — on a mismatched bundle:
+/// a recoverable error for callers that assembled series from different
+/// computations, not a contract abort. An empty bundle is still a
+/// caller bug (ZC_EXPECTS).
+[[nodiscard]] bool write_csv(std::ostream& os,
+                             const std::vector<Series>& series,
+                             const std::string& x_name = "x");
 
-/// Write one series as two columns.
-void write_csv(std::ostream& os, const Series& series,
-               const std::string& x_name = "x");
+/// Write one series as two columns; false when y and x lengths differ.
+[[nodiscard]] bool write_csv(std::ostream& os, const Series& series,
+                             const std::string& x_name = "x");
 
-/// Write to a file; creates/truncates `path`. Returns false on I/O error.
+/// Write to a file; creates/truncates `path`. Returns false on I/O error
+/// or a mismatched bundle (in which case the file is left empty).
 [[nodiscard]] bool write_csv_file(const std::string& path,
                                   const std::vector<Series>& series,
                                   const std::string& x_name = "x");

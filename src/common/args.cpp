@@ -1,6 +1,7 @@
 #include "common/args.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <sstream>
 
 #include "common/contract.hpp"
@@ -86,6 +87,18 @@ std::optional<double> ArgParser::number(const std::string& name) const {
   char* end = nullptr;
   const double parsed = std::strtod(value.c_str(), &end);
   if (end == value.c_str() || *end != '\0') return std::nullopt;
+  // strtod happily parses "inf", "nan", and overflowing literals like
+  // "1e999" (HUGE_VAL); none of them is a usable parameter value.
+  if (!std::isfinite(parsed)) return std::nullopt;
+  return parsed;
+}
+
+std::optional<double> ArgParser::number(const std::string& name, double min,
+                                        double max) const {
+  ZC_EXPECTS(min <= max);
+  const std::optional<double> parsed = number(name);
+  if (!parsed.has_value() || *parsed < min || *parsed > max)
+    return std::nullopt;
   return parsed;
 }
 

@@ -41,10 +41,18 @@ class ArgParser {
   /// The option's value (given or default).
   [[nodiscard]] std::string text(const std::string& name) const;
 
-  /// The option parsed as double; records no error — throws
+  /// The option parsed as a *finite* double; records no error — throws
   /// ContractViolation if the option does not exist, returns nullopt if
-  /// unparsable.
+  /// unparsable or non-finite ("inf"/"nan" are valid strtod input but
+  /// never valid model parameters).
   [[nodiscard]] std::optional<double> number(const std::string& name) const;
+
+  /// Range-checked variant: additionally returns nullopt when the parsed
+  /// value falls outside [min, max]. The inclusive bounds make the common
+  /// cases (probabilities in [0, 1], positive costs via min = 0) one-liners
+  /// for the CLIs.
+  [[nodiscard]] std::optional<double> number(const std::string& name,
+                                             double min, double max) const;
 
   /// True iff the user explicitly supplied the option (vs default).
   [[nodiscard]] bool given(const std::string& name) const;

@@ -1,14 +1,33 @@
 #include "common/strings.hpp"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iomanip>
 
 namespace zc {
 
 std::string format_sig(double value, int digits) {
+  // Exact zero (either sign) short-circuits: "-0" reads as a distinct
+  // value to humans and diffing tools, and no rounding below can make
+  // a zero non-zero.
+  if (value == 0.0) return "0";
   std::ostringstream os;
-  const double mag = std::fabs(value);
-  if (value != 0.0 && (mag >= 1e6 || mag < 1e-4)) {
+  if (!std::isfinite(value)) {
+    os << value;
+    return os.str();
+  }
+  // Pick plain vs scientific from the decimal exponent of the value as
+  // *rounded to `digits` significant digits*, not of the raw value:
+  // 9.9999e-5 at 3 digits rounds to 1.00e-4, so it must format like
+  // 1e-4 ("0.0001"), not flip to scientific while its printed magnitude
+  // sits on the plain side of the cutoff.
+  char rounded[40];
+  std::snprintf(rounded, sizeof rounded, "%.*e", digits - 1, value);
+  const char* exp_part = std::strchr(rounded, 'e');
+  const int exp10 = exp_part != nullptr ? std::atoi(exp_part + 1) : 0;
+  if (exp10 >= 6 || exp10 <= -5) {
     os << std::scientific << std::setprecision(digits - 1) << value;
   } else {
     os << std::setprecision(digits) << value;

@@ -29,7 +29,12 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
+    // Under the queue mutex, so a plain max; atomic only for lockless
+    // stats() readers.
+    if (queue_.size() > max_queue_depth_.load(std::memory_order_relaxed))
+      max_queue_depth_.store(queue_.size(), std::memory_order_relaxed);
   }
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
   work_available_.notify_one();
 }
 
@@ -41,6 +46,7 @@ bool ThreadPool::run_one() {
     task = std::move(queue_.front());
     queue_.pop_front();
   }
+  tasks_run_by_helpers_.fetch_add(1, std::memory_order_relaxed);
   task();
   return true;
 }
@@ -56,8 +62,39 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    tasks_run_by_workers_.fetch_add(1, std::memory_order_relaxed);
     task();
   }
+}
+
+PoolStats ThreadPool::stats() const noexcept {
+  PoolStats out;
+  out.threads = size_;
+  out.tasks_submitted = tasks_submitted_.load(std::memory_order_relaxed);
+  out.tasks_run_by_workers =
+      tasks_run_by_workers_.load(std::memory_order_relaxed);
+  out.tasks_run_by_helpers =
+      tasks_run_by_helpers_.load(std::memory_order_relaxed);
+  out.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ThreadPool::export_metrics(obs::MetricSet& set) const {
+  const PoolStats s = stats();
+  set.set_gauge(set.gauge("exec.pool.threads"),
+                static_cast<double>(s.threads));
+  set.max_gauge(set.gauge("exec.pool.queue.max_depth"),
+                static_cast<double>(s.max_queue_depth));
+  const std::uint64_t run = s.tasks_run_by_workers + s.tasks_run_by_helpers;
+  if (run > 0)
+    set.set_gauge(set.gauge("exec.pool.utilization.worker_share"),
+                  static_cast<double>(s.tasks_run_by_workers) /
+                      static_cast<double>(run));
+  set.inc(set.counter("exec.pool.tasks.submitted"), s.tasks_submitted);
+  set.inc(set.counter("exec.pool.tasks.run_by_workers"),
+          s.tasks_run_by_workers);
+  set.inc(set.counter("exec.pool.tasks.run_by_helpers"),
+          s.tasks_run_by_helpers);
 }
 
 ThreadPool& ThreadPool::shared() {

@@ -11,19 +11,36 @@
 /// both avoids idle cores and makes nested parallel sections
 /// deadlock-free even on a pool of size 1.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace zc::exec {
 
 /// Number of workers a `threads = 0` request resolves to: the hardware
 /// concurrency, with a floor of 1 (hardware_concurrency may report 0).
 [[nodiscard]] unsigned hardware_threads() noexcept;
+
+/// Lifetime statistics of one pool, maintained with relaxed atomics so
+/// reading them never perturbs scheduling. Scheduling-dependent by
+/// nature: these belong in a report's *runtime* section, never in the
+/// deterministic semantic metrics.
+struct PoolStats {
+  unsigned threads = 0;
+  std::uint64_t tasks_submitted = 0;
+  std::uint64_t tasks_run_by_workers = 0;
+  /// Tasks drained via run_one() by threads waiting on their own work.
+  std::uint64_t tasks_run_by_helpers = 0;
+  std::size_t max_queue_depth = 0;  ///< high-water mark of the FIFO
+};
 
 /// Fixed-size FIFO thread pool. Tasks are arbitrary void() callables;
 /// exceptions must be handled inside the task (see parallel.cpp, which
@@ -51,6 +68,14 @@ class ThreadPool {
   /// Number of worker threads.
   [[nodiscard]] unsigned size() const noexcept { return size_; }
 
+  /// Snapshot of the pool's lifetime statistics.
+  [[nodiscard]] PoolStats stats() const noexcept;
+
+  /// Export the statistics as "exec.pool.*" gauges/counters (queue
+  /// high-water mark, worker vs helper utilization split) into `set` —
+  /// intended for a run report's runtime section.
+  void export_metrics(obs::MetricSet& set) const;
+
   /// Process-wide pool sized to the hardware, created on first use.
   /// Shared by every parallel_for unless a caller brings its own pool.
   static ThreadPool& shared();
@@ -64,6 +89,11 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   unsigned size_ = 0;
   bool shutting_down_ = false;
+
+  std::atomic<std::uint64_t> tasks_submitted_{0};
+  std::atomic<std::uint64_t> tasks_run_by_workers_{0};
+  std::atomic<std::uint64_t> tasks_run_by_helpers_{0};
+  std::atomic<std::size_t> max_queue_depth_{0};
 };
 
 }  // namespace zc::exec

@@ -29,6 +29,9 @@ enum class DeliveryCause : std::uint8_t {
   target_deaf,  ///< receiving host churned out (deaf window)
 };
 
+/// Number of DeliveryCause enumerators (for per-cause counter arrays).
+inline constexpr std::size_t kDeliveryCauseCount = 7;
+
 /// True for the causes that mean the packet never arrived.
 [[nodiscard]] constexpr bool is_drop(DeliveryCause cause) noexcept {
   return cause == DeliveryCause::random_loss ||

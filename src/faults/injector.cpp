@@ -38,20 +38,37 @@ bool FaultInjector::host_deaf_at(sim::HostId host, double t) const noexcept {
   return windows.contains(t);
 }
 
+void FaultInjector::bind_metrics(obs::MetricSet* set) {
+  metrics_ = set;
+  if (metrics_ == nullptr) return;
+  blackout_id_ = metrics_->counter("faults.drop.blackout");
+  deaf_id_ = metrics_->counter("faults.drop.target-deaf");
+  burst_drop_id_ = metrics_->counter("faults.drop.burst-loss");
+  burst_enter_id_ = metrics_->counter("faults.burst.entered");
+  duplicate_id_ = metrics_->counter("faults.injected.duplicates");
+  spike_id_ = metrics_->counter("faults.injected.delay_spikes");
+  jitter_id_ = metrics_->counter("faults.injected.jitter");
+}
+
 FaultDecision FaultInjector::on_delivery(const FaultContext& ctx) {
   FaultDecision out;
+  const auto count = [this](obs::MetricId id, std::uint64_t delta = 1) {
+    ZC_OBS_ONLY(if (metrics_ != nullptr) metrics_->inc(id, delta));
+  };
 
   // Link-level outage dominates everything else: nothing traverses.
   if (schedule_.blackout.enabled() &&
       schedule_.blackout.windows.contains(ctx.now)) {
     out.drop = true;
     out.cause = DeliveryCause::blackout;
+    count(blackout_id_);
     return out;
   }
 
   if (host_deaf_at(ctx.target, ctx.now)) {
     out.drop = true;
     out.cause = DeliveryCause::target_deaf;
+    count(deaf_id_);
     return out;
   }
 
@@ -62,12 +79,16 @@ FaultDecision FaultInjector::on_delivery(const FaultContext& ctx) {
     if (burst_) {
       if (rng_.bernoulli(ge.p_exit_burst)) burst_ = false;
     } else {
-      if (rng_.bernoulli(ge.p_enter_burst)) burst_ = true;
+      if (rng_.bernoulli(ge.p_enter_burst)) {
+        burst_ = true;
+        count(burst_enter_id_);
+      }
     }
     const double loss = burst_ ? ge.loss_bad : ge.loss_good;
     if (loss > 0.0 && rng_.bernoulli(loss)) {
       out.drop = true;
       out.cause = DeliveryCause::burst_loss;
+      count(burst_drop_id_);
       return out;
     }
   }
@@ -76,6 +97,7 @@ FaultDecision FaultInjector::on_delivery(const FaultContext& ctx) {
       rng_.bernoulli(schedule_.duplication.probability)) {
     out.copies = std::min(schedule_.duplication.copies,
                           FaultDecision::kMaxCopies);
+    count(duplicate_id_, out.copies - 1);
   }
 
   double window_extra = 0.0;
@@ -83,6 +105,7 @@ FaultDecision FaultInjector::on_delivery(const FaultContext& ctx) {
   if (spike.enabled() && spike.windows.contains(ctx.now)) {
     out.delay_multiplier = spike.multiplier;
     window_extra = spike.extra;
+    count(spike_id_);
   }
 
   const Reordering& reorder = schedule_.reordering;
@@ -91,6 +114,7 @@ FaultDecision FaultInjector::on_delivery(const FaultContext& ctx) {
     if (reorder.enabled() && rng_.bernoulli(reorder.probability)) {
       extra += rng_.uniform(0.0, reorder.max_jitter);
       if (copy == 0) out.reordered = true;
+      count(jitter_id_);
     }
     out.extra_delay[copy] = extra;
   }

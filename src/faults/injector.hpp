@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "faults/schedule.hpp"
+#include "obs/metrics.hpp"
 #include "prob/rng.hpp"
 
 namespace zc::faults {
@@ -38,11 +39,27 @@ class FaultInjector final : public FaultModel {
   /// Deterministic pure function of (seed, host, t).
   [[nodiscard]] bool host_deaf_at(sim::HostId host, double t) const noexcept;
 
+  /// Export injector-decision counters ("faults.drop.<cause>" for the
+  /// drops it causes, "faults.injected.*" for shaping events, and
+  /// "faults.burst.entered" for Gilbert-Elliott good->bad transitions)
+  /// into `set`. Ids are resolved once here; per-decision cost is an
+  /// indexed add. Non-owning; pass nullptr to stop counting.
+  void bind_metrics(obs::MetricSet* set);
+
  private:
   FaultSchedule schedule_;
   prob::Rng rng_;
   std::uint64_t churn_seed_;
   bool burst_ = false;
+
+  obs::MetricSet* metrics_ = nullptr;
+  obs::MetricId blackout_id_ = 0;
+  obs::MetricId deaf_id_ = 0;
+  obs::MetricId burst_drop_id_ = 0;
+  obs::MetricId burst_enter_id_ = 0;
+  obs::MetricId duplicate_id_ = 0;
+  obs::MetricId spike_id_ = 0;
+  obs::MetricId jitter_id_ = 0;
 };
 
 }  // namespace zc::faults

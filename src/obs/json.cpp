@@ -1,0 +1,143 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/contract.hpp"
+
+namespace zc::obs {
+
+void write_json_number(std::ostream& os, double value) {
+  if (!std::isfinite(value)) {
+    os << "null";
+    return;
+  }
+  // Exactly-representable integers print without a decimal point so
+  // counters and seeds stay greppable; 2^53 bounds the exact range.
+  constexpr double kExact = 9007199254740992.0;
+  if (value == std::floor(value) && std::fabs(value) < kExact) {
+    os << static_cast<long long>(value);
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  os << buf;
+}
+
+void write_json_string(std::ostream& os, const std::string& text) {
+  os << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+JsonValue& JsonValue::operator[](const std::string& key) {
+  if (kind_ == Kind::null) kind_ = Kind::object;
+  ZC_EXPECTS(kind_ == Kind::object);
+  for (auto& [name, value] : members_)
+    if (name == key) return value;
+  members_.emplace_back(key, JsonValue{});
+  return members_.back().second;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind_ != Kind::object) return nullptr;
+  for (const auto& [name, value] : members_)
+    if (name == key) return &value;
+  return nullptr;
+}
+
+void JsonValue::push_back(JsonValue element) {
+  if (kind_ == Kind::null) kind_ = Kind::array;
+  ZC_EXPECTS(kind_ == Kind::array);
+  elements_.push_back(std::move(element));
+}
+
+std::size_t JsonValue::size() const noexcept {
+  switch (kind_) {
+    case Kind::array: return elements_.size();
+    case Kind::object: return members_.size();
+    default: return 0;
+  }
+}
+
+void JsonValue::write_indent(std::ostream& os, int indent) const {
+  for (int i = 0; i < indent; ++i) os << "  ";
+}
+
+void JsonValue::write(std::ostream& os, int indent) const {
+  switch (kind_) {
+    case Kind::null:
+      os << "null";
+      return;
+    case Kind::boolean:
+      os << (bool_ ? "true" : "false");
+      return;
+    case Kind::number:
+      write_json_number(os, number_);
+      return;
+    case Kind::string:
+      write_json_string(os, string_);
+      return;
+    case Kind::array: {
+      if (elements_.empty()) {
+        os << "[]";
+        return;
+      }
+      os << "[\n";
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        write_indent(os, indent + 1);
+        elements_[i].write(os, indent + 1);
+        if (i + 1 < elements_.size()) os << ',';
+        os << '\n';
+      }
+      write_indent(os, indent);
+      os << ']';
+      return;
+    }
+    case Kind::object: {
+      if (members_.empty()) {
+        os << "{}";
+        return;
+      }
+      os << "{\n";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        write_indent(os, indent + 1);
+        write_json_string(os, members_[i].first);
+        os << ": ";
+        members_[i].second.write(os, indent + 1);
+        if (i + 1 < members_.size()) os << ',';
+        os << '\n';
+      }
+      write_indent(os, indent);
+      os << '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+}  // namespace zc::obs

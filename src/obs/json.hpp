@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal ordered JSON document tree for the observability layer: the
+/// run-report emitter and the BENCH_*.json manifests are assembled as
+/// `JsonValue`s and serialized with one writer, so every artifact shares
+/// escaping rules and number formatting. Serialization is a pure function
+/// of the stored values (doubles print with round-trip precision,
+/// non-finite values degrade to `null`), which is what lets tests compare
+/// report sections byte-for-byte across thread counts.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace zc::obs {
+
+/// One JSON value: null, bool, number, string, array, or (ordered) object.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    null,
+    boolean,
+    number,
+    string,
+    array,
+    object
+  };
+
+  JsonValue() noexcept : kind_(Kind::null) {}
+  JsonValue(bool value) noexcept : kind_(Kind::boolean), bool_(value) {}
+  JsonValue(double value) noexcept : kind_(Kind::number), number_(value) {}
+  JsonValue(int value) noexcept
+      : kind_(Kind::number), number_(static_cast<double>(value)) {}
+  JsonValue(unsigned value) noexcept
+      : kind_(Kind::number), number_(static_cast<double>(value)) {}
+  JsonValue(long value) noexcept
+      : kind_(Kind::number), number_(static_cast<double>(value)) {}
+  JsonValue(unsigned long value) noexcept
+      : kind_(Kind::number), number_(static_cast<double>(value)) {}
+  JsonValue(unsigned long long value) noexcept
+      : kind_(Kind::number), number_(static_cast<double>(value)) {}
+  JsonValue(std::string value) : kind_(Kind::string), string_(std::move(value)) {}
+  JsonValue(const char* value) : kind_(Kind::string), string_(value) {}
+
+  [[nodiscard]] static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::array;
+    return v;
+  }
+  [[nodiscard]] static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::object;
+    return v;
+  }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::object;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::array; }
+
+  /// Object access: inserts a null member on first use (declaration
+  /// order is preserved in the output). The value must be an object (or
+  /// null, which is promoted).
+  JsonValue& operator[](const std::string& key);
+
+  /// Object lookup without insertion; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  /// Array append. The value must be an array (or null, which is promoted).
+  void push_back(JsonValue element);
+
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Serialize with 2-space indentation at the given starting depth.
+  void write(std::ostream& os, int indent = 0) const;
+
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> elements_;                          // array
+  std::vector<std::pair<std::string, JsonValue>> members_;   // object
+
+  void write_indent(std::ostream& os, int indent) const;
+};
+
+/// Write `value` as a JSON number: integral doubles inside the exact
+/// range print without a decimal point, everything else prints with
+/// round-trip (17 significant digit) precision; non-finite values print
+/// as `null` (JSON has no inf/nan).
+void write_json_number(std::ostream& os, double value);
+
+/// Write `text` as a JSON string literal with standard escaping.
+void write_json_string(std::ostream& os, const std::string& text);
+
+}  // namespace zc::obs

@@ -1,0 +1,181 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contract.hpp"
+
+namespace zc::obs {
+
+MetricId MetricSet::register_metric(const std::string& name, Kind kind) {
+  ZC_REQUIRE(!name.empty(), "metric name must be non-empty");
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    ZC_REQUIRE(it->second.first == kind,
+               "metric re-registered with a different kind: " + name);
+    return it->second.second;
+  }
+  MetricId id = 0;
+  switch (kind) {
+    case Kind::counter:
+      id = counters_.size();
+      counters_.push_back({name, 0});
+      break;
+    case Kind::gauge:
+      id = gauges_.size();
+      gauges_.push_back({name, 0.0, false});
+      break;
+    case Kind::histogram:
+      id = histograms_.size();
+      histograms_.push_back({name, {}, {}, 0.0, 0});
+      break;
+  }
+  index_.emplace(name, std::pair{kind, id});
+  return id;
+}
+
+MetricId MetricSet::counter(const std::string& name) {
+  return register_metric(name, Kind::counter);
+}
+
+MetricId MetricSet::gauge(const std::string& name) {
+  return register_metric(name, Kind::gauge);
+}
+
+MetricId MetricSet::histogram(const std::string& name,
+                              std::vector<double> bounds) {
+  ZC_REQUIRE(!bounds.empty(), "histogram bounds must be non-empty: " + name);
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    ZC_REQUIRE(std::isfinite(bounds[i]),
+               "histogram bounds must be finite: " + name);
+    ZC_REQUIRE(i == 0 || bounds[i - 1] < bounds[i],
+               "histogram bounds must be strictly ascending: " + name);
+  }
+  const MetricId id = register_metric(name, Kind::histogram);
+  HistogramCell& cell = histograms_[id];
+  if (cell.bounds.empty()) {
+    cell.bounds = std::move(bounds);
+    cell.buckets.assign(cell.bounds.size() + 1, 0);
+  } else {
+    ZC_REQUIRE(cell.bounds == bounds,
+               "histogram re-registered with different bounds: " + name);
+  }
+  return id;
+}
+
+#ifndef ZC_OBS_DISABLED
+void MetricSet::observe(MetricId id, double value) noexcept {
+  HistogramCell& cell = histograms_[id];
+  const auto it =
+      std::lower_bound(cell.bounds.begin(), cell.bounds.end(), value);
+  ++cell.buckets[static_cast<std::size_t>(it - cell.bounds.begin())];
+  cell.sum += value;
+  ++cell.count;
+}
+#endif
+
+void MetricSet::merge(const MetricSet& other) {
+  for (const CounterCell& c : other.counters_) {
+    const MetricId id = counter(c.name);
+#ifndef ZC_OBS_DISABLED
+    counters_[id].value += c.value;
+#else
+    (void)id;
+#endif
+  }
+  for (const GaugeCell& g : other.gauges_) {
+    const MetricId id = gauge(g.name);
+#ifndef ZC_OBS_DISABLED
+    if (g.written) max_gauge(id, g.value);
+#else
+    (void)id;
+#endif
+  }
+  for (const HistogramCell& h : other.histograms_) {
+    if (h.bounds.empty()) continue;  // registered but never configured
+    const MetricId id = histogram(h.name, h.bounds);
+    HistogramCell& cell = histograms_[id];
+    ZC_ASSERT(cell.buckets.size() == h.buckets.size());
+    for (std::size_t i = 0; i < h.buckets.size(); ++i)
+      cell.buckets[i] += h.buckets[i];
+    cell.sum += h.sum;
+    cell.count += h.count;
+  }
+}
+
+std::optional<std::uint64_t> MetricSet::counter_value(
+    const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end() || it->second.first != Kind::counter)
+    return std::nullopt;
+  return counters_[it->second.second].value;
+}
+
+std::optional<double> MetricSet::gauge_value(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end() || it->second.first != Kind::gauge)
+    return std::nullopt;
+  if (!gauges_[it->second.second].written) return std::nullopt;
+  return gauges_[it->second.second].value;
+}
+
+const HistogramCell* MetricSet::histogram_cell(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end() || it->second.first != Kind::histogram)
+    return nullptr;
+  return &histograms_[it->second.second];
+}
+
+void MetricSet::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  index_.clear();
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+void Registry::publish(const MetricSet& set) {
+  if (!enabled_) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  metrics_.merge(set);
+}
+
+void Registry::record_timer(const std::vector<std::string>& path,
+                            double seconds) {
+  if (!enabled_ || path.empty()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TimerNode* node = &timers_;
+  for (const std::string& label : path) node = &node->child(label);
+  node->seconds += seconds;
+  ++node->count;
+}
+
+MetricSet Registry::metrics_snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return metrics_;
+}
+
+TimerNode Registry::timers_snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return timers_;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  metrics_.clear();
+  timers_ = TimerNode{};
+}
+
+bool collection_enabled() noexcept {
+#ifdef ZC_OBS_DISABLED
+  return false;  // compiled out: producers skip binding entirely
+#else
+  return Registry::global().enabled();
+#endif
+}
+
+}  // namespace zc::obs

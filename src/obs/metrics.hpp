@@ -1,0 +1,191 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Process-wide metrics: named counters, gauges, and fixed-bucket
+/// histograms.
+///
+/// Two layers keep the hot path cheap *and* the results deterministic:
+///
+/// 1. `MetricSet` — a local, non-thread-safe collection. Producers
+///    register names once (`counter()` / `gauge()` / `histogram()`) and
+///    keep the returned `MetricId`; per-event updates are then an indexed
+///    add with no locking or hashing, cheap enough for per-delivery
+///    increments. Parallel code gives each chunk its own set and merges
+///    them **in chunk order** (`merge`), exactly like
+///    `sim::RunningStats::merge` — so counter totals *and* histogram sums
+///    are bitwise-identical at any thread count.
+/// 2. `Registry` — the process-wide singleton. Finished campaigns
+///    `publish()` their merged set under a mutex; report emitters take
+///    `metrics_snapshot()`. The registry also owns the timer tree fed by
+///    `obs::ScopedTimer` (timer.hpp).
+///
+/// Compile-time kill switch: building with -DZC_OBS_DISABLED (CMake
+/// option `-DZC_OBS_METRICS=OFF`) turns every mutator into an empty
+/// inline function, so instrumented hot paths compile to the
+/// uninstrumented code. The runtime switch `Registry::set_enabled(false)`
+/// keeps producers from binding metric sets at all.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/timer.hpp"
+
+/// Wrap a hot-path instrumentation statement so -DZC_OBS_DISABLED
+/// removes it (the statement stays type-checked but sits behind a
+/// constant-false branch, which with the no-op mutators below folds to
+/// nothing — no branch, no load):
+///   ZC_OBS_ONLY(if (metrics_) metrics_->inc(id_));
+#ifdef ZC_OBS_DISABLED
+#define ZC_OBS_ONLY(stmt) \
+  do {                    \
+    if (false) {          \
+      stmt;               \
+    }                     \
+  } while (false)
+#else
+#define ZC_OBS_ONLY(stmt) \
+  do {                    \
+    stmt;                 \
+  } while (false)
+#endif
+
+namespace zc::obs {
+
+/// Index of a registered metric inside its MetricSet (stable for the
+/// lifetime of the set; merge aligns by name, not index).
+using MetricId = std::size_t;
+
+/// Monotonic event count.
+struct CounterCell {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+/// Last-written (or max-combined) instantaneous value.
+struct GaugeCell {
+  std::string name;
+  double value = 0.0;
+  bool written = false;  ///< distinguishes "0" from "never set"
+};
+
+/// Fixed-bucket histogram: `buckets[i]` counts observations with
+/// `value <= bounds[i]`; the final bucket is the overflow (> last bound).
+struct HistogramCell {
+  std::string name;
+  std::vector<double> bounds;          ///< ascending upper bounds
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 cells
+  double sum = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// Local named-metric collection (see file comment for the contract).
+class MetricSet {
+ public:
+  /// Find-or-create; the id is valid for this set and its copies.
+  MetricId counter(const std::string& name);
+  MetricId gauge(const std::string& name);
+  /// `bounds` must be non-empty, finite, and strictly ascending; a
+  /// re-registration of an existing histogram must repeat the same bounds.
+  MetricId histogram(const std::string& name, std::vector<double> bounds);
+
+#ifdef ZC_OBS_DISABLED
+  void inc(MetricId, std::uint64_t = 1) noexcept {}
+  void set_gauge(MetricId, double) noexcept {}
+  void max_gauge(MetricId, double) noexcept {}
+  void observe(MetricId, double) noexcept {}
+#else
+  void inc(MetricId id, std::uint64_t delta = 1) noexcept {
+    counters_[id].value += delta;
+  }
+  void set_gauge(MetricId id, double value) noexcept {
+    gauges_[id].value = value;
+    gauges_[id].written = true;
+  }
+  /// Keep the maximum of all writes (high-water marks, queue depths).
+  void max_gauge(MetricId id, double value) noexcept {
+    GaugeCell& cell = gauges_[id];
+    if (!cell.written || value > cell.value) cell.value = value;
+    cell.written = true;
+  }
+  void observe(MetricId id, double value) noexcept;
+#endif
+
+  /// Fold `other` into this set, find-or-creating any names this set has
+  /// not seen: counters and histogram buckets/sums add, gauges combine by
+  /// max. Call in a fixed (chunk) order for bitwise-reproducible sums.
+  void merge(const MetricSet& other);
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+  [[nodiscard]] const std::vector<CounterCell>& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::vector<GaugeCell>& gauges() const noexcept {
+    return gauges_;
+  }
+  [[nodiscard]] const std::vector<HistogramCell>& histograms()
+      const noexcept {
+    return histograms_;
+  }
+
+  /// Snapshot accessors by name (for tests and report assembly).
+  [[nodiscard]] std::optional<std::uint64_t> counter_value(
+      const std::string& name) const;
+  [[nodiscard]] std::optional<double> gauge_value(
+      const std::string& name) const;
+  [[nodiscard]] const HistogramCell* histogram_cell(
+      const std::string& name) const;
+
+  void clear();
+
+ private:
+  enum class Kind : std::uint8_t { counter, gauge, histogram };
+
+  std::vector<CounterCell> counters_;
+  std::vector<GaugeCell> gauges_;
+  std::vector<HistogramCell> histograms_;
+  std::map<std::string, std::pair<Kind, MetricId>> index_;
+
+  [[nodiscard]] MetricId register_metric(const std::string& name, Kind kind);
+};
+
+/// Process-wide metric + timer sink (thread-safe).
+class Registry {
+ public:
+  /// The singleton every producer publishes into by default.
+  static Registry& global();
+
+  /// Runtime switch: when off, `publish`/`record_timer` are no-ops and
+  /// `enabled()` tells producers to skip metric collection entirely.
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Merge a finished campaign's set into the process totals.
+  void publish(const MetricSet& set);
+
+  /// Add one finished timer span at `path` (outermost label first).
+  void record_timer(const std::vector<std::string>& path, double seconds);
+
+  [[nodiscard]] MetricSet metrics_snapshot() const;
+  [[nodiscard]] TimerNode timers_snapshot() const;
+
+  /// Drop all accumulated metrics and timers (tests, between-run resets).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  MetricSet metrics_;
+  TimerNode timers_;  // synthetic root; label ""
+  std::atomic<bool> enabled_{true};
+};
+
+/// Shorthand for Registry::global().enabled().
+[[nodiscard]] bool collection_enabled() noexcept;
+
+}  // namespace zc::obs

@@ -1,0 +1,100 @@
+#include "obs/report.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <utility>
+
+namespace zc::obs {
+
+#ifndef ZC_GIT_DESCRIBE
+#define ZC_GIT_DESCRIBE "unknown"
+#endif
+
+const char* git_describe() noexcept { return ZC_GIT_DESCRIBE; }
+
+JsonValue metrics_to_json(const MetricSet& set) {
+  JsonValue out = JsonValue::object();
+  JsonValue& counters = out["counters"];
+  counters = JsonValue::object();
+  for (const CounterCell& c : set.counters()) counters[c.name] = c.value;
+  JsonValue& gauges = out["gauges"];
+  gauges = JsonValue::object();
+  for (const GaugeCell& g : set.gauges())
+    if (g.written) gauges[g.name] = g.value;
+  JsonValue& histograms = out["histograms"];
+  histograms = JsonValue::object();
+  for (const HistogramCell& h : set.histograms()) {
+    JsonValue cell = JsonValue::object();
+    JsonValue bounds = JsonValue::array();
+    for (const double b : h.bounds) bounds.push_back(b);
+    JsonValue buckets = JsonValue::array();
+    for (const std::uint64_t b : h.buckets) buckets.push_back(b);
+    cell["bounds"] = std::move(bounds);
+    cell["buckets"] = std::move(buckets);
+    cell["sum"] = h.sum;
+    cell["count"] = h.count;
+    histograms[h.name] = std::move(cell);
+  }
+  return out;
+}
+
+namespace {
+
+JsonValue timer_node_to_json(const TimerNode& node) {
+  JsonValue out = JsonValue::object();
+  out["label"] = node.label;
+  out["seconds"] = node.seconds;
+  out["count"] = node.count;
+  JsonValue children = JsonValue::array();
+  for (const TimerNode& c : node.children)
+    children.push_back(timer_node_to_json(c));
+  out["children"] = std::move(children);
+  return out;
+}
+
+}  // namespace
+
+JsonValue timers_to_json(const TimerNode& root) {
+  JsonValue out = JsonValue::array();
+  for (const TimerNode& c : root.children)
+    out.push_back(timer_node_to_json(c));
+  return out;
+}
+
+RunReport::RunReport(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void RunReport::capture_registry() {
+  metrics_ = Registry::global().metrics_snapshot();
+  timers_ = Registry::global().timers_snapshot();
+}
+
+JsonValue RunReport::to_json() const {
+  JsonValue out = JsonValue::object();
+  out["schema"] = kSchemaName;
+  out["schema_version"] = kSchemaVersion;
+  out["program"] = program_;
+  out["description"] = description_;
+  out["git"] = git_describe();
+  if (seed_.has_value()) out["seed"] = *seed_;
+  out["config"] = config_;
+  out["data"] = data_;
+  out["metrics"] = metrics_to_json(metrics_);
+  out["runtime"] = metrics_to_json(runtime_);
+  out["timers"] = timers_to_json(timers_);
+  return out;
+}
+
+void RunReport::write(std::ostream& os) const {
+  to_json().write(os);
+  os << '\n';
+}
+
+bool RunReport::write_file(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  write(file);
+  return static_cast<bool>(file);
+}
+
+}  // namespace zc::obs

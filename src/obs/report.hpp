@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file report.hpp
+/// Structured run reports: every instrumented binary (benches, the CLI)
+/// serializes one schema-versioned JSON manifest describing *what ran*
+/// (program, config, seed, git revision) and *what happened* (semantic
+/// metric snapshot, bench-specific data, timer tree, runtime gauges).
+///
+/// Schema `zcopt-run-report` v1 — documented in DESIGN.md §"Observability
+/// layer"; top-level keys:
+///
+///   schema, schema_version, program, description, git, seed?,
+///   config{}, data{}, metrics{counters{}, gauges{}, histograms{}},
+///   runtime{...}, timers[]
+///
+/// Determinism contract: `metrics` and `data` are pure functions of
+/// (config, seed) — identical at any thread count; `timers` and
+/// `runtime` measure the hardware and may vary run to run.
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+
+namespace zc::obs {
+
+/// Revision baked in at configure time (`git describe --always --dirty`),
+/// "unknown" when the build tree had no git metadata.
+[[nodiscard]] const char* git_describe() noexcept;
+
+/// A MetricSet as the report's {"counters": {...}, "gauges": {...},
+/// "histograms": {name: {bounds, buckets, sum, count}}} object.
+[[nodiscard]] JsonValue metrics_to_json(const MetricSet& set);
+
+/// A timer tree as the report's [{label, seconds, count, children}] list
+/// (the synthetic root is skipped; its children are the top level).
+[[nodiscard]] JsonValue timers_to_json(const TimerNode& root);
+
+/// Assembler for one run's manifest.
+class RunReport {
+ public:
+  static constexpr int kSchemaVersion = 1;
+  static constexpr const char* kSchemaName = "zcopt-run-report";
+
+  RunReport(std::string program, std::string description);
+
+  void set_seed(std::uint64_t seed) { seed_ = seed; }
+
+  /// Mutable config / bench-data sections (insertion-ordered objects).
+  [[nodiscard]] JsonValue& config() { return config_; }
+  [[nodiscard]] JsonValue& data() { return data_; }
+
+  /// Semantic metrics (deterministic across thread counts).
+  void set_metrics(const MetricSet& set) { metrics_ = set; }
+  /// Runtime metrics (pool gauges etc.; excluded from determinism).
+  void set_runtime(const MetricSet& set) { runtime_ = set; }
+  void set_timers(const TimerNode& root) { timers_ = root; }
+
+  /// Convenience: snapshot the global registry's metrics and timers.
+  void capture_registry();
+
+  [[nodiscard]] JsonValue to_json() const;
+  void write(std::ostream& os) const;
+  /// Creates/truncates `path`; false on I/O error.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+ private:
+  std::string program_;
+  std::string description_;
+  std::optional<std::uint64_t> seed_;
+  JsonValue config_ = JsonValue::object();
+  JsonValue data_ = JsonValue::object();
+  MetricSet metrics_;
+  MetricSet runtime_;
+  TimerNode timers_;
+};
+
+}  // namespace zc::obs

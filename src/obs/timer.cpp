@@ -1,0 +1,50 @@
+#include "obs/timer.hpp"
+
+#include "common/contract.hpp"
+#include "obs/metrics.hpp"
+
+namespace zc::obs {
+
+namespace {
+
+/// Enclosing timer labels on this thread, outermost first. Nesting of
+/// ScopedTimer scopes is what builds the hierarchy; the stack is
+/// thread-local so concurrent sections never interleave paths.
+thread_local std::vector<std::string> t_timer_stack;
+
+}  // namespace
+
+TimerNode& TimerNode::child(const std::string& name) {
+  for (TimerNode& c : children)
+    if (c.label == name) return c;
+  children.push_back(TimerNode{name, 0.0, 0, {}});
+  return children.back();
+}
+
+const TimerNode* TimerNode::find(const std::string& name) const {
+  for (const TimerNode& c : children)
+    if (c.label == name) return &c;
+  return nullptr;
+}
+
+ScopedTimer::ScopedTimer(std::string label) {
+  if (!Registry::global().enabled()) return;
+  ZC_EXPECTS(!label.empty());
+  t_timer_stack.push_back(std::move(label));
+  start_ = std::chrono::steady_clock::now();
+  active_ = true;
+}
+
+void ScopedTimer::stop() {
+  if (!active_) return;
+  active_ = false;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  Registry::global().record_timer(t_timer_stack, seconds);
+  t_timer_stack.pop_back();
+}
+
+ScopedTimer::~ScopedTimer() { stop(); }
+
+}  // namespace zc::obs

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file timer.hpp
+/// Scoped wall-clock timers with hierarchical labels. A `ScopedTimer`
+/// measures from construction to destruction (or `stop()`) and records
+/// the span into the process-wide `Registry` timer tree; nesting scopes
+/// nests tree nodes, so a run report shows where the wall time went:
+///
+///   {
+///     obs::ScopedTimer sweep("sweep");
+///     for (...) { obs::ScopedTimer cell("cell"); ... }  // sweep/cell
+///   }
+///
+/// Timer values are the *one* report section allowed to vary between
+/// otherwise-identical runs (they measure the hardware, not the model);
+/// everything semantic lives in metrics.hpp.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zc::obs {
+
+/// One node of the aggregated timer tree: total seconds and span count
+/// per label, children in first-recorded order.
+struct TimerNode {
+  std::string label;
+  double seconds = 0.0;
+  std::uint64_t count = 0;
+  std::vector<TimerNode> children;
+
+  /// Child with the given label, created (zeroed) on first use.
+  [[nodiscard]] TimerNode& child(const std::string& name);
+  /// Child lookup without insertion; nullptr when absent.
+  [[nodiscard]] const TimerNode* find(const std::string& name) const;
+};
+
+/// RAII wall-clock span recorded into Registry::global() (timers are
+/// skipped entirely while the registry is disabled).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string label);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Record now instead of at scope exit (idempotent).
+  void stop();
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  bool active_ = false;
+};
+
+}  // namespace zc::obs

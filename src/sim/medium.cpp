@@ -35,8 +35,22 @@ void Medium::unsubscribe(HostId host, Address address) {
   if (subs.empty()) subscribers_.erase(it);
 }
 
+void Medium::bind_metrics(obs::MetricSet* set) {
+  metrics_ = set;
+  if (metrics_ == nullptr) return;
+  for (std::size_t i = 0; i < faults::kDeliveryCauseCount; ++i) {
+    const auto cause = static_cast<faults::DeliveryCause>(i);
+    cause_ids_[i] = metrics_->counter(std::string("sim.delivery.") +
+                                      faults::to_string(cause));
+  }
+}
+
 void Medium::broadcast(const Packet& packet) {
   const HostId sender = packet_sender(packet);
+  const auto count_cause = [this](faults::DeliveryCause cause) {
+    ZC_OBS_ONLY(if (metrics_ != nullptr) metrics_->inc(
+        cause_ids_[static_cast<std::size_t>(cause)]));
+  };
   const auto it = subscribers_.find(packet_address(packet));
   if (it == subscribers_.end()) return;
   // Copy: receivers may (un)subscribe while handling a delivery.
@@ -54,6 +68,7 @@ void Medium::broadcast(const Packet& packet) {
     if (fate.drop) {
       ++packets_lost_;
       ++packets_faulted_;
+      count_cause(fate.cause);
       if (observer_)
         observer_({sim_.now(), sim_.now(), packet, target, true, fate.cause});
       continue;
@@ -61,6 +76,7 @@ void Medium::broadcast(const Packet& packet) {
 
     if (config_.loss > 0.0 && rng_.bernoulli(config_.loss)) {
       ++packets_lost_;
+      count_cause(faults::DeliveryCause::random_loss);
       if (observer_)
         observer_({sim_.now(), sim_.now(), packet, target, true,
                    faults::DeliveryCause::random_loss});
@@ -77,6 +93,7 @@ void Medium::broadcast(const Packet& packet) {
                    : (fate.reordered ? faults::DeliveryCause::reordered
                                      : faults::DeliveryCause::delivered);
       if (copy > 0) ++packets_duplicated_;
+      count_cause(cause);
       if (observer_)
         observer_(
             {sim_.now(), sim_.now() + delay, packet, target, false, cause});

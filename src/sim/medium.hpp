@@ -12,12 +12,14 @@
 /// interested in U act on packets about U) and keeps large simulated
 /// networks cheap.
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "faults/fault.hpp"
+#include "obs/metrics.hpp"
 #include "prob/proper.hpp"
 #include "sim/packet.hpp"
 #include "sim/simulator.hpp"
@@ -96,6 +98,12 @@ class Medium {
     return packets_duplicated_;
   }
 
+  /// Export per-DeliveryCause outcome counters ("sim.delivery.<cause>")
+  /// into `set`: ids are resolved once here, so the per-delivery cost in
+  /// broadcast() is a single indexed add. Non-owning — `set` must outlive
+  /// the medium's use; pass nullptr to stop counting.
+  void bind_metrics(obs::MetricSet* set);
+
  private:
   Observer observer_;
   Simulator& sim_;
@@ -108,6 +116,9 @@ class Medium {
   std::size_t packets_lost_ = 0;
   std::size_t packets_faulted_ = 0;
   std::size_t packets_duplicated_ = 0;
+
+  obs::MetricSet* metrics_ = nullptr;
+  std::array<obs::MetricId, faults::kDeliveryCauseCount> cause_ids_{};
 };
 
 }  // namespace zc::sim

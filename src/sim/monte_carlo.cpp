@@ -21,6 +21,36 @@ struct TrialAccumulator {
   std::size_t aborted = 0;
   std::size_t non_finite = 0;
 
+  /// Chunk-local metric set; every chunk starts from a copy of the init
+  /// accumulator, so names/ids registered once below are valid in all of
+  /// them, and merge() folds chunk sets in ascending chunk order.
+  obs::MetricSet metrics;
+  obs::MetricId completed_id = 0;
+  obs::MetricId aborted_id = 0;
+  obs::MetricId non_finite_id = 0;
+  obs::MetricId collision_id = 0;
+  obs::MetricId chunks_id = 0;
+  obs::MetricId attempts_hist_id = 0;
+  obs::MetricId probes_hist_id = 0;
+  obs::MetricId waiting_hist_id = 0;
+  bool collect = false;     ///< snapshot of obs::collection_enabled()
+  bool chunk_seen = false;  ///< this chunk already counted in mc.chunks
+
+  void register_metrics() {
+    collect = true;
+    completed_id = metrics.counter("mc.trials.completed");
+    aborted_id = metrics.counter("mc.trials.aborted");
+    non_finite_id = metrics.counter("mc.trials.non_finite");
+    collision_id = metrics.counter("mc.trials.collisions");
+    chunks_id = metrics.counter("mc.chunks");
+    attempts_hist_id = metrics.histogram(
+        "mc.attempts.per_trial", {1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0});
+    probes_hist_id = metrics.histogram(
+        "mc.probes.per_trial", {4.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0});
+    waiting_hist_id = metrics.histogram(
+        "mc.waiting.seconds", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+  }
+
   void merge(const TrialAccumulator& other) {
     model_cost.merge(other.model_cost);
     elapsed_cost.merge(other.elapsed_cost);
@@ -30,6 +60,7 @@ struct TrialAccumulator {
     collisions += other.collisions;
     aborted += other.aborted;
     non_finite += other.non_finite;
+    metrics.merge(other.metrics);
   }
 };
 
@@ -48,17 +79,31 @@ MonteCarloResults monte_carlo(const NetworkConfig& network,
   exec_opts.threads = opts.threads;
   exec_opts.chunk_size = opts.chunk_size;
 
-  const TrialAccumulator total = exec::parallel_reduce(
-      opts.trials, TrialAccumulator{},
+  // Register every campaign metric once, in the init accumulator: chunk
+  // accumulators are copy-constructed from it, so the resolved ids are
+  // valid in all chunks and merge() aligns identical name tables.
+  TrialAccumulator init;
+  if (obs::collection_enabled()) init.register_metrics();
+
+  TrialAccumulator total = exec::parallel_reduce(
+      opts.trials, init,
       [&](TrialAccumulator& acc, std::size_t t) {
         // Counter-based seed: trial t's stream depends only on
         // (opts.seed, t), never on thread assignment or run order.
         Network net(network, exec::split_seed(opts.seed, t));
+        if (acc.collect) {
+          if (!acc.chunk_seen) {
+            acc.metrics.inc(acc.chunks_id);
+            acc.chunk_seen = true;
+          }
+          net.bind_metrics(&acc.metrics);
+        }
         const RunResult run = net.run_join(protocol);
         if (run.aborted) {
           // A safety-capped run claimed no address; folding its truncated
           // cost into the estimates would bias them. Tally it instead.
           ++acc.aborted;
+          if (acc.collect) acc.metrics.inc(acc.aborted_id);
           return;
         }
         const double model =
@@ -70,6 +115,7 @@ MonteCarloResults monte_carlo(const NetworkConfig& network,
           // Overflow guard: never let an inf/NaN sample poison the
           // Welford accumulators.
           ++acc.non_finite;
+          if (acc.collect) acc.metrics.inc(acc.non_finite_id);
           return;
         }
         acc.model_cost.add(model);
@@ -77,7 +123,18 @@ MonteCarloResults monte_carlo(const NetworkConfig& network,
         acc.probes.add(static_cast<double>(run.probes_sent));
         acc.attempts.add(static_cast<double>(run.attempts));
         acc.waiting.add(run.waiting_time);
-        if (run.collision) ++acc.collisions;
+        if (acc.collect) {
+          acc.metrics.inc(acc.completed_id);
+          acc.metrics.observe(acc.attempts_hist_id,
+                              static_cast<double>(run.attempts));
+          acc.metrics.observe(acc.probes_hist_id,
+                              static_cast<double>(run.probes_sent));
+          acc.metrics.observe(acc.waiting_hist_id, run.waiting_time);
+        }
+        if (run.collision) {
+          ++acc.collisions;
+          if (acc.collect) acc.metrics.inc(acc.collision_id);
+        }
       },
       [](TrialAccumulator& into, const TrialAccumulator& from) {
         into.merge(from);
@@ -107,6 +164,17 @@ MonteCarloResults monte_carlo(const NetworkConfig& network,
     // than dividing by zero.
     out.collision_rate = 0.0;
     out.collision_ci95 = {0.0, 1.0};
+  }
+  if (total.collect) {
+    // Campaign-level facts added after the chunk-ordered merge keep the
+    // set a pure function of (inputs, seed, trials) — thread-agnostic.
+    total.metrics.inc(total.metrics.counter("mc.trials.total"), opts.trials);
+    total.metrics.set_gauge(
+        total.metrics.gauge("mc.chunk.size"),
+        static_cast<double>(
+            exec::resolve_chunk_size(opts.trials, opts.chunk_size)));
+    out.metrics = std::move(total.metrics);
+    obs::Registry::global().publish(out.metrics);
   }
   return out;
 }

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "obs/metrics.hpp"
 #include "sim/network.hpp"
 #include "sim/stats.hpp"
 
@@ -47,6 +48,17 @@ struct MonteCarloResults {
   /// Collision rate among *completed* runs (0 when none completed).
   double collision_rate = 0.0;
   ProportionCi collision_ci95;
+
+  /// Semantic metrics of the campaign: per-DeliveryCause delivery
+  /// counters ("sim.delivery.*") and injector decisions ("faults.*")
+  /// summed over every trial, trial outcome tallies ("mc.trials.*"),
+  /// outcome histograms ("mc.*.per_trial"), and chunk merge stats
+  /// ("mc.chunks" / "mc.chunk.size"). Chunk-local sets merge in
+  /// ascending chunk order — like the Welford estimates above — so this
+  /// set is bitwise-identical at any thread setting. Also published to
+  /// obs::Registry::global(). Empty when collection is off (runtime
+  /// Registry::set_enabled(false) or compile-time -DZC_OBS_METRICS=OFF).
+  obs::MetricSet metrics;
 };
 
 /// Options of a Monte-Carlo campaign.

@@ -103,6 +103,14 @@ class Network {
     return config_;
   }
 
+  /// Bind delivery/fault counters for this network: forwards to the
+  /// medium and (when a fault schedule is active) the injector. Call
+  /// before running joins; pass nullptr to stop counting. Non-owning.
+  void bind_metrics(obs::MetricSet* set) {
+    medium_.bind_metrics(set);
+    if (injector_) injector_->bind_metrics(set);
+  }
+
   /// Run one joining host to completion and report the outcome.
   [[nodiscard]] RunResult run_join(const ZeroconfConfig& protocol);
 

@@ -54,6 +54,43 @@ TEST(Args, TrailingGarbageInNumberRejected) {
   EXPECT_FALSE(parser.number("q").has_value());
 }
 
+// Regression: strtod accepts "inf"/"nan" (any case) and overflows to
+// HUGE_VAL, all of which used to leak out of number() as valid values.
+TEST(Args, NonFiniteNumbersRejected) {
+  for (const char* bad : {"inf", "INF", "-inf", "infinity", "nan", "NaN",
+                          "-nan", "1e999", "-1e999"}) {
+    auto parser = make_parser();
+    ASSERT_TRUE(parser.parse({"--q", bad}));
+    EXPECT_FALSE(parser.number("q").has_value()) << bad;
+  }
+}
+
+// Characterization: hex floats are valid strtod input and stay accepted
+// (they are finite; rejecting them is not this guard's job).
+TEST(Args, HexFloatsStillAccepted) {
+  auto parser = make_parser();
+  ASSERT_TRUE(parser.parse({"--q", "0x1p-2"}));
+  ASSERT_TRUE(parser.number("q").has_value());
+  EXPECT_DOUBLE_EQ(*parser.number("q"), 0.25);
+}
+
+TEST(Args, RangeCheckedNumber) {
+  auto parser = make_parser();
+  ASSERT_TRUE(parser.parse({"--q", "0.25"}));
+  EXPECT_TRUE(parser.number("q", 0.0, 1.0).has_value());
+  EXPECT_FALSE(parser.number("q", 0.5, 1.0).has_value());
+  EXPECT_FALSE(parser.number("q", 0.0, 0.2).has_value());
+  // Inclusive bounds.
+  EXPECT_TRUE(parser.number("q", 0.25, 0.25).has_value());
+  EXPECT_THROW((void)parser.number("q", 1.0, 0.0), zc::ContractViolation);
+}
+
+TEST(Args, RangeCheckedNumberRejectsUnparsable) {
+  auto parser = make_parser();
+  ASSERT_TRUE(parser.parse({"--label", "abc"}));
+  EXPECT_FALSE(parser.number("label", 0.0, 1.0).has_value());
+}
+
 TEST(Args, UnknownOptionFails) {
   auto parser = make_parser();
   EXPECT_FALSE(parser.parse({"--bogus", "1"}));

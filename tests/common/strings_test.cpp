@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace {
 
 TEST(FormatSig, PlainForModerateMagnitudes) {
@@ -21,8 +23,37 @@ TEST(FormatSig, ScientificForTinyValues) {
 
 TEST(FormatSig, ZeroStaysPlain) { EXPECT_EQ(zc::format_sig(0.0), "0"); }
 
+// Regression: -0.0 used to render as "-0", which reads as a distinct
+// value in tables and diffs.
+TEST(FormatSig, NegativeZeroNormalized) {
+  EXPECT_EQ(zc::format_sig(-0.0), "0");
+  EXPECT_EQ(zc::format_sig(-0.0, 3), "0");
+}
+
 TEST(FormatSig, NegativeValues) {
   EXPECT_EQ(zc::format_sig(-2.25, 3), "-2.25");
+}
+
+// Regression: the plain/scientific choice follows the *rounded* value,
+// so a value that rounds up across the 1e-4 cutoff formats exactly like
+// the cutoff value itself instead of flipping notation.
+TEST(FormatSig, CutoffConsistentUnderRounding) {
+  EXPECT_EQ(zc::format_sig(1e-4, 3), "0.0001");
+  EXPECT_EQ(zc::format_sig(9.9999e-5, 3), "0.0001");
+  // Below the cutoff even after rounding: stays scientific.
+  EXPECT_NE(zc::format_sig(9.4e-5, 3).find('e'), std::string::npos);
+}
+
+TEST(FormatSig, LargeCutoffConsistentUnderRounding) {
+  // 999999.9 at 3 digits rounds to 1.00e6 — formats with the >= 1e6
+  // values, not as a stray "1e+06" from the plain branch.
+  EXPECT_EQ(zc::format_sig(999999.9, 3), zc::format_sig(1e6, 3));
+}
+
+TEST(FormatSig, NonFiniteRendered) {
+  EXPECT_EQ(zc::format_sig(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(zc::format_sig(-std::numeric_limits<double>::infinity()),
+            "-inf");
 }
 
 TEST(FormatFixed, RespectsDecimals) {

@@ -1,0 +1,130 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace {
+
+using zc::obs::JsonValue;
+
+TEST(Json, DefaultIsNull) {
+  const JsonValue v;
+  EXPECT_EQ(v.kind(), JsonValue::Kind::null);
+  EXPECT_EQ(v.dump(), "null");
+}
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(JsonValue(true).dump(), "true");
+  EXPECT_EQ(JsonValue(false).dump(), "false");
+  EXPECT_EQ(JsonValue("text").dump(), "\"text\"");
+  EXPECT_EQ(JsonValue(std::string("text")).dump(), "\"text\"");
+}
+
+TEST(Json, IntegralNumbersPrintWithoutDecimalPoint) {
+  EXPECT_EQ(JsonValue(0).dump(), "0");
+  EXPECT_EQ(JsonValue(42).dump(), "42");
+  EXPECT_EQ(JsonValue(-7).dump(), "-7");
+  EXPECT_EQ(JsonValue(3.0).dump(), "3");
+  EXPECT_EQ(JsonValue(1000000u).dump(), "1000000");
+  // 2^53, the largest exactly-representable contiguous integer.
+  EXPECT_EQ(JsonValue(9007199254740992.0).dump(), "9007199254740992");
+}
+
+TEST(Json, FractionalNumbersRoundTrip) {
+  const double values[] = {0.1, -2.25, 1e-12, 6.02214076e23, 1.0 / 3.0};
+  for (const double v : values) {
+    std::istringstream in(JsonValue(v).dump());
+    double parsed = 0.0;
+    in >> parsed;
+    EXPECT_EQ(parsed, v) << "value " << v << " did not round-trip";
+  }
+}
+
+TEST(Json, NonFiniteNumbersDegradeToNull) {
+  // JSON has no inf/nan; the writer must never emit an unparsable token.
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).dump(),
+            "null");
+  EXPECT_EQ(JsonValue(-std::numeric_limits<double>::infinity()).dump(),
+            "null");
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::quiet_NaN()).dump(),
+            "null");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(JsonValue("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(JsonValue("back\\slash").dump(), "\"back\\\\slash\"");
+  EXPECT_EQ(JsonValue("line\nbreak\ttab").dump(), "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(JsonValue(std::string("ctrl\x01")).dump(), "\"ctrl\\u0001\"");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  JsonValue obj = JsonValue::object();
+  obj["zebra"] = 1;
+  obj["apple"] = 2;
+  obj["mango"] = 3;
+  EXPECT_EQ(obj.size(), 3u);
+  EXPECT_EQ(obj.dump(),
+            "{\n  \"zebra\": 1,\n  \"apple\": 2,\n  \"mango\": 3\n}");
+}
+
+TEST(Json, ObjectSubscriptInsertsOnceAndOverwrites) {
+  JsonValue obj = JsonValue::object();
+  obj["k"] = 1;
+  obj["k"] = 2;  // same key: overwrite, not duplicate
+  EXPECT_EQ(obj.size(), 1u);
+  ASSERT_NE(obj.find("k"), nullptr);
+  EXPECT_EQ(obj.find("k")->dump(), "2");
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(Json, SubscriptPromotesNullToObject) {
+  JsonValue v;  // null
+  v["key"] = "value";
+  EXPECT_TRUE(v.is_object());
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(Json, ArrayAppendAndNesting) {
+  JsonValue arr = JsonValue::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  JsonValue inner = JsonValue::object();
+  inner["three"] = 3.5;
+  arr.push_back(std::move(inner));
+  EXPECT_TRUE(arr.is_array());
+  EXPECT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr.dump(), "[\n  1,\n  \"two\",\n  {\n    \"three\": 3.5\n  }\n]");
+}
+
+TEST(Json, EmptyContainersPrintCompact) {
+  EXPECT_EQ(JsonValue::object().dump(), "{}");
+  EXPECT_EQ(JsonValue::array().dump(), "[]");
+}
+
+TEST(Json, WriteMatchesDump) {
+  JsonValue obj = JsonValue::object();
+  obj["a"] = JsonValue::array();
+  obj["a"].push_back(true);
+  std::ostringstream os;
+  obj.write(os);
+  EXPECT_EQ(os.str(), obj.dump());
+}
+
+TEST(Json, SerializationIsPureFunctionOfValues) {
+  // The byte-for-byte determinism contract the obs layer relies on:
+  // building the same tree twice yields identical output.
+  const auto build = [] {
+    JsonValue obj = JsonValue::object();
+    obj["x"] = 0.30000000000000004;  // 0.1 + 0.2, needs 17 digits
+    obj["n"] = 12345;
+    obj["list"] = JsonValue::array();
+    obj["list"].push_back(std::nan(""));
+    return obj.dump();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+}  // namespace

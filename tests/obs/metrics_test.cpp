@@ -1,0 +1,236 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/contract.hpp"
+
+/// Value-asserting tests are skipped when -DZC_OBS_METRICS=OFF compiles
+/// the mutators to no-ops; registration, contracts, and structure tests
+/// still run in that configuration.
+#ifdef ZC_OBS_DISABLED
+#define ZC_SKIP_WITHOUT_METRICS() \
+  GTEST_SKIP() << "metric mutators compiled out (-DZC_OBS_METRICS=OFF)"
+#else
+#define ZC_SKIP_WITHOUT_METRICS() \
+  do {                            \
+  } while (false)
+#endif
+
+namespace {
+
+using zc::obs::MetricId;
+using zc::obs::MetricSet;
+using zc::obs::Registry;
+
+TEST(MetricSet, StartsEmpty) {
+  const MetricSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.counter_value("anything").has_value());
+  EXPECT_FALSE(set.gauge_value("anything").has_value());
+  EXPECT_EQ(set.histogram_cell("anything"), nullptr);
+}
+
+TEST(MetricSet, CounterRegisterAndIncrement) {
+  ZC_SKIP_WITHOUT_METRICS();
+  MetricSet set;
+  const MetricId id = set.counter("events");
+  set.inc(id);
+  set.inc(id, 4);
+  EXPECT_EQ(set.counter_value("events"), 5u);
+  // Find-or-create: re-registration returns the same id.
+  EXPECT_EQ(set.counter("events"), id);
+  set.inc(set.counter("events"));
+  EXPECT_EQ(set.counter_value("events"), 6u);
+}
+
+TEST(MetricSet, GaugeSetAndMaxSemantics) {
+  ZC_SKIP_WITHOUT_METRICS();
+  MetricSet set;
+  const MetricId id = set.gauge("depth");
+  EXPECT_FALSE(set.gauge_value("depth").has_value());  // never written
+  set.set_gauge(id, 3.0);
+  EXPECT_EQ(set.gauge_value("depth"), 3.0);
+  set.set_gauge(id, 1.0);  // plain set overwrites, even downward
+  EXPECT_EQ(set.gauge_value("depth"), 1.0);
+  set.max_gauge(id, 0.5);  // high-water mark keeps the max
+  EXPECT_EQ(set.gauge_value("depth"), 1.0);
+  set.max_gauge(id, 7.5);
+  EXPECT_EQ(set.gauge_value("depth"), 7.5);
+}
+
+TEST(MetricSet, HistogramBucketsObservationsByUpperBound) {
+  ZC_SKIP_WITHOUT_METRICS();
+  MetricSet set;
+  const MetricId id = set.histogram("lat", {1.0, 2.0, 4.0});
+  // value <= bounds[i] lands in bucket i; > last bound overflows.
+  set.observe(id, 0.5);   // bucket 0
+  set.observe(id, 1.0);   // bucket 0 (inclusive upper bound)
+  set.observe(id, 1.5);   // bucket 1
+  set.observe(id, 4.0);   // bucket 2
+  set.observe(id, 99.0);  // overflow bucket
+  const auto* cell = set.histogram_cell("lat");
+  ASSERT_NE(cell, nullptr);
+  ASSERT_EQ(cell->buckets.size(), 4u);
+  EXPECT_EQ(cell->buckets[0], 2u);
+  EXPECT_EQ(cell->buckets[1], 1u);
+  EXPECT_EQ(cell->buckets[2], 1u);
+  EXPECT_EQ(cell->buckets[3], 1u);
+  EXPECT_EQ(cell->count, 5u);
+  EXPECT_DOUBLE_EQ(cell->sum, 0.5 + 1.0 + 1.5 + 4.0 + 99.0);
+}
+
+TEST(MetricSet, RegistrationContracts) {
+  MetricSet set;
+  EXPECT_THROW(set.counter(""), zc::ContractViolation);
+  static_cast<void>(set.counter("name"));
+  // Same name, different kind: contract violation, not silent aliasing.
+  EXPECT_THROW(set.gauge("name"), zc::ContractViolation);
+  EXPECT_THROW(set.histogram("name", {1.0}), zc::ContractViolation);
+
+  EXPECT_THROW(set.histogram("h", {}), zc::ContractViolation);
+  EXPECT_THROW(set.histogram("h", {1.0, 1.0}), zc::ContractViolation);
+  EXPECT_THROW(set.histogram("h", {2.0, 1.0}), zc::ContractViolation);
+  static_cast<void>(set.histogram("h", {1.0, 2.0}));
+  // Re-registration must repeat the same bounds.
+  EXPECT_THROW(set.histogram("h", {1.0, 3.0}), zc::ContractViolation);
+  EXPECT_EQ(set.histogram("h", {1.0, 2.0}), set.histogram("h", {1.0, 2.0}));
+}
+
+TEST(MetricSet, MergeAddsCountersMaxesGaugesAddsHistograms) {
+  ZC_SKIP_WITHOUT_METRICS();
+  MetricSet a;
+  a.inc(a.counter("n"), 2);
+  a.set_gauge(a.gauge("g"), 5.0);
+  a.observe(a.histogram("h", {1.0, 2.0}), 0.5);
+
+  MetricSet b;
+  b.inc(b.counter("n"), 3);
+  b.inc(b.counter("only-in-b"), 1);
+  b.set_gauge(b.gauge("g"), 3.0);
+  b.observe(b.histogram("h", {1.0, 2.0}), 1.5);
+  b.observe(b.histogram("h", {1.0, 2.0}), 9.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter_value("n"), 5u);
+  EXPECT_EQ(a.counter_value("only-in-b"), 1u);  // find-or-created
+  EXPECT_EQ(a.gauge_value("g"), 5.0);           // max(5, 3)
+  const auto* h = a.histogram_cell("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 3u);
+  EXPECT_EQ(h->buckets[0], 1u);
+  EXPECT_EQ(h->buckets[1], 1u);
+  EXPECT_EQ(h->buckets[2], 1u);
+  EXPECT_DOUBLE_EQ(h->sum, 0.5 + 1.5 + 9.0);
+}
+
+TEST(MetricSet, MergeSkipsUnwrittenGauges) {
+  ZC_SKIP_WITHOUT_METRICS();
+  MetricSet a;
+  a.set_gauge(a.gauge("g"), -2.0);
+  MetricSet b;
+  static_cast<void>(b.gauge("g"));  // registered, never written
+  a.merge(b);
+  EXPECT_EQ(a.gauge_value("g"), -2.0);  // -2 survives; no spurious 0
+}
+
+TEST(MetricSet, MergeAlignsByNameNotIndex) {
+  ZC_SKIP_WITHOUT_METRICS();
+  // The two sets register the same names in opposite order; merge must
+  // still pair them up correctly.
+  MetricSet a;
+  a.inc(a.counter("first"), 1);
+  a.inc(a.counter("second"), 10);
+  MetricSet b;
+  b.inc(b.counter("second"), 100);
+  b.inc(b.counter("first"), 1000);
+  a.merge(b);
+  EXPECT_EQ(a.counter_value("first"), 1001u);
+  EXPECT_EQ(a.counter_value("second"), 110u);
+}
+
+TEST(MetricSet, CopySemanticsMatchChunkAccumulatorUse) {
+  ZC_SKIP_WITHOUT_METRICS();
+  // monte_carlo copy-constructs every chunk's set from one init set; the
+  // registered ids must stay valid in the copies and the copies must be
+  // independent.
+  MetricSet init;
+  const MetricId id = init.counter("c");
+  MetricSet chunk0 = init;
+  MetricSet chunk1 = init;
+  chunk0.inc(id, 1);
+  chunk1.inc(id, 2);
+  EXPECT_EQ(init.counter_value("c"), 0u);
+  EXPECT_EQ(chunk0.counter_value("c"), 1u);
+  EXPECT_EQ(chunk1.counter_value("c"), 2u);
+  init.merge(chunk0);
+  init.merge(chunk1);
+  EXPECT_EQ(init.counter_value("c"), 3u);
+}
+
+TEST(MetricSet, ClearEmptiesEverything) {
+  MetricSet set;
+  set.inc(set.counter("c"));
+  set.set_gauge(set.gauge("g"), 1.0);
+  set.observe(set.histogram("h", {1.0}), 0.5);
+  set.clear();
+  EXPECT_TRUE(set.empty());
+  // Names are reusable after clear, including with a different kind.
+  static_cast<void>(set.gauge("c"));
+}
+
+// --- Registry (process-global; each test restores the state it touched) ---
+
+TEST(Registry, PublishMergesIntoSnapshot) {
+  ZC_SKIP_WITHOUT_METRICS();
+  Registry& reg = Registry::global();
+  reg.reset();
+  MetricSet batch;
+  batch.inc(batch.counter("reg.events"), 7);
+  reg.publish(batch);
+  reg.publish(batch);
+  const MetricSet snap = reg.metrics_snapshot();
+  EXPECT_EQ(snap.counter_value("reg.events"), 14u);
+  reg.reset();
+  EXPECT_TRUE(reg.metrics_snapshot().empty());
+}
+
+TEST(Registry, DisabledRegistryDropsPublishesAndTimers) {
+  ZC_SKIP_WITHOUT_METRICS();
+  Registry& reg = Registry::global();
+  reg.reset();
+  reg.set_enabled(false);
+  EXPECT_FALSE(reg.enabled());
+  EXPECT_FALSE(zc::obs::collection_enabled());
+  MetricSet batch;
+  batch.inc(batch.counter("dropped"), 1);
+  reg.publish(batch);
+  reg.record_timer({"dropped"}, 1.0);
+  reg.set_enabled(true);
+  EXPECT_TRUE(zc::obs::collection_enabled());
+  EXPECT_TRUE(reg.metrics_snapshot().empty());
+  EXPECT_TRUE(reg.timers_snapshot().children.empty());
+  reg.reset();
+}
+
+TEST(Registry, RecordTimerBuildsPaths) {
+  Registry& reg = Registry::global();
+  reg.reset();
+  reg.record_timer({"outer", "inner"}, 0.25);
+  reg.record_timer({"outer", "inner"}, 0.75);
+  reg.record_timer({"outer"}, 2.0);
+  const zc::obs::TimerNode root = reg.timers_snapshot();
+  const auto* outer = root.find("outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_DOUBLE_EQ(outer->seconds, 2.0);
+  EXPECT_EQ(outer->count, 1u);
+  const auto* inner = outer->find("inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_DOUBLE_EQ(inner->seconds, 1.0);
+  EXPECT_EQ(inner->count, 2u);
+  reg.reset();
+}
+
+}  // namespace

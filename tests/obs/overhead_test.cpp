@@ -1,0 +1,79 @@
+/// Guard on the cost of instrumentation: the Monte-Carlo hot path with
+/// metric collection enabled must stay within a small factor of the same
+/// campaign with collection disabled. The per-delivery work is one
+/// indexed add behind a null check, so in practice the gap is a few
+/// percent; the bound here is deliberately loose (3x + absolute slack)
+/// to stay robust on loaded CI machines while still catching an
+/// accidental lock, allocation, or hash lookup on the hot path.
+/// BM_MonteCarloMetrics in bench/perf_microbench.cpp records the actual
+/// numbers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+
+#include "obs/metrics.hpp"
+#include "prob/delay.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/network.hpp"
+
+namespace {
+
+using namespace zc;
+using Clock = std::chrono::steady_clock;
+
+sim::NetworkConfig small_network() {
+  sim::NetworkConfig config;
+  config.address_space = 100;
+  config.hosts = 30;
+  config.responder_delay =
+      std::shared_ptr<const prob::DelayDistribution>(
+          prob::paper_reply_delay(0.4, 20.0, 0.1));
+  return config;
+}
+
+double campaign_seconds() {
+  sim::ZeroconfConfig protocol;
+  protocol.n = 3;
+  protocol.r = 1.0;
+  sim::MonteCarloOptions opts;
+  opts.trials = 600;
+  opts.seed = 99;
+  opts.threads = 1;
+  const auto network = small_network();
+  const auto start = Clock::now();
+  const auto result = sim::monte_carlo(network, protocol, opts);
+  const auto end = Clock::now();
+  EXPECT_EQ(result.trials, opts.trials);
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// Median of three runs, so one scheduler hiccup can't decide the test.
+double median_campaign_seconds() {
+  double t0 = campaign_seconds();
+  double t1 = campaign_seconds();
+  double t2 = campaign_seconds();
+  if (t0 > t1) std::swap(t0, t1);
+  if (t1 > t2) std::swap(t1, t2);
+  return std::max(t0, t1);
+}
+
+TEST(ObsOverhead, EnabledCollectionStaysWithinBudgetOfDisabled) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.reset();
+
+  reg.set_enabled(false);
+  const double disabled = median_campaign_seconds();
+  reg.set_enabled(true);
+  const double enabled = median_campaign_seconds();
+  reg.reset();
+
+  EXPECT_LE(enabled, 3.0 * disabled + 0.05)
+      << "metrics-on campaign took " << enabled
+      << " s vs metrics-off " << disabled
+      << " s: per-delivery instrumentation is no longer cheap";
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+#include "obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+
+#ifdef ZC_OBS_DISABLED
+#define ZC_SKIP_WITHOUT_METRICS() \
+  GTEST_SKIP() << "metric mutators compiled out (-DZC_OBS_METRICS=OFF)"
+#else
+#define ZC_SKIP_WITHOUT_METRICS() \
+  do {                            \
+  } while (false)
+#endif
+
+namespace {
+
+using zc::obs::JsonValue;
+using zc::obs::MetricSet;
+using zc::obs::Registry;
+using zc::obs::RunReport;
+
+class ReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::global().reset(); }
+  void TearDown() override {
+    Registry::global().set_enabled(true);
+    Registry::global().reset();
+  }
+};
+
+TEST_F(ReportTest, SchemaEnvelopeIsComplete) {
+  RunReport report("unit_test", "schema check");
+  const JsonValue json = report.to_json();
+  ASSERT_TRUE(json.is_object());
+  // Every v1 top-level key except the optional seed.
+  for (const char* key : {"schema", "schema_version", "program",
+                          "description", "git", "config", "data", "metrics",
+                          "runtime", "timers"})
+    EXPECT_NE(json.find(key), nullptr) << "missing top-level key " << key;
+  EXPECT_EQ(json.find("schema")->dump(),
+            std::string("\"") + RunReport::kSchemaName + "\"");
+  EXPECT_EQ(json.find("schema_version")->dump(),
+            std::to_string(RunReport::kSchemaVersion));
+  EXPECT_EQ(json.find("program")->dump(), "\"unit_test\"");
+  EXPECT_EQ(json.find("description")->dump(), "\"schema check\"");
+  EXPECT_NE(json.find("git")->dump(), "\"\"");  // at minimum "unknown"
+  EXPECT_TRUE(json.find("timers")->is_array());
+}
+
+TEST_F(ReportTest, SeedIsOptional) {
+  RunReport without("p", "d");
+  EXPECT_EQ(without.to_json().find("seed"), nullptr);
+  RunReport with("p", "d");
+  with.set_seed(123456789);
+  const JsonValue json = with.to_json();
+  ASSERT_NE(json.find("seed"), nullptr);
+  EXPECT_EQ(json.find("seed")->dump(), "123456789");
+}
+
+TEST_F(ReportTest, ConfigAndDataSectionsRoundTrip) {
+  RunReport report("p", "d");
+  report.config()["trials"] = 5000;
+  report.config()["q"] = 0.25;
+  report.data()["bitwise_deterministic"] = true;
+  const JsonValue json = report.to_json();
+  const JsonValue* config = json.find("config");
+  ASSERT_NE(config, nullptr);
+  EXPECT_EQ(config->find("trials")->dump(), "5000");
+  EXPECT_EQ(config->find("q")->dump(), "0.25");
+  EXPECT_EQ(json.find("data")->find("bitwise_deterministic")->dump(),
+            "true");
+}
+
+TEST_F(ReportTest, MetricsSectionHasTheThreeFamilies) {
+  ZC_SKIP_WITHOUT_METRICS();
+  MetricSet set;
+  set.inc(set.counter("c.events"), 3);
+  set.set_gauge(set.gauge("g.depth"), 2.5);
+  set.observe(set.histogram("h.lat", {1.0, 2.0}), 1.5);
+  RunReport report("p", "d");
+  report.set_metrics(set);
+  const JsonValue json = report.to_json();
+  const JsonValue* metrics = json.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->find("counters")->find("c.events")->dump(), "3");
+  EXPECT_EQ(metrics->find("gauges")->find("g.depth")->dump(), "2.5");
+  const JsonValue* hist = metrics->find("histograms")->find("h.lat");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->find("bounds")->size(), 2u);
+  EXPECT_EQ(hist->find("buckets")->size(), 3u);
+  EXPECT_EQ(hist->find("count")->dump(), "1");
+  EXPECT_EQ(hist->find("sum")->dump(), "1.5");
+}
+
+TEST_F(ReportTest, UnwrittenGaugesAreOmittedFromJson) {
+  ZC_SKIP_WITHOUT_METRICS();
+  MetricSet set;
+  static_cast<void>(set.gauge("never.set"));
+  const JsonValue json = zc::obs::metrics_to_json(set);
+  EXPECT_EQ(json.find("gauges")->find("never.set"), nullptr);
+}
+
+TEST_F(ReportTest, CaptureRegistryPullsMetricsAndTimers) {
+  ZC_SKIP_WITHOUT_METRICS();
+  MetricSet batch;
+  batch.inc(batch.counter("captured.count"), 9);
+  Registry::global().publish(batch);
+  {
+    const zc::obs::ScopedTimer t("captured_span");
+  }
+  RunReport report("p", "d");
+  report.capture_registry();
+  const JsonValue json = report.to_json();
+  EXPECT_EQ(
+      json.find("metrics")->find("counters")->find("captured.count")->dump(),
+      "9");
+  const JsonValue* timers = json.find("timers");
+  ASSERT_EQ(timers->size(), 1u);
+  // timers are [{label, seconds, count, children}] with the synthetic
+  // root skipped.
+  std::ostringstream label;
+  timers->write(label);
+  EXPECT_NE(label.str().find("\"captured_span\""), std::string::npos);
+}
+
+TEST_F(ReportTest, WriteFileProducesTheSameBytesAsWrite) {
+  RunReport report("p", "d");
+  report.set_seed(7);
+  report.config()["k"] = 1;
+  const std::string path = ::testing::TempDir() + "zc_obs_report_test.json";
+  ASSERT_TRUE(report.write_file(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream from_file;
+  from_file << in.rdbuf();
+  std::ostringstream direct;
+  report.write(direct);
+  EXPECT_EQ(from_file.str(), direct.str());
+  EXPECT_EQ(from_file.str().back(), '\n');
+  std::remove(path.c_str());
+}
+
+TEST_F(ReportTest, WriteFileFailsCleanlyOnBadPath) {
+  const RunReport report("p", "d");
+  EXPECT_FALSE(report.write_file("/nonexistent-dir-zcopt/report.json"));
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+#include "obs/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+
+namespace {
+
+using zc::obs::Registry;
+using zc::obs::ScopedTimer;
+using zc::obs::TimerNode;
+
+/// Every test runs against the process-global registry: start clean,
+/// leave clean, and always restore the enabled flag.
+class TimerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::global().reset(); }
+  void TearDown() override {
+    Registry::global().set_enabled(true);
+    Registry::global().reset();
+  }
+};
+
+TEST_F(TimerTest, ScopeExitRecordsOneSpan) {
+  {
+    const ScopedTimer t("span");
+  }
+  const TimerNode root = Registry::global().timers_snapshot();
+  ASSERT_EQ(root.children.size(), 1u);
+  const TimerNode* span = root.find("span");
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->count, 1u);
+  EXPECT_GE(span->seconds, 0.0);
+  EXPECT_TRUE(span->children.empty());
+}
+
+TEST_F(TimerTest, NestingBuildsHierarchy) {
+  {
+    ScopedTimer outer("outer");
+    {
+      const ScopedTimer inner("inner");
+    }
+    {
+      const ScopedTimer inner("inner");  // same label aggregates
+    }
+  }
+  const TimerNode root = Registry::global().timers_snapshot();
+  const TimerNode* outer = root.find("outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 1u);
+  const TimerNode* inner = outer->find("inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, 2u);
+  // "inner" lives under "outer" only, never at the top level.
+  EXPECT_EQ(root.find("inner"), nullptr);
+}
+
+TEST_F(TimerTest, StopIsIdempotentAndEndsTheScopeEarly) {
+  {
+    ScopedTimer outer("outer");
+    outer.stop();
+    outer.stop();  // second stop is a no-op
+    // After stop() the label is off the stack: a new timer is a sibling,
+    // not a child.
+    const ScopedTimer next("next");
+  }
+  const TimerNode root = Registry::global().timers_snapshot();
+  ASSERT_NE(root.find("outer"), nullptr);
+  EXPECT_EQ(root.find("outer")->count, 1u);
+  ASSERT_NE(root.find("next"), nullptr);
+  EXPECT_EQ(root.find("outer")->find("next"), nullptr);
+}
+
+TEST_F(TimerTest, SequentialSiblingsShareTheParentPath) {
+  {
+    ScopedTimer sweep("sweep");
+    for (int i = 0; i < 3; ++i) {
+      const ScopedTimer cell("cell");
+    }
+    sweep.stop();
+  }
+  const TimerNode root = Registry::global().timers_snapshot();
+  const TimerNode* sweep = root.find("sweep");
+  ASSERT_NE(sweep, nullptr);
+  const TimerNode* cell = sweep->find("cell");
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->count, 3u);
+}
+
+TEST_F(TimerTest, DisabledRegistrySkipsTimers) {
+  Registry::global().set_enabled(false);
+  {
+    const ScopedTimer t("invisible");
+  }
+  Registry::global().set_enabled(true);
+  EXPECT_TRUE(Registry::global().timers_snapshot().children.empty());
+}
+
+TEST_F(TimerTest, ChildrenKeepFirstRecordedOrder) {
+  {
+    ScopedTimer root_span("root");
+    {
+      const ScopedTimer a("alpha");
+    }
+    {
+      const ScopedTimer b("beta");
+    }
+    {
+      const ScopedTimer a_again("alpha");
+    }
+    root_span.stop();
+  }
+  const TimerNode root = Registry::global().timers_snapshot();
+  const TimerNode* parent = root.find("root");
+  ASSERT_NE(parent, nullptr);
+  ASSERT_EQ(parent->children.size(), 2u);
+  EXPECT_EQ(parent->children[0].label, "alpha");
+  EXPECT_EQ(parent->children[1].label, "beta");
+  EXPECT_EQ(parent->children[0].count, 2u);
+}
+
+}  // namespace

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "common/contract.hpp"
+#include "obs/report.hpp"
 #include "prob/families.hpp"
 #include "prob/rng.hpp"
 #include "core/cost.hpp"
@@ -298,6 +300,124 @@ TEST(WilsonCi, AllSuccesses) {
 TEST(WilsonCi, InvalidArgumentsRejected) {
   EXPECT_THROW((void)wilson_ci95(1, 0), zc::ContractViolation);
   EXPECT_THROW((void)wilson_ci95(5, 4), zc::ContractViolation);
+}
+
+// --- Estimator edge cases: degenerate campaigns must stay finite ----------
+
+void expect_finite(const Estimate& e, const char* what) {
+  EXPECT_TRUE(std::isfinite(e.mean)) << what << ".mean";
+  EXPECT_TRUE(std::isfinite(e.stddev)) << what << ".stddev";
+  EXPECT_TRUE(std::isfinite(e.ci95_halfwidth)) << what << ".ci95_halfwidth";
+}
+
+void expect_all_estimates_finite(const MonteCarloResults& r) {
+  expect_finite(r.model_cost, "model_cost");
+  expect_finite(r.elapsed_cost, "elapsed_cost");
+  expect_finite(r.probes, "probes");
+  expect_finite(r.attempts, "attempts");
+  expect_finite(r.waiting_time, "waiting_time");
+  EXPECT_TRUE(std::isfinite(r.aborted_rate));
+  EXPECT_TRUE(std::isfinite(r.collision_rate));
+  EXPECT_TRUE(std::isfinite(r.collision_ci95.lower));
+  EXPECT_TRUE(std::isfinite(r.collision_ci95.upper));
+}
+
+/// A reliable scenario: replies never lost, arrive long before the
+/// listening period expires, so every trial completes without collision.
+NetworkConfig reliable_network() {
+  NetworkConfig config;
+  config.address_space = 100;
+  config.hosts = 30;
+  config.responder_delay =
+      std::shared_ptr<const zc::prob::DelayDistribution>(
+          zc::prob::paper_reply_delay(0.0, 50.0, 0.01));
+  return config;
+}
+
+TEST(MonteCarloEdge, AllTrialsAbortedStaysFinite) {
+  // A virtual-time budget below the first listening period aborts every
+  // trial: no sample ever reaches the Welford accumulators, and the
+  // collision proportion is over zero completed runs.
+  NetworkConfig network = Exaggerated::network();
+  network.max_virtual_time = 1e-9;
+  ZeroconfConfig protocol;
+  protocol.n = 3;
+  protocol.r = 1.0;
+  MonteCarloOptions opts;
+  opts.trials = 50;
+  opts.seed = 5;
+
+  const auto results = monte_carlo(network, protocol, opts);
+  EXPECT_EQ(results.aborted, opts.trials);
+  EXPECT_EQ(results.completed, 0u);
+  EXPECT_EQ(results.non_finite, 0u);
+  EXPECT_EQ(results.aborted_rate, 1.0);
+  EXPECT_EQ(results.collisions, 0u);
+  EXPECT_EQ(results.collision_rate, 0.0);
+  // Maximally-uninformative interval instead of a 0/0 NaN.
+  EXPECT_EQ(results.collision_ci95.lower, 0.0);
+  EXPECT_EQ(results.collision_ci95.upper, 1.0);
+  expect_all_estimates_finite(results);
+
+  // The campaign metrics tell the same story, and nothing non-finite
+  // reaches the serialized report: the JSON writer degrades inf/NaN to
+  // null, so a clean report contains none.
+  if (!results.metrics.empty()) {
+    EXPECT_EQ(results.metrics.counter_value("mc.trials.aborted"),
+              opts.trials);
+    EXPECT_EQ(results.metrics.counter_value("mc.trials.completed"), 0u);
+    const auto* hist =
+        results.metrics.histogram_cell("mc.attempts.per_trial");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->count, 0u);
+    zc::obs::RunReport report("edge_test", "all trials aborted");
+    report.set_metrics(results.metrics);
+    EXPECT_EQ(report.to_json().dump().find("null"), std::string::npos);
+  }
+}
+
+TEST(MonteCarloEdge, ZeroCollisionCampaignHasInformativeWilsonInterval) {
+  ZeroconfConfig protocol;
+  protocol.n = 3;
+  protocol.r = 1.0;
+  MonteCarloOptions opts;
+  opts.trials = 300;
+  opts.seed = 17;
+
+  const auto results = monte_carlo(reliable_network(), protocol, opts);
+  ASSERT_EQ(results.completed, opts.trials);
+  EXPECT_EQ(results.collisions, 0u);
+  EXPECT_EQ(results.collision_rate, 0.0);
+  // Wilson at 0 successes: lower pinned to 0 (up to rounding), upper
+  // small but positive — never the degenerate [0, 0] the normal
+  // approximation would give.
+  EXPECT_NEAR(results.collision_ci95.lower, 0.0, 1e-12);
+  EXPECT_GT(results.collision_ci95.upper, 0.0);
+  EXPECT_LT(results.collision_ci95.upper, 0.05);
+  expect_all_estimates_finite(results);
+}
+
+TEST(MonteCarloEdge, SingleCompletedTrialHasZeroVarianceNotNaN) {
+  ZeroconfConfig protocol;
+  protocol.n = 2;
+  protocol.r = 0.5;
+  MonteCarloOptions opts;
+  opts.trials = 1;
+  opts.seed = 23;
+
+  const auto results = monte_carlo(reliable_network(), protocol, opts);
+  ASSERT_EQ(results.completed, 1u);
+  // One sample: variance is defined as 0 (not 0/0), so the uncertainty
+  // collapses instead of going NaN.
+  EXPECT_GT(results.model_cost.mean, 0.0);
+  EXPECT_EQ(results.model_cost.stddev, 0.0);
+  EXPECT_EQ(results.model_cost.ci95_halfwidth, 0.0);
+  EXPECT_EQ(results.waiting_time.stddev, 0.0);
+  expect_all_estimates_finite(results);
+  if (!results.metrics.empty()) {
+    EXPECT_EQ(results.metrics.counter_value("mc.trials.completed"), 1u);
+    EXPECT_EQ(results.metrics.counter_value("mc.trials.total"), 1u);
+  }
 }
 
 }  // namespace
