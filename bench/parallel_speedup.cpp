@@ -1,9 +1,11 @@
 /// PERF — Serial-vs-parallel wall times of the exec-layer hot paths:
 /// Monte-Carlo trial fan-out and the joint (n, r) optimization sweep, at
-/// thread counts {1, 2, hardware}. Verifies along the way that every
-/// thread count produces bitwise-identical results (the exec layer's
-/// core guarantee), and emits BENCH_parallel.json with the measurements
-/// so CI can track the speedup.
+/// thread counts {1, 2, hardware}. Both workloads are declarative
+/// ExperimentSpecs executed through engine::CampaignRunner at each
+/// thread count; bitwise determinism is checked on the serialized
+/// campaign results (cells, optima, and semantic metric sets — the full
+/// report payload, not just headline numbers). Emits BENCH_parallel.json
+/// with the measurements so CI can track the speedup.
 
 #include <algorithm>
 #include <chrono>
@@ -15,11 +17,11 @@
 #include "analysis/expectation.hpp"
 #include "bench_util.hpp"
 #include "common/strings.hpp"
-#include "core/optimize.hpp"
 #include "core/scenarios.hpp"
+#include "engine/campaign.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/timer.hpp"
-#include "sim/monte_carlo.hpp"
+#include "prob/delay.hpp"
 
 namespace {
 
@@ -48,11 +50,21 @@ struct Measurement {
   double speedup_vs_serial = 1.0;
 };
 
-void emit_json(const std::vector<Measurement>& rows, unsigned hardware,
+/// The byte content a campaign contributes to a run report: experiments
+/// (cells / optima) plus the merged semantic metric set. Equality of
+/// these strings across thread counts is the engine's determinism
+/// contract.
+std::string campaign_bytes(const engine::CampaignResult& campaign) {
+  return campaign.to_json().dump() +
+         obs::metrics_to_json(campaign.metrics).dump();
+}
+
+void emit_json(const engine::CampaignResult& final_campaign,
+               const std::vector<Measurement>& rows, unsigned hardware,
                std::uint64_t seed, bool deterministic) {
-  obs::RunReport report("parallel_speedup",
-                        "serial vs parallel wall times: monte_carlo + "
-                        "joint_optimum");
+  obs::RunReport report = final_campaign.report(
+      "parallel_speedup",
+      "serial vs parallel wall times: monte_carlo + joint_optimum");
   report.set_seed(seed);
   report.config()["hardware_threads"] = hardware;
 
@@ -73,7 +85,7 @@ void emit_json(const std::vector<Measurement>& rows, unsigned hardware,
   zc::obs::MetricSet runtime;
   zc::exec::ThreadPool::shared().export_metrics(runtime);
   report.set_runtime(runtime);
-  report.capture_registry();
+  report.set_timers(obs::Registry::global().timers_snapshot());
   bench::emit_report(report, "BENCH_parallel.json");
 }
 
@@ -86,92 +98,73 @@ int main() {
 
   const unsigned hardware = exec::hardware_threads();
   std::vector<unsigned> thread_counts{1, 2, hardware};
-  if (hardware == 2) thread_counts = {1, 2};
-  if (hardware == 1) thread_counts = {1, 2};  // 2 still exercises the pool
+  if (hardware <= 2) thread_counts = {1, 2};  // 2 still exercises the pool
 
   std::cout << "hardware threads: " << hardware << "\n\n";
 
+  // The two workloads, declared once and re-run at every thread count.
+  constexpr std::uint64_t kSeed = 2026;
+  const core::ScenarioParams mc_scenario(
+      /*q=*/1000.0 / 65024.0, /*probe_cost=*/2.0, /*error_cost=*/1e35,
+      prob::paper_reply_delay(0.1, 10.0, 0.05));
+  const engine::ExperimentSpec mc_spec =
+      engine::SpecBuilder("monte_carlo_6000_trials", mc_scenario)
+          .protocol({4, 0.25})
+          .estimator(engine::Estimator::monte_carlo)
+          .network(/*address_space=*/65024, /*hosts=*/1000)
+          .trials(6000)
+          .seed(kSeed)
+          .build();
+  const engine::ExperimentSpec opt_spec =
+      engine::SpecBuilder("joint_optimum_n16", core::scenarios::figure2())
+          .optimize(16)
+          .build();
+
   std::vector<Measurement> rows;
   bool deterministic = true;
+  engine::CampaignResult final_campaign;
 
-  // --- Monte Carlo -------------------------------------------------------
-  sim::NetworkConfig network;
-  network.address_space = 65024;
-  network.hosts = 1000;
-  network.responder_delay =
-      std::shared_ptr<const prob::DelayDistribution>(
-          prob::paper_reply_delay(0.1, 10.0, 0.05));
-  sim::ZeroconfConfig protocol;
-  protocol.n = 4;
-  protocol.r = 0.25;
-  sim::MonteCarloOptions mc;
-  mc.trials = 6000;
-  mc.seed = 2026;
-
-  sim::MonteCarloResults reference;
-  obs::ScopedTimer mc_phase("monte_carlo_phase");
-  for (unsigned threads : thread_counts) {
-    mc.threads = threads;
-    sim::MonteCarloResults last;
-    const double ms = timed_median_ms(
-        [&] { last = sim::monte_carlo(network, protocol, mc); });
-    if (threads == thread_counts.front()) {
-      reference = last;
-    } else {
-      deterministic &= last.collisions == reference.collisions &&
-                       last.model_cost.mean == reference.model_cost.mean &&
-                       last.probes.stddev == reference.probes.stddev;
+  for (const engine::ExperimentSpec& spec : {mc_spec, opt_spec}) {
+    const obs::ScopedTimer phase_timer(spec.name + "_phase");
+    const std::size_t first_row = rows.size();
+    std::string reference;
+    for (unsigned threads : thread_counts) {
+      engine::CampaignOptions opts;
+      opts.threads = threads;
+      engine::CampaignRunner runner(opts);
+      engine::CampaignResult campaign;
+      const double ms =
+          timed_median_ms([&] { campaign = runner.run({spec}); });
+      const std::string bytes = campaign_bytes(campaign);
+      if (threads == thread_counts.front()) {
+        reference = bytes;
+      } else {
+        deterministic &= bytes == reference;
+      }
+      Measurement m;
+      m.name = spec.name;
+      m.threads = threads;
+      m.wall_ms = ms;
+      m.speedup_vs_serial =
+          rows.size() == first_row ? 1.0 : rows[first_row].wall_ms / ms;
+      rows.push_back(m);
+      std::cout << spec.name << " threads=" << threads << "  "
+                << zc::format_sig(ms, 4) << " ms  (x"
+                << zc::format_sig(m.speedup_vs_serial, 3) << ")\n";
+      if (threads == thread_counts.back()) {
+        final_campaign.experiments.push_back(
+            std::move(campaign.experiments.front()));
+        final_campaign.metrics.merge(campaign.metrics);
+      }
     }
-    Measurement m;
-    m.name = "monte_carlo_6000_trials";
-    m.threads = threads;
-    m.wall_ms = ms;
-    m.speedup_vs_serial = rows.empty() ? 1.0 : rows.front().wall_ms / ms;
-    rows.push_back(m);
-    std::cout << "monte_carlo   threads=" << threads << "  "
-              << zc::format_sig(ms, 4) << " ms  (x"
-              << zc::format_sig(m.speedup_vs_serial, 3) << ")\n";
   }
 
-  mc_phase.stop();
-
-  // --- Joint optimum sweep ----------------------------------------------
-  const auto scenario = core::scenarios::figure2().to_params();
-  const std::size_t mc_rows = rows.size();
-  core::JointOptimum ref_opt;
-  obs::ScopedTimer opt_phase("joint_optimum_phase");
-  for (unsigned threads : thread_counts) {
-    core::ROptOptions opts;
-    opts.exec.threads = threads;
-    core::JointOptimum last;
-    const double ms = timed_median_ms(
-        [&] { last = core::joint_optimum(scenario, 16, opts); });
-    if (threads == thread_counts.front()) {
-      ref_opt = last;
-    } else {
-      deterministic &= last.n == ref_opt.n && last.r == ref_opt.r &&
-                       last.cost == ref_opt.cost;
-    }
-    Measurement m;
-    m.name = "joint_optimum_n16";
-    m.threads = threads;
-    m.wall_ms = ms;
-    m.speedup_vs_serial =
-        rows.size() == mc_rows ? 1.0 : rows[mc_rows].wall_ms / ms;
-    rows.push_back(m);
-    std::cout << "joint_optimum threads=" << threads << "  "
-              << zc::format_sig(ms, 4) << " ms  (x"
-              << zc::format_sig(m.speedup_vs_serial, 3) << ")\n";
-  }
-
-  opt_phase.stop();
-
-  emit_json(rows, hardware, mc.seed, deterministic);
+  emit_json(final_campaign, rows, hardware, kSeed, deterministic);
 
   analysis::PaperCheck check("PERF-PARALLEL");
   check.expect_true("bitwise-deterministic",
-                    "every thread count reproduced the serial results "
-                    "bitwise",
+                    "every thread count reproduced the serial campaign "
+                    "bytes (cells, optima, and metric sets)",
                     deterministic);
   check.expect_true("timings-positive", "all wall times are positive",
                     [&] {

@@ -2,26 +2,25 @@
 /// adversarial network conditions: each fault scenario re-estimates the
 /// collision rate and mean cost at (n=4, r=2) and (n=2, r=1.75) and
 /// reports the degradation factor against the clean-channel analytic
-/// C(n, r) and E(n, r). Runaway scenarios (fully-occupied address space)
-/// terminate through the safety caps with an explicit aborted rate
-/// instead of hanging. Emits BENCH_robustness.json; verifies along the
-/// way that the Monte-Carlo estimates stay bitwise-identical across
-/// thread counts with every fault class active.
+/// C(n, r) and E(n, r). The whole sweep is one engine campaign — an
+/// analytic denominator spec plus one Monte-Carlo spec per fault
+/// scenario. Runaway scenarios (fully-occupied address space) terminate
+/// through the safety caps with an explicit aborted rate instead of
+/// hanging. Emits BENCH_robustness.json; verifies along the way that the
+/// fault-injected campaign stays bitwise-identical across thread counts.
 
 #include <cmath>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/expectation.hpp"
 #include "bench_util.hpp"
 #include "common/strings.hpp"
-#include "core/cost.hpp"
-#include "core/params.hpp"
-#include "core/reliability.hpp"
-#include "faults/schedule.hpp"
+#include "engine/campaign.hpp"
 #include "obs/timer.hpp"
-#include "sim/monte_carlo.hpp"
+#include "prob/delay.hpp"
 
 namespace {
 
@@ -39,47 +38,40 @@ constexpr double kRoundTrip = 0.1;
 constexpr double kProbeCost = 2.0;
 constexpr double kErrorCost = 1000.0;
 constexpr std::size_t kTrials = 6000;
+constexpr std::uint64_t kSeed = 20260806;
 
-sim::NetworkConfig base_network() {
-  sim::NetworkConfig config;
-  config.address_space = 100;
-  config.hosts = 30;
-  config.responder_delay =
-      std::shared_ptr<const prob::DelayDistribution>(
-          prob::paper_reply_delay(kLoss, kLambda, kRoundTrip));
-  // Guard rails: no scenario below may hang, whatever its faults do.
-  config.max_virtual_time = 1e4;
-  return config;
-}
+// The paper's headline operating points: the draft's (n=4, r=2) and the
+// cheap-and-safe region's (n=2, r~1.75) (Sec. 6).
+const std::vector<core::ProtocolParams> kOptima{{4, 2.0}, {2, 1.75}};
 
-core::ScenarioParams analytic_scenario() {
-  return core::ScenarioParams(
-      kQ, kProbeCost, kErrorCost,
+std::shared_ptr<const prob::DelayDistribution> stressed_reply() {
+  return std::shared_ptr<const prob::DelayDistribution>(
       prob::paper_reply_delay(kLoss, kLambda, kRoundTrip));
 }
 
 struct Scenario {
   std::string name;
   std::string note;
-  sim::NetworkConfig network;
+  faults::FaultSchedule faults;
+  unsigned hosts = 30;
+  std::shared_ptr<const prob::DelayDistribution> reply = stressed_reply();
 };
 
 std::vector<Scenario> scenarios() {
   std::vector<Scenario> out;
-  out.push_back({"baseline", "clean channel (degradation ~ 1)",
-                 base_network()});
+  out.push_back({"baseline", "clean channel (degradation ~ 1)", {}});
 
   Scenario bursty{"bursty_loss",
                   "Gilbert-Elliott bursts: 90% loss, mean burst 4 pkts",
-                  base_network()};
-  bursty.network.faults.gilbert_elliott.p_enter_burst = 0.05;
-  bursty.network.faults.gilbert_elliott.p_exit_burst = 0.25;
-  bursty.network.faults.gilbert_elliott.loss_bad = 0.9;
+                  {}};
+  bursty.faults.gilbert_elliott.p_enter_burst = 0.05;
+  bursty.faults.gilbert_elliott.p_exit_burst = 0.25;
+  bursty.faults.gilbert_elliott.loss_bad = 0.9;
   out.push_back(bursty);
 
-  Scenario flap{"link_flap", "1 s blackout every 5 s", base_network()};
-  flap.network.faults.blackout.windows.duration = 1.0;
-  flap.network.faults.blackout.windows.period = 5.0;
+  Scenario flap{"link_flap", "1 s blackout every 5 s", {}};
+  flap.faults.blackout.windows.duration = 1.0;
+  flap.faults.blackout.windows.period = 5.0;
   out.push_back(flap);
 
   // The extra delay must exceed r for the spike to matter: the listening
@@ -87,28 +79,28 @@ std::vector<Scenario> scenarios() {
   // leaves these results bitwise equal to baseline).
   Scenario spike{"delay_spike",
                  "+2.5 s transit delay for 1 s out of every 4 s",
-                 base_network()};
-  spike.network.faults.delay_spike.windows.duration = 1.0;
-  spike.network.faults.delay_spike.windows.period = 4.0;
-  spike.network.faults.delay_spike.multiplier = 2.0;
-  spike.network.faults.delay_spike.extra = 2.5;
+                 {}};
+  spike.faults.delay_spike.windows.duration = 1.0;
+  spike.faults.delay_spike.windows.period = 4.0;
+  spike.faults.delay_spike.multiplier = 2.0;
+  spike.faults.delay_spike.extra = 2.5;
   out.push_back(spike);
 
   Scenario dup{"dup_reorder",
                "15% duplication, 30% reordering jitter up to 0.5 s",
-               base_network()};
-  dup.network.faults.duplication.probability = 0.15;
-  dup.network.faults.duplication.copies = 2;
-  dup.network.faults.reordering.probability = 0.3;
-  dup.network.faults.reordering.max_jitter = 0.5;
+               {}};
+  dup.faults.duplication.probability = 0.15;
+  dup.faults.duplication.copies = 2;
+  dup.faults.reordering.probability = 0.3;
+  dup.faults.reordering.max_jitter = 0.5;
   out.push_back(dup);
 
   Scenario churn{"host_churn",
                  "half the responders deaf 2 s out of every 4 s",
-                 base_network()};
-  churn.network.faults.host_churn.deaf_fraction = 0.5;
-  churn.network.faults.host_churn.period = 4.0;
-  churn.network.faults.host_churn.deaf_duration = 2.0;
+                 {}};
+  churn.faults.host_churn.deaf_fraction = 0.5;
+  churn.faults.host_churn.period = 4.0;
+  churn.faults.host_churn.deaf_duration = 2.0;
   out.push_back(churn);
 
   // Reliable replies: every conflict is detected, so a run either finds
@@ -117,14 +109,31 @@ std::vector<Scenario> scenarios() {
   Scenario full{"full_occupancy",
                 "99 of 100 addresses taken, reliable replies; attempt cap "
                 "terminates runs",
-                base_network()};
-  full.network.hosts = 99;
-  full.network.responder_delay =
-      std::shared_ptr<const prob::DelayDistribution>(
-          prob::paper_reply_delay(1e-9, kLambda, kRoundTrip));
+                {}};
+  full.hosts = 99;
+  full.reply = std::shared_ptr<const prob::DelayDistribution>(
+      prob::paper_reply_delay(1e-9, kLambda, kRoundTrip));
   out.push_back(full);
 
   return out;
+}
+
+/// One Monte-Carlo spec per fault scenario: both optima on its grid,
+/// the guard rails (virtual-time budget + attempt cap) always armed.
+engine::ExperimentSpec scenario_spec(const Scenario& scenario) {
+  return engine::SpecBuilder(
+             scenario.name,
+             core::ScenarioParams(kQ, kProbeCost, kErrorCost, scenario.reply))
+      .protocol(kOptima[0])
+      .protocol(kOptima[1])
+      .estimator(engine::Estimator::monte_carlo)
+      .network(/*address_space=*/100, scenario.hosts)
+      .faults(scenario.faults)
+      .max_virtual_time(1e4)  // no scenario may hang, whatever its faults do
+      .safety_caps(/*max_attempts=*/64)  // runaway safeguard under test
+      .trials(kTrials)
+      .seed(kSeed)
+      .build();
 }
 
 struct Cell {
@@ -144,12 +153,13 @@ struct Row {
   std::vector<Cell> cells;
 };
 
-void emit_json(const std::vector<Row>& rows, std::uint64_t seed,
-               bool deterministic) {
-  obs::RunReport report("robustness_sweep",
-                        "collision rate & mean cost at the paper's optima "
-                        "under adversarial network conditions");
-  report.set_seed(seed);
+void emit_json(const engine::CampaignResult& campaign,
+               const std::vector<Row>& rows, bool deterministic) {
+  obs::RunReport report = campaign.report(
+      "robustness_sweep",
+      "collision rate & mean cost at the paper's optima under adversarial "
+      "network conditions");
+  report.set_seed(kSeed);
   report.config()["trials_per_cell"] = kTrials;
   report.config()["q"] = kQ;
   report.config()["reply_loss"] = kLoss;
@@ -160,7 +170,7 @@ void emit_json(const std::vector<Row>& rows, std::uint64_t seed,
   for (const Row& row : rows) {
     obs::JsonValue entry = obs::JsonValue::object();
     entry["name"] = row.scenario.name;
-    entry["faults"] = row.scenario.network.faults.summary();
+    entry["faults"] = row.scenario.faults.summary();
     entry["note"] = row.scenario.note;
     obs::JsonValue optima = obs::JsonValue::array();
     for (const Cell& c : row.cells) {
@@ -181,10 +191,7 @@ void emit_json(const std::vector<Row>& rows, std::uint64_t seed,
   }
   report.data()["bitwise_deterministic"] = deterministic;
   report.data()["scenarios"] = std::move(scenarios);
-
-  // The campaign metrics every monte_carlo call published (per-cause
-  // delivery counters, trial tallies) plus the scenario timer tree.
-  report.capture_registry();
+  report.set_timers(obs::Registry::global().timers_snapshot());
   bench::emit_report(report, "BENCH_robustness.json");
 }
 
@@ -195,42 +202,49 @@ int main() {
                 "collision rate & mean cost at the paper's optima under "
                 "adversarial network conditions");
 
-  // The paper's headline operating points: the draft's (n=4, r=2) and the
-  // cheap-and-safe region's (n=2, r~1.75) (Sec. 6).
-  const std::vector<core::ProtocolParams> optima{{4, 2.0}, {2, 1.75}};
-  const auto analytic = analytic_scenario();
+  // The whole sweep as one campaign: the clean-channel analytic
+  // denominator first, then one Monte-Carlo spec per fault scenario.
+  const std::vector<Scenario> fault_scenarios = scenarios();
+  std::vector<engine::ExperimentSpec> specs;
+  specs.push_back(
+      engine::SpecBuilder("analytic_reference",
+                          core::ScenarioParams(kQ, kProbeCost, kErrorCost,
+                                               stressed_reply()))
+          .protocol(kOptima[0])
+          .protocol(kOptima[1])
+          .build());
+  for (const Scenario& scenario : fault_scenarios)
+    specs.push_back(scenario_spec(scenario));
 
-  constexpr std::uint64_t kSeed = 20260806;
+  engine::CampaignRunner runner;
+  engine::CampaignResult campaign;
+  {
+    const obs::ScopedTimer sweep_timer("robustness_campaign");
+    campaign = runner.run(specs);
+  }
+  const std::vector<engine::CellResult>& analytic =
+      campaign.experiments[0].cells;
+
   std::vector<Row> rows;
   bool all_terminated = true;
-  for (const Scenario& scenario : scenarios()) {
-    const obs::ScopedTimer scenario_timer("scenario." + scenario.name);
-    Row row{scenario, {}};
-    std::cout << "\n--- " << scenario.name << ": " << scenario.note
-              << "  [faults: " << scenario.network.faults.summary()
-              << "]\n";
-    for (const auto& optimum : optima) {
-      sim::ZeroconfConfig protocol;
-      protocol.n = optimum.n;
-      protocol.r = optimum.r;
-      protocol.max_attempts = 64;  // runaway safeguard under test
-      sim::MonteCarloOptions opts;
-      opts.trials = kTrials;
-      opts.seed = kSeed;
-      opts.probe_cost = kProbeCost;
-      opts.error_cost = kErrorCost;
-      const auto mc = sim::monte_carlo(scenario.network, protocol, opts);
+  for (std::size_t s = 0; s < fault_scenarios.size(); ++s) {
+    const engine::ExperimentResult& experiment = campaign.experiments[s + 1];
+    Row row{fault_scenarios[s], {}};
+    std::cout << "\n--- " << row.scenario.name << ": " << row.scenario.note
+              << "  [faults: " << row.scenario.faults.summary() << "]\n";
+    for (std::size_t i = 0; i < experiment.cells.size(); ++i) {
+      const engine::CellResult& mc = experiment.cells[i];
       all_terminated &= (mc.completed + mc.aborted == mc.trials) &&
                         mc.non_finite == 0;
 
       Cell cell;
-      cell.n = optimum.n;
-      cell.r = optimum.r;
-      cell.collision_rate = mc.collision_rate;
-      cell.mean_cost = mc.model_cost.mean;
+      cell.n = mc.protocol.n;
+      cell.r = mc.protocol.r;
+      cell.collision_rate = mc.error_probability;
+      cell.mean_cost = mc.mean_cost;
       cell.aborted_rate = mc.aborted_rate;
-      cell.analytic_collision = core::error_probability(analytic, optimum);
-      cell.analytic_cost = core::mean_cost(analytic, optimum);
+      cell.analytic_collision = analytic[i].error_probability;
+      cell.analytic_cost = analytic[i].mean_cost;
       cell.collision_degradation =
           cell.collision_rate / cell.analytic_collision;
       cell.cost_degradation = cell.mean_cost / cell.analytic_cost;
@@ -249,45 +263,49 @@ int main() {
     rows.push_back(row);
   }
 
-  // Determinism spot-check: the heaviest fault mix, serial vs 2 threads.
+  // Determinism spot-check: the heaviest fault mix, serial vs 2 threads,
+  // compared on the serialized campaign (cells + metric sets), not just
+  // headline numbers.
   bool deterministic = true;
   {
     const obs::ScopedTimer determinism_timer("determinism_check");
-    sim::NetworkConfig net = base_network();
-    net.faults.gilbert_elliott.p_enter_burst = 0.05;
-    net.faults.gilbert_elliott.p_exit_burst = 0.25;
-    net.faults.gilbert_elliott.loss_bad = 0.9;
-    net.faults.duplication.probability = 0.15;
-    net.faults.reordering.probability = 0.3;
-    net.faults.reordering.max_jitter = 0.5;
-    net.faults.host_churn.deaf_fraction = 0.5;
-    net.faults.host_churn.period = 4.0;
-    net.faults.host_churn.deaf_duration = 2.0;
-    sim::ZeroconfConfig protocol;
-    protocol.n = 4;
-    protocol.r = 2.0;
-    protocol.max_attempts = 64;
-    sim::MonteCarloOptions opts;
-    opts.trials = 2000;
-    opts.seed = 7;
-    opts.threads = 1;
-    const auto serial = sim::monte_carlo(net, protocol, opts);
-    opts.threads = 2;
-    const auto parallel = sim::monte_carlo(net, protocol, opts);
-    deterministic = serial.collisions == parallel.collisions &&
-                    serial.aborted == parallel.aborted &&
-                    serial.model_cost.mean == parallel.model_cost.mean &&
-                    serial.probes.stddev == parallel.probes.stddev &&
-                    // The semantic metric sets (per-cause delivery counts,
-                    // trial tallies, histograms) must serialize to the
-                    // same bytes, not just agree on headline numbers.
-                    obs::metrics_to_json(serial.metrics).dump() ==
-                        obs::metrics_to_json(parallel.metrics).dump();
-    std::cout << "\nfault-injected monte_carlo threads 1 vs 2: "
+    faults::FaultSchedule heavy;
+    heavy.gilbert_elliott.p_enter_burst = 0.05;
+    heavy.gilbert_elliott.p_exit_burst = 0.25;
+    heavy.gilbert_elliott.loss_bad = 0.9;
+    heavy.duplication.probability = 0.15;
+    heavy.reordering.probability = 0.3;
+    heavy.reordering.max_jitter = 0.5;
+    heavy.host_churn.deaf_fraction = 0.5;
+    heavy.host_churn.period = 4.0;
+    heavy.host_churn.deaf_duration = 2.0;
+    const engine::ExperimentSpec heavy_spec =
+        engine::SpecBuilder("heavy_faults",
+                            core::ScenarioParams(kQ, kProbeCost, kErrorCost,
+                                                 stressed_reply()))
+            .protocol({4, 2.0})
+            .estimator(engine::Estimator::monte_carlo)
+            .network(/*address_space=*/100, /*hosts=*/30)
+            .faults(heavy)
+            .max_virtual_time(1e4)
+            .safety_caps(64)
+            .trials(2000)
+            .seed(7)
+            .build();
+    const auto run_at = [&](unsigned threads) {
+      engine::CampaignOptions opts;
+      opts.threads = threads;
+      engine::CampaignRunner check_runner(opts);
+      const engine::CampaignResult result = check_runner.run({heavy_spec});
+      return result.to_json().dump() +
+             obs::metrics_to_json(result.metrics).dump();
+    };
+    deterministic = run_at(1) == run_at(2);
+    std::cout << "\nfault-injected campaign threads 1 vs 2: "
               << (deterministic ? "bitwise identical" : "MISMATCH") << "\n";
   }
 
-  emit_json(rows, kSeed, deterministic);
+  emit_json(campaign, rows, deterministic);
 
   const Row& baseline = rows.front();
   const Row& full = rows.back();
@@ -326,7 +344,7 @@ int main() {
         return true;
       }());
   check.expect_true("bitwise-deterministic",
-                    "fault-injected monte_carlo agrees bitwise across "
+                    "the fault-injected campaign agrees bitwise across "
                     "thread counts",
                     deterministic);
   return bench::finish(check);

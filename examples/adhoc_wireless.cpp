@@ -3,31 +3,34 @@
 /// sensitivity analysis: how strongly do the mean cost and the collision
 /// probability react to each network parameter, and how does the optimal
 /// configuration move as the radio degrades?
+///
+/// The degradation sweep is a campaign of optimize specs, one per loss
+/// scaling factor.
 
 #include <iostream>
 
 #include "analysis/table.hpp"
 #include "common/strings.hpp"
-#include "core/optimize.hpp"
 #include "core/scenarios.hpp"
 #include "core/sensitivity.hpp"
+#include "engine/campaign.hpp"
 
 int main() {
-  using namespace zc::core;
+  using namespace zc;
 
   std::cout << "Ad-hoc wireless: sensitivity of the zeroconf model\n"
             << "--------------------------------------------------\n\n";
 
   // Pessimistic wireless network (the paper's Sec. 4.5 r=2 setting).
-  const ExponentialScenario wireless = scenarios::sec45_r2();
-  const ProtocolParams draft = scenarios::draft_unreliable();
+  const core::ExponentialScenario wireless = core::scenarios::sec45_r2();
+  const core::ProtocolParams draft = core::scenarios::draft_unreliable();
 
   // 1. Local elasticities at the draft operating point: % change of the
   //    output per % change of the parameter.
   std::cout << "elasticities at (n=4, r=2):\n";
   zc::analysis::Table elastic({"parameter", "d(cost)%/d(param)%",
                                "d(P(col))%/d(param)%"});
-  for (const Elasticity& e : sensitivities(wireless, draft)) {
+  for (const core::Elasticity& e : core::sensitivities(wireless, draft)) {
     elastic.add_row({e.parameter, zc::format_sig(e.cost_elasticity, 4),
                      zc::format_sig(e.error_elasticity, 4)});
   }
@@ -36,17 +39,30 @@ int main() {
                "drive reliability.\n The error probability is independent "
                "of the cost weights c and E.)\n\n";
 
-  // 2. Optimum shift as the radio's loss rate degrades by factors of 10.
+  // 2. Optimum shift as the radio's loss rate degrades by factors of 10:
+  //    one optimize spec per degraded scenario, run as a single campaign.
   std::cout << "optimal configuration vs radio quality (loss scaling):\n";
+  const std::vector<double> factors{0.01, 0.1, 1.0, 10.0, 100.0};
+  std::vector<engine::ExperimentSpec> specs;
+  for (const double factor : factors) {
+    core::ExponentialScenario degraded = wireless;
+    degraded.loss = wireless.loss * factor;
+    specs.push_back(
+        engine::SpecBuilder("loss x" + zc::format_sig(factor, 3), degraded)
+            .optimize()
+            .build());
+  }
+  engine::CampaignRunner runner;
+  const engine::CampaignResult campaign = runner.run(specs);
+
   zc::analysis::Table shifts_table(
       {"loss factor", "effective loss", "opt n", "opt r [s]", "opt cost"});
-  const auto shifts =
-      optimum_shifts(wireless, "loss", {0.01, 0.1, 1.0, 10.0, 100.0});
-  for (const OptimumShift& s : shifts) {
-    shifts_table.add_row({zc::format_sig(s.factor, 3),
-                          zc::format_sig(wireless.loss * s.factor, 3),
-                          std::to_string(s.n), zc::format_sig(s.r, 4),
-                          zc::format_sig(s.cost, 5)});
+  for (std::size_t i = 0; i < factors.size(); ++i) {
+    const core::JointOptimum& opt = *campaign.experiments[i].optimum;
+    shifts_table.add_row({zc::format_sig(factors[i], 3),
+                          zc::format_sig(wireless.loss * factors[i], 3),
+                          std::to_string(opt.n), zc::format_sig(opt.r, 4),
+                          zc::format_sig(opt.cost, 5)});
   }
   shifts_table.print(std::cout);
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/strings.hpp"
+#include "engine/campaign.hpp"
 #include "faults/injector.hpp"
 #include "prob/delay.hpp"
 #include "sim/monte_carlo.hpp"
@@ -60,38 +61,42 @@ int main() {
   }
 
   // 2. Monte-Carlo: the clean-channel optimum (n=4, r=2) re-measured
-  //    under a bursty Gilbert-Elliott channel plus responder churn.
+  //    under a bursty Gilbert-Elliott channel plus responder churn — a
+  //    two-spec campaign differing only in the fault schedule.
   std::cout << "2. (n=4, r=2) on a clean vs adversarial channel:\n";
-  sim::NetworkConfig segment;
-  segment.address_space = 100;
-  segment.hosts = 30;
-  segment.responder_delay =
-      std::shared_ptr<const prob::DelayDistribution>(
-          prob::paper_reply_delay(0.4, 20.0, 0.1));
+  const core::ScenarioParams scenario(
+      /*q=*/0.3, /*probe_cost=*/2.0, /*error_cost=*/1000.0,
+      prob::paper_reply_delay(0.4, 20.0, 0.1));
 
-  sim::NetworkConfig adversarial = segment;
-  adversarial.faults.gilbert_elliott.p_enter_burst = 0.05;
-  adversarial.faults.gilbert_elliott.p_exit_burst = 0.25;
-  adversarial.faults.gilbert_elliott.loss_bad = 0.9;
-  adversarial.faults.host_churn.deaf_fraction = 0.5;
-  adversarial.faults.host_churn.period = 4.0;
-  adversarial.faults.host_churn.deaf_duration = 2.0;
+  faults::FaultSchedule adversarial;
+  adversarial.gilbert_elliott.p_enter_burst = 0.05;
+  adversarial.gilbert_elliott.p_exit_burst = 0.25;
+  adversarial.gilbert_elliott.loss_bad = 0.9;
+  adversarial.host_churn.deaf_fraction = 0.5;
+  adversarial.host_churn.period = 4.0;
+  adversarial.host_churn.deaf_duration = 2.0;
 
-  sim::ZeroconfConfig protocol;
-  protocol.n = 4;
-  protocol.r = 2.0;
-  sim::MonteCarloOptions opts;
-  opts.trials = 4000;
-  opts.seed = 42;
-  opts.probe_cost = 2.0;
-  opts.error_cost = 1000.0;
-  for (const auto* label : {"clean", "adversarial"}) {
-    const auto& net = label == std::string("clean") ? segment : adversarial;
-    const auto mc = sim::monte_carlo(net, protocol, opts);
-    std::cout << "  " << label << ": collision rate "
-              << zc::format_sig(mc.collision_rate, 3) << ", mean cost "
-              << zc::format_sig(mc.model_cost.mean, 4) << ", mean probes "
-              << zc::format_sig(mc.probes.mean, 3) << "\n";
+  const auto mc_spec = [&](const char* name,
+                           const faults::FaultSchedule& schedule) {
+    return engine::SpecBuilder(name, scenario)
+        .protocol({4, 2.0})
+        .estimator(engine::Estimator::monte_carlo)
+        .network(/*address_space=*/100, /*hosts=*/30)
+        .faults(schedule)
+        .trials(4000)
+        .seed(42)
+        .build();
+  };
+  engine::CampaignRunner runner;
+  const engine::CampaignResult channels = runner.run(
+      {mc_spec("clean", faults::FaultSchedule{}),
+       mc_spec("adversarial", adversarial)});
+  for (const engine::ExperimentResult& experiment : channels.experiments) {
+    const engine::CellResult& cell = experiment.cells[0];
+    std::cout << "  " << experiment.name << ": collision rate "
+              << zc::format_sig(cell.error_probability, 3) << ", mean cost "
+              << zc::format_sig(cell.mean_cost, 4) << ", mean probes "
+              << zc::format_sig(cell.mean_probes, 3) << "\n";
   }
 
   // 3. Safeguards: a fully-occupied space would loop forever; the attempt

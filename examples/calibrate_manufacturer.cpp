@@ -7,10 +7,8 @@
 #include <iostream>
 
 #include "common/strings.hpp"
-#include "core/calibrate.hpp"
-#include "core/cost.hpp"
-#include "core/optimize.hpp"
-#include "core/reliability.hpp"
+#include "engine/campaign.hpp"
+#include "example_util.hpp"
 #include "prob/empirical.hpp"
 #include "prob/fit.hpp"
 #include "prob/families.hpp"
@@ -61,37 +59,31 @@ int main() {
       core::ScenarioParams::q_from_hosts(500), /*probe_cost=*/1.0,
       /*error_cost=*/1.0, fitted);
   const core::ProtocolParams target{4, 0.25};
-  const auto calibration = core::calibrate(scenario, target);
-  if (!calibration.has_value()) {
+  engine::CampaignRunner runner;
+  const engine::ExperimentResult calibrated =
+      runner.run_one(engine::SpecBuilder("requirement", scenario)
+                         .calibrate(target)
+                         .build());
+  if (!calibrated.calibration.has_value()) {
     std::cout << "calibration found no (E, c) making the target optimal -\n"
                  "the requirement is inconsistent with the measured "
                  "network.\n";
     return 1;
   }
-  std::cout << "calibrated weights making (n=4, r=0.25 s) optimal:\n"
-            << "  collision cost E : "
-            << zc::format_sig(calibration->error_cost, 4) << '\n'
-            << "  probe postage  c : "
-            << zc::format_sig(calibration->probe_cost, 4) << '\n'
-            << "  ties against n = " << calibration->competitor << '\n'
-            << "  verified joint-optimal: "
-            << (calibration->target_is_optimal ? "yes" : "no") << "\n\n";
+  const core::Calibration& calibration = *calibrated.calibration;
+  std::cout << "calibrated weights making (n=4, r=0.25 s) optimal:\n";
+  examples::print_calibration(std::cout, calibration);
 
-  // 4. Ship-readiness report at the calibrated weights.
-  const auto shipped = scenario.with_error_cost(calibration->error_cost)
-                           .with_probe_cost(calibration->probe_cost);
-  std::cout << "shipped configuration report:\n"
-            << "  mean cost            : "
-            << zc::format_sig(core::mean_cost(shipped, target), 5) << '\n'
-            << "  mean waiting         : "
-            << zc::format_sig(core::mean_waiting_time(shipped, target), 4)
-            << " s\n"
-            << "  collision probability: "
-            << zc::format_sig(core::error_probability(shipped, target), 3)
-            << '\n'
-            << "  mean address attempts: "
-            << zc::format_sig(core::mean_address_attempts(shipped, target),
-                              5)
-            << '\n';
+  // 4. Ship-readiness report at the calibrated weights: evaluate the
+  //    target under the calibrated scenario, detail measures on.
+  const engine::ExperimentResult shipped = runner.run_one(
+      engine::SpecBuilder("shipped",
+                          scenario.with_error_cost(calibration.error_cost)
+                              .with_probe_cost(calibration.probe_cost))
+          .protocol(target)
+          .detailed()
+          .build());
+  std::cout << "\nshipped ";
+  examples::print_cell(std::cout, shipped.cells[0]);
   return 0;
 }

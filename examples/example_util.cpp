@@ -1,0 +1,120 @@
+#include "example_util.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace zc::examples {
+
+void print_cell(std::ostream& os, const engine::CellResult& cell) {
+  os << "configuration n = " << cell.protocol.n << ", r = "
+     << zc::format_sig(cell.protocol.r, 5) << " s\n"
+     << "  mean total cost      : " << zc::format_sig(cell.mean_cost, 6)
+     << '\n';
+  if (cell.has_detail) {
+    os << "  cost std deviation   : " << zc::format_sig(cell.cost_stddev, 5)
+       << '\n';
+  }
+  os << "  collision probability: "
+     << zc::format_sig(cell.error_probability, 4) << '\n';
+  if (cell.has_detail) {
+    os << "  mean waiting time    : "
+       << zc::format_sig(cell.mean_waiting_time, 5) << " s\n"
+       << "  mean address attempts: " << zc::format_sig(cell.mean_attempts, 6)
+       << '\n';
+  }
+}
+
+void print_simulation_cell(std::ostream& os, const engine::CellResult& cell) {
+  os << "Monte-Carlo over " << cell.trials << " runs (n = "
+     << cell.protocol.n << ", r = " << zc::format_sig(cell.protocol.r, 4)
+     << "):\n"
+     << "  mean cost        : " << zc::format_sig(cell.mean_cost)
+     << " +/- " << zc::format_sig(cell.cost_ci95, 3) << '\n'
+     << "  mean probes      : " << zc::format_sig(cell.mean_probes, 4) << '\n'
+     << "  collision rate   : " << zc::format_sig(cell.error_probability, 3)
+     << "  (95% CI [" << zc::format_sig(cell.collision_ci_lower, 3) << ", "
+     << zc::format_sig(cell.collision_ci_upper, 3) << "])\n";
+  if (cell.aborted > 0) {
+    os << "  aborted runs     : " << cell.aborted << " of " << cell.trials
+       << " (" << zc::format_sig(cell.aborted_rate, 3) << ")\n";
+  }
+}
+
+void print_optimum(std::ostream& os, const core::JointOptimum& optimum) {
+  os << "cost-optimal configuration:\n"
+     << "  n = " << optimum.n << ", r = " << zc::format_sig(optimum.r, 4)
+     << " s\n"
+     << "  mean total cost      : " << zc::format_sig(optimum.cost) << '\n'
+     << "  collision probability: " << zc::format_sig(optimum.error_prob)
+     << '\n';
+}
+
+void print_calibration(std::ostream& os,
+                       const core::Calibration& calibration) {
+  os << "  collision cost E : " << zc::format_sig(calibration.error_cost, 5)
+     << '\n'
+     << "  probe postage  c : " << zc::format_sig(calibration.probe_cost, 5)
+     << '\n'
+     << "  ties against n = " << calibration.competitor << '\n'
+     << "  verified joint-optimal: "
+     << (calibration.target_is_optimal ? "yes" : "no") << '\n';
+}
+
+obs::JsonValue cell_to_config_json(const engine::CellResult& cell) {
+  obs::JsonValue out = obs::JsonValue::object();
+  out["n"] = cell.protocol.n;
+  out["r"] = cell.protocol.r;
+  out["mean_cost"] = cell.mean_cost;
+  out["cost_stddev"] = cell.cost_stddev;
+  out["collision_probability"] = cell.error_probability;
+  out["mean_waiting_time"] = cell.mean_waiting_time;
+  out["mean_attempts"] = cell.mean_attempts;
+  return out;
+}
+
+namespace {
+
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> items;
+  std::istringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) items.push_back(item);
+  return items;
+}
+
+}  // namespace
+
+std::optional<std::vector<unsigned>> parse_unsigned_list(
+    const std::string& text) {
+  std::vector<unsigned> out;
+  for (const std::string& item : split_commas(text)) {
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(item.c_str(), &end, 10);
+    if (item.empty() || end == nullptr || *end != '\0' || value == 0 ||
+        value > 1000000UL)
+      return std::nullopt;
+    out.push_back(static_cast<unsigned>(value));
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
+std::optional<std::vector<double>> parse_double_list(const std::string& text) {
+  std::vector<double> out;
+  for (const std::string& item : split_commas(text)) {
+    char* end = nullptr;
+    const double value = std::strtod(item.c_str(), &end);
+    if (item.empty() || end == nullptr || *end != '\0' ||
+        !std::isfinite(value))
+      return std::nullopt;
+    out.push_back(value);
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
+}  // namespace zc::examples

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file example_util.hpp
+/// Printing and parsing helpers shared by the example binaries and the
+/// zcopt CLI. Every example routes its runs through the experiment
+/// engine (engine::ExperimentSpec / engine::CampaignRunner); these
+/// helpers render the engine's results — evaluated cells, joint optima,
+/// calibrations — in the examples' house style, and parse the
+/// comma-separated grid lists the CLI's `campaign` subcommand accepts.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/calibrate.hpp"
+#include "core/optimize.hpp"
+#include "engine/campaign.hpp"
+#include "obs/json.hpp"
+
+namespace zc::examples {
+
+/// The evaluate-mode measures block:
+///
+///   configuration n = 4, r = 2 s
+///     mean total cost      : ...
+///     ...
+///
+/// Detail lines (stddev, waiting time, attempts) appear when the cell
+/// carries them (spec.detailed / Monte-Carlo estimator).
+void print_cell(std::ostream& os, const engine::CellResult& cell);
+
+/// The Monte-Carlo summary block: trials, mean cost with its CI, mean
+/// probes, and collision rate with its 95% CI. Expects
+/// `cell.from_simulation`.
+void print_simulation_cell(std::ostream& os, const engine::CellResult& cell);
+
+/// The optimize-mode block: "n = ..., r = ... s" plus cost and collision
+/// probability.
+void print_optimum(std::ostream& os, const core::JointOptimum& optimum);
+
+/// The calibrate-mode block: calibrated (E, c), the tying competitor,
+/// and the verification verdict.
+void print_calibration(std::ostream& os, const core::Calibration& calibration);
+
+/// A detailed cell as the zcopt run-report configuration object
+/// (n, r, mean_cost, cost_stddev, collision_probability,
+/// mean_waiting_time, mean_attempts).
+[[nodiscard]] obs::JsonValue cell_to_config_json(
+    const engine::CellResult& cell);
+
+/// Parse "1,2,8" into {1, 2, 8}. Empty input, empty items, or
+/// non-numeric items yield nullopt.
+[[nodiscard]] std::optional<std::vector<unsigned>> parse_unsigned_list(
+    const std::string& text);
+
+/// Parse "0.5,2,10" into {0.5, 2.0, 10.0}; rejects non-finite items.
+[[nodiscard]] std::optional<std::vector<double>> parse_double_list(
+    const std::string& text);
+
+}  // namespace zc::examples

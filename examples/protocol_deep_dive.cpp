@@ -11,6 +11,7 @@
 #include "core/distribution.hpp"
 #include "core/drm.hpp"
 #include "core/reliability.hpp"
+#include "engine/campaign.hpp"
 #include "markov/phase_type.hpp"
 #include "sim/host.hpp"
 #include "sim/zeroconf_host.hpp"
@@ -72,7 +73,30 @@ int main() {
   std::cout << "  P(collision) = "
             << zc::format_sig(dist.error_probability(), 5) << '\n';
 
-  std::cout << "\n5. Packet-level trace of one simulated run\n"
+  std::cout << "\n5. Closed forms vs the DRM, through the engine\n"
+            << "----------------------------------------------\n";
+  // The same configuration evaluated twice — once through Eq. (3)/(4)
+  // and once by solving the reward model numerically — as a two-spec
+  // campaign. The paper's claim is that they agree.
+  engine::CampaignRunner runner;
+  const engine::CampaignResult cross = runner.run(
+      {engine::SpecBuilder("closed-form", scenario)
+           .protocol(protocol)
+           .estimator(engine::Estimator::analytic)
+           .build(),
+       engine::SpecBuilder("reward-model", scenario)
+           .protocol(protocol)
+           .estimator(engine::Estimator::drm)
+           .build()});
+  analysis::Table agreement({"estimator", "mean cost", "P(collision)"});
+  for (const engine::ExperimentResult& experiment : cross.experiments) {
+    const engine::CellResult& cell = experiment.cells[0];
+    agreement.add_row({experiment.name, zc::format_sig(cell.mean_cost, 6),
+                       zc::format_sig(cell.error_probability, 6)});
+  }
+  agreement.print(std::cout);
+
+  std::cout << "\n6. Packet-level trace of one simulated run\n"
             << "------------------------------------------\n";
   sim::Simulator simulator;
   prob::Rng rng(7);

@@ -1,55 +1,53 @@
 /// Quickstart: evaluate the zeroconf cost model for one configuration.
 ///
-/// Builds the paper's demonstration scenario (Sec. 4.3), asks three
-/// questions about the draft's recommended configuration (n=4, r=2), and
-/// finds the cost-optimal configuration.
+/// Builds the paper's demonstration scenario (Sec. 4.3) and describes the
+/// whole experiment declaratively: one spec evaluates the draft's
+/// recommended configuration (n=4, r=2), a second finds the cost-optimal
+/// configuration. The engine runs both and hands back the numbers.
 
-#include <cmath>
 #include <iostream>
 
 #include "common/strings.hpp"
-#include "core/cost.hpp"
-#include "core/optimize.hpp"
-#include "core/reliability.hpp"
 #include "core/scenarios.hpp"
+#include "engine/campaign.hpp"
+#include "example_util.hpp"
 
 int main() {
-  using namespace zc::core;
+  using namespace zc;
 
   // 1. Describe the deployment. ExponentialScenario carries the paper's
   //    knobs: address-occupancy probability q, probe postage c, collision
   //    cost E, and the reply-delay distribution (loss, rate, round-trip).
-  ExponentialScenario deployment = scenarios::figure2();
-  const ScenarioParams scenario = deployment.to_params();
+  const core::ExponentialScenario deployment = core::scenarios::figure2();
+  const core::ProtocolParams draft =
+      core::scenarios::draft_unreliable();  // n=4, r=2
 
-  // 2. Evaluate the draft's recommended configuration.
-  const ProtocolParams draft = scenarios::draft_unreliable();  // n=4, r=2
-  std::cout << "draft configuration (n=4, r=2):\n"
-            << "  mean total cost     : "
-            << zc::format_sig(mean_cost(scenario, draft)) << '\n'
-            << "  collision probability: "
-            << zc::format_sig(error_probability(scenario, draft)) << '\n'
-            << "  mean waiting time    : "
-            << zc::format_sig(mean_waiting_time(scenario, draft)) << " s\n"
-            << "  cost std deviation   : "
-            << zc::format_sig(std::sqrt(cost_variance(scenario, draft)))
-            << '\n';
+  // 2. Declare the experiments: evaluate the draft's configuration with
+  //    the detail measures, and find the joint (n, r) optimum.
+  const std::vector<engine::ExperimentSpec> specs{
+      engine::SpecBuilder("draft", deployment)
+          .protocol(draft)
+          .detailed()
+          .build(),
+      engine::SpecBuilder("optimal", deployment).optimize().build(),
+  };
 
-  // 3. Optimize the designer-controlled parameters (n, r).
-  const JointOptimum best = joint_optimum(scenario);
-  std::cout << "\ncost-optimal configuration:\n"
-            << "  n = " << best.n << ", r = " << zc::format_sig(best.r, 4)
-            << " s\n"
-            << "  mean total cost     : " << zc::format_sig(best.cost)
-            << '\n'
-            << "  collision probability: "
-            << zc::format_sig(best.error_prob) << '\n';
+  // 3. Run the campaign.
+  engine::CampaignRunner runner;
+  const engine::CampaignResult campaign = runner.run(specs);
+  const engine::CellResult& draft_cell = campaign.experiments[0].cells[0];
+  const core::JointOptimum& best = *campaign.experiments[1].optimum;
+
+  std::cout << "draft ";
+  examples::print_cell(std::cout, draft_cell);
+  std::cout << '\n';
+  examples::print_optimum(std::cout, best);
 
   // 4. The paper's central trade-off in one line.
   std::cout << "\ntrade-off: optimizing cost changed the collision "
                "probability by a factor of "
-            << zc::format_sig(best.error_prob /
-                              error_probability(scenario, draft), 3)
+            << zc::format_sig(best.error_prob / draft_cell.error_probability,
+                              3)
             << " versus the draft.\n";
   return 0;
 }

@@ -2,11 +2,17 @@
 /// simulated link-local segment, including the multi-host contention case
 /// the analytic model abstracts away (several devices powering on at
 /// once after an outage).
+///
+/// Single runs and the simultaneous-join demo drive sim::Network
+/// directly (they are about watching individual trajectories); the
+/// Monte-Carlo aggregate goes through an engine spec.
 
 #include <iostream>
 
 #include "analysis/table.hpp"
 #include "common/strings.hpp"
+#include "engine/campaign.hpp"
+#include "example_util.hpp"
 #include "prob/delay.hpp"
 #include "sim/monte_carlo.hpp"
 
@@ -18,12 +24,12 @@ int main() {
 
   // A stressed segment: 200 of 1000 addresses taken, 30% of replies
   // never arrive, replies take 50 ms + Exp(20 Hz).
+  const auto reply_delay = std::shared_ptr<const prob::DelayDistribution>(
+      prob::paper_reply_delay(0.3, 20.0, 0.05));
   sim::NetworkConfig segment;
   segment.address_space = 1000;
   segment.hosts = 200;
-  segment.responder_delay =
-      std::shared_ptr<const prob::DelayDistribution>(
-          prob::paper_reply_delay(0.3, 20.0, 0.05));
+  segment.responder_delay = reply_delay;
 
   // 1. One device joining: a few single runs, then Monte-Carlo.
   sim::ZeroconfConfig protocol;
@@ -44,22 +50,21 @@ int main() {
   }
   runs.print(std::cout);
 
-  sim::MonteCarloOptions opts;
-  opts.trials = 20000;
-  opts.seed = 42;
-  opts.probe_cost = 1.0;
-  opts.error_cost = 1000.0;
-  const auto mc = sim::monte_carlo(segment, protocol, opts);
-  std::cout << "\nMonte-Carlo over " << mc.trials << " runs:\n"
-            << "  mean cost        : " << zc::format_sig(mc.model_cost.mean)
-            << " +/- " << zc::format_sig(mc.model_cost.ci95_halfwidth, 3)
-            << '\n'
-            << "  mean probes      : " << zc::format_sig(mc.probes.mean, 4)
-            << '\n'
-            << "  collision rate   : "
-            << zc::format_sig(mc.collision_rate, 3) << "  (95% CI ["
-            << zc::format_sig(mc.collision_ci95.lower, 3) << ", "
-            << zc::format_sig(mc.collision_ci95.upper, 3) << "])\n";
+  // The aggregate view: the same segment as a declarative Monte-Carlo
+  // spec (q = 200/1000 occupancy; c = 1, E = 1000 cost accounting).
+  const core::ScenarioParams scenario(/*q=*/0.2, /*probe_cost=*/1.0,
+                                      /*error_cost=*/1000.0, reply_delay);
+  engine::CampaignRunner runner;
+  const engine::ExperimentResult mc =
+      runner.run_one(engine::SpecBuilder("stressed segment", scenario)
+                         .protocol({protocol.n, protocol.r})
+                         .estimator(engine::Estimator::monte_carlo)
+                         .network(segment.address_space, segment.hosts)
+                         .trials(20000)
+                         .seed(42)
+                         .build());
+  std::cout << '\n';
+  examples::print_simulation_cell(std::cout, mc.cells[0]);
 
   // 2. Power-outage recovery: 10 devices configure simultaneously; the
   //    draft's probe-conflict rule plus PROBE_WAIT keeps them apart.

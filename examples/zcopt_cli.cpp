@@ -1,25 +1,32 @@
 /// zcopt — command-line front end to the full analysis stack.
 ///
-///   zcopt_cli                                  # Fig. 2 scenario, optimize
+///   zcopt_cli                                  # Fig. 2 scenario, evaluate
 ///   zcopt_cli --hosts 100 --loss 1e-12 --d 1e-3 --n 4 --r 2
 ///   zcopt_cli --optimize --quantiles
 ///   zcopt_cli --calibrate --n 4 --r 2          # Sec. 4.5 inverse problem
+///   zcopt_cli campaign --n 1,2,4 --r 0.5,1,2   # grid through the engine
+///   zcopt_cli campaign --estimator monte_carlo --space 1000 --trials 5000
 ///
 /// Exposes the scenario knobs (q or hosts, c, E, loss, lambda, d) and
-/// either evaluates a fixed configuration, optimizes (n, r), or solves
-/// the inverse calibration problem.
+/// either evaluates a fixed configuration, optimizes (n, r), solves the
+/// inverse calibration problem, or — via the `campaign` subcommand —
+/// evaluates a whole protocol grid with a chosen estimator. Every mode
+/// constructs engine::ExperimentSpecs and executes them through
+/// engine::CampaignRunner; this file only parses options and prints.
 
 #include <cmath>
 #include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
+#include "analysis/table.hpp"
 #include "common/args.hpp"
 #include "common/strings.hpp"
-#include "core/calibrate.hpp"
-#include "core/cost.hpp"
 #include "core/distribution.hpp"
-#include "core/optimize.hpp"
-#include "core/reliability.hpp"
 #include "core/scenarios.hpp"
+#include "engine/campaign.hpp"
+#include "example_util.hpp"
 #include "obs/report.hpp"
 #include "obs/timer.hpp"
 
@@ -32,60 +39,9 @@ int fail(const std::string& message) {
   return 2;
 }
 
-/// The measures print_configuration shows, as a report data object.
-obs::JsonValue configuration_json(const core::ScenarioParams& scenario,
-                                  const core::ProtocolParams& protocol) {
-  obs::JsonValue out = obs::JsonValue::object();
-  out["n"] = protocol.n;
-  out["r"] = protocol.r;
-  out["mean_cost"] = core::mean_cost(scenario, protocol);
-  out["cost_stddev"] = std::sqrt(core::cost_variance(scenario, protocol));
-  out["collision_probability"] =
-      core::error_probability(scenario, protocol);
-  out["mean_waiting_time"] = core::mean_waiting_time(scenario, protocol);
-  out["mean_attempts"] = core::mean_address_attempts(scenario, protocol);
-  return out;
-}
-
-void print_configuration(const core::ScenarioParams& scenario,
-                         const core::ProtocolParams& protocol,
-                         bool quantiles) {
-  std::cout << "configuration n = " << protocol.n << ", r = "
-            << zc::format_sig(protocol.r, 5) << " s\n"
-            << "  mean total cost      : "
-            << zc::format_sig(core::mean_cost(scenario, protocol), 6) << '\n'
-            << "  cost std deviation   : "
-            << zc::format_sig(
-                   std::sqrt(core::cost_variance(scenario, protocol)), 5)
-            << '\n'
-            << "  collision probability: "
-            << zc::format_sig(core::error_probability(scenario, protocol), 4)
-            << '\n'
-            << "  mean waiting time    : "
-            << zc::format_sig(core::mean_waiting_time(scenario, protocol), 5)
-            << " s\n"
-            << "  mean address attempts: "
-            << zc::format_sig(
-                   core::mean_address_attempts(scenario, protocol), 6)
-            << '\n';
-  if (quantiles) {
-    const core::CostDistribution dist(scenario, protocol);
-    std::cout << "  cost quantiles       : p50 = "
-              << zc::format_sig(dist.quantile(0.5), 5) << ", p99 = "
-              << zc::format_sig(dist.quantile(0.99), 5) << ", p99.9 = "
-              << zc::format_sig(dist.quantile(0.999), 5) << '\n'
-              << "  probe-count quantiles: p50 = "
-              << dist.probes_quantile(0.5) << ", p99 = "
-              << dist.probes_quantile(0.99) << ", p99.9 = "
-              << dist.probes_quantile(0.999) << '\n';
-  }
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  ArgParser parser("zcopt",
-                   "zeroconf cost/reliability analysis (DSN'03 model)");
+/// The scenario knobs both the classic modes and the campaign subcommand
+/// accept.
+void add_scenario_options(ArgParser& parser) {
   parser.add_option("hosts", "hosts already on the link (sets q)", "1000");
   parser.add_option("q", "address-occupancy probability (overrides hosts)",
                     "");
@@ -95,6 +51,207 @@ int main(int argc, char** argv) {
   parser.add_option("lambda", "reply rate (mean reply = d + 1/lambda)",
                     "10");
   parser.add_option("d", "round-trip floor [s]", "1");
+}
+
+/// Range-checked numeric option: non-numbers, "inf"/"nan", and
+/// out-of-range values all fail with the same actionable message.
+double need(const ArgParser& parser, const char* name, double min,
+            double max) {
+  const auto v = parser.number(name, min, max);
+  if (!v.has_value())
+    throw std::runtime_error(
+        std::string("option --") + name + " must be a finite number in [" +
+        zc::format_sig(min, 4) + ", " + zc::format_sig(max, 4) + "], got '" +
+        parser.text(name) + "'");
+  return *v;
+}
+
+core::ExponentialScenario scenario_from(const ArgParser& parser) {
+  core::ExponentialScenario scenario;
+  scenario.probe_cost = need(parser, "c", 0.0, 1e30);
+  scenario.error_cost = need(parser, "E", 0.0, 1e300);
+  scenario.loss = need(parser, "loss", 0.0, 1.0);
+  scenario.lambda = need(parser, "lambda", 1e-9, 1e12);
+  scenario.round_trip = need(parser, "d", 0.0, 1e9);
+  if (parser.given("q")) {
+    scenario.q = need(parser, "q", 0.0, 1.0);
+  } else {
+    scenario.q = core::ScenarioParams::q_from_hosts(
+        static_cast<unsigned>(need(parser, "hosts", 1.0, 65023.0)));
+  }
+  return scenario;
+}
+
+void print_scenario(const core::ExponentialScenario& scenario) {
+  std::cout << "scenario: q = " << zc::format_sig(scenario.q, 5)
+            << ", c = " << zc::format_sig(scenario.probe_cost, 4)
+            << ", E = " << zc::format_sig(scenario.error_cost, 4)
+            << ", loss = " << zc::format_sig(scenario.loss, 4)
+            << ", lambda = " << zc::format_sig(scenario.lambda, 4)
+            << ", d = " << zc::format_sig(scenario.round_trip, 4)
+            << "\n\n";
+}
+
+void set_scenario_config(obs::RunReport& report,
+                         const core::ExponentialScenario& scenario) {
+  report.config()["q"] = scenario.q;
+  report.config()["c"] = scenario.probe_cost;
+  report.config()["E"] = scenario.error_cost;
+  report.config()["loss"] = scenario.loss;
+  report.config()["lambda"] = scenario.lambda;
+  report.config()["d"] = scenario.round_trip;
+}
+
+void print_quantiles(const core::ScenarioParams& scenario,
+                     const core::ProtocolParams& protocol) {
+  const core::CostDistribution dist(scenario, protocol);
+  std::cout << "  cost quantiles       : p50 = "
+            << zc::format_sig(dist.quantile(0.5), 5) << ", p99 = "
+            << zc::format_sig(dist.quantile(0.99), 5) << ", p99.9 = "
+            << zc::format_sig(dist.quantile(0.999), 5) << '\n'
+            << "  probe-count quantiles: p50 = " << dist.probes_quantile(0.5)
+            << ", p99 = " << dist.probes_quantile(0.99) << ", p99.9 = "
+            << dist.probes_quantile(0.999) << '\n';
+}
+
+/// `zcopt_cli campaign ...` — one grid spec, one engine run, table/CSV/
+/// report sinks.
+int run_campaign(int argc, const char* const* argv) {
+  ArgParser parser("zcopt campaign",
+                   "evaluate a protocol grid through the experiment engine");
+  add_scenario_options(parser);
+  parser.add_option("n", "comma-separated probe counts", "1,2,4,8");
+  parser.add_option("r", "comma-separated listening periods [s]",
+                    "0.5,1,2,4");
+  parser.add_option("estimator", "analytic | drm | monte_carlo", "analytic");
+  parser.add_option("name", "spec name used in report/CSV rows", "grid");
+  parser.add_flag("detailed",
+                  "also compute stddev/waiting/attempts per cell");
+  parser.add_option("trials", "Monte-Carlo trials per cell", "10000");
+  parser.add_option("seed", "Monte-Carlo base seed", "42");
+  parser.add_option("space",
+                    "simulated address-space size (monte_carlo estimator)",
+                    "1000");
+  parser.add_option("sim-hosts",
+                    "hosts on the simulated segment (0 = derive from q)",
+                    "0");
+  parser.add_option("threads", "worker threads (0 = hardware)", "0");
+  parser.add_option("report",
+                    "write a zcopt-run-report JSON manifest to this path",
+                    "");
+  parser.add_option("csv", "write the campaign as CSV to this path", "");
+
+  if (!parser.parse(argc, argv)) return fail(parser.error());
+  if (parser.help_requested()) {
+    std::cout << parser.help();
+    return 0;
+  }
+
+  try {
+    obs::ScopedTimer cli_timer("zcopt_campaign");
+    const core::ExponentialScenario scenario = scenario_from(parser);
+    const auto ns = examples::parse_unsigned_list(parser.text("n"));
+    if (!ns.has_value())
+      return fail("option --n must be a comma-separated list of probe "
+                  "counts, got '" + parser.text("n") + "'");
+    const auto rs = examples::parse_double_list(parser.text("r"));
+    if (!rs.has_value())
+      return fail("option --r must be a comma-separated list of listening "
+                  "periods, got '" + parser.text("r") + "'");
+
+    engine::Estimator estimator = engine::Estimator::analytic;
+    const std::string estimator_text = parser.text("estimator");
+    if (estimator_text == "analytic") {
+      estimator = engine::Estimator::analytic;
+    } else if (estimator_text == "drm") {
+      estimator = engine::Estimator::drm;
+    } else if (estimator_text == "monte_carlo") {
+      estimator = engine::Estimator::monte_carlo;
+    } else {
+      return fail("option --estimator must be analytic, drm or "
+                  "monte_carlo, got '" + estimator_text + "'");
+    }
+
+    engine::SpecBuilder builder(parser.text("name"), scenario);
+    builder.protocol_grid(*ns, *rs)
+        .estimator(estimator)
+        .detailed(parser.flag("detailed"));
+    const auto trials =
+        static_cast<std::size_t>(need(parser, "trials", 1.0, 1e9));
+    const auto seed =
+        static_cast<std::uint64_t>(need(parser, "seed", 0.0, 1e18));
+    if (estimator == engine::Estimator::monte_carlo) {
+      builder.trials(trials).seed(seed).network(
+          static_cast<unsigned>(need(parser, "space", 2.0, 65024.0)),
+          static_cast<unsigned>(need(parser, "sim-hosts", 0.0, 65023.0)));
+    }
+
+    engine::CampaignOptions campaign_opts;
+    campaign_opts.threads =
+        static_cast<unsigned>(need(parser, "threads", 0.0, 1024.0));
+    engine::CampaignRunner runner(campaign_opts);
+    const engine::CampaignResult campaign = runner.run({builder.build()});
+    const engine::ExperimentResult& experiment = campaign.experiments[0];
+
+    print_scenario(scenario);
+    const bool simulated = estimator == engine::Estimator::monte_carlo;
+    std::vector<std::string> header{"n", "r [s]", "mean cost",
+                                    "P(collision)"};
+    if (simulated) {
+      header.push_back("cost +/- (95%)");
+      header.push_back("aborted");
+    }
+    analysis::Table table(header);
+    for (const engine::CellResult& cell : experiment.cells) {
+      std::vector<std::string> row{
+          std::to_string(cell.protocol.n), zc::format_sig(cell.protocol.r, 4),
+          zc::format_sig(cell.mean_cost, 6),
+          zc::format_sig(cell.error_probability, 4)};
+      if (simulated) {
+        row.push_back(zc::format_sig(cell.cost_ci95, 3));
+        row.push_back(std::to_string(cell.aborted));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << experiment.cells.size() << " cells, estimator "
+              << engine::to_string(estimator) << "\n";
+
+    if (parser.given("csv")) {
+      if (!engine::write_campaign_csv(campaign, parser.text("csv")))
+        return fail("could not write CSV to '" + parser.text("csv") + "'");
+      std::cout << "[campaign CSV: " << parser.text("csv") << "]\n";
+    }
+    if (parser.given("report")) {
+      obs::RunReport report = campaign.report(
+          "zcopt_cli", "protocol-grid campaign through the experiment "
+                       "engine");
+      set_scenario_config(report, scenario);
+      report.config()["mode"] = "campaign";
+      report.config()["estimator"] = estimator_text;
+      if (simulated) {
+        report.config()["trials"] = static_cast<std::uint64_t>(trials);
+        report.set_seed(seed);
+      }
+      cli_timer.stop();  // close the outer span so it appears in the tree
+      report.set_timers(obs::Registry::global().timers_snapshot());
+      if (!report.write_file(parser.text("report")))
+        return fail("could not write report to '" + parser.text("report") +
+                    "'");
+      std::cout << "[run report: " << parser.text("report") << "]\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+}
+
+/// The classic single-configuration modes: evaluate / optimize /
+/// calibrate.
+int run_modes(int argc, const char* const* argv) {
+  ArgParser parser("zcopt",
+                   "zeroconf cost/reliability analysis (DSN'03 model)");
+  add_scenario_options(parser);
   parser.add_option("n", "probe count to evaluate", "4");
   parser.add_option("r", "listening period [s] to evaluate", "2");
   parser.add_flag("optimize", "find the cost-optimal (n, r)");
@@ -111,115 +268,116 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // Assemble the scenario. Every knob is parsed through the
-  // range-checked hook: non-numbers, "inf"/"nan", and out-of-range
-  // values all fail with the same actionable message.
-  core::ExponentialScenario scenario;
-  const auto need = [&](const char* name, double min, double max) {
-    const auto v = parser.number(name, min, max);
-    if (!v.has_value())
-      throw std::runtime_error(
-          std::string("option --") + name +
-          " must be a finite number in [" + zc::format_sig(min, 4) + ", " +
-          zc::format_sig(max, 4) + "], got '" + parser.text(name) + "'");
-    return *v;
-  };
   try {
     obs::ScopedTimer cli_timer("zcopt_cli");
-    scenario.probe_cost = need("c", 0.0, 1e30);
-    scenario.error_cost = need("E", 0.0, 1e300);
-    scenario.loss = need("loss", 0.0, 1.0);
-    scenario.lambda = need("lambda", 1e-9, 1e12);
-    scenario.round_trip = need("d", 0.0, 1e9);
-    if (parser.given("q")) {
-      scenario.q = need("q", 0.0, 1.0);
-    } else {
-      scenario.q = core::ScenarioParams::q_from_hosts(
-          static_cast<unsigned>(need("hosts", 1.0, 65023.0)));
-    }
-
+    const core::ExponentialScenario scenario = scenario_from(parser);
     const auto params = scenario.to_params();
     const core::ProtocolParams requested{
-        static_cast<unsigned>(need("n", 1.0, 1000.0)),
-        need("r", 1e-9, 1e9)};
+        static_cast<unsigned>(need(parser, "n", 1.0, 1000.0)),
+        need(parser, "r", 1e-9, 1e9)};
 
     obs::RunReport report("zcopt_cli",
                           "zeroconf cost/reliability analysis (DSN'03 "
                           "model)");
-    report.config()["q"] = scenario.q;
-    report.config()["c"] = scenario.probe_cost;
-    report.config()["E"] = scenario.error_cost;
-    report.config()["loss"] = scenario.loss;
-    report.config()["lambda"] = scenario.lambda;
-    report.config()["d"] = scenario.round_trip;
+    set_scenario_config(report, scenario);
     report.config()["n"] = requested.n;
     report.config()["r"] = requested.r;
     report.config()["mode"] = parser.flag("calibrate")  ? "calibrate"
                               : parser.flag("optimize") ? "optimize"
                                                         : "evaluate";
+
+    engine::CampaignRunner runner;
+    obs::MetricSet engine_metrics;  // merged over every engine run below
     const auto emit_report = [&]() -> int {
       if (!parser.given("report")) return 0;
       cli_timer.stop();  // close the outer span so it appears in the tree
-      report.capture_registry();
+      report.set_metrics(engine_metrics);
+      report.set_timers(obs::Registry::global().timers_snapshot());
       if (!report.write_file(parser.text("report")))
         return fail("could not write report to '" + parser.text("report") +
                     "'");
       std::cout << "[run report: " << parser.text("report") << "]\n";
       return 0;
     };
+    const auto run_spec =
+        [&](const engine::ExperimentSpec& spec) -> engine::ExperimentResult {
+      engine::CampaignResult campaign = runner.run({spec});
+      engine_metrics.merge(campaign.metrics);
+      return std::move(campaign.experiments.front());
+    };
+    const auto evaluate_cell =
+        [&](const std::string& name,
+            const core::ProtocolParams& point) -> engine::CellResult {
+      return run_spec(engine::SpecBuilder(name, params)
+                          .protocol(point)
+                          .detailed()
+                          .build())
+          .cells[0];
+    };
 
-    std::cout << "scenario: q = " << zc::format_sig(scenario.q, 5)
-              << ", c = " << zc::format_sig(scenario.probe_cost, 4)
-              << ", E = " << zc::format_sig(scenario.error_cost, 4)
-              << ", loss = " << zc::format_sig(scenario.loss, 4)
-              << ", lambda = " << zc::format_sig(scenario.lambda, 4)
-              << ", d = " << zc::format_sig(scenario.round_trip, 4)
-              << "\n\n";
+    print_scenario(scenario);
 
     if (parser.flag("calibrate")) {
       obs::ScopedTimer mode_timer("calibrate");
-      const auto result = core::calibrate(params, requested);
+      const engine::ExperimentResult result = run_spec(
+          engine::SpecBuilder("calibrate", params)
+              .calibrate(requested)
+              .build());
       mode_timer.stop();
-      if (!result.has_value())
+      if (!result.calibration.has_value())
         return fail("no (E, c) in the search box makes the target optimal");
       std::cout << "calibrated weights for (n = " << requested.n << ", r = "
-                << zc::format_sig(requested.r, 4) << "):\n"
-                << "  E = " << zc::format_sig(result->error_cost, 5) << '\n'
-                << "  c = " << zc::format_sig(result->probe_cost, 5)
-                << "  (window boundary; ties against n = "
-                << result->competitor << ")\n"
-                << "  verified joint-optimal: "
-                << (result->target_is_optimal ? "yes" : "no") << '\n';
+                << zc::format_sig(requested.r, 4) << "):\n";
+      examples::print_calibration(std::cout, *result.calibration);
       obs::JsonValue calibrated = obs::JsonValue::object();
-      calibrated["E"] = result->error_cost;
-      calibrated["c"] = result->probe_cost;
-      calibrated["competitor"] = result->competitor;
-      calibrated["target_is_optimal"] = result->target_is_optimal;
+      calibrated["E"] = result.calibration->error_cost;
+      calibrated["c"] = result.calibration->probe_cost;
+      calibrated["competitor"] = result.calibration->competitor;
+      calibrated["target_is_optimal"] = result.calibration->target_is_optimal;
       report.data()["calibrated"] = std::move(calibrated);
       return emit_report();
     }
 
     if (parser.flag("optimize")) {
       obs::ScopedTimer mode_timer("optimize");
-      const core::JointOptimum opt = core::joint_optimum(params, 16);
+      const engine::ExperimentResult result = run_spec(
+          engine::SpecBuilder("optimize", params).optimize(16).build());
+      const core::JointOptimum& opt = *result.optimum;
+      const engine::CellResult optimal_cell =
+          evaluate_cell("optimal", {opt.n, opt.r});
       mode_timer.stop();
       std::cout << "cost-optimal ";
-      print_configuration(params, {opt.n, opt.r}, parser.flag("quantiles"));
-      report.data()["optimal"] = configuration_json(params, {opt.n, opt.r});
+      examples::print_cell(std::cout, optimal_cell);
+      if (parser.flag("quantiles")) print_quantiles(params, {opt.n, opt.r});
+      report.data()["optimal"] = examples::cell_to_config_json(optimal_cell);
       if (parser.given("n") || parser.given("r")) {
+        const engine::CellResult requested_cell =
+            evaluate_cell("requested", requested);
         std::cout << "\nrequested ";
-        print_configuration(params, requested, parser.flag("quantiles"));
-        report.data()["requested"] = configuration_json(params, requested);
+        examples::print_cell(std::cout, requested_cell);
+        if (parser.flag("quantiles")) print_quantiles(params, requested);
+        report.data()["requested"] =
+            examples::cell_to_config_json(requested_cell);
       }
       return emit_report();
     }
 
     obs::ScopedTimer mode_timer("evaluate");
-    print_configuration(params, requested, parser.flag("quantiles"));
-    report.data()["configuration"] = configuration_json(params, requested);
+    const engine::CellResult cell = evaluate_cell("evaluate", requested);
+    examples::print_cell(std::cout, cell);
+    if (parser.flag("quantiles")) print_quantiles(params, requested);
+    report.data()["configuration"] = examples::cell_to_config_json(cell);
     mode_timer.stop();
     return emit_report();
   } catch (const std::exception& e) {
     return fail(e.what());
   }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "campaign")
+    return run_campaign(argc - 1, argv + 1);
+  return run_modes(argc, argv);
 }

@@ -12,8 +12,7 @@ namespace zc::core {
 
 double mean_cost(const ScenarioParams& scenario,
                  const ProtocolParams& protocol) {
-  ZC_EXPECTS(protocol.n >= 1);
-  ZC_EXPECTS(protocol.r >= 0.0);
+  protocol.validate(/*allow_zero_r=*/true);
   const unsigned n = protocol.n;
   const double q = scenario.q();
   const auto pi = pi_values(scenario.reply_delay(), n, protocol.r);

@@ -1,5 +1,7 @@
 #include "core/cost_surface.hpp"
 
+#include <utility>
+
 #include "common/contract.hpp"
 #include "numerics/kahan.hpp"
 
@@ -7,22 +9,34 @@ namespace zc::core {
 
 namespace {
 
-/// Incremental column walker. Extends the survival ladder one rung per
-/// step and hands `visit` the pieces every per-n quantity is built from:
-/// pi_partial = sum_{i=0}^{n-1} pi_i(r) (compensated, same add order as
-/// mean_cost's KahanSum) and pi_n(r) (same product order as pi_values).
+/// Incremental column walker over a survival provider. Extends the
+/// ladder one rung per step and hands `visit` the pieces every per-n
+/// quantity is built from: pi_partial = sum_{i=0}^{n-1} pi_i(r)
+/// (compensated, same add order as mean_cost's KahanSum) and pi_n(r)
+/// (same product order as pi_values). `survival_at(n)` must return
+/// S(n r); whether it is computed on the fly or read from a precomputed
+/// SurvivalLadder, the consuming arithmetic is identical — which is the
+/// bitwise-equality guarantee the ladder overloads rely on.
 /// `visit` returns false to stop early.
-template <typename Visit>
-void walk_column(const ScenarioParams& scenario, unsigned n_max, double r,
-                 Visit&& visit) {
-  const prob::DelayDistribution& fx = scenario.reply_delay();
+template <typename SurvivalAt, typename Visit>
+void walk_pieces(unsigned n_max, SurvivalAt&& survival_at, Visit&& visit) {
   numerics::KahanSum pi_partial;
   double pi = 1.0;  // pi_0
   for (unsigned n = 1; n <= n_max; ++n) {
     pi_partial.add(pi);  // adds pi_{n-1}; prefix of mean_cost's loop
-    pi = pi * fx.survival(static_cast<double>(n) * r);  // pi_n
+    pi = pi * survival_at(n);  // pi_n
     if (!visit(n, pi_partial.value(), pi)) return;
   }
+}
+
+template <typename Visit>
+void walk_column(const ScenarioParams& scenario, unsigned n_max, double r,
+                 Visit&& visit) {
+  const prob::DelayDistribution& fx = scenario.reply_delay();
+  walk_pieces(
+      n_max,
+      [&](unsigned n) { return fx.survival(static_cast<double>(n) * r); },
+      std::forward<Visit>(visit));
 }
 
 double cost_from_pieces(const ScenarioParams& scenario, unsigned n, double r,
@@ -53,6 +67,24 @@ CostSurface::CostSurface(ScenarioParams scenario, unsigned n_max)
   ZC_EXPECTS(n_max >= 1);
 }
 
+CostSurface::SurvivalLadder CostSurface::make_ladder(
+    const prob::DelayDistribution& fx, unsigned n_max, double r) {
+  ZC_EXPECTS(n_max >= 1);
+  ZC_EXPECTS(r >= 0.0);
+  SurvivalLadder ladder;
+  ladder.r = r;
+  ladder.survival.resize(n_max);
+  // Same expression as walk_column's on-the-fly rung, so the stored
+  // doubles are the identical values the direct path consumes.
+  for (unsigned n = 1; n <= n_max; ++n)
+    ladder.survival[n - 1] = fx.survival(static_cast<double>(n) * r);
+  return ladder;
+}
+
+CostSurface::SurvivalLadder CostSurface::ladder(double r) const {
+  return make_ladder(scenario_.reply_delay(), n_max_, r);
+}
+
 std::vector<double> CostSurface::cost_column(double r) const {
   ZC_EXPECTS(r >= 0.0);
   std::vector<double> out(n_max_);
@@ -68,6 +100,31 @@ std::vector<double> CostSurface::error_column(double r) const {
   ZC_EXPECTS(r >= 0.0);
   std::vector<double> out(n_max_);
   walk_column(scenario_, n_max_, r,
+              [&](unsigned n, double, double pi_n) {
+                out[n - 1] = error_from_pieces(scenario_, pi_n);
+                return true;
+              });
+  return out;
+}
+
+std::vector<double> CostSurface::cost_column(
+    const SurvivalLadder& ladder) const {
+  ZC_EXPECTS(ladder.survival.size() >= n_max_);
+  std::vector<double> out(n_max_);
+  walk_pieces(n_max_, [&](unsigned n) { return ladder.survival[n - 1]; },
+              [&](unsigned n, double pi_partial, double pi_n) {
+                out[n - 1] =
+                    cost_from_pieces(scenario_, n, ladder.r, pi_partial, pi_n);
+                return true;
+              });
+  return out;
+}
+
+std::vector<double> CostSurface::error_column(
+    const SurvivalLadder& ladder) const {
+  ZC_EXPECTS(ladder.survival.size() >= n_max_);
+  std::vector<double> out(n_max_);
+  walk_pieces(n_max_, [&](unsigned n) { return ladder.survival[n - 1]; },
               [&](unsigned n, double, double pi_n) {
                 out[n - 1] = error_from_pieces(scenario_, pi_n);
                 return true;

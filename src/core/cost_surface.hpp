@@ -33,13 +33,38 @@ class CostSurface {
     return scenario_;
   }
 
+  /// The delay-distribution-dependent piece of one r-column: the survival
+  /// ladder S(r), S(2r), ..., S(n_max r). It is a pure function of
+  /// (F_X, n_max, r) — independent of (q, c, E) — which is what lets the
+  /// engine's SurfaceCache share one ladder across scenarios that differ
+  /// only in cost weights or occupancy. Evaluating a column through a
+  /// ladder reproduces the direct evaluation bitwise: the survival values
+  /// are the identical doubles, consumed in the identical order.
+  struct SurvivalLadder {
+    double r = 0.0;
+    std::vector<double> survival;  ///< survival[k-1] = S(k r), k = 1..n_max
+  };
+
+  /// Precompute the ladder for `r` against `fx` (n_max rungs).
+  [[nodiscard]] static SurvivalLadder make_ladder(
+      const prob::DelayDistribution& fx, unsigned n_max, double r);
+
+  /// This surface's ladder for `r`.
+  [[nodiscard]] SurvivalLadder ladder(double r) const;
+
   /// One column of mean costs: result[n-1] == mean_cost(scenario, {n, r})
   /// bitwise, for n = 1..n_max, in O(n_max) survival calls.
   [[nodiscard]] std::vector<double> cost_column(double r) const;
+  /// Same column evaluated through a precomputed ladder (bitwise equal).
+  [[nodiscard]] std::vector<double> cost_column(
+      const SurvivalLadder& ladder) const;
 
   /// One column of collision probabilities: result[n-1] ==
   /// error_probability(scenario, {n, r}) bitwise, for n = 1..n_max.
   [[nodiscard]] std::vector<double> error_column(double r) const;
+  /// Same column evaluated through a precomputed ladder (bitwise equal).
+  [[nodiscard]] std::vector<double> error_column(
+      const SurvivalLadder& ladder) const;
 
   /// The n minimizing C(n, r) and the minimal cost, walking the column
   /// incrementally with the same early-stop rule as optimize.cpp's

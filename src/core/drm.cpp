@@ -23,8 +23,7 @@ std::vector<std::string> DrmLayout::state_names() const {
 
 markov::Dtmc build_chain(const ScenarioParams& scenario,
                          const ProtocolParams& protocol) {
-  ZC_EXPECTS(protocol.n >= 1);
-  ZC_EXPECTS(protocol.r >= 0.0);
+  protocol.validate(/*allow_zero_r=*/true);
   const DrmLayout layout{protocol.n};
   const unsigned n = protocol.n;
   const double q = scenario.q();
@@ -53,7 +52,7 @@ markov::Dtmc build_chain(const ScenarioParams& scenario,
 
 linalg::Matrix build_cost_matrix(const ScenarioParams& scenario,
                                  const ProtocolParams& protocol) {
-  ZC_EXPECTS(protocol.n >= 1);
+  protocol.validate(/*allow_zero_r=*/true);
   const DrmLayout layout{protocol.n};
   const unsigned n = protocol.n;
   const double per_probe = protocol.r + scenario.probe_cost();

@@ -37,7 +37,7 @@ double mean_cost_from_pi(double q, double probe_cost, double error_cost,
                          const ProtocolParams& protocol,
                          const std::vector<double>& pi) {
   ZC_EXPECTS(0.0 < q && q < 1.0);
-  ZC_EXPECTS(protocol.n >= 1);
+  protocol.validate(/*allow_zero_r=*/true);
   ZC_EXPECTS(pi.size() == protocol.n + 1);
   const unsigned n = protocol.n;
   numerics::KahanSum pi_partial;

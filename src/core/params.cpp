@@ -1,8 +1,20 @@
 #include "core/params.hpp"
 
+#include <cmath>
+
 #include "common/contract.hpp"
 
 namespace zc::core {
+
+void ProtocolParams::validate(bool allow_zero_r) const {
+  ZC_REQUIRE(n >= 1, "ProtocolParams.n must be >= 1 (got 0)");
+  ZC_REQUIRE(std::isfinite(r), "ProtocolParams.r must be finite");
+  if (allow_zero_r) {
+    ZC_REQUIRE(r >= 0.0, "ProtocolParams.r must be >= 0");
+  } else {
+    ZC_REQUIRE(r > 0.0, "ProtocolParams.r must be > 0");
+  }
+}
 
 ScenarioParams::ScenarioParams(
     double q, double probe_cost, double error_cost,

@@ -22,6 +22,14 @@ inline constexpr unsigned kAddressSpaceSize = 65024;
 struct ProtocolParams {
   unsigned n = 4;  ///< maximum number of ARP probes (draft: 4)
   double r = 2.0;  ///< listening period after each probe, seconds (draft: 2 or 0.2)
+
+  /// The one place (n, r) domain checks live: n >= 1 and r finite and
+  /// > 0. Throws zc::ContractViolation naming the offending field. The
+  /// closed forms (Eq. 3/4) have a well-defined r = 0 limit exercised by
+  /// the figure benches, so the analytic evaluators pass
+  /// `allow_zero_r = true`; everything user-facing (engine specs, CLI)
+  /// uses the strict default.
+  void validate(bool allow_zero_r = false) const;
 };
 
 /// Deployment-specific inputs of the cost model.

@@ -1,0 +1,60 @@
+#include "engine/cache.hpp"
+
+#include <bit>
+
+#include "common/contract.hpp"
+
+namespace zc::engine {
+
+SurfaceCache::LadderPtr SurfaceCache::ladder(
+    const std::shared_ptr<const prob::DelayDistribution>& fx, unsigned n_max,
+    double r) {
+  ZC_EXPECTS(fx != nullptr);
+  const Key key{fx.get(), n_max, std::bit_cast<std::uint64_t>(r)};
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    return it->second.ladder;
+  }
+  ++misses_;
+  // Computing under the lock serializes ladder construction, which keeps
+  // the exactly-once guarantee (and the hit/miss determinism) trivially;
+  // a ladder is O(n_max) survival evaluations, far too cheap to justify
+  // per-key futures.
+  Entry entry{fx, std::make_shared<core::CostSurface::SurvivalLadder>(
+                      core::CostSurface::make_ladder(*fx, n_max, r))};
+  return entries_.emplace(key, std::move(entry)).first->second.ladder;
+}
+
+std::uint64_t SurfaceCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t SurfaceCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::size_t SurfaceCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void SurfaceCache::export_metrics(obs::MetricSet& set) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  set.inc(set.counter("engine.cache.hits"), hits_);
+  set.inc(set.counter("engine.cache.misses"), misses_);
+  set.set_gauge(set.gauge("engine.cache.entries"),
+                static_cast<double>(entries_.size()));
+}
+
+void SurfaceCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace zc::engine

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file cache.hpp
+/// Shared survival-ladder cache. The expensive, reusable piece of an
+/// analytic evaluation is the survival ladder S(r)..S(n_max r)
+/// (core::CostSurface::SurvivalLadder): it depends only on the
+/// reply-delay distribution F_X, the ladder length, and r — *not* on
+/// (q, c, E) — so specs that differ only in cost weights, occupancy, or
+/// the rest of the protocol grid share ladders. Cached evaluation is
+/// bitwise-identical to direct evaluation because the ladder stores the
+/// exact survival doubles the direct path would compute.
+///
+/// Determinism of the observability counters: each unique key is
+/// computed exactly once (the compute happens under the lock), so
+/// `misses() == number of unique keys requested` and
+/// `hits() == total requests - misses()` — pure functions of the request
+/// multiset, independent of which thread got there first. That is what
+/// lets campaign reports embed `engine.cache.*` counters and stay
+/// byte-identical at any thread count.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/cost_surface.hpp"
+#include "obs/metrics.hpp"
+#include "prob/delay.hpp"
+
+namespace zc::engine {
+
+/// Thread-safe, exactly-once cache of survival ladders keyed by
+/// (F_X identity, n_max, r bit pattern). Distribution identity is the
+/// shared_ptr object: scenario copies made with `with_q` /
+/// `with_error_cost` / `with_probe_cost` keep the same distribution and
+/// therefore hit; structurally-equal but separately-constructed
+/// distributions miss (correct, just not maximally shared).
+class SurfaceCache {
+ public:
+  using LadderPtr = std::shared_ptr<const core::CostSurface::SurvivalLadder>;
+
+  /// The ladder for (fx, n_max, r): computed on first request (exactly
+  /// once per key), shared afterwards.
+  [[nodiscard]] LadderPtr ladder(
+      const std::shared_ptr<const prob::DelayDistribution>& fx,
+      unsigned n_max, double r);
+
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Export `engine.cache.hits` / `engine.cache.misses` counters and the
+  /// `engine.cache.entries` gauge into `set`.
+  void export_metrics(obs::MetricSet& set) const;
+
+  /// Drop every entry and reset the counters.
+  void clear();
+
+ private:
+  struct Key {
+    const prob::DelayDistribution* fx = nullptr;
+    unsigned n_max = 0;
+    std::uint64_t r_bits = 0;
+
+    bool operator<(const Key& other) const noexcept {
+      if (fx != other.fx) return fx < other.fx;
+      if (n_max != other.n_max) return n_max < other.n_max;
+      return r_bits < other.r_bits;
+    }
+  };
+  struct Entry {
+    /// Pins the distribution so a freed-and-reallocated F_X can never
+    /// alias a stale key.
+    std::shared_ptr<const prob::DelayDistribution> fx;
+    LadderPtr ladder;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<Key, Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace zc::engine

@@ -1,0 +1,317 @@
+#include "engine/campaign.hpp"
+
+#include <bit>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <utility>
+
+#include "common/contract.hpp"
+#include "core/cost.hpp"
+#include "core/cost_surface.hpp"
+#include "core/reliability.hpp"
+#include "exec/parallel.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace zc::engine {
+
+obs::JsonValue CellResult::to_json() const {
+  obs::JsonValue cell = obs::JsonValue::object();
+  cell["n"] = protocol.n;
+  cell["r"] = protocol.r;
+  cell["mean_cost"] = mean_cost;
+  cell["error_probability"] = error_probability;
+  if (has_detail) {
+    cell["cost_stddev"] = cost_stddev;
+    cell["mean_waiting_time"] = mean_waiting_time;
+    cell["mean_attempts"] = mean_attempts;
+  }
+  if (from_simulation) {
+    cell["trials"] = static_cast<std::uint64_t>(trials);
+    cell["completed"] = static_cast<std::uint64_t>(completed);
+    cell["aborted"] = static_cast<std::uint64_t>(aborted);
+    cell["non_finite"] = static_cast<std::uint64_t>(non_finite);
+    cell["collisions"] = static_cast<std::uint64_t>(collisions);
+    cell["aborted_rate"] = aborted_rate;
+    cell["cost_ci95"] = cost_ci95;
+    cell["collision_ci_lower"] = collision_ci_lower;
+    cell["collision_ci_upper"] = collision_ci_upper;
+    cell["mean_probes"] = mean_probes;
+    cell["mean_elapsed_cost"] = mean_elapsed_cost;
+  }
+  return cell;
+}
+
+obs::JsonValue ExperimentResult::to_json() const {
+  obs::JsonValue experiment = obs::JsonValue::object();
+  experiment["name"] = name;
+  experiment["mode"] = to_string(mode);
+  experiment["estimator"] = to_string(estimator);
+  if (!cells.empty()) {
+    obs::JsonValue list = obs::JsonValue::array();
+    for (const CellResult& cell : cells) list.push_back(cell.to_json());
+    experiment["cells"] = std::move(list);
+  }
+  if (optimum.has_value()) {
+    obs::JsonValue opt = obs::JsonValue::object();
+    opt["n"] = optimum->n;
+    opt["r"] = optimum->r;
+    opt["cost"] = optimum->cost;
+    opt["error_probability"] = optimum->error_prob;
+    experiment["optimum"] = std::move(opt);
+  }
+  if (mode == Mode::calibrate) {
+    experiment["calibrated"] = calibration.has_value();
+    if (calibration.has_value()) {
+      obs::JsonValue cal = obs::JsonValue::object();
+      cal["error_cost"] = calibration->error_cost;
+      cal["probe_cost"] = calibration->probe_cost;
+      cal["competitor"] = calibration->competitor;
+      cal["target_cost"] = calibration->target_cost;
+      cal["target_is_optimal"] = calibration->target_is_optimal;
+      experiment["calibration"] = std::move(cal);
+    }
+  }
+  return experiment;
+}
+
+obs::JsonValue CampaignResult::to_json() const {
+  obs::JsonValue out = obs::JsonValue::array();
+  for (const ExperimentResult& experiment : experiments)
+    out.push_back(experiment.to_json());
+  return out;
+}
+
+obs::RunReport CampaignResult::report(std::string program,
+                                      std::string description) const {
+  obs::RunReport out(std::move(program), std::move(description));
+  out.config()["specs"] = static_cast<std::uint64_t>(experiments.size());
+  out.data()["experiments"] = to_json();
+  out.set_metrics(metrics);
+  return out;
+}
+
+CampaignRunner::CampaignRunner(CampaignOptions opts) : opts_(opts) {}
+
+CampaignResult CampaignRunner::run(const std::vector<ExperimentSpec>& specs) {
+  for (const ExperimentSpec& spec : specs) spec.validate();
+
+  std::vector<ExperimentResult> results(specs.size());
+  exec::ExecOptions exec_opts;
+  exec_opts.threads = opts_.threads;
+  // One chunk per spec: the estimators below open their own parallel
+  // sections, and chunk granularity is what keeps slot i <- spec i a
+  // scheduling-free mapping.
+  exec_opts.chunk_size = 1;
+  exec::parallel_for(
+      specs.size(), [&](std::size_t i) { results[i] = execute(specs[i]); },
+      exec_opts);
+
+  CampaignResult out;
+  out.experiments = std::move(results);
+  std::size_t cells = 0;
+  for (const ExperimentResult& result : out.experiments) {
+    out.metrics.merge(result.metrics);  // ascending spec order
+    cells += result.cells.size();
+  }
+
+  obs::MetricSet bookkeeping;
+  bookkeeping.inc(bookkeeping.counter("engine.specs.total"), specs.size());
+  bookkeeping.inc(bookkeeping.counter("engine.cells.total"), cells);
+  cache_.export_metrics(bookkeeping);
+  out.metrics.merge(bookkeeping);
+  // Monte-Carlo specs already published their own sets; contribute only
+  // the runner's bookkeeping to the process-wide registry.
+  obs::Registry::global().publish(bookkeeping);
+  return out;
+}
+
+ExperimentResult CampaignRunner::run_one(const ExperimentSpec& spec) {
+  CampaignResult campaign = run({spec});
+  return std::move(campaign.experiments.front());
+}
+
+ExperimentResult CampaignRunner::execute(const ExperimentSpec& spec) {
+  ExperimentResult out;
+  out.name = spec.name;
+  out.mode = spec.mode;
+  out.estimator = spec.estimator;
+  switch (spec.mode) {
+    case Mode::evaluate:
+      run_evaluate(spec, out);
+      break;
+    case Mode::optimize: {
+      core::ROptOptions opts = spec.r_opts;
+      opts.exec.threads = opts_.threads;
+      out.optimum = core::joint_optimum(spec.scenario, spec.n_max, opts);
+      break;
+    }
+    case Mode::calibrate: {
+      core::CalibrateOptions opts = spec.calibrate_opts;
+      opts.r_opts.exec.threads = opts_.threads;
+      out.calibration =
+          core::calibrate(spec.scenario, spec.calibrate_target, opts);
+      break;
+    }
+  }
+  return out;
+}
+
+void CampaignRunner::run_evaluate(const ExperimentSpec& spec,
+                                  ExperimentResult& out) {
+  if (spec.estimator == Estimator::monte_carlo) {
+    run_monte_carlo(spec, out);
+    return;
+  }
+
+  const unsigned n_max = spec.grid_n_max();
+  const core::CostSurface surface(spec.scenario, n_max);
+  // Cost/error columns per distinct r, resolved through the shared
+  // ladder cache exactly once per distinct r (first-appearance order),
+  // so cache hit/miss totals are a pure function of the spec list.
+  struct Columns {
+    std::vector<double> costs;
+    std::vector<double> errors;
+  };
+  std::map<std::uint64_t, Columns> columns;
+  const auto columns_for = [&](double r) -> const Columns& {
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(r);
+    const auto it = columns.find(bits);
+    if (it != columns.end()) return it->second;
+    const SurfaceCache::LadderPtr ladder =
+        cache_.ladder(spec.scenario.reply_delay_ptr(), n_max, r);
+    Columns built{surface.cost_column(*ladder), surface.error_column(*ladder)};
+    return columns.emplace(bits, std::move(built)).first->second;
+  };
+
+  out.cells.reserve(spec.grid.size());
+  for (const core::ProtocolParams& point : spec.grid) {
+    CellResult cell;
+    cell.protocol = point;
+    if (spec.estimator == Estimator::analytic) {
+      const Columns& column = columns_for(point.r);
+      cell.mean_cost = column.costs[point.n - 1];
+      cell.error_probability = column.errors[point.n - 1];
+    } else {  // Estimator::drm
+      cell.mean_cost = core::mean_cost_numeric(spec.scenario, point);
+      cell.error_probability =
+          core::error_probability_numeric(spec.scenario, point);
+    }
+    if (spec.detailed) {
+      cell.has_detail = true;
+      cell.cost_stddev = std::sqrt(core::cost_variance(spec.scenario, point));
+      cell.mean_waiting_time = core::mean_waiting_time(spec.scenario, point);
+      cell.mean_attempts = core::mean_address_attempts(spec.scenario, point);
+    }
+    out.cells.push_back(cell);
+  }
+}
+
+void CampaignRunner::run_monte_carlo(const ExperimentSpec& spec,
+                                     ExperimentResult& out) {
+  sim::NetworkConfig network;
+  network.address_space = spec.sim.address_space;
+  network.hosts = spec.effective_hosts();
+  network.responder_delay = spec.scenario.reply_delay_ptr();
+  network.faults = spec.sim.faults;
+  network.max_virtual_time = spec.sim.max_virtual_time;
+
+  sim::ZeroconfConfig protocol;
+  protocol.probe_wait_max = spec.sim.probe_wait_max;
+  protocol.max_attempts = spec.sim.max_attempts;
+  protocol.max_probes = spec.sim.max_probes;
+
+  sim::MonteCarloOptions mc;
+  mc.trials = spec.sim.trials;
+  mc.seed = spec.sim.seed;
+  mc.probe_cost = spec.scenario.probe_cost();
+  mc.error_cost = spec.scenario.error_cost();
+  mc.threads = opts_.threads;
+  mc.chunk_size = spec.sim.chunk_size;
+
+  out.cells.reserve(spec.grid.size());
+  for (const core::ProtocolParams& point : spec.grid) {
+    protocol.n = point.n;
+    protocol.r = point.r;
+    const sim::MonteCarloResults results =
+        sim::monte_carlo(network, protocol, mc);
+
+    CellResult cell;
+    cell.protocol = point;
+    cell.mean_cost = results.model_cost.mean;
+    cell.error_probability = results.collision_rate;
+    cell.has_detail = true;
+    cell.cost_stddev = results.model_cost.stddev;
+    cell.mean_waiting_time = results.waiting_time.mean;
+    cell.mean_attempts = results.attempts.mean;
+    cell.from_simulation = true;
+    cell.trials = results.trials;
+    cell.completed = results.completed;
+    cell.aborted = results.aborted;
+    cell.non_finite = results.non_finite;
+    cell.collisions = results.collisions;
+    cell.aborted_rate = results.aborted_rate;
+    cell.cost_ci95 = results.model_cost.ci95_halfwidth;
+    cell.collision_ci_lower = results.collision_ci95.lower;
+    cell.collision_ci_upper = results.collision_ci95.upper;
+    cell.mean_probes = results.probes.mean;
+    cell.mean_elapsed_cost = results.elapsed_cost.mean;
+    out.cells.push_back(cell);
+
+    out.metrics.merge(results.metrics);  // grid order
+  }
+}
+
+namespace {
+
+void write_csv_number(std::ostream& os, double value) {
+  obs::write_json_number(os, value);  // round-trip precision, inf/nan -> null
+}
+
+}  // namespace
+
+bool write_campaign_csv(const CampaignResult& campaign,
+                        const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "spec,mode,estimator,n,r,mean_cost,error_probability,trials,"
+        "completed,aborted\n";
+  for (const ExperimentResult& experiment : campaign.experiments) {
+    const auto row_head = [&](unsigned n, double r) {
+      os << experiment.name << ',' << to_string(experiment.mode) << ','
+         << to_string(experiment.estimator) << ',' << n << ',';
+      write_csv_number(os, r);
+      os << ',';
+    };
+    for (const CellResult& cell : experiment.cells) {
+      row_head(cell.protocol.n, cell.protocol.r);
+      write_csv_number(os, cell.mean_cost);
+      os << ',';
+      write_csv_number(os, cell.error_probability);
+      if (cell.from_simulation) {
+        os << ',' << cell.trials << ',' << cell.completed << ','
+           << cell.aborted;
+      } else {
+        os << ",,,";
+      }
+      os << '\n';
+    }
+    if (experiment.optimum.has_value()) {
+      row_head(experiment.optimum->n, experiment.optimum->r);
+      write_csv_number(os, experiment.optimum->cost);
+      os << ',';
+      write_csv_number(os, experiment.optimum->error_prob);
+      os << ",,,\n";
+    }
+    if (experiment.calibration.has_value()) {
+      const core::Calibration& cal = *experiment.calibration;
+      os << experiment.name << ",calibrate,"
+         << to_string(experiment.estimator) << ",,,";
+      write_csv_number(os, cal.target_cost);
+      os << ",,,,\n";
+    }
+  }
+  return os.good();
+}
+
+}  // namespace zc::engine

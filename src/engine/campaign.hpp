@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file campaign.hpp
+/// Batch execution of ExperimentSpecs. `CampaignRunner::run` validates
+/// every spec, executes the batch through the shared exec::ThreadPool
+/// (one chunk per spec; estimators may nest their own parallel sections —
+/// waiting callers drain the pool, so nesting cannot deadlock), shares
+/// survival ladders across analytic specs through a `SurfaceCache`, and
+/// aggregates everything into one `CampaignResult` that renders as a
+/// `zcopt-run-report` v1 manifest or a CSV table.
+///
+/// Determinism contract — the same one monte_carlo gives per campaign,
+/// lifted to batches: a `CampaignResult` (and the byte content of
+/// `report(...)` / the CSV sink) is a pure function of the spec list.
+/// Results land in a pre-sized slot per spec, per-spec metric sets merge
+/// in ascending spec order on the calling thread, and the cache's
+/// hit/miss counters count exactly-once computations — so the output is
+/// byte-identical at any `CampaignOptions::threads`, fault schedules and
+/// all.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/cache.hpp"
+#include "engine/spec.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+
+namespace zc::engine {
+
+/// One evaluated grid point. `mean_cost` / `error_probability` are the
+/// two headline measures whatever the estimator; the detail and
+/// simulation blocks are populated as flagged.
+struct CellResult {
+  core::ProtocolParams protocol{};
+  double mean_cost = 0.0;          ///< C(n, r) (MC: model-accounting mean)
+  double error_probability = 0.0;  ///< Err(n, r) (MC: collision rate)
+
+  /// Detail block (spec.detailed, or always for Monte-Carlo).
+  bool has_detail = false;
+  double cost_stddev = 0.0;
+  double mean_waiting_time = 0.0;
+  double mean_attempts = 0.0;
+
+  /// Simulation block (estimator == monte_carlo).
+  bool from_simulation = false;
+  std::size_t trials = 0;
+  std::size_t completed = 0;
+  std::size_t aborted = 0;
+  std::size_t non_finite = 0;
+  std::size_t collisions = 0;
+  double aborted_rate = 0.0;
+  double cost_ci95 = 0.0;  ///< model-cost 95% CI half-width
+  double collision_ci_lower = 0.0;
+  double collision_ci_upper = 0.0;
+  double mean_probes = 0.0;
+  double mean_elapsed_cost = 0.0;  ///< elapsed-time accounting mean
+
+  [[nodiscard]] obs::JsonValue to_json() const;
+};
+
+/// Everything one spec produced.
+struct ExperimentResult {
+  std::string name;
+  Mode mode = Mode::evaluate;
+  Estimator estimator = Estimator::analytic;
+
+  std::vector<CellResult> cells;  ///< evaluate mode, grid order
+  std::optional<core::JointOptimum> optimum;       ///< optimize mode
+  std::optional<core::Calibration> calibration;    ///< calibrate mode;
+                                                   ///< nullopt = infeasible
+
+  /// Semantic metrics this spec produced (Monte-Carlo delivery/fault/
+  /// trial counters, merged over the grid in order); empty for analytic
+  /// and drm estimators. Byte-identical at any thread count.
+  obs::MetricSet metrics;
+
+  [[nodiscard]] obs::JsonValue to_json() const;
+};
+
+struct CampaignOptions {
+  /// Worker threads for the batch *and* inside each estimator:
+  /// 0 = hardware concurrency, 1 = serial. Results are byte-identical at
+  /// every setting.
+  unsigned threads = 0;
+};
+
+/// Results of a batch, in spec order.
+struct CampaignResult {
+  std::vector<ExperimentResult> experiments;
+
+  /// Per-spec metrics merged in spec order, plus the runner's
+  /// `engine.specs.total` / `engine.cells.total` / `engine.cache.*`
+  /// bookkeeping.
+  obs::MetricSet metrics;
+
+  [[nodiscard]] obs::JsonValue to_json() const;
+
+  /// Assemble the deterministic `zcopt-run-report` v1 manifest:
+  /// config.specs, data.experiments (spec order), and the merged
+  /// semantic metrics. Timers/runtime are left empty — they measure the
+  /// hardware, and this report is byte-comparable across runs and thread
+  /// counts. Callers wanting wall-clock context add
+  /// `set_timers(obs::Registry::global().timers_snapshot())` themselves.
+  [[nodiscard]] obs::RunReport report(std::string program,
+                                      std::string description) const;
+};
+
+/// Executes batches of specs; owns the survival-ladder cache shared
+/// across every spec it runs (also across successive `run` calls).
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignOptions opts = {});
+
+  /// Validate and execute every spec; results in spec order.
+  [[nodiscard]] CampaignResult run(const std::vector<ExperimentSpec>& specs);
+
+  /// Convenience for single-spec surfaces (examples, CLI modes).
+  [[nodiscard]] ExperimentResult run_one(const ExperimentSpec& spec);
+
+  [[nodiscard]] SurfaceCache& cache() noexcept { return cache_; }
+
+ private:
+  [[nodiscard]] ExperimentResult execute(const ExperimentSpec& spec);
+  void run_evaluate(const ExperimentSpec& spec, ExperimentResult& out);
+  void run_monte_carlo(const ExperimentSpec& spec, ExperimentResult& out);
+
+  CampaignOptions opts_;
+  SurfaceCache cache_;
+};
+
+/// Write the campaign as CSV (one row per cell, optimum, or calibration;
+/// numbers in round-trip precision). False on I/O error.
+[[nodiscard]] bool write_campaign_csv(const CampaignResult& campaign,
+                                      const std::string& path);
+
+}  // namespace zc::engine

@@ -1,0 +1,197 @@
+#include "engine/spec.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/contract.hpp"
+
+namespace zc::engine {
+
+const char* to_string(Estimator estimator) noexcept {
+  switch (estimator) {
+    case Estimator::analytic: return "analytic";
+    case Estimator::drm: return "drm";
+    case Estimator::monte_carlo: return "monte_carlo";
+  }
+  return "unknown";
+}
+
+const char* to_string(Mode mode) noexcept {
+  switch (mode) {
+    case Mode::evaluate: return "evaluate";
+    case Mode::optimize: return "optimize";
+    case Mode::calibrate: return "calibrate";
+  }
+  return "unknown";
+}
+
+ExperimentSpec::ExperimentSpec(std::string spec_name,
+                               core::ScenarioParams spec_scenario)
+    : name(std::move(spec_name)), scenario(std::move(spec_scenario)) {}
+
+namespace {
+
+/// "ExperimentSpec 'name': what" — every rejection names the spec.
+std::string spec_error(const std::string& name, const std::string& what) {
+  return "ExperimentSpec '" + name + "': " + what;
+}
+
+}  // namespace
+
+void ExperimentSpec::validate() const {
+  ZC_REQUIRE(!name.empty(), "ExperimentSpec.name must be non-empty");
+  switch (mode) {
+    case Mode::evaluate:
+      ZC_REQUIRE(!grid.empty(),
+                 spec_error(name, "evaluate mode needs >= 1 grid point"));
+      // Strict protocol domain (r > 0): the r = 0 closed-form limit is a
+      // core-layer concern, not a runnable experiment.
+      for (const core::ProtocolParams& point : grid) point.validate();
+      break;
+    case Mode::optimize:
+      ZC_REQUIRE(n_max >= 1, spec_error(name, "optimize needs n_max >= 1"));
+      ZC_REQUIRE(estimator != Estimator::monte_carlo,
+                 spec_error(name, "optimize mode requires an analytic "
+                                  "estimator (analytic or drm)"));
+      break;
+    case Mode::calibrate:
+      calibrate_target.validate();
+      ZC_REQUIRE(estimator != Estimator::monte_carlo,
+                 spec_error(name, "calibrate mode requires an analytic "
+                                  "estimator (analytic or drm)"));
+      break;
+  }
+  if (estimator == Estimator::monte_carlo) {
+    ZC_REQUIRE(sim.trials >= 1,
+               spec_error(name, "SimulationOptions.trials must be >= 1"));
+    ZC_REQUIRE(sim.address_space >= 2,
+               spec_error(name, "SimulationOptions.address_space must be >= 2"));
+    ZC_REQUIRE(effective_hosts() < sim.address_space,
+               spec_error(name, "SimulationOptions.hosts must be smaller "
+                                "than the address space"));
+    ZC_REQUIRE(sim.max_virtual_time >= 0.0 &&
+                   std::isfinite(sim.max_virtual_time),
+               spec_error(name, "SimulationOptions.max_virtual_time must be "
+                                "finite and >= 0"));
+    ZC_REQUIRE(sim.probe_wait_max >= 0.0 && std::isfinite(sim.probe_wait_max),
+               spec_error(name, "SimulationOptions.probe_wait_max must be "
+                                "finite and >= 0"));
+    sim.faults.validate();
+  }
+}
+
+unsigned ExperimentSpec::grid_n_max() const noexcept {
+  unsigned n_largest = 1;
+  for (const core::ProtocolParams& point : grid)
+    if (point.n > n_largest) n_largest = point.n;
+  return n_largest;
+}
+
+unsigned ExperimentSpec::effective_hosts() const noexcept {
+  if (sim.hosts != 0) return sim.hosts;
+  return static_cast<unsigned>(
+      std::lround(scenario.q() * static_cast<double>(sim.address_space)));
+}
+
+SpecBuilder::SpecBuilder(std::string name, core::ScenarioParams scenario)
+    : spec_(std::move(name), std::move(scenario)) {}
+
+SpecBuilder::SpecBuilder(std::string name,
+                         const core::ExponentialScenario& scenario)
+    : spec_(std::move(name), scenario.to_params()) {}
+
+SpecBuilder& SpecBuilder::protocol(core::ProtocolParams point) {
+  spec_.mode = Mode::evaluate;
+  spec_.grid.push_back(point);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::protocol_grid(const std::vector<unsigned>& ns,
+                                        const std::vector<double>& rs) {
+  spec_.mode = Mode::evaluate;
+  for (const unsigned n : ns)
+    for (const double r : rs) spec_.grid.push_back({n, r});
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::estimator(Estimator estimator) {
+  spec_.estimator = estimator;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::optimize(unsigned n_max) {
+  spec_.mode = Mode::optimize;
+  spec_.n_max = n_max;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::calibrate(core::ProtocolParams target) {
+  spec_.mode = Mode::calibrate;
+  spec_.calibrate_target = target;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::detailed(bool on) {
+  spec_.detailed = on;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::trials(std::size_t trials) {
+  spec_.sim.trials = trials;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::seed(std::uint64_t seed) {
+  spec_.sim.seed = seed;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::chunk_size(std::size_t trials_per_chunk) {
+  spec_.sim.chunk_size = trials_per_chunk;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::network(unsigned address_space, unsigned hosts) {
+  spec_.sim.address_space = address_space;
+  spec_.sim.hosts = hosts;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::faults(const faults::FaultSchedule& schedule) {
+  spec_.sim.faults = schedule;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::max_virtual_time(double budget) {
+  spec_.sim.max_virtual_time = budget;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::safety_caps(unsigned max_attempts,
+                                      unsigned max_probes) {
+  spec_.sim.max_attempts = max_attempts;
+  spec_.sim.max_probes = max_probes;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::probe_wait(double probe_wait_max) {
+  spec_.sim.probe_wait_max = probe_wait_max;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::r_options(const core::ROptOptions& opts) {
+  spec_.r_opts = opts;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::calibrate_options(const core::CalibrateOptions& opts) {
+  spec_.calibrate_opts = opts;
+  return *this;
+}
+
+ExperimentSpec SpecBuilder::build() const {
+  spec_.validate();
+  return spec_;
+}
+
+}  // namespace zc::engine

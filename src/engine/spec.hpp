@@ -1,0 +1,152 @@
+#pragma once
+
+/// \file spec.hpp
+/// Declarative experiment descriptions. An `ExperimentSpec` names one
+/// run of the paper's evaluation machinery — a scenario, what to do with
+/// it (evaluate a protocol grid / find the joint optimum / calibrate
+/// (E, c)), which estimator produces the numbers (closed forms, the
+/// discrete reward model, or protocol-faithful Monte-Carlo simulation),
+/// and the network/fault configuration when simulation is involved.
+///
+/// The spec is the single seam between "what experiment" and "how it is
+/// executed": the CLI, the examples, and the benches all build specs (via
+/// `SpecBuilder`) and hand them to `engine::CampaignRunner` (campaign.hpp)
+/// instead of hand-wiring ScenarioParams + NetworkConfig + ZeroconfConfig
+/// + MonteCarloOptions + RunReport themselves.
+///
+/// Validation is centralized: `ExperimentSpec::validate()` (invoked by
+/// `SpecBuilder::build` and by the runner) rejects malformed grids,
+/// protocol parameters (through `ProtocolParams::validate`, strict
+/// r > 0), simulation knobs, and fault schedules with a
+/// zc::ContractViolation naming the spec and the offending field.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/calibrate.hpp"
+#include "core/optimize.hpp"
+#include "core/params.hpp"
+#include "faults/schedule.hpp"
+
+namespace zc::engine {
+
+/// How a spec's numbers are produced.
+enum class Estimator {
+  analytic,     ///< closed forms Eq. (3)/(4) via shared survival ladders
+  drm,          ///< discrete Markov reward model (numeric cross-check)
+  monte_carlo,  ///< protocol-faithful simulation (sim::monte_carlo)
+};
+[[nodiscard]] const char* to_string(Estimator estimator) noexcept;
+
+/// What to do with the scenario.
+enum class Mode {
+  evaluate,   ///< evaluate every grid point
+  optimize,   ///< joint (n, r) optimum over n in [1, n_max]
+  calibrate,  ///< inverse problem: (E, c) making the target optimal
+};
+[[nodiscard]] const char* to_string(Mode mode) noexcept;
+
+/// Simulation knobs, consumed only when `estimator == monte_carlo`.
+/// The scenario supplies what it already knows: F_X becomes the
+/// responder-delay distribution and (c, E) the cost accounting; `hosts`
+/// defaults to the occupancy implied by the scenario's q.
+struct SimulationOptions {
+  unsigned address_space = core::kAddressSpaceSize;
+  unsigned hosts = 0;  ///< configured hosts; 0 = round(q * address_space)
+  faults::FaultSchedule faults;  ///< adversarial conditions; default none
+  double max_virtual_time = 0.0;  ///< per-run clock budget; 0 = unbounded
+
+  std::size_t trials = 10000;
+  std::uint64_t seed = 42;
+  std::size_t chunk_size = 0;  ///< trials per chunk; 0 = auto (~64 chunks)
+
+  /// Runaway-run safeguards (sim::ZeroconfConfig); 0 = unbounded.
+  unsigned max_attempts = 0;
+  unsigned max_probes = 0;
+  /// Draft PROBE_WAIT desynchronization delay bound; 0 = model-faithful.
+  double probe_wait_max = 0.0;
+};
+
+/// One declarative experiment. Construct through `SpecBuilder`; the
+/// fields stay public so the runner and tests can inspect them.
+struct ExperimentSpec {
+  ExperimentSpec(std::string name, core::ScenarioParams scenario);
+
+  std::string name;               ///< identifies the spec in reports
+  core::ScenarioParams scenario;  ///< q, c, E, F_X
+  Mode mode = Mode::evaluate;
+  Estimator estimator = Estimator::analytic;
+
+  /// Mode::evaluate — the protocol grid (>= 1 point, strict r > 0).
+  std::vector<core::ProtocolParams> grid;
+
+  /// Mode::optimize — probe-count bound and r-search options.
+  unsigned n_max = 16;
+  core::ROptOptions r_opts{};
+
+  /// Mode::calibrate — the target configuration (scenario's E, c ignored).
+  core::ProtocolParams calibrate_target{};
+  core::CalibrateOptions calibrate_opts{};
+
+  SimulationOptions sim;
+
+  /// Evaluate mode: also compute cost stddev, mean waiting time, and
+  /// mean address attempts per cell (analytic/drm estimators; the
+  /// Monte-Carlo estimator always reports them).
+  bool detailed = false;
+
+  /// Reject a malformed spec with a ContractViolation naming this spec
+  /// and the offending field.
+  void validate() const;
+
+  /// Largest n over the evaluate grid (1 when the grid is empty); the
+  /// ladder length shared through the runner's SurfaceCache.
+  [[nodiscard]] unsigned grid_n_max() const noexcept;
+
+  /// Configured hosts the simulation estimator uses: `sim.hosts`, or the
+  /// occupancy implied by the scenario (round(q * address_space)).
+  [[nodiscard]] unsigned effective_hosts() const noexcept;
+};
+
+/// Fluent, validating constructor for ExperimentSpec. `build()` runs
+/// `ExperimentSpec::validate()` so an invalid spec never escapes.
+class SpecBuilder {
+ public:
+  SpecBuilder(std::string name, core::ScenarioParams scenario);
+  SpecBuilder(std::string name, const core::ExponentialScenario& scenario);
+
+  /// Append one grid point (Mode::evaluate).
+  SpecBuilder& protocol(core::ProtocolParams point);
+  /// Append the cross product ns x rs in row-major (n-outer) order.
+  SpecBuilder& protocol_grid(const std::vector<unsigned>& ns,
+                             const std::vector<double>& rs);
+
+  SpecBuilder& estimator(Estimator estimator);
+  /// Switch to Mode::optimize with the given probe-count bound.
+  SpecBuilder& optimize(unsigned n_max = 16);
+  /// Switch to Mode::calibrate against `target`.
+  SpecBuilder& calibrate(core::ProtocolParams target);
+  SpecBuilder& detailed(bool on = true);
+
+  SpecBuilder& trials(std::size_t trials);
+  SpecBuilder& seed(std::uint64_t seed);
+  SpecBuilder& chunk_size(std::size_t trials_per_chunk);
+  SpecBuilder& network(unsigned address_space, unsigned hosts);
+  SpecBuilder& faults(const faults::FaultSchedule& schedule);
+  SpecBuilder& max_virtual_time(double budget);
+  SpecBuilder& safety_caps(unsigned max_attempts, unsigned max_probes = 0);
+  SpecBuilder& probe_wait(double probe_wait_max);
+
+  SpecBuilder& r_options(const core::ROptOptions& opts);
+  SpecBuilder& calibrate_options(const core::CalibrateOptions& opts);
+
+  /// Validate and return the finished spec.
+  [[nodiscard]] ExperimentSpec build() const;
+
+ private:
+  ExperimentSpec spec_;
+};
+
+}  // namespace zc::engine

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 
 #include "common/contract.hpp"
 
@@ -138,6 +140,283 @@ std::string JsonValue::dump() const {
   std::ostringstream os;
   write(os);
   return os.str();
+}
+
+const JsonValue* JsonValue::element(std::size_t index) const {
+  if (kind_ != Kind::array || index >= elements_.size()) return nullptr;
+  return &elements_[index];
+}
+
+namespace {
+
+/// Recursive-descent cursor over the input. Nesting is depth-capped so a
+/// pathological "[[[[..." input fails cleanly instead of overflowing the
+/// stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> run(std::string* error) {
+    JsonValue value;
+    if (!parse_value(value, 0) || !expect_end()) {
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+
+  bool fail(const std::string& what) {
+    if (error_.empty())
+      error_ = what + " at byte " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  bool expect_end() {
+    if (!at_end()) return fail("trailing characters after JSON value");
+    return true;
+  }
+
+  bool consume(char expected, const char* what) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != expected)
+      return fail(std::string("expected ") + what);
+    ++pos_;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = JsonValue(std::move(s));
+        return true;
+      }
+      case 't': return parse_literal("true", JsonValue(true), out);
+      case 'f': return parse_literal("false", JsonValue(false), out);
+      case 'n': return parse_literal("null", JsonValue(), out);
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_literal(std::string_view word, JsonValue value, JsonValue& out) {
+    if (text_.substr(pos_, word.size()) != word)
+      return fail("malformed literal");
+    pos_ += word.size();
+    out = std::move(value);
+    return true;
+  }
+
+  bool parse_number(JsonValue& out) {
+    // Strict JSON grammar: -? (0 | [1-9][0-9]*) frac? exp? — stricter
+    // than strtod, which would admit "01", "1.", "+1", or hex floats.
+    const std::size_t start = pos_;
+    const auto digit = [&](std::size_t i) {
+      return i < text_.size() && text_[i] >= '0' && text_[i] <= '9';
+    };
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (!digit(pos_)) {
+      pos_ = start;
+      return fail("malformed number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;  // a leading zero stands alone
+    } else {
+      while (digit(pos_)) ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digit(pos_)) {
+        pos_ = start;
+        return fail("malformed number");
+      }
+      while (digit(pos_)) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (!digit(pos_)) {
+        pos_ = start;
+        return fail("malformed number");
+      }
+      while (digit(pos_)) ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    out = JsonValue(std::strtod(token.c_str(), nullptr));
+    return true;
+  }
+
+  bool parse_hex4(unsigned& out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else return fail("malformed \\u escape");
+    }
+    pos_ += 4;
+    out = value;
+    return true;
+  }
+
+  static void append_utf8(std::string& s, unsigned cp) {
+    if (cp < 0x80) {
+      s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      s += static_cast<char>(0xC0 | (cp >> 6));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      s += static_cast<char>(0xE0 | (cp >> 12));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      s += static_cast<char>(0xF0 | (cp >> 18));
+      s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"', "'\"'")) return false;
+    out.clear();
+    while (true) {
+      if (pos_ >= text_.size()) return fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!parse_hex4(cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require the paired low surrogate.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u')
+              return fail("unpaired surrogate");
+            pos_ += 2;
+            unsigned low = 0;
+            if (!parse_hex4(low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF)
+              return fail("unpaired surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+  }
+
+  bool parse_array(JsonValue& out, int depth) {
+    ++pos_;  // '['
+    out = JsonValue::array();
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      if (!parse_value(element, depth + 1)) return false;
+      out.push_back(std::move(element));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_object(JsonValue& out, int depth) {
+    ++pos_;  // '{'
+    out = JsonValue::object();
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (!consume(':', "':'")) return false;
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      out[key] = std::move(value);
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    std::string* error) {
+  return JsonParser(text).run(error);
 }
 
 }  // namespace zc::obs

@@ -7,11 +7,15 @@
 /// escaping rules and number formatting. Serialization is a pure function
 /// of the stored values (doubles print with round-trip precision,
 /// non-finite values degrade to `null`), which is what lets tests compare
-/// report sections byte-for-byte across thread counts.
+/// report sections byte-for-byte across thread counts. `parse_json` is
+/// the matching strict reader, used by the golden report tests to close
+/// the emit -> parse loop.
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -75,6 +79,22 @@ class JsonValue {
 
   [[nodiscard]] std::size_t size() const noexcept;
 
+  /// Scalar accessors; each returns the stored value only for the
+  /// matching kind (false / 0.0 / "" otherwise).
+  [[nodiscard]] bool as_bool() const noexcept {
+    return kind_ == Kind::boolean && bool_;
+  }
+  [[nodiscard]] double as_number() const noexcept {
+    return kind_ == Kind::number ? number_ : 0.0;
+  }
+  [[nodiscard]] const std::string& as_string() const noexcept {
+    static const std::string kEmpty;
+    return kind_ == Kind::string ? string_ : kEmpty;
+  }
+
+  /// Array element access; nullptr when out of range or not an array.
+  [[nodiscard]] const JsonValue* element(std::size_t index) const;
+
   /// Serialize with 2-space indentation at the given starting depth.
   void write(std::ostream& os, int indent = 0) const;
 
@@ -99,5 +119,13 @@ void write_json_number(std::ostream& os, double value);
 
 /// Write `text` as a JSON string literal with standard escaping.
 void write_json_string(std::ostream& os, const std::string& text);
+
+/// Strict recursive-descent parse of one JSON document (trailing
+/// whitespace allowed, trailing garbage rejected). Numbers parse to
+/// double; \uXXXX escapes decode to UTF-8, including surrogate pairs.
+/// Returns nullopt on malformed input and, when `error` is non-null,
+/// stores a one-line diagnostic with the byte offset.
+[[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text,
+                                                  std::string* error = nullptr);
 
 }  // namespace zc::obs

@@ -1,0 +1,98 @@
+/// Regression tests for the centralized ProtocolParams domain checks:
+/// every rejection goes through ProtocolParams::validate, names the
+/// offending field, and is enforced by the evaluators that consume the
+/// parameters.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "common/contract.hpp"
+#include "core/cost.hpp"
+#include "core/drm.hpp"
+#include "core/params.hpp"
+#include "core/scenarios.hpp"
+
+namespace {
+
+using namespace zc;
+
+core::ScenarioParams scenario() {
+  return core::scenarios::figure2().to_params();
+}
+
+TEST(ParamsValidation, AcceptsTheDraftConfiguration) {
+  const core::ProtocolParams draft{4, 2.0};
+  EXPECT_NO_THROW(draft.validate());
+  EXPECT_NO_THROW(draft.validate(/*allow_zero_r=*/true));
+}
+
+TEST(ParamsValidation, RejectsZeroProbeCount) {
+  const core::ProtocolParams p{0, 2.0};
+  EXPECT_THROW(p.validate(), zc::ContractViolation);
+  try {
+    p.validate();
+    FAIL() << "expected a ContractViolation";
+  } catch (const zc::ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("ProtocolParams.n"),
+              std::string::npos);
+  }
+}
+
+TEST(ParamsValidation, RejectsNonPositiveRByDefault) {
+  EXPECT_THROW((core::ProtocolParams{4, 0.0}.validate()),
+               zc::ContractViolation);
+  EXPECT_THROW((core::ProtocolParams{4, -1.0}.validate()),
+               zc::ContractViolation);
+  try {
+    core::ProtocolParams{4, -1.0}.validate();
+    FAIL() << "expected a ContractViolation";
+  } catch (const zc::ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("ProtocolParams.r"),
+              std::string::npos);
+  }
+}
+
+TEST(ParamsValidation, RejectsNonFiniteR) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((core::ProtocolParams{4, inf}.validate()),
+               zc::ContractViolation);
+  EXPECT_THROW((core::ProtocolParams{4, nan}.validate()),
+               zc::ContractViolation);
+  // Non-finite r is rejected even in the relaxed closed-form domain.
+  EXPECT_THROW((core::ProtocolParams{4, inf}.validate(true)),
+               zc::ContractViolation);
+  EXPECT_THROW((core::ProtocolParams{4, nan}.validate(true)),
+               zc::ContractViolation);
+}
+
+TEST(ParamsValidation, AllowZeroRAdmitsTheClosedFormLimit) {
+  const core::ProtocolParams limit{4, 0.0};
+  EXPECT_NO_THROW(limit.validate(/*allow_zero_r=*/true));
+  EXPECT_THROW((core::ProtocolParams{4, -0.5}.validate(true)),
+               zc::ContractViolation);
+}
+
+// The evaluators enforce the centralized checks.
+
+TEST(ParamsValidation, MeanCostRejectsMalformedParams) {
+  EXPECT_THROW((void)core::mean_cost(scenario(), {0, 2.0}),
+               zc::ContractViolation);
+  EXPECT_THROW((void)core::mean_cost(scenario(), {4, -1.0}),
+               zc::ContractViolation);
+  // r = 0 stays admissible: the closed-form limit C(n, 0) = qE.
+  EXPECT_NO_THROW((void)core::mean_cost(scenario(), {4, 0.0}));
+}
+
+TEST(ParamsValidation, BuildChainRejectsMalformedParams) {
+  EXPECT_THROW((void)core::build_chain(scenario(), {0, 1.0}),
+               zc::ContractViolation);
+  EXPECT_THROW(
+      (void)core::build_chain(scenario(),
+                              {3, std::numeric_limits<double>::infinity()}),
+      zc::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,336 @@
+/// CampaignRunner: estimator-vs-direct equivalence, survival-ladder
+/// sharing, the batch determinism contract, and the CSV sink.
+
+#include "engine/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/calibrate.hpp"
+#include "core/cost.hpp"
+#include "core/optimize.hpp"
+#include "core/reliability.hpp"
+#include "core/scenarios.hpp"
+#include "faults/schedule.hpp"
+#include "obs/metrics.hpp"
+#include "prob/delay.hpp"
+#include "sim/monte_carlo.hpp"
+
+#ifdef ZC_OBS_DISABLED
+#define ZC_SKIP_WITHOUT_METRICS() \
+  GTEST_SKIP() << "metric mutators compiled out (-DZC_OBS_METRICS=OFF)"
+#else
+#define ZC_SKIP_WITHOUT_METRICS() (void)0
+#endif
+
+namespace {
+
+using namespace zc;
+using engine::CampaignOptions;
+using engine::CampaignResult;
+using engine::CampaignRunner;
+using engine::CellResult;
+using engine::Estimator;
+using engine::ExperimentSpec;
+using engine::SpecBuilder;
+
+core::ScenarioParams scenario() {
+  return core::scenarios::figure2().to_params();
+}
+
+/// Every deterministic byte a campaign produces, for cross-thread-count
+/// comparison: results, optima, calibrations, and the merged metrics.
+std::string campaign_bytes(const CampaignResult& campaign) {
+  return campaign.to_json().dump() +
+         obs::metrics_to_json(campaign.metrics).dump();
+}
+
+TEST(Campaign, AnalyticCellsMatchTheClosedForms) {
+  const core::ScenarioParams s = scenario();
+  const std::vector<unsigned> ns{1, 2, 4};
+  const std::vector<double> rs{0.5, 2.0};
+  CampaignRunner runner;
+  const engine::ExperimentResult result = runner.run_one(
+      SpecBuilder("grid", s).protocol_grid(ns, rs).build());
+
+  ASSERT_EQ(result.cells.size(), ns.size() * rs.size());
+  std::size_t i = 0;
+  for (const unsigned n : ns) {
+    for (const double r : rs) {
+      const CellResult& cell = result.cells[i++];
+      EXPECT_EQ(cell.protocol.n, n);
+      // The cached-ladder path must be bitwise-equal to the direct
+      // closed-form evaluation.
+      EXPECT_EQ(cell.mean_cost, core::mean_cost(s, {n, r}));
+      EXPECT_EQ(cell.error_probability, core::error_probability(s, {n, r}));
+    }
+  }
+}
+
+TEST(Campaign, DetailedCellsCarryTheDetailBlock) {
+  const core::ScenarioParams s = scenario();
+  const core::ProtocolParams point{3, 1.5};
+  CampaignRunner runner;
+  const engine::ExperimentResult result = runner.run_one(
+      SpecBuilder("detail", s).protocol(point).detailed().build());
+
+  ASSERT_EQ(result.cells.size(), 1u);
+  const CellResult& cell = result.cells[0];
+  ASSERT_TRUE(cell.has_detail);
+  EXPECT_EQ(cell.cost_stddev, std::sqrt(core::cost_variance(s, point)));
+  EXPECT_GT(cell.cost_stddev, 0.0);
+  EXPECT_EQ(cell.mean_waiting_time, core::mean_waiting_time(s, point));
+  EXPECT_EQ(cell.mean_attempts, core::mean_address_attempts(s, point));
+}
+
+TEST(Campaign, DrmTracksTheClosedForms) {
+  const core::ScenarioParams s = scenario();
+  const core::ProtocolParams point{3, 0.8};
+  CampaignRunner runner;
+  const engine::ExperimentResult result = runner.run_one(
+      SpecBuilder("drm", s).protocol(point).estimator(Estimator::drm).build());
+
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_NEAR(result.cells[0].mean_cost, core::mean_cost(s, point),
+              1e-6 * core::mean_cost(s, point));
+  EXPECT_NEAR(result.cells[0].error_probability,
+              core::error_probability(s, point),
+              1e-6 * core::error_probability(s, point));
+}
+
+TEST(Campaign, MonteCarloCellsMatchTheDirectSimulation) {
+  const core::ScenarioParams s(0.3, 2.0, 1000.0,
+                               prob::paper_reply_delay(0.1, 10.0, 0.05));
+  const core::ProtocolParams point{3, 0.5};
+  CampaignRunner runner;
+  const engine::ExperimentResult via_engine = runner.run_one(
+      SpecBuilder("mc", s)
+          .protocol(point)
+          .estimator(Estimator::monte_carlo)
+          .network(100, 30)
+          .trials(400)
+          .seed(7)
+          .build());
+
+  sim::NetworkConfig network;
+  network.address_space = 100;
+  network.hosts = 30;
+  network.responder_delay = s.reply_delay_ptr();
+  sim::ZeroconfConfig protocol;
+  protocol.n = point.n;
+  protocol.r = point.r;
+  sim::MonteCarloOptions mc;
+  mc.trials = 400;
+  mc.seed = 7;
+  mc.probe_cost = s.probe_cost();
+  mc.error_cost = s.error_cost();
+  const sim::MonteCarloResults direct = sim::monte_carlo(network, protocol, mc);
+
+  ASSERT_EQ(via_engine.cells.size(), 1u);
+  const CellResult& cell = via_engine.cells[0];
+  EXPECT_TRUE(cell.from_simulation);
+  EXPECT_EQ(cell.mean_cost, direct.model_cost.mean);
+  EXPECT_EQ(cell.error_probability, direct.collision_rate);
+  EXPECT_EQ(cell.cost_stddev, direct.model_cost.stddev);
+  EXPECT_EQ(cell.trials, direct.trials);
+  EXPECT_EQ(cell.completed, direct.completed);
+  EXPECT_EQ(cell.collisions, direct.collisions);
+  EXPECT_EQ(cell.mean_probes, direct.probes.mean);
+  EXPECT_EQ(cell.mean_elapsed_cost, direct.elapsed_cost.mean);
+  // The spec's semantic metrics are the simulation's, merged verbatim.
+  EXPECT_EQ(obs::metrics_to_json(via_engine.metrics).dump(),
+            obs::metrics_to_json(direct.metrics).dump());
+}
+
+TEST(Campaign, OptimizeMatchesJointOptimum) {
+  const core::ScenarioParams s = scenario();
+  CampaignRunner runner;
+  const engine::ExperimentResult result =
+      runner.run_one(SpecBuilder("opt", s).optimize(8).build());
+
+  const core::JointOptimum direct = core::joint_optimum(s, 8);
+  ASSERT_TRUE(result.optimum.has_value());
+  EXPECT_EQ(result.optimum->n, direct.n);
+  EXPECT_EQ(result.optimum->r, direct.r);
+  EXPECT_EQ(result.optimum->cost, direct.cost);
+  EXPECT_EQ(result.optimum->error_prob, direct.error_prob);
+}
+
+TEST(Campaign, CalibrateMatchesTheDirectInverseProblem) {
+  const core::ScenarioParams s = scenario();
+  const core::ProtocolParams target{4, 2.0};
+  CampaignRunner runner;
+  const engine::ExperimentResult result =
+      runner.run_one(SpecBuilder("cal", s).calibrate(target).build());
+
+  const auto direct = core::calibrate(s, target);
+  ASSERT_EQ(result.calibration.has_value(), direct.has_value());
+  ASSERT_TRUE(result.calibration.has_value());
+  EXPECT_EQ(result.calibration->error_cost, direct->error_cost);
+  EXPECT_EQ(result.calibration->probe_cost, direct->probe_cost);
+  EXPECT_EQ(result.calibration->competitor, direct->competitor);
+  EXPECT_EQ(result.calibration->target_is_optimal, direct->target_is_optimal);
+}
+
+TEST(Campaign, SurvivalLaddersAreSharedAcrossSpecs) {
+  ZC_SKIP_WITHOUT_METRICS();
+  // Three specs sharing one F_X and ladder length, differing only in the
+  // cost weights (E, c): the first spec computes each distinct-r ladder
+  // once; the others hit the cache on every column.
+  const core::ScenarioParams base = scenario();
+  const std::vector<unsigned> ns{1, 2};
+  const std::vector<double> rs{0.5, 1.0, 2.0};
+  const std::vector<ExperimentSpec> specs{
+      SpecBuilder("base", base).protocol_grid(ns, rs).build(),
+      SpecBuilder("cheap-probes", base.with_probe_cost(0.5))
+          .protocol_grid(ns, rs)
+          .build(),
+      SpecBuilder("costly-errors", base.with_error_cost(1e6))
+          .protocol_grid(ns, rs)
+          .build(),
+  };
+
+  CampaignRunner runner;
+  const CampaignResult campaign = runner.run(specs);
+
+  // Exactly-once computation: misses == distinct (F_X, n_max, r) keys,
+  // hits == the remaining requests — a pure function of the spec list.
+  EXPECT_EQ(campaign.metrics.counter_value("engine.cache.misses"),
+            std::optional<std::uint64_t>(rs.size()));
+  EXPECT_EQ(campaign.metrics.counter_value("engine.cache.hits"),
+            std::optional<std::uint64_t>(2 * rs.size()));
+  EXPECT_EQ(campaign.metrics.gauge_value("engine.cache.entries"),
+            std::optional<double>(static_cast<double>(rs.size())));
+  EXPECT_EQ(campaign.metrics.counter_value("engine.specs.total"),
+            std::optional<std::uint64_t>(specs.size()));
+  EXPECT_EQ(campaign.metrics.counter_value("engine.cells.total"),
+            std::optional<std::uint64_t>(specs.size() * ns.size() * rs.size()));
+
+  // Sharing does not change the numbers: every spec's grid evaluates
+  // bitwise-equal to the direct closed forms under its own weights.
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    const core::ScenarioParams& s = specs[k].scenario;
+    for (std::size_t i = 0; i < specs[k].grid.size(); ++i) {
+      EXPECT_EQ(campaign.experiments[k].cells[i].mean_cost,
+                core::mean_cost(s, specs[k].grid[i]));
+    }
+  }
+}
+
+TEST(Campaign, HundredSpecFaultCampaignIsByteIdenticalAcrossThreadCounts) {
+  // The acceptance-criteria campaign: >= 100 specs with the full fault
+  // schedule, byte-identical RunReport at 1 thread and at 8.
+  faults::FaultSchedule chaos;
+  chaos.gilbert_elliott.p_enter_burst = 0.05;
+  chaos.gilbert_elliott.p_exit_burst = 0.25;
+  chaos.gilbert_elliott.loss_bad = 0.9;
+  chaos.blackout.windows = {2.0, 0.5, 8.0};
+  chaos.delay_spike.windows = {1.0, 1.0, 6.0};
+  chaos.delay_spike.extra = 0.2;
+  chaos.duplication.probability = 0.05;
+  chaos.reordering.probability = 0.1;
+  chaos.reordering.max_jitter = 0.05;
+  chaos.host_churn.deaf_fraction = 0.3;
+  chaos.host_churn.period = 4.0;
+  chaos.host_churn.deaf_duration = 1.0;
+  chaos.validate();
+
+  const core::ScenarioParams s(0.3, 2.0, 1000.0,
+                               prob::paper_reply_delay(0.1, 10.0, 0.05));
+  std::vector<ExperimentSpec> specs;
+  for (unsigned i = 0; i < 100; ++i) {
+    specs.push_back(SpecBuilder("spec-" + std::to_string(i), s)
+                        .protocol({1 + i % 4, 0.25 + 0.25 * (i % 3)})
+                        .estimator(Estimator::monte_carlo)
+                        .network(100, 30)
+                        .faults(chaos)
+                        .max_virtual_time(1e4)
+                        .safety_caps(64)
+                        .trials(40)
+                        .seed(1000 + i)
+                        .build());
+  }
+
+  const auto run_at = [&](unsigned threads) {
+    CampaignRunner runner(CampaignOptions{threads});
+    return runner.run(specs).report("golden", "acceptance campaign")
+        .to_json()
+        .dump();
+  };
+  const std::string serial = run_at(1);
+  const std::string parallel = run_at(8);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("\"specs\": 100"), std::string::npos);
+}
+
+TEST(Campaign, MixedBatchKeepsSpecOrder) {
+  const core::ScenarioParams s = scenario();
+  CampaignRunner runner;
+  const CampaignResult campaign = runner.run({
+      SpecBuilder("first", s).protocol({4, 2.0}).build(),
+      SpecBuilder("second", s).optimize(4).build(),
+      SpecBuilder("third", s).calibrate({2, 1.0}).build(),
+  });
+  ASSERT_EQ(campaign.experiments.size(), 3u);
+  EXPECT_EQ(campaign.experiments[0].name, "first");
+  EXPECT_EQ(campaign.experiments[1].name, "second");
+  EXPECT_TRUE(campaign.experiments[1].optimum.has_value());
+  EXPECT_EQ(campaign.experiments[2].name, "third");
+}
+
+TEST(Campaign, AnalyticBatchesAreByteIdenticalAcrossThreadCounts) {
+  const core::ScenarioParams s = scenario();
+  std::vector<ExperimentSpec> specs;
+  for (unsigned i = 0; i < 20; ++i) {
+    specs.push_back(SpecBuilder("grid-" + std::to_string(i), s)
+                        .protocol_grid({1, 2, 4, 8}, {0.5, 1.0, 2.0, 4.0})
+                        .detailed()
+                        .build());
+  }
+  specs.push_back(SpecBuilder("optimum", s).optimize(16).build());
+
+  const auto run_at = [&](unsigned threads) {
+    CampaignRunner runner(CampaignOptions{threads});
+    return campaign_bytes(runner.run(specs));
+  };
+  EXPECT_EQ(run_at(1), run_at(8));
+}
+
+TEST(Campaign, CsvSinkWritesOneRowPerResult) {
+  const core::ScenarioParams s = scenario();
+  CampaignRunner runner;
+  const CampaignResult campaign = runner.run({
+      SpecBuilder("grid", s).protocol_grid({1, 2}, {0.5, 2.0}).build(),
+      SpecBuilder("opt", s).optimize(4).build(),
+      SpecBuilder("cal", s).calibrate({4, 2.0}).build(),
+  });
+  ASSERT_TRUE(campaign.experiments[2].calibration.has_value());
+
+  const std::string path = ::testing::TempDir() + "zc_campaign_test.csv";
+  ASSERT_TRUE(engine::write_campaign_csv(campaign, path));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  std::remove(path.c_str());
+
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines[0],
+            "spec,mode,estimator,n,r,mean_cost,error_probability,trials,"
+            "completed,aborted");
+  // 4 grid cells + 1 optimum + 1 calibration.
+  EXPECT_EQ(lines.size(), 1u + 4u + 1u + 1u);
+  EXPECT_EQ(lines[1].substr(0, 5), "grid,");
+  EXPECT_NE(lines[5].find("opt,optimize,"), std::string::npos);
+  EXPECT_NE(lines[6].find("cal,calibrate,"), std::string::npos);
+}
+
+}  // namespace

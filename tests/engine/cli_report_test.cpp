@@ -1,0 +1,140 @@
+/// Golden end-to-end test for `zcopt_cli --report`: spawn the real
+/// binary, parse the emitted manifest back through obs::parse_json, and
+/// check the schema plus run-to-run determinism of the deterministic
+/// sections (config/data/metrics; timers measure the hardware and are
+/// exempt).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+#ifndef ZCOPT_CLI_PATH
+#error "ZCOPT_CLI_PATH must point at the zcopt_cli binary"
+#endif
+
+namespace {
+
+using zc::obs::JsonValue;
+
+/// Run the CLI with `arguments`, returning the parsed report written to
+/// a temp file, or nullopt (caller skips) when spawning is unavailable.
+std::optional<JsonValue> run_cli(const std::string& arguments,
+                                 const std::string& tag) {
+  if (std::system(nullptr) == 0) return std::nullopt;  // no shell
+  const std::string path =
+      ::testing::TempDir() + "zc_cli_report_" + tag + ".json";
+  const std::string command = std::string(ZCOPT_CLI_PATH) + " " + arguments +
+                              " --report " + path + " > /dev/null 2>&1";
+  const int rc = std::system(command.c_str());
+  if (rc != 0) {
+    std::remove(path.c_str());
+    return std::nullopt;
+  }
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::remove(path.c_str());
+  if (!in.good() && buffer.str().empty()) return std::nullopt;
+
+  std::string error;
+  auto parsed = zc::obs::parse_json(buffer.str(), &error);
+  EXPECT_TRUE(parsed.has_value()) << "emitted report is not valid JSON: "
+                                  << error;
+  return parsed;
+}
+
+/// dump() of a required section, so sections compare byte-for-byte.
+std::string section(const JsonValue& report, const char* key) {
+  const JsonValue* value = report.find(key);
+  EXPECT_NE(value, nullptr) << "report lacks required key '" << key << "'";
+  return value ? value->dump() : std::string();
+}
+
+TEST(CliReport, EvaluateManifestMatchesTheSchema) {
+  const auto report = run_cli("--hosts 1000 --n 4 --r 2", "evaluate");
+  if (!report.has_value()) GTEST_SKIP() << "could not spawn zcopt_cli";
+
+  EXPECT_EQ(report->find("schema")->as_string(),
+            zc::obs::RunReport::kSchemaName);
+  EXPECT_DOUBLE_EQ(report->find("schema_version")->as_number(),
+                   zc::obs::RunReport::kSchemaVersion);
+  EXPECT_EQ(report->find("program")->as_string(), "zcopt_cli");
+
+  const JsonValue* config = report->find("config");
+  ASSERT_NE(config, nullptr);
+  EXPECT_EQ(config->find("mode")->as_string(), "evaluate");
+  EXPECT_DOUBLE_EQ(config->find("n")->as_number(), 4.0);
+  EXPECT_DOUBLE_EQ(config->find("r")->as_number(), 2.0);
+  for (const char* knob : {"q", "c", "E", "loss", "lambda", "d"})
+    EXPECT_NE(config->find(knob), nullptr) << "config lacks '" << knob << "'";
+
+  const JsonValue* configuration =
+      report->find("data") ? report->find("data")->find("configuration")
+                           : nullptr;
+  ASSERT_NE(configuration, nullptr);
+  EXPECT_GT(configuration->find("mean_cost")->as_number(), 0.0);
+  EXPECT_GE(configuration->find("collision_probability")->as_number(), 0.0);
+
+  // The engine run behind the evaluation leaves its bookkeeping behind.
+  const JsonValue* metrics = report->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_NE(metrics->find("counters"), nullptr);
+#ifndef ZC_OBS_DISABLED
+  EXPECT_NE(metrics->find("counters")->find("engine.specs.total"), nullptr);
+#endif
+  EXPECT_NE(report->find("timers"), nullptr);
+}
+
+TEST(CliReport, EvaluateManifestIsDeterministicAcrossRuns) {
+  const auto first = run_cli("--hosts 500 --n 3 --r 1.5", "det_a");
+  const auto second = run_cli("--hosts 500 --n 3 --r 1.5", "det_b");
+  if (!first.has_value() || !second.has_value())
+    GTEST_SKIP() << "could not spawn zcopt_cli";
+  EXPECT_EQ(section(*first, "config"), section(*second, "config"));
+  EXPECT_EQ(section(*first, "data"), section(*second, "data"));
+  EXPECT_EQ(section(*first, "metrics"), section(*second, "metrics"));
+}
+
+TEST(CliReport, CampaignManifestMatchesTheSchemaAndIsDeterministic) {
+  const std::string arguments =
+      "campaign --hosts 1000 --n 1,2,4 --r 0.5,2 --detailed";
+  const auto first = run_cli(arguments, "campaign_a");
+  const auto second = run_cli(arguments, "campaign_b");
+  if (!first.has_value() || !second.has_value())
+    GTEST_SKIP() << "could not spawn zcopt_cli";
+
+  EXPECT_EQ(first->find("schema")->as_string(),
+            zc::obs::RunReport::kSchemaName);
+  const JsonValue* config = first->find("config");
+  ASSERT_NE(config, nullptr);
+  EXPECT_EQ(config->find("mode")->as_string(), "campaign");
+  EXPECT_EQ(config->find("estimator")->as_string(), "analytic");
+  EXPECT_DOUBLE_EQ(config->find("specs")->as_number(), 1.0);
+
+  const JsonValue* experiments =
+      first->find("data") ? first->find("data")->find("experiments") : nullptr;
+  ASSERT_NE(experiments, nullptr);
+  ASSERT_EQ(experiments->size(), 1u);
+  const JsonValue* cells = experiments->element(0)->find("cells");
+  ASSERT_NE(cells, nullptr);
+  ASSERT_EQ(cells->size(), 6u);  // 3 probe counts x 2 listening periods
+  const JsonValue* cell = cells->element(0);
+  EXPECT_DOUBLE_EQ(cell->find("n")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(cell->find("r")->as_number(), 0.5);
+  EXPECT_NE(cell->find("mean_cost"), nullptr);
+  EXPECT_NE(cell->find("cost_stddev"), nullptr);  // --detailed
+
+  EXPECT_EQ(section(*first, "config"), section(*second, "config"));
+  EXPECT_EQ(section(*first, "data"), section(*second, "data"));
+  EXPECT_EQ(section(*first, "metrics"), section(*second, "metrics"));
+}
+
+}  // namespace

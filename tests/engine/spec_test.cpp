@@ -1,0 +1,180 @@
+/// ExperimentSpec / SpecBuilder: construction, grid semantics, and the
+/// centralized rejection of malformed specs.
+
+#include "engine/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "common/contract.hpp"
+#include "core/scenarios.hpp"
+#include "prob/delay.hpp"
+
+namespace {
+
+using namespace zc;
+using engine::Estimator;
+using engine::ExperimentSpec;
+using engine::Mode;
+using engine::SpecBuilder;
+
+core::ScenarioParams scenario() {
+  return core::scenarios::figure2().to_params();
+}
+
+TEST(SpecBuilder, DefaultsToAnalyticEvaluate) {
+  const ExperimentSpec spec =
+      SpecBuilder("one", scenario()).protocol({4, 2.0}).build();
+  EXPECT_EQ(spec.name, "one");
+  EXPECT_EQ(spec.mode, Mode::evaluate);
+  EXPECT_EQ(spec.estimator, Estimator::analytic);
+  ASSERT_EQ(spec.grid.size(), 1u);
+  EXPECT_EQ(spec.grid[0].n, 4u);
+  EXPECT_DOUBLE_EQ(spec.grid[0].r, 2.0);
+  EXPECT_FALSE(spec.detailed);
+}
+
+TEST(SpecBuilder, GridCrossProductIsNOuterRowMajor) {
+  const ExperimentSpec spec = SpecBuilder("grid", scenario())
+                                  .protocol_grid({1, 3}, {0.5, 2.0, 4.0})
+                                  .build();
+  ASSERT_EQ(spec.grid.size(), 6u);
+  EXPECT_EQ(spec.grid[0].n, 1u);
+  EXPECT_DOUBLE_EQ(spec.grid[0].r, 0.5);
+  EXPECT_DOUBLE_EQ(spec.grid[2].r, 4.0);
+  EXPECT_EQ(spec.grid[3].n, 3u);
+  EXPECT_DOUBLE_EQ(spec.grid[3].r, 0.5);
+  EXPECT_EQ(spec.grid_n_max(), 3u);
+}
+
+TEST(SpecBuilder, OptimizeAndCalibrateSwitchModes) {
+  const ExperimentSpec opt = SpecBuilder("opt", scenario()).optimize(8).build();
+  EXPECT_EQ(opt.mode, Mode::optimize);
+  EXPECT_EQ(opt.n_max, 8u);
+
+  const ExperimentSpec cal =
+      SpecBuilder("cal", scenario()).calibrate({4, 0.25}).build();
+  EXPECT_EQ(cal.mode, Mode::calibrate);
+  EXPECT_EQ(cal.calibrate_target.n, 4u);
+}
+
+TEST(SpecBuilder, SimulationKnobsLand) {
+  const ExperimentSpec spec = SpecBuilder("mc", scenario())
+                                  .protocol({4, 2.0})
+                                  .estimator(Estimator::monte_carlo)
+                                  .network(1000, 200)
+                                  .trials(123)
+                                  .seed(9)
+                                  .chunk_size(16)
+                                  .max_virtual_time(1e4)
+                                  .safety_caps(64, 256)
+                                  .probe_wait(1.0)
+                                  .build();
+  EXPECT_EQ(spec.sim.address_space, 1000u);
+  EXPECT_EQ(spec.sim.hosts, 200u);
+  EXPECT_EQ(spec.effective_hosts(), 200u);
+  EXPECT_EQ(spec.sim.trials, 123u);
+  EXPECT_EQ(spec.sim.seed, 9u);
+  EXPECT_EQ(spec.sim.chunk_size, 16u);
+  EXPECT_DOUBLE_EQ(spec.sim.max_virtual_time, 1e4);
+  EXPECT_EQ(spec.sim.max_attempts, 64u);
+  EXPECT_EQ(spec.sim.max_probes, 256u);
+  EXPECT_DOUBLE_EQ(spec.sim.probe_wait_max, 1.0);
+}
+
+TEST(SpecBuilder, HostsDefaultToScenarioOccupancy) {
+  // q = 0.2 on a 1000-address space -> 200 configured hosts.
+  const core::ScenarioParams s(0.2, 1.0, 10.0,
+                               prob::paper_reply_delay(0.1, 10.0, 0.05));
+  const ExperimentSpec spec = SpecBuilder("mc", s)
+                                  .protocol({2, 1.0})
+                                  .estimator(Estimator::monte_carlo)
+                                  .network(1000, 0)
+                                  .build();
+  EXPECT_EQ(spec.effective_hosts(), 200u);
+}
+
+// ---- rejections --------------------------------------------------------
+
+TEST(SpecValidate, RejectsEmptyName) {
+  EXPECT_THROW(SpecBuilder("", scenario()).protocol({4, 2.0}).build(),
+               zc::ContractViolation);
+}
+
+TEST(SpecValidate, RejectsEmptyEvaluateGrid) {
+  EXPECT_THROW(SpecBuilder("empty", scenario()).build(),
+               zc::ContractViolation);
+}
+
+TEST(SpecValidate, RejectsMalformedGridPoints) {
+  EXPECT_THROW(SpecBuilder("n0", scenario()).protocol({0, 2.0}).build(),
+               zc::ContractViolation);
+  EXPECT_THROW(SpecBuilder("r0", scenario()).protocol({4, 0.0}).build(),
+               zc::ContractViolation);
+  EXPECT_THROW(
+      SpecBuilder("rinf", scenario())
+          .protocol({4, std::numeric_limits<double>::infinity()})
+          .build(),
+      zc::ContractViolation);
+}
+
+TEST(SpecValidate, RejectionNamesTheSpec) {
+  try {
+    (void)SpecBuilder("my-experiment", scenario()).build();
+    FAIL() << "expected a ContractViolation";
+  } catch (const zc::ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("ExperimentSpec 'my-experiment'"),
+              std::string::npos);
+  }
+}
+
+TEST(SpecValidate, RejectsMalformedSimulationKnobs) {
+  const auto mc = [&] {
+    return SpecBuilder("mc", scenario())
+        .protocol({4, 2.0})
+        .estimator(Estimator::monte_carlo);
+  };
+  EXPECT_THROW(mc().trials(0).build(), zc::ContractViolation);
+  EXPECT_THROW(mc().network(1, 0).build(), zc::ContractViolation);
+  // Hosts must leave at least one free address.
+  EXPECT_THROW(mc().network(100, 100).build(), zc::ContractViolation);
+  EXPECT_THROW(mc().max_virtual_time(-1.0).build(), zc::ContractViolation);
+  EXPECT_THROW(
+      mc().max_virtual_time(std::numeric_limits<double>::infinity()).build(),
+      zc::ContractViolation);
+  EXPECT_THROW(mc().probe_wait(-0.5).build(), zc::ContractViolation);
+}
+
+TEST(SpecValidate, RejectsMonteCarloForOptimizeAndCalibrate) {
+  EXPECT_THROW(SpecBuilder("opt", scenario())
+                   .optimize()
+                   .estimator(Estimator::monte_carlo)
+                   .build(),
+               zc::ContractViolation);
+  EXPECT_THROW(SpecBuilder("cal", scenario())
+                   .calibrate({4, 2.0})
+                   .estimator(Estimator::monte_carlo)
+                   .build(),
+               zc::ContractViolation);
+}
+
+TEST(SpecValidate, RejectsInvalidFaultSchedule) {
+  faults::FaultSchedule bad;
+  bad.gilbert_elliott.loss_bad = 1.5;  // probabilities live in [0, 1]
+  EXPECT_THROW(SpecBuilder("faults", scenario())
+                   .protocol({4, 2.0})
+                   .estimator(Estimator::monte_carlo)
+                   .network(100, 30)
+                   .faults(bad)
+                   .build(),
+               zc::ContractViolation);
+}
+
+TEST(SpecValidate, OptimizeNeedsPositiveNMax) {
+  EXPECT_THROW(SpecBuilder("opt", scenario()).optimize(0).build(),
+               zc::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,61 @@
+/// Golden campaign: the paper's headline numbers reproduced through the
+/// experiment engine — the same specs the CLI, examples, and benches now
+/// build, checked against the published Figure 2 / Section 6 values.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/scenarios.hpp"
+#include "engine/campaign.hpp"
+
+namespace {
+
+using namespace zc;
+using engine::CampaignOptions;
+using engine::CampaignRunner;
+using engine::SpecBuilder;
+
+TEST(GoldenCampaign, ReproducesThePaperOptimaInOneBatch) {
+  // One batch holding both headline scenarios; the ladder cache and the
+  // deterministic batch executor sit in the exercised path.
+  CampaignRunner runner;
+  const engine::CampaignResult campaign = runner.run({
+      SpecBuilder("figure2", core::scenarios::figure2()).optimize(16).build(),
+      SpecBuilder("section6", core::scenarios::sec6()).optimize(16).build(),
+  });
+
+  // Sec. 4.4: optimal n = 3, r ~ 2.14 s, expected cost ~ 12.6.
+  ASSERT_TRUE(campaign.experiments[0].optimum.has_value());
+  const core::JointOptimum& fig2 = *campaign.experiments[0].optimum;
+  EXPECT_EQ(fig2.n, 3u);
+  EXPECT_NEAR(fig2.r, 2.14, 0.05);
+  EXPECT_NEAR(fig2.cost, 12.6, 0.1);
+
+  // Sec. 6: the assessment scenario prefers n = 2, r ~ 1.75 s.
+  ASSERT_TRUE(campaign.experiments[1].optimum.has_value());
+  const core::JointOptimum& sec6 = *campaign.experiments[1].optimum;
+  EXPECT_EQ(sec6.n, 2u);
+  EXPECT_NEAR(sec6.r, 1.75, 0.05);
+}
+
+TEST(GoldenCampaign, BatchBytesAreThreadCountInvariant) {
+  const auto run_at = [](unsigned threads) {
+    CampaignRunner runner(CampaignOptions{threads});
+    return runner
+        .run({SpecBuilder("figure2", core::scenarios::figure2())
+                  .optimize(16)
+                  .build(),
+              SpecBuilder("grid", core::scenarios::sec6())
+                  .protocol_grid({1, 2, 4}, {0.5, 1.75, 4.0})
+                  .detailed()
+                  .build()})
+        .report("golden_campaign", "paper numbers through the engine")
+        .to_json()
+        .dump();
+  };
+  EXPECT_EQ(run_at(1), run_at(8));
+}
+
+}  // namespace

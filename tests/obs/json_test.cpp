@@ -127,4 +127,85 @@ TEST(Json, SerializationIsPureFunctionOfValues) {
   EXPECT_EQ(build(), build());
 }
 
+// ---- strict parser -----------------------------------------------------
+
+TEST(JsonParse, ScalarsRoundTrip) {
+  using zc::obs::parse_json;
+  EXPECT_EQ(parse_json("null")->kind(), JsonValue::Kind::null);
+  EXPECT_TRUE(parse_json("true")->as_bool());
+  EXPECT_FALSE(parse_json("false")->as_bool());
+  EXPECT_DOUBLE_EQ(parse_json("-2.25")->as_number(), -2.25);
+  EXPECT_DOUBLE_EQ(parse_json("1e-12")->as_number(), 1e-12);
+  EXPECT_EQ(parse_json("\"text\"")->as_string(), "text");
+}
+
+TEST(JsonParse, DumpParsesBackToIdenticalDump) {
+  JsonValue obj = JsonValue::object();
+  obj["x"] = 0.30000000000000004;
+  obj["n"] = 12345;
+  obj["flag"] = true;
+  obj["name"] = "zc\n\"quoted\"";
+  obj["list"] = JsonValue::array();
+  obj["list"].push_back(1);
+  obj["list"].push_back(JsonValue());
+  obj["nested"] = JsonValue::object();
+  obj["nested"]["q"] = 0.015378937007874016;
+  const std::string bytes = obj.dump();
+  const auto parsed = zc::obs::parse_json(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dump(), bytes);
+}
+
+TEST(JsonParse, StringEscapes) {
+  const auto v = zc::obs::parse_json(R"("a\"b\\c\/d\b\f\n\r\t")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "a\"b\\c/d\b\f\n\r\t");
+  const auto unicode = zc::obs::parse_json(R"("Aé€")");
+  ASSERT_TRUE(unicode.has_value());
+  EXPECT_EQ(unicode->as_string(), "A\xC3\xA9\xE2\x82\xAC");
+  // Surrogate pair: U+1F600 as 😀 -> 4-byte UTF-8.
+  const auto pair = zc::obs::parse_json(R"("😀")");
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ(pair->as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParse, AccessorsNavigateTrees) {
+  const auto v = zc::obs::parse_json(
+      R"({"config": {"n": 4}, "cells": [{"r": 2.0}, {"r": 2.5}]})");
+  ASSERT_TRUE(v.has_value());
+  const JsonValue* config = v->find("config");
+  ASSERT_NE(config, nullptr);
+  EXPECT_DOUBLE_EQ(config->find("n")->as_number(), 4.0);
+  const JsonValue* cells = v->find("cells");
+  ASSERT_NE(cells, nullptr);
+  ASSERT_EQ(cells->size(), 2u);
+  EXPECT_DOUBLE_EQ(cells->element(1)->find("r")->as_number(), 2.5);
+  EXPECT_EQ(cells->element(2), nullptr);
+  EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  std::string error;
+  for (const char* bad :
+       {"", "{", "[1,", "tru", "01", "1.", "+1", "\"unterminated",
+        "\"bad \x01 control\"", R"("\ud83d")",  // unpaired surrogate
+        "{\"a\" 1}", "[1 2]", "{\"a\":1} trailing", "nan", "inf"}) {
+    EXPECT_FALSE(zc::obs::parse_json(bad, &error).has_value())
+        << "accepted: " << bad;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(JsonParse, ErrorNamesTheBytePosition) {
+  std::string error;
+  EXPECT_FALSE(zc::obs::parse_json("[1, oops]", &error).has_value());
+  EXPECT_NE(error.find("at byte"), std::string::npos);
+}
+
+TEST(JsonParse, DuplicateKeysLastWins) {
+  const auto v = zc::obs::parse_json(R"({"k": 1, "k": 2})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(v->find("k")->as_number(), 2.0);
+}
+
 }  // namespace
