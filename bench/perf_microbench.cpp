@@ -122,6 +122,78 @@ void BM_SimulatedConfigurationRun(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatedConfigurationRun)->Arg(100)->Arg(1000);
 
+// ---- Allocation-free simulation core (event pool + trial reuse) --------
+// The same configuration run on a reused trial context: reset(seed)
+// re-randomizes in place, so the loop runs allocation-free in steady
+// state. Compare against BM_SimulatedConfigurationRun (fresh Network per
+// iteration) for the construction overhead the pool removes.
+
+void BM_SimulatedRunPooled(benchmark::State& state) {
+  const auto hosts = static_cast<unsigned>(state.range(0));
+  sim::NetworkConfig config;
+  config.address_space = 65024;
+  config.hosts = hosts;
+  config.responder_delay =
+      std::shared_ptr<const prob::DelayDistribution>(
+          prob::paper_reply_delay(0.1, 10.0, 0.05));
+  sim::ZeroconfConfig protocol;
+  protocol.n = 4;
+  protocol.r = 0.25;
+  std::uint64_t seed = 1;
+  sim::Network net(config, seed);
+  for (auto _ : state) {
+    net.reset(++seed);
+    benchmark::DoNotOptimize(net.run_join(protocol));
+  }
+}
+BENCHMARK(BM_SimulatedRunPooled)->Arg(100)->Arg(1000);
+
+// The event pool's steady-state schedule/fire cycle in isolation: slots
+// and heap capacity are warm, so each event is a slab write plus a heap
+// sift — no allocator traffic.
+void BM_EventPoolScheduleFire(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  sim::Simulator simulator;
+  double bump = 0.0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i)
+      (void)simulator.schedule(static_cast<double>(i % 7) * 0.25,
+                               [&bump] { bump += 1.0; });
+    simulator.run();
+  }
+  benchmark::DoNotOptimize(bump);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EventPoolScheduleFire)->Arg(64)->Arg(1024);
+
+// Context recycling vs rebuilding: reset() re-draws addresses and
+// rewinds the clock without freeing hosts; construction pays for the
+// population, the subscriber table, and the attach loop every time.
+void BM_TrialContextReset(benchmark::State& state) {
+  const auto hosts = static_cast<unsigned>(state.range(0));
+  sim::NetworkConfig config;
+  config.address_space = 65024;
+  config.hosts = hosts;
+  std::uint64_t seed = 1;
+  sim::Network net(config, seed);
+  for (auto _ : state) net.reset(++seed);
+}
+BENCHMARK(BM_TrialContextReset)->Arg(100)->Arg(1000);
+
+void BM_TrialContextConstruct(benchmark::State& state) {
+  const auto hosts = static_cast<unsigned>(state.range(0));
+  sim::NetworkConfig config;
+  config.address_space = 65024;
+  config.hosts = hosts;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::Network net(config, ++seed);
+    benchmark::DoNotOptimize(&net);
+  }
+}
+BENCHMARK(BM_TrialContextConstruct)->Arg(100)->Arg(1000);
+
 // ---- Parallel execution layer (src/exec) -------------------------------
 // Thread-count sweeps over the two hot paths the exec layer accelerates.
 // Results are bitwise-identical across the sweep; only wall time moves.

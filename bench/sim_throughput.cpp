@@ -1,0 +1,287 @@
+/// PERF — Trial throughput of the allocation-free simulation core. Each
+/// scenario (plain join, simultaneous join, full fault soup) is run twice
+/// over the same seed sequence: once constructing a fresh Network per
+/// trial — the pre-pool driver's behavior — and once on a single reused
+/// context via Network::reset(seed). Both passes must produce identical
+/// per-trial results (checksummed); only throughput may differ. Emits
+/// BENCH_sim_throughput.json recording trials/sec, events/sec, and the
+/// pooled-vs-fresh speedup, so CI can track the win (the default join
+/// scenario is expected to hold >= 3x).
+///
+/// `--smoke` shrinks the trial counts for the `perf`-labeled ctest entry.
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/expectation.hpp"
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "exec/seeding.hpp"
+#include "prob/delay.hpp"
+#include "sim/network.hpp"
+
+namespace {
+
+using namespace zc;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint64_t kSeed = 20260808;
+
+struct Scenario {
+  std::string name;
+  sim::NetworkConfig network;
+  sim::ZeroconfConfig protocol;
+  unsigned joiners = 1;  ///< 1 = run_join, else run_simultaneous_join
+  std::size_t trials_full = 0;
+  std::size_t trials_smoke = 0;
+};
+
+struct ModeStats {
+  double wall_ms = 0.0;
+  double trials_per_sec = 0.0;
+  double events_per_sec = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t checksum = 0;
+  // Pool telemetry of the (single) pooled context; zero in fresh mode.
+  std::size_t pool_slots = 0;
+  std::size_t pool_high_water = 0;
+  std::uint64_t pool_reuse = 0;
+};
+
+/// Mix every observable field of a run outcome into the checksum — the
+/// two modes must agree bit for bit, not just on throughput.
+std::uint64_t fold(std::uint64_t h, const sim::RunResult& r) {
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  const auto mix_double = [&](double d) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  mix(r.address);
+  mix(r.probes_sent);
+  mix(r.attempts);
+  mix(r.conflicts);
+  mix(r.collision ? 1 : 0);
+  mix(r.aborted ? 1 : 0);
+  mix_double(r.waiting_time);
+  mix_double(r.elapsed);
+  return h;
+}
+
+ModeStats run_mode(const Scenario& s, std::size_t trials, bool pooled) {
+  ModeStats out;
+  std::unique_ptr<sim::Network> ctx;
+  const auto start = Clock::now();
+  for (std::size_t t = 0; t < trials; ++t) {
+    // Same counter-based seed sequence in both modes: trial t is the
+    // same experiment whether the context is rebuilt or reset.
+    const std::uint64_t trial_seed = exec::split_seed(kSeed, t);
+    if (!pooled) {
+      if (ctx) out.events += ctx->simulator().events_executed();
+      ctx = std::make_unique<sim::Network>(s.network, trial_seed);
+    } else if (!ctx) {
+      ctx = std::make_unique<sim::Network>(s.network, trial_seed);
+    } else {
+      ctx->reset(trial_seed);
+    }
+    if (s.joiners <= 1) {
+      out.checksum = fold(out.checksum, ctx->run_join(s.protocol));
+    } else {
+      for (const sim::RunResult& r :
+           ctx->run_simultaneous_join(s.protocol, s.joiners))
+        out.checksum = fold(out.checksum, r);
+    }
+  }
+  out.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() - start)
+                    .count();
+  out.events += ctx->simulator().events_executed();
+  if (pooled) {
+    out.pool_slots = ctx->simulator().pool_slots();
+    out.pool_high_water = ctx->simulator().pool_high_water();
+    out.pool_reuse = ctx->simulator().pool_reuse_count();
+  }
+  const double secs = out.wall_ms / 1000.0;
+  if (secs > 0.0) {
+    out.trials_per_sec = static_cast<double>(trials) / secs;
+    out.events_per_sec = static_cast<double>(out.events) / secs;
+  }
+  return out;
+}
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> out;
+
+  // The default Monte-Carlo workload: 1000 configured hosts, paper reply
+  // delays, one joiner. This is the acceptance scenario for the >= 3x
+  // pooled speedup — per-trial construction of the 1000-host population
+  // dominates the handful of probe events.
+  Scenario join;
+  join.name = "join";
+  join.network.address_space = 65024;
+  join.network.hosts = 1000;
+  join.network.responder_delay =
+      std::shared_ptr<const prob::DelayDistribution>(
+          prob::paper_reply_delay(0.1, 10.0, 0.05));
+  join.protocol.n = 4;
+  join.protocol.r = 0.25;
+  join.trials_full = 1500;
+  join.trials_smoke = 200;
+  out.push_back(join);
+
+  // Multi-host contention: 8 joiners racing with PROBE_WAIT, avoidance,
+  // rate limiting, and announcements (the Uppaal companion scenario).
+  Scenario simultaneous;
+  simultaneous.name = "simultaneous_join";
+  simultaneous.network.address_space = 1000;
+  simultaneous.network.hosts = 200;
+  simultaneous.network.responder_delay =
+      std::shared_ptr<const prob::DelayDistribution>(
+          prob::paper_reply_delay(0.2, 15.0, 0.1));
+  simultaneous.protocol.n = 3;
+  simultaneous.protocol.r = 0.5;
+  simultaneous.protocol.probe_wait_max = 0.5;
+  simultaneous.protocol.avoid_failed_addresses = true;
+  simultaneous.protocol.announce_count = 2;
+  simultaneous.protocol.announce_interval = 1.0;
+  simultaneous.protocol.max_attempts = 50;
+  simultaneous.joiners = 8;
+  simultaneous.trials_full = 400;
+  simultaneous.trials_smoke = 50;
+  out.push_back(simultaneous);
+
+  // Every fault class active: the injector, churn hashing, duplication
+  // and jitter paths all ride the pooled core.
+  Scenario faults;
+  faults.name = "full_faults";
+  faults.network.address_space = 4096;
+  faults.network.hosts = 300;
+  faults.network.responder_delay =
+      std::shared_ptr<const prob::DelayDistribution>(
+          prob::paper_reply_delay(0.4, 20.0, 0.1));
+  faults.network.faults.gilbert_elliott.p_enter_burst = 0.05;
+  faults.network.faults.gilbert_elliott.p_exit_burst = 0.25;
+  faults.network.faults.gilbert_elliott.loss_bad = 0.9;
+  faults.network.faults.blackout.windows.start = 0.5;
+  faults.network.faults.blackout.windows.duration = 0.2;
+  faults.network.faults.blackout.windows.period = 2.0;
+  faults.network.faults.delay_spike.windows.start = 1.0;
+  faults.network.faults.delay_spike.windows.duration = 0.5;
+  faults.network.faults.delay_spike.windows.period = 3.0;
+  faults.network.faults.delay_spike.multiplier = 4.0;
+  faults.network.faults.delay_spike.extra = 0.05;
+  faults.network.faults.duplication.probability = 0.15;
+  faults.network.faults.duplication.copies = 2;
+  faults.network.faults.reordering.probability = 0.3;
+  faults.network.faults.reordering.max_jitter = 0.2;
+  faults.network.faults.host_churn.deaf_fraction = 0.3;
+  faults.network.faults.host_churn.period = 4.0;
+  faults.network.faults.host_churn.deaf_duration = 1.0;
+  faults.protocol.n = 3;
+  faults.protocol.r = 1.0;
+  faults.protocol.max_attempts = 64;
+  faults.trials_full = 800;
+  faults.trials_smoke = 100;
+  out.push_back(faults);
+
+  return out;
+}
+
+obs::JsonValue mode_json(const ModeStats& m, std::size_t trials,
+                         bool pooled) {
+  obs::JsonValue entry = obs::JsonValue::object();
+  entry["trials"] = trials;
+  entry["wall_ms"] = m.wall_ms;
+  entry["trials_per_sec"] = m.trials_per_sec;
+  entry["events_per_sec"] = m.events_per_sec;
+  entry["events"] = m.events;
+  if (pooled) {
+    entry["pool_slots"] = m.pool_slots;
+    entry["pool_high_water"] = m.pool_high_water;
+    entry["pool_reuse"] = m.pool_reuse;
+  }
+  return entry;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace zc;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+
+  bench::banner("PERF-SIM-THROUGHPUT",
+                "allocation-free sim core: pooled trial contexts vs "
+                "fresh-per-trial baseline");
+  if (smoke) std::cout << "[smoke mode: reduced trial counts]\n";
+
+  obs::RunReport report("sim_throughput",
+                        "pooled event queue + reusable trial contexts vs "
+                        "fresh-network-per-trial baseline");
+  report.set_seed(kSeed);
+  report.config()["smoke"] = smoke;
+
+  obs::JsonValue rows = obs::JsonValue::array();
+  bool identical = true;
+  bool positive = true;
+  double join_speedup = 0.0;
+
+  for (const Scenario& s : scenarios()) {
+    const std::size_t trials = smoke ? s.trials_smoke : s.trials_full;
+    const ModeStats fresh = run_mode(s, trials, /*pooled=*/false);
+    const ModeStats pooled = run_mode(s, trials, /*pooled=*/true);
+    const bool same = fresh.checksum == pooled.checksum;
+    const double speedup = fresh.trials_per_sec > 0.0
+                               ? pooled.trials_per_sec / fresh.trials_per_sec
+                               : 0.0;
+    identical &= same;
+    positive &= fresh.trials_per_sec > 0.0 && pooled.trials_per_sec > 0.0;
+    if (s.name == "join") join_speedup = speedup;
+
+    std::cout << s.name << " (" << trials << " trials)\n"
+              << "  fresh-per-trial: " << format_sig(fresh.wall_ms, 4)
+              << " ms  " << format_sig(fresh.trials_per_sec, 4)
+              << " trials/s  " << format_sig(fresh.events_per_sec, 4)
+              << " events/s\n"
+              << "  pooled context:  " << format_sig(pooled.wall_ms, 4)
+              << " ms  " << format_sig(pooled.trials_per_sec, 4)
+              << " trials/s  " << format_sig(pooled.events_per_sec, 4)
+              << " events/s\n"
+              << "  speedup x" << format_sig(speedup, 3) << "  results "
+              << (same ? "identical" : "DIVERGED") << "\n";
+
+    obs::JsonValue row = obs::JsonValue::object();
+    row["name"] = s.name;
+    row["baseline_fresh"] = mode_json(fresh, trials, false);
+    row["pooled"] = mode_json(pooled, trials, true);
+    row["speedup_trials_per_sec"] = speedup;
+    row["identical_results"] = same;
+    rows.push_back(std::move(row));
+  }
+
+  report.data()["scenarios"] = std::move(rows);
+  report.data()["join_speedup"] = join_speedup;
+  report.data()["identical_results"] = identical;
+  bench::emit_report(report, "BENCH_sim_throughput.json");
+
+  analysis::PaperCheck check("PERF-SIM-THROUGHPUT");
+  check.expect_true("results-identical",
+                    "pooled contexts replay the fresh-per-trial results "
+                    "bit for bit in every scenario",
+                    identical);
+  check.expect_true("throughput-positive",
+                    "both modes completed with measurable throughput",
+                    positive);
+  check.expect_true("pooled-3x-join",
+                    "reused contexts deliver >= 3x trials/sec on the "
+                    "default 1000-host join scenario",
+                    join_speedup >= 3.0);
+  return bench::finish(check);
+}

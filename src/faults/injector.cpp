@@ -22,6 +22,12 @@ FaultInjector::FaultInjector(FaultSchedule schedule, std::uint64_t seed)
   schedule_.validate();
 }
 
+void FaultInjector::reseed(std::uint64_t seed) {
+  rng_ = prob::Rng(seed);
+  churn_seed_ = exec::split_seed(seed, kFaultSeedStream);
+  burst_ = false;
+}
+
 bool FaultInjector::host_deaf_at(sim::HostId host, double t) const noexcept {
   const HostChurn& churn = schedule_.host_churn;
   if (!churn.enabled()) return false;

@@ -26,6 +26,12 @@ class FaultInjector final : public FaultModel {
   /// Validates `schedule` (ZC_REQUIRE) and seeds the private stream.
   FaultInjector(FaultSchedule schedule, std::uint64_t seed);
 
+  /// Rewind to the freshly-constructed state for `seed`: reseeds the
+  /// private stream, re-derives the churn key, and leaves the
+  /// Gilbert-Elliott chain in the good state. Part of the trial-context
+  /// reuse path (Network::reset); the schedule and metric binding persist.
+  void reseed(std::uint64_t seed);
+
   [[nodiscard]] FaultDecision on_delivery(const FaultContext& ctx) override;
 
   [[nodiscard]] const FaultSchedule& schedule() const noexcept {

@@ -27,8 +27,14 @@ Dtmc::Dtmc(linalg::Matrix p, std::vector<std::string> state_names,
 
   if (names_.empty()) {
     names_.reserve(p_.rows());
-    for (std::size_t i = 0; i < p_.rows(); ++i)
-      names_.push_back("s" + std::to_string(i));
+    for (std::size_t i = 0; i < p_.rows(); ++i) {
+      // Built via insert rather than `"s" + to_string(i)`: the rvalue
+      // operator+ overload trips GCC 12's -Wrestrict false positive
+      // (PR 105651) at -O3, which -Werror turns fatal.
+      std::string name = std::to_string(i);
+      name.insert(name.begin(), 's');
+      names_.push_back(std::move(name));
+    }
   }
 }
 

@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file action.hpp
+/// Fixed-capacity, move-only callable for the simulator's event slots:
+/// the callback lives *inside* the slot (small-buffer storage sized for
+/// every in-tree caller), so scheduling an event never touches the heap
+/// — unlike std::function, which may allocate for captures beyond its
+/// implementation-defined SBO. Exceeding the capacity is a compile-time
+/// error, keeping the allocation-free guarantee enforceable.
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+namespace zc::sim {
+
+/// Move-only `void()` callable with `Capacity` bytes of inline storage.
+template <std::size_t Capacity>
+class InplaceAction {
+ public:
+  InplaceAction() noexcept = default;
+
+  /// Implicit from any nothrow-movable callable that fits the buffer.
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InplaceAction> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  InplaceAction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "callable captures exceed the event-slot capacity; "
+                  "shrink the capture list or raise Capacity");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "callable is over-aligned for the event-slot buffer");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "event callables must be nothrow-movable (slots "
+                  "relocate when the slab grows)");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    vtable_ = &kVTable<Fn>;
+  }
+
+  InplaceAction(InplaceAction&& other) noexcept { move_from(other); }
+  InplaceAction& operator=(InplaceAction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InplaceAction(const InplaceAction&) = delete;
+  InplaceAction& operator=(const InplaceAction&) = delete;
+  ~InplaceAction() { reset(); }
+
+  void operator()() { vtable_->invoke(storage_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return vtable_ != nullptr;
+  }
+
+  /// Destroy the held callable (no-op when empty).
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  static void invoke_impl(void* p) {
+    (*static_cast<Fn*>(p))();
+  }
+  template <typename Fn>
+  static void relocate_impl(void* from, void* to) noexcept {
+    Fn* f = static_cast<Fn*>(from);
+    ::new (to) Fn(std::move(*f));
+    f->~Fn();
+  }
+  template <typename Fn>
+  static void destroy_impl(void* p) noexcept {
+    static_cast<Fn*>(p)->~Fn();
+  }
+
+  template <typename Fn>
+  static constexpr VTable kVTable{&invoke_impl<Fn>, &relocate_impl<Fn>,
+                                  &destroy_impl<Fn>};
+
+  void move_from(InplaceAction& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->relocate(other.storage_, storage_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  const VTable* vtable_ = nullptr;
+  alignas(std::max_align_t) std::byte storage_[Capacity];
+};
+
+}  // namespace zc::sim

@@ -5,16 +5,46 @@
 namespace zc::sim {
 
 ConfiguredHost::ConfiguredHost(
-    Simulator& sim, Medium& medium, Address address,
+    Simulator& sim, Medium& medium,
     std::shared_ptr<const prob::DelayDistribution> response, prob::Rng& rng)
     : sim_(sim),
       medium_(medium),
-      address_(address),
+      address_(kNoAddress),
       response_(std::move(response)),
       rng_(rng) {
-  ZC_EXPECTS(address_ != kNoAddress);
   id_ = medium_.attach([this](const Packet& p) { on_packet(p); });
+}
+
+ConfiguredHost::ConfiguredHost(
+    Simulator& sim, Medium& medium, Address address,
+    std::shared_ptr<const prob::DelayDistribution> response, prob::Rng& rng)
+    : ConfiguredHost(sim, medium, std::move(response), rng) {
+  ZC_EXPECTS(address != kNoAddress);
+  reset(address);
+}
+
+ConfiguredHost::ConfiguredHost(ConfiguredHost&& other) noexcept
+    : sim_(other.sim_),
+      medium_(other.medium_),
+      address_(other.address_),
+      response_(std::move(other.response_)),
+      rng_(other.rng_),
+      id_(other.id_),
+      probes_answered_(other.probes_answered_),
+      probes_ignored_(other.probes_ignored_),
+      conflicts_seen_(other.conflicts_seen_) {
+  // The interface slot keeps the id; only the callback target relocates.
+  medium_.rebind(id_, [this](const Packet& p) { on_packet(p); });
+}
+
+void ConfiguredHost::reset(Address address) {
+  ZC_EXPECTS(address != kNoAddress);
+  if (address_ != kNoAddress) medium_.unsubscribe(id_, address_);
+  address_ = address;
   medium_.subscribe(id_, address_);
+  probes_answered_ = 0;
+  probes_ignored_ = 0;
+  conflicts_seen_ = 0;
 }
 
 void ConfiguredHost::on_packet(const Packet& packet) {

@@ -15,17 +15,36 @@
 namespace zc::sim {
 
 /// ARP responder configured with a fixed address.
+///
+/// Designed for storage by value in a reserved std::vector (the Network
+/// keeps one per configured host across trial resets): the move
+/// constructor re-binds the medium receiver to the new `this`. Moving a
+/// host with a reply event in flight is not supported — relocation only
+/// happens while the population is being built, before any run.
 class ConfiguredHost {
  public:
+  /// Attach to the medium without an address yet; `reset()` configures.
   /// \param response  distribution of the host's response latency for one
   ///                  probe; defective mass models a busy host that never
   ///                  answers. May be nullptr for instant, reliable reply.
+  ConfiguredHost(Simulator& sim, Medium& medium,
+                 std::shared_ptr<const prob::DelayDistribution> response,
+                 prob::Rng& rng);
+
+  /// Attach and configure `address` immediately.
   ConfiguredHost(Simulator& sim, Medium& medium, Address address,
                  std::shared_ptr<const prob::DelayDistribution> response,
                  prob::Rng& rng);
 
+  ConfiguredHost(ConfiguredHost&& other) noexcept;
   ConfiguredHost(const ConfiguredHost&) = delete;
+  ConfiguredHost& operator=(ConfiguredHost&&) = delete;
   ConfiguredHost& operator=(const ConfiguredHost&) = delete;
+
+  /// Re-configure for a new trial: subscribe to `address` (dropping any
+  /// previous subscription) and zero the per-run counters. The attachment
+  /// and response distribution persist.
+  void reset(Address address);
 
   [[nodiscard]] Address address() const noexcept { return address_; }
   [[nodiscard]] HostId id() const noexcept { return id_; }

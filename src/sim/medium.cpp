@@ -1,6 +1,5 @@
 #include "sim/medium.hpp"
 
-#include <algorithm>
 #include <cmath>
 
 #include "common/contract.hpp"
@@ -16,23 +15,113 @@ Medium::Medium(Simulator& sim, MediumConfig config, prob::Rng& rng)
 
 HostId Medium::attach(Receiver receiver) {
   ZC_EXPECTS(receiver != nullptr);
+  if (!free_ids_.empty()) {
+    const HostId id = free_ids_.back();
+    free_ids_.pop_back();
+    receivers_[id] = std::move(receiver);
+    return id;
+  }
   receivers_.push_back(std::move(receiver));
   return static_cast<HostId>(receivers_.size() - 1);
 }
 
+void Medium::detach(HostId host) {
+  ZC_EXPECTS(host < receivers_.size());
+  ZC_EXPECTS(receivers_[host] != nullptr);
+  receivers_[host] = nullptr;
+  free_ids_.push_back(host);
+}
+
+void Medium::rebind(HostId host, Receiver receiver) {
+  ZC_EXPECTS(host < receivers_.size());
+  ZC_EXPECTS(receiver != nullptr);
+  receivers_[host] = std::move(receiver);
+}
+
+void Medium::reserve_addresses(Address max_address) {
+  if (heads_.size() <= max_address) heads_.resize(max_address + 1, kNil);
+}
+
 void Medium::subscribe(HostId host, Address address) {
   ZC_EXPECTS(host < receivers_.size());
-  auto& subs = subscribers_[address];
-  if (std::find(subs.begin(), subs.end(), host) == subs.end())
-    subs.push_back(host);
+  ZC_EXPECTS(receivers_[host] != nullptr);
+  if (address >= heads_.size()) heads_.resize(address + 1, kNil);
+  // Append at the tail: broadcast iterates in subscription order, which
+  // the delivery sequence (and hence every downstream RNG draw) depends
+  // on. Lists are short — one walk doubles as the duplicate check.
+  std::uint32_t tail = kNil;
+  for (std::uint32_t i = heads_[address]; i != kNil; i = nodes_[i].next) {
+    if (nodes_[i].host == host) return;  // already subscribed
+    tail = i;
+  }
+  std::uint32_t node;
+  if (free_nodes_ != kNil) {
+    node = free_nodes_;
+    free_nodes_ = nodes_[node].next;
+  } else {
+    nodes_.push_back(SubNode{});
+    node = static_cast<std::uint32_t>(nodes_.size() - 1);
+  }
+  nodes_[node] = SubNode{host, kNil};
+  if (tail == kNil) {
+    dirty_.push_back(address);
+    heads_[address] = node;
+  } else {
+    nodes_[tail].next = node;
+  }
 }
 
 void Medium::unsubscribe(HostId host, Address address) {
-  const auto it = subscribers_.find(address);
-  if (it == subscribers_.end()) return;
-  auto& subs = it->second;
-  subs.erase(std::remove(subs.begin(), subs.end(), host), subs.end());
-  if (subs.empty()) subscribers_.erase(it);
+  if (address >= heads_.size()) return;
+  std::uint32_t prev = kNil;
+  for (std::uint32_t i = heads_[address]; i != kNil;
+       prev = i, i = nodes_[i].next) {
+    if (nodes_[i].host != host) continue;
+    if (prev == kNil) {
+      heads_[address] = nodes_[i].next;
+    } else {
+      nodes_[prev].next = nodes_[i].next;
+    }
+    nodes_[i].next = free_nodes_;
+    free_nodes_ = i;
+    return;
+  }
+}
+
+bool Medium::subscribed(HostId host, Address address) const noexcept {
+  if (address >= heads_.size()) return false;
+  for (std::uint32_t i = heads_[address]; i != kNil; i = nodes_[i].next) {
+    if (nodes_[i].host == host) return true;
+  }
+  return false;
+}
+
+void Medium::reset() {
+  // Return every chain of a touched address to the free list. dirty_ may
+  // hold duplicates (an address emptied by unsubscribe and re-subscribed
+  // re-enters); freeing an already-empty chain is a no-op.
+  for (const Address address : dirty_) {
+    std::uint32_t node = heads_[address];
+    while (node != kNil) {
+      const std::uint32_t next = nodes_[node].next;
+      nodes_[node].next = free_nodes_;
+      free_nodes_ = node;
+      node = next;
+    }
+    heads_[address] = kNil;
+  }
+  dirty_.clear();
+  // Trim trailing detached slots so the next attach sequence yields the
+  // ids a freshly-built medium would (interior holes, if any, stay on the
+  // free list).
+  while (!receivers_.empty() && receivers_.back() == nullptr)
+    receivers_.pop_back();
+  std::erase_if(free_ids_,
+                [this](HostId id) { return id >= receivers_.size(); });
+  packets_sent_ = 0;
+  packets_lost_ = 0;
+  packets_faulted_ = 0;
+  packets_duplicated_ = 0;
 }
 
 void Medium::bind_metrics(obs::MetricSet* set) {
@@ -47,15 +136,22 @@ void Medium::bind_metrics(obs::MetricSet* set) {
 
 void Medium::broadcast(const Packet& packet) {
   const HostId sender = packet_sender(packet);
+  const Address address = packet_address(packet);
   const auto count_cause = [this](faults::DeliveryCause cause) {
     ZC_OBS_ONLY(if (metrics_ != nullptr) metrics_->inc(
         cause_ids_[static_cast<std::size_t>(cause)]));
   };
-  const auto it = subscribers_.find(packet_address(packet));
-  if (it == subscribers_.end()) return;
-  // Copy: receivers may (un)subscribe while handling a delivery.
-  const std::vector<HostId> targets = it->second;
-  for (const HostId target : targets) {
+  if (address >= heads_.size()) return;
+  // Snapshot the targets: receivers may (un)subscribe while deliveries
+  // are decided. The snapshot lives in a persistent scratch region
+  // (index range, not a copy) so a nested broadcast from an observer
+  // appends after `last` and truncates back without clobbering ours.
+  const std::size_t first = scratch_.size();
+  for (std::uint32_t i = heads_[address]; i != kNil; i = nodes_[i].next)
+    scratch_.push_back(nodes_[i].host);
+  const std::size_t last = scratch_.size();
+  for (std::size_t k = first; k < last; ++k) {
+    const HostId target = scratch_[k];
     if (target == sender) continue;
     ++packets_sent_;
 
@@ -99,15 +195,16 @@ void Medium::broadcast(const Packet& packet) {
             {sim_.now(), sim_.now() + delay, packet, target, false, cause});
       sim_.schedule(delay, [this, target, packet] {
         // Deliver only if the target is still subscribed to this address
-        // at delivery time (it may have moved on to a new candidate).
-        const auto subs_it = subscribers_.find(packet_address(packet));
-        if (subs_it == subscribers_.end()) return;
-        const auto& subs = subs_it->second;
-        if (std::find(subs.begin(), subs.end(), target) == subs.end()) return;
+        // at delivery time (it may have moved on to a new candidate) and
+        // still attached (stale subscriptions of a detached id are inert).
+        if (!subscribed(target, packet_address(packet))) return;
+        if (target >= receivers_.size() || receivers_[target] == nullptr)
+          return;
         receivers_[target](packet);
       });
     }
   }
+  scratch_.resize(first);
 }
 
 }  // namespace zc::sim

@@ -11,11 +11,18 @@
 /// equivalent to full broadcast for the zeroconf protocol (only parties
 /// interested in U act on packets about U) and keeps large simulated
 /// networks cheap.
+///
+/// Subscriptions live in a pooled intrusive-list table (address-indexed
+/// heads into a node slab with a free list) instead of an
+/// unordered_map<Address, vector>: steady-state subscribe/unsubscribe
+/// churn — every address attempt of every trial — touches no allocator.
+/// `reset()` clears only the addresses that were actually used (dirty
+/// list) so a reused Medium costs O(subscriptions), not O(address
+/// space), per trial.
 
 #include <array>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "faults/fault.hpp"
@@ -57,8 +64,23 @@ class Medium {
   Medium(Simulator& sim, MediumConfig config, prob::Rng& rng);
 
   /// Attach an interface; the returned id is used as the packet sender id
-  /// and for (un)subscription.
+  /// and for (un)subscription. Ids freed by `detach` are recycled LIFO.
   HostId attach(Receiver receiver);
+
+  /// Release `host`'s interface for reuse. The host must have no pending
+  /// deliveries it cares about (they are silently dropped) and should
+  /// unsubscribe its addresses first; stale subscriptions of a detached
+  /// id are inert.
+  void detach(HostId host);
+
+  /// Replace the receiver callback of an attached interface in place
+  /// (used when a host object relocates and its captured `this` moves).
+  void rebind(HostId host, Receiver receiver);
+
+  /// Pre-size the per-address head table for addresses in [0, max_address]
+  /// so no subscribe() ever grows it — required for the allocation-free
+  /// steady state when addresses are drawn from a known space.
+  void reserve_addresses(Address max_address);
 
   /// Subscribe `host` to packets concerning `address`.
   void subscribe(HostId host, Address address);
@@ -70,6 +92,14 @@ class Medium {
   /// subscriber of the packet's address, independently applying loss and
   /// transit delay.
   void broadcast(const Packet& packet);
+
+  /// Drop all subscriptions and zero the delivery counters, keeping
+  /// attachments, pool capacity, the observer, the fault model, and the
+  /// metric binding. Trailing detached interface slots are trimmed so a
+  /// reset Medium assigns the same ids a freshly-built one would — part
+  /// of the Network::reset determinism contract (DESIGN.md §"Sim-core
+  /// memory model").
+  void reset();
 
   [[nodiscard]] std::size_t packets_sent() const noexcept {
     return packets_sent_;
@@ -105,13 +135,31 @@ class Medium {
   void bind_metrics(obs::MetricSet* set);
 
  private:
+  static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+
+  /// One subscription: intrusive singly-linked node in the slab.
+  struct SubNode {
+    HostId host = 0;
+    std::uint32_t next = kNil;
+  };
+
+  [[nodiscard]] bool subscribed(HostId host, Address address) const noexcept;
+
   Observer observer_;
   Simulator& sim_;
   MediumConfig config_;
   prob::Rng& rng_;
   faults::FaultModel* fault_model_ = nullptr;
+
   std::vector<Receiver> receivers_;
-  std::unordered_map<Address, std::vector<HostId>> subscribers_;
+  std::vector<HostId> free_ids_;  ///< detached interface slots, LIFO
+
+  std::vector<std::uint32_t> heads_;  ///< address -> first SubNode (lazy)
+  std::vector<SubNode> nodes_;        ///< subscription slab
+  std::uint32_t free_nodes_ = kNil;   ///< intrusive free list through next
+  std::vector<Address> dirty_;        ///< addresses with (past) subscribers
+  std::vector<HostId> scratch_;       ///< broadcast target snapshot
+
   std::size_t packets_sent_ = 0;
   std::size_t packets_lost_ = 0;
   std::size_t packets_faulted_ = 0;

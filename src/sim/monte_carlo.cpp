@@ -1,6 +1,8 @@
 #include "sim/monte_carlo.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/contract.hpp"
 #include "exec/parallel.hpp"
@@ -21,6 +23,20 @@ struct TrialAccumulator {
   std::size_t aborted = 0;
   std::size_t non_finite = 0;
 
+  /// Reusable trial context: built lazily on the chunk's first trial,
+  /// then reset(seed) per trial — the steady-state loop touches no
+  /// allocator. shared_ptr only for the copyability `parallel_reduce`
+  /// requires of the init accumulator (which holds nullptr); each chunk's
+  /// copy creates and exclusively owns its own network.
+  std::shared_ptr<Network> net;
+
+  /// Event-pool telemetry of this chunk's context (sampled after each
+  /// trial; reuse counts are cumulative per context, so the last sample
+  /// is the chunk total).
+  std::size_t pool_slots = 0;
+  std::size_t pool_high_water = 0;
+  std::uint64_t pool_reuse = 0;
+
   /// Chunk-local metric set; every chunk starts from a copy of the init
   /// accumulator, so names/ids registered once below are valid in all of
   /// them, and merge() folds chunk sets in ascending chunk order.
@@ -33,8 +49,7 @@ struct TrialAccumulator {
   obs::MetricId attempts_hist_id = 0;
   obs::MetricId probes_hist_id = 0;
   obs::MetricId waiting_hist_id = 0;
-  bool collect = false;     ///< snapshot of obs::collection_enabled()
-  bool chunk_seen = false;  ///< this chunk already counted in mc.chunks
+  bool collect = false;  ///< snapshot of obs::collection_enabled()
 
   void register_metrics() {
     collect = true;
@@ -60,6 +75,9 @@ struct TrialAccumulator {
     collisions += other.collisions;
     aborted += other.aborted;
     non_finite += other.non_finite;
+    pool_slots = std::max(pool_slots, other.pool_slots);
+    pool_high_water = std::max(pool_high_water, other.pool_high_water);
+    pool_reuse += other.pool_reuse;
     metrics.merge(other.metrics);
   }
 };
@@ -90,15 +108,26 @@ MonteCarloResults monte_carlo(const NetworkConfig& network,
       [&](TrialAccumulator& acc, std::size_t t) {
         // Counter-based seed: trial t's stream depends only on
         // (opts.seed, t), never on thread assignment or run order.
-        Network net(network, exec::split_seed(opts.seed, t));
-        if (acc.collect) {
-          if (!acc.chunk_seen) {
+        const std::uint64_t trial_seed = exec::split_seed(opts.seed, t);
+        if (acc.net == nullptr) {
+          // First trial of this chunk: build the context and bind it
+          // once (the chunk accumulator's address is stable for the
+          // chunk's lifetime). Later trials reset in place.
+          acc.net = std::make_shared<Network>(network, trial_seed);
+          if (acc.collect) {
             acc.metrics.inc(acc.chunks_id);
-            acc.chunk_seen = true;
+            acc.net->bind_metrics(&acc.metrics);
           }
-          net.bind_metrics(&acc.metrics);
+        } else {
+          acc.net->reset(trial_seed);
         }
+        Network& net = *acc.net;
         const RunResult run = net.run_join(protocol);
+        const Simulator& sim = net.simulator();
+        acc.pool_slots = std::max(acc.pool_slots, sim.pool_slots());
+        acc.pool_high_water =
+            std::max(acc.pool_high_water, sim.pool_high_water());
+        acc.pool_reuse = sim.pool_reuse_count();
         if (run.aborted) {
           // A safety-capped run claimed no address; folding its truncated
           // cost into the estimates would bias them. Tally it instead.
@@ -165,6 +194,9 @@ MonteCarloResults monte_carlo(const NetworkConfig& network,
     out.collision_rate = 0.0;
     out.collision_ci95 = {0.0, 1.0};
   }
+  out.pool_slots = total.pool_slots;
+  out.pool_high_water = total.pool_high_water;
+  out.pool_reuse = total.pool_reuse;
   if (total.collect) {
     // Campaign-level facts added after the chunk-ordered merge keep the
     // set a pure function of (inputs, seed, trials) — thread-agnostic.
@@ -175,6 +207,17 @@ MonteCarloResults monte_carlo(const NetworkConfig& network,
             exec::resolve_chunk_size(opts.trials, opts.chunk_size)));
     out.metrics = std::move(total.metrics);
     obs::Registry::global().publish(out.metrics);
+    // Pool telemetry goes to the registry in its own set, NOT into the
+    // campaign's semantic metrics: those are compared byte-for-byte
+    // against recordings that predate the event pool.
+    obs::MetricSet pool;
+    pool.set_gauge(pool.gauge("sim.pool.slots"),
+                   static_cast<double>(total.pool_slots));
+    pool.set_gauge(pool.gauge("sim.pool.high_water"),
+                   static_cast<double>(total.pool_high_water));
+    pool.set_gauge(pool.gauge("sim.pool.reuse"),
+                   static_cast<double>(total.pool_reuse));
+    obs::Registry::global().publish(pool);
   }
   return out;
 }

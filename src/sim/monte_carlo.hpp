@@ -59,6 +59,17 @@ struct MonteCarloResults {
   /// obs::Registry::global(). Empty when collection is off (runtime
   /// Registry::set_enabled(false) or compile-time -DZC_OBS_METRICS=OFF).
   obs::MetricSet metrics;
+
+  /// Event-pool telemetry of the reusable per-chunk trial contexts:
+  /// largest slab (pool_slots) and pending-event high-water mark across
+  /// chunks, and slot reuses summed over chunks. Deterministic for fixed
+  /// (inputs, seed, trials, chunk_size) — the chunk layout is thread-
+  /// agnostic — but kept out of `metrics` (published to the registry as
+  /// "sim.pool.*" gauges instead) so campaign metric bytes stay
+  /// comparable with pre-pool recordings.
+  std::size_t pool_slots = 0;
+  std::size_t pool_high_water = 0;
+  std::uint64_t pool_reuse = 0;
 };
 
 /// Options of a Monte-Carlo campaign.
@@ -81,7 +92,9 @@ struct MonteCarloOptions {
 };
 
 /// Run `opts.trials` independent configuration runs, each on a freshly
-/// populated network (addresses re-randomized), and aggregate.
+/// re-randomized network (one reusable context per worker chunk, reset
+/// per trial — statistically identical to fresh construction), and
+/// aggregate.
 [[nodiscard]] MonteCarloResults monte_carlo(const NetworkConfig& network,
                                             const ZeroconfConfig& protocol,
                                             const MonteCarloOptions& opts);

@@ -1,5 +1,6 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_map>
 
@@ -20,25 +21,50 @@ Network::Network(NetworkConfig config, std::uint64_t seed)
   if (config_.faults.any()) {
     // Fault randomness lives on its own split stream: the same trial with
     // faults disabled draws exactly the same main-stream values.
-    injector_ = std::make_unique<faults::FaultInjector>(
-        config_.faults, exec::split_seed(seed, faults::kFaultSeedStream));
-    medium_.set_fault_model(injector_.get());
+    injector_.emplace(config_.faults,
+                      exec::split_seed(seed, faults::kFaultSeedStream));
+    medium_.set_fault_model(&*injector_);
   } else {
     config_.faults.validate();
   }
-  used_.reserve(config_.hosts);
+  used_bits_.assign(
+      static_cast<std::size_t>(config_.address_space >> 6) + 1, 0);
+  // All drawn addresses fall in [1, address_space]: size the medium's
+  // subscriber-head table once so per-trial subscribes never grow it.
+  medium_.reserve_addresses(config_.address_space);
+  // Attaching draws no randomness, so building all hosts first and then
+  // drawing addresses consumes the RNG exactly like the historical
+  // interleaved loop — seeds keep producing the recorded populations.
   hosts_.reserve(config_.hosts);
-  while (used_.size() < config_.hosts) {
-    const auto addr =
-        static_cast<Address>(1 + rng_.uniform_below(config_.address_space));
-    if (!used_.insert(addr).second) continue;
+  for (unsigned k = 0; k < config_.hosts; ++k) {
     const auto& responder =
         config_.responder_mix.empty()
             ? config_.responder_delay
-            : config_.responder_mix[hosts_.size() %
-                                    config_.responder_mix.size()];
-    hosts_.push_back(std::make_unique<ConfiguredHost>(
-        sim_, medium_, addr, responder, rng_));
+            : config_.responder_mix[k % config_.responder_mix.size()];
+    hosts_.emplace_back(sim_, medium_, responder, rng_);
+  }
+  assign_addresses();
+}
+
+void Network::reset(std::uint64_t seed) {
+  rng_ = prob::Rng(seed);
+  sim_.reset();
+  medium_.reset();
+  if (injector_.has_value())
+    injector_->reseed(exec::split_seed(seed, faults::kFaultSeedStream));
+  std::fill(used_bits_.begin(), used_bits_.end(), 0);
+  assign_addresses();
+}
+
+void Network::assign_addresses() {
+  for (ConfiguredHost& host : hosts_) {
+    Address addr;
+    do {
+      addr =
+          static_cast<Address>(1 + rng_.uniform_below(config_.address_space));
+    } while (is_in_use(addr));
+    used_bits_[addr >> 6] |= std::uint64_t{1} << (addr & 63);
+    host.reset(addr);
   }
 }
 

@@ -7,8 +7,9 @@
 /// (Sec. 3.1): the network is static during a configuration run and
 /// q = hosts / address_space.
 
+#include <cstdint>
 #include <memory>
-#include <unordered_set>
+#include <optional>
 #include <vector>
 
 #include "faults/injector.hpp"
@@ -87,14 +88,31 @@ struct RunResult {
 };
 
 /// One populated link-local segment.
+///
+/// A Network is a reusable trial context: `reset(seed)` re-randomizes it
+/// into exactly the state `Network(config, seed)` would construct —
+/// bitwise-identical run results — without freeing the hosts, the event
+/// pool, or the medium's tables. Monte-Carlo drivers keep one Network per
+/// worker chunk and reset it per trial, making the steady-state trial
+/// loop allocation-free (DESIGN.md §"Sim-core memory model").
 class Network {
  public:
   /// Populates the segment with `config.hosts` ARP responders at distinct
   /// uniformly-drawn addresses.
   Network(NetworkConfig config, std::uint64_t seed);
 
-  [[nodiscard]] bool is_in_use(Address address) const {
-    return used_.contains(address);
+  /// Re-seed and re-draw: rewinds the clock, drops pending events and
+  /// subscriptions, reseeds the RNG and the fault injector, and assigns
+  /// fresh distinct addresses to the existing hosts. Equivalent to
+  /// constructing Network(config, seed) as long as join runs were
+  /// completed (joiners destroyed) before the call. Metric bindings
+  /// survive.
+  void reset(std::uint64_t seed);
+
+  [[nodiscard]] bool is_in_use(Address address) const noexcept {
+    const std::size_t word = address >> 6;
+    return word < used_bits_.size() &&
+           ((used_bits_[word] >> (address & 63)) & 1u) != 0;
   }
   [[nodiscard]] Simulator& simulator() noexcept { return sim_; }
   [[nodiscard]] Medium& medium() noexcept { return medium_; }
@@ -128,13 +146,17 @@ class Network {
 
   [[nodiscard]] RunResult result_of(ZeroconfHost& joiner, double start) const;
 
+  /// Draw a distinct uniform address for each host, in host order, and
+  /// (re)subscribe it. Shared by the constructor and reset().
+  void assign_addresses();
+
   NetworkConfig config_;
   prob::Rng rng_;
   Simulator sim_;
   Medium medium_;
-  std::unique_ptr<faults::FaultInjector> injector_;
-  std::unordered_set<Address> used_;
-  std::vector<std::unique_ptr<ConfiguredHost>> hosts_;
+  std::optional<faults::FaultInjector> injector_;
+  std::vector<std::uint64_t> used_bits_;  ///< address-in-use bitmap
+  std::vector<ConfiguredHost> hosts_;
 };
 
 }  // namespace zc::sim

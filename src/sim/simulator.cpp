@@ -1,32 +1,75 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace zc::sim {
 
 EventHandle Simulator::schedule(double delay, Action action) {
+  ZC_REQUIRE(std::isfinite(delay),
+             "Simulator::schedule delay must be finite");
   ZC_EXPECTS(delay >= 0.0);
   return schedule_at(now_ + delay, std::move(action));
 }
 
 EventHandle Simulator::schedule_at(double time, Action action) {
+  ZC_REQUIRE(std::isfinite(time),
+             "Simulator::schedule_at time must be finite");
   ZC_EXPECTS(time >= now_);
-  ZC_EXPECTS(action != nullptr);
-  auto alive = std::make_shared<bool>(true);
-  queue_.push(Scheduled{time, next_seq_++, alive, std::move(action)});
-  return EventHandle(std::move(alive));
+  ZC_EXPECTS(static_cast<bool>(action));
+  const std::uint64_t seq = next_seq_++;
+  const std::uint32_t slot = acquire_slot();
+  slots_[slot].seq = seq;
+  slots_[slot].action = std::move(action);
+  heap_.push_back(HeapEntry{time, seq, slot});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  ++live_;
+  high_water_ = std::max(high_water_, live_);
+  return EventHandle(this, slot, seq);
+}
+
+std::uint32_t Simulator::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    ++reuse_count_;
+    return slot;
+  }
+  slots_.emplace_back();
+  // Guarantee release_slot's push_back never reallocates (it is noexcept
+  // and may run inside cancel paths): the recycle stack can hold at most
+  // one entry per slot.
+  free_slots_.reserve(slots_.capacity());
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t slot) noexcept {
+  Slot& cell = slots_[slot];
+  cell.action.reset();
+  cell.seq = kFreeSeq;
+  free_slots_.push_back(slot);
+}
+
+void Simulator::skim_cancelled() noexcept {
+  while (!heap_.empty() &&
+         slots_[heap_.front().slot].seq != heap_.front().seq) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+  }
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; the action is moved out via const_cast
-    // immediately before pop, which is safe because the element is
-    // discarded in the same statement group.
-    Scheduled& top = const_cast<Scheduled&>(queue_.top());
-    const bool live = *top.alive;
-    const double time = top.time;
-    Action action = std::move(top.action);
-    queue_.pop();
-    if (!live) continue;
-    now_ = time;
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    const HeapEntry entry = heap_.back();
+    heap_.pop_back();
+    Slot& cell = slots_[entry.slot];
+    if (cell.seq != entry.seq) continue;  // cancelled; slot already recycled
+    Action action = std::move(cell.action);
+    release_slot(entry.slot);
+    --live_;
+    now_ = entry.time;
+    ++executed_;
     action();
     return true;
   }
@@ -44,12 +87,24 @@ std::size_t Simulator::run_until(double t_end) {
   while (true) {
     // Drop cancelled events at the head so the horizon check below sees
     // the next event that would actually execute.
-    while (!queue_.empty() && !*queue_.top().alive) queue_.pop();
-    if (queue_.empty() || queue_.top().time > t_end) break;
+    skim_cancelled();
+    if (heap_.empty() || heap_.front().time > t_end) break;
     if (!step()) break;
     ++executed;
   }
   return executed;
+}
+
+void Simulator::reset() noexcept {
+  for (const HeapEntry& entry : heap_) {
+    if (slots_[entry.slot].seq == entry.seq) release_slot(entry.slot);
+  }
+  heap_.clear();
+  live_ = 0;
+  now_ = 0.0;
+  // next_seq_ is NOT rewound: stale pre-reset handles must never match a
+  // post-reset occupant. Ordering only compares seq values relatively,
+  // so the offset never affects results.
 }
 
 }  // namespace zc::sim

@@ -4,50 +4,68 @@
 /// Discrete-event simulation engine: a virtual clock and a stable
 /// time-ordered event queue with cancellation. Substrate for the
 /// protocol-faithful zeroconf simulation that validates the DRM model.
+///
+/// The queue is allocation-free in steady state: events live in a slab
+/// of reusable slots addressed by {slot index, sequence number} handles,
+/// their callbacks in fixed-capacity inline buffers (action.hpp), and
+/// the time ordering in a hand-managed binary heap of plain
+/// {time, seq, slot} entries. Cancellation recycles the slot immediately
+/// and leaves a stale heap entry that is skipped at pop time (its
+/// sequence number no longer matches the slot's occupant), so no
+/// per-event heap traffic remains once the slab and heap have reached
+/// their high-water capacity — see DESIGN.md §"Sim-core memory model".
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/contract.hpp"
+#include "sim/action.hpp"
 
 namespace zc::sim {
 
+class Simulator;
+
 /// Handle to a scheduled event; allows cancellation (e.g. a host cancels
-/// its probe timer when a conflicting reply arrives).
+/// its probe timer when a conflicting reply arrives). Value type: copies
+/// refer to the same event. Must not outlive its Simulator, and handles
+/// taken before a `Simulator::reset()` must not be used after it.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// Cancel the event if it has not fired yet. Idempotent.
-  void cancel() noexcept {
-    if (alive_) *alive_ = false;
-  }
+  void cancel() noexcept;
 
-  [[nodiscard]] bool pending() const noexcept { return alive_ && *alive_; }
+  [[nodiscard]] bool pending() const noexcept;
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::shared_ptr<bool> alive)
-      : alive_(std::move(alive)) {}
-  std::shared_ptr<bool> alive_;
+  EventHandle(Simulator* sim, std::uint32_t slot, std::uint64_t seq) noexcept
+      : sim_(sim), slot_(slot), seq_(seq) {}
+
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint64_t seq_ = 0;
 };
 
 /// The event-driven simulation core.
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  /// Inline storage per event callback, sized for the largest in-tree
+  /// capture list (Medium's delivery closure: this + target + Packet);
+  /// a larger capture is a compile-time error, not a heap fallback.
+  static constexpr std::size_t kActionCapacity = 48;
+  using Action = InplaceAction<kActionCapacity>;
 
   /// Current virtual time (seconds).
   [[nodiscard]] double now() const noexcept { return now_; }
 
-  /// Schedule `action` to run `delay >= 0` seconds from now. Ties are
-  /// broken FIFO by scheduling order (stable determinism).
+  /// Schedule `action` to run `delay` seconds from now; `delay` must be
+  /// finite and >= 0. Ties are broken FIFO by scheduling order (stable
+  /// determinism).
   EventHandle schedule(double delay, Action action);
 
-  /// Schedule at an absolute time >= now().
+  /// Schedule at an absolute finite time >= now().
   EventHandle schedule_at(double time, Action action);
 
   /// Run events in time order until the queue is empty or `max_events`
@@ -58,31 +76,97 @@ class Simulator {
   /// t_end still run). Returns the number of events executed.
   std::size_t run_until(double t_end);
 
-  [[nodiscard]] std::size_t pending_events() const noexcept {
-    return queue_.size();
+  /// Events scheduled and neither fired nor cancelled.
+  [[nodiscard]] std::size_t pending_events() const noexcept { return live_; }
+
+  /// Drop every pending event and rewind the clock to 0, keeping the
+  /// slab, heap, and free-list capacity for reuse (the trial-context
+  /// reset path). Sequence numbers keep increasing across resets, so a
+  /// stale pre-reset handle can never match a post-reset event.
+  void reset() noexcept;
+
+  // --- Pool telemetry (sim.pool.* gauges) ---------------------------------
+
+  /// Slots in the slab (its high-water mark: slots are never released).
+  [[nodiscard]] std::size_t pool_slots() const noexcept {
+    return slots_.size();
+  }
+  /// Maximum number of simultaneously pending events seen so far.
+  [[nodiscard]] std::size_t pool_high_water() const noexcept {
+    return high_water_;
+  }
+  /// Events that reused a previously-freed slot (steady-state traffic).
+  [[nodiscard]] std::uint64_t pool_reuse_count() const noexcept {
+    return reuse_count_;
+  }
+  /// Events executed over the simulator's lifetime (not rewound by
+  /// reset()) — throughput accounting for benches.
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return executed_;
   }
 
  private:
-  struct Scheduled {
-    double time;
-    std::uint64_t seq;
-    std::shared_ptr<bool> alive;
-    Action action;
+  friend class EventHandle;
 
-    bool operator>(const Scheduled& other) const noexcept {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
-    }
+  /// Sentinel occupant for a free slot; real sequence numbers stay below
+  /// it for any realistic event count.
+  static constexpr std::uint64_t kFreeSeq = ~std::uint64_t{0};
+
+  struct Slot {
+    std::uint64_t seq = kFreeSeq;  ///< occupant's seq; kFreeSeq when free
+    Action action;
   };
 
-  /// Pop the next live event, or false if none.
+  struct HeapEntry {
+    double time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+
+  /// Min-heap order on (time, seq): `a` fires after `b`.
+  static bool later(const HeapEntry& a, const HeapEntry& b) noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+
+  /// Pop the next live event and run it, or return false if none.
   bool step();
+
+  /// Acquire a slot for `seq` (free list first, then grow the slab).
+  [[nodiscard]] std::uint32_t acquire_slot();
+  /// Return `slot` to the free list, destroying its callback.
+  void release_slot(std::uint32_t slot) noexcept;
+  /// Drop stale (cancelled) entries from the heap head.
+  void skim_cancelled() noexcept;
+
+  void cancel_event(std::uint32_t slot, std::uint64_t seq) noexcept {
+    if (slot >= slots_.size() || slots_[slot].seq != seq) return;
+    release_slot(slot);
+    --live_;
+  }
+  [[nodiscard]] bool event_pending(std::uint32_t slot,
+                                   std::uint64_t seq) const noexcept {
+    return slot < slots_.size() && slots_[slot].seq == seq;
+  }
 
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Scheduled, std::vector<Scheduled>,
-                      std::greater<Scheduled>>
-      queue_;
+  std::size_t live_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;  ///< LIFO recycle stack
+  std::vector<HeapEntry> heap_;
+
+  std::size_t high_water_ = 0;
+  std::uint64_t reuse_count_ = 0;
+  std::uint64_t executed_ = 0;
 };
+
+inline void EventHandle::cancel() noexcept {
+  if (sim_ != nullptr) sim_->cancel_event(slot_, seq_);
+}
+
+inline bool EventHandle::pending() const noexcept {
+  return sim_ != nullptr && sim_->event_pending(slot_, seq_);
+}
 
 }  // namespace zc::sim

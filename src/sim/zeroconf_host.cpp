@@ -1,5 +1,7 @@
 #include "sim/zeroconf_host.hpp"
 
+#include <algorithm>
+
 #include "common/contract.hpp"
 
 namespace zc::sim {
@@ -18,6 +20,13 @@ ZeroconfHost::ZeroconfHost(Simulator& sim, Medium& medium,
   ZC_EXPECTS(config_.r >= 0.0);
   ZC_EXPECTS(config_.probe_wait_max >= 0.0);
   id_ = medium_.attach([this](const Packet& p) { on_packet(p); });
+}
+
+ZeroconfHost::~ZeroconfHost() {
+  if (candidate_ != kNoAddress) medium_.unsubscribe(id_, candidate_);
+  if (configured_address_ != kNoAddress)
+    medium_.unsubscribe(id_, configured_address_);
+  medium_.detach(id_);
 }
 
 void ZeroconfHost::start() {
@@ -53,7 +62,8 @@ Address ZeroconfHost::pick_candidate() {
   while (true) {
     const auto addr =
         static_cast<Address>(1 + rng_.uniform_below(address_space_));
-    if (!config_.avoid_failed_addresses || !failed_.contains(addr))
+    if (!config_.avoid_failed_addresses ||
+        std::find(failed_.begin(), failed_.end(), addr) == failed_.end())
       return addr;
   }
 }
@@ -144,7 +154,9 @@ void ZeroconfHost::on_packet(const Packet& packet) {
 
 void ZeroconfHost::handle_conflict() {
   ++conflicts_;
-  failed_.insert(candidate_);
+  // Only the avoidance path reads the set; with it off, skip the
+  // bookkeeping entirely (keeps the default join allocation-free).
+  if (config_.avoid_failed_addresses) failed_.push_back(candidate_);
   waiting_time_ += sim_.now() - period_start_;  // partial listening period
   period_timer_.cancel();
   medium_.unsubscribe(id_, candidate_);

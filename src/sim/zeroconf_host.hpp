@@ -14,7 +14,7 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_set>
+#include <vector>
 
 #include "prob/delay.hpp"
 #include "prob/rng.hpp"
@@ -85,6 +85,11 @@ class ZeroconfHost {
 
   ZeroconfHost(const ZeroconfHost&) = delete;
   ZeroconfHost& operator=(const ZeroconfHost&) = delete;
+
+  /// Unsubscribes any remaining address and detaches from the medium, so
+  /// the interface id is recycled for the next joiner on a reused
+  /// network. Any still-scheduled deliveries to this host become inert.
+  ~ZeroconfHost();
 
   /// Begin the first attempt (at the current simulation time).
   void start();
@@ -158,7 +163,11 @@ class ZeroconfHost {
   bool collision_detected_ = false;
   double collision_detected_at_ = 0.0;
   EventHandle period_timer_;
-  std::unordered_set<Address> failed_;
+  /// Candidates that drew a conflict; tracked only when
+  /// config_.avoid_failed_addresses is set (the only reader). A flat
+  /// vector: the set stays tiny and pick_candidate() never re-draws a
+  /// failed address, so entries are unique by construction.
+  std::vector<Address> failed_;
 };
 
 }  // namespace zc::sim

@@ -1,0 +1,232 @@
+/// Golden determinism of the pooled simulation core: the allocation-free
+/// event pool and reusable trial contexts must leave every observable
+/// result bitwise-identical to the pre-pool implementation. The expected
+/// digests below were recorded from the heap-per-event implementation
+/// (priority_queue + shared_ptr + fresh Network per trial) at commit
+/// "PR 4: Unified experiment engine"; any drift in RNG stream
+/// consumption, event ordering, or metric accounting changes a digest.
+///
+/// Compiled with -DZC_GOLDEN_REGEN this file becomes a standalone
+/// generator printing the current digests (used once, against the
+/// pre-pool tree, to record the constants).
+
+#ifndef ZC_GOLDEN_REGEN
+#include <gtest/gtest.h>
+#endif
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/scenarios.hpp"
+#include "engine/campaign.hpp"
+#include "obs/report.hpp"
+#include "prob/delay.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/network.hpp"
+
+namespace {
+
+using namespace zc;
+
+/// Exact decimal-free rendering: doubles as C99 hexfloats, so the digest
+/// string captures every bit of every estimate.
+std::string hex(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+/// FNV-1a 64-bit over a byte string (for multi-KB report payloads).
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string hash_hex(const std::string& bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fnv1a(bytes)));
+  return buf;
+}
+
+/// One of everything: every fault class active, so the recorded streams
+/// cover the injector's whole decision surface (mirrors the obs
+/// determinism test's schedule).
+sim::NetworkConfig faulty_network() {
+  sim::NetworkConfig config;
+  config.address_space = 100;
+  config.hosts = 30;
+  config.responder_delay = std::shared_ptr<const prob::DelayDistribution>(
+      prob::paper_reply_delay(0.4, 20.0, 0.1));
+  config.faults.gilbert_elliott.p_enter_burst = 0.05;
+  config.faults.gilbert_elliott.p_exit_burst = 0.25;
+  config.faults.gilbert_elliott.loss_bad = 0.9;
+  config.faults.blackout.windows.start = 0.5;
+  config.faults.blackout.windows.duration = 0.2;
+  config.faults.blackout.windows.period = 2.0;
+  config.faults.delay_spike.windows.start = 1.0;
+  config.faults.delay_spike.windows.duration = 0.5;
+  config.faults.delay_spike.windows.period = 3.0;
+  config.faults.delay_spike.multiplier = 4.0;
+  config.faults.delay_spike.extra = 0.05;
+  config.faults.duplication.probability = 0.15;
+  config.faults.duplication.copies = 2;
+  config.faults.reordering.probability = 0.3;
+  config.faults.reordering.max_jitter = 0.2;
+  config.faults.host_churn.deaf_fraction = 0.3;
+  config.faults.host_churn.period = 4.0;
+  config.faults.host_churn.deaf_duration = 1.0;
+  return config;
+}
+
+/// Digest of a full-fault Monte-Carlo campaign: every estimate bit, the
+/// outcome tallies, and the serialized semantic metric set (mc.*,
+/// sim.delivery.*, faults.*).
+std::string join_digest(unsigned threads) {
+  sim::ZeroconfConfig protocol;
+  protocol.n = 3;
+  protocol.r = 1.0;
+  sim::MonteCarloOptions opts;
+  opts.trials = 1200;
+  opts.seed = 20260806;
+  opts.threads = threads;
+  const sim::MonteCarloResults r =
+      sim::monte_carlo(faulty_network(), protocol, opts);
+
+  std::ostringstream os;
+  os << "model_cost=" << hex(r.model_cost.mean) << ','
+     << hex(r.model_cost.stddev) << ',' << hex(r.model_cost.ci95_halfwidth)
+     << " elapsed_cost=" << hex(r.elapsed_cost.mean)
+     << " probes=" << hex(r.probes.mean)
+     << " attempts=" << hex(r.attempts.mean)
+     << " waiting=" << hex(r.waiting_time.mean)
+     << " completed=" << r.completed << " aborted=" << r.aborted
+     << " collisions=" << r.collisions
+     << " collision_rate=" << hex(r.collision_rate)
+     << " metrics=" << hash_hex(obs::metrics_to_json(r.metrics).dump());
+  return os.str();
+}
+
+/// Digest of a multi-host contention run exercising PROBE_WAIT, address
+/// avoidance, rate limiting, announcements, and the safety caps — the
+/// paths the pooled core must replay draw-for-draw.
+std::string simultaneous_join_digest() {
+  sim::NetworkConfig config = faulty_network();
+  sim::Network net(config, 987654321u);
+  sim::ZeroconfConfig protocol;
+  protocol.n = 3;
+  protocol.r = 1.0;
+  protocol.probe_wait_max = 0.5;
+  protocol.avoid_failed_addresses = true;
+  protocol.rate_limit = true;
+  protocol.rate_limit_threshold = 2;
+  protocol.rate_limit_delay = 5.0;
+  protocol.announce_count = 2;
+  protocol.announce_interval = 1.0;
+  protocol.max_attempts = 50;
+  const std::vector<sim::RunResult> runs =
+      net.run_simultaneous_join(protocol, 8);
+
+  std::ostringstream os;
+  for (const sim::RunResult& run : runs) {
+    os << '[' << run.address << ' ' << run.collision << run.aborted
+       << run.collision_detected << ' ' << run.probes_sent << ','
+       << run.attempts << ',' << run.conflicts << ' '
+       << hex(run.waiting_time) << ' ' << hex(run.elapsed) << ']';
+  }
+  return os.str();
+}
+
+/// Digest of a Monte-Carlo campaign routed through the experiment
+/// engine: the exact report payload bytes (experiments + semantic
+/// metrics — the same content parallel_speedup's determinism check
+/// compares), hashed.
+std::string campaign_digest(unsigned threads) {
+  faults::FaultSchedule schedule = faulty_network().faults;
+  engine::CampaignRunner runner(engine::CampaignOptions{threads});
+  const engine::CampaignResult campaign = runner.run(
+      {engine::SpecBuilder("golden_mc", core::scenarios::figure2())
+           .estimator(engine::Estimator::monte_carlo)
+           .protocol_grid({2, 3}, {1.0, 2.0})
+           .network(256, 64)
+           .faults(schedule)
+           .trials(400)
+           .seed(77)
+           .build()});
+  const std::string bytes = campaign.to_json().dump() +
+                            obs::metrics_to_json(campaign.metrics).dump();
+  return hash_hex(bytes);
+}
+
+}  // namespace
+
+#ifdef ZC_GOLDEN_REGEN
+
+int main() {
+  std::printf("kJoinDigest (threads 1):\n%s\n", join_digest(1).c_str());
+  std::printf("kJoinDigest (threads 8):\n%s\n", join_digest(8).c_str());
+  std::printf("kSimultaneousJoinDigest:\n%s\n",
+              simultaneous_join_digest().c_str());
+  std::printf("kCampaignDigest (threads 1): %s\n", campaign_digest(1).c_str());
+  std::printf("kCampaignDigest (threads 8): %s\n", campaign_digest(8).c_str());
+  return 0;
+}
+
+#else  // test mode
+
+namespace {
+
+#ifdef ZC_OBS_DISABLED
+#define ZC_SKIP_WITHOUT_METRICS() \
+  GTEST_SKIP() << "metric digests need -DZC_OBS_METRICS=ON"
+#else
+#define ZC_SKIP_WITHOUT_METRICS() \
+  do {                            \
+  } while (false)
+#endif
+
+// Recorded from the pre-pool implementation (see file comment).
+constexpr const char* kJoinDigest =
+    "model_cost=0x1.92a5d32fd987bp+112,0x1.51b1cf7ac11ecp+114,"
+    "0x1.31b44c3bfbf2ap+110 elapsed_cost=0x1.92a5d32fd987bp+112 "
+    "probes=0x1.bfae147ae147cp+1 attempts=0x1.52c5f92c5f92dp+0 "
+    "waiting=0x1.9f9cc1bc67d5cp+1 completed=1200 aborted=0 collisions=98 "
+    "collision_rate=0x1.4e81b4e81b4e8p-4 metrics=5875f42333601056";
+constexpr const char* kSimultaneousJoinDigest =
+    "[15 000 3,1,0 0x1.8p+1 0x1.89f2ebc62b802p+1]"
+    "[74 000 3,1,0 0x1.8p+1 0x1.8dc8390760611p+1]"
+    "[1 101 3,1,0 0x1.8p+1 0x1.b8e09503f0ec2p+1]"
+    "[51 000 3,1,0 0x1.8p+1 0x1.b8685ef12cf4ap+1]"
+    "[66 000 3,1,0 0x1.8p+1 0x1.af4c63a1a55bfp+1]"
+    "[53 000 3,1,0 0x1.8p+1 0x1.a9045b29b0b5cp+1]"
+    "[93 100 3,2,1 0x1.89f2ebc62b803p+1 0x1.a15f8136613b2p+1]"
+    "[52 101 3,1,0 0x1.8p+1 0x1.b2358d43312a4p+1]";
+constexpr const char* kCampaignDigest = "182137b93a728bdf";
+
+TEST(GoldenPool, JoinCampaignMatchesPrePoolRecordingAtAnyThreadCount) {
+  ZC_SKIP_WITHOUT_METRICS();
+  EXPECT_EQ(join_digest(1), kJoinDigest);
+  EXPECT_EQ(join_digest(8), kJoinDigest);
+}
+
+TEST(GoldenPool, SimultaneousJoinMatchesPrePoolRecording) {
+  EXPECT_EQ(simultaneous_join_digest(), kSimultaneousJoinDigest);
+}
+
+TEST(GoldenPool, CampaignReportBytesMatchPrePoolRecordingAtAnyThreadCount) {
+  ZC_SKIP_WITHOUT_METRICS();
+  EXPECT_EQ(campaign_digest(1), kCampaignDigest);
+  EXPECT_EQ(campaign_digest(8), kCampaignDigest);
+}
+
+}  // namespace
+
+#endif  // ZC_GOLDEN_REGEN

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "common/contract.hpp"
@@ -141,6 +142,96 @@ TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
   sim.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
   EXPECT_EQ(sim.now(), 1.0);
+}
+
+TEST(Simulator, PendingEventsExcludesCancelledEvents) {
+  // Regression: the pre-pool implementation reported queue size, so a
+  // cancelled-but-not-yet-popped event still counted as pending.
+  Simulator sim;
+  sim.schedule(1.0, [] {});
+  EventHandle cancelled = sim.schedule(2.0, [] {});
+  sim.schedule(3.0, [] {});
+  EXPECT_EQ(sim.pending_events(), 3u);
+  cancelled.cancel();
+  EXPECT_EQ(sim.pending_events(), 2u);
+  cancelled.cancel();  // idempotent: no double decrement
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.run(1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, NonFiniteDelayRejected) {
+  Simulator sim;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW((void)sim.schedule(nan, [] {}), zc::ContractViolation);
+  EXPECT_THROW((void)sim.schedule(inf, [] {}), zc::ContractViolation);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, NonFiniteAbsoluteTimeRejected) {
+  // Regression: +inf passed the `time >= now()` precondition and then
+  // corrupted the ordering comparator / advanced the clock to infinity.
+  Simulator sim;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW((void)sim.schedule_at(nan, [] {}), zc::ContractViolation);
+  EXPECT_THROW((void)sim.schedule_at(inf, [] {}), zc::ContractViolation);
+  EXPECT_THROW((void)sim.schedule_at(-inf, [] {}), zc::ContractViolation);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, SlotsAreRecycledWithoutGrowingTheSlab) {
+  Simulator sim;
+  for (int round = 0; round < 100; ++round) sim.schedule(round * 1.0, [] {});
+  sim.run();
+  const std::size_t slab = sim.pool_slots();
+  EXPECT_GE(slab, 1u);
+  // Sequential schedule/fire cycles reuse the freed slots.
+  for (int round = 0; round < 1000; ++round) {
+    sim.schedule(1.0, [] {});
+    sim.run();
+  }
+  EXPECT_EQ(sim.pool_slots(), slab);
+  EXPECT_GE(sim.pool_reuse_count(), 1000u);
+  EXPECT_GE(sim.pool_high_water(), 100u);
+}
+
+TEST(Simulator, StaleHandleOfRecycledSlotIsInert) {
+  Simulator sim;
+  EventHandle first = sim.schedule(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(first.pending());
+  // The freed slot is recycled by the next event; the stale handle must
+  // neither report it pending nor cancel it.
+  bool fired = false;
+  sim.schedule(1.0, [&] { fired = true; });
+  EXPECT_FALSE(first.pending());
+  first.cancel();
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, ResetDropsPendingEventsAndRewindsClock) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule(1.0, [&] { fired = true; });
+  sim.run();
+  EventHandle pending = sim.schedule(5.0, [&] { fired = false; });
+  sim.reset();
+  EXPECT_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_FALSE(pending.pending());
+  EXPECT_EQ(sim.run(), 0u);
+  EXPECT_TRUE(fired);
+  // The simulator is fully usable after reset.
+  std::vector<double> times;
+  sim.schedule(2.0, [&] { times.push_back(sim.now()); });
+  sim.schedule(1.0, [&] { times.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
 }
 
 TEST(Simulator, ManyEventsStressOrdering) {
