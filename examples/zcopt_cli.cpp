@@ -14,7 +14,14 @@
 /// constructs engine::ExperimentSpecs and executes them through
 /// engine::CampaignRunner; this file only parses options and prints.
 
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <stdexcept>
 #include <string>
@@ -27,6 +34,7 @@
 #include "core/scenarios.hpp"
 #include "engine/campaign.hpp"
 #include "example_util.hpp"
+#include "exec/cancel.hpp"
 #include "obs/report.hpp"
 #include "obs/timer.hpp"
 
@@ -38,6 +46,38 @@ int fail(const std::string& message) {
   std::cerr << "zcopt: " << message << '\n';
   return 2;
 }
+
+/// Cooperative-stop plumbing of the campaign subcommand: the first
+/// Ctrl-C requests a graceful stop (in-flight specs finish, the journal
+/// is already flushed per chunk, the partial report is marked
+/// incomplete); the second exits immediately.
+exec::CancelToken g_cancel;
+std::atomic<int> g_sigint_count{0};
+
+void handle_sigint(int) {
+  const int count =
+      g_sigint_count.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (count > 1) std::_Exit(130);
+  g_cancel.request_stop();  // async-signal-safe: one relaxed atomic store
+  constexpr char kMessage[] =
+      "\nzcopt: stop requested - finishing in-flight specs"
+      " (Ctrl-C again to exit now)\n";
+  // write(2) is the only async-signal-safe way to tell the user.
+  [[maybe_unused]] const ssize_t n =
+      ::write(2, kMessage, sizeof kMessage - 1);
+}
+
+/// Install the SIGINT handler for the duration of a campaign run.
+class ScopedSigint {
+ public:
+  ScopedSigint() : previous_(std::signal(SIGINT, handle_sigint)) {}
+  ~ScopedSigint() { std::signal(SIGINT, previous_); }
+  ScopedSigint(const ScopedSigint&) = delete;
+  ScopedSigint& operator=(const ScopedSigint&) = delete;
+
+ private:
+  void (*previous_)(int);
+};
 
 /// The scenario knobs both the classic modes and the campaign subcommand
 /// accept.
@@ -140,6 +180,17 @@ int run_campaign(int argc, const char* const* argv) {
                     "write a zcopt-run-report JSON manifest to this path",
                     "");
   parser.add_option("csv", "write the campaign as CSV to this path", "");
+  parser.add_option("journal",
+                    "write-ahead campaign journal (JSONL), fsync'd per "
+                    "completed spec",
+                    "");
+  parser.add_flag("resume",
+                  "resume from --journal when it exists (digest-checked; "
+                  "replays completed specs, runs only the missing ones)");
+  parser.add_option("deadline",
+                    "wall-clock budget in seconds; the campaign stops "
+                    "gracefully at the deadline (0 = none)",
+                    "0");
 
   if (!parser.parse(argc, argv)) return fail(parser.error());
   if (parser.help_requested()) {
@@ -189,8 +240,36 @@ int run_campaign(int argc, const char* const* argv) {
     engine::CampaignOptions campaign_opts;
     campaign_opts.threads =
         static_cast<unsigned>(need(parser, "threads", 0.0, 1024.0));
+    const std::string journal_path = parser.text("journal");
+    campaign_opts.journal_path = journal_path;
+    campaign_opts.cancel = &g_cancel;
+    const double deadline = need(parser, "deadline", 0.0, 1e9);
+    if (deadline > 0.0) {
+      g_cancel.arm_deadline(
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(deadline)));
+    }
+    if (parser.flag("resume") && journal_path.empty())
+      return fail("--resume requires --journal");
+
     engine::CampaignRunner runner(campaign_opts);
-    const engine::CampaignResult campaign = runner.run({builder.build()});
+    const std::vector<engine::ExperimentSpec> specs{builder.build()};
+    engine::CampaignResult campaign;
+    {
+      const ScopedSigint sigint_guard;
+      // --resume with no journal file yet is a fresh start, so the same
+      // command line works for the first run and every retry after it.
+      const bool journal_exists =
+          !journal_path.empty() &&
+          std::ifstream(journal_path, std::ios::binary).good();
+      if (parser.flag("resume") && journal_exists) {
+        campaign = runner.resume(specs, journal_path);
+        std::cout << "[resumed campaign from journal: " << journal_path
+                  << "]\n";
+      } else {
+        campaign = runner.run(specs);
+      }
+    }
     const engine::ExperimentResult& experiment = campaign.experiments[0];
 
     print_scenario(scenario);
@@ -239,6 +318,17 @@ int run_campaign(int argc, const char* const* argv) {
         return fail("could not write report to '" + parser.text("report") +
                     "'");
       std::cout << "[run report: " << parser.text("report") << "]\n";
+    }
+    if (!journal_path.empty())
+      std::cout << "[campaign journal: " << journal_path << "]\n";
+    for (const engine::SpecFailure& failure : campaign.failures)
+      std::cerr << "zcopt: spec '" << failure.spec_name
+                << "' failed and was quarantined: " << failure.error << '\n';
+    if (!campaign.complete) {
+      std::cerr << "zcopt: campaign incomplete - "
+                << campaign.cancelled.size()
+                << " spec(s) not executed; re-run with --resume to finish\n";
+      return 3;
     }
     return 0;
   } catch (const std::exception& e) {

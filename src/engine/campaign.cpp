@@ -2,14 +2,17 @@
 
 #include <bit>
 #include <cmath>
+#include <exception>
 #include <fstream>
 #include <map>
+#include <set>
 #include <utility>
 
 #include "common/contract.hpp"
 #include "core/cost.hpp"
 #include "core/cost_surface.hpp"
 #include "core/reliability.hpp"
+#include "engine/journal.hpp"
 #include "exec/parallel.hpp"
 #include "sim/monte_carlo.hpp"
 
@@ -75,6 +78,16 @@ obs::JsonValue ExperimentResult::to_json() const {
   return experiment;
 }
 
+obs::JsonValue SpecFailure::to_json() const {
+  obs::JsonValue failure = obs::JsonValue::object();
+  failure["spec_index"] = static_cast<std::uint64_t>(spec_index);
+  failure["spec_name"] = spec_name;
+  failure["chunk"] = static_cast<std::uint64_t>(chunk);
+  failure["error"] = error;
+  failure["seed"] = seed;
+  return failure;
+}
+
 obs::JsonValue CampaignResult::to_json() const {
   obs::JsonValue out = obs::JsonValue::array();
   for (const ExperimentResult& experiment : experiments)
@@ -87,6 +100,35 @@ obs::RunReport CampaignResult::report(std::string program,
   obs::RunReport out(std::move(program), std::move(description));
   out.config()["specs"] = static_cast<std::uint64_t>(experiments.size());
   out.data()["experiments"] = to_json();
+  // Degraded-run visibility: aggregate the safety-capped (aborted)
+  // trials over every simulation cell so downstream consumers see the
+  // campaign-level aborted rate without walking the cells.
+  std::uint64_t simulated = 0;
+  std::uint64_t aborted = 0;
+  for (const ExperimentResult& experiment : experiments) {
+    for (const CellResult& cell : experiment.cells) {
+      if (!cell.from_simulation) continue;
+      simulated += cell.trials;
+      aborted += cell.aborted;
+    }
+  }
+  out.data()["simulated_trials"] = simulated;
+  out.data()["aborted_trials"] = aborted;
+  out.data()["aborted_rate"] =
+      simulated > 0 ? static_cast<double>(aborted) /
+                          static_cast<double>(simulated)
+                    : 0.0;
+  out.data()["complete"] = complete;
+  obs::JsonValue failure_list = obs::JsonValue::array();
+  for (const SpecFailure& failure : failures)
+    failure_list.push_back(failure.to_json());
+  out.data()["failures"] = std::move(failure_list);
+  if (!cancelled.empty()) {
+    obs::JsonValue cancelled_list = obs::JsonValue::array();
+    for (const std::size_t index : cancelled)
+      cancelled_list.push_back(static_cast<std::uint64_t>(index));
+    out.data()["cancelled"] = std::move(cancelled_list);
+  }
   out.set_metrics(metrics);
   return out;
 }
@@ -94,36 +136,154 @@ obs::RunReport CampaignResult::report(std::string program,
 CampaignRunner::CampaignRunner(CampaignOptions opts) : opts_(opts) {}
 
 CampaignResult CampaignRunner::run(const std::vector<ExperimentSpec>& specs) {
+  if (opts_.journal_path.empty()) return run_impl(specs, nullptr, nullptr);
+  for (const ExperimentSpec& spec : specs) spec.validate();
+  JournalWriter journal = JournalWriter::create(opts_.journal_path, specs);
+  return run_impl(specs, &journal, nullptr);
+}
+
+CampaignResult CampaignRunner::resume(const std::vector<ExperimentSpec>& specs,
+                                      const std::string& journal_path) {
+  for (const ExperimentSpec& spec : specs) spec.validate();
+  JournalContents contents = read_journal(journal_path);
+  const std::string digest = spec_list_digest(specs);
+  ZC_REQUIRE(contents.digest == digest,
+             "campaign journal is stale: digest " + contents.digest +
+                 " does not match the spec list (" + digest + ")");
+  ZC_REQUIRE(contents.specs == specs.size(),
+             "campaign journal is stale: records " +
+                 std::to_string(contents.specs) + " specs, spec list has " +
+                 std::to_string(specs.size()));
+  JournalWriter journal =
+      JournalWriter::reopen(journal_path, contents.valid_bytes);
+  return run_impl(specs, &journal, &contents.completed);
+}
+
+CampaignResult CampaignRunner::run_impl(
+    const std::vector<ExperimentSpec>& specs, JournalWriter* journal,
+    std::map<std::size_t, ExperimentResult>* replayed) {
   for (const ExperimentSpec& spec : specs) spec.validate();
 
-  std::vector<ExperimentResult> results(specs.size());
+  const std::size_t count = specs.size();
+  enum class Slot : std::uint8_t { pending, done, failed };
+  std::vector<ExperimentResult> results(count);
+  std::vector<Slot> state(count, Slot::pending);
+  std::vector<std::optional<SpecFailure>> failures(count);
+
+  if (replayed != nullptr) {
+    for (auto& [chunk, result] : *replayed) {
+      ZC_ASSERT(chunk < count);
+      // Re-issue the spec's ladder requests: the cache counters must end
+      // up exactly where an uninterrupted run would put them.
+      warm_cache(specs[chunk]);
+      results[chunk] = std::move(result);
+      state[chunk] = Slot::done;
+    }
+  }
+
   exec::ExecOptions exec_opts;
   exec_opts.threads = opts_.threads;
   // One chunk per spec: the estimators below open their own parallel
   // sections, and chunk granularity is what keeps slot i <- spec i a
-  // scheduling-free mapping.
+  // scheduling-free mapping. It is also the journal/cancellation
+  // granularity: whole specs are checkpointed, whole specs are skipped.
   exec_opts.chunk_size = 1;
+  exec_opts.cancel = opts_.cancel;
   exec::parallel_for(
-      specs.size(), [&](std::size_t i) { results[i] = execute(specs[i]); },
+      count,
+      [&](std::size_t i) {
+        if (state[i] == Slot::done) return;  // replayed from the journal
+        const exec::CancelToken* cancel = opts_.cancel;
+        if (cancel != nullptr && cancel->stop_requested()) return;
+        try {
+          ExperimentResult result = execute(specs[i]);
+          if (cancel != nullptr && cancel->stop_requested()) {
+            // The stop may have cut the estimator's inner chunk loop
+            // short, leaving estimates over a partial trial set. Discard:
+            // a cancelled slot re-runs on resume; a torn one never would.
+            return;
+          }
+          results[i] = std::move(result);
+          state[i] = Slot::done;
+          if (journal != nullptr) journal->append(i, results[i]);
+        } catch (const std::exception& e) {
+          if (cancel != nullptr && cancel->stop_requested()) return;
+          SpecFailure failure;
+          failure.spec_index = i;
+          failure.spec_name = specs[i].name;
+          failure.chunk = i;
+          failure.error = e.what();
+          failure.seed = specs[i].estimator == Estimator::monte_carlo
+                             ? specs[i].sim.seed
+                             : 0;
+          failures[i] = std::move(failure);
+          state[i] = Slot::failed;
+        } catch (...) {
+          if (cancel != nullptr && cancel->stop_requested()) return;
+          SpecFailure failure;
+          failure.spec_index = i;
+          failure.spec_name = specs[i].name;
+          failure.chunk = i;
+          failure.error = "unknown exception";
+          failure.seed = specs[i].estimator == Estimator::monte_carlo
+                             ? specs[i].sim.seed
+                             : 0;
+          failures[i] = std::move(failure);
+          state[i] = Slot::failed;
+        }
+      },
       exec_opts);
 
   CampaignResult out;
   out.experiments = std::move(results);
   std::size_t cells = 0;
-  for (const ExperimentResult& result : out.experiments) {
+  for (std::size_t i = 0; i < count; ++i) {
+    ExperimentResult& result = out.experiments[i];
+    if (state[i] != Slot::done) {
+      // Failed or never-started slots keep a stub so slot i <-> spec i
+      // stays intact for reports and CSV rows.
+      result.name = specs[i].name;
+      result.mode = specs[i].mode;
+      result.estimator = specs[i].estimator;
+      if (state[i] == Slot::pending) out.cancelled.push_back(i);
+    }
+    if (failures[i].has_value())
+      out.failures.push_back(std::move(*failures[i]));
     out.metrics.merge(result.metrics);  // ascending spec order
     cells += result.cells.size();
   }
+  out.complete = out.cancelled.empty();
 
   obs::MetricSet bookkeeping;
-  bookkeeping.inc(bookkeeping.counter("engine.specs.total"), specs.size());
+  bookkeeping.inc(bookkeeping.counter("engine.specs.total"), count);
   bookkeeping.inc(bookkeeping.counter("engine.cells.total"), cells);
+  // Registered only when non-zero, so failure-free campaign metric bytes
+  // stay comparable with historical recordings.
+  if (!out.failures.empty())
+    bookkeeping.inc(bookkeeping.counter("engine.failures.total"),
+                    out.failures.size());
+  if (!out.cancelled.empty())
+    bookkeeping.inc(bookkeeping.counter("engine.cancelled.total"),
+                    out.cancelled.size());
   cache_.export_metrics(bookkeeping);
   out.metrics.merge(bookkeeping);
   // Monte-Carlo specs already published their own sets; contribute only
   // the runner's bookkeeping to the process-wide registry.
   obs::Registry::global().publish(bookkeeping);
   return out;
+}
+
+void CampaignRunner::warm_cache(const ExperimentSpec& spec) {
+  // Only the analytic evaluate path touches the shared ladder cache (see
+  // run_evaluate): one request per distinct r, first-appearance order.
+  if (spec.mode != Mode::evaluate || spec.estimator != Estimator::analytic)
+    return;
+  const unsigned n_max = spec.grid_n_max();
+  std::set<std::uint64_t> seen;
+  for (const core::ProtocolParams& point : spec.grid) {
+    if (!seen.insert(std::bit_cast<std::uint64_t>(point.r)).second) continue;
+    (void)cache_.ladder(spec.scenario.reply_delay_ptr(), n_max, point.r);
+  }
 }
 
 ExperimentResult CampaignRunner::run_one(const ExperimentSpec& spec) {
@@ -143,12 +303,14 @@ ExperimentResult CampaignRunner::execute(const ExperimentSpec& spec) {
     case Mode::optimize: {
       core::ROptOptions opts = spec.r_opts;
       opts.exec.threads = opts_.threads;
+      opts.exec.cancel = opts_.cancel;
       out.optimum = core::joint_optimum(spec.scenario, spec.n_max, opts);
       break;
     }
     case Mode::calibrate: {
       core::CalibrateOptions opts = spec.calibrate_opts;
       opts.r_opts.exec.threads = opts_.threads;
+      opts.r_opts.exec.cancel = opts_.cancel;
       out.calibration =
           core::calibrate(spec.scenario, spec.calibrate_target, opts);
       break;
@@ -228,6 +390,7 @@ void CampaignRunner::run_monte_carlo(const ExperimentSpec& spec,
   mc.error_cost = spec.scenario.error_cost();
   mc.threads = opts_.threads;
   mc.chunk_size = spec.sim.chunk_size;
+  mc.cancel = opts_.cancel;
 
   out.cells.reserve(spec.grid.size());
   for (const core::ProtocolParams& point : spec.grid) {
@@ -276,7 +439,18 @@ bool write_campaign_csv(const CampaignResult& campaign,
   if (!os) return false;
   os << "spec,mode,estimator,n,r,mean_cost,error_probability,trials,"
         "completed,aborted\n";
-  for (const ExperimentResult& experiment : campaign.experiments) {
+  std::set<std::size_t> failed;
+  for (const SpecFailure& failure : campaign.failures)
+    failed.insert(failure.spec_index);
+  for (std::size_t index = 0; index < campaign.experiments.size(); ++index) {
+    const ExperimentResult& experiment = campaign.experiments[index];
+    if (failed.count(index) > 0) {
+      // A quarantined spec gets one marker row in its slot (mode column
+      // says "failed") so the table stays aligned with the spec list.
+      os << experiment.name << ",failed," << to_string(experiment.estimator)
+         << ",,,,,,,\n";
+      continue;
+    }
     const auto row_head = [&](unsigned n, double r) {
       os << experiment.name << ',' << to_string(experiment.mode) << ','
          << to_string(experiment.estimator) << ',' << n << ',';

@@ -19,12 +19,15 @@
 /// all.
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "engine/cache.hpp"
 #include "engine/spec.hpp"
+#include "exec/cancel.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -81,26 +84,75 @@ struct ExperimentResult {
   [[nodiscard]] obs::JsonValue to_json() const;
 };
 
+/// One quarantined spec: its chunk threw (ContractViolation, bad_alloc,
+/// anything), the campaign recorded the facts and carried on with the
+/// remaining specs. Deterministic for deterministic failures — the same
+/// spec list fails with the same records at any thread count.
+struct SpecFailure {
+  std::size_t spec_index = 0;  ///< position in the spec list
+  std::string spec_name;
+  std::size_t chunk = 0;   ///< campaign chunk (== spec index; 1 spec/chunk)
+  std::string error;       ///< exception text (e.what())
+  std::uint64_t seed = 0;  ///< sim seed for monte_carlo specs, 0 otherwise
+
+  [[nodiscard]] obs::JsonValue to_json() const;
+};
+
 struct CampaignOptions {
+  CampaignOptions() = default;
+  /// Thread-count-only construction (`CampaignOptions{8}`): the common
+  /// spelling across tests and examples, kept valid as fields grow.
+  explicit CampaignOptions(unsigned threads_in) : threads(threads_in) {}
+
   /// Worker threads for the batch *and* inside each estimator:
   /// 0 = hardware concurrency, 1 = serial. Results are byte-identical at
   /// every setting.
   unsigned threads = 0;
+
+  /// Write-ahead journal path (see journal.hpp); empty = no journaling.
+  /// `run` creates/truncates it, appends every completed chunk fsync'd,
+  /// and `resume` picks it back up after a crash.
+  std::string journal_path;
+
+  /// Cooperative stop, consulted at chunk (== spec) boundaries and
+  /// threaded into every estimator's inner parallel sections. Not owned;
+  /// must outlive the runner calls. A spec in flight when the stop
+  /// arrives is discarded (its estimates may aggregate a partial trial
+  /// set), never recorded — so everything a stopped campaign *does*
+  /// report is exactly what an uninterrupted run would have reported.
+  const exec::CancelToken* cancel = nullptr;
 };
 
 /// Results of a batch, in spec order.
 struct CampaignResult {
+  /// One slot per spec. Failed or cancelled specs hold a stub carrying
+  /// only name/mode/estimator (see `failures` / `cancelled`).
   std::vector<ExperimentResult> experiments;
 
   /// Per-spec metrics merged in spec order, plus the runner's
   /// `engine.specs.total` / `engine.cells.total` / `engine.cache.*`
-  /// bookkeeping.
+  /// bookkeeping (and `engine.failures.total` / `engine.cancelled.total`
+  /// when non-zero).
   obs::MetricSet metrics;
+
+  /// Quarantined specs in ascending spec order; empty on a clean run.
+  std::vector<SpecFailure> failures;
+
+  /// Specs never executed because a cooperative stop arrived first
+  /// (ascending). Non-empty iff `complete == false`.
+  std::vector<std::size_t> cancelled;
+
+  /// False iff the campaign was cut short by cancellation. Failures do
+  /// *not* clear it: a quarantined spec is a (recorded) outcome, not
+  /// missing work.
+  bool complete = true;
 
   [[nodiscard]] obs::JsonValue to_json() const;
 
   /// Assemble the deterministic `zcopt-run-report` v1 manifest:
-  /// config.specs, data.experiments (spec order), and the merged
+  /// config.specs, data.experiments (spec order), the aborted-trial
+  /// aggregate (data.aborted_rate), completion status (data.complete,
+  /// data.failures, data.cancelled when incomplete), and the merged
   /// semantic metrics. Timers/runtime are left empty — they measure the
   /// hardware, and this report is byte-comparable across runs and thread
   /// counts. Callers wanting wall-clock context add
@@ -115,8 +167,20 @@ class CampaignRunner {
  public:
   explicit CampaignRunner(CampaignOptions opts = {});
 
-  /// Validate and execute every spec; results in spec order.
+  /// Validate and execute every spec; results in spec order. With
+  /// `opts.journal_path` set, every completed chunk is checkpointed
+  /// before the campaign moves on.
   [[nodiscard]] CampaignResult run(const std::vector<ExperimentSpec>& specs);
+
+  /// Resume an interrupted journaled campaign: validate that the journal
+  /// at `journal_path` matches `specs` (spec-list digest + count; throws
+  /// zc::ContractViolation on a stale or corrupt journal), replay its
+  /// completed chunks, execute only the missing ones, and keep appending
+  /// to the same journal. The returned result — and its report/CSV
+  /// bytes — is byte-identical to an uninterrupted `run(specs)` at any
+  /// thread count.
+  [[nodiscard]] CampaignResult resume(const std::vector<ExperimentSpec>& specs,
+                                      const std::string& journal_path);
 
   /// Convenience for single-spec surfaces (examples, CLI modes).
   [[nodiscard]] ExperimentResult run_one(const ExperimentSpec& spec);
@@ -124,9 +188,15 @@ class CampaignRunner {
   [[nodiscard]] SurfaceCache& cache() noexcept { return cache_; }
 
  private:
+  [[nodiscard]] CampaignResult run_impl(
+      const std::vector<ExperimentSpec>& specs, class JournalWriter* journal,
+      std::map<std::size_t, ExperimentResult>* replayed);
   [[nodiscard]] ExperimentResult execute(const ExperimentSpec& spec);
   void run_evaluate(const ExperimentSpec& spec, ExperimentResult& out);
   void run_monte_carlo(const ExperimentSpec& spec, ExperimentResult& out);
+  /// Re-issue a replayed spec's ladder requests so the shared cache's
+  /// hit/miss/entry totals match an uninterrupted run's.
+  void warm_cache(const ExperimentSpec& spec);
 
   CampaignOptions opts_;
   SurfaceCache cache_;

@@ -1,0 +1,456 @@
+#include "engine/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "common/contract.hpp"
+#include "obs/report.hpp"
+#include "prob/delay.hpp"
+
+namespace zc::engine {
+
+namespace {
+
+constexpr const char* kJournalSchema = "zcopt-campaign-journal";
+constexpr int kJournalVersion = 1;
+
+// ---------------------------------------------------------------------------
+// Spec-list digest
+
+/// Append `value` in hexfloat — bit-exact, locale-free, and cheap to
+/// compare (two doubles digest equal iff they are the same number).
+void hex_double(std::string& out, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", value);
+  out += buf;
+  out += ' ';
+}
+
+void dec_unsigned(std::string& out, std::uint64_t value) {
+  out += std::to_string(value);
+  out += ' ';
+}
+
+void digest_windows(std::string& out, const faults::TimeWindows& w) {
+  hex_double(out, w.start);
+  hex_double(out, w.duration);
+  hex_double(out, w.period);
+}
+
+void digest_faults(std::string& out, const faults::FaultSchedule& f) {
+  out += "faults ";
+  hex_double(out, f.gilbert_elliott.p_enter_burst);
+  hex_double(out, f.gilbert_elliott.p_exit_burst);
+  hex_double(out, f.gilbert_elliott.loss_good);
+  hex_double(out, f.gilbert_elliott.loss_bad);
+  digest_windows(out, f.blackout.windows);
+  digest_windows(out, f.delay_spike.windows);
+  hex_double(out, f.delay_spike.multiplier);
+  hex_double(out, f.delay_spike.extra);
+  hex_double(out, f.duplication.probability);
+  dec_unsigned(out, f.duplication.copies);
+  hex_double(out, f.reordering.probability);
+  hex_double(out, f.reordering.max_jitter);
+  hex_double(out, f.host_churn.deaf_fraction);
+  hex_double(out, f.host_churn.period);
+  hex_double(out, f.host_churn.deaf_duration);
+}
+
+void digest_r_opts(std::string& out, const core::ROptOptions& opts) {
+  hex_double(out, opts.r_min);
+  hex_double(out, opts.r_max);
+  dec_unsigned(out, opts.grid_points);
+  hex_double(out, opts.x_tol);
+}
+
+/// Behavioral fingerprint of a reply-delay distribution: its name plus
+/// bit-exact samples of the quantities the evaluators consume. Two
+/// distributions with equal fingerprints produce equal ladders.
+void digest_distribution(std::string& out,
+                         const prob::DelayDistribution& dist) {
+  out += "dist ";
+  out += dist.name();
+  out += ' ';
+  hex_double(out, dist.loss_probability());
+  hex_double(out, dist.mean_given_arrival());
+  static constexpr double kSamples[] = {0.0, 0.125, 0.25, 0.5, 1.0,
+                                        2.0, 4.0,   8.0,  16.0, 32.0};
+  for (const double t : kSamples) hex_double(out, dist.survival(t));
+}
+
+/// FNV-1a 64.
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+// ---------------------------------------------------------------------------
+// Record parsing helpers
+
+[[noreturn]] void record_fail(const std::string& what) {
+  throw ContractViolation("campaign journal record: " + what);
+}
+
+const obs::JsonValue& member(const obs::JsonValue& object,
+                             const std::string& key) {
+  const obs::JsonValue* value = object.find(key);
+  if (value == nullptr) record_fail("missing key '" + key + "'");
+  return *value;
+}
+
+/// JSON number → double, with `null` (the writer's encoding of inf/nan)
+/// restored as quiet NaN so a re-emission degrades to `null` again.
+double read_double(const obs::JsonValue& value) {
+  if (value.kind() == obs::JsonValue::Kind::null)
+    return std::numeric_limits<double>::quiet_NaN();
+  if (value.kind() != obs::JsonValue::Kind::number)
+    record_fail("expected a number");
+  return value.as_number();
+}
+
+std::uint64_t read_count(const obs::JsonValue& value) {
+  const double v = read_double(value);
+  if (!(v >= 0.0) || v != std::floor(v))
+    record_fail("expected a non-negative whole number");
+  return static_cast<std::uint64_t>(v);
+}
+
+Mode mode_from_string(const std::string& text) {
+  if (text == "evaluate") return Mode::evaluate;
+  if (text == "optimize") return Mode::optimize;
+  if (text == "calibrate") return Mode::calibrate;
+  record_fail("unknown mode '" + text + "'");
+}
+
+Estimator estimator_from_string(const std::string& text) {
+  if (text == "analytic") return Estimator::analytic;
+  if (text == "drm") return Estimator::drm;
+  if (text == "monte_carlo") return Estimator::monte_carlo;
+  record_fail("unknown estimator '" + text + "'");
+}
+
+CellResult cell_from_json(const obs::JsonValue& cell) {
+  CellResult out;
+  out.protocol.n = static_cast<unsigned>(read_count(member(cell, "n")));
+  out.protocol.r = read_double(member(cell, "r"));
+  out.mean_cost = read_double(member(cell, "mean_cost"));
+  out.error_probability = read_double(member(cell, "error_probability"));
+  // The emitter writes the detail/simulation blocks iff the flags were
+  // set, so key presence restores the flags exactly.
+  if (cell.find("cost_stddev") != nullptr) {
+    out.has_detail = true;
+    out.cost_stddev = read_double(member(cell, "cost_stddev"));
+    out.mean_waiting_time = read_double(member(cell, "mean_waiting_time"));
+    out.mean_attempts = read_double(member(cell, "mean_attempts"));
+  }
+  if (cell.find("trials") != nullptr) {
+    out.from_simulation = true;
+    out.trials = read_count(member(cell, "trials"));
+    out.completed = read_count(member(cell, "completed"));
+    out.aborted = read_count(member(cell, "aborted"));
+    out.non_finite = read_count(member(cell, "non_finite"));
+    out.collisions = read_count(member(cell, "collisions"));
+    out.aborted_rate = read_double(member(cell, "aborted_rate"));
+    out.cost_ci95 = read_double(member(cell, "cost_ci95"));
+    out.collision_ci_lower = read_double(member(cell, "collision_ci_lower"));
+    out.collision_ci_upper = read_double(member(cell, "collision_ci_upper"));
+    out.mean_probes = read_double(member(cell, "mean_probes"));
+    out.mean_elapsed_cost = read_double(member(cell, "mean_elapsed_cost"));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string spec_list_digest(const std::vector<ExperimentSpec>& specs) {
+  std::string canon;
+  canon.reserve(512 * specs.size());
+  // Sharing structure: the runner's SurfaceCache keys ladders by
+  // distribution *object*, so which specs reuse one object changes the
+  // cache counters — make it part of the digest.
+  std::map<const prob::DelayDistribution*, std::size_t> first_seen;
+  for (const ExperimentSpec& spec : specs) {
+    canon += "spec ";
+    canon += spec.name;
+    canon += '\n';
+    canon += to_string(spec.mode);
+    canon += ' ';
+    canon += to_string(spec.estimator);
+    canon += '\n';
+    hex_double(canon, spec.scenario.q());
+    hex_double(canon, spec.scenario.probe_cost());
+    hex_double(canon, spec.scenario.error_cost());
+    const prob::DelayDistribution* dist = spec.scenario.reply_delay_ptr().get();
+    const std::size_t index =
+        first_seen.emplace(dist, first_seen.size()).first->second;
+    dec_unsigned(canon, index);
+    digest_distribution(canon, *dist);
+    canon += "\ngrid ";
+    for (const core::ProtocolParams& point : spec.grid) {
+      dec_unsigned(canon, point.n);
+      hex_double(canon, point.r);
+    }
+    canon += "\nopt ";
+    dec_unsigned(canon, spec.n_max);
+    digest_r_opts(canon, spec.r_opts);
+    canon += "\ncal ";
+    dec_unsigned(canon, spec.calibrate_target.n);
+    hex_double(canon, spec.calibrate_target.r);
+    hex_double(canon, spec.calibrate_opts.log10_e_min);
+    hex_double(canon, spec.calibrate_opts.log10_e_max);
+    hex_double(canon, spec.calibrate_opts.c_min);
+    hex_double(canon, spec.calibrate_opts.c_max);
+    dec_unsigned(canon, spec.calibrate_opts.n_max);
+    digest_r_opts(canon, spec.calibrate_opts.r_opts);
+    canon += "\nsim ";
+    dec_unsigned(canon, spec.sim.address_space);
+    dec_unsigned(canon, spec.sim.hosts);
+    hex_double(canon, spec.sim.max_virtual_time);
+    dec_unsigned(canon, spec.sim.trials);
+    dec_unsigned(canon, spec.sim.seed);
+    dec_unsigned(canon, spec.sim.chunk_size);
+    dec_unsigned(canon, spec.sim.max_attempts);
+    dec_unsigned(canon, spec.sim.max_probes);
+    hex_double(canon, spec.sim.probe_wait_max);
+    canon += '\n';
+    digest_faults(canon, spec.sim.faults);
+    canon += "\ndetailed ";
+    canon += spec.detailed ? '1' : '0';
+    canon += '\n';
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fnv1a(canon)));
+  return buf;
+}
+
+obs::JsonValue journal_record(std::size_t chunk,
+                              const ExperimentResult& result) {
+  obs::JsonValue record = obs::JsonValue::object();
+  record["chunk"] = static_cast<std::uint64_t>(chunk);
+  record["name"] = result.name;
+  record["result"] = result.to_json();
+  record["metrics"] = obs::metrics_to_json(result.metrics);
+  return record;
+}
+
+ExperimentResult result_from_journal(const obs::JsonValue& record) {
+  const obs::JsonValue& payload = member(record, "result");
+  if (!payload.is_object()) record_fail("'result' must be an object");
+
+  ExperimentResult out;
+  out.name = member(payload, "name").as_string();
+  out.mode = mode_from_string(member(payload, "mode").as_string());
+  out.estimator =
+      estimator_from_string(member(payload, "estimator").as_string());
+
+  if (const obs::JsonValue* cells = payload.find("cells")) {
+    if (!cells->is_array()) record_fail("'cells' must be an array");
+    out.cells.reserve(cells->size());
+    for (std::size_t i = 0; i < cells->size(); ++i)
+      out.cells.push_back(cell_from_json(*cells->element(i)));
+  }
+  if (const obs::JsonValue* opt = payload.find("optimum")) {
+    core::JointOptimum optimum;
+    optimum.n = static_cast<unsigned>(read_count(member(*opt, "n")));
+    optimum.r = read_double(member(*opt, "r"));
+    optimum.cost = read_double(member(*opt, "cost"));
+    optimum.error_prob = read_double(member(*opt, "error_probability"));
+    out.optimum = optimum;
+  }
+  if (out.mode == Mode::calibrate &&
+      member(payload, "calibrated").as_bool()) {
+    const obs::JsonValue& cal = member(payload, "calibration");
+    core::Calibration calibration;
+    calibration.error_cost = read_double(member(cal, "error_cost"));
+    calibration.probe_cost = read_double(member(cal, "probe_cost"));
+    calibration.competitor =
+        static_cast<unsigned>(read_count(member(cal, "competitor")));
+    calibration.target_cost = read_double(member(cal, "target_cost"));
+    calibration.target_is_optimal =
+        member(cal, "target_is_optimal").as_bool();
+    out.calibration = calibration;
+  }
+
+  std::string error;
+  std::optional<obs::MetricSet> metrics =
+      obs::metrics_from_json(member(record, "metrics"), &error);
+  if (!metrics.has_value()) record_fail(error);
+  out.metrics = std::move(*metrics);
+  return out;
+}
+
+JournalContents read_journal(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  ZC_REQUIRE(static_cast<bool>(file),
+             "campaign journal not readable: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string text = buffer.str();
+
+  JournalContents out;
+  std::size_t offset = 0;
+  bool saw_header = false;
+  while (offset < text.size()) {
+    const std::size_t newline = text.find('\n', offset);
+    if (newline == std::string::npos) {
+      // Unterminated final line: the crash hit mid-append. Only newline-
+      // terminated records count — drop the tail.
+      ZC_REQUIRE(saw_header, "campaign journal header truncated: " + path);
+      out.dropped_bytes = text.size() - offset;
+      break;
+    }
+    const std::string_view line(text.data() + offset, newline - offset);
+    std::string error;
+    const std::optional<obs::JsonValue> parsed = obs::parse_json(line, &error);
+    if (!parsed.has_value() || !parsed->is_object()) {
+      // A torn *final* line is the expected aftermath of a crash during
+      // an append: drop it. Anything earlier is corruption.
+      if (newline + 1 >= text.size() && saw_header) {
+        out.dropped_bytes = text.size() - offset;
+        break;
+      }
+      throw ContractViolation("campaign journal corrupt at byte " +
+                              std::to_string(offset) + ": " +
+                              (parsed.has_value() ? "record is not an object"
+                                                  : error));
+    }
+    if (!saw_header) {
+      const obs::JsonValue& header = *parsed;
+      const obs::JsonValue* schema = header.find("schema");
+      ZC_REQUIRE(schema != nullptr && schema->as_string() == kJournalSchema,
+                 "campaign journal header missing schema '" +
+                     std::string(kJournalSchema) + "': " + path);
+      const obs::JsonValue* version = header.find("version");
+      ZC_REQUIRE(version != nullptr &&
+                     version->as_number() == kJournalVersion,
+                 "campaign journal has an unsupported version: " + path);
+      out.digest = member(header, "digest").as_string();
+      ZC_REQUIRE(out.digest.size() == 16,
+                 "campaign journal header digest malformed: " + path);
+      out.specs = read_count(member(header, "specs"));
+      saw_header = true;
+    } else {
+      const std::size_t chunk = read_count(member(*parsed, "chunk"));
+      ZC_REQUIRE(chunk < out.specs,
+                 "campaign journal chunk " + std::to_string(chunk) +
+                     " out of range (header declares " +
+                     std::to_string(out.specs) + " specs)");
+      ZC_REQUIRE(out.completed.find(chunk) == out.completed.end(),
+                 "campaign journal records chunk " + std::to_string(chunk) +
+                     " twice");
+      out.completed.emplace(chunk, result_from_journal(*parsed));
+    }
+    offset = newline + 1;
+    out.valid_bytes = offset;
+  }
+  ZC_REQUIRE(saw_header, "campaign journal is empty: " + path);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JournalWriter
+
+JournalWriter JournalWriter::create(const std::string& path,
+                                    const std::vector<ExperimentSpec>& specs) {
+  JournalWriter writer;
+  writer.path_ = path;
+  writer.fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                      0644);
+  ZC_REQUIRE(writer.fd_ >= 0, "cannot create campaign journal: " + path);
+  writer.ok_ = true;
+  obs::JsonValue header = obs::JsonValue::object();
+  header["schema"] = kJournalSchema;
+  header["version"] = kJournalVersion;
+  header["digest"] = spec_list_digest(specs);
+  header["specs"] = static_cast<std::uint64_t>(specs.size());
+  writer.write_line(header.dump_compact());
+  ZC_REQUIRE(writer.ok_, "cannot write campaign journal header: " + path);
+  return writer;
+}
+
+JournalWriter JournalWriter::reopen(const std::string& path,
+                                    std::uint64_t valid_bytes) {
+  JournalWriter writer;
+  writer.path_ = path;
+  writer.fd_ = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  ZC_REQUIRE(writer.fd_ >= 0, "cannot reopen campaign journal: " + path);
+  // Drop any torn tail so the file is exactly its well-formed prefix
+  // before new records land after it.
+  ZC_REQUIRE(::ftruncate(writer.fd_, static_cast<off_t>(valid_bytes)) == 0,
+             "cannot truncate campaign journal tail: " + path);
+  ZC_REQUIRE(::lseek(writer.fd_, 0, SEEK_END) >= 0,
+             "cannot seek campaign journal: " + path);
+  writer.ok_ = true;
+  return writer;
+}
+
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(std::exchange(other.fd_, -1)),
+      ok_(std::exchange(other.ok_, false)) {}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+  if (this != &other) {
+    close();
+    path_ = std::move(other.path_);
+    fd_ = std::exchange(other.fd_, -1);
+    ok_ = std::exchange(other.ok_, false);
+  }
+  return *this;
+}
+
+JournalWriter::~JournalWriter() { close(); }
+
+void JournalWriter::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  ok_ = false;
+}
+
+void JournalWriter::write_line(const std::string& line) {
+  std::string framed = line;
+  framed += '\n';
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!ok_) return;
+  const char* data = framed.data();
+  std::size_t remaining = framed.size();
+  while (remaining > 0) {
+    const ssize_t written = ::write(fd_, data, remaining);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      ok_ = false;
+      return;
+    }
+    data += written;
+    remaining -= static_cast<std::size_t>(written);
+  }
+  // Chunk-granular durability: the record is on disk before the chunk
+  // counts as checkpointed.
+  if (::fsync(fd_) != 0) ok_ = false;
+}
+
+void JournalWriter::append(std::size_t chunk, const ExperimentResult& result) {
+  write_line(journal_record(chunk, result).dump_compact());
+}
+
+bool JournalWriter::ok() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ok_;
+}
+
+}  // namespace zc::engine

@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file journal.hpp
+/// Write-ahead campaign journal: crash-safe checkpointing of
+/// `CampaignRunner` batches. The journal is a JSONL file — one header
+/// line binding the file to a spec-list digest, then one compact record
+/// per *completed* campaign chunk (one chunk == one spec), appended and
+/// fsync'd as the chunk finishes. A killed campaign therefore loses at
+/// most the chunks that were still in flight; `CampaignRunner::resume`
+/// replays the journaled results and re-executes only the missing specs,
+/// reproducing the uninterrupted campaign byte-for-byte (see DESIGN.md
+/// §"Crash-safe campaign execution").
+///
+/// File format (schema `zcopt-campaign-journal` v1):
+///
+///   {"schema":"zcopt-campaign-journal","version":1,"digest":H,"specs":N}
+///   {"chunk":i,"name":S,"result":{...},"metrics":{...}}
+///   ...
+///
+/// Every line is one `obs::JsonValue` in compact form. `result` is
+/// `ExperimentResult::to_json()` verbatim; `metrics` is
+/// `obs::metrics_to_json` of the spec's metric set. A torn *final* line
+/// (the crash interrupted an append) is dropped on read; any other
+/// malformed content is corruption and rejected.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/campaign.hpp"
+#include "engine/spec.hpp"
+#include "obs/json.hpp"
+
+namespace zc::engine {
+
+/// FNV-1a 64 digest (16 hex digits) of everything about a spec list that
+/// determines campaign bytes: names, modes, estimators, scenario numbers
+/// (hexfloat, bit-exact), the reply-delay distribution's fingerprint
+/// *and* its sharing structure (which specs reuse the same distribution
+/// object — cache hit/miss totals depend on it), grids, optimizer /
+/// calibration options, simulation knobs, and fault schedules. A journal
+/// whose digest does not match the spec list being resumed is stale and
+/// rejected.
+[[nodiscard]] std::string spec_list_digest(
+    const std::vector<ExperimentSpec>& specs);
+
+/// One completed chunk as a journal line (without the trailing newline).
+[[nodiscard]] obs::JsonValue journal_record(std::size_t chunk,
+                                            const ExperimentResult& result);
+
+/// Rebuild an ExperimentResult from a journal record. Throws
+/// zc::ContractViolation on schema violations. Round-trip contract:
+/// re-serializing the returned result reproduces the record's `result`
+/// and `metrics` payloads byte-for-byte.
+[[nodiscard]] ExperimentResult result_from_journal(const obs::JsonValue& record);
+
+/// Everything a journal file held.
+struct JournalContents {
+  std::string digest;      ///< spec-list digest from the header
+  std::size_t specs = 0;   ///< spec count from the header
+  /// Completed chunks in ascending chunk order.
+  std::map<std::size_t, ExperimentResult> completed;
+  std::uint64_t valid_bytes = 0;    ///< length of the well-formed prefix
+  std::uint64_t dropped_bytes = 0;  ///< torn tail discarded (0 = clean)
+};
+
+/// Parse a journal file. Throws zc::ContractViolation when the file is
+/// missing, has a malformed header, or contains a corrupt non-final
+/// record; a torn final line is tolerated (that is the expected state
+/// after a crash mid-append) and reported via `dropped_bytes`.
+[[nodiscard]] JournalContents read_journal(const std::string& path);
+
+/// Append-only journal emitter over a POSIX fd; every append is one
+/// write + fsync, serialized by an internal mutex so estimator worker
+/// threads can checkpoint concurrently. I/O errors latch `ok() == false`
+/// and turn later appends into no-ops — a failing disk degrades
+/// crash-safety, never the campaign itself.
+class JournalWriter {
+ public:
+  /// Create/truncate `path` and write + fsync the header.
+  [[nodiscard]] static JournalWriter create(
+      const std::string& path, const std::vector<ExperimentSpec>& specs);
+
+  /// Reopen an existing journal for resumption: truncate to
+  /// `valid_bytes` (dropping a torn tail) and position at the end.
+  [[nodiscard]] static JournalWriter reopen(const std::string& path,
+                                            std::uint64_t valid_bytes);
+
+  JournalWriter(JournalWriter&& other) noexcept;
+  JournalWriter& operator=(JournalWriter&& other) noexcept;
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+  ~JournalWriter();
+
+  /// Durably record one completed chunk (thread-safe; no-op after an
+  /// I/O error).
+  void append(std::size_t chunk, const ExperimentResult& result);
+
+  /// False once any write/fsync failed; the campaign keeps running but
+  /// the journal is no longer trustworthy past the last good record.
+  [[nodiscard]] bool ok() const noexcept;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  JournalWriter() = default;
+
+  void write_line(const std::string& line);
+  void close() noexcept;
+
+  std::string path_;
+  int fd_ = -1;
+  bool ok_ = false;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace zc::engine

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file cancel.hpp
+/// Cooperative cancellation for parallel sections.
+///
+/// A CancelToken is a latch: once stop is requested (explicitly or by an
+/// armed wall-clock deadline expiring) it stays stopped. Parallel
+/// sections consult the token at *chunk boundaries only* — a chunk that
+/// has started always runs to completion, so the set of executed chunks
+/// is always a prefix-closed subset of claims and every executed chunk's
+/// result is complete and mergeable. Cancellation therefore never
+/// produces torn accumulators, only missing ones.
+///
+/// request_stop() is async-signal-safe (a relaxed atomic store), so a
+/// SIGINT handler may call it directly.
+
+#include <atomic>
+#include <chrono>
+
+namespace zc::exec {
+
+/// Sticky cooperative stop flag with an optional wall-clock deadline.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Request a stop. Latching and idempotent; async-signal-safe.
+  void request_stop() noexcept {
+    stopped_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Arm a deadline `budget` from now; stop_requested() latches true once
+  /// the steady clock passes it. A non-positive budget stops immediately.
+  void arm_deadline(std::chrono::steady_clock::duration budget) noexcept {
+    deadline_ = std::chrono::steady_clock::now() + budget;
+    has_deadline_.store(true, std::memory_order_release);
+  }
+
+  /// True once a stop was requested or an armed deadline expired. Cheap
+  /// enough to poll per chunk; once true it never reverts to false.
+  [[nodiscard]] bool stop_requested() const noexcept {
+    if (stopped_.load(std::memory_order_relaxed)) return true;
+    if (has_deadline_.load(std::memory_order_acquire) &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      stopped_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  mutable std::atomic<bool> stopped_{false};
+  std::atomic<bool> has_deadline_{false};
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace zc::exec

@@ -8,10 +8,14 @@
 #include <mutex>
 
 #include "common/contract.hpp"
+#include "obs/metrics.hpp"
 
 namespace zc::exec {
 
 namespace {
+
+/// Cumulative per-process tally behind suppressed_error_count().
+std::atomic<std::uint64_t> g_suppressed{0};
 
 /// Shared state of one parallel section. Held by shared_ptr so that a
 /// queued helper task that fires after the section completed (all chunks
@@ -21,6 +25,7 @@ struct Section {
   std::size_t chunk_size = 0;
   std::size_t chunks = 0;
   const std::function<void(ChunkRange)>* body = nullptr;
+  const CancelToken* cancel = nullptr;
 
   std::atomic<std::size_t> next_chunk{0};
 
@@ -29,11 +34,14 @@ struct Section {
   std::size_t submitted = 0;
   std::size_t finished = 0;
   std::exception_ptr error;
+  std::uint64_t suppressed = 0;
 
-  /// Claim and run chunks until none remain. Never throws; the first
-  /// chunk exception is parked in `error` for the caller to rethrow.
+  /// Claim and run chunks until none remain (or a stop is requested).
+  /// Never throws; the first chunk exception is parked in `error` for the
+  /// caller to rethrow, later ones are tallied in `suppressed`.
   void drain() {
     for (;;) {
+      if (cancel != nullptr && cancel->stop_requested()) return;
       const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= chunks) return;
       ChunkRange range;
@@ -44,7 +52,11 @@ struct Section {
         (*body)(range);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(mutex);
-        if (!error) error = std::current_exception();
+        if (!error) {
+          error = std::current_exception();
+        } else {
+          ++suppressed;
+        }
       }
     }
   }
@@ -58,7 +70,31 @@ struct Section {
   }
 };
 
+/// Fold a finished section's suppressed tally into the process counter
+/// and refresh the runtime gauge. Reading `section.suppressed` without
+/// the mutex is safe here: every worker that could write it has passed
+/// the finished/done_cv handshake (or ran inline on this thread).
+void account_suppressed(const Section& section) {
+  if (section.suppressed == 0) return;
+  const std::uint64_t total =
+      g_suppressed.fetch_add(section.suppressed, std::memory_order_relaxed) +
+      section.suppressed;
+  ZC_OBS_ONLY({
+    if (obs::collection_enabled()) {
+      obs::MetricSet set;
+      // Cumulative, so the registry's merge-by-max keeps the latest value.
+      set.set_gauge(set.gauge("exec.errors.suppressed"),
+                    static_cast<double>(total));
+      obs::Registry::global().publish(set);
+    }
+  });
+}
+
 }  // namespace
+
+std::uint64_t suppressed_error_count() noexcept {
+  return g_suppressed.load(std::memory_order_relaxed);
+}
 
 std::size_t resolve_chunk_size(std::size_t n, std::size_t requested) noexcept {
   if (requested > 0) return requested;
@@ -75,7 +111,7 @@ std::size_t chunk_count(std::size_t n, std::size_t chunk_size) noexcept {
 
 void parallel_for_chunks(std::size_t n, std::size_t chunk_size,
                          const std::function<void(ChunkRange)>& body,
-                         unsigned threads) {
+                         unsigned threads, const CancelToken* cancel) {
   ZC_EXPECTS(chunk_size > 0);
   if (n == 0) return;
 
@@ -84,6 +120,7 @@ void parallel_for_chunks(std::size_t n, std::size_t chunk_size,
   section->chunk_size = chunk_size;
   section->chunks = chunk_count(n, chunk_size);
   section->body = &body;
+  section->cancel = cancel;
 
   const unsigned requested = threads == 0 ? hardware_threads() : threads;
   const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
@@ -119,6 +156,7 @@ void parallel_for_chunks(std::size_t n, std::size_t chunk_size,
     }
   }
 
+  account_suppressed(*section);
   if (section->error) std::rethrow_exception(section->error);
 }
 
@@ -130,7 +168,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
       [&](ChunkRange range) {
         for (std::size_t i = range.begin; i < range.end; ++i) body(i);
       },
-      opts.threads);
+      opts.threads, opts.cancel);
 }
 
 }  // namespace zc::exec

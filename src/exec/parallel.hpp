@@ -17,9 +17,11 @@
 /// run_one), so nested parallel sections cannot deadlock.
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "exec/cancel.hpp"
 #include "exec/thread_pool.hpp"
 
 namespace zc::exec {
@@ -35,6 +37,12 @@ struct ExecOptions {
   /// overriding this *does* change floating-point merge results — pick a
   /// value and keep it fixed when comparing runs.
   std::size_t chunk_size = 0;
+
+  /// Optional cooperative stop: checked before each chunk is claimed.
+  /// Chunks already running finish normally; remaining chunks are never
+  /// started. Not owned — must outlive the parallel call. nullptr = never
+  /// cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 /// One statically-assigned chunk of the index range.
@@ -54,12 +62,27 @@ struct ChunkRange {
 
 /// Run `body` once per chunk, distributing chunks over `threads` workers
 /// of the shared pool (the caller participates). Exceptions thrown by any
-/// chunk are rethrown on the calling thread (first one wins).
+/// chunk are rethrown on the calling thread (first one wins; later ones
+/// are counted — see suppressed_error_count()). When `cancel` is non-null
+/// and requests a stop, no further chunks are claimed; chunks already
+/// running complete normally.
 void parallel_for_chunks(std::size_t n, std::size_t chunk_size,
                          const std::function<void(ChunkRange)>& body,
-                         unsigned threads);
+                         unsigned threads,
+                         const CancelToken* cancel = nullptr);
 
-/// Run `body(i)` for every i in [0, n) exactly once.
+/// Process-lifetime count of chunk exceptions that were *suppressed*
+/// because an earlier exception from the same parallel section had
+/// already been parked for rethrow. Each completed section adds its
+/// suppressed tally here and publishes the cumulative value as the
+/// `exec.errors.suppressed` gauge in obs::Registry::global(), so
+/// containment reporting stays truthful even though only one exception
+/// can propagate per section.
+[[nodiscard]] std::uint64_t suppressed_error_count() noexcept;
+
+/// Run `body(i)` for every i in [0, n) exactly once (or, if
+/// `opts.cancel` requests a stop, for a chunk-aligned subset — callers
+/// that pass a token must tolerate unvisited indices).
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   const ExecOptions& opts = {});
 
@@ -79,7 +102,7 @@ template <typename Acc, typename Body, typename Merge>
         Acc& acc = accumulators[range.index];
         for (std::size_t i = range.begin; i < range.end; ++i) body(acc, i);
       },
-      opts.threads);
+      opts.threads, opts.cancel);
   Acc out = init;
   for (Acc& acc : accumulators) merge(out, acc);
   return out;

@@ -136,9 +136,52 @@ void JsonValue::write(std::ostream& os, int indent) const {
   }
 }
 
+void JsonValue::write_compact(std::ostream& os) const {
+  switch (kind_) {
+    case Kind::null:
+      os << "null";
+      return;
+    case Kind::boolean:
+      os << (bool_ ? "true" : "false");
+      return;
+    case Kind::number:
+      write_json_number(os, number_);
+      return;
+    case Kind::string:
+      write_json_string(os, string_);
+      return;
+    case Kind::array: {
+      os << '[';
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        if (i > 0) os << ',';
+        elements_[i].write_compact(os);
+      }
+      os << ']';
+      return;
+    }
+    case Kind::object: {
+      os << '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) os << ',';
+        write_json_string(os, members_[i].first);
+        os << ':';
+        members_[i].second.write_compact(os);
+      }
+      os << '}';
+      return;
+    }
+  }
+}
+
 std::string JsonValue::dump() const {
   std::ostringstream os;
   write(os);
+  return os.str();
+}
+
+std::string JsonValue::dump_compact() const {
+  std::ostringstream os;
+  write_compact(os);
   return os.str();
 }
 

@@ -95,10 +95,25 @@ class JsonValue {
   /// Array element access; nullptr when out of range or not an array.
   [[nodiscard]] const JsonValue* element(std::size_t index) const;
 
+  /// Ordered object members (empty for non-objects). Iteration order is
+  /// declaration/parse order — the same order `write` emits.
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>&
+  members() const noexcept {
+    static const std::vector<std::pair<std::string, JsonValue>> kEmpty;
+    return kind_ == Kind::object ? members_ : kEmpty;
+  }
+
   /// Serialize with 2-space indentation at the given starting depth.
   void write(std::ostream& os, int indent = 0) const;
 
+  /// Serialize without any whitespace (one line) — same escaping and
+  /// number formatting as `write`, so parse(dump_compact(v)) == v. Used
+  /// for JSONL records (the campaign journal), where one record must be
+  /// exactly one newline-terminated line.
+  void write_compact(std::ostream& os) const;
+
   [[nodiscard]] std::string dump() const;
+  [[nodiscard]] std::string dump_compact() const;
 
  private:
   Kind kind_;

@@ -74,6 +74,34 @@ void MetricSet::observe(MetricId id, double value) noexcept {
 }
 #endif
 
+void MetricSet::restore_counter(const std::string& name, std::uint64_t value) {
+  const MetricId id = register_metric(name, Kind::counter);
+  counters_[id].value += value;
+}
+
+void MetricSet::restore_gauge(const std::string& name, double value) {
+  const MetricId id = register_metric(name, Kind::gauge);
+  GaugeCell& cell = gauges_[id];
+  if (!cell.written || value > cell.value) cell.value = value;
+  cell.written = true;
+}
+
+void MetricSet::restore_histogram(const std::string& name,
+                                  std::vector<double> bounds,
+                                  std::vector<std::uint64_t> buckets,
+                                  double sum, std::uint64_t count) {
+  ZC_REQUIRE(buckets.size() == bounds.size() + 1,
+             "restored histogram must have bounds.size() + 1 buckets: " +
+                 name);
+  const MetricId id = histogram(name, std::move(bounds));
+  HistogramCell& cell = histograms_[id];
+  ZC_ASSERT(cell.buckets.size() == buckets.size());
+  for (std::size_t i = 0; i < buckets.size(); ++i)
+    cell.buckets[i] += buckets[i];
+  cell.sum += sum;
+  cell.count += count;
+}
+
 void MetricSet::merge(const MetricSet& other) {
   for (const CounterCell& c : other.counters_) {
     const MetricId id = counter(c.name);

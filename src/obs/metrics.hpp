@@ -120,6 +120,18 @@ class MetricSet {
   /// max. Call in a fixed (chunk) order for bitwise-reproducible sums.
   void merge(const MetricSet& other);
 
+  /// Deserialization path (journal resume): register the metric and load
+  /// its saved state verbatim. Registration order reproduces the saved
+  /// emission order, so re-merging restored sets stays byte-identical.
+  /// Always functional — a cold path deliberately *not* compiled out by
+  /// ZC_OBS_DISABLED, so restored campaign state survives either way.
+  void restore_counter(const std::string& name, std::uint64_t value);
+  void restore_gauge(const std::string& name, double value);
+  /// `buckets` must have bounds.size() + 1 cells.
+  void restore_histogram(const std::string& name, std::vector<double> bounds,
+                         std::vector<std::uint64_t> buckets, double sum,
+                         std::uint64_t count);
+
   [[nodiscard]] bool empty() const noexcept {
     return counters_.empty() && gauges_.empty() && histograms_.empty();
   }

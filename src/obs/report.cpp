@@ -1,6 +1,8 @@
 #include "obs/report.hpp"
 
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <ostream>
 #include <utility>
 
@@ -36,6 +38,89 @@ JsonValue metrics_to_json(const MetricSet& set) {
     histograms[h.name] = std::move(cell);
   }
   return out;
+}
+
+namespace {
+
+/// Shared failure path of metrics_from_json.
+std::optional<MetricSet> from_json_fail(std::string* error,
+                                        const std::string& message) {
+  if (error != nullptr) *error = message;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<MetricSet> metrics_from_json(const JsonValue& value,
+                                           std::string* error) {
+  if (!value.is_object())
+    return from_json_fail(error, "metrics: expected an object");
+  const JsonValue* counters = value.find("counters");
+  const JsonValue* gauges = value.find("gauges");
+  const JsonValue* histograms = value.find("histograms");
+  if (counters == nullptr || !counters->is_object() || gauges == nullptr ||
+      !gauges->is_object() || histograms == nullptr ||
+      !histograms->is_object()) {
+    return from_json_fail(
+        error, "metrics: missing counters/gauges/histograms objects");
+  }
+
+  MetricSet set;
+  for (const auto& [name, cell] : counters->members()) {
+    if (cell.kind() != JsonValue::Kind::number)
+      return from_json_fail(error, "metrics: counter not a number: " + name);
+    const double v = cell.as_number();
+    if (v < 0.0 || v != std::floor(v))
+      return from_json_fail(error,
+                            "metrics: counter not a whole number: " + name);
+    set.restore_counter(name, static_cast<std::uint64_t>(v));
+  }
+  for (const auto& [name, cell] : gauges->members()) {
+    // Non-finite gauges serialize as null; restore them as NaN so a
+    // re-emission degrades to null again.
+    if (cell.kind() == JsonValue::Kind::null) {
+      set.restore_gauge(name, std::numeric_limits<double>::quiet_NaN());
+      continue;
+    }
+    if (cell.kind() != JsonValue::Kind::number)
+      return from_json_fail(error, "metrics: gauge not a number: " + name);
+    set.restore_gauge(name, cell.as_number());
+  }
+  for (const auto& [name, cell] : histograms->members()) {
+    const JsonValue* bounds = cell.find("bounds");
+    const JsonValue* buckets = cell.find("buckets");
+    const JsonValue* sum = cell.find("sum");
+    const JsonValue* count = cell.find("count");
+    if (bounds == nullptr || !bounds->is_array() || buckets == nullptr ||
+        !buckets->is_array() || sum == nullptr || count == nullptr) {
+      return from_json_fail(error, "metrics: malformed histogram: " + name);
+    }
+    if (buckets->size() != bounds->size() + 1)
+      return from_json_fail(
+          error, "metrics: histogram bucket/bound mismatch: " + name);
+    std::vector<double> b(bounds->size());
+    for (std::size_t i = 0; i < b.size(); ++i)
+      b[i] = bounds->element(i)->as_number();
+    std::vector<std::uint64_t> k(buckets->size());
+    for (std::size_t i = 0; i < k.size(); ++i) {
+      const double v = buckets->element(i)->as_number();
+      if (v < 0.0 || v != std::floor(v))
+        return from_json_fail(
+            error, "metrics: histogram bucket not a whole number: " + name);
+      k[i] = static_cast<std::uint64_t>(v);
+    }
+    const double s =
+        sum->kind() == JsonValue::Kind::null
+            ? std::numeric_limits<double>::quiet_NaN()
+            : sum->as_number();
+    const double n = count->as_number();
+    if (n < 0.0 || n != std::floor(n))
+      return from_json_fail(
+          error, "metrics: histogram count not a whole number: " + name);
+    set.restore_histogram(name, std::move(b), std::move(k), s,
+                          static_cast<std::uint64_t>(n));
+  }
+  return set;
 }
 
 namespace {

@@ -36,6 +36,15 @@ namespace zc::obs {
 /// "histograms": {name: {bounds, buckets, sum, count}}} object.
 [[nodiscard]] JsonValue metrics_to_json(const MetricSet& set);
 
+/// Inverse of `metrics_to_json` (journal resume): rebuild a MetricSet
+/// from its serialized form, preserving member order so that re-emitting
+/// the restored set is byte-identical to the original JSON. Returns
+/// nullopt (and a diagnostic in `error` when non-null) if `value` does
+/// not match the schema above. Lossless caveat: unwritten gauges are
+/// not serialized in the first place, so they do not round-trip.
+[[nodiscard]] std::optional<MetricSet> metrics_from_json(
+    const JsonValue& value, std::string* error = nullptr);
+
 /// A timer tree as the report's [{label, seconds, count, children}] list
 /// (the synthetic root is skipped; its children are the top level).
 [[nodiscard]] JsonValue timers_to_json(const TimerNode& root);

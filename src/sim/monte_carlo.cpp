@@ -96,6 +96,7 @@ MonteCarloResults monte_carlo(const NetworkConfig& network,
   exec::ExecOptions exec_opts;
   exec_opts.threads = opts.threads;
   exec_opts.chunk_size = opts.chunk_size;
+  exec_opts.cancel = opts.cancel;
 
   // Register every campaign metric once, in the init accumulator: chunk
   // accumulators are copy-constructed from it, so the resolved ids are
@@ -174,7 +175,10 @@ MonteCarloResults monte_carlo(const NetworkConfig& network,
   out.trials = opts.trials;
   out.aborted = total.aborted;
   out.non_finite = total.non_finite;
-  out.completed = opts.trials - total.aborted - total.non_finite;
+  // Count what the accumulators actually saw rather than assuming every
+  // trial ran: under cooperative cancellation whole chunks are skipped,
+  // and completed must stay truthful (= finite samples in the estimates).
+  out.completed = total.model_cost.count();
   out.aborted_rate = static_cast<double>(total.aborted) /
                      static_cast<double>(opts.trials);
   out.model_cost = to_estimate(total.model_cost);

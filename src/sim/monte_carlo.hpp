@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "exec/cancel.hpp"
 #include "obs/metrics.hpp"
 #include "sim/network.hpp"
 #include "sim/stats.hpp"
@@ -89,6 +90,14 @@ struct MonteCarloOptions {
   /// Trials per work chunk (0 = auto, ~64 chunks). Fixed per campaign;
   /// see exec::ExecOptions::chunk_size for the determinism contract.
   std::size_t chunk_size = 0;
+
+  /// Optional cooperative stop, checked at trial-chunk boundaries (not
+  /// owned; must outlive the call). When a stop is requested mid-run the
+  /// remaining chunks are skipped and the returned estimates aggregate
+  /// only the trials that actually ran (`completed` + `aborted` +
+  /// `non_finite` < `trials`) — callers that see a stop should treat the
+  /// results as partial and discard or re-run them.
+  const exec::CancelToken* cancel = nullptr;
 };
 
 /// Run `opts.trials` independent configuration runs, each on a freshly

@@ -1,0 +1,348 @@
+/// Campaign journal: spec-list digest semantics, record round-trip byte
+/// identity, JSONL read/write, torn-tail tolerance, and corruption
+/// rejection.
+
+#include "engine/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "core/scenarios.hpp"
+#include "engine/campaign.hpp"
+#include "engine/spec.hpp"
+#include "faults/schedule.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "prob/delay.hpp"
+
+namespace {
+
+using namespace zc;
+using engine::CampaignRunner;
+using engine::Estimator;
+using engine::ExperimentResult;
+using engine::ExperimentSpec;
+using engine::JournalContents;
+using engine::JournalWriter;
+using engine::SpecBuilder;
+
+core::ScenarioParams scenario() {
+  return core::scenarios::figure2().to_params();
+}
+
+std::vector<ExperimentSpec> small_specs(const core::ScenarioParams& s) {
+  return {
+      SpecBuilder("grid", s).protocol_grid({1, 2}, {0.5, 2.0}).build(),
+      SpecBuilder("opt", s).optimize(4).build(),
+  };
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(SpecDigest, StableAndSixteenHexDigits) {
+  const core::ScenarioParams s = scenario();
+  const auto specs = small_specs(s);
+  const std::string digest = engine::spec_list_digest(specs);
+  EXPECT_EQ(digest.size(), 16u);
+  EXPECT_EQ(digest.find_first_not_of("0123456789abcdef"), std::string::npos);
+  EXPECT_EQ(digest, engine::spec_list_digest(specs));
+}
+
+TEST(SpecDigest, SensitiveToEveryBehaviouralField) {
+  const core::ScenarioParams s = scenario();
+  const auto base = small_specs(s);
+  const std::string digest = engine::spec_list_digest(base);
+
+  {  // Name change.
+    auto specs = base;
+    specs[0].name = "renamed";
+    EXPECT_NE(engine::spec_list_digest(specs), digest);
+  }
+  {  // Grid change (one r bit pattern).
+    auto specs = base;
+    specs[0].grid[1].r = 2.0000000000000004;  // next representable double
+    EXPECT_NE(engine::spec_list_digest(specs), digest);
+  }
+  {  // Optimizer bound change.
+    auto specs = base;
+    specs[1].n_max = 5;
+    EXPECT_NE(engine::spec_list_digest(specs), digest);
+  }
+  {  // Simulation seed change (affects MC bytes).
+    auto specs = base;
+    specs[0].sim.seed ^= 1;
+    EXPECT_NE(engine::spec_list_digest(specs), digest);
+  }
+  {  // Fault schedule change.
+    auto specs = base;
+    specs[0].sim.faults.duplication.probability = 0.25;
+    EXPECT_NE(engine::spec_list_digest(specs), digest);
+  }
+  {  // Spec order matters.
+    auto specs = base;
+    std::swap(specs[0], specs[1]);
+    EXPECT_NE(engine::spec_list_digest(specs), digest);
+  }
+}
+
+TEST(SpecDigest, SeesDistributionSharingStructure) {
+  // Cache hit/miss totals depend on which specs share one distribution
+  // object, so the digest must distinguish "two specs, one F_X" from
+  // "two specs, two equal F_X objects".
+  const core::ScenarioParams shared = scenario();
+  const std::vector<ExperimentSpec> one_dist{
+      SpecBuilder("a", shared).protocol({2, 1.0}).build(),
+      SpecBuilder("b", shared).protocol({2, 2.0}).build(),
+  };
+  const std::vector<ExperimentSpec> two_dists{
+      SpecBuilder("a", scenario()).protocol({2, 1.0}).build(),
+      SpecBuilder("b", scenario()).protocol({2, 2.0}).build(),
+  };
+  EXPECT_NE(engine::spec_list_digest(one_dist),
+            engine::spec_list_digest(two_dists));
+}
+
+TEST(SpecDigest, EqualStructureFromFreshObjectsMatches) {
+  // A resuming process rebuilds its spec list from scratch: distribution
+  // *pointer values* differ, but fingerprint + sharing structure agree,
+  // so the digest must too.
+  const auto build = [] {
+    const core::ScenarioParams s(0.3, 2.0, 1000.0,
+                                 prob::paper_reply_delay(0.1, 10.0, 0.05));
+    return std::vector<ExperimentSpec>{
+        SpecBuilder("a", s).protocol({2, 1.0}).build(),
+        SpecBuilder("b", s).protocol({2, 2.0}).build(),
+    };
+  };
+  EXPECT_EQ(engine::spec_list_digest(build()),
+            engine::spec_list_digest(build()));
+}
+
+TEST(JournalRecord, RoundTripsResultBytesExactly) {
+  // Rich result: Monte-Carlo with faults (simulation block + semantic
+  // metrics with histograms) — the round-trip contract is byte equality
+  // of the re-serialized result and metrics.
+  faults::FaultSchedule faults;
+  faults.duplication.probability = 0.1;
+  faults.reordering.probability = 0.2;
+  faults.reordering.max_jitter = 0.05;
+  faults.validate();
+  const core::ScenarioParams s(0.3, 2.0, 1000.0,
+                               prob::paper_reply_delay(0.1, 10.0, 0.05));
+  CampaignRunner runner;
+  const ExperimentResult original =
+      runner.run_one(SpecBuilder("mc", s)
+                         .protocol({3, 0.5})
+                         .estimator(Estimator::monte_carlo)
+                         .network(100, 30)
+                         .faults(faults)
+                         .trials(200)
+                         .seed(11)
+                         .build());
+
+  const obs::JsonValue record = engine::journal_record(7, original);
+  // The record survives its own serialization (JSONL line discipline).
+  const auto reparsed = obs::parse_json(record.dump_compact());
+  ASSERT_TRUE(reparsed.has_value());
+  const ExperimentResult restored = engine::result_from_journal(*reparsed);
+
+  EXPECT_EQ(restored.to_json().dump(), original.to_json().dump());
+  EXPECT_EQ(obs::metrics_to_json(restored.metrics).dump(),
+            obs::metrics_to_json(original.metrics).dump());
+}
+
+TEST(JournalRecord, RoundTripsOptimizeAndCalibrate) {
+  const core::ScenarioParams s = scenario();
+  CampaignRunner runner;
+  for (const ExperimentSpec& spec :
+       {SpecBuilder("opt", s).optimize(6).build(),
+        SpecBuilder("cal", s).calibrate({4, 2.0}).build(),
+        SpecBuilder("grid", s).protocol_grid({1, 3}, {0.5, 1.0}).detailed()
+            .build()}) {
+    const ExperimentResult original = runner.run_one(spec);
+    const auto reparsed =
+        obs::parse_json(engine::journal_record(0, original).dump_compact());
+    ASSERT_TRUE(reparsed.has_value()) << spec.name;
+    const ExperimentResult restored = engine::result_from_journal(*reparsed);
+    EXPECT_EQ(restored.to_json().dump(), original.to_json().dump())
+        << spec.name;
+  }
+}
+
+TEST(JournalRecord, RejectsSchemaViolations) {
+  auto record = obs::JsonValue::object();
+  record["chunk"] = obs::JsonValue(0);
+  // Missing name/result/metrics.
+  EXPECT_THROW((void)engine::result_from_journal(record),
+               zc::ContractViolation);
+}
+
+TEST(JournalFile, WriterThenReaderRoundTrips) {
+  const core::ScenarioParams s = scenario();
+  const auto specs = small_specs(s);
+  CampaignRunner runner;
+  const ExperimentResult r0 = runner.run_one(specs[0]);
+  const ExperimentResult r1 = runner.run_one(specs[1]);
+
+  const std::string path = temp_path("zc_journal_roundtrip.jsonl");
+  {
+    JournalWriter writer = JournalWriter::create(path, specs);
+    ASSERT_TRUE(writer.ok());
+    writer.append(0, r0);
+    writer.append(1, r1);
+    ASSERT_TRUE(writer.ok());
+  }
+
+  const JournalContents contents = engine::read_journal(path);
+  EXPECT_EQ(contents.digest, engine::spec_list_digest(specs));
+  EXPECT_EQ(contents.specs, specs.size());
+  EXPECT_EQ(contents.dropped_bytes, 0u);
+  ASSERT_EQ(contents.completed.size(), 2u);
+  EXPECT_EQ(contents.completed.at(0).to_json().dump(), r0.to_json().dump());
+  EXPECT_EQ(contents.completed.at(1).to_json().dump(), r1.to_json().dump());
+  std::remove(path.c_str());
+}
+
+TEST(JournalFile, TornFinalLineIsDroppedNotFatal) {
+  const core::ScenarioParams s = scenario();
+  const auto specs = small_specs(s);
+  CampaignRunner runner;
+  const ExperimentResult r0 = runner.run_one(specs[0]);
+  const ExperimentResult r1 = runner.run_one(specs[1]);
+
+  const std::string path = temp_path("zc_journal_torn.jsonl");
+  {
+    JournalWriter writer = JournalWriter::create(path, specs);
+    writer.append(0, r0);
+    writer.append(1, r1);
+  }
+  const std::string full = slurp(path);
+
+  // Chop the last record mid-line: the torn tail must be dropped and the
+  // prefix reported intact.
+  const std::size_t second_line_end = full.find('\n', full.find('\n') + 1);
+  ASSERT_NE(second_line_end, std::string::npos);
+  const std::string truncated = full.substr(0, second_line_end + 1 + 25);
+  spit(path, truncated);
+
+  const JournalContents contents = engine::read_journal(path);
+  EXPECT_EQ(contents.valid_bytes, second_line_end + 1);
+  EXPECT_EQ(contents.dropped_bytes, truncated.size() - (second_line_end + 1));
+  ASSERT_EQ(contents.completed.size(), 1u);
+  EXPECT_EQ(contents.completed.at(0).to_json().dump(), r0.to_json().dump());
+  std::remove(path.c_str());
+}
+
+TEST(JournalFile, ReopenTruncatesTornTailAndKeepsAppending) {
+  const core::ScenarioParams s = scenario();
+  const auto specs = small_specs(s);
+  CampaignRunner runner;
+  const ExperimentResult r0 = runner.run_one(specs[0]);
+  const ExperimentResult r1 = runner.run_one(specs[1]);
+
+  const std::string path = temp_path("zc_journal_reopen.jsonl");
+  {
+    JournalWriter writer = JournalWriter::create(path, specs);
+    writer.append(0, r0);
+  }
+  // Simulate a crash mid-append of the next record.
+  spit(path, slurp(path) + "{\"chunk\":1,\"nam");
+
+  const JournalContents before = engine::read_journal(path);
+  ASSERT_GT(before.dropped_bytes, 0u);
+  {
+    JournalWriter writer = JournalWriter::reopen(path, before.valid_bytes);
+    ASSERT_TRUE(writer.ok());
+    writer.append(1, r1);
+  }
+  const JournalContents after = engine::read_journal(path);
+  EXPECT_EQ(after.dropped_bytes, 0u);
+  ASSERT_EQ(after.completed.size(), 2u);
+  EXPECT_EQ(after.completed.at(1).to_json().dump(), r1.to_json().dump());
+  std::remove(path.c_str());
+}
+
+TEST(JournalFile, RejectsMissingFileAndMalformedHeaders) {
+  EXPECT_THROW((void)engine::read_journal(temp_path("zc_journal_nope.jsonl")),
+               zc::ContractViolation);
+
+  const std::string path = temp_path("zc_journal_badheader.jsonl");
+  // Wrong schema string.
+  spit(path,
+       "{\"schema\":\"not-a-journal\",\"version\":1,"
+       "\"digest\":\"0123456789abcdef\",\"specs\":2}\n");
+  EXPECT_THROW((void)engine::read_journal(path), zc::ContractViolation);
+  // Unsupported version.
+  spit(path,
+       "{\"schema\":\"zcopt-campaign-journal\",\"version\":2,"
+       "\"digest\":\"0123456789abcdef\",\"specs\":2}\n");
+  EXPECT_THROW((void)engine::read_journal(path), zc::ContractViolation);
+  // Header is not even JSON — and is *terminated*, so this is corruption,
+  // not a torn tail.
+  spit(path, "garbage\n");
+  EXPECT_THROW((void)engine::read_journal(path), zc::ContractViolation);
+  std::remove(path.c_str());
+}
+
+TEST(JournalFile, RejectsCorruptionBeforeTheFinalLine) {
+  const core::ScenarioParams s = scenario();
+  const auto specs = small_specs(s);
+  CampaignRunner runner;
+  const ExperimentResult r0 = runner.run_one(specs[0]);
+  const ExperimentResult r1 = runner.run_one(specs[1]);
+
+  const std::string path = temp_path("zc_journal_corrupt.jsonl");
+  {
+    JournalWriter writer = JournalWriter::create(path, specs);
+    writer.append(0, r0);
+    writer.append(1, r1);
+  }
+  std::string bytes = slurp(path);
+  // Flip a byte inside the *first* record (a non-final line): that is
+  // corruption, not an interrupted append.
+  const std::size_t first_record = bytes.find('\n') + 1;
+  bytes[first_record + 2] = '#';
+  spit(path, bytes);
+  EXPECT_THROW((void)engine::read_journal(path), zc::ContractViolation);
+  std::remove(path.c_str());
+}
+
+TEST(JournalFile, RejectsDuplicateAndOutOfRangeChunks) {
+  const core::ScenarioParams s = scenario();
+  const auto specs = small_specs(s);
+  CampaignRunner runner;
+  const ExperimentResult r0 = runner.run_one(specs[0]);
+
+  const std::string path = temp_path("zc_journal_dupes.jsonl");
+  {
+    JournalWriter writer = JournalWriter::create(path, specs);
+    writer.append(0, r0);
+    writer.append(0, r0);  // duplicate chunk
+  }
+  EXPECT_THROW((void)engine::read_journal(path), zc::ContractViolation);
+  {
+    JournalWriter writer = JournalWriter::create(path, specs);
+    writer.append(5, r0);  // chunk >= header spec count
+  }
+  EXPECT_THROW((void)engine::read_journal(path), zc::ContractViolation);
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,321 @@
+/// Campaign resilience: per-spec error containment (quarantine),
+/// cooperative cancellation, resume-after-cancel, and the degraded-run
+/// fields of the report schema.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "core/optimize.hpp"
+#include "core/scenarios.hpp"
+#include "engine/campaign.hpp"
+#include "engine/journal.hpp"
+#include "engine/spec.hpp"
+#include "exec/cancel.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "prob/delay.hpp"
+
+#ifdef ZC_OBS_DISABLED
+#define ZC_SKIP_WITHOUT_METRICS() \
+  GTEST_SKIP() << "metric mutators compiled out (-DZC_OBS_METRICS=OFF)"
+#else
+#define ZC_SKIP_WITHOUT_METRICS() (void)0
+#endif
+
+namespace {
+
+using namespace zc;
+using engine::CampaignOptions;
+using engine::CampaignResult;
+using engine::CampaignRunner;
+using engine::Estimator;
+using engine::ExperimentSpec;
+using engine::SpecBuilder;
+
+core::ScenarioParams scenario() {
+  return core::scenarios::figure2().to_params();
+}
+
+std::string campaign_bytes(const CampaignResult& campaign) {
+  return campaign.to_json().dump() +
+         obs::metrics_to_json(campaign.metrics).dump();
+}
+
+/// An optimize spec that passes validation but throws at execution time:
+/// `core::optimal_r` rejects a non-positive r_min with a
+/// ContractViolation, which is exactly the in-flight failure the
+/// quarantine machinery exists for.
+ExperimentSpec poisoned_spec(const core::ScenarioParams& s,
+                             const std::string& name) {
+  core::ROptOptions bad;
+  bad.r_min = -1.0;
+  return SpecBuilder(name, s).optimize(4).r_options(bad).build();
+}
+
+const obs::JsonValue& report_data(const obs::JsonValue& report) {
+  const obs::JsonValue* data = report.find("data");
+  EXPECT_NE(data, nullptr);
+  return *data;
+}
+
+TEST(Containment, ThrowingSpecIsQuarantinedOthersComplete) {
+  const core::ScenarioParams s = scenario();
+  const std::vector<ExperimentSpec> specs{
+      SpecBuilder("good-grid", s).protocol_grid({1, 2}, {0.5, 2.0}).build(),
+      poisoned_spec(s, "poison"),
+      SpecBuilder("good-opt", s).optimize(4).build(),
+  };
+
+  CampaignRunner runner;
+  const CampaignResult campaign = runner.run(specs);
+
+  // The failure is recorded with its facts...
+  ASSERT_EQ(campaign.failures.size(), 1u);
+  const engine::SpecFailure& failure = campaign.failures[0];
+  EXPECT_EQ(failure.spec_index, 1u);
+  EXPECT_EQ(failure.chunk, 1u);
+  EXPECT_EQ(failure.spec_name, "poison");
+  EXPECT_FALSE(failure.error.empty());
+  EXPECT_EQ(failure.seed, 0u);  // not a monte_carlo spec
+
+  // ...the failed slot is a stub that keeps the spec <-> slot mapping...
+  ASSERT_EQ(campaign.experiments.size(), 3u);
+  EXPECT_EQ(campaign.experiments[1].name, "poison");
+  EXPECT_TRUE(campaign.experiments[1].cells.empty());
+  EXPECT_FALSE(campaign.experiments[1].optimum.has_value());
+
+  // ...a quarantined spec is an outcome, not missing work...
+  EXPECT_TRUE(campaign.complete);
+  EXPECT_TRUE(campaign.cancelled.empty());
+
+  // ...and the healthy specs are bitwise what they would have been alone.
+  CampaignRunner clean;
+  EXPECT_EQ(campaign.experiments[0].to_json().dump(),
+            clean.run_one(specs[0]).to_json().dump());
+  EXPECT_EQ(campaign.experiments[2].to_json().dump(),
+            clean.run_one(specs[2]).to_json().dump());
+}
+
+TEST(Containment, FailureMetricsAndReportFields) {
+  ZC_SKIP_WITHOUT_METRICS();
+  const core::ScenarioParams s = scenario();
+  CampaignRunner runner;
+  const CampaignResult campaign = runner.run({
+      poisoned_spec(s, "poison-a"),
+      SpecBuilder("healthy", s).protocol({2, 1.0}).build(),
+      poisoned_spec(s, "poison-b"),
+  });
+  EXPECT_EQ(campaign.metrics.counter_value("engine.failures.total"),
+            std::optional<std::uint64_t>(2));
+
+  const auto report =
+      obs::parse_json(campaign.report("test", "containment").to_json().dump());
+  ASSERT_TRUE(report.has_value());
+  const obs::JsonValue& data = report_data(*report);
+  const obs::JsonValue* failures = data.find("failures");
+  ASSERT_NE(failures, nullptr);
+  ASSERT_EQ(failures->size(), 2u);
+  EXPECT_EQ(failures->element(0)->find("spec_name")->as_string(), "poison-a");
+  EXPECT_EQ(failures->element(1)->find("spec_name")->as_string(), "poison-b");
+  ASSERT_NE(data.find("complete"), nullptr);
+  EXPECT_TRUE(data.find("complete")->as_bool());
+  // No cancellation happened, so the cancelled list is absent entirely.
+  EXPECT_EQ(data.find("cancelled"), nullptr);
+}
+
+TEST(Containment, FailuresAreDeterministicAcrossThreadCounts) {
+  const core::ScenarioParams s = scenario();
+  std::vector<ExperimentSpec> specs;
+  for (unsigned i = 0; i < 12; ++i) {
+    specs.push_back(i % 3 == 1
+                        ? poisoned_spec(s, "poison-" + std::to_string(i))
+                        : SpecBuilder("grid-" + std::to_string(i), s)
+                              .protocol_grid({1, 2, 4}, {0.5, 1.0, 2.0})
+                              .build());
+  }
+  const auto run_at = [&](unsigned threads) {
+    CampaignRunner runner(CampaignOptions{threads});
+    return campaign_bytes(runner.run(specs));
+  };
+  EXPECT_EQ(run_at(1), run_at(8));
+}
+
+TEST(Containment, CsvMarksFailedSpecsInPlace) {
+  const core::ScenarioParams s = scenario();
+  CampaignRunner runner;
+  const CampaignResult campaign = runner.run({
+      SpecBuilder("grid", s).protocol({2, 1.0}).build(),
+      poisoned_spec(s, "poison"),
+  });
+  const std::string path = ::testing::TempDir() + "zc_resilience_csv.csv";
+  ASSERT_TRUE(engine::write_campaign_csv(campaign, path));
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  std::remove(path.c_str());
+
+  // Header + the grid cell + the failure row, in spec order.
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[1].substr(0, 5), "grid,");
+  EXPECT_EQ(lines[2].substr(0, 15), "poison,failed,a");
+}
+
+TEST(Cancellation, PreStoppedTokenCancelsEverySpec) {
+  const core::ScenarioParams s = scenario();
+  exec::CancelToken token;
+  token.request_stop();
+  CampaignOptions opts;
+  opts.cancel = &token;
+  CampaignRunner runner(opts);
+  const CampaignResult campaign = runner.run({
+      SpecBuilder("a", s).protocol({2, 1.0}).build(),
+      SpecBuilder("b", s).optimize(4).build(),
+  });
+
+  EXPECT_FALSE(campaign.complete);
+  ASSERT_EQ(campaign.cancelled.size(), 2u);
+  EXPECT_EQ(campaign.cancelled[0], 0u);
+  EXPECT_EQ(campaign.cancelled[1], 1u);
+  EXPECT_TRUE(campaign.failures.empty());
+  // Stubs keep names so a partial report still lines up with the specs.
+  EXPECT_EQ(campaign.experiments[0].name, "a");
+  EXPECT_TRUE(campaign.experiments[0].cells.empty());
+
+  const auto report =
+      obs::parse_json(campaign.report("test", "cancelled").to_json().dump());
+  ASSERT_TRUE(report.has_value());
+  const obs::JsonValue& data = report_data(*report);
+  EXPECT_FALSE(data.find("complete")->as_bool());
+  const obs::JsonValue* cancelled = data.find("cancelled");
+  ASSERT_NE(cancelled, nullptr);
+  EXPECT_EQ(cancelled->size(), 2u);
+}
+
+TEST(Cancellation, ExpiredDeadlineStopsTheCampaign) {
+  const core::ScenarioParams s = scenario();
+  exec::CancelToken token;
+  token.arm_deadline(std::chrono::steady_clock::duration::zero());
+  CampaignOptions opts;
+  opts.cancel = &token;
+  CampaignRunner runner(opts);
+  const CampaignResult campaign =
+      runner.run({SpecBuilder("a", s).protocol({2, 1.0}).build()});
+  EXPECT_FALSE(campaign.complete);
+  EXPECT_EQ(campaign.cancelled.size(), 1u);
+}
+
+TEST(Cancellation, CancelledMetricsCountTheSkippedSpecs) {
+  ZC_SKIP_WITHOUT_METRICS();
+  const core::ScenarioParams s = scenario();
+  exec::CancelToken token;
+  token.request_stop();
+  CampaignOptions opts;
+  opts.cancel = &token;
+  CampaignRunner runner(opts);
+  const CampaignResult campaign = runner.run({
+      SpecBuilder("a", s).protocol({2, 1.0}).build(),
+      SpecBuilder("b", s).protocol({4, 2.0}).build(),
+      SpecBuilder("c", s).optimize(4).build(),
+  });
+  EXPECT_EQ(campaign.metrics.counter_value("engine.cancelled.total"),
+            std::optional<std::uint64_t>(3));
+}
+
+TEST(Cancellation, CancelledJournaledCampaignResumesToCompletion) {
+  // The full interrupt workflow: a journaled campaign is stopped before
+  // any spec runs, then a fresh runner resumes it with no token and must
+  // produce the exact bytes of an uninterrupted run.
+  const core::ScenarioParams s(0.3, 2.0, 1000.0,
+                               prob::paper_reply_delay(0.1, 10.0, 0.05));
+  const auto make_specs = [&] {
+    std::vector<ExperimentSpec> specs;
+    for (unsigned i = 0; i < 4; ++i) {
+      specs.push_back(SpecBuilder("mc-" + std::to_string(i), s)
+                          .protocol({1 + i, 0.5})
+                          .estimator(Estimator::monte_carlo)
+                          .network(100, 30)
+                          .trials(100)
+                          .seed(100 + i)
+                          .build());
+    }
+    return specs;
+  };
+  const std::vector<ExperimentSpec> specs = make_specs();
+  const std::string path =
+      ::testing::TempDir() + "zc_resilience_resume.jsonl";
+
+  exec::CancelToken token;
+  token.request_stop();
+  CampaignOptions stopped;
+  stopped.journal_path = path;
+  stopped.cancel = &token;
+  CampaignRunner interrupted(stopped);
+  const CampaignResult partial = interrupted.run(specs);
+  EXPECT_FALSE(partial.complete);
+  EXPECT_EQ(partial.cancelled.size(), specs.size());
+
+  CampaignRunner resumed;
+  const CampaignResult finished = resumed.resume(specs, path);
+  EXPECT_TRUE(finished.complete);
+  EXPECT_TRUE(finished.cancelled.empty());
+
+  CampaignRunner clean;
+  EXPECT_EQ(campaign_bytes(finished), campaign_bytes(clean.run(specs)));
+  std::remove(path.c_str());
+}
+
+TEST(ReportSchema, AbortedRateAggregatesSimulationCells) {
+  // Near-full address space + a one-attempt safety cap: most trials hit
+  // an occupied address, exhaust the cap, and abort — deterministically
+  // for a fixed seed.
+  const core::ScenarioParams s(0.95, 2.0, 1000.0,
+                               prob::paper_reply_delay(0.1, 10.0, 0.05));
+  CampaignRunner runner;
+  const CampaignResult campaign =
+      runner.run({SpecBuilder("capped", s)
+                      .protocol({3, 2.0})
+                      .estimator(Estimator::monte_carlo)
+                      .network(100, 95)
+                      .safety_caps(1)
+                      .trials(200)
+                      .seed(5)
+                      .build()});
+  ASSERT_EQ(campaign.experiments[0].cells.size(), 1u);
+  const engine::CellResult& cell = campaign.experiments[0].cells[0];
+  ASSERT_GT(cell.aborted, 0u);
+
+  const auto report =
+      obs::parse_json(campaign.report("test", "aborted").to_json().dump());
+  ASSERT_TRUE(report.has_value());
+  const obs::JsonValue& data = report_data(*report);
+  EXPECT_EQ(data.find("simulated_trials")->as_number(), 200.0);
+  EXPECT_EQ(data.find("aborted_trials")->as_number(),
+            static_cast<double>(cell.aborted));
+  EXPECT_EQ(data.find("aborted_rate")->as_number(),
+            static_cast<double>(cell.aborted) / 200.0);
+}
+
+TEST(ReportSchema, AnalyticCampaignReportsZeroAbortedRate) {
+  const core::ScenarioParams s = scenario();
+  CampaignRunner runner;
+  const CampaignResult campaign =
+      runner.run({SpecBuilder("grid", s).protocol({2, 1.0}).build()});
+  const auto report =
+      obs::parse_json(campaign.report("test", "clean").to_json().dump());
+  ASSERT_TRUE(report.has_value());
+  const obs::JsonValue& data = report_data(*report);
+  EXPECT_EQ(data.find("simulated_trials")->as_number(), 0.0);
+  EXPECT_EQ(data.find("aborted_rate")->as_number(), 0.0);
+  EXPECT_TRUE(data.find("complete")->as_bool());
+  ASSERT_NE(data.find("failures"), nullptr);
+  EXPECT_EQ(data.find("failures")->size(), 0u);
+}
+
+}  // namespace

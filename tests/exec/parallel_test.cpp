@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/contract.hpp"
@@ -108,6 +110,88 @@ TEST(ParallelFor, ExceptionsPropagateToCaller) {
           },
           opts),
       std::runtime_error);
+}
+
+TEST(ParallelFor, SuppressedExceptionsAreCounted) {
+  // Only one exception can propagate per section; the rest must not
+  // vanish silently. Serial execution makes the tally deterministic:
+  // 5 throwing chunks -> 1 rethrown + 4 suppressed.
+  const std::uint64_t before = suppressed_error_count();
+  ExecOptions opts;
+  opts.threads = 1;
+  opts.chunk_size = 1;
+  EXPECT_THROW(
+      parallel_for(
+          5, [&](std::size_t i) { throw std::runtime_error(std::to_string(i)); },
+          opts),
+      std::runtime_error);
+  EXPECT_EQ(suppressed_error_count() - before, 4u);
+}
+
+TEST(ParallelFor, CleanSectionsLeaveTheSuppressedCountAlone) {
+  const std::uint64_t before = suppressed_error_count();
+  parallel_for(100, [](std::size_t) {}, {4, 1});
+  EXPECT_EQ(suppressed_error_count(), before);
+}
+
+TEST(ParallelFor, PreStoppedTokenRunsNothing) {
+  CancelToken token;
+  token.request_stop();
+  std::atomic<int> visits{0};
+  ExecOptions opts;
+  opts.threads = 8;
+  opts.cancel = &token;
+  parallel_for(1000, [&](std::size_t) { visits.fetch_add(1); }, opts);
+  EXPECT_EQ(visits.load(), 0);
+}
+
+TEST(ParallelFor, CancellationSkipsRemainingChunks) {
+  // Serial, one-element chunks: chunks run in ascending order and the
+  // token is consulted before every claim, so a stop requested inside
+  // chunk 2 leaves exactly indices {0, 1, 2} visited.
+  CancelToken token;
+  std::vector<int> visited(100, 0);
+  ExecOptions opts;
+  opts.threads = 1;
+  opts.chunk_size = 1;
+  opts.cancel = &token;
+  parallel_for(
+      100,
+      [&](std::size_t i) {
+        visited[i] = 1;
+        if (i == 2) token.request_stop();
+      },
+      opts);
+  EXPECT_EQ(std::accumulate(visited.begin(), visited.end(), 0), 3);
+  EXPECT_EQ(visited[0], 1);
+  EXPECT_EQ(visited[1], 1);
+  EXPECT_EQ(visited[2], 1);
+  EXPECT_EQ(visited[3], 0);
+}
+
+TEST(CancelTokenTest, DeadlineLatchesAndSticks) {
+  CancelToken token;
+  EXPECT_FALSE(token.stop_requested());
+  // A non-positive budget expires immediately; once observed stopped the
+  // token never reverts.
+  token.arm_deadline(std::chrono::steady_clock::duration::zero());
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_TRUE(token.stop_requested());
+}
+
+TEST(ParallelReduce, CancelledReductionMergesOnlyExecutedChunks) {
+  CancelToken token;
+  token.request_stop();
+  ExecOptions opts;
+  opts.threads = 4;
+  opts.cancel = &token;
+  const auto body = [](long long& acc, std::size_t i) {
+    acc += static_cast<long long>(i) + 1;
+  };
+  const auto merge = [](long long& into, const long long& from) {
+    into += from;
+  };
+  EXPECT_EQ(parallel_reduce(1000, 0LL, body, merge, opts), 0LL);
 }
 
 TEST(ParallelFor, NestedSectionsComplete) {

@@ -1,0 +1,213 @@
+/// Kill-and-resume golden test: a 100-spec Monte-Carlo campaign under the
+/// full fault schedule is journaled, truncated as a crash would leave it
+/// (whole records lost, and a torn half-written line), and resumed — the
+/// resumed report and CSV must be byte-identical to the uninterrupted
+/// run's, at 1 worker thread and at 8. Stale and corrupt journals must be
+/// rejected rather than silently blended into the wrong campaign.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "core/params.hpp"
+#include "engine/campaign.hpp"
+#include "engine/journal.hpp"
+#include "engine/spec.hpp"
+#include "faults/schedule.hpp"
+#include "prob/delay.hpp"
+
+namespace {
+
+using namespace zc;
+using engine::CampaignOptions;
+using engine::CampaignResult;
+using engine::CampaignRunner;
+using engine::Estimator;
+using engine::ExperimentSpec;
+using engine::SpecBuilder;
+
+/// The acceptance-campaign spec list: 100 Monte-Carlo specs exercising
+/// every fault class at once (loss bursts, blackouts, delay spikes,
+/// duplication, reordering, host churn). Built fresh on every call, the
+/// way a resuming process would rebuild it.
+std::vector<ExperimentSpec> acceptance_specs() {
+  faults::FaultSchedule chaos;
+  chaos.gilbert_elliott.p_enter_burst = 0.05;
+  chaos.gilbert_elliott.p_exit_burst = 0.25;
+  chaos.gilbert_elliott.loss_bad = 0.9;
+  chaos.blackout.windows = {2.0, 0.5, 8.0};
+  chaos.delay_spike.windows = {1.0, 1.0, 6.0};
+  chaos.delay_spike.extra = 0.2;
+  chaos.duplication.probability = 0.05;
+  chaos.reordering.probability = 0.1;
+  chaos.reordering.max_jitter = 0.05;
+  chaos.host_churn.deaf_fraction = 0.3;
+  chaos.host_churn.period = 4.0;
+  chaos.host_churn.deaf_duration = 1.0;
+  chaos.validate();
+
+  const core::ScenarioParams s(0.3, 2.0, 1000.0,
+                               prob::paper_reply_delay(0.1, 10.0, 0.05));
+  std::vector<ExperimentSpec> specs;
+  for (unsigned i = 0; i < 100; ++i) {
+    specs.push_back(SpecBuilder("spec-" + std::to_string(i), s)
+                        .protocol({1 + i % 4, 0.25 + 0.25 * (i % 3)})
+                        .estimator(Estimator::monte_carlo)
+                        .network(100, 30)
+                        .faults(chaos)
+                        .max_virtual_time(1e4)
+                        .safety_caps(64)
+                        .trials(40)
+                        .seed(1000 + i)
+                        .build());
+  }
+  return specs;
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Deterministic byte artifacts of a finished campaign.
+struct Artifacts {
+  std::string report;
+  std::string csv;
+};
+
+Artifacts artifacts_of(const CampaignResult& campaign) {
+  Artifacts out;
+  out.report =
+      campaign.report("golden", "resume acceptance").to_json().dump();
+  const std::string csv_path = temp_path("zc_resume_golden.csv");
+  EXPECT_TRUE(engine::write_campaign_csv(campaign, csv_path));
+  out.csv = slurp(csv_path);
+  std::remove(csv_path.c_str());
+  return out;
+}
+
+/// The journal's first `records` record lines (header always kept).
+std::string journal_prefix(const std::string& bytes, std::size_t records) {
+  std::size_t offset = bytes.find('\n') + 1;  // past the header
+  for (std::size_t i = 0; i < records; ++i)
+    offset = bytes.find('\n', offset) + 1;
+  return bytes.substr(0, offset);
+}
+
+TEST(ResumeGolden, KilledCampaignResumesByteIdenticallyAtAnyThreadCount) {
+  const std::string journal = temp_path("zc_resume_golden.jsonl");
+
+  // Uninterrupted journaled run: the golden bytes.
+  CampaignOptions golden_opts;
+  golden_opts.threads = 1;
+  golden_opts.journal_path = journal;
+  CampaignRunner golden_runner(golden_opts);
+  const Artifacts golden = artifacts_of(golden_runner.run(acceptance_specs()));
+  const std::string full_journal = slurp(journal);
+
+  // Crash scenarios: a prefix of whole records, and a prefix plus a torn
+  // half-written record — each resumed at 1 thread and at 8.
+  struct Scenario {
+    const char* label;
+    std::size_t keep_records;
+    bool tear_final_line;
+  };
+  const Scenario scenarios[] = {
+      {"lost tail, serial resume", 37, false},
+      {"lost tail, parallel resume", 73, false},
+      {"torn final record", 50, true},
+  };
+  const unsigned thread_counts[] = {1, 8, 1};
+
+  for (std::size_t k = 0; k < 3; ++k) {
+    const Scenario& scenario = scenarios[k];
+    std::string crashed = journal_prefix(full_journal, scenario.keep_records);
+    if (scenario.tear_final_line) {
+      // Append half of the next record, newline-less: a crash mid-append.
+      const std::string next =
+          journal_prefix(full_journal, scenario.keep_records + 1);
+      crashed += next.substr(crashed.size(), (next.size() - crashed.size()) / 2);
+    }
+    spit(journal, crashed);
+
+    CampaignOptions opts;
+    opts.threads = thread_counts[k];
+    CampaignRunner runner(opts);
+    const CampaignResult resumed = runner.resume(acceptance_specs(), journal);
+    EXPECT_TRUE(resumed.complete) << scenario.label;
+    const Artifacts replayed = artifacts_of(resumed);
+    EXPECT_EQ(replayed.report, golden.report) << scenario.label;
+    EXPECT_EQ(replayed.csv, golden.csv) << scenario.label;
+
+    // The journal healed: every chunk is on disk again, no torn tail.
+    const engine::JournalContents contents = engine::read_journal(journal);
+    EXPECT_EQ(contents.completed.size(), 100u) << scenario.label;
+    EXPECT_EQ(contents.dropped_bytes, 0u) << scenario.label;
+  }
+
+  std::remove(journal.c_str());
+}
+
+TEST(ResumeGolden, StaleJournalIsRejected) {
+  // Journal a *different* campaign (one seed differs), then try to resume
+  // the acceptance list from it: the digest must not match.
+  std::vector<ExperimentSpec> other = acceptance_specs();
+  other[0].sim.seed ^= 1;
+
+  const std::string journal = temp_path("zc_resume_stale.jsonl");
+  {
+    // Header only — no spec needs to run to make the journal stale.
+    exec::CancelToken stop;
+    stop.request_stop();
+    CampaignOptions opts;
+    opts.journal_path = journal;
+    opts.cancel = &stop;
+    CampaignRunner runner(opts);
+    const CampaignResult cancelled = runner.run(other);
+    ASSERT_FALSE(cancelled.complete);
+  }
+
+  CampaignRunner resumer;
+  EXPECT_THROW((void)resumer.resume(acceptance_specs(), journal),
+               zc::ContractViolation);
+  std::remove(journal.c_str());
+}
+
+TEST(ResumeGolden, CorruptJournalIsRejected) {
+  // Flip bytes inside a non-final record: that is corruption, not a torn
+  // tail, and resuming must refuse rather than replay damaged results.
+  std::vector<ExperimentSpec> specs = acceptance_specs();
+  specs.erase(specs.begin() + 4, specs.end());
+
+  const std::string journal = temp_path("zc_resume_corrupt.jsonl");
+  CampaignOptions opts;
+  opts.threads = 1;
+  opts.journal_path = journal;
+  CampaignRunner runner(opts);
+  (void)runner.run(specs);
+
+  std::string bytes = slurp(journal);
+  const std::size_t second_line = bytes.find('\n') + 1;
+  bytes[second_line + 5] = '\x01';
+  spit(journal, bytes);
+
+  CampaignRunner resumer;
+  EXPECT_THROW((void)resumer.resume(specs, journal), zc::ContractViolation);
+  std::remove(journal.c_str());
+}
+
+}  // namespace
