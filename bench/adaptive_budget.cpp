@@ -1,0 +1,200 @@
+/// PERF — Trial-budget cost of fixed-N Monte-Carlo vs the adaptive
+/// CI-targeted ladder, at equal collision-rate confidence width. A
+/// Fig.-5-style sweep (error probability across probe counts n, on an
+/// exaggerated-loss network where collisions are common) is estimated
+/// adaptively: each cell stops as soon as its Wilson interval is tight
+/// relative to the rate. The fixed-design comparator must pick ONE trial
+/// count for the whole sweep — no cell's width is known in advance, so
+/// it needs the worst cell's realized count everywhere. The bench
+/// reports both budgets and gates on the adaptive ladder spending at
+/// most half the fixed design's trials (>= 2x reduction).
+///
+/// The whole sweep is run twice, at 1 worker thread and at 8, and the
+/// two passes are digest-compared (realized counts, every estimate bit,
+/// rounds): the ladder's determinism contract, self-checked on every
+/// bench run. Emits BENCH_adaptive.json through the RunReport funnel.
+///
+/// `--smoke` shrinks the budget cap for the `adaptive`-labeled ctest
+/// entry.
+
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/expectation.hpp"
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "prob/delay.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace {
+
+using namespace zc;
+
+constexpr std::uint64_t kSeed = 20260808;
+constexpr double kRelCi = 0.3;  ///< target: Wilson half-width <= 30% of rate
+
+/// Exaggerated-loss network (the robustness sweep's stress point): 40%
+/// reply loss, slow replies, a busy 100-address segment — collision
+/// rates high enough that every cell observes events quickly, yet
+/// spread over n so the per-cell sample demand varies by orders of
+/// magnitude. That spread is exactly what a fixed design cannot exploit.
+sim::NetworkConfig lossy_network() {
+  sim::NetworkConfig config;
+  config.address_space = 100;
+  config.hosts = 30;
+  config.responder_delay = std::shared_ptr<const prob::DelayDistribution>(
+      prob::paper_reply_delay(0.4, 20.0, 0.1));
+  return config;
+}
+
+std::string hex(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+struct Cell {
+  unsigned n = 0;
+  sim::MonteCarloResults results;
+};
+
+/// One adaptive pass over the sweep at the given thread count.
+std::vector<Cell> run_sweep(const std::vector<unsigned>& probe_counts,
+                            std::size_t cap, unsigned threads) {
+  std::vector<Cell> cells;
+  for (const unsigned n : probe_counts) {
+    sim::ZeroconfConfig protocol;
+    protocol.n = n;
+    protocol.r = 1.0;
+    sim::MonteCarloOptions opts;
+    opts.seed = kSeed + n;
+    opts.threads = threads;
+    opts.precision.rel_ci_collision = kRelCi;
+    opts.precision.min_trials = 256;
+    opts.precision.max_trials = cap;
+    opts.trials = cap;
+    cells.push_back({n, sim::monte_carlo(lossy_network(), protocol, opts)});
+  }
+  return cells;
+}
+
+/// Every byte-determining observable of the sweep in one string.
+std::string sweep_digest(const std::vector<Cell>& cells) {
+  std::ostringstream os;
+  for (const Cell& cell : cells) {
+    const sim::MonteCarloResults& r = cell.results;
+    os << 'n' << cell.n << ": trials=" << r.trials << " rounds=" << r.rounds
+       << " met=" << r.precision_met << " collisions=" << r.collisions
+       << " rate=" << hex(r.collision_rate)
+       << " ci=[" << hex(r.collision_ci95.lower) << ','
+       << hex(r.collision_ci95.upper) << ']'
+       << " cost=" << hex(r.model_cost.mean) << ','
+       << hex(r.model_cost.ci95_halfwidth) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace zc;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+
+  bench::banner("PERF-ADAPTIVE-BUDGET",
+                "CI-targeted adaptive sampling vs fixed trial counts at "
+                "equal collision-rate confidence width");
+  if (smoke) std::cout << "[smoke mode: reduced budget cap]\n";
+
+  const std::vector<unsigned> probe_counts = {1, 2, 3, 4, 5, 6};
+  const std::size_t cap = smoke ? 40000 : 200000;
+
+  // The determinism self-check doubles as the measurement: the serial
+  // and 8-thread passes must agree on every byte, so either one is "the"
+  // sweep.
+  const std::vector<Cell> serial = run_sweep(probe_counts, cap, 1);
+  const std::vector<Cell> parallel = run_sweep(probe_counts, cap, 8);
+  const bool identical = sweep_digest(serial) == sweep_digest(parallel);
+
+  std::size_t adaptive_total = 0;
+  std::size_t worst_cell = 0;
+  bool all_met = true;
+  for (const Cell& cell : serial) {
+    adaptive_total += cell.results.trials;
+    if (cell.results.trials > worst_cell) worst_cell = cell.results.trials;
+    all_met &= cell.results.precision_met;
+  }
+  // A fixed design must commit to one N before seeing any data; to make
+  // the worst cell's interval as tight as the target demands it needs
+  // that cell's realized count in EVERY cell.
+  const std::size_t fixed_total = worst_cell * probe_counts.size();
+  const double reduction =
+      adaptive_total > 0
+          ? static_cast<double>(fixed_total) / static_cast<double>(adaptive_total)
+          : 0.0;
+
+  std::cout << "cell    trials  rounds  met  collision_rate  ci95_halfwidth\n";
+  for (const Cell& cell : serial) {
+    const sim::MonteCarloResults& r = cell.results;
+    const double half =
+        0.5 * (r.collision_ci95.upper - r.collision_ci95.lower);
+    std::cout << "n=" << cell.n << "  " << r.trials << "  " << r.rounds
+              << "  " << (r.precision_met ? "yes" : "NO ") << "  "
+              << format_sig(r.collision_rate, 4) << "  "
+              << format_sig(half, 4) << '\n';
+  }
+  std::cout << "adaptive total: " << adaptive_total
+            << " trials; fixed-N design: " << fixed_total << " trials ("
+            << worst_cell << " x " << probe_counts.size()
+            << " cells); reduction x" << format_sig(reduction, 3)
+            << "; 1-vs-8-thread sweep "
+            << (identical ? "identical" : "DIVERGED") << '\n';
+
+  obs::RunReport report("adaptive_budget",
+                        "fixed vs CI-targeted adaptive trial budgets on a "
+                        "fig-5-style collision sweep");
+  report.set_seed(kSeed);
+  report.config()["smoke"] = smoke;
+  report.config()["target_rel_ci"] = kRelCi;
+  report.config()["budget_cap"] = cap;
+  obs::JsonValue rows = obs::JsonValue::array();
+  for (const Cell& cell : serial) {
+    const sim::MonteCarloResults& r = cell.results;
+    obs::JsonValue row = obs::JsonValue::object();
+    row["n"] = cell.n;
+    row["trials_realized"] = r.trials;
+    row["rounds"] = r.rounds;
+    row["precision_met"] = r.precision_met;
+    row["collision_rate"] = r.collision_rate;
+    row["collision_ci_lower"] = r.collision_ci95.lower;
+    row["collision_ci_upper"] = r.collision_ci95.upper;
+    rows.push_back(std::move(row));
+  }
+  report.data()["cells"] = std::move(rows);
+  report.data()["adaptive_total_trials"] = adaptive_total;
+  report.data()["fixed_total_trials"] = fixed_total;
+  report.data()["budget_reduction"] = reduction;
+  report.data()["identical_across_threads"] = identical;
+  bench::emit_report(report, "BENCH_adaptive.json");
+
+  analysis::PaperCheck check("PERF-ADAPTIVE-BUDGET");
+  check.expect_true("deterministic-ladder",
+                    "realized trial counts and every estimate bit agree "
+                    "between the 1-thread and 8-thread sweeps",
+                    identical);
+  check.expect_true("targets-met",
+                    "every cell reached its collision-rate CI target "
+                    "inside the budget cap",
+                    all_met);
+  check.expect_true("2x-budget-reduction",
+                    "adaptive sweep spends <= half the trials of the "
+                    "cheapest valid fixed-N design",
+                    reduction >= 2.0);
+  return bench::finish(check);
+}

@@ -169,6 +169,19 @@ int run_campaign(int argc, const char* const* argv) {
                   "also compute stddev/waiting/attempts per cell");
   parser.add_option("trials", "Monte-Carlo trials per cell", "10000");
   parser.add_option("seed", "Monte-Carlo base seed", "42");
+  parser.add_option("target-rel-ci",
+                    "adaptive precision: stop each cell once the relative "
+                    "95% CI half-width of the cost mean and collision rate "
+                    "falls below this (0 = fixed trials)",
+                    "0");
+  parser.add_option("min-trials",
+                    "adaptive precision: first-round size / realized-count "
+                    "floor (0 = default 512)",
+                    "0");
+  parser.add_option("max-trials",
+                    "adaptive precision: hard trial-budget cap per cell "
+                    "(0 = use --trials)",
+                    "0");
   parser.add_option("space",
                     "simulated address-space size (monte_carlo estimator)",
                     "1000");
@@ -231,10 +244,17 @@ int run_campaign(int argc, const char* const* argv) {
         static_cast<std::size_t>(need(parser, "trials", 1.0, 1e9));
     const auto seed =
         static_cast<std::uint64_t>(need(parser, "seed", 0.0, 1e18));
+    const double target_rel_ci = need(parser, "target-rel-ci", 0.0, 1.0);
     if (estimator == engine::Estimator::monte_carlo) {
       builder.trials(trials).seed(seed).network(
           static_cast<unsigned>(need(parser, "space", 2.0, 65024.0)),
           static_cast<unsigned>(need(parser, "sim-hosts", 0.0, 65023.0)));
+      if (target_rel_ci > 0.0) {
+        builder.target_rel_ci(target_rel_ci)
+            .trial_budget(
+                static_cast<std::size_t>(need(parser, "min-trials", 0.0, 1e9)),
+                static_cast<std::size_t>(need(parser, "max-trials", 0.0, 1e9)));
+      }
     }
 
     engine::CampaignOptions campaign_opts;
@@ -276,10 +296,12 @@ int run_campaign(int argc, const char* const* argv) {
     const bool simulated = estimator == engine::Estimator::monte_carlo;
     std::vector<std::string> header{"n", "r [s]", "mean cost",
                                     "P(collision)"};
+    const bool adaptive = simulated && target_rel_ci > 0.0;
     if (simulated) {
       header.push_back("cost +/- (95%)");
       header.push_back("aborted");
     }
+    if (adaptive) header.push_back("trials");
     analysis::Table table(header);
     for (const engine::CellResult& cell : experiment.cells) {
       std::vector<std::string> row{
@@ -289,6 +311,12 @@ int run_campaign(int argc, const char* const* argv) {
       if (simulated) {
         row.push_back(zc::format_sig(cell.cost_ci95, 3));
         row.push_back(std::to_string(cell.aborted));
+      }
+      if (adaptive) {
+        // Realized ladder total; '*' marks a cell that ran to its budget
+        // cap without meeting every CI target.
+        row.push_back(std::to_string(cell.trials) +
+                      (cell.precision_met ? "" : "*"));
       }
       table.add_row(std::move(row));
     }
@@ -311,6 +339,7 @@ int run_campaign(int argc, const char* const* argv) {
       if (simulated) {
         report.config()["trials"] = static_cast<std::uint64_t>(trials);
         report.set_seed(seed);
+        if (adaptive) report.config()["target_rel_ci"] = target_rel_ci;
       }
       cli_timer.stop();  // close the outer span so it appears in the tree
       report.set_timers(obs::Registry::global().timers_snapshot());

@@ -107,6 +107,20 @@ double CostDistribution::cdf(double x) const {
   return std::min(1.0, acc.value());
 }
 
+namespace {
+
+/// The accumulated atom mass covers `p` "up to rounding": the Kahan sum
+/// of the atoms and the `1 - tail_` bound are computed along different
+/// floating-point paths, so a `p` within rounding error of the total
+/// mass may come up short by a few ulps even though the precondition
+/// `p < 1 - tail_` held. 16-ulp relative slack decides the boundary.
+bool covers_within_rounding(double accumulated, double p) noexcept {
+  constexpr double kRelTol = 16.0 * std::numeric_limits<double>::epsilon();
+  return accumulated >= p - kRelTol * std::max(std::fabs(p), 1.0);
+}
+
+}  // namespace
+
 double CostDistribution::quantile(double p) const {
   ZC_EXPECTS(0.0 <= p && p < 1.0);
   ZC_EXPECTS(p < 1.0 - tail_);
@@ -123,21 +137,32 @@ double CostDistribution::quantile(double p) const {
     acc.add(prob);
     if (acc.value() >= p) return cost;
   }
-  ZC_ASSERT(false);  // unreachable: p < 1 - tail_ guarantees coverage
-  return 0.0;
+  // p sits within rounding error of the total atom mass (it can sum to
+  // slightly less than 1 - tail_): the last atom is the quantile.
+  ZC_ASSERT(!atoms.empty() && covers_within_rounding(acc.value(), p));
+  return atoms.back().first;
 }
 
 std::size_t CostDistribution::probes_quantile(double p) const {
   ZC_EXPECTS(0.0 <= p && p < 1.0);
   ZC_EXPECTS(p < 1.0 - tail_);
   numerics::KahanSum acc;
+  std::size_t last_support = 0;
+  bool any_mass = false;
   for (std::size_t t = 0; t < ok_.size(); ++t) {
-    acc.add(ok_[t] + error_[t]);
+    const double mass = ok_[t] + error_[t];
+    if (mass > 0.0) {
+      last_support = t;
+      any_mass = true;
+    }
+    acc.add(mass);
     // For p = 0 return the smallest support point, not index 0.
     if (acc.value() >= p && acc.value() > 0.0) return t;
   }
-  ZC_ASSERT(false);
-  return 0;
+  // Same boundary as quantile(): fall back to the largest support point
+  // when p is within rounding error of the accumulated mass.
+  ZC_ASSERT(any_mass && covers_within_rounding(acc.value(), p));
+  return last_support;
 }
 
 double CostDistribution::cost_of(std::size_t probes, bool collision) const {

@@ -41,6 +41,11 @@ obs::JsonValue CellResult::to_json() const {
     cell["collision_ci_upper"] = collision_ci_upper;
     cell["mean_probes"] = mean_probes;
     cell["mean_elapsed_cost"] = mean_elapsed_cost;
+    if (adaptive) {
+      cell["trials_requested"] = static_cast<std::uint64_t>(trials_requested);
+      cell["rounds"] = static_cast<std::uint64_t>(rounds);
+      cell["precision_met"] = precision_met;
+    }
   }
   return cell;
 }
@@ -391,6 +396,7 @@ void CampaignRunner::run_monte_carlo(const ExperimentSpec& spec,
   mc.threads = opts_.threads;
   mc.chunk_size = spec.sim.chunk_size;
   mc.cancel = opts_.cancel;
+  mc.precision = spec.sim.precision;
 
   out.cells.reserve(spec.grid.size());
   for (const core::ProtocolParams& point : spec.grid) {
@@ -419,6 +425,10 @@ void CampaignRunner::run_monte_carlo(const ExperimentSpec& spec,
     cell.collision_ci_upper = results.collision_ci95.upper;
     cell.mean_probes = results.probes.mean;
     cell.mean_elapsed_cost = results.elapsed_cost.mean;
+    cell.adaptive = results.adaptive;
+    cell.trials_requested = results.trials_requested;
+    cell.rounds = results.rounds;
+    cell.precision_met = results.precision_met;
     out.cells.push_back(cell);
 
     out.metrics.merge(results.metrics);  // grid order

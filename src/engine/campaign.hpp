@@ -62,6 +62,15 @@ struct CellResult {
   double mean_probes = 0.0;
   double mean_elapsed_cost = 0.0;  ///< elapsed-time accounting mean
 
+  /// Adaptive-precision block (simulation cells with precision targets
+  /// enabled; serialized only then, so fixed-mode report bytes stay
+  /// comparable with prior recordings). `trials` above holds the
+  /// *realized* ladder total — the quantity journal resume replays.
+  bool adaptive = false;
+  std::size_t trials_requested = 0;  ///< adaptive budget cap
+  std::size_t rounds = 0;            ///< executed ladder rounds
+  bool precision_met = false;        ///< all CI targets satisfied
+
   [[nodiscard]] obs::JsonValue to_json() const;
 };
 

@@ -168,6 +168,15 @@ CellResult cell_from_json(const obs::JsonValue& cell) {
     out.collision_ci_upper = read_double(member(cell, "collision_ci_upper"));
     out.mean_probes = read_double(member(cell, "mean_probes"));
     out.mean_elapsed_cost = read_double(member(cell, "mean_elapsed_cost"));
+    // Adaptive block present iff the cell ran with precision targets;
+    // `trials` above already carries the realized ladder total, so a
+    // replayed cell re-emits byte-identically without re-running it.
+    if (cell.find("rounds") != nullptr) {
+      out.adaptive = true;
+      out.trials_requested = read_count(member(cell, "trials_requested"));
+      out.rounds = read_count(member(cell, "rounds"));
+      out.precision_met = member(cell, "precision_met").as_bool();
+    }
   }
   return out;
 }
@@ -224,6 +233,17 @@ std::string spec_list_digest(const std::vector<ExperimentSpec>& specs) {
     dec_unsigned(canon, spec.sim.max_attempts);
     dec_unsigned(canon, spec.sim.max_probes);
     hex_double(canon, spec.sim.probe_wait_max);
+    // Precision targets decide the realized trial count, so they are
+    // byte-determining like trials/seed. Disabled targets digest as the
+    // same constants every pre-adaptive journal implicitly had... except
+    // the section marker makes old digests differ — acceptable: the
+    // digest only guards journal/spec-list agreement within one version.
+    canon += "\nprec ";
+    hex_double(canon, spec.sim.precision.rel_ci_model_cost);
+    hex_double(canon, spec.sim.precision.rel_ci_collision);
+    hex_double(canon, spec.sim.precision.abs_ci_floor);
+    dec_unsigned(canon, spec.sim.precision.min_trials);
+    dec_unsigned(canon, spec.sim.precision.max_trials);
     canon += '\n';
     digest_faults(canon, spec.sim.faults);
     canon += "\ndetailed ";

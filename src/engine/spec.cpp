@@ -76,6 +76,22 @@ void ExperimentSpec::validate() const {
     ZC_REQUIRE(sim.probe_wait_max >= 0.0 && std::isfinite(sim.probe_wait_max),
                spec_error(name, "SimulationOptions.probe_wait_max must be "
                                 "finite and >= 0"));
+    ZC_REQUIRE(std::isfinite(sim.precision.rel_ci_model_cost) &&
+                   sim.precision.rel_ci_model_cost >= 0.0,
+               spec_error(name, "SimulationOptions.precision.rel_ci_model_cost "
+                                "must be finite and >= 0"));
+    ZC_REQUIRE(std::isfinite(sim.precision.rel_ci_collision) &&
+                   sim.precision.rel_ci_collision >= 0.0,
+               spec_error(name, "SimulationOptions.precision.rel_ci_collision "
+                                "must be finite and >= 0"));
+    ZC_REQUIRE(std::isfinite(sim.precision.abs_ci_floor) &&
+                   sim.precision.abs_ci_floor >= 0.0,
+               spec_error(name, "SimulationOptions.precision.abs_ci_floor "
+                                "must be finite and >= 0"));
+    ZC_REQUIRE(sim.precision.min_trials == 0 || sim.precision.max_trials == 0 ||
+                   sim.precision.min_trials <= sim.precision.max_trials,
+               spec_error(name, "SimulationOptions.precision.min_trials must "
+                                "be <= max_trials"));
     sim.faults.validate();
   }
 }
@@ -138,6 +154,24 @@ SpecBuilder& SpecBuilder::detailed(bool on) {
 
 SpecBuilder& SpecBuilder::trials(std::size_t trials) {
   spec_.sim.trials = trials;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::precision(const sim::PrecisionTargets& targets) {
+  spec_.sim.precision = targets;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::target_rel_ci(double rel_ci) {
+  spec_.sim.precision.rel_ci_model_cost = rel_ci;
+  spec_.sim.precision.rel_ci_collision = rel_ci;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::trial_budget(std::size_t min_trials,
+                                       std::size_t max_trials) {
+  if (min_trials > 0) spec_.sim.precision.min_trials = min_trials;
+  if (max_trials > 0) spec_.sim.precision.max_trials = max_trials;
   return *this;
 }
 

@@ -29,6 +29,7 @@
 #include "core/optimize.hpp"
 #include "core/params.hpp"
 #include "faults/schedule.hpp"
+#include "sim/precision.hpp"
 
 namespace zc::engine {
 
@@ -67,6 +68,14 @@ struct SimulationOptions {
   unsigned max_probes = 0;
   /// Draft PROBE_WAIT desynchronization delay bound; 0 = model-faithful.
   double probe_wait_max = 0.0;
+
+  /// Adaptive-precision targets (sim/precision.hpp). Disabled (default)
+  /// runs exactly `trials` trials; enabled, `trials` becomes the budget
+  /// cap unless `precision.max_trials` overrides it and the estimator
+  /// stops once the requested CI targets are met. The realized trial
+  /// count is deterministic per spec, so journaled campaigns resume
+  /// byte-identically.
+  sim::PrecisionTargets precision;
 };
 
 /// One declarative experiment. Construct through `SpecBuilder`; the
@@ -131,6 +140,13 @@ class SpecBuilder {
   SpecBuilder& detailed(bool on = true);
 
   SpecBuilder& trials(std::size_t trials);
+  /// Install the full adaptive-precision target set.
+  SpecBuilder& precision(const sim::PrecisionTargets& targets);
+  /// Shorthand: one relative CI target applied to both the model-cost
+  /// mean and the collision rate (the common CLI spelling).
+  SpecBuilder& target_rel_ci(double rel_ci);
+  /// Adaptive budget bounds (0 = keep the current/default value).
+  SpecBuilder& trial_budget(std::size_t min_trials, std::size_t max_trials);
   SpecBuilder& seed(std::uint64_t seed);
   SpecBuilder& chunk_size(std::size_t trials_per_chunk);
   SpecBuilder& network(unsigned address_space, unsigned hosts);

@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "exec/cancel.hpp"
@@ -106,6 +107,28 @@ template <typename Acc, typename Body, typename Merge>
   Acc out = init;
   for (Acc& acc : accumulators) merge(out, acc);
   return out;
+}
+
+/// Offset reduction for round-laddered work (adaptive Monte-Carlo): fold
+/// the *global* indices [begin, begin + n), chunked and merged exactly
+/// like parallel_reduce over a local range of length n. Counter-based
+/// seeding stays a pure function of the global index, so a ladder's
+/// round boundaries never leak into per-element results.
+///
+/// Round-aware cancellation: the token is re-checked here, before any
+/// chunk of the round is dispatched — a stop requested between rounds
+/// returns `init` untouched instead of claiming (and then discarding)
+/// the round's first chunks. Within the round the usual per-chunk checks
+/// of parallel_for_chunks apply.
+template <typename Acc, typename Body, typename Merge>
+[[nodiscard]] Acc parallel_reduce_offset(std::size_t begin, std::size_t n,
+                                         Acc init, Body&& body, Merge&& merge,
+                                         const ExecOptions& opts = {}) {
+  if (opts.cancel != nullptr && opts.cancel->stop_requested()) return init;
+  return parallel_reduce(
+      n, std::move(init),
+      [&](Acc& acc, std::size_t i) { body(acc, begin + i); },
+      std::forward<Merge>(merge), opts);
 }
 
 }  // namespace zc::exec

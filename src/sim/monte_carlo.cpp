@@ -7,6 +7,7 @@
 #include "common/contract.hpp"
 #include "exec/parallel.hpp"
 #include "exec/seeding.hpp"
+#include "obs/timer.hpp"
 
 namespace zc::sim {
 
@@ -92,6 +93,18 @@ MonteCarloResults monte_carlo(const NetworkConfig& network,
              "MonteCarloOptions.probe_cost must be finite and >= 0");
   ZC_REQUIRE(std::isfinite(opts.error_cost) && opts.error_cost >= 0.0,
              "MonteCarloOptions.error_cost must be finite and >= 0");
+  const PrecisionTargets& prec = opts.precision;
+  ZC_REQUIRE(
+      std::isfinite(prec.rel_ci_model_cost) && prec.rel_ci_model_cost >= 0.0,
+      "MonteCarloOptions.precision.rel_ci_model_cost must be finite and >= 0");
+  ZC_REQUIRE(
+      std::isfinite(prec.rel_ci_collision) && prec.rel_ci_collision >= 0.0,
+      "MonteCarloOptions.precision.rel_ci_collision must be finite and >= 0");
+  ZC_REQUIRE(std::isfinite(prec.abs_ci_floor) && prec.abs_ci_floor >= 0.0,
+             "MonteCarloOptions.precision.abs_ci_floor must be finite and >= 0");
+  ZC_REQUIRE(prec.min_trials == 0 || prec.max_trials == 0 ||
+                 prec.min_trials <= prec.max_trials,
+             "MonteCarloOptions.precision.min_trials must be <= max_trials");
 
   exec::ExecOptions exec_opts;
   exec_opts.threads = opts.threads;
@@ -104,83 +117,146 @@ MonteCarloResults monte_carlo(const NetworkConfig& network,
   TrialAccumulator init;
   if (obs::collection_enabled()) init.register_metrics();
 
-  TrialAccumulator total = exec::parallel_reduce(
-      opts.trials, init,
-      [&](TrialAccumulator& acc, std::size_t t) {
-        // Counter-based seed: trial t's stream depends only on
-        // (opts.seed, t), never on thread assignment or run order.
-        const std::uint64_t trial_seed = exec::split_seed(opts.seed, t);
-        if (acc.net == nullptr) {
-          // First trial of this chunk: build the context and bind it
-          // once (the chunk accumulator's address is stable for the
-          // chunk's lifetime). Later trials reset in place.
-          acc.net = std::make_shared<Network>(network, trial_seed);
-          if (acc.collect) {
-            acc.metrics.inc(acc.chunks_id);
-            acc.net->bind_metrics(&acc.metrics);
-          }
-        } else {
-          acc.net->reset(trial_seed);
-        }
-        Network& net = *acc.net;
-        const RunResult run = net.run_join(protocol);
-        const Simulator& sim = net.simulator();
-        acc.pool_slots = std::max(acc.pool_slots, sim.pool_slots());
-        acc.pool_high_water =
-            std::max(acc.pool_high_water, sim.pool_high_water());
-        acc.pool_reuse = sim.pool_reuse_count();
-        if (run.aborted) {
-          // A safety-capped run claimed no address; folding its truncated
-          // cost into the estimates would bias them. Tally it instead.
-          ++acc.aborted;
-          if (acc.collect) acc.metrics.inc(acc.aborted_id);
-          return;
-        }
-        const double model =
-            run.model_cost(protocol.r, opts.probe_cost, opts.error_cost);
-        const double elapsed =
-            run.elapsed_cost(opts.probe_cost, opts.error_cost);
-        if (!std::isfinite(model) || !std::isfinite(elapsed) ||
-            !std::isfinite(run.waiting_time)) {
-          // Overflow guard: never let an inf/NaN sample poison the
-          // Welford accumulators.
-          ++acc.non_finite;
-          if (acc.collect) acc.metrics.inc(acc.non_finite_id);
-          return;
-        }
-        acc.model_cost.add(model);
-        acc.elapsed_cost.add(elapsed);
-        acc.probes.add(static_cast<double>(run.probes_sent));
-        acc.attempts.add(static_cast<double>(run.attempts));
-        acc.waiting.add(run.waiting_time);
-        if (acc.collect) {
-          acc.metrics.inc(acc.completed_id);
-          acc.metrics.observe(acc.attempts_hist_id,
-                              static_cast<double>(run.attempts));
-          acc.metrics.observe(acc.probes_hist_id,
-                              static_cast<double>(run.probes_sent));
-          acc.metrics.observe(acc.waiting_hist_id, run.waiting_time);
-        }
-        if (run.collision) {
-          ++acc.collisions;
-          if (acc.collect) acc.metrics.inc(acc.collision_id);
-        }
-      },
-      [](TrialAccumulator& into, const TrialAccumulator& from) {
-        into.merge(from);
-      },
-      exec_opts);
+  // Counter-based seed: trial t's stream depends only on (opts.seed, t),
+  // never on thread assignment, run order, or — in adaptive mode — on
+  // how the ladder happened to slice [0, realized) into rounds.
+  const auto run_trial = [&](TrialAccumulator& acc, std::size_t t) {
+    const std::uint64_t trial_seed = exec::split_seed(opts.seed, t);
+    if (acc.net == nullptr) {
+      // First trial of this chunk: build the context and bind it
+      // once (the chunk accumulator's address is stable for the
+      // chunk's lifetime). Later trials reset in place.
+      acc.net = std::make_shared<Network>(network, trial_seed);
+      if (acc.collect) {
+        acc.metrics.inc(acc.chunks_id);
+        acc.net->bind_metrics(&acc.metrics);
+      }
+    } else {
+      acc.net->reset(trial_seed);
+    }
+    Network& net = *acc.net;
+    const RunResult run = net.run_join(protocol);
+    const Simulator& sim = net.simulator();
+    acc.pool_slots = std::max(acc.pool_slots, sim.pool_slots());
+    acc.pool_high_water = std::max(acc.pool_high_water, sim.pool_high_water());
+    acc.pool_reuse = sim.pool_reuse_count();
+    if (run.aborted) {
+      // A safety-capped run claimed no address; folding its truncated
+      // cost into the estimates would bias them. Tally it instead.
+      ++acc.aborted;
+      if (acc.collect) acc.metrics.inc(acc.aborted_id);
+      return;
+    }
+    const double model =
+        run.model_cost(protocol.r, opts.probe_cost, opts.error_cost);
+    const double elapsed = run.elapsed_cost(opts.probe_cost, opts.error_cost);
+    if (!std::isfinite(model) || !std::isfinite(elapsed) ||
+        !std::isfinite(run.waiting_time)) {
+      // Overflow guard: never let an inf/NaN sample poison the
+      // Welford accumulators.
+      ++acc.non_finite;
+      if (acc.collect) acc.metrics.inc(acc.non_finite_id);
+      return;
+    }
+    acc.model_cost.add(model);
+    acc.elapsed_cost.add(elapsed);
+    acc.probes.add(static_cast<double>(run.probes_sent));
+    acc.attempts.add(static_cast<double>(run.attempts));
+    acc.waiting.add(run.waiting_time);
+    if (acc.collect) {
+      acc.metrics.inc(acc.completed_id);
+      acc.metrics.observe(acc.attempts_hist_id,
+                          static_cast<double>(run.attempts));
+      acc.metrics.observe(acc.probes_hist_id,
+                          static_cast<double>(run.probes_sent));
+      acc.metrics.observe(acc.waiting_hist_id, run.waiting_time);
+    }
+    if (run.collision) {
+      ++acc.collisions;
+      if (acc.collect) acc.metrics.inc(acc.collision_id);
+    }
+  };
+  const auto merge_accs = [](TrialAccumulator& into,
+                             const TrialAccumulator& from) {
+    into.merge(from);
+  };
+
+  const bool adaptive = prec.enabled();
+  TrialAccumulator total = init;
+  std::size_t realized = opts.trials;  ///< trials scheduled for execution
+  std::size_t requested = opts.trials;
+  std::size_t rounds = 0;
+  std::size_t last_chunk_size =
+      exec::resolve_chunk_size(opts.trials, opts.chunk_size);
+  bool precision_met = false;
+  if (!adaptive) {
+    // Fixed mode: the historical single reduction, byte-identical to
+    // every prior release.
+    total = exec::parallel_reduce(opts.trials, init, run_trial, merge_accs,
+                                  exec_opts);
+  } else {
+    // Adaptive mode: deterministic doubling ladder. Round k covers the
+    // global trial range [realized, target); after each round the
+    // stopping rules are evaluated on the *cumulative* accumulators.
+    // Everything that decides the next step — realized counts, CI
+    // widths, the chunk layout of each round — is a pure function of
+    // (inputs, seed, targets), so the realized total and every estimate
+    // are bitwise-identical at any thread count.
+    const std::size_t cap = prec.max_trials > 0 ? prec.max_trials : opts.trials;
+    std::size_t first = prec.min_trials > 0 ? prec.min_trials
+                                            : kDefaultFirstRound;
+    first = std::min(first, cap);
+    const auto targets_met = [&](const TrialAccumulator& acc) {
+      const std::size_t completed = acc.model_cost.count();
+      const ProportionCi ci = wilson_ci95(acc.collisions, completed);
+      return cost_target_met(prec, acc.model_cost.mean(),
+                             acc.model_cost.ci95_halfwidth(), completed) &&
+             collision_target_met(prec, acc.collisions, completed, ci.lower,
+                                  ci.upper);
+    };
+    obs::ScopedTimer ladder_timer("mc.ladder");
+    realized = 0;
+    requested = cap;
+    std::size_t target = first;
+    while (realized < cap) {
+      if (opts.cancel != nullptr && opts.cancel->stop_requested()) break;
+      const std::size_t round_len = target - realized;
+      last_chunk_size = exec::resolve_chunk_size(round_len, opts.chunk_size);
+      TrialAccumulator round = init;
+      {
+        obs::ScopedTimer round_timer("mc.round");
+        round = exec::parallel_reduce_offset(realized, round_len, init,
+                                             run_trial, merge_accs, exec_opts);
+      }
+      total.merge(round);
+      realized += round_len;
+      ++rounds;
+      if (targets_met(total)) {
+        precision_met = true;
+        break;
+      }
+      // Double the cumulative total, truncated at the cap (overflow-safe:
+      // target <= cap always holds).
+      target = target > cap / 2 ? cap : target * 2;
+    }
+  }
 
   MonteCarloResults out;
-  out.trials = opts.trials;
+  out.trials = realized;
+  out.adaptive = adaptive;
+  out.trials_requested = requested;
+  out.rounds = rounds;
+  out.precision_met = precision_met;
   out.aborted = total.aborted;
   out.non_finite = total.non_finite;
   // Count what the accumulators actually saw rather than assuming every
   // trial ran: under cooperative cancellation whole chunks are skipped,
   // and completed must stay truthful (= finite samples in the estimates).
   out.completed = total.model_cost.count();
-  out.aborted_rate = static_cast<double>(total.aborted) /
-                     static_cast<double>(opts.trials);
+  out.aborted_rate = out.trials == 0
+                         ? 0.0
+                         : static_cast<double>(total.aborted) /
+                               static_cast<double>(out.trials);
   out.model_cost = to_estimate(total.model_cost);
   out.elapsed_cost = to_estimate(total.elapsed_cost);
   out.probes = to_estimate(total.probes);
@@ -203,12 +279,18 @@ MonteCarloResults monte_carlo(const NetworkConfig& network,
   out.pool_reuse = total.pool_reuse;
   if (total.collect) {
     // Campaign-level facts added after the chunk-ordered merge keep the
-    // set a pure function of (inputs, seed, trials) — thread-agnostic.
-    total.metrics.inc(total.metrics.counter("mc.trials.total"), opts.trials);
-    total.metrics.set_gauge(
-        total.metrics.gauge("mc.chunk.size"),
-        static_cast<double>(
-            exec::resolve_chunk_size(opts.trials, opts.chunk_size)));
+    // set a pure function of (inputs, seed, trials, targets) — thread-
+    // agnostic. The adaptive counters exist only in adaptive mode so
+    // fixed-mode metric bytes stay comparable with prior recordings.
+    total.metrics.inc(total.metrics.counter("mc.trials.total"), out.trials);
+    if (adaptive) {
+      total.metrics.inc(total.metrics.counter("mc.rounds"), rounds);
+      total.metrics.inc(total.metrics.counter("mc.trials.requested"),
+                        requested);
+      total.metrics.inc(total.metrics.counter("mc.trials.realized"), realized);
+    }
+    total.metrics.set_gauge(total.metrics.gauge("mc.chunk.size"),
+                            static_cast<double>(last_chunk_size));
     out.metrics = std::move(total.metrics);
     obs::Registry::global().publish(out.metrics);
     // Pool telemetry goes to the registry in its own set, NOT into the

@@ -11,6 +11,7 @@
 #include "exec/cancel.hpp"
 #include "obs/metrics.hpp"
 #include "sim/network.hpp"
+#include "sim/precision.hpp"
 #include "sim/stats.hpp"
 
 namespace zc::sim {
@@ -31,10 +32,24 @@ struct Estimate {
 /// push accumulators to inf/NaN. Estimates therefore always aggregate
 /// finite samples over `completed` runs only.
 struct MonteCarloResults {
+  /// Trials the estimates were asked to aggregate: the fixed
+  /// `MonteCarloOptions::trials` in fixed mode, the *realized* ladder
+  /// total in adaptive mode (the quantity `--resume` must replay).
   std::size_t trials = 0;
   std::size_t completed = 0;  ///< trials that configured an address
   std::size_t aborted = 0;    ///< trials stopped by a safety cap / budget
   double aborted_rate = 0.0;  ///< aborted / trials
+
+  /// Adaptive-precision bookkeeping (PrecisionTargets). In fixed mode
+  /// `adaptive` is false, `rounds` is 0, and `trials_requested` equals
+  /// `trials`. In adaptive mode `trials_requested` is the budget cap,
+  /// `rounds` counts executed ladder rounds, and `precision_met` records
+  /// whether every requested CI target was satisfied (false when the run
+  /// stopped at the cap or was cancelled mid-ladder).
+  bool adaptive = false;
+  std::size_t trials_requested = 0;
+  std::size_t rounds = 0;
+  bool precision_met = false;
   /// Cost samples rejected by the overflow guard (non-finite); always 0
   /// unless a scenario multiplies extreme costs into double overflow.
   std::size_t non_finite = 0;
@@ -75,8 +90,23 @@ struct MonteCarloResults {
 
 /// Options of a Monte-Carlo campaign.
 struct MonteCarloOptions {
+  /// Fixed trial count — and, when `precision` is enabled and
+  /// `precision.max_trials` is 0, the adaptive budget cap.
   std::size_t trials = 10000;
   std::uint64_t seed = 42;
+
+  /// Adaptive-precision targets. Disabled (the default) runs exactly
+  /// `trials` trials through the historical single parallel reduction —
+  /// byte-identical to every prior release. Enabled, trials execute in a
+  /// deterministic doubling ladder of rounds (first `min_trials`-or-512,
+  /// then the total doubles each round, truncated at the cap); after
+  /// each round the per-measure stopping rules (precision.hpp) are
+  /// evaluated on the cumulative accumulators and the ladder stops once
+  /// all requested CI targets are met. Each round is a normal chunked
+  /// reduction over *global* trial indices with counter-based seeds, so
+  /// for fixed (inputs, seed, targets) the realized trial count and all
+  /// estimates are bitwise-identical at any thread count.
+  PrecisionTargets precision;
   double probe_cost = 2.0;   ///< c, for the cost estimates
   double error_cost = 1e35;  ///< E, for the cost estimates
 

@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file precision.hpp
+/// Adaptive-precision targets for sequential Monte-Carlo sampling.
+///
+/// A fixed `trials` budget over-samples easy cells and under-resolves the
+/// rare-event cells (collision probability at the cost-optimal (n, r))
+/// that decide the paper's optimization. `PrecisionTargets` instead
+/// states the *accuracy* wanted: trials run in a deterministic doubling
+/// ladder of rounds and stop once every requested 95% confidence
+/// interval is narrow enough (or the budget cap is hit).
+///
+/// This header is deliberately lightweight — no sim dependencies — so the
+/// experiment engine's spec layer can include it without pulling in the
+/// simulator. The stopping predicates live here as free functions so
+/// tests can exercise the rules directly against hand-built intervals.
+
+#include <cmath>
+#include <cstddef>
+
+namespace zc::sim {
+
+/// Accuracy contract of an adaptive Monte-Carlo run. Disabled (all-zero
+/// relative targets) reproduces the historical fixed-`trials` behavior
+/// byte-for-byte. A target is met when the 95% CI half-width falls to
+/// `rel * |estimate|` — or below `abs_ci_floor`, which both caps useless
+/// tightening around near-zero estimates and gives zero-event collision
+/// cells (relative width undefined) a way to terminate early.
+struct PrecisionTargets {
+  /// Relative 95% CI half-width target for the model-cost mean; 0 = no
+  /// cost-precision requirement.
+  double rel_ci_model_cost = 0.0;
+
+  /// Relative 95% CI half-width target for the collision rate, measured
+  /// on the Wilson interval (half its width vs. the point rate); 0 = no
+  /// collision-precision requirement.
+  double rel_ci_collision = 0.0;
+
+  /// Absolute half-width under which a target counts as met regardless
+  /// of the relative test. 0 = pure relative stopping.
+  double abs_ci_floor = 0.0;
+
+  /// First-round size (and realized-count lower bound); 0 = default
+  /// (kDefaultFirstRound). Too-small first rounds make the early CI
+  /// estimates noisy, not wrong — stopping only ever *consults* them.
+  std::size_t min_trials = 0;
+
+  /// Hard budget cap; 0 = fall back to MonteCarloOptions::trials. The
+  /// ladder never exceeds it even with every target unmet.
+  std::size_t max_trials = 0;
+
+  /// Adaptive sampling is in effect iff some relative target is set.
+  [[nodiscard]] bool enabled() const noexcept {
+    return rel_ci_model_cost > 0.0 || rel_ci_collision > 0.0;
+  }
+};
+
+/// First-round size when `min_trials` is 0: large enough for a stable
+/// variance estimate, small enough that easy cells stop almost
+/// immediately.
+inline constexpr std::size_t kDefaultFirstRound = 512;
+
+/// Cost stopping rule: the Student-t 95% half-width on the mean is at or
+/// below the relative target (or the absolute floor). Vacuously true
+/// when no cost target is set. NaN half-widths (fewer than two samples —
+/// see RunningStats::ci95_halfwidth) never satisfy it: one observation
+/// carries no width information.
+[[nodiscard]] inline bool cost_target_met(const PrecisionTargets& targets,
+                                          double mean,
+                                          double ci95_halfwidth,
+                                          std::size_t samples) noexcept {
+  if (targets.rel_ci_model_cost <= 0.0) return true;
+  if (samples < 2 || !std::isfinite(ci95_halfwidth)) return false;
+  if (ci95_halfwidth <= targets.abs_ci_floor) return true;
+  return ci95_halfwidth <= targets.rel_ci_model_cost * std::fabs(mean);
+}
+
+/// Collision stopping rule over the Wilson 95% interval [lower, upper]
+/// of `collisions / completed`. Relative width is undefined until the
+/// first event is observed, so zero-collision states satisfy the target
+/// only through the absolute floor (the Wilson upper bound shrinks like
+/// z^2/n, so a floor *does* terminate truly-zero-rate cells). Vacuously
+/// true when no collision target is set.
+[[nodiscard]] inline bool collision_target_met(const PrecisionTargets& targets,
+                                               std::size_t collisions,
+                                               std::size_t completed,
+                                               double wilson_lower,
+                                               double wilson_upper) noexcept {
+  if (targets.rel_ci_collision <= 0.0) return true;
+  if (completed == 0) return false;
+  const double half = 0.5 * (wilson_upper - wilson_lower);
+  if (half <= targets.abs_ci_floor) return true;
+  if (collisions == 0) return false;
+  const double rate =
+      static_cast<double>(collisions) / static_cast<double>(completed);
+  return half <= targets.rel_ci_collision * rate;
+}
+
+}  // namespace zc::sim

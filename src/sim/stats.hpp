@@ -2,14 +2,38 @@
 
 /// \file stats.hpp
 /// Streaming statistics for Monte-Carlo estimation: Welford mean/variance
-/// accumulation and normal-approximation confidence intervals.
+/// accumulation and confidence intervals (Student-t below 31 samples,
+/// normal approximation beyond).
 
 #include <cmath>
 #include <cstddef>
+#include <limits>
 
 #include "common/contract.hpp"
 
 namespace zc::sim {
+
+/// Two-sided 95% critical value of Student's t with `df` degrees of
+/// freedom (the 97.5th percentile). Exact table for df <= 30; beyond
+/// that the normal value 1.96 is within 0.2% and keeps large-count
+/// intervals bit-compatible with the historical normal approximation.
+/// df == 0 (fewer than two samples) has no defined interval: NaN.
+[[nodiscard]] inline double t_critical_95(std::size_t df) noexcept {
+  static constexpr double kTable[30] = {
+      12.706204736432095, 4.302652729911275, 3.182446305284263,
+      2.7764451051977987, 2.5705818366147395, 2.4469118487916806,
+      2.3646242510102993, 2.3060041350333704, 2.2621571627409915,
+      2.2281388519862735, 2.2009851600829489, 2.1788128296634177,
+      2.1603686564610127, 2.1447866879169273, 2.1314495455597763,
+      2.1199052992210112, 2.1098155778331806, 2.1009220402409601,
+      2.0930240544082634, 2.0859634472658364, 2.0796138447276626,
+      2.0738730679040147, 2.0686576104190406, 2.0638985616280205,
+      2.0595385527532946, 2.0555294386428713, 2.0518305164802833,
+      2.0484071417952441, 2.0452296421327034, 2.0422724563012373};
+  if (df == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (df <= 30) return kTable[df - 1];
+  return 1.959963984540054;
+}
 
 /// Welford online accumulator: numerically stable mean and variance.
 class RunningStats {
@@ -58,9 +82,15 @@ class RunningStats {
                        : stddev() / std::sqrt(static_cast<double>(count_));
   }
 
-  /// Half-width of the 95% normal-approximation confidence interval.
+  /// Half-width of the 95% confidence interval on the mean: Student-t
+  /// critical value (normal beyond 30 df) times the standard error.
+  /// NaN below two samples — one observation carries *no* width
+  /// information, and the old 0 read as "infinitely precise" to any
+  /// precision-targeted stopping rule. Serializers degrade the NaN to
+  /// null (obs::write_json_number), never to a claim of certainty.
   [[nodiscard]] double ci95_halfwidth() const noexcept {
-    return 1.959963984540054 * std_error();
+    if (count_ < 2) return std::numeric_limits<double>::quiet_NaN();
+    return t_critical_95(count_ - 1) * std_error();
   }
 
  private:
@@ -78,8 +108,11 @@ struct ProportionCi {
 
 [[nodiscard]] inline ProportionCi wilson_ci95(std::size_t successes,
                                               std::size_t trials) {
-  ZC_EXPECTS(trials > 0);
   ZC_EXPECTS(successes <= trials);
+  // No data constrains nothing: the maximally-uninformative [0, 1]
+  // instead of a hard abort, so degenerate campaigns (every trial
+  // cancelled or safety-capped) stay reportable.
+  if (trials == 0) return {0.0, 1.0};
   const double z = 1.959963984540054;
   const double n = static_cast<double>(trials);
   const double p = static_cast<double>(successes) / n;

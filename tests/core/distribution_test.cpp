@@ -147,6 +147,33 @@ TEST(CostDistribution, QuantileDomainEnforced) {
   EXPECT_THROW((void)dist.quantile(-0.1), zc::ContractViolation);
 }
 
+TEST(CostDistribution, QuantileAtDomainBoundaryReturnsLastAtom) {
+  // Regression: p within a few ulps of 1 - truncated_tail is legal, but
+  // the accumulated PMF can fall short of p by rounding. The walk used to
+  // run off the end of the support and abort; it must return the largest
+  // atom instead.
+  const auto scenario = lossy_scenario().with_q(0.9);
+  const CostDistribution dist(scenario, ProtocolParams{2, 0.2}, 8);
+  const double boundary =
+      std::nextafter(1.0 - dist.truncated_tail(), 0.0);
+  const double q = dist.quantile(boundary);
+  EXPECT_TRUE(std::isfinite(q));
+  EXPECT_GE(dist.cdf(q), boundary - 1e-9);
+  EXPECT_GE(q, dist.quantile(0.5));
+
+  const std::size_t probes = dist.probes_quantile(boundary);
+  EXPECT_GE(probes, 2u);
+  EXPECT_GE(probes, dist.probes_quantile(0.5));
+
+  // The negligible-tail default horizon: the same boundary probe, with
+  // 1 - tail within one ulp of 1.0.
+  const CostDistribution deep(lossy_scenario(), ProtocolParams{3, 0.7});
+  const double deep_boundary =
+      std::nextafter(1.0 - deep.truncated_tail(), 0.0);
+  EXPECT_TRUE(std::isfinite(deep.quantile(deep_boundary)));
+  EXPECT_GE(deep.probes_quantile(deep_boundary), 3u);
+}
+
 TEST(CostDistribution, TruncationBoundRespected) {
   // A deliberately tiny horizon: the tail must be reported, not lost.
   const auto scenario = lossy_scenario().with_q(0.9);

@@ -1,0 +1,265 @@
+/// Adaptive precision through the experiment engine: spec validation of
+/// the precision targets, adaptive-cell serialization and journal
+/// round-trips, spec-list-digest sensitivity to the new knobs, and the
+/// acceptance invariant — a killed adaptive campaign resumes
+/// byte-identically at any thread count.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "core/params.hpp"
+#include "engine/campaign.hpp"
+#include "engine/journal.hpp"
+#include "engine/spec.hpp"
+#include "faults/schedule.hpp"
+#include "prob/delay.hpp"
+#include "sim/precision.hpp"
+
+namespace {
+
+using namespace zc;
+using engine::CampaignOptions;
+using engine::CampaignResult;
+using engine::CampaignRunner;
+using engine::Estimator;
+using engine::ExperimentSpec;
+using engine::SpecBuilder;
+
+core::ScenarioParams lossy_scenario() {
+  return core::ScenarioParams(0.3, 2.0, 1000.0,
+                              prob::paper_reply_delay(0.1, 10.0, 0.05));
+}
+
+/// One adaptive Monte-Carlo spec with a deliberately loose target so the
+/// ladder stops after a few rounds even on a lossy network.
+ExperimentSpec adaptive_spec(const std::string& name, std::uint64_t seed,
+                             double rel_ci = 0.25) {
+  return SpecBuilder(name, lossy_scenario())
+      .protocol({3, 1.0})
+      .estimator(Estimator::monte_carlo)
+      .network(100, 30)
+      .max_virtual_time(1e4)
+      .safety_caps(64)
+      .trials(20000)
+      .seed(seed)
+      .target_rel_ci(rel_ci)
+      .trial_budget(64, 20000)
+      .build();
+}
+
+/// The adaptive acceptance list: every fault class active, a mix of
+/// adaptive and fixed specs (resume must replay both), built fresh per
+/// call the way a resuming process would rebuild it.
+std::vector<ExperimentSpec> adaptive_specs() {
+  faults::FaultSchedule chaos;
+  chaos.gilbert_elliott.p_enter_burst = 0.05;
+  chaos.gilbert_elliott.p_exit_burst = 0.25;
+  chaos.gilbert_elliott.loss_bad = 0.9;
+  chaos.blackout.windows = {2.0, 0.5, 8.0};
+  chaos.delay_spike.windows = {1.0, 1.0, 6.0};
+  chaos.delay_spike.extra = 0.2;
+  chaos.duplication.probability = 0.05;
+  chaos.reordering.probability = 0.1;
+  chaos.reordering.max_jitter = 0.05;
+  chaos.host_churn.deaf_fraction = 0.3;
+  chaos.host_churn.period = 4.0;
+  chaos.host_churn.deaf_duration = 1.0;
+  chaos.validate();
+
+  std::vector<ExperimentSpec> specs;
+  for (unsigned i = 0; i < 12; ++i) {
+    SpecBuilder builder("adaptive-" + std::to_string(i), lossy_scenario());
+    builder.protocol({1 + i % 4, 0.25 + 0.25 * (i % 3)})
+        .estimator(Estimator::monte_carlo)
+        .network(100, 30)
+        .faults(chaos)
+        .max_virtual_time(1e4)
+        .safety_caps(64)
+        .trials(4000)
+        .seed(2000 + i);
+    if (i % 3 != 2) {  // every third spec stays fixed-mode
+      builder.target_rel_ci(0.3).trial_budget(50, 4000);
+    }
+    specs.push_back(builder.build());
+  }
+  return specs;
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// The journal's first `records` record lines (header always kept).
+std::string journal_prefix(const std::string& bytes, std::size_t records) {
+  std::size_t offset = bytes.find('\n') + 1;
+  for (std::size_t i = 0; i < records; ++i)
+    offset = bytes.find('\n', offset) + 1;
+  return bytes.substr(0, offset);
+}
+
+// --- Spec validation -------------------------------------------------------
+
+TEST(AdaptiveSpec, ValidationRejectsBadPrecisionTargets) {
+  {
+    ExperimentSpec spec = adaptive_spec("neg-rel", 1);
+    spec.sim.precision.rel_ci_model_cost = -0.5;
+    EXPECT_THROW(spec.validate(), zc::ContractViolation);
+  }
+  {
+    ExperimentSpec spec = adaptive_spec("nan-floor", 1);
+    spec.sim.precision.abs_ci_floor =
+        std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(spec.validate(), zc::ContractViolation);
+  }
+  {
+    ExperimentSpec spec = adaptive_spec("inverted-budget", 1);
+    spec.sim.precision.min_trials = 500;
+    spec.sim.precision.max_trials = 100;
+    EXPECT_THROW(spec.validate(), zc::ContractViolation);
+  }
+  // A well-formed adaptive spec passes.
+  EXPECT_NO_THROW(adaptive_spec("ok", 1).validate());
+}
+
+TEST(AdaptiveSpec, BuilderTargetAppliesToBothMeasures) {
+  const ExperimentSpec spec = adaptive_spec("both", 1, 0.2);
+  EXPECT_DOUBLE_EQ(spec.sim.precision.rel_ci_model_cost, 0.2);
+  EXPECT_DOUBLE_EQ(spec.sim.precision.rel_ci_collision, 0.2);
+  EXPECT_EQ(spec.sim.precision.min_trials, 64u);
+  EXPECT_EQ(spec.sim.precision.max_trials, 20000u);
+  EXPECT_TRUE(spec.sim.precision.enabled());
+}
+
+// --- Cell serialization and journal round-trip -----------------------------
+
+TEST(AdaptiveCampaign, AdaptiveCellsCarryLadderStateFixedCellsDoNot) {
+  CampaignRunner runner(CampaignOptions{1});
+  const engine::ExperimentResult adaptive =
+      runner.run_one(adaptive_spec("adaptive", 7));
+  ASSERT_EQ(adaptive.cells.size(), 1u);
+  const engine::CellResult& cell = adaptive.cells[0];
+  EXPECT_TRUE(cell.adaptive);
+  EXPECT_EQ(cell.trials_requested, 20000u);
+  EXPECT_GE(cell.rounds, 1u);
+  EXPECT_LE(cell.trials, cell.trials_requested);
+  const obs::JsonValue adaptive_json = cell.to_json();
+  ASSERT_NE(adaptive_json.find("rounds"), nullptr);
+  ASSERT_NE(adaptive_json.find("trials_requested"), nullptr);
+  ASSERT_NE(adaptive_json.find("precision_met"), nullptr);
+
+  // A fixed-mode cell serializes without the adaptive keys, so fixed
+  // report bytes stay comparable with pre-adaptive recordings.
+  ExperimentSpec fixed = adaptive_spec("fixed", 7);
+  fixed.sim.precision = sim::PrecisionTargets{};
+  fixed.sim.trials = 500;
+  const engine::ExperimentResult fixed_result = runner.run_one(fixed);
+  ASSERT_EQ(fixed_result.cells.size(), 1u);
+  EXPECT_FALSE(fixed_result.cells[0].adaptive);
+  const obs::JsonValue fixed_json = fixed_result.cells[0].to_json();
+  EXPECT_EQ(fixed_json.find("rounds"), nullptr);
+  EXPECT_EQ(fixed_json.find("trials_requested"), nullptr);
+  EXPECT_EQ(fixed_json.find("precision_met"), nullptr);
+}
+
+TEST(AdaptiveCampaign, JournalRecordRoundTripsAdaptiveState) {
+  CampaignRunner runner(CampaignOptions{1});
+  const engine::ExperimentResult original =
+      runner.run_one(adaptive_spec("round-trip", 11));
+  const obs::JsonValue record = engine::journal_record(3, original);
+  const engine::ExperimentResult restored =
+      engine::result_from_journal(record);
+
+  ASSERT_EQ(restored.cells.size(), original.cells.size());
+  EXPECT_TRUE(restored.cells[0].adaptive);
+  EXPECT_EQ(restored.cells[0].trials, original.cells[0].trials);
+  EXPECT_EQ(restored.cells[0].trials_requested,
+            original.cells[0].trials_requested);
+  EXPECT_EQ(restored.cells[0].rounds, original.cells[0].rounds);
+  EXPECT_EQ(restored.cells[0].precision_met,
+            original.cells[0].precision_met);
+  // The round-trip contract: re-serializing reproduces the bytes.
+  EXPECT_EQ(engine::journal_record(3, restored).dump_compact(),
+            record.dump_compact());
+}
+
+// --- Digest sensitivity ----------------------------------------------------
+
+TEST(AdaptiveCampaign, SpecListDigestBindsPrecisionTargets) {
+  const std::vector<ExperimentSpec> base = {adaptive_spec("digest", 5)};
+  const std::string digest = engine::spec_list_digest(base);
+
+  std::vector<ExperimentSpec> tweaked = {adaptive_spec("digest", 5)};
+  EXPECT_EQ(engine::spec_list_digest(tweaked), digest)
+      << "identical lists must agree";
+
+  tweaked[0].sim.precision.rel_ci_model_cost = 0.26;
+  EXPECT_NE(engine::spec_list_digest(tweaked), digest);
+  tweaked = {adaptive_spec("digest", 5)};
+  tweaked[0].sim.precision.rel_ci_collision = 0.0;
+  EXPECT_NE(engine::spec_list_digest(tweaked), digest);
+  tweaked = {adaptive_spec("digest", 5)};
+  tweaked[0].sim.precision.abs_ci_floor = 1e-3;
+  EXPECT_NE(engine::spec_list_digest(tweaked), digest);
+  tweaked = {adaptive_spec("digest", 5)};
+  tweaked[0].sim.precision.min_trials = 65;
+  EXPECT_NE(engine::spec_list_digest(tweaked), digest);
+  tweaked = {adaptive_spec("digest", 5)};
+  tweaked[0].sim.precision.max_trials = 19999;
+  EXPECT_NE(engine::spec_list_digest(tweaked), digest);
+}
+
+// --- Kill-and-resume acceptance --------------------------------------------
+
+TEST(AdaptiveCampaign, KilledAdaptiveCampaignResumesByteIdentically) {
+  const std::string journal = temp_path("zc_adaptive_resume.jsonl");
+
+  // Uninterrupted journaled run: the golden bytes.
+  CampaignOptions golden_opts;
+  golden_opts.threads = 1;
+  golden_opts.journal_path = journal;
+  CampaignRunner golden_runner(golden_opts);
+  const CampaignResult golden_campaign = golden_runner.run(adaptive_specs());
+  const std::string golden_report =
+      golden_campaign.report("adaptive", "resume acceptance")
+          .to_json()
+          .dump();
+  const std::string full_journal = slurp(journal);
+
+  // Crash after 5 whole records; resume serially and with 8 workers. The
+  // journal bound the *realized* trial counts, so the replayed adaptive
+  // cells must come back bit-for-bit without re-running their ladders.
+  const unsigned thread_counts[] = {1, 8};
+  for (const unsigned threads : thread_counts) {
+    spit(journal, journal_prefix(full_journal, 5));
+    CampaignOptions opts;
+    opts.threads = threads;
+    CampaignRunner runner(opts);
+    const CampaignResult resumed = runner.resume(adaptive_specs(), journal);
+    EXPECT_TRUE(resumed.complete);
+    EXPECT_EQ(
+        resumed.report("adaptive", "resume acceptance").to_json().dump(),
+        golden_report)
+        << "threads=" << threads;
+  }
+
+  std::remove(journal.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,330 @@
+/// Adaptive-precision Monte-Carlo: stopping rules, the deterministic
+/// doubling ladder (thread-count invariance of realized trial counts and
+/// estimates with every fault class active), budget caps, cancellation
+/// mid-ladder, and statistical validation that realized CI widths meet
+/// the requested targets.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/contract.hpp"
+#include "exec/cancel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "prob/delay.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/precision.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace zc::sim;
+
+// --- Stopping rules (precision.hpp), exercised directly -------------------
+
+TEST(PrecisionTargets, DisabledUnlessARelativeTargetIsSet) {
+  PrecisionTargets targets;
+  EXPECT_FALSE(targets.enabled());
+  targets.abs_ci_floor = 0.5;
+  targets.min_trials = 100;
+  targets.max_trials = 1000;
+  EXPECT_FALSE(targets.enabled());  // budget knobs alone do not opt in
+  targets.rel_ci_model_cost = 0.1;
+  EXPECT_TRUE(targets.enabled());
+  targets = PrecisionTargets{};
+  targets.rel_ci_collision = 0.1;
+  EXPECT_TRUE(targets.enabled());
+}
+
+TEST(PrecisionTargets, CostRuleIsVacuousWithoutATarget) {
+  PrecisionTargets targets;  // rel_ci_model_cost == 0
+  EXPECT_TRUE(cost_target_met(targets, 10.0, 100.0, 2));
+}
+
+TEST(PrecisionTargets, CostRuleRejectsUndefinedWidths) {
+  PrecisionTargets targets;
+  targets.rel_ci_model_cost = 0.1;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // Fewer than two samples / NaN width: never "met" — the exact reading
+  // the old ci95_halfwidth == 0 bug would have gotten wrong.
+  EXPECT_FALSE(cost_target_met(targets, 10.0, nan, 0));
+  EXPECT_FALSE(cost_target_met(targets, 10.0, nan, 1));
+  EXPECT_FALSE(cost_target_met(targets, 10.0, 2.0, 100));   // 2.0 > 0.1*10
+  EXPECT_TRUE(cost_target_met(targets, 10.0, 0.5, 100));    // 0.5 <= 1.0
+}
+
+TEST(PrecisionTargets, CostRuleAbsoluteFloorShortCircuits) {
+  PrecisionTargets targets;
+  targets.rel_ci_model_cost = 1e-6;  // unreachable relatively (mean ~ 1)
+  targets.abs_ci_floor = 0.25;
+  EXPECT_TRUE(cost_target_met(targets, 1.0, 0.2, 50));
+  EXPECT_FALSE(cost_target_met(targets, 1.0, 0.3, 50));
+}
+
+TEST(PrecisionTargets, CollisionRuleNeedsAnEventForRelativeStopping) {
+  PrecisionTargets targets;
+  targets.rel_ci_collision = 0.5;
+  // No completions: unconstrained, keep sampling.
+  EXPECT_FALSE(collision_target_met(targets, 0, 0, 0.0, 1.0));
+  // Completions but no event: relative width undefined, keep sampling...
+  EXPECT_FALSE(collision_target_met(targets, 0, 1000, 0.0, 0.004));
+  // ...unless the absolute floor grants an exit.
+  targets.abs_ci_floor = 0.01;
+  EXPECT_TRUE(collision_target_met(targets, 0, 1000, 0.0, 0.004));
+}
+
+TEST(PrecisionTargets, CollisionRuleRelativeWidthAgainstPointRate) {
+  PrecisionTargets targets;
+  targets.rel_ci_collision = 0.5;
+  // rate = 0.1, half-width = 0.03 <= 0.05: met.
+  EXPECT_TRUE(collision_target_met(targets, 100, 1000, 0.07, 0.13));
+  // half-width = 0.08 > 0.05: not met.
+  EXPECT_FALSE(collision_target_met(targets, 100, 1000, 0.02, 0.18));
+}
+
+// --- The ladder on real simulations ---------------------------------------
+
+/// Reliable scenario: replies always arrive quickly, every trial
+/// completes, cost variance is small — easy cells stop early.
+NetworkConfig easy_network() {
+  NetworkConfig config;
+  config.address_space = 100;
+  config.hosts = 30;
+  config.responder_delay =
+      std::shared_ptr<const zc::prob::DelayDistribution>(
+          zc::prob::paper_reply_delay(0.0, 50.0, 0.01));
+  return config;
+}
+
+/// Every fault class active (the golden-pool schedule): the hardest
+/// determinism surface the injector exposes.
+NetworkConfig chaos_network() {
+  NetworkConfig config;
+  config.address_space = 100;
+  config.hosts = 30;
+  config.responder_delay =
+      std::shared_ptr<const zc::prob::DelayDistribution>(
+          zc::prob::paper_reply_delay(0.4, 20.0, 0.1));
+  config.faults.gilbert_elliott.p_enter_burst = 0.05;
+  config.faults.gilbert_elliott.p_exit_burst = 0.25;
+  config.faults.gilbert_elliott.loss_bad = 0.9;
+  config.faults.blackout.windows.start = 0.5;
+  config.faults.blackout.windows.duration = 0.2;
+  config.faults.blackout.windows.period = 2.0;
+  config.faults.delay_spike.windows.start = 1.0;
+  config.faults.delay_spike.windows.duration = 0.5;
+  config.faults.delay_spike.windows.period = 3.0;
+  config.faults.delay_spike.multiplier = 4.0;
+  config.faults.delay_spike.extra = 0.05;
+  config.faults.duplication.probability = 0.15;
+  config.faults.duplication.copies = 2;
+  config.faults.reordering.probability = 0.3;
+  config.faults.reordering.max_jitter = 0.2;
+  config.faults.host_churn.deaf_fraction = 0.3;
+  config.faults.host_churn.period = 4.0;
+  config.faults.host_churn.deaf_duration = 1.0;
+  return config;
+}
+
+ZeroconfConfig protocol_3_1() {
+  ZeroconfConfig protocol;
+  protocol.n = 3;
+  protocol.r = 1.0;
+  return protocol;
+}
+
+std::string hex(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+/// Every byte-determining observable of an adaptive run in one string.
+std::string result_digest(const MonteCarloResults& r) {
+  std::ostringstream os;
+  os << "trials=" << r.trials << " requested=" << r.trials_requested
+     << " rounds=" << r.rounds << " met=" << r.precision_met
+     << " completed=" << r.completed << " aborted=" << r.aborted
+     << " collisions=" << r.collisions
+     << " model=" << hex(r.model_cost.mean) << ',' << hex(r.model_cost.stddev)
+     << ',' << hex(r.model_cost.ci95_halfwidth)
+     << " elapsed=" << hex(r.elapsed_cost.mean)
+     << " probes=" << hex(r.probes.mean)
+     << " attempts=" << hex(r.attempts.mean)
+     << " waiting=" << hex(r.waiting_time.mean)
+     << " ci=[" << hex(r.collision_ci95.lower) << ','
+     << hex(r.collision_ci95.upper) << ']'
+     << " metrics=" << zc::obs::metrics_to_json(r.metrics).dump();
+  return os.str();
+}
+
+TEST(AdaptiveMonteCarlo, FixedModeReportsNoAdaptiveState) {
+  MonteCarloOptions opts;
+  opts.trials = 200;
+  opts.seed = 7;
+  const auto r = monte_carlo(easy_network(), protocol_3_1(), opts);
+  EXPECT_FALSE(r.adaptive);
+  EXPECT_EQ(r.trials, 200u);
+  EXPECT_EQ(r.trials_requested, 200u);
+  EXPECT_EQ(r.rounds, 0u);
+  EXPECT_FALSE(r.precision_met);
+}
+
+TEST(AdaptiveMonteCarlo, EasyScenarioStopsFarBelowTheCap) {
+  MonteCarloOptions opts;
+  opts.trials = 200000;  // cap the ladder must never need
+  opts.seed = 11;
+  opts.precision.rel_ci_model_cost = 0.05;
+  opts.precision.min_trials = 64;
+  const auto r = monte_carlo(easy_network(), protocol_3_1(), opts);
+  EXPECT_TRUE(r.adaptive);
+  EXPECT_TRUE(r.precision_met);
+  EXPECT_GE(r.trials, 64u);
+  EXPECT_LT(r.trials, 10000u);  // orders of magnitude below the cap
+  EXPECT_GE(r.rounds, 1u);
+  EXPECT_EQ(r.trials_requested, 200000u);
+  EXPECT_EQ(r.completed, r.trials);
+  // The realized width actually meets the requested target.
+  EXPECT_LE(r.model_cost.ci95_halfwidth,
+            0.05 * std::fabs(r.model_cost.mean));
+}
+
+TEST(AdaptiveMonteCarlo, RealizedCountsAndEstimatesThreadInvariant) {
+  // The acceptance invariant: with every fault class active, the realized
+  // trial count, every estimate bit, and the full semantic metric set are
+  // identical at 1 and 8 worker threads.
+  const auto run = [&](unsigned threads) {
+    MonteCarloOptions opts;
+    opts.trials = 20000;
+    opts.seed = 20260808;
+    opts.threads = threads;
+    opts.precision.rel_ci_model_cost = 0.25;
+    opts.precision.rel_ci_collision = 0.35;
+    opts.precision.min_trials = 200;
+    return monte_carlo(chaos_network(), protocol_3_1(), opts);
+  };
+  const auto serial = run(1);
+  const auto parallel = run(8);
+  EXPECT_TRUE(serial.adaptive);
+  EXPECT_GT(serial.rounds, 1u) << "pick targets the first round cannot meet";
+  EXPECT_EQ(result_digest(serial), result_digest(parallel));
+}
+
+TEST(AdaptiveMonteCarlo, UnreachableTargetStopsExactlyAtTheCap) {
+  MonteCarloOptions opts;
+  opts.seed = 3;
+  opts.precision.rel_ci_model_cost = 1e-9;  // unreachable
+  opts.precision.min_trials = 100;
+  opts.precision.max_trials = 1000;
+  const auto r = monte_carlo(easy_network(), protocol_3_1(), opts);
+  EXPECT_FALSE(r.precision_met);
+  EXPECT_EQ(r.trials, 1000u);  // 100 + 100 + 200 + 400 + 200 (truncated)
+  EXPECT_EQ(r.rounds, 5u);
+  EXPECT_EQ(r.trials_requested, 1000u);
+}
+
+TEST(AdaptiveMonteCarlo, CapDefaultsToTrialsWhenMaxTrialsUnset) {
+  MonteCarloOptions opts;
+  opts.trials = 300;
+  opts.seed = 3;
+  opts.precision.rel_ci_model_cost = 1e-9;
+  opts.precision.min_trials = 300;  // single full-cap round
+  const auto r = monte_carlo(easy_network(), protocol_3_1(), opts);
+  EXPECT_EQ(r.trials, 300u);
+  EXPECT_EQ(r.rounds, 1u);
+  EXPECT_EQ(r.trials_requested, 300u);
+}
+
+TEST(AdaptiveMonteCarlo, PreStoppedTokenRunsNoRounds) {
+  zc::exec::CancelToken cancel;
+  cancel.request_stop();
+  MonteCarloOptions opts;
+  opts.seed = 5;
+  opts.precision.rel_ci_model_cost = 0.1;
+  opts.cancel = &cancel;
+  const auto r = monte_carlo(easy_network(), protocol_3_1(), opts);
+  EXPECT_EQ(r.trials, 0u);
+  EXPECT_EQ(r.rounds, 0u);
+  EXPECT_EQ(r.completed, 0u);
+  EXPECT_FALSE(r.precision_met);
+  EXPECT_EQ(r.aborted_rate, 0.0);  // no 0/0
+  // Zero completions: maximally-uninformative collision interval.
+  EXPECT_EQ(r.collision_ci95.lower, 0.0);
+  EXPECT_EQ(r.collision_ci95.upper, 1.0);
+}
+
+TEST(AdaptiveMonteCarlo, CancellationMidLadderKeepsResultsSane) {
+  // A deadline that expires while the ladder is climbing toward an
+  // unreachable target: wherever the stop lands (between rounds or
+  // between chunks), the partial results must stay internally
+  // consistent. Timing-agnostic by design — only invariants, no exact
+  // counts.
+  zc::exec::CancelToken cancel;
+  MonteCarloOptions opts;
+  opts.seed = 13;
+  opts.precision.rel_ci_model_cost = 1e-12;  // unreachable: runs until cut
+  opts.precision.min_trials = 64;
+  opts.precision.max_trials = 2000000;
+  opts.cancel = &cancel;
+  cancel.arm_deadline(std::chrono::milliseconds(20));
+  const auto r = monte_carlo(chaos_network(), protocol_3_1(), opts);
+  EXPECT_FALSE(r.precision_met);
+  EXPECT_LE(r.trials, 2000000u);
+  EXPECT_LE(r.completed + r.aborted + r.non_finite, r.trials);
+  EXPECT_EQ(r.trials_requested, 2000000u);
+  if (r.completed >= 2) {
+    EXPECT_TRUE(std::isfinite(r.model_cost.ci95_halfwidth));
+  }
+}
+
+TEST(AdaptiveMonteCarlo, CollisionTargetMetOnRareEventScenario) {
+  // The paper's load-bearing case: a lossy scenario with real collisions;
+  // the ladder must keep sampling until the Wilson interval is tight
+  // *relative to the rate*, then certify it.
+  MonteCarloOptions opts;
+  opts.trials = 200000;
+  opts.seed = 97;
+  opts.precision.rel_ci_collision = 0.4;
+  opts.precision.min_trials = 256;
+  const auto r = monte_carlo(chaos_network(), protocol_3_1(), opts);
+  ASSERT_TRUE(r.precision_met);
+  ASSERT_GT(r.collisions, 0u);
+  const double half =
+      0.5 * (r.collision_ci95.upper - r.collision_ci95.lower);
+  EXPECT_LE(half, 0.4 * r.collision_rate);
+}
+
+TEST(AdaptiveMonteCarlo, AdaptiveMetricsRecordTheLadder) {
+  MonteCarloOptions opts;
+  opts.seed = 3;
+  opts.precision.rel_ci_model_cost = 1e-9;
+  opts.precision.min_trials = 100;
+  opts.precision.max_trials = 1000;
+  const auto r = monte_carlo(easy_network(), protocol_3_1(), opts);
+  if (r.metrics.empty()) GTEST_SKIP() << "metrics collection disabled";
+  EXPECT_EQ(r.metrics.counter_value("mc.rounds"), r.rounds);
+  EXPECT_EQ(r.metrics.counter_value("mc.trials.requested"), 1000u);
+  EXPECT_EQ(r.metrics.counter_value("mc.trials.realized"), r.trials);
+  EXPECT_EQ(r.metrics.counter_value("mc.trials.total"), r.trials);
+}
+
+TEST(AdaptiveMonteCarlo, InvalidPrecisionTargetsRejected) {
+  MonteCarloOptions opts;
+  opts.precision.rel_ci_model_cost = -0.1;
+  EXPECT_THROW((void)monte_carlo(easy_network(), protocol_3_1(), opts),
+               zc::ContractViolation);
+  opts.precision.rel_ci_model_cost = 0.1;
+  opts.precision.min_trials = 500;
+  opts.precision.max_trials = 100;
+  EXPECT_THROW((void)monte_carlo(easy_network(), protocol_3_1(), opts),
+               zc::ContractViolation);
+}
+
+}  // namespace

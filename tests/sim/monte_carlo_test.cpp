@@ -275,6 +275,48 @@ TEST(RunningStats, MergeWithEmptySidesIsIdentity) {
   EXPECT_EQ(other.count(), stats.count());
 }
 
+TEST(RunningStats, Ci95UndefinedBelowTwoSamples) {
+  // Zero or one sample carries no width information; the old 0 read as
+  // "infinitely precise" to any precision-targeted stopping rule.
+  RunningStats stats;
+  EXPECT_TRUE(std::isnan(stats.ci95_halfwidth()));
+  stats.add(3.0);
+  EXPECT_TRUE(std::isnan(stats.ci95_halfwidth()));
+  stats.add(5.0);
+  EXPECT_TRUE(std::isfinite(stats.ci95_halfwidth()));
+  EXPECT_GT(stats.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, SmallCountCiUsesStudentT) {
+  // Two samples: df = 1, t = 12.706 — the normal 1.96 would understate
+  // the interval more than six-fold.
+  RunningStats two;
+  two.add(1.0);
+  two.add(2.0);
+  EXPECT_DOUBLE_EQ(two.ci95_halfwidth(),
+                   12.706204736432095 * two.std_error());
+
+  RunningStats five;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) five.add(x);
+  EXPECT_DOUBLE_EQ(five.ci95_halfwidth(),
+                   2.7764451051977987 * five.std_error());
+}
+
+TEST(TCritical95, TableValuesAndNormalTail) {
+  EXPECT_TRUE(std::isnan(t_critical_95(0)));
+  EXPECT_NEAR(t_critical_95(1), 12.7062, 1e-4);
+  EXPECT_NEAR(t_critical_95(10), 2.2281, 1e-4);
+  EXPECT_NEAR(t_critical_95(30), 2.0423, 1e-4);
+  // Beyond the table: exactly the historical normal constant, keeping
+  // large-count intervals bit-compatible with prior recordings.
+  EXPECT_EQ(t_critical_95(31), 1.959963984540054);
+  EXPECT_EQ(t_critical_95(1199), 1.959963984540054);
+  // Critical values decay monotonically toward the normal value.
+  for (std::size_t df = 1; df <= 30; ++df) {
+    EXPECT_GT(t_critical_95(df), t_critical_95(df + 1)) << "df=" << df;
+  }
+}
+
 TEST(WilsonCi, CoversTrueProportion) {
   const auto ci = wilson_ci95(30, 100);
   EXPECT_LT(ci.lower, 0.3);
@@ -298,24 +340,43 @@ TEST(WilsonCi, AllSuccesses) {
 }
 
 TEST(WilsonCi, InvalidArgumentsRejected) {
+  // successes > trials is still a contract violation — including the
+  // (1, 0) shape that used to be caught by the trials > 0 precondition.
   EXPECT_THROW((void)wilson_ci95(1, 0), zc::ContractViolation);
   EXPECT_THROW((void)wilson_ci95(5, 4), zc::ContractViolation);
 }
 
-// --- Estimator edge cases: degenerate campaigns must stay finite ----------
-
-void expect_finite(const Estimate& e, const char* what) {
-  EXPECT_TRUE(std::isfinite(e.mean)) << what << ".mean";
-  EXPECT_TRUE(std::isfinite(e.stddev)) << what << ".stddev";
-  EXPECT_TRUE(std::isfinite(e.ci95_halfwidth)) << what << ".ci95_halfwidth";
+TEST(WilsonCi, ZeroTrialsIsMaximallyUninformative) {
+  // No data constrains nothing: degenerate campaigns (every trial
+  // cancelled or safety-capped) get [0, 1] instead of a hard abort.
+  const auto ci = wilson_ci95(0, 0);
+  EXPECT_EQ(ci.lower, 0.0);
+  EXPECT_EQ(ci.upper, 1.0);
 }
 
-void expect_all_estimates_finite(const MonteCarloResults& r) {
-  expect_finite(r.model_cost, "model_cost");
-  expect_finite(r.elapsed_cost, "elapsed_cost");
-  expect_finite(r.probes, "probes");
-  expect_finite(r.attempts, "attempts");
-  expect_finite(r.waiting_time, "waiting_time");
+// --- Estimator edge cases: degenerate campaigns must stay finite ----------
+
+/// `ci_defined` is false for campaigns with fewer than two finite
+/// samples: their CI half-width is deliberately NaN (undefined, not
+/// zero), while everything else must stay finite.
+void expect_finite(const Estimate& e, const char* what,
+                   bool ci_defined = true) {
+  EXPECT_TRUE(std::isfinite(e.mean)) << what << ".mean";
+  EXPECT_TRUE(std::isfinite(e.stddev)) << what << ".stddev";
+  if (ci_defined) {
+    EXPECT_TRUE(std::isfinite(e.ci95_halfwidth)) << what << ".ci95_halfwidth";
+  } else {
+    EXPECT_TRUE(std::isnan(e.ci95_halfwidth)) << what << ".ci95_halfwidth";
+  }
+}
+
+void expect_all_estimates_finite(const MonteCarloResults& r,
+                                 bool ci_defined = true) {
+  expect_finite(r.model_cost, "model_cost", ci_defined);
+  expect_finite(r.elapsed_cost, "elapsed_cost", ci_defined);
+  expect_finite(r.probes, "probes", ci_defined);
+  expect_finite(r.attempts, "attempts", ci_defined);
+  expect_finite(r.waiting_time, "waiting_time", ci_defined);
   EXPECT_TRUE(std::isfinite(r.aborted_rate));
   EXPECT_TRUE(std::isfinite(r.collision_rate));
   EXPECT_TRUE(std::isfinite(r.collision_ci95.lower));
@@ -357,7 +418,8 @@ TEST(MonteCarloEdge, AllTrialsAbortedStaysFinite) {
   // Maximally-uninformative interval instead of a 0/0 NaN.
   EXPECT_EQ(results.collision_ci95.lower, 0.0);
   EXPECT_EQ(results.collision_ci95.upper, 1.0);
-  expect_all_estimates_finite(results);
+  // Zero samples: CI half-widths are undefined (NaN), not zero.
+  expect_all_estimates_finite(results, /*ci_defined=*/false);
 
   // The campaign metrics tell the same story, and nothing non-finite
   // reaches the serialized report: the JSON writer degrades inf/NaN to
@@ -397,7 +459,7 @@ TEST(MonteCarloEdge, ZeroCollisionCampaignHasInformativeWilsonInterval) {
   expect_all_estimates_finite(results);
 }
 
-TEST(MonteCarloEdge, SingleCompletedTrialHasZeroVarianceNotNaN) {
+TEST(MonteCarloEdge, SingleCompletedTrialHasZeroVarianceUndefinedCi) {
   ZeroconfConfig protocol;
   protocol.n = 2;
   protocol.r = 0.5;
@@ -407,13 +469,14 @@ TEST(MonteCarloEdge, SingleCompletedTrialHasZeroVarianceNotNaN) {
 
   const auto results = monte_carlo(reliable_network(), protocol, opts);
   ASSERT_EQ(results.completed, 1u);
-  // One sample: variance is defined as 0 (not 0/0), so the uncertainty
-  // collapses instead of going NaN.
+  // One sample: variance is defined as 0 (not 0/0), but the CI
+  // half-width is NaN — one observation carries no width information,
+  // and 0 would read as "infinitely precise" to adaptive stopping.
   EXPECT_GT(results.model_cost.mean, 0.0);
   EXPECT_EQ(results.model_cost.stddev, 0.0);
-  EXPECT_EQ(results.model_cost.ci95_halfwidth, 0.0);
+  EXPECT_TRUE(std::isnan(results.model_cost.ci95_halfwidth));
   EXPECT_EQ(results.waiting_time.stddev, 0.0);
-  expect_all_estimates_finite(results);
+  expect_all_estimates_finite(results, /*ci_defined=*/false);
   if (!results.metrics.empty()) {
     EXPECT_EQ(results.metrics.counter_value("mc.trials.completed"), 1u);
     EXPECT_EQ(results.metrics.counter_value("mc.trials.total"), 1u);
