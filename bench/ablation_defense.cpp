@@ -51,8 +51,7 @@ Outcomes run(double medium_loss, std::size_t trials, std::uint64_t seed) {
 
     sim::Network net(config, seeder.next_u64());
     sim::ZeroconfConfig protocol;
-    protocol.n = 1;
-    protocol.r = 0.1;
+    protocol.schedule = core::ProbeSchedule::uniform(1, 0.1);
     protocol.announce_count = kAnnounceCount;
     protocol.announce_interval = 2.0;
     const sim::RunResult result = net.run_join(protocol);

@@ -70,8 +70,7 @@ int main() {
         core::error_probability_heterogeneous(q, classes(), protocol);
 
     sim::ZeroconfConfig sim_protocol;
-    sim_protocol.n = n;
-    sim_protocol.r = r;
+    sim_protocol.schedule = core::ProbeSchedule::uniform(n, r);
     sim::MonteCarloOptions opts;
     opts.trials = 40000;
     opts.seed = 31000 + n;

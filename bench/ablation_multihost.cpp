@@ -76,8 +76,7 @@ int main() {
                 "collisions (cf. related work [7])");
 
   sim::ZeroconfConfig undefended;
-  undefended.n = 3;
-  undefended.r = 0.2;
+  undefended.schedule = zc::core::ProbeSchedule::uniform(3, 0.2);
   undefended.detect_probe_conflicts = false;
   undefended.probe_wait_max = 0.0;
 

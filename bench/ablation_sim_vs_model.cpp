@@ -62,8 +62,7 @@ int main() {
       {1, 0.2}, {2, 0.15}, {3, 0.1}, {4, 0.2}};
   for (const auto& [n, r] : configs) {
     sim::ZeroconfConfig protocol;
-    protocol.n = n;
-    protocol.r = r;
+    protocol.schedule = core::ProbeSchedule::uniform(n, r);
     sim::MonteCarloOptions opts;
     opts.trials = 40000;
     opts.seed = 90000 + n;
@@ -107,8 +106,7 @@ int main() {
   // Abstraction (a): avoid-failed address selection.
   {
     sim::ZeroconfConfig uniform;
-    uniform.n = 2;
-    uniform.r = 0.1;
+    uniform.schedule = core::ProbeSchedule::uniform(2, 0.1);
     sim::ZeroconfConfig avoiding = uniform;
     avoiding.avoid_failed_addresses = true;
     sim::NetworkConfig dense = network();

@@ -95,8 +95,7 @@ int main() {
     net.responder_delay = std::shared_ptr<const prob::DelayDistribution>(
         prob::paper_reply_delay(loss, lambda, d));
     sim::ZeroconfConfig sim_protocol;
-    sim_protocol.n = 2;
-    sim_protocol.r = 0.15;
+    sim_protocol.schedule = core::ProbeSchedule::uniform(2, 0.15);
     sim::MonteCarloOptions opts;
     opts.trials = 30000;
     opts.seed = 4242;

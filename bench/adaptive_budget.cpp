@@ -69,8 +69,7 @@ std::vector<Cell> run_sweep(const std::vector<unsigned>& probe_counts,
   std::vector<Cell> cells;
   for (const unsigned n : probe_counts) {
     sim::ZeroconfConfig protocol;
-    protocol.n = n;
-    protocol.r = 1.0;
+    protocol.schedule = core::ProbeSchedule::uniform(n, 1.0);
     sim::MonteCarloOptions opts;
     opts.seed = kSeed + n;
     opts.threads = threads;

@@ -112,8 +112,7 @@ void BM_SimulatedConfigurationRun(benchmark::State& state) {
       std::shared_ptr<const prob::DelayDistribution>(
           prob::paper_reply_delay(0.1, 10.0, 0.05));
   sim::ZeroconfConfig protocol;
-  protocol.n = 4;
-  protocol.r = 0.25;
+  protocol.schedule = core::ProbeSchedule::uniform(4, 0.25);
   std::uint64_t seed = 1;
   for (auto _ : state) {
     sim::Network net(config, seed++);
@@ -137,8 +136,7 @@ void BM_SimulatedRunPooled(benchmark::State& state) {
       std::shared_ptr<const prob::DelayDistribution>(
           prob::paper_reply_delay(0.1, 10.0, 0.05));
   sim::ZeroconfConfig protocol;
-  protocol.n = 4;
-  protocol.r = 0.25;
+  protocol.schedule = core::ProbeSchedule::uniform(4, 0.25);
   std::uint64_t seed = 1;
   sim::Network net(config, seed);
   for (auto _ : state) {
@@ -211,8 +209,7 @@ sim::NetworkConfig mc_network() {
 void BM_MonteCarloParallel(benchmark::State& state) {
   const auto network = mc_network();
   sim::ZeroconfConfig protocol;
-  protocol.n = 4;
-  protocol.r = 0.25;
+  protocol.schedule = core::ProbeSchedule::uniform(4, 0.25);
   sim::MonteCarloOptions opts;
   opts.trials = 2000;
   opts.seed = 7;
@@ -239,8 +236,7 @@ BENCHMARK(BM_MonteCarloParallel)
 void BM_MonteCarloMetrics(benchmark::State& state) {
   const auto network = mc_network();
   sim::ZeroconfConfig protocol;
-  protocol.n = 4;
-  protocol.r = 0.25;
+  protocol.schedule = core::ProbeSchedule::uniform(4, 0.25);
   sim::MonteCarloOptions opts;
   opts.trials = 2000;
   opts.seed = 7;

@@ -129,8 +129,7 @@ std::vector<Scenario> scenarios() {
   join.network.responder_delay =
       std::shared_ptr<const prob::DelayDistribution>(
           prob::paper_reply_delay(0.1, 10.0, 0.05));
-  join.protocol.n = 4;
-  join.protocol.r = 0.25;
+  join.protocol.schedule = zc::core::ProbeSchedule::uniform(4, 0.25);
   join.trials_full = 1500;
   join.trials_smoke = 200;
   out.push_back(join);
@@ -144,8 +143,7 @@ std::vector<Scenario> scenarios() {
   simultaneous.network.responder_delay =
       std::shared_ptr<const prob::DelayDistribution>(
           prob::paper_reply_delay(0.2, 15.0, 0.1));
-  simultaneous.protocol.n = 3;
-  simultaneous.protocol.r = 0.5;
+  simultaneous.protocol.schedule = zc::core::ProbeSchedule::uniform(3, 0.5);
   simultaneous.protocol.probe_wait_max = 0.5;
   simultaneous.protocol.avoid_failed_addresses = true;
   simultaneous.protocol.announce_count = 2;
@@ -183,8 +181,7 @@ std::vector<Scenario> scenarios() {
   faults.network.faults.host_churn.deaf_fraction = 0.3;
   faults.network.faults.host_churn.period = 4.0;
   faults.network.faults.host_churn.deaf_duration = 1.0;
-  faults.protocol.n = 3;
-  faults.protocol.r = 1.0;
+  faults.protocol.schedule = zc::core::ProbeSchedule::uniform(3, 1.0);
   faults.protocol.max_attempts = 64;
   faults.trials_full = 800;
   faults.trials_smoke = 100;

@@ -48,8 +48,7 @@ int main() {
       defenders.push_back(std::make_unique<sim::ConfiguredHost>(
           simulator, medium, a, response, rng));
     sim::ZeroconfConfig protocol;
-    protocol.n = 3;
-    protocol.r = 1.0;
+    protocol.schedule = core::ProbeSchedule::uniform(3, 1.0);
     protocol.max_attempts = 4;
     sim::ZeroconfHost joiner(simulator, medium, /*address_space=*/8,
                              protocol, rng);
@@ -111,8 +110,7 @@ int main() {
       defenders.push_back(std::make_unique<sim::ConfiguredHost>(
           simulator, medium, a, nullptr, rng));
     sim::ZeroconfConfig protocol_capped;
-    protocol_capped.n = 2;
-    protocol_capped.r = 0.5;
+    protocol_capped.schedule = core::ProbeSchedule::uniform(2, 0.5);
     protocol_capped.max_attempts = 25;
     sim::ZeroconfHost joiner(simulator, medium, /*address_space=*/8,
                              protocol_capped, rng);

@@ -114,8 +114,7 @@ int main() {
   sim::ConfiguredHost host_a(simulator, medium, 1, responder, rng);
   sim::ConfiguredHost host_b(simulator, medium, 2, responder, rng);
   sim::ZeroconfConfig config;
-  config.n = protocol.n;
-  config.r = protocol.r;
+  config.schedule = core::ProbeSchedule::uniform(protocol.n, protocol.r);
   sim::ZeroconfHost joiner(simulator, medium, 6, config, rng);
   joiner.start();
   simulator.run();

@@ -33,8 +33,7 @@ int main() {
 
   // 1. One device joining: a few single runs, then Monte-Carlo.
   sim::ZeroconfConfig protocol;
-  protocol.n = 3;
-  protocol.r = 0.2;
+  protocol.schedule = core::ProbeSchedule::uniform(3, 0.2);
   std::cout << "single joining device, (n=3, r=0.2):\n";
   zc::analysis::Table runs({"run", "address", "attempts", "probes",
                             "conflicts", "elapsed [s]", "collision?"});
@@ -57,7 +56,8 @@ int main() {
   engine::CampaignRunner runner;
   const engine::ExperimentResult mc =
       runner.run_one(engine::SpecBuilder("stressed segment", scenario)
-                         .protocol({protocol.n, protocol.r})
+                         .protocol({protocol.schedule.n(),
+                                    protocol.schedule.uniform_r()})
                          .estimator(engine::Estimator::monte_carlo)
                          .network(segment.address_space, segment.hosts)
                          .trials(20000)

@@ -164,6 +164,19 @@ int run_campaign(int argc, const char* const* argv) {
   parser.add_option("r", "comma-separated listening periods [s]",
                     "0.5,1,2,4");
   parser.add_option("estimator", "analytic | drm | monte_carlo", "analytic");
+  parser.add_option("schedule",
+                    "append a per-probe timeout schedule cell: uniform | "
+                    "geometric | linear | explicit (empty = grid only; a "
+                    "uniform schedule reproduces the equivalent grid point "
+                    "byte-for-byte)",
+                    "");
+  parser.add_option("sched-n", "schedule probe count", "4");
+  parser.add_option("r0", "schedule first-probe timeout [s]", "2");
+  parser.add_option("factor", "geometric schedule ratio r_{i+1}/r_i", "0.5");
+  parser.add_option("step", "linear schedule increment [s]", "0");
+  parser.add_option("timeouts",
+                    "explicit schedule: comma-separated timeouts r_1,..,r_n",
+                    "");
   parser.add_option("name", "spec name used in report/CSV rows", "grid");
   parser.add_flag("detailed",
                   "also compute stddev/waiting/attempts per cell");
@@ -240,6 +253,35 @@ int run_campaign(int argc, const char* const* argv) {
     builder.protocol_grid(*ns, *rs)
         .estimator(estimator)
         .detailed(parser.flag("detailed"));
+    const std::string schedule_text = parser.text("schedule");
+    if (!schedule_text.empty()) {
+      core::ProbeSchedule sched;
+      if (schedule_text == "explicit") {
+        const auto timeouts =
+            examples::parse_double_list(parser.text("timeouts"));
+        if (!timeouts.has_value() || timeouts->empty())
+          return fail("--schedule explicit requires --timeouts r_1,..,r_n, "
+                      "got '" + parser.text("timeouts") + "'");
+        sched = core::ProbeSchedule::from_timeouts(*timeouts);
+      } else {
+        const auto sched_n =
+            static_cast<unsigned>(need(parser, "sched-n", 1.0, 1000.0));
+        const double r0 = need(parser, "r0", 1e-9, 1e9);
+        if (schedule_text == "uniform") {
+          sched = core::ProbeSchedule::uniform(sched_n, r0);
+        } else if (schedule_text == "geometric") {
+          sched = core::ProbeSchedule::geometric(
+              sched_n, r0, need(parser, "factor", 1e-9, 1e9));
+        } else if (schedule_text == "linear") {
+          sched = core::ProbeSchedule::linear(
+              sched_n, r0, need(parser, "step", -1e9, 1e9));
+        } else {
+          return fail("option --schedule must be uniform, geometric, linear "
+                      "or explicit, got '" + schedule_text + "'");
+        }
+      }
+      builder.schedule(std::move(sched));
+    }
     const auto trials =
         static_cast<std::size_t>(need(parser, "trials", 1.0, 1e9));
     const auto seed =
@@ -323,6 +365,9 @@ int run_campaign(int argc, const char* const* argv) {
     table.print(std::cout);
     std::cout << experiment.cells.size() << " cells, estimator "
               << engine::to_string(estimator) << "\n";
+    for (const engine::CellResult& cell : experiment.cells)
+      if (cell.has_schedule)
+        std::cout << "schedule cell: " << cell.schedule.describe() << "\n";
 
     if (parser.given("csv")) {
       if (!engine::write_campaign_csv(campaign, parser.text("csv")))
@@ -336,6 +381,8 @@ int run_campaign(int argc, const char* const* argv) {
       set_scenario_config(report, scenario);
       report.config()["mode"] = "campaign";
       report.config()["estimator"] = estimator_text;
+      if (!schedule_text.empty())
+        report.config()["schedule"] = schedule_text;
       if (simulated) {
         report.config()["trials"] = static_cast<std::uint64_t>(trials);
         report.set_seed(seed);

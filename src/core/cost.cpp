@@ -106,4 +106,77 @@ double mean_waiting_time(const ScenarioParams& scenario,
   return mean_cost(time_only, protocol);
 }
 
+double mean_cost(const ScenarioParams& scenario,
+                 const ProbeSchedule& schedule) {
+  // Uniform: the pre-schedule Eq. (3) arithmetic, verbatim — byte
+  // compatibility is part of the contract.
+  if (schedule.is_uniform())
+    return mean_cost(scenario,
+                     ProtocolParams{schedule.n(), schedule.uniform_r()});
+  schedule.validate(/*allow_zero_r=*/true);
+  const unsigned n = schedule.n();
+  const double q = scenario.q();
+  const double c = scenario.probe_cost();
+  const auto pi = pi_values(scenario.reply_delay(), schedule);
+
+  // Free address (prob. 1-q per attempt): every probe waits out its own
+  // window -> sum_i (r_i + c). Occupied address: probe i+1 is only sent
+  // if the first i went unanswered (prob. pi_i) -> sum pi_i (r_{i+1}+c).
+  numerics::KahanSum full_pass;
+  numerics::KahanSum reached;
+  for (unsigned i = 0; i < n; ++i) {
+    const double per_probe = schedule.timeout(i + 1) + c;
+    full_pass.add(per_probe);
+    reached.add(pi[i] * per_probe);
+  }
+  const double numerator = (1.0 - q) * full_pass.value() +
+                           q * reached.value() +
+                           q * scenario.error_cost() * pi[n];
+  const double denominator = 1.0 - q * (1.0 - pi[n]);
+  ZC_ASSERT(denominator > 0.0);
+  return numerator / denominator;
+}
+
+double mean_cost_numeric(const ScenarioParams& scenario,
+                         const ProbeSchedule& schedule) {
+  const markov::MarkovRewardModel drm = build_drm(scenario, schedule);
+  return drm.expected_total_reward(DrmLayout::start());
+}
+
+double cost_variance(const ScenarioParams& scenario,
+                     const ProbeSchedule& schedule) {
+  const markov::MarkovRewardModel drm = build_drm(scenario, schedule);
+  return drm.variance_total_reward(DrmLayout::start());
+}
+
+double mean_cost_given_ok(const ScenarioParams& scenario,
+                          const ProbeSchedule& schedule) {
+  const markov::MarkovRewardModel drm = build_drm(scenario, schedule);
+  const DrmLayout layout{schedule.n()};
+  return drm.expected_total_reward_given_absorption(DrmLayout::start(),
+                                                    layout.ok());
+}
+
+double mean_cost_given_error(const ScenarioParams& scenario,
+                             const ProbeSchedule& schedule) {
+  const markov::MarkovRewardModel drm = build_drm(scenario, schedule);
+  const DrmLayout layout{schedule.n()};
+  return drm.expected_total_reward_given_absorption(DrmLayout::start(),
+                                                    layout.error());
+}
+
+double mean_address_attempts(const ScenarioParams& scenario,
+                             const ProbeSchedule& schedule) {
+  const markov::MarkovRewardModel drm = build_drm(scenario, schedule);
+  return drm.analysis().expected_visits(DrmLayout::start(),
+                                        DrmLayout::start());
+}
+
+double mean_waiting_time(const ScenarioParams& scenario,
+                         const ProbeSchedule& schedule) {
+  const ScenarioParams time_only =
+      scenario.with_probe_cost(0.0).with_error_cost(0.0);
+  return mean_cost(time_only, schedule);
+}
+
 }  // namespace zc::core

@@ -65,4 +65,38 @@ namespace zc::core {
 [[nodiscard]] double mean_waiting_time(const ScenarioParams& scenario,
                                        const ProtocolParams& protocol);
 
+/// Schedule generalization of Eq. (3): with t_i = r_1 + ... + r_i and
+/// pi_i = prod_{j<=i} S(t_j),
+///
+///       (1-q) sum_{i=1}^{n} (r_i+c) + q sum_{i=0}^{n-1} pi_i (r_{i+1}+c)
+///       + q E pi_n
+///   C = ----------------------------------------------------------------
+///                          1 - q (1 - pi_n)
+///
+/// which collapses to Eq. (3) for r_i = r. Uniform schedules take the
+/// historical arithmetic path and are bit-identical to
+/// `mean_cost(scenario, ProtocolParams{n, r})`.
+[[nodiscard]] double mean_cost(const ScenarioParams& scenario,
+                               const ProbeSchedule& schedule);
+
+/// Schedule mean cost via the (non-homogeneous) DRM linear system.
+[[nodiscard]] double mean_cost_numeric(const ScenarioParams& scenario,
+                                       const ProbeSchedule& schedule);
+
+/// Variance of the total cost for a schedule (DRM second-moment system).
+[[nodiscard]] double cost_variance(const ScenarioParams& scenario,
+                                   const ProbeSchedule& schedule);
+
+/// Conditional means and attempt counts for a schedule (DRM route).
+[[nodiscard]] double mean_cost_given_ok(const ScenarioParams& scenario,
+                                        const ProbeSchedule& schedule);
+[[nodiscard]] double mean_cost_given_error(const ScenarioParams& scenario,
+                                           const ProbeSchedule& schedule);
+[[nodiscard]] double mean_address_attempts(const ScenarioParams& scenario,
+                                           const ProbeSchedule& schedule);
+
+/// Mean configuration latency for a schedule (c = 0, E = 0).
+[[nodiscard]] double mean_waiting_time(const ScenarioParams& scenario,
+                                       const ProbeSchedule& schedule);
+
 }  // namespace zc::core

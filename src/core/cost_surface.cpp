@@ -60,6 +60,41 @@ double error_from_pieces(const ScenarioParams& scenario, double pi_n) {
   return q * pi_n / denominator;
 }
 
+/// Schedule walker: extends the generalized Eq. (3) pieces one probe at
+/// a time. full_pass_m = sum_{i<=m} (r_i + c) and
+/// reached_m = sum_{i=0}^{m-1} pi_i (r_{i+1} + c), both compensated with
+/// the same add order as the schedule mean_cost, so each visited prefix
+/// reproduces mean_cost(scenario, prefix_m) bitwise.
+/// `survival_at(m)` must return S(t_m).
+template <typename SurvivalAt, typename Visit>
+void walk_schedule_pieces(const ScenarioParams& scenario,
+                          const ProbeSchedule& schedule,
+                          SurvivalAt&& survival_at, Visit&& visit) {
+  const double c = scenario.probe_cost();
+  numerics::KahanSum full_pass;
+  numerics::KahanSum reached;
+  double pi = 1.0;  // pi_0
+  for (unsigned m = 1; m <= schedule.n(); ++m) {
+    const double per_probe = schedule.timeout(m) + c;
+    full_pass.add(per_probe);
+    reached.add(pi * per_probe);  // pi_{m-1} (r_m + c)
+    pi = pi * survival_at(m);     // pi_m
+    if (!visit(m, full_pass.value(), reached.value(), pi)) return;
+  }
+}
+
+double cost_from_schedule_pieces(const ScenarioParams& scenario,
+                                 double full_pass, double reached,
+                                 double pi_n) {
+  // Verbatim arithmetic of cost.cpp's schedule mean_cost.
+  const double q = scenario.q();
+  const double numerator = (1.0 - q) * full_pass + q * reached +
+                           q * scenario.error_cost() * pi_n;
+  const double denominator = 1.0 - q * (1.0 - pi_n);
+  ZC_ASSERT(denominator > 0.0);
+  return numerator / denominator;
+}
+
 }  // namespace
 
 CostSurface::CostSurface(ScenarioParams scenario, unsigned n_max)
@@ -81,8 +116,81 @@ CostSurface::SurvivalLadder CostSurface::make_ladder(
   return ladder;
 }
 
+CostSurface::SurvivalLadder CostSurface::make_ladder(
+    const prob::DelayDistribution& fx, const ProbeSchedule& schedule) {
+  ZC_EXPECTS(schedule.n() >= 1);
+  SurvivalLadder ladder;
+  ladder.r = schedule.timeout(1);
+  ladder.survival.resize(schedule.n());
+  // cumulative() is `k * r` for uniform schedules, so the stored doubles
+  // coincide with make_ladder(fx, n, r) there.
+  for (unsigned k = 1; k <= schedule.n(); ++k)
+    ladder.survival[k - 1] = fx.survival(schedule.cumulative(k));
+  return ladder;
+}
+
 CostSurface::SurvivalLadder CostSurface::ladder(double r) const {
   return make_ladder(scenario_.reply_delay(), n_max_, r);
+}
+
+std::vector<double> CostSurface::cost_column(
+    const ProbeSchedule& schedule) const {
+  const prob::DelayDistribution& fx = scenario_.reply_delay();
+  std::vector<double> out(schedule.n());
+  if (schedule.is_uniform()) {
+    // Historical uniform arithmetic over prefix lengths 1..n.
+    const double r = schedule.uniform_r();
+    walk_pieces(
+        schedule.n(),
+        [&](unsigned n) { return fx.survival(static_cast<double>(n) * r); },
+        [&](unsigned n, double pi_partial, double pi_n) {
+          out[n - 1] = cost_from_pieces(scenario_, n, r, pi_partial, pi_n);
+          return true;
+        });
+    return out;
+  }
+  walk_schedule_pieces(
+      scenario_, schedule,
+      [&](unsigned m) { return fx.survival(schedule.cumulative(m)); },
+      [&](unsigned m, double full_pass, double reached, double pi_m) {
+        out[m - 1] =
+            cost_from_schedule_pieces(scenario_, full_pass, reached, pi_m);
+        return true;
+      });
+  return out;
+}
+
+std::vector<double> CostSurface::error_column(
+    const ProbeSchedule& schedule) const {
+  const prob::DelayDistribution& fx = scenario_.reply_delay();
+  std::vector<double> out(schedule.n());
+  if (schedule.is_uniform()) {
+    const double r = schedule.uniform_r();
+    walk_pieces(
+        schedule.n(),
+        [&](unsigned n) { return fx.survival(static_cast<double>(n) * r); },
+        [&](unsigned n, double, double pi_n) {
+          out[n - 1] = error_from_pieces(scenario_, pi_n);
+          return true;
+        });
+    return out;
+  }
+  walk_schedule_pieces(
+      scenario_, schedule,
+      [&](unsigned m) { return fx.survival(schedule.cumulative(m)); },
+      [&](unsigned m, double, double, double pi_m) {
+        out[m - 1] = error_from_pieces(scenario_, pi_m);
+        return true;
+      });
+  return out;
+}
+
+double CostSurface::cost_at(const ProbeSchedule& schedule) const {
+  return cost_column(schedule).back();
+}
+
+double CostSurface::error_at(const ProbeSchedule& schedule) const {
+  return error_column(schedule).back();
 }
 
 std::vector<double> CostSurface::cost_column(double r) const {

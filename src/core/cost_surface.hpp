@@ -49,6 +49,15 @@ class CostSurface {
   [[nodiscard]] static SurvivalLadder make_ladder(
       const prob::DelayDistribution& fx, unsigned n_max, double r);
 
+  /// Schedule ladder: survival[k-1] = S(t_k) with t_k = r_1 + ... + r_k
+  /// the schedule's cumulative listening times. For a uniform schedule
+  /// this stores the identical doubles as `make_ladder(fx, n, r)` — the
+  /// cached-ladder trick carries over to non-uniform schedules unchanged,
+  /// one ladder per schedule shared by every prefix length. `ladder.r`
+  /// holds r_1 (only consumed by the uniform column arithmetic).
+  [[nodiscard]] static SurvivalLadder make_ladder(
+      const prob::DelayDistribution& fx, const ProbeSchedule& schedule);
+
   /// This surface's ladder for `r`.
   [[nodiscard]] SurvivalLadder ladder(double r) const;
 
@@ -65,6 +74,22 @@ class CostSurface {
   /// Same column evaluated through a precomputed ladder (bitwise equal).
   [[nodiscard]] std::vector<double> error_column(
       const SurvivalLadder& ladder) const;
+
+  /// Prefix column for a schedule: result[m-1] equals
+  /// mean_cost(scenario, prefix_m) bitwise, where prefix_m keeps the
+  /// first m timeouts, for m = 1..schedule.n(). All prefixes share one
+  /// schedule ladder (O(n) survival calls for the whole column). Uniform
+  /// schedules take the historical (n, r) column path.
+  [[nodiscard]] std::vector<double> cost_column(
+      const ProbeSchedule& schedule) const;
+  /// Same for collision probabilities.
+  [[nodiscard]] std::vector<double> error_column(
+      const ProbeSchedule& schedule) const;
+
+  /// Point evaluations through the column machinery: bitwise equal to
+  /// mean_cost / error_probability on the full schedule.
+  [[nodiscard]] double cost_at(const ProbeSchedule& schedule) const;
+  [[nodiscard]] double error_at(const ProbeSchedule& schedule) const;
 
   /// The n minimizing C(n, r) and the minimal cost, walking the column
   /// incrementally with the same early-stop rule as optimize.cpp's

@@ -51,6 +51,78 @@ CostDistribution::CostDistribution(const ScenarioParams& scenario,
   tail_ = std::max(0.0, 1.0 - absorbed.value());
 }
 
+CostDistribution::CostDistribution(const ScenarioParams& scenario,
+                                   const ProbeSchedule& schedule,
+                                   std::size_t max_probes)
+    : per_probe_(0.0), error_cost_(scenario.error_cost()),
+      probe_cost_(scenario.probe_cost()) {
+  if (schedule.is_uniform()) {
+    // Bit-compatible special case: the historical lattice construction.
+    *this = CostDistribution(
+        scenario, ProtocolParams{schedule.n(), schedule.uniform_r()},
+        max_probes);
+    return;
+  }
+  schedule.validate(/*allow_zero_r=*/true);
+  lattice_exact_ = false;
+  const unsigned n = schedule.n();
+  ZC_EXPECTS(max_probes >= n);
+
+  const double q = scenario.q();
+  const auto pi = pi_values(scenario.reply_delay(), schedule);
+
+  // Per-attempt events as in the uniform case, but each event now also
+  // carries a deterministic amount of listening time: a restart after i
+  // probes adds l_i = t_i = r_1+...+r_i, an absorbed attempt adds t_n.
+  std::vector<double> restart(n + 1, 0.0);
+  std::vector<double> listen(n + 1, 0.0);
+  for (unsigned i = 1; i <= n; ++i) {
+    restart[i] = q * (pi[i - 1] - pi[i]);
+    listen[i] = schedule.cumulative(i);
+  }
+  const double p_error_attempt = q * pi[n];
+  const double p_ok_attempt = 1.0 - q;
+  const double listen_full = schedule.total_listening();
+
+  // g0/g1/g2: mass and first/second listening-time moments of "back in
+  // `start` having sent t probes". A deterministic shift by l propagates
+  // moments exactly: m1 += l m0, m2 += 2 l m1 + l^2 m0.
+  ok_.assign(max_probes + 1, 0.0);
+  error_.assign(max_probes + 1, 0.0);
+  ok_m1_.assign(max_probes + 1, 0.0);
+  ok_m2_.assign(max_probes + 1, 0.0);
+  err_m1_.assign(max_probes + 1, 0.0);
+  err_m2_.assign(max_probes + 1, 0.0);
+  std::vector<double> g0(max_probes + 1, 0.0);
+  std::vector<double> g1(max_probes + 1, 0.0);
+  std::vector<double> g2(max_probes + 1, 0.0);
+  g0[0] = 1.0;
+  numerics::KahanSum absorbed;
+  for (std::size_t t = 0; t <= max_probes; ++t) {
+    if (g0[t] == 0.0) continue;
+    if (t + n <= max_probes) {
+      const double m1 = g1[t] + listen_full * g0[t];
+      const double m2 =
+          g2[t] + 2.0 * listen_full * g1[t] + listen_full * listen_full * g0[t];
+      ok_[t + n] += g0[t] * p_ok_attempt;
+      ok_m1_[t + n] += m1 * p_ok_attempt;
+      ok_m2_[t + n] += m2 * p_ok_attempt;
+      error_[t + n] += g0[t] * p_error_attempt;
+      err_m1_[t + n] += m1 * p_error_attempt;
+      err_m2_[t + n] += m2 * p_error_attempt;
+      absorbed.add(g0[t] * (p_ok_attempt + p_error_attempt));
+    }
+    for (unsigned i = 1; i <= n; ++i) {
+      if (t + i > max_probes) continue;
+      const double l = listen[i];
+      g0[t + i] += g0[t] * restart[i];
+      g1[t + i] += (g1[t] + l * g0[t]) * restart[i];
+      g2[t + i] += (g2[t] + 2.0 * l * g1[t] + l * l * g0[t]) * restart[i];
+    }
+  }
+  tail_ = std::max(0.0, 1.0 - absorbed.value());
+}
+
 double CostDistribution::error_probability() const {
   numerics::KahanSum acc;
   for (const double p : error_) acc.add(p);
@@ -59,9 +131,18 @@ double CostDistribution::error_probability() const {
 
 double CostDistribution::mean() const {
   numerics::KahanSum acc;
+  if (lattice_exact_) {
+    for (std::size_t t = 0; t < ok_.size(); ++t) {
+      acc.add(ok_[t] * cost_of(t, false));
+      acc.add(error_[t] * cost_of(t, true));
+    }
+    return acc.value();
+  }
+  // cost = L + t c (+ E on collision); L-moments are tracked exactly.
   for (std::size_t t = 0; t < ok_.size(); ++t) {
-    acc.add(ok_[t] * cost_of(t, false));
-    acc.add(error_[t] * cost_of(t, true));
+    const double postage = static_cast<double>(t) * probe_cost_;
+    acc.add(ok_m1_[t] + ok_[t] * postage);
+    acc.add(err_m1_[t] + error_[t] * (postage + error_cost_));
   }
   return acc.value();
 }
@@ -69,20 +150,34 @@ double CostDistribution::mean() const {
 double CostDistribution::variance() const {
   const double m = mean();
   numerics::KahanSum acc;
-  for (std::size_t t = 0; t < ok_.size(); ++t) {
-    const double d_ok = cost_of(t, false) - m;
-    const double d_err = cost_of(t, true) - m;
-    acc.add(ok_[t] * d_ok * d_ok);
-    acc.add(error_[t] * d_err * d_err);
+  if (lattice_exact_) {
+    for (std::size_t t = 0; t < ok_.size(); ++t) {
+      const double d_ok = cost_of(t, false) - m;
+      const double d_err = cost_of(t, true) - m;
+      acc.add(ok_[t] * d_ok * d_ok);
+      acc.add(error_[t] * d_err * d_err);
+    }
+    return acc.value();
   }
-  return acc.value();
+  // E[(L + a)^2 1{atom}] = m2 + 2 a m1 + a^2 m0 with deterministic a.
+  for (std::size_t t = 0; t < ok_.size(); ++t) {
+    const double a_ok = static_cast<double>(t) * probe_cost_;
+    const double a_err = a_ok + error_cost_;
+    acc.add(ok_m2_[t] + 2.0 * a_ok * ok_m1_[t] + a_ok * a_ok * ok_[t]);
+    acc.add(err_m2_[t] + 2.0 * a_err * err_m1_[t] + a_err * a_err * error_[t]);
+  }
+  return acc.value() - m * m;
 }
 
 double CostDistribution::mean_given_ok() const {
   numerics::KahanSum mass, weighted;
   for (std::size_t t = 0; t < ok_.size(); ++t) {
     mass.add(ok_[t]);
-    weighted.add(ok_[t] * cost_of(t, false));
+    if (lattice_exact_) {
+      weighted.add(ok_[t] * cost_of(t, false));
+    } else {
+      weighted.add(ok_m1_[t] + ok_[t] * static_cast<double>(t) * probe_cost_);
+    }
   }
   ZC_EXPECTS(mass.value() > 0.0);
   return weighted.value() / mass.value();
@@ -92,13 +187,20 @@ double CostDistribution::mean_given_error() const {
   numerics::KahanSum mass, weighted;
   for (std::size_t t = 0; t < error_.size(); ++t) {
     mass.add(error_[t]);
-    weighted.add(error_[t] * cost_of(t, true));
+    if (lattice_exact_) {
+      weighted.add(error_[t] * cost_of(t, true));
+    } else {
+      weighted.add(err_m1_[t] +
+                   error_[t] * (static_cast<double>(t) * probe_cost_ +
+                                error_cost_));
+    }
   }
   ZC_EXPECTS(mass.value() > 0.0);
   return weighted.value() / mass.value();
 }
 
 double CostDistribution::cdf(double x) const {
+  ZC_EXPECTS(lattice_exact_);
   numerics::KahanSum acc;
   for (std::size_t t = 0; t < ok_.size(); ++t) {
     if (cost_of(t, false) <= x) acc.add(ok_[t]);
@@ -122,6 +224,7 @@ bool covers_within_rounding(double accumulated, double p) noexcept {
 }  // namespace
 
 double CostDistribution::quantile(double p) const {
+  ZC_EXPECTS(lattice_exact_);
   ZC_EXPECTS(0.0 <= p && p < 1.0);
   ZC_EXPECTS(p < 1.0 - tail_);
   // Gather (cost, prob) atoms, sort by cost, accumulate.
@@ -166,6 +269,7 @@ std::size_t CostDistribution::probes_quantile(double p) const {
 }
 
 double CostDistribution::cost_of(std::size_t probes, bool collision) const {
+  ZC_EXPECTS(lattice_exact_);
   return static_cast<double>(probes) * per_probe_ +
          (collision ? error_cost_ : 0.0);
 }

@@ -33,6 +33,24 @@ class CostDistribution {
                    const ProtocolParams& protocol,
                    std::size_t max_probes = 4096);
 
+  /// Schedule generalization. For a uniform schedule this is bit-identical
+  /// to the (n, r) constructor. For non-uniform schedules the total cost
+  /// is no longer a function of the probe count alone (a restart after i
+  /// probes contributes t_i = r_1+...+r_i listening time, which differs
+  /// per attempt history), so alongside the probe-count lattice the
+  /// constructor propagates the exact first and second moments of the
+  /// accumulated listening time per lattice cell. mean(), variance(),
+  /// error_probability(), the conditional means, and probes_quantile()
+  /// remain exact; cdf()/quantile()/cost_of() require the uniform cost
+  /// lattice (see has_cost_lattice()).
+  CostDistribution(const ScenarioParams& scenario,
+                   const ProbeSchedule& schedule,
+                   std::size_t max_probes = 4096);
+
+  /// True when total cost is a function of the probe count (uniform
+  /// schedules): cdf(), quantile() and cost_of() are only available then.
+  [[nodiscard]] bool has_cost_lattice() const { return lattice_exact_; }
+
   /// P(T = t and the run ends in `ok`); index t = probes sent.
   [[nodiscard]] const std::vector<double>& ok_pmf() const { return ok_; }
   /// P(T = t and the run ends in `error`).
@@ -67,14 +85,20 @@ class CostDistribution {
   [[nodiscard]] std::size_t probes_quantile(double p) const;
 
   /// The cost value of outcome (t probes, collision?) under this
-  /// scenario: t (r+c) + E 1{collision}.
+  /// scenario: t (r+c) + E 1{collision}. Requires has_cost_lattice().
   [[nodiscard]] double cost_of(std::size_t probes, bool collision) const;
 
  private:
   double per_probe_;
   double error_cost_;
+  double probe_cost_ = 0.0;
+  bool lattice_exact_ = true;
   std::vector<double> ok_;
   std::vector<double> error_;
+  // Listening-time moments per absorbed lattice cell (non-uniform
+  // schedules only): m1 = E[L 1{absorbed at t}], m2 = E[L^2 1{...}].
+  std::vector<double> ok_m1_, ok_m2_;
+  std::vector<double> err_m1_, err_m2_;
   double tail_ = 0.0;
 };
 

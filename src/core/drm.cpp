@@ -82,4 +82,71 @@ markov::MarkovRewardModel build_drm(const ScenarioParams& scenario,
   return markov::MarkovRewardModel(std::move(chain), std::move(costs));
 }
 
+markov::Dtmc build_chain(const ScenarioParams& scenario,
+                         const ProbeSchedule& schedule) {
+  if (schedule.is_uniform())
+    return build_chain(scenario,
+                       ProtocolParams{schedule.n(), schedule.uniform_r()});
+  schedule.validate(/*allow_zero_r=*/true);
+  const unsigned n = schedule.n();
+  const DrmLayout layout{n};
+  const double q = scenario.q();
+  const auto pi = pi_values(scenario.reply_delay(), schedule);
+
+  linalg::Matrix p(layout.num_states(), layout.num_states(), 0.0);
+  p(DrmLayout::start(), layout.probe_state(1)) = q;
+  p(DrmLayout::start(), layout.ok()) = 1.0 - q;
+  for (unsigned k = 1; k <= n; ++k) {
+    // Non-homogeneous ladder: p_k = S(t_k) conditioned on reaching probe
+    // round k, i.e. pi_k / pi_{k-1}; unreachable rows (pi_{k-1} = 0) are
+    // pinned to p_k = 0 as in the uniform builder.
+    const double p_k = pi[k - 1] > 0.0 ? pi[k] / pi[k - 1] : 0.0;
+    const std::size_t next =
+        (k == n) ? layout.error() : layout.probe_state(k + 1);
+    p(layout.probe_state(k), next) = p_k;
+    p(layout.probe_state(k), DrmLayout::start()) = 1.0 - p_k;
+  }
+  p(layout.error(), layout.error()) = 1.0;
+  p(layout.ok(), layout.ok()) = 1.0;
+
+  return markov::Dtmc(std::move(p), layout.state_names());
+}
+
+linalg::Matrix build_cost_matrix(const ScenarioParams& scenario,
+                                 const ProbeSchedule& schedule) {
+  if (schedule.is_uniform())
+    return build_cost_matrix(
+        scenario, ProtocolParams{schedule.n(), schedule.uniform_r()});
+  schedule.validate(/*allow_zero_r=*/true);
+  const unsigned n = schedule.n();
+  const DrmLayout layout{n};
+  const double c0 = scenario.probe_cost();
+
+  linalg::Matrix c(layout.num_states(), layout.num_states(), 0.0);
+  // start -> ok: all n probes sent against a free address, each waiting
+  // out its own window.
+  double full_pass = 0.0;
+  for (unsigned i = 1; i <= n; ++i) full_pass += schedule.timeout(i) + c0;
+  c(DrmLayout::start(), layout.ok()) = full_pass;
+  // start -> 1st sends probe 1 (window r_1); advancing from round k sends
+  // probe k+1 (window r_{k+1}).
+  c(DrmLayout::start(), layout.probe_state(1)) = schedule.timeout(1) + c0;
+  for (unsigned k = 1; k + 1 <= n; ++k)
+    c(layout.probe_state(k), layout.probe_state(k + 1)) =
+        schedule.timeout(k + 1) + c0;
+  // nth -> error: the collision cost.
+  c(layout.probe_state(n), layout.error()) = scenario.error_cost();
+  return c;
+}
+
+markov::MarkovRewardModel build_drm(const ScenarioParams& scenario,
+                                    const ProbeSchedule& schedule) {
+  markov::Dtmc chain = build_chain(scenario, schedule);
+  linalg::Matrix costs = build_cost_matrix(scenario, schedule);
+  for (std::size_t i = 0; i < chain.num_states(); ++i)
+    for (std::size_t j = 0; j < chain.num_states(); ++j)
+      if (chain.probability(i, j) == 0.0) costs(i, j) = 0.0;
+  return markov::MarkovRewardModel(std::move(chain), std::move(costs));
+}
+
 }  // namespace zc::core

@@ -51,4 +51,21 @@ struct DrmLayout {
 [[nodiscard]] markov::MarkovRewardModel build_drm(
     const ScenarioParams& scenario, const ProtocolParams& protocol);
 
+/// Schedule generalization: the probe ladder becomes non-homogeneous.
+/// p_k = pi_k / pi_{k-1} with pi_i = prod_{j<=i} S(t_j), and the cost of
+/// advancing to probe round k+1 is r_{k+1} + c (no longer one shared
+/// per-probe constant). Uniform schedules delegate to the (n, r) builders
+/// and are bit-identical to them.
+[[nodiscard]] markov::Dtmc build_chain(const ScenarioParams& scenario,
+                                       const ProbeSchedule& schedule);
+
+/// Schedule cost matrix: c_{start,ok} = sum_i (r_i + c),
+/// c_{start,1st} = r_1 + c, c_{k,k+1} = r_{k+1} + c, c_{nth,error} = E.
+[[nodiscard]] linalg::Matrix build_cost_matrix(const ScenarioParams& scenario,
+                                               const ProbeSchedule& schedule);
+
+/// The full reward model for a schedule.
+[[nodiscard]] markov::MarkovRewardModel build_drm(
+    const ScenarioParams& scenario, const ProbeSchedule& schedule);
+
 }  // namespace zc::core

@@ -45,4 +45,29 @@ double log_pi(const prob::DelayDistribution& fx, unsigned n, double r) {
   return acc.value();
 }
 
+double no_answer_probability(const prob::DelayDistribution& fx,
+                             const ProbeSchedule& schedule, unsigned i) {
+  ZC_EXPECTS(i <= schedule.n());
+  if (i == 0) return 1.0;  // p_0 = 1 by definition (Sec. 3.2)
+  return fx.survival(schedule.cumulative(i));
+}
+
+std::vector<double> pi_values(const prob::DelayDistribution& fx,
+                              const ProbeSchedule& schedule) {
+  const unsigned n = schedule.n();
+  std::vector<double> pi(n + 1);
+  pi[0] = 1.0;
+  for (unsigned i = 1; i <= n; ++i)
+    pi[i] = pi[i - 1] * fx.survival(schedule.cumulative(i));
+  return pi;
+}
+
+double log_pi(const prob::DelayDistribution& fx,
+              const ProbeSchedule& schedule) {
+  numerics::KahanSum acc;
+  for (unsigned j = 1; j <= schedule.n(); ++j)
+    acc.add(fx.log_survival(schedule.cumulative(j)));
+  return acc.value();
+}
+
 }  // namespace zc::core

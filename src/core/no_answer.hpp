@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "core/schedule.hpp"
 #include "prob/delay.hpp"
 
 namespace zc::core {
@@ -39,5 +40,21 @@ namespace zc::core {
 /// log pi_n(r) = sum_{j=1}^{n} log S(j r); log-domain cross-check path.
 [[nodiscard]] double log_pi(const prob::DelayDistribution& fx, unsigned n,
                             double r);
+
+/// Schedule generalization: p_i = S(t_i) with t_i the cumulative
+/// listening time r_1 + ... + r_i. Uniform schedules evaluate S(i * r)
+/// bit-identically to `no_answer_probability(fx, i, r)`.
+[[nodiscard]] double no_answer_probability(const prob::DelayDistribution& fx,
+                                           const ProbeSchedule& schedule,
+                                           unsigned i);
+
+/// pi_0..pi_n for a schedule: pi_i = prod_{j=1}^{i} S(t_j); size n+1,
+/// pi[0] = 1. Bit-identical to `pi_values(fx, n, r)` for uniform(n, r).
+[[nodiscard]] std::vector<double> pi_values(const prob::DelayDistribution& fx,
+                                            const ProbeSchedule& schedule);
+
+/// log pi_n for a schedule: sum_{j=1}^{n} log S(t_j).
+[[nodiscard]] double log_pi(const prob::DelayDistribution& fx,
+                            const ProbeSchedule& schedule);
 
 }  // namespace zc::core

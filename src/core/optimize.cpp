@@ -94,6 +94,134 @@ JointOptimum joint_optimum(const ScenarioParams& scenario, unsigned n_max,
   return best;
 }
 
+namespace {
+
+ProbeSchedule make_candidate(ScheduleFamily family, unsigned n, double r0,
+                             double shape) {
+  switch (family) {
+    case ScheduleFamily::uniform:
+      return ProbeSchedule::uniform(n, r0);
+    case ScheduleFamily::geometric:
+      return ProbeSchedule::geometric(n, r0, shape);
+    case ScheduleFamily::linear:
+      return ProbeSchedule::linear(n, r0, shape);
+    case ScheduleFamily::custom:
+      break;
+  }
+  ZC_ASSERT(false);
+  return ProbeSchedule{};
+}
+
+bool candidate_valid(const ProbeSchedule& schedule) {
+  for (unsigned i = 1; i <= schedule.n(); ++i) {
+    const double r = schedule.timeout(i);
+    if (!(std::isfinite(r) && r > 0.0)) return false;
+  }
+  return true;
+}
+
+double neutral_shape(ScheduleFamily family) {
+  return family == ScheduleFamily::geometric ? 1.0 : 0.0;
+}
+
+}  // namespace
+
+ScheduleOptimum optimal_schedule(const ScenarioParams& scenario,
+                                 ScheduleFamily family, unsigned n,
+                                 const ScheduleOptOptions& opts) {
+  ZC_EXPECTS(n >= 1);
+  ZC_EXPECTS(family != ScheduleFamily::custom);
+  ZC_EXPECTS(opts.r0_points >= 2);
+  ZC_EXPECTS(opts.shape_points >= 2);
+  const double r0_hi_bound =
+      opts.r0_max > 0.0
+          ? opts.r0_max
+          : 10.0 * scenario.reply_delay().mean_given_arrival() + 1.0;
+  ZC_EXPECTS(opts.r0_min > 0.0 && opts.r0_min < r0_hi_bound);
+
+  double shape_lo = opts.shape_min;
+  double shape_hi = opts.shape_max;
+  if (shape_lo == 0.0 && shape_hi == 0.0) {
+    if (family == ScheduleFamily::geometric) {
+      shape_lo = 0.5;
+      shape_hi = 2.0;
+    } else if (family == ScheduleFamily::linear) {
+      shape_hi = r0_hi_bound / static_cast<double>(n);
+      shape_lo = -shape_hi;
+    }
+  }
+  const double shape_lo_bound = shape_lo;
+  const double shape_hi_bound = shape_hi;
+
+  const CostSurface surface(scenario, n);
+  ScheduleOptimum best;
+  best.schedule = make_candidate(family, n, opts.r0_min, neutral_shape(family));
+
+  // One coarse (r0 x shape) scan; parallel over shape columns, merged in
+  // ascending column order so the result is thread-count invariant.
+  const auto scan = [&](double r0_lo, double r0_hi, double s_lo, double s_hi) {
+    const auto r0s = numerics::linspace(r0_lo, r0_hi, opts.r0_points);
+    std::vector<double> shapes;
+    if (family == ScheduleFamily::uniform) {
+      shapes.push_back(0.0);
+    } else {
+      shapes = numerics::linspace(s_lo, s_hi, opts.shape_points);
+      // The uniform-equivalent shape always competes, so the family's
+      // optimum can only improve on the best uniform(r0) in the scan.
+      shapes.push_back(neutral_shape(family));
+    }
+    std::vector<ScheduleOptimum> column_best(shapes.size());
+    exec::parallel_for(
+        shapes.size(),
+        [&](std::size_t j) {
+          ScheduleOptimum local;
+          for (const double r0 : r0s) {
+            const ProbeSchedule candidate =
+                make_candidate(family, n, r0, shapes[j]);
+            if (!candidate_valid(candidate)) continue;
+            const double err = surface.error_at(candidate);
+            if (!(err <= opts.max_error_probability)) continue;
+            const double cost = surface.cost_at(candidate);
+            if (!local.feasible || cost < local.cost) {
+              local.schedule = candidate;
+              local.cost = cost;
+              local.error_prob = err;
+              local.feasible = true;
+            }
+          }
+          column_best[j] = local;
+        },
+        opts.exec);
+    for (const ScheduleOptimum& local : column_best) {
+      if (!local.feasible) continue;
+      if (!best.feasible || local.cost < best.cost) best = local;
+    }
+  };
+
+  double r0_lo = opts.r0_min, r0_hi = r0_hi_bound;
+  scan(r0_lo, r0_hi, shape_lo, shape_hi);
+  for (std::size_t round = 0; round < opts.zoom_rounds; ++round) {
+    if (!best.feasible) break;
+    // Zoom a local grid around the incumbent: one coarse cell of
+    // half-width per axis, clamped to the original bounds.
+    const double r0_cell =
+        (r0_hi - r0_lo) / static_cast<double>(opts.r0_points - 1);
+    const double shape_cell =
+        (shape_hi - shape_lo) / static_cast<double>(opts.shape_points - 1);
+    const double r0_c = best.schedule.r0();
+    const double shape_c = family == ScheduleFamily::geometric
+                               ? best.schedule.factor()
+                               : best.schedule.step();
+    r0_lo = std::max(opts.r0_min, r0_c - r0_cell);
+    r0_hi = std::min(r0_hi_bound, r0_c + r0_cell);
+    shape_lo = std::max(shape_lo_bound, shape_c - shape_cell);
+    shape_hi = std::min(shape_hi_bound, shape_c + shape_cell);
+    if (r0_hi <= r0_lo) break;
+    scan(r0_lo, r0_hi, shape_lo, shape_hi);
+  }
+  return best;
+}
+
 std::vector<NBreakpoint> n_breakpoints(const ScenarioParams& scenario,
                                        double r_lo, double r_hi,
                                        std::size_t grid_points, double r_tol,

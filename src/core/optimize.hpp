@@ -6,6 +6,7 @@
 /// lower-envelope C_min(r), the minimal-useful-n bound nu, and the joint
 /// optimum over (n, r).
 
+#include <limits>
 #include <vector>
 
 #include "core/params.hpp"
@@ -79,5 +80,47 @@ struct NBreakpoint {
     const ScenarioParams& scenario, double r_lo, double r_hi,
     std::size_t grid_points = 512, double r_tol = 1e-9, unsigned n_max = 64,
     const exec::ExecOptions& exec = {});
+
+/// Options for schedule-family optimization at a fixed probe budget.
+struct ScheduleOptOptions {
+  double r0_min = 1e-6;  ///< lower end of the first-timeout search range
+  double r0_max = 0.0;   ///< upper end; 0 = auto from the delay distribution
+  /// Shape range: the geometric factor or linear step interval. 0/0 =
+  /// auto (geometric: [0.5, 2]; linear: +/- r0_max / n). The neutral
+  /// shape (factor 1 / step 0) is always injected into the scan so the
+  /// family can never do worse than the best uniform schedule on the
+  /// same r0 grid.
+  double shape_min = 0.0;
+  double shape_max = 0.0;
+  std::size_t r0_points = 128;    ///< coarse-scan resolution in r0
+  std::size_t shape_points = 33;  ///< coarse-scan resolution in shape
+  std::size_t zoom_rounds = 2;    ///< local-grid refinement passes
+  /// Feasibility bound: only schedules with collision probability <= this
+  /// compete (infinity = unconstrained). This is how "cheapest schedule
+  /// at matched error probability" searches are expressed.
+  double max_error_probability = std::numeric_limits<double>::infinity();
+
+  /// Parallelism of the scan (over shape columns); results are identical
+  /// at any thread count.
+  exec::ExecOptions exec{};
+};
+
+/// A located schedule-family optimum.
+struct ScheduleOptimum {
+  ProbeSchedule schedule;
+  double cost = std::numeric_limits<double>::infinity();
+  double error_prob = 0.0;
+  bool feasible = false;  ///< false if no scanned schedule met the bound
+};
+
+/// Best schedule of `family` with exactly `n` probes: deterministic
+/// coarse scan over (r0, shape) with local-grid zooming, evaluated
+/// through one shared survival ladder per candidate (CostSurface). For
+/// ScheduleFamily::uniform the shape axis degenerates and the scan runs
+/// over r alone. Candidates whose timeouts leave (0, inf) (e.g. negative
+/// linear steps overshooting) are skipped.
+[[nodiscard]] ScheduleOptimum optimal_schedule(
+    const ScenarioParams& scenario, ScheduleFamily family, unsigned n,
+    const ScheduleOptOptions& opts = {});
 
 }  // namespace zc::core

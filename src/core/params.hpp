@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "core/schedule.hpp"
 #include "prob/delay.hpp"
 
 namespace zc::core {
@@ -30,6 +31,13 @@ struct ProtocolParams {
   /// `allow_zero_r = true`; everything user-facing (engine specs, CLI)
   /// uses the strict default.
   void validate(bool allow_zero_r = false) const;
+
+  /// The (n, r) pair viewed as a per-probe schedule: uniform(n, r).
+  /// The bridge between the paper's parameterization and the
+  /// schedule-based evaluators; bit-compatible by construction.
+  [[nodiscard]] ProbeSchedule schedule() const {
+    return ProbeSchedule::uniform(n, r);
+  }
 };
 
 /// Deployment-specific inputs of the cost model.

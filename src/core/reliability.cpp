@@ -44,4 +44,42 @@ double log10_error_probability(const ScenarioParams& scenario,
   return (std::log(q) + log_pi_n - std::log(denominator)) / std::numbers::ln10;
 }
 
+double error_probability(const ScenarioParams& scenario,
+                         const ProbeSchedule& schedule) {
+  if (schedule.is_uniform())
+    return error_probability(
+        scenario, ProtocolParams{schedule.n(), schedule.uniform_r()});
+  const double q = scenario.q();
+  const auto pi = pi_values(scenario.reply_delay(), schedule);
+  const double pi_n = pi[schedule.n()];
+  const double denominator = 1.0 - q * (1.0 - pi_n);
+  ZC_ASSERT(denominator > 0.0);
+  return q * pi_n / denominator;
+}
+
+double error_probability_numeric(const ScenarioParams& scenario,
+                                 const ProbeSchedule& schedule) {
+  const DrmLayout layout{schedule.n()};
+  const markov::Dtmc chain = build_chain(scenario, schedule);
+  const markov::AbsorbingAnalysis analysis(chain);
+  return analysis.absorption_probability(DrmLayout::start(), layout.error());
+}
+
+double reliability(const ScenarioParams& scenario,
+                   const ProbeSchedule& schedule) {
+  return 1.0 - error_probability(scenario, schedule);
+}
+
+double log10_error_probability(const ScenarioParams& scenario,
+                               const ProbeSchedule& schedule) {
+  if (schedule.is_uniform())
+    return log10_error_probability(
+        scenario, ProtocolParams{schedule.n(), schedule.uniform_r()});
+  const double q = scenario.q();
+  const double log_pi_n = log_pi(scenario.reply_delay(), schedule);
+  const double pi_n = std::exp(log_pi_n);
+  const double denominator = 1.0 - q * (1.0 - pi_n);
+  return (std::log(q) + log_pi_n - std::log(denominator)) / std::numbers::ln10;
+}
+
 }  // namespace zc::core

@@ -31,4 +31,16 @@ namespace zc::core {
 [[nodiscard]] double log10_error_probability(const ScenarioParams& scenario,
                                              const ProtocolParams& protocol);
 
+/// Schedule generalization of Eq. (4): pi_n = prod_{j<=n} S(t_j) with
+/// t_j the cumulative listening time. Uniform schedules are bit-identical
+/// to the (n, r) overloads.
+[[nodiscard]] double error_probability(const ScenarioParams& scenario,
+                                       const ProbeSchedule& schedule);
+[[nodiscard]] double error_probability_numeric(const ScenarioParams& scenario,
+                                               const ProbeSchedule& schedule);
+[[nodiscard]] double reliability(const ScenarioParams& scenario,
+                                 const ProbeSchedule& schedule);
+[[nodiscard]] double log10_error_probability(const ScenarioParams& scenario,
+                                             const ProbeSchedule& schedule);
+
 }  // namespace zc::core

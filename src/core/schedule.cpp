@@ -1,0 +1,198 @@
+#include "core/schedule.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "common/contract.hpp"
+#include "common/strings.hpp"
+
+namespace zc::core {
+
+const char* to_string(ScheduleFamily family) {
+  switch (family) {
+    case ScheduleFamily::uniform:
+      return "uniform";
+    case ScheduleFamily::geometric:
+      return "geometric";
+    case ScheduleFamily::linear:
+      return "linear";
+    case ScheduleFamily::custom:
+      return "custom";
+  }
+  ZC_ASSERT(false);
+  return "uniform";
+}
+
+bool schedule_family_from_string(const std::string& name,
+                                 ScheduleFamily& out) {
+  if (name == "uniform") {
+    out = ScheduleFamily::uniform;
+  } else if (name == "geometric") {
+    out = ScheduleFamily::geometric;
+  } else if (name == "linear") {
+    out = ScheduleFamily::linear;
+  } else if (name == "custom") {
+    out = ScheduleFamily::custom;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+ProbeSchedule ProbeSchedule::uniform(unsigned n, double r) {
+  ProbeSchedule s;
+  s.family_ = ScheduleFamily::uniform;
+  s.n_ = n;
+  s.r0_ = r;
+  return s;
+}
+
+ProbeSchedule ProbeSchedule::geometric(unsigned n, double r0, double factor) {
+  ProbeSchedule s;
+  s.family_ = ScheduleFamily::geometric;
+  s.n_ = n;
+  s.r0_ = r0;
+  s.factor_ = factor;
+  s.timeouts_.reserve(n);
+  double r = r0;
+  for (unsigned i = 0; i < n; ++i) {
+    s.timeouts_.push_back(r);
+    r *= factor;
+  }
+  s.materialize_cumulative();
+  return s;
+}
+
+ProbeSchedule ProbeSchedule::linear(unsigned n, double r0, double step) {
+  ProbeSchedule s;
+  s.family_ = ScheduleFamily::linear;
+  s.n_ = n;
+  s.r0_ = r0;
+  s.step_ = step;
+  s.timeouts_.reserve(n);
+  for (unsigned i = 0; i < n; ++i)
+    s.timeouts_.push_back(r0 + static_cast<double>(i) * step);
+  s.materialize_cumulative();
+  return s;
+}
+
+ProbeSchedule ProbeSchedule::from_timeouts(std::vector<double> timeouts) {
+  ProbeSchedule s;
+  s.family_ = ScheduleFamily::custom;
+  s.n_ = static_cast<unsigned>(timeouts.size());
+  s.r0_ = timeouts.empty() ? 0.0 : timeouts.front();
+  s.timeouts_ = std::move(timeouts);
+  s.materialize_cumulative();
+  return s;
+}
+
+ProbeSchedule ProbeSchedule::restore(ScheduleFamily family, unsigned n,
+                                     double r0, double factor, double step,
+                                     std::vector<double> timeouts) {
+  switch (family) {
+    case ScheduleFamily::uniform:
+      return uniform(n, r0);
+    case ScheduleFamily::geometric:
+      return geometric(n, r0, factor);
+    case ScheduleFamily::linear:
+      return linear(n, r0, step);
+    case ScheduleFamily::custom:
+      return from_timeouts(std::move(timeouts));
+  }
+  ZC_ASSERT(false);
+  return ProbeSchedule{};
+}
+
+void ProbeSchedule::materialize_cumulative() {
+  cumulative_.clear();
+  cumulative_.reserve(timeouts_.size());
+  double total = 0.0;
+  for (double r : timeouts_) {
+    total += r;
+    cumulative_.push_back(total);
+  }
+}
+
+double ProbeSchedule::uniform_r() const {
+  ZC_EXPECTS(is_uniform());
+  return r0_;
+}
+
+double ProbeSchedule::timeout(unsigned i) const {
+  ZC_EXPECTS(i >= 1 && i <= n_);
+  if (is_uniform()) return r0_;
+  return timeouts_[i - 1];
+}
+
+double ProbeSchedule::cumulative(unsigned i) const {
+  ZC_EXPECTS(i <= n_);
+  if (i == 0) return 0.0;
+  // Uniform: `i * r` exactly as the pre-schedule evaluators computed it —
+  // a running sum would round differently and break byte compatibility.
+  if (is_uniform()) return static_cast<double>(i) * r0_;
+  return cumulative_[i - 1];
+}
+
+std::vector<double> ProbeSchedule::to_vector() const {
+  if (is_uniform()) return std::vector<double>(n_, r0_);
+  return timeouts_;
+}
+
+void ProbeSchedule::validate(bool allow_zero_r) const {
+  ZC_REQUIRE(n_ >= 1, "ProbeSchedule.n must be >= 1 (got 0)");
+  const auto check_timeout = [&](double r, const char* field) {
+    ZC_REQUIRE(std::isfinite(r),
+               std::string(field) + " must be finite");
+    if (allow_zero_r) {
+      ZC_REQUIRE(r >= 0.0, std::string(field) + " must be >= 0");
+    } else {
+      ZC_REQUIRE(r > 0.0, std::string(field) + " must be > 0");
+    }
+  };
+  if (is_uniform()) {
+    check_timeout(r0_, "ProbeSchedule.r");
+    return;
+  }
+  if (family_ == ScheduleFamily::geometric) {
+    ZC_REQUIRE(std::isfinite(factor_) && factor_ > 0.0,
+               "ProbeSchedule.factor must be finite and > 0");
+  }
+  if (family_ == ScheduleFamily::linear)
+    ZC_REQUIRE(std::isfinite(step_), "ProbeSchedule.step must be finite");
+  ZC_ASSERT(timeouts_.size() == n_);
+  for (unsigned i = 0; i < n_; ++i) {
+    check_timeout(timeouts_[i], ("ProbeSchedule.timeouts[" +
+                                 std::to_string(i + 1) + "]")
+                                    .c_str());
+  }
+}
+
+std::string ProbeSchedule::describe() const {
+  std::ostringstream out;
+  switch (family_) {
+    case ScheduleFamily::uniform:
+      out << "uniform(n=" << n_ << ", r=" << format_sig(r0_, 6) << ")";
+      break;
+    case ScheduleFamily::geometric:
+      out << "geometric(n=" << n_ << ", r0=" << format_sig(r0_, 6)
+          << ", factor=" << format_sig(factor_, 6) << ")";
+      break;
+    case ScheduleFamily::linear:
+      out << "linear(n=" << n_ << ", r0=" << format_sig(r0_, 6)
+          << ", step=" << format_sig(step_, 6) << ")";
+      break;
+    case ScheduleFamily::custom: {
+      out << "custom(n=" << n_ << ", [";
+      for (unsigned i = 0; i < n_; ++i) {
+        if (i > 0) out << ", ";
+        out << format_sig(timeouts_[i], 6);
+      }
+      out << "])";
+      break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace zc::core

@@ -1,0 +1,147 @@
+#pragma once
+
+/// \file schedule.hpp
+/// Per-probe timeout schedules. The paper fixes one listening period `r`
+/// for all `n` probes; `ProbeSchedule` generalizes that to an explicit
+/// vector r_1..r_n while keeping the uniform case a *bit-compatible*
+/// special case: every evaluator that consumes a schedule takes the
+/// historical arithmetic path (e.g. `i * r`, never `r + r + ...`) when
+/// `is_uniform()`, so uniform schedules reproduce today's analytic
+/// values, simulation trial bytes, and report bytes exactly.
+///
+/// Probe i is sent at cumulative time t_{i-1} and listens for r_i, so
+/// t_i = r_1 + ... + r_i and the no-answer ladder becomes
+/// pi_i = prod_{j=1}^{i} S(t_j) — the uniform schedule recovers the
+/// paper's pi_i(r) = prod S(j r).
+///
+/// Generator families:
+///  - uniform(n, r):            r_i = r                (the paper's protocol)
+///  - geometric(n, r0, factor): r_i = r0 * factor^(i-1), built iteratively
+///  - linear(n, r0, step):      r_i = r0 + (i-1) * step
+///  - from_timeouts({...}):     explicit vector
+///
+/// Like `ProtocolParams`, construction does not validate; `validate()`
+/// is the one place domain checks live and throws zc::ContractViolation
+/// naming the offending field.
+
+#include <string>
+#include <vector>
+
+namespace zc::core {
+
+/// Which generator produced a schedule. `custom` marks explicit vectors.
+enum class ScheduleFamily { uniform, geometric, linear, custom };
+
+/// Stable lowercase name used in JSON reports, journal digests, and CLI
+/// flags ("uniform", "geometric", "linear", "custom").
+[[nodiscard]] const char* to_string(ScheduleFamily family);
+
+/// Parse a family name as emitted by `to_string`; returns false on an
+/// unknown name (out left untouched).
+[[nodiscard]] bool schedule_family_from_string(const std::string& name,
+                                               ScheduleFamily& out);
+
+/// Explicit per-probe timeout vector r_1..r_n with its generator recipe.
+///
+/// Uniform schedules store only (n, r) — no heap allocation — so the
+/// default-constructed simulation config stays allocation-free; the
+/// non-uniform families materialize their timeout and cumulative-time
+/// vectors once at construction.
+class ProbeSchedule {
+ public:
+  /// The draft's default: 4 probes, 2 s each (mirrors ProtocolParams{}).
+  ProbeSchedule() = default;
+
+  /// r_i = r for all i: the paper's (n, r) protocol, byte-compatible
+  /// with every pre-schedule code path.
+  [[nodiscard]] static ProbeSchedule uniform(unsigned n, double r);
+
+  /// r_i = r0 * factor^(i-1), materialized iteratively (r *= factor) so
+  /// the vector is reproducible bit-for-bit from (n, r0, factor).
+  /// factor > 1 is exponential backoff; factor < 1 front-loads listening
+  /// time on the early probes.
+  [[nodiscard]] static ProbeSchedule geometric(unsigned n, double r0,
+                                               double factor);
+
+  /// r_i = r0 + (i-1) * step (step may be negative as long as every
+  /// timeout stays positive — validate() checks).
+  [[nodiscard]] static ProbeSchedule linear(unsigned n, double r0,
+                                            double step);
+
+  /// Explicit vector; n is the vector length.
+  [[nodiscard]] static ProbeSchedule from_timeouts(
+      std::vector<double> timeouts);
+
+  /// Rebuild a schedule from its serialized recipe (family + parameters),
+  /// as written by the engine's report/journal layer. Regeneration is
+  /// bitwise-deterministic, so a round-trip through exact (round-trip
+  /// formatted) parameters reproduces the original timeouts exactly.
+  /// For `custom`, `timeouts` carries the vector; it is ignored for the
+  /// generated families.
+  [[nodiscard]] static ProbeSchedule restore(ScheduleFamily family,
+                                             unsigned n, double r0,
+                                             double factor, double step,
+                                             std::vector<double> timeouts);
+
+  [[nodiscard]] ScheduleFamily family() const noexcept { return family_; }
+  [[nodiscard]] unsigned n() const noexcept { return n_; }
+  [[nodiscard]] bool is_uniform() const noexcept {
+    return family_ == ScheduleFamily::uniform;
+  }
+
+  /// The uniform listening period; precondition `is_uniform()`.
+  [[nodiscard]] double uniform_r() const;
+
+  /// First-probe timeout (generator parameter for uniform/geometric/
+  /// linear; r_1 for custom).
+  [[nodiscard]] double r0() const noexcept { return r0_; }
+  /// Geometric ratio (1 for other families).
+  [[nodiscard]] double factor() const noexcept { return factor_; }
+  /// Linear increment (0 for other families).
+  [[nodiscard]] double step() const noexcept { return step_; }
+
+  /// r_i, 1-based; precondition 1 <= i <= n().
+  [[nodiscard]] double timeout(unsigned i) const;
+
+  /// Cumulative listening time t_i = r_1 + ... + r_i; t_0 = 0. Uniform
+  /// schedules compute `i * r` (the historical arithmetic), never a
+  /// running sum, so the value is bit-identical to the pre-schedule code.
+  [[nodiscard]] double cumulative(unsigned i) const;
+
+  /// t_n: total time spent listening when every probe goes unanswered.
+  [[nodiscard]] double total_listening() const { return cumulative(n_); }
+
+  /// Materialize r_1..r_n as a vector (allocates; serialization/tests).
+  [[nodiscard]] std::vector<double> to_vector() const;
+
+  /// Domain checks, mirroring ProtocolParams::validate: n >= 1, every
+  /// timeout finite and > 0 (>= 0 with `allow_zero_r`, the closed forms'
+  /// r = 0 limit), geometric factor finite and > 0. Throws
+  /// zc::ContractViolation naming the offending field.
+  void validate(bool allow_zero_r = false) const;
+
+  /// One-line human/log rendering, e.g. "uniform(n=4, r=2)",
+  /// "geometric(n=3, r0=0.5, factor=2)", "custom(n=2, [0.5, 1.25])".
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const ProbeSchedule& a, const ProbeSchedule& b) {
+    return a.family_ == b.family_ && a.n_ == b.n_ && a.r0_ == b.r0_ &&
+           a.factor_ == b.factor_ && a.step_ == b.step_ &&
+           a.timeouts_ == b.timeouts_;
+  }
+
+ private:
+  ScheduleFamily family_ = ScheduleFamily::uniform;
+  unsigned n_ = 4;
+  double r0_ = 2.0;
+  double factor_ = 1.0;
+  double step_ = 0.0;
+  // Materialized per-probe timeouts and prefix sums; empty for uniform
+  // (computed on the fly so the uniform case never allocates).
+  std::vector<double> timeouts_;
+  std::vector<double> cumulative_;
+
+  void materialize_cumulative();
+};
+
+}  // namespace zc::core

@@ -22,6 +22,22 @@ obs::JsonValue CellResult::to_json() const {
   obs::JsonValue cell = obs::JsonValue::object();
   cell["n"] = protocol.n;
   cell["r"] = protocol.r;
+  if (has_schedule) {
+    // The generator recipe, not just the materialized vector: restoring
+    // from (family, n, r0, factor, step) regenerates the timeouts
+    // bitwise, and custom schedules carry the vector explicitly.
+    obs::JsonValue sched = obs::JsonValue::object();
+    sched["family"] = core::to_string(schedule.family());
+    sched["r0"] = schedule.r0();
+    sched["factor"] = schedule.factor();
+    sched["step"] = schedule.step();
+    if (schedule.family() == core::ScheduleFamily::custom) {
+      obs::JsonValue timeouts = obs::JsonValue::array();
+      for (const double t : schedule.to_vector()) timeouts.push_back(t);
+      sched["timeouts"] = std::move(timeouts);
+    }
+    cell["schedule"] = std::move(sched);
+  }
   cell["mean_cost"] = mean_cost;
   cell["error_probability"] = error_probability;
   if (has_detail) {
@@ -372,6 +388,33 @@ void CampaignRunner::run_evaluate(const ExperimentSpec& spec,
     }
     out.cells.push_back(cell);
   }
+
+  // Schedule cells, after the grid: evaluated through the schedule
+  // overloads (which delegate to the historical arithmetic when uniform).
+  // They bypass the ladder cache — the cache is keyed on uniform (n, r)
+  // columns — so grid-only specs keep their cache counters untouched.
+  for (const core::ProbeSchedule& sched : spec.schedules) {
+    CellResult cell;
+    cell.protocol.n = sched.n();
+    cell.protocol.r = sched.timeout(1);
+    cell.has_schedule = true;
+    cell.schedule = sched;
+    if (spec.estimator == Estimator::analytic) {
+      cell.mean_cost = core::mean_cost(spec.scenario, sched);
+      cell.error_probability = core::error_probability(spec.scenario, sched);
+    } else {  // Estimator::drm
+      cell.mean_cost = core::mean_cost_numeric(spec.scenario, sched);
+      cell.error_probability =
+          core::error_probability_numeric(spec.scenario, sched);
+    }
+    if (spec.detailed) {
+      cell.has_detail = true;
+      cell.cost_stddev = std::sqrt(core::cost_variance(spec.scenario, sched));
+      cell.mean_waiting_time = core::mean_waiting_time(spec.scenario, sched);
+      cell.mean_attempts = core::mean_address_attempts(spec.scenario, sched);
+    }
+    out.cells.push_back(cell);
+  }
 }
 
 void CampaignRunner::run_monte_carlo(const ExperimentSpec& spec,
@@ -398,15 +441,10 @@ void CampaignRunner::run_monte_carlo(const ExperimentSpec& spec,
   mc.cancel = opts_.cancel;
   mc.precision = spec.sim.precision;
 
-  out.cells.reserve(spec.grid.size());
-  for (const core::ProtocolParams& point : spec.grid) {
-    protocol.n = point.n;
-    protocol.r = point.r;
+  out.cells.reserve(spec.grid.size() + spec.schedules.size());
+  const auto run_cell = [&](CellResult cell) {
     const sim::MonteCarloResults results =
         sim::monte_carlo(network, protocol, mc);
-
-    CellResult cell;
-    cell.protocol = point;
     cell.mean_cost = results.model_cost.mean;
     cell.error_probability = results.collision_rate;
     cell.has_detail = true;
@@ -431,7 +469,23 @@ void CampaignRunner::run_monte_carlo(const ExperimentSpec& spec,
     cell.precision_met = results.precision_met;
     out.cells.push_back(cell);
 
-    out.metrics.merge(results.metrics);  // grid order
+    out.metrics.merge(results.metrics);  // cell (grid-then-schedule) order
+  };
+
+  for (const core::ProtocolParams& point : spec.grid) {
+    protocol.schedule = core::ProbeSchedule::uniform(point.n, point.r);
+    CellResult cell;
+    cell.protocol = point;
+    run_cell(std::move(cell));
+  }
+  for (const core::ProbeSchedule& sched : spec.schedules) {
+    protocol.schedule = sched;
+    CellResult cell;
+    cell.protocol.n = sched.n();
+    cell.protocol.r = sched.timeout(1);
+    cell.has_schedule = true;
+    cell.schedule = sched;
+    run_cell(std::move(cell));
   }
 }
 

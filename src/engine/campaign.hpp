@@ -42,6 +42,14 @@ struct CellResult {
   double mean_cost = 0.0;          ///< C(n, r) (MC: model-accounting mean)
   double error_probability = 0.0;  ///< Err(n, r) (MC: collision rate)
 
+  /// Schedule block (spec.schedules cells). `protocol` still carries
+  /// (n, r_1) so the legacy "n"/"r" keys and CSV columns stay populated;
+  /// the serialized schedule recipe restores the full timeout vector
+  /// bitwise (see journal round-trip contract). Grid cells leave it
+  /// unset, so schedule-free reports keep their historical bytes.
+  bool has_schedule = false;
+  core::ProbeSchedule schedule{};
+
   /// Detail block (spec.detailed, or always for Monte-Carlo).
   bool has_detail = false;
   double cost_stddev = 0.0;

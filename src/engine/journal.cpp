@@ -145,6 +145,27 @@ CellResult cell_from_json(const obs::JsonValue& cell) {
   CellResult out;
   out.protocol.n = static_cast<unsigned>(read_count(member(cell, "n")));
   out.protocol.r = read_double(member(cell, "r"));
+  if (const obs::JsonValue* sched = cell.find("schedule")) {
+    if (!sched->is_object()) record_fail("'schedule' must be an object");
+    core::ScheduleFamily family{};
+    const std::string family_name = member(*sched, "family").as_string();
+    if (!core::schedule_family_from_string(family_name, family))
+      record_fail("unknown schedule family '" + family_name + "'");
+    std::vector<double> timeouts;
+    if (const obs::JsonValue* list = sched->find("timeouts")) {
+      if (!list->is_array()) record_fail("'timeouts' must be an array");
+      timeouts.reserve(list->size());
+      for (std::size_t i = 0; i < list->size(); ++i)
+        timeouts.push_back(read_double(*list->element(i)));
+    }
+    out.has_schedule = true;
+    // Regeneration from the recipe is bitwise-deterministic, so the
+    // restored cell re-serializes byte-identically (round-trip contract).
+    out.schedule = core::ProbeSchedule::restore(
+        family, out.protocol.n, read_double(member(*sched, "r0")),
+        read_double(member(*sched, "factor")),
+        read_double(member(*sched, "step")), std::move(timeouts));
+  }
   out.mean_cost = read_double(member(cell, "mean_cost"));
   out.error_probability = read_double(member(cell, "error_probability"));
   // The emitter writes the detail/simulation blocks iff the flags were
@@ -210,6 +231,22 @@ std::string spec_list_digest(const std::vector<ExperimentSpec>& specs) {
     for (const core::ProtocolParams& point : spec.grid) {
       dec_unsigned(canon, point.n);
       hex_double(canon, point.r);
+    }
+    // Schedule cells digest their recipe *and* every materialized
+    // timeout, so changing any r_i (directly or through a generator
+    // parameter) invalidates resumption. Emitted only when present:
+    // schedule-free spec lists keep their historical digests.
+    if (!spec.schedules.empty()) {
+      canon += "\nsched ";
+      for (const core::ProbeSchedule& sched : spec.schedules) {
+        canon += core::to_string(sched.family());
+        canon += ' ';
+        dec_unsigned(canon, sched.n());
+        hex_double(canon, sched.r0());
+        hex_double(canon, sched.factor());
+        hex_double(canon, sched.step());
+        for (const double t : sched.to_vector()) hex_double(canon, t);
+      }
     }
     canon += "\nopt ";
     dec_unsigned(canon, spec.n_max);

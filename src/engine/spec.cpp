@@ -42,11 +42,14 @@ void ExperimentSpec::validate() const {
   ZC_REQUIRE(!name.empty(), "ExperimentSpec.name must be non-empty");
   switch (mode) {
     case Mode::evaluate:
-      ZC_REQUIRE(!grid.empty(),
-                 spec_error(name, "evaluate mode needs >= 1 grid point"));
+      ZC_REQUIRE(!grid.empty() || !schedules.empty(),
+                 spec_error(name, "evaluate mode needs >= 1 grid point "
+                                  "or schedule"));
       // Strict protocol domain (r > 0): the r = 0 closed-form limit is a
-      // core-layer concern, not a runnable experiment.
+      // core-layer concern, not a runnable experiment. Schedule cells get
+      // the same strictness (every timeout finite and > 0).
       for (const core::ProtocolParams& point : grid) point.validate();
+      for (const core::ProbeSchedule& sched : schedules) sched.validate();
       break;
     case Mode::optimize:
       ZC_REQUIRE(n_max >= 1, spec_error(name, "optimize needs n_max >= 1"));
@@ -127,6 +130,12 @@ SpecBuilder& SpecBuilder::protocol_grid(const std::vector<unsigned>& ns,
   spec_.mode = Mode::evaluate;
   for (const unsigned n : ns)
     for (const double r : rs) spec_.grid.push_back({n, r});
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::schedule(core::ProbeSchedule schedule) {
+  spec_.mode = Mode::evaluate;
+  spec_.schedules.push_back(std::move(schedule));
   return *this;
 }
 

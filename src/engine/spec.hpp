@@ -91,6 +91,14 @@ struct ExperimentSpec {
   /// Mode::evaluate — the protocol grid (>= 1 point, strict r > 0).
   std::vector<core::ProtocolParams> grid;
 
+  /// Mode::evaluate — additional per-probe schedule cells, evaluated
+  /// after the grid cells in declaration order. A uniform schedule here
+  /// produces exactly the numbers the equivalent grid point would (the
+  /// schedule overloads delegate to the historical arithmetic), so specs
+  /// without schedules keep their report bytes unchanged. Strict domain
+  /// (every timeout finite and > 0), like the grid.
+  std::vector<core::ProbeSchedule> schedules;
+
   /// Mode::optimize — probe-count bound and r-search options.
   unsigned n_max = 16;
   core::ROptOptions r_opts{};
@@ -131,6 +139,9 @@ class SpecBuilder {
   /// Append the cross product ns x rs in row-major (n-outer) order.
   SpecBuilder& protocol_grid(const std::vector<unsigned>& ns,
                              const std::vector<double>& rs);
+  /// Append one per-probe schedule cell (Mode::evaluate); evaluated
+  /// after every grid point, in the order added.
+  SpecBuilder& schedule(core::ProbeSchedule schedule);
 
   SpecBuilder& estimator(Estimator estimator);
   /// Switch to Mode::optimize with the given probe-count bound.

@@ -147,8 +147,7 @@ MonteCarloResults monte_carlo(const NetworkConfig& network,
       if (acc.collect) acc.metrics.inc(acc.aborted_id);
       return;
     }
-    const double model =
-        run.model_cost(protocol.r, opts.probe_cost, opts.error_cost);
+    const double model = run.model_cost(opts.probe_cost, opts.error_cost);
     const double elapsed = run.elapsed_cost(opts.probe_cost, opts.error_cost);
     if (!std::isfinite(model) || !std::isfinite(elapsed) ||
         !std::isfinite(run.waiting_time)) {

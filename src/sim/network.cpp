@@ -87,6 +87,10 @@ RunResult Network::result_of(ZeroconfHost& joiner, double start) const {
   out.probes_sent = joiner.probes_sent();
   out.attempts = joiner.attempts();
   out.conflicts = joiner.conflicts();
+  const core::ProbeSchedule& schedule = joiner.config().schedule;
+  out.uniform_schedule = schedule.is_uniform();
+  out.uniform_r = out.uniform_schedule ? schedule.uniform_r() : 0.0;
+  out.model_listening = joiner.model_listening();
   out.waiting_time = joiner.waiting_time();
   out.elapsed = joiner.finish_time() - start;
   out.collision_detected = joiner.collision_detected();

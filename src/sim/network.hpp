@@ -69,11 +69,26 @@ struct RunResult {
   bool collision_detected = false;
   double detection_latency = 0.0;
 
+  /// Model-accounted listening time, taken from the host's configured
+  /// schedule (one source of truth — callers no longer pass r): for
+  /// uniform schedules RunResult reconstructs probes_sent * (r + c) with
+  /// the historical arithmetic, for non-uniform ones the host accumulates
+  /// each sent probe's full window.
+  bool uniform_schedule = true;
+  double uniform_r = 0.0;        ///< the schedule's r when uniform
+  double model_listening = 0.0;  ///< summed windows when non-uniform
+
   /// The paper's cost of this run under model accounting: every probe is
-  /// charged a full listening period r plus postage c, a collision costs E.
-  [[nodiscard]] double model_cost(double r, double probe_cost,
+  /// charged its full listening window plus postage c, a collision costs
+  /// E. The listening periods come from the schedule the run was
+  /// configured with.
+  [[nodiscard]] double model_cost(double probe_cost,
                                   double error_cost) const {
-    return static_cast<double>(probes_sent) * (r + probe_cost) +
+    if (uniform_schedule)
+      return static_cast<double>(probes_sent) * (uniform_r + probe_cost) +
+             (collision ? error_cost : 0.0);
+    return model_listening +
+           static_cast<double>(probes_sent) * probe_cost +
            (collision ? error_cost : 0.0);
   }
 

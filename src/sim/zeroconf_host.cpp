@@ -1,10 +1,30 @@
 #include "sim/zeroconf_host.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <utility>
 
 #include "common/contract.hpp"
 
 namespace zc::sim {
+
+void ZeroconfConfig::validate() const {
+  // The model-faithful r = 0 limit is legal in the simulator (a zero
+  // window expires immediately), so mirror the analytic evaluators'
+  // allow_zero_r relaxation.
+  schedule.validate(/*allow_zero_r=*/true);
+  ZC_REQUIRE(std::isfinite(probe_wait_max) && probe_wait_max >= 0.0,
+             "ZeroconfConfig.probe_wait_max must be finite and >= 0");
+  ZC_REQUIRE(rate_limit_threshold >= 1,
+             "ZeroconfConfig.rate_limit_threshold must be >= 1");
+  ZC_REQUIRE(std::isfinite(rate_limit_delay) && rate_limit_delay >= 0.0,
+             "ZeroconfConfig.rate_limit_delay must be finite and >= 0");
+  ZC_REQUIRE(std::isfinite(announce_interval) && announce_interval >= 0.0,
+             "ZeroconfConfig.announce_interval must be finite and >= 0");
+  // max_attempts / max_probes: the full unsigned range is valid (0 =
+  // unbounded; small caps deliberately force aborts), so there is
+  // nothing to reject.
+}
 
 ZeroconfHost::ZeroconfHost(Simulator& sim, Medium& medium,
                            Address address_space, ZeroconfConfig config,
@@ -12,13 +32,11 @@ ZeroconfHost::ZeroconfHost(Simulator& sim, Medium& medium,
     : sim_(sim),
       medium_(medium),
       address_space_(address_space),
-      config_(config),
+      config_(std::move(config)),
       rng_(rng),
       on_done_(std::move(on_done)) {
   ZC_EXPECTS(address_space_ >= 1);
-  ZC_EXPECTS(config_.n >= 1);
-  ZC_EXPECTS(config_.r >= 0.0);
-  ZC_EXPECTS(config_.probe_wait_max >= 0.0);
+  config_.validate();
   id_ = medium_.attach([this](const Packet& p) { on_packet(p); });
 }
 
@@ -99,12 +117,17 @@ void ZeroconfHost::send_probe() {
   ++probes_sent_;
   medium_.broadcast(ArpProbe{candidate_, id_});
   period_start_ = sim_.now();
-  period_timer_ = sim_.schedule(config_.r, [this] { on_period_end(); });
+  const double window = config_.schedule.timeout(probes_this_attempt_);
+  // Model accounting charges the full window per sent probe. The uniform
+  // case is reconstructed as probes_sent * r at result time (bit-exact
+  // historical arithmetic), so only non-uniform schedules accumulate.
+  if (!config_.schedule.is_uniform()) model_listening_ += window;
+  period_timer_ = sim_.schedule(window, [this] { on_period_end(); });
 }
 
 void ZeroconfHost::on_period_end() {
   waiting_time_ += sim_.now() - period_start_;
-  if (probes_this_attempt_ < config_.n) {
+  if (probes_this_attempt_ < config_.schedule.n()) {
     send_probe();
   } else {
     claim();

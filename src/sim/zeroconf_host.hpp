@@ -2,10 +2,12 @@
 
 /// \file zeroconf_host.hpp
 /// The configuring host's state machine, following the Internet-Draft [2]
-/// (Sec. 2): pick a random candidate address, send up to n ARP probes r
-/// seconds apart, abort and restart with a fresh candidate on any
-/// conflicting reply (or on a conflicting simultaneous probe), claim the
-/// address after n silent listening periods.
+/// (Sec. 2): pick a random candidate address, send up to n ARP probes —
+/// probe i followed by its own listening window r_i from the configured
+/// ProbeSchedule (the draft's uniform r is the default) — abort and
+/// restart with a fresh candidate on any conflicting reply (or on a
+/// conflicting simultaneous probe), claim the address after n silent
+/// listening periods.
 ///
 /// Includes the details the paper's model abstracts away (Sec. 3.1):
 ///  (a) optionally avoid re-trying addresses that already failed,
@@ -16,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/schedule.hpp"
 #include "prob/delay.hpp"
 #include "prob/rng.hpp"
 #include "sim/medium.hpp"
@@ -24,8 +27,12 @@ namespace zc::sim {
 
 /// Protocol configuration for a joining host.
 struct ZeroconfConfig {
-  unsigned n = 4;   ///< number of probes per attempt
-  double r = 2.0;   ///< listening period after each probe, seconds
+  /// Per-probe listening windows: probe i listens for schedule.timeout(i)
+  /// seconds; the probe count per attempt is schedule.n(). Defaults to
+  /// the draft's uniform(4, 2 s); the uniform case stays allocation-free
+  /// (copying a uniform schedule copies no heap storage) so pooled trial
+  /// loops keep their zero-allocation steady state.
+  core::ProbeSchedule schedule;
 
   /// Draft PROBE_WAIT: a uniform random delay in [0, probe_wait_max]
   /// before the first probe of each attempt, desynchronizing hosts that
@@ -61,9 +68,22 @@ struct ZeroconfConfig {
   /// Runaway-run safeguards for adversarial scenarios (e.g. every address
   /// appears taken): instead of looping forever, the host gives up with
   /// Outcome::aborted before starting attempt `max_attempts + 1` or
-  /// sending probe `max_probes + 1`. 0 = unbounded (model-faithful).
+  /// sending probe `max_probes + 1`. 0 = unbounded (model-faithful); any
+  /// other value is valid — deliberately capping below schedule.n()
+  /// forces mid-attempt aborts and is how the hostile-regime tests
+  /// exercise the abort path, so validate() imposes no coupling between
+  /// the caps and the schedule.
   unsigned max_attempts = 0;
   unsigned max_probes = 0;
+
+  /// The one place the config's domain checks live, mirroring
+  /// ProtocolParams::validate: the schedule must be well-formed (n >= 1,
+  /// finite timeouts >= 0 — the model-faithful r = 0 limit is allowed
+  /// here), the wait/delay knobs finite and non-negative, and the rate
+  /// limiter's threshold >= 1. Throws zc::ContractViolation naming the
+  /// offending field. Called at host construction, i.e. on every network
+  /// join.
+  void validate() const;
 };
 
 /// Terminal state of a configuration run.
@@ -114,6 +134,18 @@ class ZeroconfHost {
   [[nodiscard]] unsigned conflicts() const noexcept { return conflicts_; }
   /// Wall-clock spent listening (partial periods counted as elapsed).
   [[nodiscard]] double waiting_time() const noexcept { return waiting_time_; }
+  /// Listening time under *model* accounting: every sent probe is charged
+  /// its full window from the schedule, whether or not a reply cut it
+  /// short. Maintained only for non-uniform schedules (the uniform case
+  /// is reconstructed as probes_sent * r by RunResult::model_cost,
+  /// preserving the historical arithmetic bit-for-bit).
+  [[nodiscard]] double model_listening() const noexcept {
+    return model_listening_;
+  }
+  /// The configuration this host runs (source of truth for the schedule).
+  [[nodiscard]] const ZeroconfConfig& config() const noexcept {
+    return config_;
+  }
   /// Simulation time of configuration completion.
   [[nodiscard]] double finish_time() const noexcept { return finish_time_; }
 
@@ -157,6 +189,7 @@ class ZeroconfHost {
   unsigned attempts_ = 0;
   unsigned conflicts_ = 0;
   double waiting_time_ = 0.0;
+  double model_listening_ = 0.0;
   double period_start_ = 0.0;
   double finish_time_ = 0.0;
   unsigned announcements_sent_ = 0;

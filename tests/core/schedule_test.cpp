@@ -1,0 +1,305 @@
+/// ProbeSchedule semantics and the uniform bit-compatibility contract:
+/// a uniform schedule must reproduce the historical (n, r) arithmetic
+/// exactly — analytic values, DRM matrices, distributions, and surface
+/// columns — while the non-uniform families agree with the numeric DRM
+/// cross-check and round-trip through their generator recipes.
+
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "core/cost.hpp"
+#include "core/cost_surface.hpp"
+#include "core/distribution.hpp"
+#include "core/no_answer.hpp"
+#include "core/optimize.hpp"
+#include "core/params.hpp"
+#include "core/reliability.hpp"
+#include "core/scenarios.hpp"
+
+namespace {
+
+using namespace zc::core;
+
+ScenarioParams lossy_scenario() {
+  // Exaggerated loss so collision probabilities are well away from the
+  // underflow floor and differences between schedules are measurable.
+  return {0.25, 1.0, 500.0, zc::prob::paper_reply_delay(0.4, 2.0, 0.1)};
+}
+
+TEST(ProbeSchedule, UniformFactoryAndAccessors) {
+  const ProbeSchedule s = ProbeSchedule::uniform(4, 2.0);
+  EXPECT_TRUE(s.is_uniform());
+  EXPECT_EQ(s.family(), ScheduleFamily::uniform);
+  EXPECT_EQ(s.n(), 4u);
+  EXPECT_DOUBLE_EQ(s.uniform_r(), 2.0);
+  for (unsigned i = 1; i <= 4; ++i) EXPECT_DOUBLE_EQ(s.timeout(i), 2.0);
+  EXPECT_DOUBLE_EQ(s.total_listening(), 8.0);
+  EXPECT_EQ(s.to_vector(), (std::vector<double>{2.0, 2.0, 2.0, 2.0}));
+}
+
+TEST(ProbeSchedule, DefaultMatchesProtocolParamsDefault) {
+  const ProbeSchedule s;
+  const ProtocolParams p;
+  EXPECT_EQ(s.n(), p.n);
+  EXPECT_DOUBLE_EQ(s.uniform_r(), p.r);
+  EXPECT_EQ(s, p.schedule());
+}
+
+TEST(ProbeSchedule, UniformCumulativeUsesMultiplicationNotSummation) {
+  // 0.1 is not exactly representable: i * 0.1 and 0.1 + ... + 0.1
+  // disagree in the last bits for some i. The contract is i * r.
+  const ProbeSchedule s = ProbeSchedule::uniform(10, 0.1);
+  for (unsigned i = 1; i <= 10; ++i)
+    EXPECT_EQ(s.cumulative(i), static_cast<double>(i) * 0.1) << i;
+}
+
+TEST(ProbeSchedule, GeometricMaterializesIteratively) {
+  const ProbeSchedule s = ProbeSchedule::geometric(4, 1.0, 0.5);
+  EXPECT_FALSE(s.is_uniform());
+  EXPECT_DOUBLE_EQ(s.timeout(1), 1.0);
+  EXPECT_DOUBLE_EQ(s.timeout(2), 0.5);
+  EXPECT_DOUBLE_EQ(s.timeout(3), 0.25);
+  EXPECT_DOUBLE_EQ(s.timeout(4), 0.125);
+  EXPECT_DOUBLE_EQ(s.cumulative(4), 1.875);
+  EXPECT_DOUBLE_EQ(s.cumulative(0), 0.0);
+}
+
+TEST(ProbeSchedule, LinearAndCustomFamilies) {
+  const ProbeSchedule lin = ProbeSchedule::linear(3, 1.0, 0.5);
+  EXPECT_EQ(lin.to_vector(), (std::vector<double>{1.0, 1.5, 2.0}));
+  const ProbeSchedule custom =
+      ProbeSchedule::from_timeouts({0.5, 2.0, 0.25});
+  EXPECT_EQ(custom.family(), ScheduleFamily::custom);
+  EXPECT_EQ(custom.n(), 3u);
+  EXPECT_DOUBLE_EQ(custom.cumulative(3), 2.75);
+}
+
+TEST(ProbeSchedule, RestoreRoundTripsEveryFamily) {
+  const ProbeSchedule originals[] = {
+      ProbeSchedule::uniform(4, 2.0),
+      ProbeSchedule::geometric(5, 0.7, 1.3),
+      ProbeSchedule::linear(3, 0.2, 0.05),
+      ProbeSchedule::from_timeouts({0.5, 2.0, 0.25}),
+  };
+  for (const ProbeSchedule& s : originals) {
+    const ProbeSchedule restored = ProbeSchedule::restore(
+        s.family(), s.n(), s.r0(), s.factor(), s.step(), s.to_vector());
+    EXPECT_EQ(restored, s) << s.describe();
+    // Bitwise: regenerated timeouts are the identical doubles.
+    for (unsigned i = 1; i <= s.n(); ++i)
+      EXPECT_EQ(restored.timeout(i), s.timeout(i));
+  }
+}
+
+TEST(ProbeSchedule, FamilyNamesRoundTrip) {
+  for (const ScheduleFamily family :
+       {ScheduleFamily::uniform, ScheduleFamily::geometric,
+        ScheduleFamily::linear, ScheduleFamily::custom}) {
+    ScheduleFamily parsed{};
+    ASSERT_TRUE(schedule_family_from_string(to_string(family), parsed));
+    EXPECT_EQ(parsed, family);
+  }
+  ScheduleFamily parsed{};
+  EXPECT_FALSE(schedule_family_from_string("fibonacci", parsed));
+}
+
+TEST(ProbeSchedule, ValidateRejectsBadSchedules) {
+  EXPECT_THROW(ProbeSchedule::uniform(0, 2.0).validate(),
+               zc::ContractViolation);
+  EXPECT_THROW(ProbeSchedule::uniform(4, 0.0).validate(),
+               zc::ContractViolation);
+  EXPECT_NO_THROW(
+      ProbeSchedule::uniform(4, 0.0).validate(/*allow_zero_r=*/true));
+  EXPECT_THROW(ProbeSchedule::uniform(4, -1.0).validate(
+                   /*allow_zero_r=*/true),
+               zc::ContractViolation);
+  EXPECT_THROW(ProbeSchedule::geometric(4, 1.0, 0.0).validate(),
+               zc::ContractViolation);
+  // Linear with a negative step overshooting zero: r_3 = -0.5.
+  EXPECT_THROW(ProbeSchedule::linear(3, 1.0, -0.75).validate(),
+               zc::ContractViolation);
+  EXPECT_THROW(ProbeSchedule::from_timeouts({1.0, -0.5}).validate(),
+               zc::ContractViolation);
+  EXPECT_THROW(ProbeSchedule::from_timeouts({}).validate(),
+               zc::ContractViolation);
+  EXPECT_NO_THROW(ProbeSchedule::geometric(6, 0.5, 1.5).validate());
+}
+
+// ---------------------------------------------------------------------------
+// Uniform bit-compatibility: every schedule overload must reproduce the
+// historical (n, r) path exactly (EXPECT_EQ on doubles, not near).
+
+TEST(ScheduleBitCompat, AnalyticEvaluatorsMatchUniformExactly) {
+  const ScenarioParams scenario = lossy_scenario();
+  for (const double r : {0.1, 0.5, 2.0}) {
+    for (const unsigned n : {1u, 3u, 7u}) {
+      const ProtocolParams params{n, r};
+      const ProbeSchedule sched = ProbeSchedule::uniform(n, r);
+      EXPECT_EQ(mean_cost(scenario, sched), mean_cost(scenario, params));
+      EXPECT_EQ(error_probability(scenario, sched),
+                error_probability(scenario, params));
+      EXPECT_EQ(log10_error_probability(scenario, sched),
+                log10_error_probability(scenario, params));
+      EXPECT_EQ(mean_cost_numeric(scenario, sched),
+                mean_cost_numeric(scenario, params));
+      EXPECT_EQ(error_probability_numeric(scenario, sched),
+                error_probability_numeric(scenario, params));
+      EXPECT_EQ(cost_variance(scenario, sched),
+                cost_variance(scenario, params));
+      EXPECT_EQ(mean_waiting_time(scenario, sched),
+                mean_waiting_time(scenario, params));
+      EXPECT_EQ(mean_address_attempts(scenario, sched),
+                mean_address_attempts(scenario, params));
+    }
+  }
+}
+
+TEST(ScheduleBitCompat, PiValuesMatchUniformExactly) {
+  const auto fx = lossy_scenario().reply_delay_ptr();
+  const ProbeSchedule sched = ProbeSchedule::uniform(5, 0.7);
+  const std::vector<double> via_schedule = pi_values(*fx, sched);
+  const std::vector<double> via_params = pi_values(*fx, 5, 0.7);
+  ASSERT_EQ(via_schedule.size(), via_params.size());
+  for (std::size_t i = 0; i < via_params.size(); ++i)
+    EXPECT_EQ(via_schedule[i], via_params[i]) << i;
+}
+
+TEST(ScheduleBitCompat, SurfaceColumnsMatchUniformExactly) {
+  const ScenarioParams scenario = lossy_scenario();
+  const CostSurface surface(scenario, 6);
+  const ProbeSchedule sched = ProbeSchedule::uniform(6, 0.8);
+  const std::vector<double> cost_u = surface.cost_column(0.8);
+  const std::vector<double> cost_s = surface.cost_column(sched);
+  const std::vector<double> err_u = surface.error_column(0.8);
+  const std::vector<double> err_s = surface.error_column(sched);
+  ASSERT_EQ(cost_s.size(), cost_u.size());
+  for (std::size_t i = 0; i < cost_u.size(); ++i) {
+    EXPECT_EQ(cost_s[i], cost_u[i]) << i;
+    EXPECT_EQ(err_s[i], err_u[i]) << i;
+  }
+  EXPECT_EQ(surface.cost_at(sched), cost_u.back());
+  EXPECT_EQ(surface.error_at(sched), err_u.back());
+}
+
+TEST(ScheduleBitCompat, DistributionDelegatesForUniform) {
+  const ScenarioParams scenario = lossy_scenario();
+  const CostDistribution via_params(scenario, ProtocolParams{3, 0.5});
+  const CostDistribution via_schedule(scenario,
+                                      ProbeSchedule::uniform(3, 0.5));
+  EXPECT_TRUE(via_schedule.has_cost_lattice());
+  EXPECT_EQ(via_schedule.mean(), via_params.mean());
+  EXPECT_EQ(via_schedule.variance(), via_params.variance());
+  EXPECT_EQ(via_schedule.error_probability(), via_params.error_probability());
+  EXPECT_EQ(via_schedule.quantile(0.99), via_params.quantile(0.99));
+}
+
+// ---------------------------------------------------------------------------
+// Non-uniform correctness: closed forms vs the numeric DRM cross-check.
+
+TEST(ScheduleEvaluators, NonUniformAnalyticAgreesWithDrm) {
+  const ScenarioParams scenario = lossy_scenario();
+  const ProbeSchedule schedules[] = {
+      ProbeSchedule::geometric(4, 1.0, 0.5),
+      ProbeSchedule::geometric(3, 0.25, 2.0),
+      ProbeSchedule::linear(5, 0.2, 0.15),
+      ProbeSchedule::from_timeouts({0.5, 2.0, 0.25}),
+  };
+  for (const ProbeSchedule& sched : schedules) {
+    const double analytic = mean_cost(scenario, sched);
+    const double numeric = mean_cost_numeric(scenario, sched);
+    EXPECT_NEAR(analytic, numeric, 1e-9 * analytic) << sched.describe();
+    const double err = error_probability(scenario, sched);
+    const double err_numeric = error_probability_numeric(scenario, sched);
+    EXPECT_NEAR(err, err_numeric, 1e-12 + 1e-9 * err) << sched.describe();
+  }
+}
+
+TEST(ScheduleEvaluators, NonUniformDistributionMomentsMatchDrm) {
+  const ScenarioParams scenario = lossy_scenario();
+  const ProbeSchedule sched = ProbeSchedule::geometric(4, 1.0, 0.5);
+  const CostDistribution dist(scenario, sched);
+  EXPECT_FALSE(dist.has_cost_lattice());
+  EXPECT_NEAR(dist.mean(), mean_cost(scenario, sched),
+              1e-9 * dist.mean());
+  EXPECT_NEAR(dist.variance(), cost_variance(scenario, sched),
+              1e-6 * dist.variance());
+  EXPECT_NEAR(dist.error_probability(), error_probability(scenario, sched),
+              1e-12);
+  EXPECT_NEAR(dist.mean_given_ok(), mean_cost_given_ok(scenario, sched),
+              1e-9 * dist.mean_given_ok());
+}
+
+TEST(ScheduleEvaluators, NonUniformSurfaceColumnMatchesPrefixEvaluation) {
+  const ScenarioParams scenario = lossy_scenario();
+  const ProbeSchedule sched = ProbeSchedule::geometric(5, 1.0, 0.6);
+  const CostSurface surface(scenario, 5);
+  const std::vector<double> costs = surface.cost_column(sched);
+  const std::vector<double> errors = surface.error_column(sched);
+  ASSERT_EQ(costs.size(), 5u);
+  std::vector<double> prefix;
+  for (unsigned m = 1; m <= 5; ++m) {
+    prefix.clear();
+    for (unsigned i = 1; i <= m; ++i) prefix.push_back(sched.timeout(i));
+    const ProbeSchedule p = ProbeSchedule::from_timeouts(prefix);
+    EXPECT_EQ(costs[m - 1], mean_cost(scenario, p)) << m;
+    EXPECT_EQ(errors[m - 1], error_probability(scenario, p)) << m;
+  }
+}
+
+TEST(ScheduleOptimizer, NeutralShapeNeverLosesToUniformScan) {
+  const ScenarioParams scenario = lossy_scenario();
+  ScheduleOptOptions opts;
+  opts.r0_points = 48;
+  opts.shape_points = 9;
+  const ScheduleOptimum uniform =
+      optimal_schedule(scenario, ScheduleFamily::uniform, 4, opts);
+  const ScheduleOptimum geometric =
+      optimal_schedule(scenario, ScheduleFamily::geometric, 4, opts);
+  ASSERT_TRUE(uniform.feasible);
+  ASSERT_TRUE(geometric.feasible);
+  // The neutral factor = 1 column is injected into the geometric scan,
+  // so the family can never do worse than uniform on the same grid.
+  EXPECT_LE(geometric.cost, uniform.cost);
+}
+
+TEST(ScheduleOptimizer, ErrorConstraintFavorsFrontLoadedSchedules) {
+  const ScenarioParams scenario = lossy_scenario();
+  ScheduleOptOptions opts;
+  opts.r0_points = 64;
+  opts.shape_points = 17;
+  const ScheduleOptimum uniform =
+      optimal_schedule(scenario, ScheduleFamily::uniform, 4, opts);
+  ASSERT_TRUE(uniform.feasible);
+  // Matched error probability: only schedules at least as reliable as
+  // the uniform optimum compete.
+  opts.max_error_probability = uniform.error_prob;
+  const ScheduleOptimum geometric =
+      optimal_schedule(scenario, ScheduleFamily::geometric, 4, opts);
+  ASSERT_TRUE(geometric.feasible);
+  EXPECT_LE(geometric.error_prob, uniform.error_prob);
+  EXPECT_LE(geometric.cost, uniform.cost);
+}
+
+TEST(ScheduleOptimizer, DeterministicAcrossThreadCounts) {
+  const ScenarioParams scenario = lossy_scenario();
+  ScheduleOptOptions serial;
+  serial.r0_points = 32;
+  serial.shape_points = 9;
+  serial.exec.threads = 1;
+  ScheduleOptOptions parallel = serial;
+  parallel.exec.threads = 8;
+  const ScheduleOptimum a =
+      optimal_schedule(scenario, ScheduleFamily::linear, 3, serial);
+  const ScheduleOptimum b =
+      optimal_schedule(scenario, ScheduleFamily::linear, 3, parallel);
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_EQ(a.cost, b.cost);  // bitwise
+  EXPECT_EQ(a.error_prob, b.error_prob);
+}
+
+}  // namespace

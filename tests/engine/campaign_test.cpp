@@ -123,8 +123,7 @@ TEST(Campaign, MonteCarloCellsMatchTheDirectSimulation) {
   network.hosts = 30;
   network.responder_delay = s.reply_delay_ptr();
   sim::ZeroconfConfig protocol;
-  protocol.n = point.n;
-  protocol.r = point.r;
+  protocol.schedule = core::ProbeSchedule::uniform(point.n, point.r);
   sim::MonteCarloOptions mc;
   mc.trials = 400;
   mc.seed = 7;

@@ -1,0 +1,286 @@
+/// Schedule cells in the engine: evaluate/Monte-Carlo campaigns with
+/// per-probe schedules, report-JSON round-trips through the journal,
+/// resume-digest sensitivity to every schedule knob, and kill-and-resume
+/// byte identity at 1 and 8 worker threads.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "core/cost.hpp"
+#include "core/reliability.hpp"
+#include "core/scenarios.hpp"
+#include "engine/campaign.hpp"
+#include "engine/journal.hpp"
+#include "engine/spec.hpp"
+#include "obs/json.hpp"
+#include "prob/delay.hpp"
+
+namespace {
+
+using namespace zc;
+using engine::CampaignOptions;
+using engine::CampaignResult;
+using engine::CampaignRunner;
+using engine::CellResult;
+using engine::Estimator;
+using engine::ExperimentResult;
+using engine::ExperimentSpec;
+using engine::SpecBuilder;
+
+core::ScenarioParams scenario() {
+  return core::scenarios::figure2().to_params();
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(ScheduleCells, EvaluateAppendsScheduleCellsAfterTheGrid) {
+  const core::ScenarioParams s = scenario();
+  const core::ProbeSchedule geo = core::ProbeSchedule::geometric(4, 1.0, 0.5);
+  CampaignRunner runner;
+  const ExperimentResult result =
+      runner.run_one(SpecBuilder("mixed", s)
+                         .protocol_grid({2, 4}, {0.5, 2.0})
+                         .schedule(geo)
+                         .build());
+  ASSERT_EQ(result.cells.size(), 5u);  // 4 grid cells + 1 schedule cell
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_FALSE(result.cells[i].has_schedule) << i;
+  const CellResult& cell = result.cells[4];
+  ASSERT_TRUE(cell.has_schedule);
+  EXPECT_EQ(cell.schedule, geo);
+  EXPECT_EQ(cell.protocol.n, 4u);
+  EXPECT_DOUBLE_EQ(cell.protocol.r, 1.0);  // r_1
+  EXPECT_EQ(cell.mean_cost, core::mean_cost(s, geo));
+  EXPECT_EQ(cell.error_probability, core::error_probability(s, geo));
+}
+
+TEST(ScheduleCells, UniformScheduleCellEqualsGridPointBitwise) {
+  const core::ScenarioParams s = scenario();
+  CampaignRunner runner;
+  const ExperimentResult result =
+      runner.run_one(SpecBuilder("uniform-pair", s)
+                         .protocol({3, 0.8})
+                         .schedule(core::ProbeSchedule::uniform(3, 0.8))
+                         .detailed()
+                         .build());
+  ASSERT_EQ(result.cells.size(), 2u);
+  const CellResult& grid = result.cells[0];
+  const CellResult& sched = result.cells[1];
+  EXPECT_EQ(sched.mean_cost, grid.mean_cost);
+  EXPECT_EQ(sched.error_probability, grid.error_probability);
+  EXPECT_EQ(sched.cost_stddev, grid.cost_stddev);
+  EXPECT_EQ(sched.mean_waiting_time, grid.mean_waiting_time);
+  EXPECT_EQ(sched.mean_attempts, grid.mean_attempts);
+}
+
+TEST(ScheduleCells, MonteCarloScheduleCellsRunAfterTheGrid) {
+  const core::ScenarioParams s(0.3, 2.0, 1000.0,
+                               prob::paper_reply_delay(0.1, 10.0, 0.05));
+  CampaignRunner runner;
+  const ExperimentResult result = runner.run_one(
+      SpecBuilder("mc-sched", s)
+          .protocol({3, 0.5})
+          .schedule(core::ProbeSchedule::from_timeouts({0.5, 0.25, 0.125}))
+          .estimator(Estimator::monte_carlo)
+          .network(100, 30)
+          .trials(200)
+          .seed(17)
+          .build());
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_FALSE(result.cells[0].has_schedule);
+  ASSERT_TRUE(result.cells[1].has_schedule);
+  EXPECT_TRUE(result.cells[1].from_simulation);
+  EXPECT_EQ(result.cells[1].trials, 200u);
+  EXPECT_GT(result.cells[1].mean_cost, 0.0);
+}
+
+TEST(ScheduleCells, ReportJsonRoundTripsThroughTheJournalByteExactly) {
+  const core::ScenarioParams s(0.3, 2.0, 1000.0,
+                               prob::paper_reply_delay(0.1, 10.0, 0.05));
+  CampaignRunner runner;
+  for (const ExperimentSpec& spec :
+       {SpecBuilder("eval-sched", scenario())
+            .schedule(core::ProbeSchedule::geometric(4, 1.0, 0.5))
+            .schedule(core::ProbeSchedule::linear(3, 0.2, 0.1))
+            .schedule(core::ProbeSchedule::from_timeouts({0.7, 0.3}))
+            .schedule(core::ProbeSchedule::uniform(4, 2.0))
+            .detailed()
+            .build(),
+        SpecBuilder("mc-sched", s)
+            .schedule(core::ProbeSchedule::geometric(3, 0.4, 0.5))
+            .estimator(Estimator::monte_carlo)
+            .network(100, 30)
+            .trials(100)
+            .seed(5)
+            .build()}) {
+    const ExperimentResult original = runner.run_one(spec);
+    const auto reparsed =
+        obs::parse_json(engine::journal_record(0, original).dump_compact());
+    ASSERT_TRUE(reparsed.has_value()) << spec.name;
+    const ExperimentResult restored = engine::result_from_journal(*reparsed);
+    EXPECT_EQ(restored.to_json().dump(), original.to_json().dump())
+        << spec.name;
+    // The restored schedule regenerates the identical timeout doubles.
+    for (std::size_t i = 0; i < original.cells.size(); ++i) {
+      ASSERT_TRUE(restored.cells[i].has_schedule);
+      EXPECT_EQ(restored.cells[i].schedule, original.cells[i].schedule);
+    }
+  }
+}
+
+TEST(ScheduleDigest, SensitiveToEveryScheduleKnob) {
+  const core::ScenarioParams s = scenario();
+  const auto build = [&s](core::ProbeSchedule sched) {
+    return std::vector<ExperimentSpec>{
+        SpecBuilder("sched", s).schedule(std::move(sched)).build()};
+  };
+  const auto base = build(core::ProbeSchedule::geometric(4, 1.0, 0.5));
+  const std::string digest = engine::spec_list_digest(base);
+
+  // Generator parameters.
+  EXPECT_NE(engine::spec_list_digest(
+                build(core::ProbeSchedule::geometric(4, 1.0, 0.5000000001))),
+            digest);
+  EXPECT_NE(engine::spec_list_digest(
+                build(core::ProbeSchedule::geometric(4, 1.0000000001, 0.5))),
+            digest);
+  EXPECT_NE(engine::spec_list_digest(
+                build(core::ProbeSchedule::geometric(5, 1.0, 0.5))),
+            digest);
+  // A custom vector with the same timeouts is a different recipe.
+  EXPECT_NE(engine::spec_list_digest(build(core::ProbeSchedule::from_timeouts(
+                core::ProbeSchedule::geometric(4, 1.0, 0.5).to_vector()))),
+            digest);
+  // One timeout of a custom schedule, by one ulp.
+  const auto custom = build(core::ProbeSchedule::from_timeouts({0.5, 2.0}));
+  const std::string custom_digest = engine::spec_list_digest(custom);
+  EXPECT_NE(engine::spec_list_digest(build(core::ProbeSchedule::from_timeouts(
+                {0.5, 2.0000000000000004}))),
+            custom_digest);
+  // Appending a schedule to an existing spec changes the digest.
+  auto extended = base;
+  extended[0].schedules.push_back(core::ProbeSchedule::uniform(4, 2.0));
+  EXPECT_NE(engine::spec_list_digest(extended), digest);
+  // Schedule-free spec lists are unaffected by the schedule section.
+  const std::vector<ExperimentSpec> plain{
+      SpecBuilder("plain", s).protocol({2, 1.0}).build()};
+  EXPECT_EQ(engine::spec_list_digest(plain), engine::spec_list_digest(plain));
+}
+
+/// A schedule-heavy Monte-Carlo campaign, rebuilt fresh per call the way
+/// a resuming process would.
+std::vector<ExperimentSpec> schedule_campaign() {
+  const core::ScenarioParams s(0.3, 2.0, 1000.0,
+                               prob::paper_reply_delay(0.1, 10.0, 0.05));
+  std::vector<ExperimentSpec> specs;
+  for (unsigned i = 0; i < 12; ++i) {
+    SpecBuilder builder("sched-" + std::to_string(i), s);
+    builder.protocol({2 + i % 3, 0.25 + 0.25 * (i % 2)});
+    switch (i % 3) {
+      case 0:
+        builder.schedule(
+            core::ProbeSchedule::geometric(3, 0.5 + 0.1 * i, 0.5));
+        break;
+      case 1:
+        builder.schedule(core::ProbeSchedule::linear(3, 0.2, 0.05 * i));
+        break;
+      default:
+        builder.schedule(core::ProbeSchedule::from_timeouts(
+            {0.5, 0.25 + 0.01 * i, 0.75}));
+        break;
+    }
+    specs.push_back(builder.estimator(Estimator::monte_carlo)
+                        .network(100, 30)
+                        .trials(50)
+                        .seed(2000 + i)
+                        .build());
+  }
+  return specs;
+}
+
+struct Artifacts {
+  std::string report;
+  std::string csv;
+};
+
+Artifacts artifacts_of(const CampaignResult& campaign) {
+  Artifacts out;
+  out.report =
+      campaign.report("sched-golden", "schedule resume").to_json().dump();
+  const std::string csv_path = temp_path("zc_sched_resume.csv");
+  EXPECT_TRUE(engine::write_campaign_csv(campaign, csv_path));
+  out.csv = slurp(csv_path);
+  std::remove(csv_path.c_str());
+  return out;
+}
+
+TEST(ScheduleResume, KilledScheduleCampaignResumesByteIdentically) {
+  const std::string journal = temp_path("zc_sched_resume.jsonl");
+
+  CampaignOptions golden_opts;
+  golden_opts.threads = 1;
+  golden_opts.journal_path = journal;
+  CampaignRunner golden_runner(golden_opts);
+  const Artifacts golden =
+      artifacts_of(golden_runner.run(schedule_campaign()));
+  const std::string full_journal = slurp(journal);
+
+  // Keep the header plus the first 5 records — a crash lost the rest.
+  std::size_t offset = full_journal.find('\n') + 1;
+  for (int i = 0; i < 5; ++i) offset = full_journal.find('\n', offset) + 1;
+
+  for (const unsigned threads : {1u, 8u}) {
+    spit(journal, full_journal.substr(0, offset));
+    CampaignOptions opts;
+    opts.threads = threads;
+    CampaignRunner runner(opts);
+    const CampaignResult resumed =
+        runner.resume(schedule_campaign(), journal);
+    EXPECT_TRUE(resumed.complete) << threads;
+    const Artifacts replayed = artifacts_of(resumed);
+    EXPECT_EQ(replayed.report, golden.report) << threads;
+    EXPECT_EQ(replayed.csv, golden.csv) << threads;
+  }
+
+  // A stale journal — one schedule timeout nudged by an ulp — is refused.
+  spit(journal, full_journal.substr(0, offset));
+  std::vector<ExperimentSpec> nudged = schedule_campaign();
+  std::vector<double> timeouts = nudged[2].schedules[0].to_vector();
+  timeouts[0] = std::nextafter(timeouts[0], 2.0);
+  nudged[2].schedules[0] = core::ProbeSchedule::from_timeouts(timeouts);
+  CampaignRunner resumer;
+  EXPECT_THROW((void)resumer.resume(nudged, journal), zc::ContractViolation);
+  std::remove(journal.c_str());
+}
+
+TEST(ScheduleSpec, ValidateRejectsMalformedScheduleCells) {
+  const core::ScenarioParams s = scenario();
+  ExperimentSpec spec =
+      SpecBuilder("bad", s).schedule(core::ProbeSchedule::uniform(4, 2.0))
+          .build();
+  spec.schedules[0] = core::ProbeSchedule::uniform(4, 0.0);  // strict: r > 0
+  EXPECT_THROW(spec.validate(), zc::ContractViolation);
+  spec.schedules[0] = core::ProbeSchedule::from_timeouts({1.0, -1.0});
+  EXPECT_THROW(spec.validate(), zc::ContractViolation);
+}
+
+}  // namespace

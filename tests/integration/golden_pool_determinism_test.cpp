@@ -92,8 +92,7 @@ sim::NetworkConfig faulty_network() {
 /// sim.delivery.*, faults.*).
 std::string join_digest(unsigned threads) {
   sim::ZeroconfConfig protocol;
-  protocol.n = 3;
-  protocol.r = 1.0;
+  protocol.schedule = core::ProbeSchedule::uniform(3, 1.0);
   sim::MonteCarloOptions opts;
   opts.trials = 1200;
   opts.seed = 20260806;
@@ -122,8 +121,7 @@ std::string simultaneous_join_digest() {
   sim::NetworkConfig config = faulty_network();
   sim::Network net(config, 987654321u);
   sim::ZeroconfConfig protocol;
-  protocol.n = 3;
-  protocol.r = 1.0;
+  protocol.schedule = core::ProbeSchedule::uniform(3, 1.0);
   protocol.probe_wait_max = 0.5;
   protocol.avoid_failed_addresses = true;
   protocol.rate_limit = true;

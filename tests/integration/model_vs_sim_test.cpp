@@ -16,8 +16,7 @@ using namespace zc;
 
 sim::ZeroconfConfig make_protocol(unsigned n, double r) {
   sim::ZeroconfConfig config;
-  config.n = n;
-  config.r = r;
+  config.schedule = core::ProbeSchedule::uniform(n, r);
   return config;
 }
 

@@ -59,8 +59,7 @@ sim::NetworkConfig faulty_network() {
 
 sim::MonteCarloResults run_campaign(unsigned threads) {
   sim::ZeroconfConfig protocol;
-  protocol.n = 3;
-  protocol.r = 1.0;
+  protocol.schedule = core::ProbeSchedule::uniform(3, 1.0);
   sim::MonteCarloOptions opts;
   opts.trials = 1200;
   opts.seed = 20260806;

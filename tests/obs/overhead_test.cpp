@@ -36,8 +36,7 @@ sim::NetworkConfig small_network() {
 
 double campaign_seconds() {
   sim::ZeroconfConfig protocol;
-  protocol.n = 3;
-  protocol.r = 1.0;
+  protocol.schedule = core::ProbeSchedule::uniform(3, 1.0);
   sim::MonteCarloOptions opts;
   opts.trials = 600;
   opts.seed = 99;

@@ -135,8 +135,7 @@ NetworkConfig chaos_network() {
 
 ZeroconfConfig protocol_3_1() {
   ZeroconfConfig protocol;
-  protocol.n = 3;
-  protocol.r = 1.0;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(3, 1.0);
   return protocol;
 }
 

@@ -86,8 +86,7 @@ TEST(AllocGuard, SteadyStateTrialLoopIsAllocationFree) {
   config.responder_delay = std::shared_ptr<const prob::DelayDistribution>(
       prob::paper_reply_delay(0.1, 10.0, 0.05));
   sim::ZeroconfConfig protocol;
-  protocol.n = 4;
-  protocol.r = 0.25;
+  protocol.schedule = core::ProbeSchedule::uniform(4, 0.25);
 
   constexpr std::uint64_t kSeed = 20260808;
   sim::Network net(config, exec::split_seed(kSeed, 0));

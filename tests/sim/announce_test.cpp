@@ -21,8 +21,7 @@ struct Fixture {
 
 ZeroconfConfig announcing(unsigned n = 1, double r = 0.1) {
   ZeroconfConfig config;
-  config.n = n;
-  config.r = r;
+  config.schedule = zc::core::ProbeSchedule::uniform(n, r);
   config.announce_count = 2;
   config.announce_interval = 2.0;
   return config;
@@ -133,8 +132,7 @@ TEST(Announce, DisabledByDefault) {
   });
   for (Address a = 1; a <= 4; ++a) f.medium.subscribe(monitor, a);
   ZeroconfConfig config;  // announce_count = 0
-  config.n = 1;
-  config.r = 0.1;
+  config.schedule = zc::core::ProbeSchedule::uniform(1, 0.1);
   ZeroconfHost joiner(f.sim, f.medium, 4, config, f.rng);
   joiner.start();
   f.sim.run();

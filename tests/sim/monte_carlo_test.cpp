@@ -46,8 +46,7 @@ struct Exaggerated {
 
 TEST(MonteCarlo, CollisionRateMatchesAnalyticModel) {
   ZeroconfConfig protocol;
-  protocol.n = 2;
-  protocol.r = 0.3;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(2, 0.3);
   MonteCarloOptions opts;
   opts.trials = 20000;
   opts.seed = 1;
@@ -63,8 +62,7 @@ TEST(MonteCarlo, CollisionRateMatchesAnalyticModel) {
 
 TEST(MonteCarlo, ModelCostMatchesAnalyticModel) {
   ZeroconfConfig protocol;
-  protocol.n = 3;
-  protocol.r = 0.25;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(3, 0.25);
   MonteCarloOptions opts;
   opts.trials = 20000;
   opts.seed = 2;
@@ -81,8 +79,7 @@ TEST(MonteCarlo, ModelCostMatchesAnalyticModel) {
 
 TEST(MonteCarlo, ProbeCountMatchesAnalyticModel) {
   ZeroconfConfig protocol;
-  protocol.n = 2;
-  protocol.r = 0.2;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(2, 0.2);
   MonteCarloOptions opts;
   opts.trials = 20000;
   opts.seed = 3;
@@ -99,8 +96,7 @@ TEST(MonteCarlo, ProbeCountMatchesAnalyticModel) {
 
 TEST(MonteCarlo, AttemptCountMatchesAnalyticModel) {
   ZeroconfConfig protocol;
-  protocol.n = 2;
-  protocol.r = 0.2;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(2, 0.2);
   MonteCarloOptions opts;
   opts.trials = 20000;
   opts.seed = 4;
@@ -116,8 +112,7 @@ TEST(MonteCarlo, ElapsedCostBelowModelCost) {
   // Immediate abort on conflict makes true waiting shorter than the
   // model's full-period accounting whenever conflicts occur.
   ZeroconfConfig protocol;
-  protocol.n = 2;
-  protocol.r = 0.5;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(2, 0.5);
   MonteCarloOptions opts;
   opts.trials = 5000;
   opts.seed = 5;
@@ -130,8 +125,7 @@ TEST(MonteCarlo, ElapsedCostBelowModelCost) {
 
 TEST(MonteCarlo, WaitingTimeAtLeastNSilentPeriods) {
   ZeroconfConfig protocol;
-  protocol.n = 3;
-  protocol.r = 0.4;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(3, 0.4);
   MonteCarloOptions opts;
   opts.trials = 2000;
   opts.seed = 6;
@@ -142,8 +136,7 @@ TEST(MonteCarlo, WaitingTimeAtLeastNSilentPeriods) {
 
 TEST(MonteCarlo, DeterministicForEqualSeeds) {
   ZeroconfConfig protocol;
-  protocol.n = 2;
-  protocol.r = 0.3;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(2, 0.3);
   MonteCarloOptions opts;
   opts.trials = 500;
   opts.seed = 7;
@@ -158,8 +151,7 @@ TEST(MonteCarlo, DeterministicAcrossThreadCounts) {
   // thread count is a pure performance knob. Estimates must agree
   // *bitwise*, not just statistically.
   ZeroconfConfig protocol;
-  protocol.n = 3;
-  protocol.r = 0.3;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(3, 0.3);
   MonteCarloOptions serial;
   serial.trials = 4000;
   serial.seed = 99;
@@ -187,8 +179,7 @@ TEST(MonteCarlo, DeterministicAcrossThreadCounts) {
 
 TEST(MonteCarlo, HardwareThreadsDefaultMatchesSerial) {
   ZeroconfConfig protocol;
-  protocol.n = 2;
-  protocol.r = 0.25;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(2, 0.25);
   MonteCarloOptions opts;
   opts.trials = 1500;
   opts.seed = 123;
@@ -204,8 +195,7 @@ TEST(MonteCarlo, HardwareThreadsDefaultMatchesSerial) {
 
 TEST(MonteCarlo, CiShrinksWithTrials) {
   ZeroconfConfig protocol;
-  protocol.n = 2;
-  protocol.r = 0.3;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(2, 0.3);
   MonteCarloOptions small;
   small.trials = 500;
   small.seed = 8;
@@ -402,8 +392,7 @@ TEST(MonteCarloEdge, AllTrialsAbortedStaysFinite) {
   NetworkConfig network = Exaggerated::network();
   network.max_virtual_time = 1e-9;
   ZeroconfConfig protocol;
-  protocol.n = 3;
-  protocol.r = 1.0;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(3, 1.0);
   MonteCarloOptions opts;
   opts.trials = 50;
   opts.seed = 5;
@@ -440,8 +429,7 @@ TEST(MonteCarloEdge, AllTrialsAbortedStaysFinite) {
 
 TEST(MonteCarloEdge, ZeroCollisionCampaignHasInformativeWilsonInterval) {
   ZeroconfConfig protocol;
-  protocol.n = 3;
-  protocol.r = 1.0;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(3, 1.0);
   MonteCarloOptions opts;
   opts.trials = 300;
   opts.seed = 17;
@@ -461,8 +449,7 @@ TEST(MonteCarloEdge, ZeroCollisionCampaignHasInformativeWilsonInterval) {
 
 TEST(MonteCarloEdge, SingleCompletedTrialHasZeroVarianceUndefinedCi) {
   ZeroconfConfig protocol;
-  protocol.n = 2;
-  protocol.r = 0.5;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(2, 0.5);
   MonteCarloOptions opts;
   opts.trials = 1;
   opts.seed = 23;

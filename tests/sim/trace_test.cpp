@@ -60,8 +60,7 @@ TEST(Trace, CapturesFullProtocolRun) {
   f.medium.subscribe(monitor, 2);
   ConfiguredHost owner(f.sim, f.medium, 1, nullptr, f.rng);
   ZeroconfConfig config;
-  config.n = 2;
-  config.r = 0.5;
+  config.schedule = zc::core::ProbeSchedule::uniform(2, 0.5);
   config.avoid_failed_addresses = true;
   ZeroconfHost joiner(f.sim, f.medium, 2, config, f.rng);
   joiner.start();

@@ -18,8 +18,7 @@ struct Fixture {
 TEST(ZeroconfHost, ClaimsFreeAddressAfterNPeriods) {
   Fixture f;
   ZeroconfConfig config;
-  config.n = 4;
-  config.r = 2.0;
+  config.schedule = zc::core::ProbeSchedule::uniform(4, 2.0);
   ZeroconfHost host(f.sim, f.medium, 100, config, f.rng);
   host.start();
   f.sim.run();
@@ -35,8 +34,7 @@ TEST(ZeroconfHost, ClaimsFreeAddressAfterNPeriods) {
 TEST(ZeroconfHost, AddressWithinConfiguredSpace) {
   Fixture f;
   ZeroconfConfig config;
-  config.n = 1;
-  config.r = 0.1;
+  config.schedule = zc::core::ProbeSchedule::uniform(1, 0.1);
   ZeroconfHost host(f.sim, f.medium, 10, config, f.rng);
   host.start();
   f.sim.run();
@@ -47,8 +45,7 @@ TEST(ZeroconfHost, AddressWithinConfiguredSpace) {
 TEST(ZeroconfHost, RestartsOnConflictingReply) {
   Fixture f;
   ZeroconfConfig config;
-  config.n = 2;
-  config.r = 1.0;
+  config.schedule = zc::core::ProbeSchedule::uniform(2, 1.0);
   // One owner (responding after 0.1 s) on an address space of size 1:
   // every attempt must conflict; the host retries forever.
   const auto response = std::shared_ptr<const zc::prob::DelayDistribution>(
@@ -65,8 +62,7 @@ TEST(ZeroconfHost, RestartsOnConflictingReply) {
 TEST(ZeroconfHost, ConflictAbortsListeningImmediately) {
   Fixture f;
   ZeroconfConfig config;
-  config.n = 4;
-  config.r = 5.0;
+  config.schedule = zc::core::ProbeSchedule::uniform(4, 5.0);
   const auto response = std::shared_ptr<const zc::prob::DelayDistribution>(
       zc::prob::paper_reply_delay(0.0, 1e9, 0.2));
   ConfiguredHost owner(f.sim, f.medium, 1, response, f.rng);
@@ -83,8 +79,7 @@ TEST(ZeroconfHost, ConflictAbortsListeningImmediately) {
 TEST(ZeroconfHost, EventuallyConfiguresDespiteOccupiedAddresses) {
   Fixture f;
   ZeroconfConfig config;
-  config.n = 2;
-  config.r = 0.5;
+  config.schedule = zc::core::ProbeSchedule::uniform(2, 0.5);
   // 3 of 10 addresses taken: expect a few conflicts then success.
   std::vector<std::unique_ptr<ConfiguredHost>> owners;
   for (Address a : {1u, 2u, 3u})
@@ -100,8 +95,7 @@ TEST(ZeroconfHost, EventuallyConfiguresDespiteOccupiedAddresses) {
 TEST(ZeroconfHost, AvoidFailedAddressesNeverRetriesConflicted) {
   Fixture f;
   ZeroconfConfig config;
-  config.n = 1;
-  config.r = 0.1;
+  config.schedule = zc::core::ProbeSchedule::uniform(1, 0.1);
   config.avoid_failed_addresses = true;
   // 1 of 2 addresses taken: after the inevitable first conflict on the
   // occupied address, the host must pick the other one.
@@ -117,8 +111,7 @@ TEST(ZeroconfHost, AvoidFailedAddressesNeverRetriesConflicted) {
 TEST(ZeroconfHost, RateLimitDelaysAttemptsAfterThreshold) {
   Fixture f;
   ZeroconfConfig config;
-  config.n = 1;
-  config.r = 0.1;
+  config.schedule = zc::core::ProbeSchedule::uniform(1, 0.1);
   config.rate_limit = true;
   config.rate_limit_threshold = 2;
   config.rate_limit_delay = 60.0;
@@ -136,8 +129,7 @@ TEST(ZeroconfHost, RateLimitDelaysAttemptsAfterThreshold) {
 TEST(ZeroconfHost, ProbeConflictDetectionBetweenTwoJoiners) {
   Fixture f;
   ZeroconfConfig config;
-  config.n = 4;
-  config.r = 1.0;
+  config.schedule = zc::core::ProbeSchedule::uniform(4, 1.0);
   config.detect_probe_conflicts = true;
   config.probe_wait_max = 0.5;  // draft PROBE_WAIT desynchronizes retries
   // Address space of 1: both joiners pick the same candidate and must
@@ -153,8 +145,7 @@ TEST(ZeroconfHost, ProbeConflictDetectionBetweenTwoJoiners) {
 TEST(ZeroconfHost, ConfiguredHostDefendsItsAddress) {
   Fixture f;
   ZeroconfConfig config;
-  config.n = 1;
-  config.r = 0.5;
+  config.schedule = zc::core::ProbeSchedule::uniform(1, 0.5);
   ZeroconfHost first(f.sim, f.medium, 1, config, f.rng);
   first.start();
   f.sim.run();
@@ -173,8 +164,7 @@ TEST(ZeroconfHost, OnDoneCallbackInvokedOnce) {
   Fixture f;
   int done = 0;
   ZeroconfConfig config;
-  config.n = 2;
-  config.r = 0.25;
+  config.schedule = zc::core::ProbeSchedule::uniform(2, 0.25);
   ZeroconfHost host(f.sim, f.medium, 50, config, f.rng, [&] { ++done; });
   host.start();
   f.sim.run();
@@ -192,11 +182,11 @@ TEST(ZeroconfHost, DoubleStartRejected) {
 TEST(ZeroconfHost, InvalidConfigRejected) {
   Fixture f;
   ZeroconfConfig bad_n;
-  bad_n.n = 0;
+  bad_n.schedule = zc::core::ProbeSchedule::uniform(0, 2.0);
   EXPECT_THROW(ZeroconfHost(f.sim, f.medium, 50, bad_n, f.rng),
                zc::ContractViolation);
   ZeroconfConfig bad_r;
-  bad_r.r = -1.0;
+  bad_r.schedule = zc::core::ProbeSchedule::uniform(4, -1.0);
   EXPECT_THROW(ZeroconfHost(f.sim, f.medium, 50, bad_r, f.rng),
                zc::ContractViolation);
 }
@@ -204,8 +194,7 @@ TEST(ZeroconfHost, InvalidConfigRejected) {
 TEST(ZeroconfHost, WaitingTimeCountsFullSilentPeriods) {
   Fixture f;
   ZeroconfConfig config;
-  config.n = 3;
-  config.r = 1.5;
+  config.schedule = zc::core::ProbeSchedule::uniform(3, 1.5);
   ZeroconfHost host(f.sim, f.medium, 100, config, f.rng);
   host.start();
   f.sim.run();
