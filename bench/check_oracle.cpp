@@ -1,0 +1,122 @@
+/// CHECK-ORACLE — Throughput and self-test of the differential oracle
+/// harness: runs the fuzz-case campaign on the clean tree (expecting
+/// zero violations) at 1 thread and at hardware width, checks the
+/// byte-identical-report contract, then plants a deliberate evaluator
+/// bug through the OracleOptions hook seam and verifies the oracle
+/// catches it and the shrinker's minimal reproducer still fails. Emits
+/// BENCH_check.json with the wall times and case throughput.
+
+#include <chrono>
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "analysis/expectation.hpp"
+#include "bench_util.hpp"
+#include "check/runner.hpp"
+#include "check/shrink.hpp"
+#include "common/strings.hpp"
+#include "core/cost.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace {
+
+using namespace zc;
+using Clock = std::chrono::steady_clock;
+
+double time_ms(const std::function<void()>& work) {
+  const auto start = Clock::now();
+  work();
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace zc;
+  bench::banner("CHECK-ORACLE",
+                "differential oracle throughput + planted-bug self-test");
+
+  constexpr std::uint64_t kSeed = 1;
+  constexpr std::uint64_t kCases = 500;
+  const unsigned hardware = exec::hardware_threads();
+
+  // Clean tree, serial then wide: the acceptance campaign itself.
+  check::CheckOptions serial;
+  serial.seed = kSeed;
+  serial.cases = kCases;
+  serial.threads = 1;
+  check::CheckOptions wide = serial;
+  wide.threads = hardware;
+
+  check::CheckResult serial_result, wide_result;
+  const double serial_ms =
+      time_ms([&] { serial_result = check::run_check(serial); });
+  const double wide_ms = time_ms([&] { wide_result = check::run_check(wide); });
+  const std::string serial_bytes =
+      check::check_report(serial_result, serial).to_json().dump();
+  const std::string wide_bytes =
+      check::check_report(wide_result, wide).to_json().dump();
+
+  std::cout << "clean stream: " << kCases << " case(s), seed " << kSeed
+            << "\n  threads=1  " << format_sig(serial_ms, 4) << " ms  ("
+            << format_sig(1000.0 * static_cast<double>(kCases) / serial_ms, 4)
+            << " cases/s)\n  threads=" << hardware << "  "
+            << format_sig(wide_ms, 4) << " ms  (x"
+            << format_sig(serial_ms / wide_ms, 3) << ")\n";
+
+  // Planted bug: a relative 1e-3 bias in the mean-cost evaluator. The
+  // oracle must flag it and the shrunk reproducer must still fail.
+  check::CheckOptions planted = serial;
+  planted.cases = 64;
+  planted.oracle.mean_cost_hook = [](const core::ScenarioParams& scenario,
+                                     const core::ProbeSchedule& schedule) {
+    return core::mean_cost(scenario, schedule) * (1.0 + 1e-3);
+  };
+  check::CheckResult planted_result;
+  const double planted_ms =
+      time_ms([&] { planted_result = check::run_check(planted); });
+  bool reproducers_fail = !planted_result.failures.empty();
+  for (const check::CheckFailure& failure : planted_result.failures)
+    reproducers_fail = reproducers_fail &&
+                       check::reproduces(failure.minimal,
+                                         failure.shrunk_invariant,
+                                         planted.oracle);
+  std::cout << "planted bug: " << planted_result.failures.size() << " of "
+            << planted.cases << " case(s) flagged, "
+            << planted_result.shrink_steps << " shrink step(s), "
+            << format_sig(planted_ms, 4) << " ms\n";
+
+  // BENCH_check.json: the clean campaign's report plus the measurements.
+  obs::RunReport report = check::check_report(serial_result, serial);
+  report.data()["bench"] = [&] {
+    obs::JsonValue bench = obs::JsonValue::object();
+    bench["hardware_threads"] = hardware;
+    bench["serial_wall_ms"] = serial_ms;
+    bench["wide_wall_ms"] = wide_ms;
+    bench["cases_per_second_serial"] =
+        1000.0 * static_cast<double>(kCases) / serial_ms;
+    bench["planted_failures"] =
+        static_cast<unsigned long long>(planted_result.failures.size());
+    bench["planted_shrink_steps"] =
+        static_cast<unsigned long long>(planted_result.shrink_steps);
+    return bench;
+  }();
+  bench::emit_report(report, "BENCH_check.json");
+
+  analysis::PaperCheck check("CHECK-ORACLE");
+  check.expect_true("clean-stream-passes",
+                    "zero violations over the acceptance stream (seed 1, "
+                    "500 cases)",
+                    serial_result.ok() && wide_result.ok());
+  check.expect_true("byte-identical-reports",
+                    "check reports agree byte-for-byte at threads 1 vs "
+                    "hardware",
+                    serial_bytes == wide_bytes);
+  check.expect_true("planted-bug-detected",
+                    "a 1e-3 mean-cost bias is flagged and every minimal "
+                    "reproducer still fails",
+                    reproducers_fail);
+  return bench::finish(check);
+}

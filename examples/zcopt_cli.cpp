@@ -6,6 +6,7 @@
 ///   zcopt_cli --calibrate --n 4 --r 2          # Sec. 4.5 inverse problem
 ///   zcopt_cli campaign --n 1,2,4 --r 0.5,1,2   # grid through the engine
 ///   zcopt_cli campaign --estimator monte_carlo --space 1000 --trials 5000
+///   zcopt_cli check --seed 1 --cases 500       # differential oracle
 ///
 /// Exposes the scenario knobs (q or hosts, c, E, loss, lambda, d) and
 /// either evaluates a fixed configuration, optimizes (n, r), solves the
@@ -28,6 +29,7 @@
 #include <vector>
 
 #include "analysis/table.hpp"
+#include "check/runner.hpp"
 #include "common/args.hpp"
 #include "common/strings.hpp"
 #include "core/distribution.hpp"
@@ -412,6 +414,78 @@ int run_campaign(int argc, const char* const* argv) {
   }
 }
 
+/// The `check` subcommand: run the differential oracle over a
+/// deterministic fuzz-case stream, shrink any failures, and exit
+/// nonzero when an invariant is violated.
+int run_check_cmd(int argc, const char* const* argv) {
+  ArgParser parser("zcopt check",
+                   "differential oracle & spec-fuzzing harness: cross-"
+                   "validate the analytic, DRM, distribution, surface and "
+                   "Monte-Carlo estimators on boundary-biased fuzz cases");
+  parser.add_option("seed", "master seed of the fuzz-case stream", "1");
+  parser.add_option("cases", "fuzz cases to evaluate", "200");
+  parser.add_option("shrink",
+                    "minimize failing cases to a replayable reproducer "
+                    "(on|off)",
+                    "on");
+  parser.add_option("threads", "worker threads (0 = hardware)", "0");
+  parser.add_option("report",
+                    "write a zcopt-check-report JSON manifest to this path",
+                    "");
+
+  if (!parser.parse(argc, argv)) return fail(parser.error());
+  if (parser.help_requested()) {
+    std::cout << parser.help();
+    return 0;
+  }
+
+  try {
+    check::CheckOptions opts;
+    opts.seed = static_cast<std::uint64_t>(need(parser, "seed", 0.0, 1e18));
+    opts.cases =
+        static_cast<std::uint64_t>(need(parser, "cases", 1.0, 1e9));
+    const std::string shrink_text = parser.text("shrink");
+    if (shrink_text == "on") {
+      opts.shrink = true;
+    } else if (shrink_text == "off") {
+      opts.shrink = false;
+    } else {
+      return fail("option --shrink must be on or off, got '" + shrink_text +
+                  "'");
+    }
+    opts.threads =
+        static_cast<unsigned>(need(parser, "threads", 0.0, 1024.0));
+
+    const check::CheckResult result = check::run_check(opts);
+    std::cout << "check: " << result.cases << " case(s), seed "
+              << result.seed << ": " << result.violations
+              << " violation(s) in " << result.failures.size()
+              << " case(s)\n";
+    for (const check::CheckFailure& failure : result.failures) {
+      std::cerr << "check: case " << failure.index
+                << " FAILED: " << failure.recipe.describe() << '\n';
+      for (const check::Violation& v : failure.violations)
+        std::cerr << "  " << v.invariant << ": " << v.detail << '\n';
+      if (opts.shrink) {
+        std::cerr << "  minimal reproducer (" << failure.shrunk_invariant
+                  << ", " << failure.shrink_steps << " shrink step(s)): ";
+        failure.minimal.to_json().write_compact(std::cerr);
+        std::cerr << '\n';
+      }
+    }
+    if (parser.given("report")) {
+      const obs::RunReport report = check::check_report(result, opts);
+      if (!report.write_file(parser.text("report")))
+        return fail("could not write report to '" + parser.text("report") +
+                    "'");
+      std::cout << "[check report: " << parser.text("report") << "]\n";
+    }
+    return result.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+}
+
 /// The classic single-configuration modes: evaluate / optimize /
 /// calibrate.
 int run_modes(int argc, const char* const* argv) {
@@ -545,5 +619,7 @@ int run_modes(int argc, const char* const* argv) {
 int main(int argc, char** argv) {
   if (argc >= 2 && std::string(argv[1]) == "campaign")
     return run_campaign(argc - 1, argv + 1);
+  if (argc >= 2 && std::string(argv[1]) == "check")
+    return run_check_cmd(argc - 1, argv + 1);
   return run_modes(argc, argv);
 }

@@ -1,0 +1,466 @@
+#include "check/fuzz.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "common/contract.hpp"
+#include "common/strings.hpp"
+#include "exec/seeding.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/zeroconf_host.hpp"
+
+namespace zc::check {
+
+FuzzRng::FuzzRng(std::uint64_t seed, std::uint64_t index)
+    : base_(exec::split_seed(seed, index)) {}
+
+std::uint64_t FuzzRng::next_u64() {
+  return exec::splitmix64(base_ + counter_++);
+}
+
+double FuzzRng::next_unit() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::size_t FuzzRng::pick(std::size_t bound) {
+  ZC_EXPECTS(bound >= 1);
+  return static_cast<std::size_t>(next_u64() % bound);
+}
+
+double FuzzRng::among(const std::vector<double>& menu) {
+  ZC_EXPECTS(!menu.empty());
+  return menu[pick(menu.size())];
+}
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::none:
+      return "none";
+    case FaultKind::gilbert_elliott:
+      return "gilbert-elliott";
+    case FaultKind::blackout:
+      return "blackout";
+    case FaultKind::delay_spike:
+      return "delay-spike";
+    case FaultKind::duplication:
+      return "duplication";
+    case FaultKind::reordering:
+      return "reordering";
+    case FaultKind::host_churn:
+      return "host-churn";
+  }
+  ZC_ASSERT(false);
+  return "none";
+}
+
+bool fault_kind_from_string(const std::string& name, FaultKind& out) {
+  for (int k = 0; k <= static_cast<int>(FaultKind::host_churn); ++k) {
+    const auto kind = static_cast<FaultKind>(k);
+    if (name == to_string(kind)) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+core::ProbeSchedule CaseRecipe::schedule() const {
+  return core::ProbeSchedule::restore(family, n, r0, factor, step, timeouts);
+}
+
+faults::FaultSchedule CaseRecipe::fault_schedule() const {
+  faults::FaultSchedule s;
+  // Canonical per-class parameters: aggressive enough to perturb a run,
+  // mild enough that fuzz cases stay fast (no permanent outage).
+  switch (fault) {
+    case FaultKind::none:
+      break;
+    case FaultKind::gilbert_elliott:
+      s.gilbert_elliott = {0.2, 0.5, 0.05, 0.9};
+      break;
+    case FaultKind::blackout:
+      s.blackout.windows = {0.5, 0.5, 4.0};
+      break;
+    case FaultKind::delay_spike:
+      s.delay_spike.windows = {0.25, 1.0, 8.0};
+      s.delay_spike.multiplier = 3.0;
+      s.delay_spike.extra = 0.5;
+      break;
+    case FaultKind::duplication:
+      s.duplication = {0.2, 2};
+      break;
+    case FaultKind::reordering:
+      s.reordering = {0.3, 0.2};
+      break;
+    case FaultKind::host_churn:
+      s.host_churn = {0.25, 8.0, 2.0};
+      break;
+  }
+  return s;
+}
+
+engine::ExperimentSpec CaseRecipe::to_spec() const {
+  engine::SpecBuilder builder(
+      "check-" + std::to_string(seed) + "-" + std::to_string(index),
+      scenario);
+  builder.schedule(schedule());
+  if (run_mc) {
+    builder.estimator(engine::Estimator::monte_carlo)
+        .trials(mc_trials)
+        .seed(exec::split_seed(seed, index))
+        .network(mc_space, mc_hosts)
+        .faults(fault_schedule());
+  }
+  return builder.build();
+}
+
+obs::JsonValue CaseRecipe::to_json() const {
+  obs::JsonValue out = obs::JsonValue::object();
+  out["seed"] = seed;
+  out["index"] = index;
+  out["q"] = scenario.q;
+  out["c"] = scenario.probe_cost;
+  out["E"] = scenario.error_cost;
+  out["loss"] = scenario.loss;
+  out["lambda"] = scenario.lambda;
+  out["d"] = scenario.round_trip;
+  out["family"] = core::to_string(family);
+  out["n"] = n;
+  out["r0"] = r0;
+  out["factor"] = factor;
+  out["step"] = step;
+  obs::JsonValue t = obs::JsonValue::array();
+  for (const double v : timeouts) t.push_back(v);
+  out["timeouts"] = std::move(t);
+  out["fault"] = to_string(fault);
+  out["run_mc"] = run_mc;
+  out["mc_trials"] = mc_trials;
+  out["mc_space"] = mc_space;
+  out["mc_hosts"] = mc_hosts;
+  return out;
+}
+
+namespace {
+
+bool recipe_fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = "CaseRecipe." + message;
+  return false;
+}
+
+const obs::JsonValue* need_number(const obs::JsonValue& value,
+                                  const std::string& key) {
+  const obs::JsonValue* cell = value.find(key);
+  if (cell == nullptr || cell->kind() != obs::JsonValue::Kind::number)
+    return nullptr;
+  return cell;
+}
+
+}  // namespace
+
+bool CaseRecipe::from_json(const obs::JsonValue& value, CaseRecipe& out,
+                           std::string* error) {
+  if (!value.is_object()) {
+    if (error != nullptr) *error = "CaseRecipe: expected an object";
+    return false;
+  }
+  CaseRecipe rec;
+  const struct {
+    const char* key;
+    double* target;
+  } numbers[] = {
+      {"q", &rec.scenario.q},          {"c", &rec.scenario.probe_cost},
+      {"E", &rec.scenario.error_cost}, {"loss", &rec.scenario.loss},
+      {"lambda", &rec.scenario.lambda}, {"d", &rec.scenario.round_trip},
+      {"r0", &rec.r0},                 {"factor", &rec.factor},
+      {"step", &rec.step},
+  };
+  for (const auto& field : numbers) {
+    const obs::JsonValue* cell = need_number(value, field.key);
+    if (cell == nullptr)
+      return recipe_fail(error, std::string(field.key) + " must be a number");
+    *field.target = cell->as_number();
+  }
+  const struct {
+    const char* key;
+    std::uint64_t* target;
+  } counters[] = {{"seed", &rec.seed}, {"index", &rec.index}};
+  for (const auto& field : counters) {
+    const obs::JsonValue* cell = need_number(value, field.key);
+    if (cell == nullptr || cell->as_number() < 0.0)
+      return recipe_fail(error, std::string(field.key) +
+                                    " must be a non-negative number");
+    *field.target = static_cast<std::uint64_t>(cell->as_number());
+  }
+  const obs::JsonValue* n_cell = need_number(value, "n");
+  if (n_cell == nullptr || n_cell->as_number() < 0.0)
+    return recipe_fail(error, "n must be a non-negative number");
+  rec.n = static_cast<unsigned>(n_cell->as_number());
+
+  const obs::JsonValue* family = value.find("family");
+  if (family == nullptr ||
+      family->kind() != obs::JsonValue::Kind::string ||
+      !core::schedule_family_from_string(family->as_string(), rec.family))
+    return recipe_fail(error, "family must name a schedule family");
+  const obs::JsonValue* fault = value.find("fault");
+  if (fault == nullptr || fault->kind() != obs::JsonValue::Kind::string ||
+      !fault_kind_from_string(fault->as_string(), rec.fault))
+    return recipe_fail(error, "fault must name a fault kind");
+
+  const obs::JsonValue* t = value.find("timeouts");
+  if (t == nullptr || !t->is_array())
+    return recipe_fail(error, "timeouts must be an array");
+  rec.timeouts.reserve(t->size());
+  for (std::size_t i = 0; i < t->size(); ++i) {
+    const obs::JsonValue* cell = t->element(i);
+    if (cell == nullptr || cell->kind() != obs::JsonValue::Kind::number)
+      return recipe_fail(error, "timeouts[" + std::to_string(i + 1) +
+                                    "] must be a number");
+    rec.timeouts.push_back(cell->as_number());
+  }
+
+  const obs::JsonValue* run_mc = value.find("run_mc");
+  if (run_mc == nullptr ||
+      (run_mc->kind() != obs::JsonValue::Kind::boolean))
+    return recipe_fail(error, "run_mc must be a boolean");
+  rec.run_mc = run_mc->as_bool();
+  const struct {
+    const char* key;
+    unsigned* target;
+  } mc[] = {{"mc_space", &rec.mc_space}, {"mc_hosts", &rec.mc_hosts}};
+  for (const auto& field : mc) {
+    const obs::JsonValue* cell = need_number(value, field.key);
+    if (cell == nullptr || cell->as_number() < 0.0)
+      return recipe_fail(error, std::string(field.key) +
+                                    " must be a non-negative number");
+    *field.target = static_cast<unsigned>(cell->as_number());
+  }
+  const obs::JsonValue* trials = need_number(value, "mc_trials");
+  if (trials == nullptr || trials->as_number() < 0.0)
+    return recipe_fail(error, "mc_trials must be a non-negative number");
+  rec.mc_trials = static_cast<std::uint32_t>(trials->as_number());
+
+  out = std::move(rec);
+  return true;
+}
+
+std::string CaseRecipe::describe() const {
+  std::ostringstream os;
+  os << "case(seed=" << seed << ", index=" << index << "): q=" << format_sig(scenario.q, 4)
+     << ", c=" << format_sig(scenario.probe_cost, 4)
+     << ", E=" << format_sig(scenario.error_cost, 4)
+     << ", loss=" << format_sig(scenario.loss, 4)
+     << ", lambda=" << format_sig(scenario.lambda, 4)
+     << ", d=" << format_sig(scenario.round_trip, 4) << ", "
+     << schedule().describe() << ", fault=" << to_string(fault);
+  if (run_mc)
+    os << ", mc(trials=" << mc_trials << ", space=" << mc_space
+       << ", hosts=" << mc_hosts << ")";
+  return os.str();
+}
+
+CaseRecipe fuzz_case(std::uint64_t seed, std::uint64_t index) {
+  FuzzRng rng(seed, index);
+  CaseRecipe rec;
+  rec.seed = seed;
+  rec.index = index;
+
+  // Boundary-biased scenario knobs: the menus repeat the paper's values
+  // next to the domain edges (q -> 0, E = 0, heavy loss, slow replies).
+  core::ExponentialScenario& sc = rec.scenario;
+  sc.q = rng.among({1e-12, 1e-6, 1000.0 / 65024.0, 0.1, 0.25, 0.5, 0.9});
+  sc.probe_cost = rng.among({0.0, 1.0, 2.0, 10.0});
+  sc.error_cost = rng.among({0.0, 1.0, 30.0, 1e6, 1e35});
+  sc.loss = rng.among({0.0, 1e-15, 1e-3, 0.1, 0.5});
+  sc.lambda = rng.among({0.1, 1.0, 10.0, 100.0});
+  sc.round_trip = rng.among({0.0, 0.05, 1.0});
+
+  // Schedule: n biased toward the n = 1 boundary, r0 toward the
+  // allow_zero_r limit; geometric repeats the neutral factor = 1 and
+  // linear the neutral step = 0 so the bit-equality invariant is hit
+  // constantly, custom mixes magnitudes across nine decades.
+  const std::size_t n_menu[] = {1, 1, 1, 2, 3, 4, 5, 8, 16, 32};
+  rec.n = static_cast<unsigned>(n_menu[rng.pick(std::size(n_menu))]);
+  rec.r0 = rng.among({1e-9, 1e-3, 0.2, 2.0, 10.0});
+  rec.family = static_cast<core::ScheduleFamily>(rng.pick(4));
+  switch (rec.family) {
+    case core::ScheduleFamily::uniform:
+      break;
+    case core::ScheduleFamily::geometric:
+      rec.factor = rng.among({0.5, 1.0, 1.0, 1.25, 2.0});
+      break;
+    case core::ScheduleFamily::linear:
+      rec.step = rng.among(
+          {0.0, 0.0, rec.r0 / 4.0,
+           rec.n > 1 ? -rec.r0 / (2.0 * rec.n) : 0.0});
+      break;
+    case core::ScheduleFamily::custom: {
+      const bool constant = rng.pick(4) == 0;
+      for (unsigned i = 0; i < rec.n; ++i)
+        rec.timeouts.push_back(
+            constant ? rec.r0 : rng.among({1e-9, 1e-3, 0.2, 2.0, 10.0}));
+      break;
+    }
+  }
+
+  rec.fault = static_cast<FaultKind>(
+      rng.pick(static_cast<std::size_t>(FaultKind::host_churn) + 1));
+
+  // Every 8th case cross-validates against simulation. The knobs are
+  // re-pinned to a regime where collisions are measurable in ~2k trials
+  // (exaggerated occupancy + loss, like the model-vs-sim tests), and
+  // q is hosts/space *exactly* so the analytic model describes the
+  // simulated segment with no modelling gap.
+  if (index % 8 == 7) {
+    rec.run_mc = true;
+    rec.mc_space = 128;
+    rec.mc_hosts = static_cast<unsigned>(16 + 16 * rng.pick(4));
+    sc.q = static_cast<double>(rec.mc_hosts) /
+           static_cast<double>(rec.mc_space);
+    sc.probe_cost = 2.0;
+    sc.error_cost = rng.among({0.0, 1.0, 30.0});
+    sc.loss = rng.among({0.3, 0.5});
+    sc.lambda = 10.0;
+    sc.round_trip = 0.05;
+    rec.n = static_cast<unsigned>(1 + rng.pick(4));
+    rec.r0 = rng.among({0.05, 0.1, 0.2, 0.3});
+    rec.mc_trials = static_cast<std::uint32_t>(1024 + 512 * rng.pick(3));
+    switch (rec.family) {
+      case core::ScheduleFamily::uniform:
+        break;
+      case core::ScheduleFamily::geometric:
+        rec.factor = rng.among({0.8, 1.0, 1.25});
+        break;
+      case core::ScheduleFamily::linear:
+        rec.step = rng.among({0.0, rec.r0 / 4.0});
+        break;
+      case core::ScheduleFamily::custom: {
+        rec.timeouts.clear();
+        for (unsigned i = 0; i < rec.n; ++i)
+          rec.timeouts.push_back(rng.among({0.05, 0.1, 0.2, 0.3}));
+        break;
+      }
+    }
+  }
+  return rec;
+}
+
+InvalidCase fuzz_invalid_case(std::uint64_t seed, std::uint64_t index) {
+  FuzzRng rng(seed, ~index);  // distinct stream from the valid cases
+  // Deterministically-random offending magnitudes: a strictly negative
+  // value, a NaN every fourth draw, and an out-of-unit probability.
+  const double negative = -(1e-6 + rng.next_unit() * 100.0);
+  const double bad_value =
+      rng.pick(4) == 0 ? std::numeric_limits<double>::quiet_NaN() : negative;
+  const double above_one = 1.0 + 1e-6 + rng.next_unit() * 10.0;
+  const unsigned n = static_cast<unsigned>(1 + rng.pick(8));
+  const double r = 0.1 + rng.next_unit() * 4.0;
+  const auto scenario = [] { return core::ExponentialScenario{}.to_params(); };
+
+  switch (index % kInvalidCaseShapes) {
+    case 0:
+      return {"ProtocolParams", "ProtocolParams.n",
+              [r] { core::ProtocolParams{0, r}.validate(); }};
+    case 1:
+      return {"ProtocolParams", "ProtocolParams.r",
+              [n, negative] { core::ProtocolParams{n, negative}.validate(); }};
+    case 2:
+      return {"ProtocolParams", "ProtocolParams.r", [n] {
+                core::ProtocolParams{
+                    n, std::numeric_limits<double>::quiet_NaN()}
+                    .validate();
+              }};
+    case 3:
+      return {"ProbeSchedule", "ProbeSchedule.r", [n, bad_value] {
+                core::ProbeSchedule::uniform(n, bad_value).validate();
+              }};
+    case 4:
+      return {"ProbeSchedule", "ProbeSchedule.n",
+              [r] { core::ProbeSchedule::uniform(0, r).validate(); }};
+    case 5:
+      return {"ProbeSchedule", "ProbeSchedule.factor", [n, r, bad_value] {
+                core::ProbeSchedule::geometric(n, r, bad_value).validate();
+              }};
+    case 6:
+      return {"ProbeSchedule", "ProbeSchedule.step", [n, r] {
+                core::ProbeSchedule::linear(
+                    n, r, std::numeric_limits<double>::quiet_NaN())
+                    .validate();
+              }};
+    case 7:
+      return {"ProbeSchedule", "ProbeSchedule.timeouts[", [r, negative] {
+                core::ProbeSchedule::from_timeouts({r, negative, r})
+                    .validate();
+              }};
+    case 8:
+      return {"ZeroconfConfig", "ZeroconfConfig.probe_wait_max",
+              [negative] {
+                sim::ZeroconfConfig config;
+                config.probe_wait_max = negative;
+                config.validate();
+              }};
+    case 9:
+      return {"ZeroconfConfig", "ZeroconfConfig.rate_limit_threshold", [] {
+                sim::ZeroconfConfig config;
+                config.rate_limit_threshold = 0;
+                config.validate();
+              }};
+    case 10:
+      return {"FaultSchedule", "GilbertElliott.p_enter_burst", [above_one] {
+                faults::FaultSchedule s;
+                s.gilbert_elliott.p_enter_burst = above_one;
+                s.validate();
+              }};
+    case 11:
+      return {"FaultSchedule", "DelaySpike.multiplier", [] {
+                faults::FaultSchedule s;
+                s.delay_spike.windows = {0.0, 1.0, 0.0};
+                s.delay_spike.multiplier = 0.5;
+                s.validate();
+              }};
+    case 12:
+      return {"FaultSchedule", "Duplication.copies", [] {
+                faults::FaultSchedule s;
+                s.duplication.probability = 0.5;
+                s.duplication.copies = 1;
+                s.validate();
+              }};
+    case 13:
+      return {"FaultSchedule", "Reordering.max_jitter", [] {
+                faults::FaultSchedule s;
+                s.reordering.probability = 0.5;
+                s.reordering.max_jitter = 0.0;
+                s.validate();
+              }};
+    case 14:
+      return {"FaultSchedule", "HostChurn.deaf_fraction", [above_one] {
+                faults::FaultSchedule s;
+                s.host_churn.deaf_fraction = above_one;
+                s.validate();
+              }};
+    case 15:
+      return {"MonteCarloOptions", "MonteCarloOptions.trials", [] {
+                sim::MonteCarloOptions opts;
+                opts.trials = 0;
+                opts.validate();
+              }};
+    case 16:
+      return {"MonteCarloOptions", "MonteCarloOptions.precision.min_trials",
+              [] {
+                sim::MonteCarloOptions opts;
+                opts.precision.min_trials = 2000;
+                opts.precision.max_trials = 100;
+                opts.validate();
+              }};
+    case 17:
+    default:
+      return {"ExperimentSpec", "ExperimentSpec.name", [scenario] {
+                engine::ExperimentSpec spec("", scenario());
+                spec.grid.push_back({4, 2.0});
+                spec.validate();
+              }};
+  }
+}
+
+}  // namespace zc::check

@@ -1,0 +1,156 @@
+#pragma once
+
+/// \file fuzz.hpp
+/// Deterministic spec fuzzer for the differential oracle (oracle.hpp).
+///
+/// Case `index` of master seed `s` is a pure function of (s, index): the
+/// generator draws from a splitmix64 counter stream seeded with
+/// exec::split_seed(s, index) — the same construction the Monte-Carlo
+/// campaigns use for per-trial seeds — so a fuzz campaign enumerates the
+/// identical cases at any thread count and any chunking, and any single
+/// case replays from its (seed, index) pair alone.
+///
+/// Two streams:
+///  - `fuzz_case`: boundary-biased *valid* cases (n = 1, timeouts near
+///    the allow_zero_r limit, extreme q / E / loss, neutral-shape and
+///    custom schedules, every fault class) for the oracle's metamorphic
+///    and cross-estimator invariants;
+///  - `fuzz_invalid_case`: deliberately *invalid* objects cycling every
+///    public validate() (ProtocolParams, ProbeSchedule, ZeroconfConfig,
+///    FaultSchedule, MonteCarloOptions, ExperimentSpec), each of which
+///    must throw zc::ContractViolation naming the offending field.
+///
+/// `CaseRecipe` — not engine::ExperimentSpec — is the replayable unit:
+/// a spec holds a non-serializable shared_ptr<DelayDistribution>, while
+/// the recipe is plain data that round-trips through JSON bit-exactly
+/// (%.17g doubles), which is what the auto-shrinker emits as a
+/// reproducer.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/schedule.hpp"
+#include "engine/spec.hpp"
+#include "faults/schedule.hpp"
+#include "obs/json.hpp"
+
+namespace zc::check {
+
+/// Counter-based deterministic RNG: draw k of case (seed, index) is
+/// splitmix64(case_seed + k) — stateless apart from the counter, so the
+/// stream never depends on evaluation order elsewhere.
+class FuzzRng {
+ public:
+  FuzzRng(std::uint64_t seed, std::uint64_t index);
+
+  [[nodiscard]] std::uint64_t next_u64();
+  /// Uniform in [0, 1), 53-bit resolution.
+  [[nodiscard]] double next_unit();
+  /// Uniform in [0, bound); bound >= 1.
+  [[nodiscard]] std::size_t pick(std::size_t bound);
+  /// One element of a non-empty menu (boundary-biased choices are
+  /// spelled as menus with the boundary values repeated).
+  [[nodiscard]] double among(const std::vector<double>& menu);
+
+ private:
+  std::uint64_t base_;
+  std::uint64_t counter_ = 0;
+};
+
+/// The single fault class a fuzz case injects (one per case keeps the
+/// shrinker's "drop faults" step a single transformation).
+enum class FaultKind : std::uint8_t {
+  none,
+  gilbert_elliott,
+  blackout,
+  delay_spike,
+  duplication,
+  reordering,
+  host_churn,
+};
+
+/// Stable lowercase name ("none", "gilbert-elliott", ...), matching
+/// faults::FaultSchedule::summary vocabulary.
+[[nodiscard]] const char* to_string(FaultKind kind);
+/// Parse a name as emitted by `to_string`; false on unknown (out
+/// untouched).
+[[nodiscard]] bool fault_kind_from_string(const std::string& name,
+                                          FaultKind& out);
+
+/// Replayable description of one oracle case: scenario knobs, one
+/// schedule cell, at most one fault class, and the optional Monte-Carlo
+/// cross-validation block.
+struct CaseRecipe {
+  std::uint64_t seed = 0;   ///< master seed the case was drawn from
+  std::uint64_t index = 0;  ///< case counter under that seed
+
+  core::ExponentialScenario scenario{};
+
+  /// Schedule recipe (core::ProbeSchedule::restore arguments).
+  core::ScheduleFamily family = core::ScheduleFamily::uniform;
+  unsigned n = 4;
+  double r0 = 2.0;
+  double factor = 1.0;  ///< geometric ratio
+  double step = 0.0;    ///< linear increment
+  std::vector<double> timeouts;  ///< custom family only
+
+  FaultKind fault = FaultKind::none;
+
+  /// Monte-Carlo block: when `run_mc`, the oracle simulates
+  /// `mc_trials` trials on an `mc_space`-address segment with
+  /// `mc_hosts` occupants (the fuzzer pins scenario.q = hosts/space so
+  /// the analytic model describes the simulated segment exactly).
+  bool run_mc = false;
+  std::uint32_t mc_trials = 0;
+  unsigned mc_space = 0;
+  unsigned mc_hosts = 0;
+
+  /// Materialize the schedule from its recipe (bitwise-deterministic).
+  [[nodiscard]] core::ProbeSchedule schedule() const;
+  /// Canonical fault-schedule parameters for `fault`.
+  [[nodiscard]] faults::FaultSchedule fault_schedule() const;
+  /// The case viewed as an engine spec (one schedule cell; Monte-Carlo
+  /// estimator when `run_mc`): what `zcopt_cli check` quarantine-tests
+  /// and the engine-level oracle checks run against.
+  [[nodiscard]] engine::ExperimentSpec to_spec() const;
+
+  /// Flat JSON object; doubles in round-trip precision, so
+  /// `from_json(to_json())` reproduces the recipe bit-exactly.
+  [[nodiscard]] obs::JsonValue to_json() const;
+  /// False (with a field-naming diagnostic in `error` when non-null) on
+  /// malformed input; `out` untouched then.
+  [[nodiscard]] static bool from_json(const obs::JsonValue& value,
+                                      CaseRecipe& out,
+                                      std::string* error = nullptr);
+
+  /// One-line human rendering for logs and violation reports.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Case `index` of master seed `seed`: a valid, boundary-biased recipe.
+/// Every 8th case carries the Monte-Carlo block (with knobs constrained
+/// to a regime where collisions are measurable in ~2k trials).
+[[nodiscard]] CaseRecipe fuzz_case(std::uint64_t seed, std::uint64_t index);
+
+/// One deliberately invalid object: `trigger()` must throw
+/// zc::ContractViolation whose message contains `field`.
+struct InvalidCase {
+  std::string target;  ///< which validate() ("ProtocolParams", ...)
+  std::string field;   ///< field name the message must contain
+  std::function<void()> trigger;
+};
+
+/// Number of distinct invalid-case shapes `fuzz_invalid_case` cycles
+/// through; indices [0, kInvalidCaseShapes) cover every public
+/// validate() at least once.
+inline constexpr std::uint64_t kInvalidCaseShapes = 18;
+
+/// Invalid case `index` of master seed `seed`: shape index % 18 with
+/// randomized (but deterministic) offending magnitudes.
+[[nodiscard]] InvalidCase fuzz_invalid_case(std::uint64_t seed,
+                                            std::uint64_t index);
+
+}  // namespace zc::check

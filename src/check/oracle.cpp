@@ -1,0 +1,368 @@
+#include "check/oracle.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "common/strings.hpp"
+#include "core/cost.hpp"
+#include "core/cost_surface.hpp"
+#include "core/distribution.hpp"
+#include "core/drm.hpp"
+#include "core/no_answer.hpp"
+#include "core/reliability.hpp"
+#include "exec/seeding.hpp"
+#include "prob/delay.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/zeroconf_host.hpp"
+
+namespace zc::check {
+
+namespace {
+
+/// The fixed evaluation order makes reports byte-stable: every violation
+/// a case produces appears in the order the invariants are listed here.
+class Recorder {
+ public:
+  explicit Recorder(std::vector<Violation>& out) : out_(out) {}
+
+  void fail(std::string invariant, std::string detail) {
+    out_.push_back({std::move(invariant), std::move(detail)});
+  }
+
+  /// |a - b| <= abs + rel * max(|a|, |b|); NaN on either side fails.
+  void expect_close(const std::string& invariant, const char* name_a,
+                    double a, const char* name_b, double b, double rel,
+                    double abs) {
+    const double scale = std::max(std::fabs(a), std::fabs(b));
+    const double tol = abs + rel * scale;
+    if (std::fabs(a - b) <= tol) return;  // NaN falls through
+    std::ostringstream os;
+    os << name_a << "=" << format_sig(a, 17) << " " << name_b << "="
+       << format_sig(b, 17) << " |diff|=" << format_sig(std::fabs(a - b), 6)
+       << " tol=" << format_sig(tol, 6);
+    fail(invariant, os.str());
+  }
+
+  void expect_bitwise(const std::string& invariant, const char* name_a,
+                      double a, const char* name_b, double b) {
+    if (std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b))
+      return;
+    std::ostringstream os;
+    os << name_a << "=" << format_sig(a, 17) << " " << name_b << "="
+       << format_sig(b, 17) << " (bitwise mismatch)";
+    fail(invariant, os.str());
+  }
+
+  void expect(const std::string& invariant, bool ok, std::string detail) {
+    if (!ok) fail(invariant, std::move(detail));
+  }
+
+ private:
+  std::vector<Violation>& out_;
+};
+
+double kahan_sum(const std::vector<double>& values) {
+  double sum = 0.0, comp = 0.0;
+  for (const double v : values) {
+    const double y = v - comp;
+    const double t = sum + y;
+    comp = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+std::string num(double v) { return format_sig(v, 17); }
+
+/// Same-family schedule with one more probe; appending any positive
+/// timeout can only lower pi_n, hence the collision probability.
+core::ProbeSchedule extend_by_one(const CaseRecipe& rec) {
+  switch (rec.family) {
+    case core::ScheduleFamily::uniform:
+      return core::ProbeSchedule::uniform(rec.n + 1, rec.r0);
+    case core::ScheduleFamily::geometric:
+      return core::ProbeSchedule::geometric(rec.n + 1, rec.r0, rec.factor);
+    case core::ScheduleFamily::linear:
+      return core::ProbeSchedule::linear(rec.n + 1, rec.r0, rec.step);
+    case core::ScheduleFamily::custom: {
+      std::vector<double> t = rec.timeouts;
+      t.push_back(t.back());
+      return core::ProbeSchedule::from_timeouts(std::move(t));
+    }
+  }
+  ZC_ASSERT(false);
+  return core::ProbeSchedule::uniform(rec.n + 1, rec.r0);
+}
+
+}  // namespace
+
+std::vector<Violation> check_case(const CaseRecipe& recipe,
+                                  const OracleOptions& opts) {
+  std::vector<Violation> violations;
+  Recorder rec(violations);
+
+  const core::ScenarioParams params = recipe.scenario.to_params();
+  const core::ProbeSchedule schedule = recipe.schedule();
+  const auto mean_of = [&](const core::ScenarioParams& p,
+                           const core::ProbeSchedule& s) {
+    return opts.mean_cost_hook ? opts.mean_cost_hook(p, s)
+                               : core::mean_cost(p, s);
+  };
+  const auto err_of = [&](const core::ScenarioParams& p,
+                          const core::ProbeSchedule& s) {
+    return opts.error_probability_hook ? opts.error_probability_hook(p, s)
+                                       : core::error_probability(p, s);
+  };
+
+  // --- spec.validate: a valid recipe must build a valid engine spec.
+  try {
+    recipe.to_spec().validate();
+  } catch (const ContractViolation& e) {
+    rec.fail("spec.validate",
+             std::string("valid recipe rejected by spec validation: ") +
+                 e.what());
+  }
+
+  // --- pi.ladder: pi_0 = 1, every value in [0, 1], non-increasing.
+  const std::vector<double> pi =
+      core::pi_values(params.reply_delay(), schedule);
+  rec.expect("pi.ladder.start", !pi.empty() && pi[0] == 1.0,
+             "pi[0]=" + (pi.empty() ? std::string("<empty>") : num(pi[0])));
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    rec.expect("pi.ladder.range", pi[i] >= 0.0 && pi[i] <= 1.0,
+               "pi[" + std::to_string(i) + "]=" + num(pi[i]));
+    if (i > 0)
+      rec.expect("pi.ladder.monotone", pi[i] <= pi[i - 1],
+                 "pi[" + std::to_string(i) + "]=" + num(pi[i]) +
+                     " > pi[" + std::to_string(i - 1) +
+                     "]=" + num(pi[i - 1]));
+  }
+
+  // --- analytic domain checks on the candidate evaluators.
+  const double mean = mean_of(params, schedule);
+  const double err = err_of(params, schedule);
+  rec.expect("analytic.error_probability.range",
+             err >= 0.0 && err <= 1.0, "err=" + num(err));
+  rec.expect("analytic.mean_cost.domain",
+             std::isfinite(mean) && mean >= 0.0, "mean=" + num(mean));
+
+  // --- analytic vs DRM: Eq. (3)/(4) against the linear systems.
+  const markov::MarkovRewardModel drm = core::build_drm(params, schedule);
+  const core::DrmLayout layout{schedule.n()};
+  const double drm_mean =
+      drm.expected_total_reward(core::DrmLayout::start());
+  const double drm_err = drm.analysis().absorption_probability(
+      core::DrmLayout::start(), layout.error());
+  // Conditioning floor of the reward solves: the one-step reward of the
+  // nth state is error_cost * p(nth -> error); with huge E and a tiny
+  // exit probability the elimination cancels terms of that magnitude
+  // down to an O(mean) result, so the solve's *absolute* error is
+  // ~eps * that scale no matter how exact the formulas are (1e-12 =
+  // ~1e4 ulp of slack for the n-fold elimination). The closed form
+  // computes the same quantity without the cancellation.
+  const double exit_prob =
+      pi[schedule.n() - 1] > 0.0 ? pi[schedule.n()] / pi[schedule.n() - 1]
+                                 : 0.0;
+  const double reward_scale = params.error_cost() * exit_prob;
+  const double solve_noise = 1e-12 * reward_scale;
+  const double solve_noise_sq = 1e-12 * reward_scale * reward_scale;
+  rec.expect_close("analytic.vs_drm.mean_cost", "analytic", mean, "drm",
+                   drm_mean, opts.rel_tol, opts.abs_tol + solve_noise);
+  rec.expect_close("analytic.vs_drm.error_probability", "analytic", err,
+                   "drm", drm_err, opts.rel_tol, opts.abs_tol);
+
+  // --- variance: non-negative (up to cancellation noise of the
+  // second-moment subtraction) and agreeing across the two systems.
+  const double var_closed = core::cost_variance(params, schedule);
+  const double var_drm =
+      drm.variance_total_reward(core::DrmLayout::start());
+  const double var_noise = opts.abs_tol +
+                           opts.rel_tol * drm_mean * drm_mean +
+                           solve_noise_sq;
+  rec.expect("variance.non_negative.closed_form",
+             var_closed >= -var_noise, "variance=" + num(var_closed));
+  rec.expect("variance.non_negative.drm", var_drm >= -var_noise,
+             "variance=" + num(var_drm));
+  rec.expect_close("analytic.vs_drm.variance", "closed_form", var_closed,
+                   "drm", var_drm, opts.rel_tol, var_noise);
+
+  // --- exact distribution: mass accounting, collision probability, and
+  // (tail permitting) the first two moments.
+  const core::CostDistribution dist(params, schedule);
+  const double mass = kahan_sum(dist.ok_pmf()) +
+                      kahan_sum(dist.error_pmf()) + dist.truncated_tail();
+  rec.expect("dist.mass", std::fabs(mass - 1.0) <= 1e-9,
+             "ok+error+tail=" + num(mass));
+  rec.expect("dist.tail.range",
+             dist.truncated_tail() >= 0.0 && dist.truncated_tail() <= 1.0,
+             "tail=" + num(dist.truncated_tail()));
+  rec.expect_close("dist.vs_analytic.error_probability", "dist",
+                   dist.error_probability(), "analytic", err, opts.rel_tol,
+                   opts.dist_tol + dist.truncated_tail());
+  if (dist.truncated_tail() <= opts.dist_tail_ceiling) {
+    rec.expect_close("dist.vs_analytic.mean", "dist", dist.mean(),
+                     "analytic", mean, opts.rel_tol, opts.abs_tol);
+    rec.expect_close("dist.vs_drm.variance", "dist", dist.variance(), "drm",
+                     var_drm, opts.rel_tol, var_noise);
+  }
+
+  // --- quantile monotonicity (uniform cost lattice only; ps capped
+  // below the representable mass 1 - tail).
+  if (dist.has_cost_lattice()) {
+    const double ps[] = {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999};
+    double prev_q = -1.0;
+    std::size_t prev_t = 0;
+    for (const double p : ps) {
+      if (p >= 1.0 - dist.truncated_tail()) break;
+      const double qv = dist.quantile(p);
+      const std::size_t tv = dist.probes_quantile(p);
+      rec.expect("dist.quantile.monotone", qv >= prev_q,
+                 "quantile(" + num(p) + ")=" + num(qv) +
+                     " < previous=" + num(prev_q));
+      rec.expect("dist.probes_quantile.monotone", tv >= prev_t,
+                 "probes_quantile(" + num(p) +
+                     ")=" + std::to_string(tv) +
+                     " < previous=" + std::to_string(prev_t));
+      prev_q = qv;
+      prev_t = tv;
+    }
+  }
+
+  // --- surface.bitwise: the amortized columns must reproduce the
+  // pointwise (unhooked) evaluators exactly, entry for entry.
+  {
+    const core::CostSurface surface(params, schedule.n());
+    const double direct_mean = core::mean_cost(params, schedule);
+    const double direct_err = core::error_probability(params, schedule);
+    rec.expect_bitwise("surface.bitwise.cost_at", "surface",
+                       surface.cost_at(schedule), "direct", direct_mean);
+    rec.expect_bitwise("surface.bitwise.error_at", "surface",
+                       surface.error_at(schedule), "direct", direct_err);
+    const std::vector<double> costs = surface.cost_column(schedule);
+    const std::vector<double> errs = surface.error_column(schedule);
+    rec.expect("surface.column.size",
+               costs.size() == schedule.n() && errs.size() == schedule.n(),
+               "cost column size " + std::to_string(costs.size()) +
+                   ", error column size " + std::to_string(errs.size()) +
+                   ", n " + std::to_string(schedule.n()));
+    if (costs.size() == schedule.n() && errs.size() == schedule.n()) {
+      rec.expect_bitwise("surface.bitwise.cost_column", "column",
+                         costs.back(), "direct", direct_mean);
+      rec.expect_bitwise("surface.bitwise.error_column", "column",
+                         errs.back(), "direct", direct_err);
+    }
+  }
+
+  // --- neutral.bitwise: shape parameters that express "no shape"
+  // (geometric factor 1, linear step 0) must be bit-equal to uniform.
+  {
+    const core::ProbeSchedule uniform =
+        core::ProbeSchedule::uniform(recipe.n, recipe.r0);
+    const core::ProbeSchedule geometric =
+        core::ProbeSchedule::geometric(recipe.n, recipe.r0, 1.0);
+    const core::ProbeSchedule linear =
+        core::ProbeSchedule::linear(recipe.n, recipe.r0, 0.0);
+    const double mean_u = mean_of(params, uniform);
+    const double err_u = err_of(params, uniform);
+    rec.expect_bitwise("neutral.bitwise.geometric.mean_cost", "geometric",
+                       mean_of(params, geometric), "uniform", mean_u);
+    rec.expect_bitwise("neutral.bitwise.linear.mean_cost", "linear",
+                       mean_of(params, linear), "uniform", mean_u);
+    rec.expect_bitwise("neutral.bitwise.geometric.error_probability",
+                       "geometric", err_of(params, geometric), "uniform",
+                       err_u);
+    rec.expect_bitwise("neutral.bitwise.linear.error_probability", "linear",
+                       err_of(params, linear), "uniform", err_u);
+  }
+
+  // --- log-domain collision probability vs the linear-domain value,
+  // where the latter is comfortably representable.
+  if (err > 1e-300) {
+    const double log_linear = std::log10(err);
+    const double log_domain =
+        core::log10_error_probability(params, schedule);
+    rec.expect_close("log_domain.error_probability", "log10(analytic)",
+                     log_linear, "log_domain", log_domain, 1e-9, 1e-9);
+  }
+
+  // --- monotone in n: one extra probe can only reduce the collision
+  // probability (pi_{n+1} <= pi_n and Err is increasing in pi_n).
+  {
+    const double err_more = err_of(params, extend_by_one(recipe));
+    rec.expect("monotone.error_probability_in_n",
+               err_more <= err * (1.0 + 1e-12) + opts.abs_tol,
+               "err(n+1)=" + num(err_more) + " > err(n)=" + num(err));
+  }
+
+  // --- Monte-Carlo cross-validation (the recipe's MC block).
+  if (recipe.run_mc) {
+    sim::NetworkConfig network;
+    network.address_space = recipe.mc_space;
+    network.hosts = recipe.mc_hosts;
+    network.responder_delay =
+        std::shared_ptr<const prob::DelayDistribution>(
+            prob::paper_reply_delay(recipe.scenario.loss,
+                                    recipe.scenario.lambda,
+                                    recipe.scenario.round_trip));
+    network.faults = recipe.fault_schedule();
+    sim::ZeroconfConfig protocol;
+    protocol.schedule = schedule;
+    sim::MonteCarloOptions mc_opts;
+    mc_opts.trials = recipe.mc_trials;
+    mc_opts.seed = exec::split_seed(recipe.seed, recipe.index);
+    mc_opts.probe_cost = recipe.scenario.probe_cost;
+    mc_opts.error_cost = recipe.scenario.error_cost;
+    mc_opts.threads = 1;  // cases parallelize outside the oracle
+    const sim::MonteCarloResults mc =
+        sim::monte_carlo(network, protocol, mc_opts);
+
+    rec.expect("mc.sanity.trials",
+               mc.completed + mc.aborted + mc.non_finite == mc.trials,
+               "completed=" + std::to_string(mc.completed) +
+                   " aborted=" + std::to_string(mc.aborted) +
+                   " non_finite=" + std::to_string(mc.non_finite) +
+                   " trials=" + std::to_string(mc.trials));
+    rec.expect("mc.sanity.collision_rate",
+               mc.collision_rate >= 0.0 && mc.collision_rate <= 1.0,
+               "collision_rate=" + num(mc.collision_rate));
+    rec.expect("mc.sanity.estimates_finite",
+               std::isfinite(mc.model_cost.mean) &&
+                   std::isfinite(mc.model_cost.ci95_halfwidth) &&
+                   std::isfinite(mc.probes.mean),
+               "model_cost.mean=" + num(mc.model_cost.mean) +
+                   " halfwidth=" + num(mc.model_cost.ci95_halfwidth) +
+                   " probes.mean=" + num(mc.probes.mean));
+
+    // CI containment is only a model prediction when the simulated
+    // network matches the model's assumptions: no injected faults, and an
+    // effectively-uniform schedule. For non-uniform schedules the
+    // analytic generalization pi_i = prod_j S(t_j) is a *model*, not the
+    // protocol: the simulated host honours conflicting replies until the
+    // end of all listening (factor S(t_n - t_{j-1})), which coincides
+    // with the model only when the timeouts are constant. The harness
+    // still runs the sanity block above on those cases.
+    if (recipe.fault == FaultKind::none && mc.completed == mc.trials &&
+        schedule.is_effectively_uniform()) {
+      rec.expect(
+          "mc.ci.mean_cost",
+          std::fabs(mean - mc.model_cost.mean) <=
+              opts.mc_ci_factor * mc.model_cost.ci95_halfwidth + 1e-9,
+          "analytic=" + num(mean) + " mc=" + num(mc.model_cost.mean) +
+              " halfwidth=" + num(mc.model_cost.ci95_halfwidth));
+      rec.expect(
+          "mc.ci.error_probability",
+          err >= mc.collision_ci95.lower * 0.9 - 1e-9 &&
+              err <= mc.collision_ci95.upper * 1.1 + 1e-9,
+          "analytic=" + num(err) + " ci=[" + num(mc.collision_ci95.lower) +
+              ", " + num(mc.collision_ci95.upper) + "]");
+    }
+  }
+
+  return violations;
+}
+
+}  // namespace zc::check

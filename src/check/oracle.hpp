@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file oracle.hpp
+/// Differential oracle: evaluates one fuzz case through every estimation
+/// path the repo has — closed-form analytic (Eq. 3/4), the DRM linear
+/// systems, the exact CostDistribution lattice, the amortized CostSurface
+/// columns, and (when the case carries a Monte-Carlo block) protocol-
+/// faithful simulation — and checks that they agree where they must:
+///
+///  - cross-estimator: analytic vs DRM mean cost / collision probability
+///    / variance within (abs_tol, rel_tol); CostDistribution moments vs
+///    the closed forms when the truncated tail is negligible; Monte-Carlo
+///    CIs contain the analytic values for fault-free cases;
+///  - metamorphic: pi-ladder starts at 1, stays in [0, 1], is
+///    non-increasing; collision probability is monotone non-increasing
+///    in n; variance is non-negative; quantiles are monotone in p;
+///  - bitwise: CostSurface columns reproduce the pointwise evaluators
+///    exactly, and neutral-shape schedules (geometric factor = 1, linear
+///    step = 0, constant custom) are bit-equal to uniform;
+///  - domain: probabilities in [0, 1], means finite and non-negative,
+///    distribution mass accounts for 1, log-domain collision probability
+///    matches the linear-domain one where both are representable.
+///
+/// The hooks in OracleOptions are the planted-bug seam: tests substitute
+/// a deliberately wrong evaluator and assert the oracle flags it (and
+/// that the shrinker then minimizes the offending case).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/fuzz.hpp"
+#include "core/params.hpp"
+#include "core/schedule.hpp"
+
+namespace zc::check {
+
+/// One invariant breach: `invariant` is a stable dotted name (e.g.
+/// "analytic.vs_drm.mean_cost"), `detail` the human-readable numbers.
+struct Violation {
+  std::string invariant;
+  std::string detail;
+};
+
+/// Oracle knobs. Defaults match the repo's cross-validation conventions
+/// (model_vs_sim tolerances for the Monte-Carlo containment checks).
+struct OracleOptions {
+  /// Cross-estimator agreement: |a - b| <= abs_tol + rel_tol*max(|a|,|b|).
+  double rel_tol = 1e-6;
+  double abs_tol = 1e-12;
+  /// CostDistribution collision probability vs Eq. (4), on top of the
+  /// truncated tail.
+  double dist_tol = 1e-6;
+  /// Truncated-tail ceiling below which distribution *moments* are
+  /// compared against the closed forms (tail mass times an unbounded
+  /// per-cell cost can distort moments arbitrarily).
+  double dist_tail_ceiling = 1e-9;
+  /// Monte-Carlo mean-cost containment: |analytic - mc| <=
+  /// mc_ci_factor * ci95_halfwidth + 1e-9 (the model_vs_sim convention).
+  double mc_ci_factor = 4.0;
+
+  /// Candidate evaluators under test; null = the production closed forms
+  /// (core::mean_cost / core::error_probability). Substituted by the
+  /// planted-bug tests.
+  std::function<double(const core::ScenarioParams&,
+                       const core::ProbeSchedule&)>
+      mean_cost_hook;
+  std::function<double(const core::ScenarioParams&,
+                       const core::ProbeSchedule&)>
+      error_probability_hook;
+};
+
+/// Run every applicable invariant on one case; empty result = case
+/// passes. Violations are emitted in a fixed deterministic order, and the
+/// whole evaluation is a pure function of (recipe, opts) — Monte-Carlo
+/// runs use the recipe's counter-derived seed on one thread.
+[[nodiscard]] std::vector<Violation> check_case(const CaseRecipe& recipe,
+                                                const OracleOptions& opts = {});
+
+}  // namespace zc::check

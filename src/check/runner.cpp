@@ -1,0 +1,104 @@
+#include "check/runner.hpp"
+
+#include <utility>
+
+#include "check/shrink.hpp"
+#include "exec/parallel.hpp"
+
+namespace zc::check {
+
+CheckResult run_check(const CheckOptions& opts) {
+  CheckResult result;
+  result.seed = opts.seed;
+  result.cases = opts.cases;
+
+  // One slot per case: workers never contend, and the serial harvest
+  // below reads them in ascending index order regardless of which thread
+  // produced them (chunk_size = 1 keeps one case per work unit).
+  std::vector<std::vector<Violation>> slots(
+      static_cast<std::size_t>(opts.cases));
+  exec::ExecOptions exec_opts;
+  exec_opts.threads = opts.threads;
+  exec_opts.chunk_size = 1;
+  exec::parallel_for(
+      slots.size(),
+      [&](std::size_t i) {
+        slots[i] = check_case(
+            fuzz_case(opts.seed, static_cast<std::uint64_t>(i)),
+            opts.oracle);
+      },
+      exec_opts);
+
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].empty()) continue;
+    CheckFailure failure;
+    failure.index = static_cast<std::uint64_t>(i);
+    failure.recipe = fuzz_case(opts.seed, failure.index);
+    failure.violations = std::move(slots[i]);
+    result.violations += failure.violations.size();
+    failure.minimal = failure.recipe;
+    if (opts.shrink) {
+      // Preserve the first (deterministically ordered) invariant.
+      ShrinkResult shrunk = shrink_case(
+          failure.recipe, failure.violations.front().invariant, opts.oracle);
+      failure.minimal = std::move(shrunk.recipe);
+      failure.shrunk_invariant = std::move(shrunk.invariant);
+      failure.shrink_steps = shrunk.steps;
+      failure.shrink_attempts = shrunk.attempts;
+      result.shrink_steps += shrunk.steps;
+    }
+    result.failures.push_back(std::move(failure));
+  }
+
+  result.metrics.inc(result.metrics.counter("check.cases"), result.cases);
+  result.metrics.inc(result.metrics.counter("check.violations"),
+                     result.violations);
+  result.metrics.inc(result.metrics.counter("check.shrink.steps"),
+                     result.shrink_steps);
+  return result;
+}
+
+obs::RunReport check_report(const CheckResult& result,
+                            const CheckOptions& opts) {
+  obs::RunReport report("zcopt_check",
+                        "differential oracle & spec-fuzzing campaign");
+  report.set_schema("zcopt-check-report", 1);
+  report.set_seed(result.seed);
+  report.config()["seed"] = result.seed;
+  report.config()["cases"] = result.cases;
+  report.config()["shrink"] = opts.shrink;
+  report.config()["rel_tol"] = opts.oracle.rel_tol;
+  report.config()["abs_tol"] = opts.oracle.abs_tol;
+  report.config()["dist_tol"] = opts.oracle.dist_tol;
+  report.config()["mc_ci_factor"] = opts.oracle.mc_ci_factor;
+
+  report.data()["ok"] = result.ok();
+  report.data()["violations"] = result.violations;
+  obs::JsonValue failures = obs::JsonValue::array();
+  for (const CheckFailure& failure : result.failures) {
+    obs::JsonValue entry = obs::JsonValue::object();
+    entry["index"] = failure.index;
+    entry["case"] = failure.recipe.describe();
+    obs::JsonValue violations = obs::JsonValue::array();
+    for (const Violation& v : failure.violations) {
+      obs::JsonValue cell = obs::JsonValue::object();
+      cell["invariant"] = v.invariant;
+      cell["detail"] = v.detail;
+      violations.push_back(std::move(cell));
+    }
+    entry["violations"] = std::move(violations);
+    entry["recipe"] = failure.recipe.to_json();
+    entry["minimal"] = failure.minimal.to_json();
+    if (!failure.shrunk_invariant.empty()) {
+      entry["shrunk_invariant"] = failure.shrunk_invariant;
+      entry["shrink_steps"] = failure.shrink_steps;
+      entry["shrink_attempts"] = failure.shrink_attempts;
+    }
+    failures.push_back(std::move(entry));
+  }
+  report.data()["failures"] = std::move(failures);
+  report.set_metrics(result.metrics);
+  return report;
+}
+
+}  // namespace zc::check

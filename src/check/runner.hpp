@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file runner.hpp
+/// Campaign driver for the check harness: enumerate fuzz cases, run the
+/// differential oracle on each (in parallel), collect violations in
+/// ascending case order, and shrink every failing case to a minimal
+/// replayable reproducer.
+///
+/// Determinism contract: CheckResult — and the report derived from it —
+/// is a pure function of (CheckOptions minus threads). Cases are
+/// evaluated into per-index slots via exec::parallel_for (one case per
+/// chunk) and harvested serially in index order; shrinking is serial;
+/// the report carries no timers, runtime gauges, or thread counts. Same
+/// seed and case count ⇒ byte-identical report at any thread setting.
+
+#include <cstdint>
+#include <vector>
+
+#include "check/fuzz.hpp"
+#include "check/oracle.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+
+namespace zc::check {
+
+/// Knobs of one `zcopt_cli check` campaign.
+struct CheckOptions {
+  std::uint64_t seed = 1;    ///< master seed of the case stream
+  std::uint64_t cases = 200; ///< fuzz cases to evaluate
+  bool shrink = true;        ///< minimize failing cases
+  unsigned threads = 0;      ///< 0 = hardware concurrency (results agnostic)
+  OracleOptions oracle;      ///< tolerances + planted-bug hooks
+};
+
+/// One failing case with its minimal reproducer.
+struct CheckFailure {
+  std::uint64_t index = 0;            ///< case index under the master seed
+  CaseRecipe recipe;                  ///< the case as fuzzed
+  std::vector<Violation> violations;  ///< everything the oracle reported
+  CaseRecipe minimal;                 ///< shrunken reproducer (== recipe
+                                      ///< when shrinking is off)
+  std::string shrunk_invariant;       ///< invariant the shrink preserved
+  unsigned shrink_steps = 0;
+  unsigned shrink_attempts = 0;
+};
+
+/// Outcome of a check campaign.
+struct CheckResult {
+  std::uint64_t seed = 0;
+  std::uint64_t cases = 0;
+  std::uint64_t violations = 0;    ///< total violations over all cases
+  std::uint64_t shrink_steps = 0;  ///< accepted shrink moves, summed
+  std::vector<CheckFailure> failures;
+  /// Campaign counters: check.cases, check.violations, check.shrink.steps.
+  obs::MetricSet metrics;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// Run the campaign described by `opts`.
+[[nodiscard]] CheckResult run_check(const CheckOptions& opts = {});
+
+/// The campaign as a schema `zcopt-check-report` v1 manifest (RunReport
+/// layout; config records seed/cases/shrink/tolerances — deliberately
+/// not the thread count — and data lists each failure with the original
+/// and minimal recipes as replayable JSON).
+[[nodiscard]] obs::RunReport check_report(const CheckResult& result,
+                                          const CheckOptions& opts);
+
+}  // namespace zc::check

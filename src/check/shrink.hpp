@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file shrink.hpp
+/// Deterministic greedy auto-shrinker: given a CaseRecipe on which the
+/// oracle reports a violation, produce a (locally) minimal recipe that
+/// still violates the *same* invariant. Minimization is a fixed, ordered
+/// list of semantic transformations — drop the fault, drop the
+/// Monte-Carlo block, collapse the schedule to uniform, halve n, halve
+/// the trial count, reset scenario knobs to their defaults — applied
+/// greedily to a fixpoint; a transformation is kept only when the
+/// shrunken case reproduces the original invariant. Everything is a pure
+/// function of (recipe, invariant, opts), so the emitted reproducer is
+/// byte-stable across runs and thread counts.
+
+#include <string>
+
+#include "check/fuzz.hpp"
+#include "check/oracle.hpp"
+
+namespace zc::check {
+
+/// Outcome of minimizing one failing case.
+struct ShrinkResult {
+  CaseRecipe recipe;      ///< the minimal reproducer
+  std::string invariant;  ///< the preserved invariant name
+  unsigned steps = 0;     ///< accepted transformations
+  unsigned attempts = 0;  ///< oracle evaluations spent
+};
+
+/// True when `check_case(recipe, opts)` still reports a violation of
+/// `invariant` (the shrinker's acceptance predicate).
+[[nodiscard]] bool reproduces(const CaseRecipe& recipe,
+                              const std::string& invariant,
+                              const OracleOptions& opts = {});
+
+/// Greedily minimize `failing` while preserving a violation of
+/// `invariant`. If the input does not reproduce at all (e.g. a stale
+/// report), it is returned unchanged with steps = 0.
+[[nodiscard]] ShrinkResult shrink_case(const CaseRecipe& failing,
+                                       const std::string& invariant,
+                                       const OracleOptions& opts = {});
+
+}  // namespace zc::check

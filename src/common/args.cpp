@@ -1,5 +1,6 @@
 #include "common/args.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <sstream>
@@ -29,6 +30,45 @@ const ArgParser::Option* ArgParser::find(const std::string& name) const {
   return nullptr;
 }
 
+namespace {
+
+/// Levenshtein distance, early-capped: anything beyond `cap` reports
+/// cap + 1 (only distances <= 2 matter for suggestions).
+std::size_t edit_distance(const std::string& a, const std::string& b,
+                          std::size_t cap) {
+  const std::size_t la = a.size(), lb = b.size();
+  if (la > lb + cap || lb > la + cap) return cap + 1;
+  std::vector<std::size_t> prev(lb + 1), curr(lb + 1);
+  for (std::size_t j = 0; j <= lb; ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= la; ++i) {
+    curr[0] = i;
+    for (std::size_t j = 1; j <= lb; ++j) {
+      const std::size_t subst = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, subst});
+    }
+    prev.swap(curr);
+  }
+  return prev[lb];
+}
+
+}  // namespace
+
+std::string ArgParser::nearest(const std::string& name) const {
+  constexpr std::size_t kMaxDistance = 2;
+  std::string best;
+  std::size_t best_distance = kMaxDistance + 1;
+  const auto consider = [&](const std::string& candidate) {
+    const std::size_t d = edit_distance(name, candidate, kMaxDistance);
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate;
+    }
+  };
+  for (const auto& [n, opt] : options_) consider(n);
+  consider("help");
+  return best;  // empty when nothing is within distance 2
+}
+
 bool ArgParser::parse(const std::vector<std::string>& args) {
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -44,14 +84,27 @@ bool ArgParser::parse(const std::vector<std::string>& args) {
     const Option* opt = find(name);
     if (opt == nullptr) {
       error_ = "unknown option '--" + name + "'";
+      const std::string suggestion = nearest(name);
+      if (!suggestion.empty())
+        error_ += " (did you mean '--" + suggestion + "'?)";
       return false;
     }
+    // Repeats are rejected rather than last-wins: a duplicated flag in a
+    // long command line is nearly always a typo for a different option.
     if (opt->is_flag) {
+      if (flags_set_.contains(name)) {
+        error_ = "duplicate option '--" + name + "'";
+        return false;
+      }
       flags_set_[name] = true;
       continue;
     }
     if (i + 1 >= args.size()) {
       error_ = "option '--" + name + "' needs a value";
+      return false;
+    }
+    if (values_.contains(name)) {
+      error_ = "duplicate option '--" + name + "'";
       return false;
     }
     values_[name] = args[++i];

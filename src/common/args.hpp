@@ -26,7 +26,9 @@ class ArgParser {
                   const std::string& default_value);
 
   /// Parse argv (excluding argv[0]). Returns false and records error()
-  /// on unknown options or missing values. `--help` sets help_requested.
+  /// on unknown options (suggesting the nearest known option within
+  /// edit distance 2), duplicated options, or missing values. `--help`
+  /// sets help_requested.
   [[nodiscard]] bool parse(const std::vector<std::string>& args);
   [[nodiscard]] bool parse(int argc, const char* const* argv);
 
@@ -76,6 +78,9 @@ class ArgParser {
   std::string error_;
 
   [[nodiscard]] const Option* find(const std::string& name) const;
+  /// Closest registered option name (or "help") within edit distance 2
+  /// of `name`; empty when nothing is that close.
+  [[nodiscard]] std::string nearest(const std::string& name) const;
 };
 
 }  // namespace zc

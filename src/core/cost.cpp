@@ -110,7 +110,7 @@ double mean_cost(const ScenarioParams& scenario,
                  const ProbeSchedule& schedule) {
   // Uniform: the pre-schedule Eq. (3) arithmetic, verbatim — byte
   // compatibility is part of the contract.
-  if (schedule.is_uniform())
+  if (schedule.is_effectively_uniform())
     return mean_cost(scenario,
                      ProtocolParams{schedule.n(), schedule.uniform_r()});
   schedule.validate(/*allow_zero_r=*/true);

@@ -137,7 +137,7 @@ std::vector<double> CostSurface::cost_column(
     const ProbeSchedule& schedule) const {
   const prob::DelayDistribution& fx = scenario_.reply_delay();
   std::vector<double> out(schedule.n());
-  if (schedule.is_uniform()) {
+  if (schedule.is_effectively_uniform()) {
     // Historical uniform arithmetic over prefix lengths 1..n.
     const double r = schedule.uniform_r();
     walk_pieces(
@@ -164,7 +164,7 @@ std::vector<double> CostSurface::error_column(
     const ProbeSchedule& schedule) const {
   const prob::DelayDistribution& fx = scenario_.reply_delay();
   std::vector<double> out(schedule.n());
-  if (schedule.is_uniform()) {
+  if (schedule.is_effectively_uniform()) {
     const double r = schedule.uniform_r();
     walk_pieces(
         schedule.n(),

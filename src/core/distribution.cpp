@@ -56,7 +56,7 @@ CostDistribution::CostDistribution(const ScenarioParams& scenario,
                                    std::size_t max_probes)
     : per_probe_(0.0), error_cost_(scenario.error_cost()),
       probe_cost_(scenario.probe_cost()) {
-  if (schedule.is_uniform()) {
+  if (schedule.is_effectively_uniform()) {
     // Bit-compatible special case: the historical lattice construction.
     *this = CostDistribution(
         scenario, ProtocolParams{schedule.n(), schedule.uniform_r()},

@@ -84,7 +84,7 @@ markov::MarkovRewardModel build_drm(const ScenarioParams& scenario,
 
 markov::Dtmc build_chain(const ScenarioParams& scenario,
                          const ProbeSchedule& schedule) {
-  if (schedule.is_uniform())
+  if (schedule.is_effectively_uniform())
     return build_chain(scenario,
                        ProtocolParams{schedule.n(), schedule.uniform_r()});
   schedule.validate(/*allow_zero_r=*/true);
@@ -114,7 +114,7 @@ markov::Dtmc build_chain(const ScenarioParams& scenario,
 
 linalg::Matrix build_cost_matrix(const ScenarioParams& scenario,
                                  const ProbeSchedule& schedule) {
-  if (schedule.is_uniform())
+  if (schedule.is_effectively_uniform())
     return build_cost_matrix(
         scenario, ProtocolParams{schedule.n(), schedule.uniform_r()});
   schedule.validate(/*allow_zero_r=*/true);

@@ -46,7 +46,7 @@ double log10_error_probability(const ScenarioParams& scenario,
 
 double error_probability(const ScenarioParams& scenario,
                          const ProbeSchedule& schedule) {
-  if (schedule.is_uniform())
+  if (schedule.is_effectively_uniform())
     return error_probability(
         scenario, ProtocolParams{schedule.n(), schedule.uniform_r()});
   const double q = scenario.q();
@@ -72,7 +72,7 @@ double reliability(const ScenarioParams& scenario,
 
 double log10_error_probability(const ScenarioParams& scenario,
                                const ProbeSchedule& schedule) {
-  if (schedule.is_uniform())
+  if (schedule.is_effectively_uniform())
     return log10_error_probability(
         scenario, ProtocolParams{schedule.n(), schedule.uniform_r()});
   const double q = scenario.q();

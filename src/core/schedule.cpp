@@ -1,6 +1,8 @@
 #include "core/schedule.hpp"
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <sstream>
 #include <utility>
 
@@ -112,10 +114,24 @@ void ProbeSchedule::materialize_cumulative() {
     total += r;
     cumulative_.push_back(total);
   }
+  // Bitwise comparison on purpose: only an exactly-constant vector may
+  // take the uniform `i * r` arithmetic, anything else keeps the
+  // running sums above.
+  constant_timeouts_ = !timeouts_.empty();
+  for (double r : timeouts_) {
+    if (std::bit_cast<std::uint64_t>(r) !=
+        std::bit_cast<std::uint64_t>(timeouts_.front())) {
+      constant_timeouts_ = false;
+      break;
+    }
+  }
 }
 
 double ProbeSchedule::uniform_r() const {
-  ZC_EXPECTS(is_uniform());
+  ZC_EXPECTS(is_effectively_uniform());
+  // r0_ is the constant timeout for every effectively-uniform family:
+  // the uniform/geometric/linear generator parameter, or the custom
+  // vector's (all-equal) first element.
   return r0_;
 }
 
@@ -128,9 +144,10 @@ double ProbeSchedule::timeout(unsigned i) const {
 double ProbeSchedule::cumulative(unsigned i) const {
   ZC_EXPECTS(i <= n_);
   if (i == 0) return 0.0;
-  // Uniform: `i * r` exactly as the pre-schedule evaluators computed it —
-  // a running sum would round differently and break byte compatibility.
-  if (is_uniform()) return static_cast<double>(i) * r0_;
+  // Effectively uniform: `i * r` exactly as the pre-schedule evaluators
+  // computed it — a running sum would round differently and break byte
+  // compatibility (fl(fl(r+r)+r) != fl(3r) in general).
+  if (is_effectively_uniform()) return static_cast<double>(i) * r0_;
   return cumulative_[i - 1];
 }
 

@@ -89,7 +89,19 @@ class ProbeSchedule {
     return family_ == ScheduleFamily::uniform;
   }
 
-  /// The uniform listening period; precondition `is_uniform()`.
+  /// True when every per-probe timeout is the same double: the uniform
+  /// family, a neutral-shape generator (geometric factor = 1, linear
+  /// step = 0), or a constant custom vector. Effectively-uniform
+  /// schedules take the historical uniform arithmetic path everywhere
+  /// (`i * r`, never a running sum), so their analytic values, trial
+  /// bytes, and report bytes are bit-identical to the equivalent
+  /// `uniform(n, r)` — the metamorphic invariant the check oracle
+  /// asserts (check/oracle.hpp).
+  [[nodiscard]] bool is_effectively_uniform() const noexcept {
+    return family_ == ScheduleFamily::uniform || constant_timeouts_;
+  }
+
+  /// The uniform listening period; precondition `is_effectively_uniform()`.
   [[nodiscard]] double uniform_r() const;
 
   /// First-probe timeout (generator parameter for uniform/geometric/
@@ -103,9 +115,10 @@ class ProbeSchedule {
   /// r_i, 1-based; precondition 1 <= i <= n().
   [[nodiscard]] double timeout(unsigned i) const;
 
-  /// Cumulative listening time t_i = r_1 + ... + r_i; t_0 = 0. Uniform
-  /// schedules compute `i * r` (the historical arithmetic), never a
-  /// running sum, so the value is bit-identical to the pre-schedule code.
+  /// Cumulative listening time t_i = r_1 + ... + r_i; t_0 = 0.
+  /// Effectively-uniform schedules compute `i * r` (the historical
+  /// arithmetic), never a running sum, so the value is bit-identical to
+  /// the pre-schedule code.
   [[nodiscard]] double cumulative(unsigned i) const;
 
   /// t_n: total time spent listening when every probe goes unanswered.
@@ -140,6 +153,9 @@ class ProbeSchedule {
   // (computed on the fly so the uniform case never allocates).
   std::vector<double> timeouts_;
   std::vector<double> cumulative_;
+  // Every materialized timeout is the same double (neutral-shape
+  // generators, constant custom vectors); see is_effectively_uniform().
+  bool constant_timeouts_ = false;
 
   void materialize_cumulative();
 };

@@ -156,8 +156,8 @@ void RunReport::capture_registry() {
 
 JsonValue RunReport::to_json() const {
   JsonValue out = JsonValue::object();
-  out["schema"] = kSchemaName;
-  out["schema_version"] = kSchemaVersion;
+  out["schema"] = schema_name_;
+  out["schema_version"] = schema_version_;
   out["program"] = program_;
   out["description"] = description_;
   out["git"] = git_describe();

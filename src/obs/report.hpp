@@ -57,6 +57,15 @@ class RunReport {
 
   RunReport(std::string program, std::string description);
 
+  /// Override the manifest's schema identity (default: zcopt-run-report
+  /// v1). Derived report kinds — e.g. the check harness's
+  /// `zcopt-check-report` v1 — keep the same top-level layout but
+  /// declare their own schema so consumers can dispatch on it.
+  void set_schema(std::string name, int version) {
+    schema_name_ = std::move(name);
+    schema_version_ = version;
+  }
+
   void set_seed(std::uint64_t seed) { seed_ = seed; }
 
   /// Mutable config / bench-data sections (insertion-ordered objects).
@@ -80,6 +89,8 @@ class RunReport {
  private:
   std::string program_;
   std::string description_;
+  std::string schema_name_ = kSchemaName;
+  int schema_version_ = kSchemaVersion;
   std::optional<std::uint64_t> seed_;
   JsonValue config_ = JsonValue::object();
   JsonValue data_ = JsonValue::object();

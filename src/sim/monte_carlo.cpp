@@ -85,15 +85,13 @@ struct TrialAccumulator {
 
 }  // namespace
 
-MonteCarloResults monte_carlo(const NetworkConfig& network,
-                              const ZeroconfConfig& protocol,
-                              const MonteCarloOptions& opts) {
-  ZC_REQUIRE(opts.trials > 0, "MonteCarloOptions.trials must be > 0");
-  ZC_REQUIRE(std::isfinite(opts.probe_cost) && opts.probe_cost >= 0.0,
+void MonteCarloOptions::validate() const {
+  ZC_REQUIRE(trials > 0, "MonteCarloOptions.trials must be > 0");
+  ZC_REQUIRE(std::isfinite(probe_cost) && probe_cost >= 0.0,
              "MonteCarloOptions.probe_cost must be finite and >= 0");
-  ZC_REQUIRE(std::isfinite(opts.error_cost) && opts.error_cost >= 0.0,
+  ZC_REQUIRE(std::isfinite(error_cost) && error_cost >= 0.0,
              "MonteCarloOptions.error_cost must be finite and >= 0");
-  const PrecisionTargets& prec = opts.precision;
+  const PrecisionTargets& prec = precision;
   ZC_REQUIRE(
       std::isfinite(prec.rel_ci_model_cost) && prec.rel_ci_model_cost >= 0.0,
       "MonteCarloOptions.precision.rel_ci_model_cost must be finite and >= 0");
@@ -105,6 +103,12 @@ MonteCarloResults monte_carlo(const NetworkConfig& network,
   ZC_REQUIRE(prec.min_trials == 0 || prec.max_trials == 0 ||
                  prec.min_trials <= prec.max_trials,
              "MonteCarloOptions.precision.min_trials must be <= max_trials");
+}
+
+MonteCarloResults monte_carlo(const NetworkConfig& network,
+                              const ZeroconfConfig& protocol,
+                              const MonteCarloOptions& opts) {
+  opts.validate();
 
   exec::ExecOptions exec_opts;
   exec_opts.threads = opts.threads;
@@ -180,6 +184,7 @@ MonteCarloResults monte_carlo(const NetworkConfig& network,
     into.merge(from);
   };
 
+  const PrecisionTargets& prec = opts.precision;
   const bool adaptive = prec.enabled();
   TrialAccumulator total = init;
   std::size_t realized = opts.trials;  ///< trials scheduled for execution

@@ -128,6 +128,13 @@ struct MonteCarloOptions {
   /// `non_finite` < `trials`) — callers that see a stop should treat the
   /// results as partial and discard or re-run them.
   const exec::CancelToken* cancel = nullptr;
+
+  /// The one place the options' domain checks live, mirroring
+  /// ProtocolParams::validate: trials >= 1, finite non-negative costs,
+  /// finite non-negative precision targets with min_trials <= max_trials.
+  /// Throws zc::ContractViolation naming the offending field; called on
+  /// entry to `monte_carlo`.
+  void validate() const;
 };
 
 /// Run `opts.trials` independent configuration runs, each on a freshly

@@ -88,7 +88,7 @@ RunResult Network::result_of(ZeroconfHost& joiner, double start) const {
   out.attempts = joiner.attempts();
   out.conflicts = joiner.conflicts();
   const core::ProbeSchedule& schedule = joiner.config().schedule;
-  out.uniform_schedule = schedule.is_uniform();
+  out.uniform_schedule = schedule.is_effectively_uniform();
   out.uniform_r = out.uniform_schedule ? schedule.uniform_r() : 0.0;
   out.model_listening = joiner.model_listening();
   out.waiting_time = joiner.waiting_time();

@@ -121,7 +121,7 @@ void ZeroconfHost::send_probe() {
   // Model accounting charges the full window per sent probe. The uniform
   // case is reconstructed as probes_sent * r at result time (bit-exact
   // historical arithmetic), so only non-uniform schedules accumulate.
-  if (!config_.schedule.is_uniform()) model_listening_ += window;
+  if (!config_.schedule.is_effectively_uniform()) model_listening_ += window;
   period_timer_ = sim_.schedule(window, [this] { on_period_end(); });
 }
 

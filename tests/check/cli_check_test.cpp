@@ -1,0 +1,145 @@
+/// End-to-end `zcopt_cli check`: exit codes, the report file's schema
+/// and thread-count byte identity, and the ArgParser hardening shared by
+/// every subcommand (duplicate options rejected, typos get a nearest-
+/// flag suggestion).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+#ifndef ZCOPT_CLI_PATH
+#error "ZCOPT_CLI_PATH must point at the zcopt_cli binary"
+#endif
+
+namespace {
+
+struct CliRun {
+  int status = 0;  ///< raw std::system status; 0 iff clean exit 0
+  std::string out;
+  std::string err;
+};
+
+std::string slurp_and_remove(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::remove(path.c_str());
+  return buffer.str();
+}
+
+/// Spawn the CLI with `arguments`; nullopt (caller skips) without a shell.
+std::optional<CliRun> run_cli(const std::string& arguments,
+                              const std::string& tag) {
+  if (std::system(nullptr) == 0) return std::nullopt;
+  const std::string out_path = ::testing::TempDir() + "zc_check_cli_" + tag + ".out";
+  const std::string err_path = ::testing::TempDir() + "zc_check_cli_" + tag + ".err";
+  const std::string command = std::string(ZCOPT_CLI_PATH) + " " + arguments +
+                              " > " + out_path + " 2> " + err_path;
+  CliRun result;
+  result.status = std::system(command.c_str());
+  result.out = slurp_and_remove(out_path);
+  result.err = slurp_and_remove(err_path);
+  return result;
+}
+
+TEST(CliCheck, CleanCampaignExitsZero) {
+  const auto run = run_cli("check --seed 1 --cases 64", "clean");
+  if (!run.has_value()) GTEST_SKIP() << "could not spawn zcopt_cli";
+  EXPECT_EQ(run->status, 0) << run->err;
+  EXPECT_NE(run->out.find("check: 64 case(s), seed 1: 0 violation(s)"),
+            std::string::npos)
+      << run->out;
+}
+
+TEST(CliCheck, ReportMatchesSchemaAndIsByteIdenticalAcrossThreads) {
+  const std::string serial_path = ::testing::TempDir() + "zc_check_t1.json";
+  const std::string wide_path = ::testing::TempDir() + "zc_check_t8.json";
+  const auto serial = run_cli(
+      "check --seed 3 --cases 48 --threads 1 --report " + serial_path, "t1");
+  const auto wide = run_cli(
+      "check --seed 3 --cases 48 --threads 8 --report " + wide_path, "t8");
+  if (!serial.has_value() || !wide.has_value())
+    GTEST_SKIP() << "could not spawn zcopt_cli";
+  ASSERT_EQ(serial->status, 0) << serial->err;
+  ASSERT_EQ(wide->status, 0) << wide->err;
+
+  const std::string serial_bytes = slurp_and_remove(serial_path);
+  const std::string wide_bytes = slurp_and_remove(wide_path);
+  ASSERT_FALSE(serial_bytes.empty());
+  EXPECT_EQ(serial_bytes, wide_bytes)
+      << "check report depends on the thread count";
+
+  std::string error;
+  const auto report = zc::obs::parse_json(serial_bytes, &error);
+  ASSERT_TRUE(report.has_value()) << error;
+  EXPECT_EQ(report->find("schema")->as_string(), "zcopt-check-report");
+  EXPECT_DOUBLE_EQ(report->find("schema_version")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(report->find("config")->find("cases")->as_number(), 48.0);
+  EXPECT_TRUE(report->find("data")->find("ok")->as_bool());
+}
+
+TEST(CliCheck, UsageErrorsExitNonZero) {
+  const auto bad_shrink =
+      run_cli("check --cases 4 --shrink sometimes", "bad_shrink");
+  if (!bad_shrink.has_value()) GTEST_SKIP() << "could not spawn zcopt_cli";
+  EXPECT_NE(bad_shrink->status, 0);
+  EXPECT_NE(bad_shrink->err.find("--shrink"), std::string::npos)
+      << bad_shrink->err;
+}
+
+// The ArgParser hardening is shared by every subcommand surface: the
+// default evaluate/optimize modes, `campaign`, and `check`. A repeated
+// option is rejected (not silently last-wins) ...
+TEST(CliCheck, DuplicateOptionsRejectedOnEverySubcommand) {
+  const struct {
+    const char* tag;
+    const char* arguments;
+    const char* option;
+  } cases[] = {
+      {"modes", "--n 4 --n 5", "--n"},
+      {"campaign", "campaign --hosts 100 --hosts 200", "--hosts"},
+      {"check", "check --cases 4 --cases 8", "--cases"},
+  };
+  for (const auto& c : cases) {
+    const auto run = run_cli(c.arguments, std::string("dup_") + c.tag);
+    if (!run.has_value()) GTEST_SKIP() << "could not spawn zcopt_cli";
+    EXPECT_NE(run->status, 0) << c.tag;
+    EXPECT_NE(run->err.find(std::string("duplicate option '") + c.option +
+                            "'"),
+              std::string::npos)
+        << c.tag << ": " << run->err;
+  }
+}
+
+// ... and a near-miss flag name comes back with a suggestion.
+TEST(CliCheck, TyposGetANearestFlagSuggestionOnEverySubcommand) {
+  const struct {
+    const char* tag;
+    const char* arguments;
+    const char* suggestion;
+  } cases[] = {
+      {"modes", "--hostz 100", "--hosts"},
+      {"campaign", "campaign --hostz 100", "--hosts"},
+      {"check", "check --casez 4", "--cases"},
+  };
+  for (const auto& c : cases) {
+    const auto run = run_cli(c.arguments, std::string("typo_") + c.tag);
+    if (!run.has_value()) GTEST_SKIP() << "could not spawn zcopt_cli";
+    EXPECT_NE(run->status, 0) << c.tag;
+    EXPECT_NE(run->err.find("unknown option"), std::string::npos)
+        << c.tag << ": " << run->err;
+    EXPECT_NE(run->err.find(std::string("(did you mean '") + c.suggestion +
+                            "'?)"),
+              std::string::npos)
+        << c.tag << ": " << run->err;
+  }
+}
+
+}  // namespace

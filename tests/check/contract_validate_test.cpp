@@ -1,0 +1,57 @@
+/// Table-driven contract coverage: every invalid-case shape the fuzzer
+/// emits must raise zc::ContractViolation from the targeted validate(),
+/// and the message must name the violated field — the property the
+/// `zcopt_cli check` quarantine path and every CLI error message rely on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/fuzz.hpp"
+#include "common/contract.hpp"
+
+namespace {
+
+using namespace zc;
+using check::fuzz_invalid_case;
+using check::InvalidCase;
+using check::kInvalidCaseShapes;
+
+TEST(ContractValidate, EveryInvalidShapeThrowsNamingTheField) {
+  // Several master seeds so the randomized offending magnitudes vary;
+  // the (target, field, throws) triple must hold for all of them.
+  for (std::uint64_t seed : {1ull, 2ull, 99ull}) {
+    for (std::uint64_t index = 0; index < kInvalidCaseShapes; ++index) {
+      const InvalidCase invalid = fuzz_invalid_case(seed, index);
+      ASSERT_FALSE(invalid.target.empty());
+      ASSERT_FALSE(invalid.field.empty());
+      try {
+        invalid.trigger();
+        ADD_FAILURE() << invalid.target << " shape " << index << " (seed "
+                      << seed << ") did not throw";
+      } catch (const ContractViolation& violation) {
+        EXPECT_NE(std::string(violation.what()).find(invalid.field),
+                  std::string::npos)
+            << invalid.target << " shape " << index
+            << ": message does not name '" << invalid.field
+            << "': " << violation.what();
+      } catch (const std::exception& other) {
+        ADD_FAILURE() << invalid.target << " shape " << index
+                      << " threw the wrong type: " << other.what();
+      }
+    }
+  }
+}
+
+TEST(ContractValidate, ShapesBeyondTheCycleRepeat) {
+  // Index arithmetic is mod kInvalidCaseShapes: shape k and shape
+  // k + kInvalidCaseShapes target the same validate()/field pair.
+  for (std::uint64_t index = 0; index < kInvalidCaseShapes; ++index) {
+    const InvalidCase base = fuzz_invalid_case(7, index);
+    const InvalidCase wrapped = fuzz_invalid_case(7, index + kInvalidCaseShapes);
+    EXPECT_EQ(base.target, wrapped.target) << "index " << index;
+    EXPECT_EQ(base.field, wrapped.field) << "index " << index;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,160 @@
+/// Deterministic spec fuzzer: counter-stream replayability, bit-exact
+/// JSON round-trips of CaseRecipe, the Monte-Carlo block's q = hosts /
+/// space pin, and full validate() coverage of the invalid-case stream.
+
+#include "check/fuzz.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/contract.hpp"
+#include "core/schedule.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using namespace zc;
+using check::CaseRecipe;
+using check::FaultKind;
+using check::fuzz_case;
+using check::fuzz_invalid_case;
+using check::FuzzRng;
+
+TEST(FuzzRng, CounterStreamIsPureFunctionOfSeedAndIndex) {
+  FuzzRng a(42, 7);
+  FuzzRng b(42, 7);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(FuzzRng, DistinctIndicesDecorrelate) {
+  FuzzRng a(42, 7);
+  FuzzRng b(42, 8);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(FuzzRng, UnitDrawsStayInHalfOpenInterval) {
+  FuzzRng rng(1, 0);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.next_unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Fuzz, CaseIsReplayableFromSeedAndIndex) {
+  for (std::uint64_t index : {0ull, 1ull, 7ull, 63ull, 200ull}) {
+    const CaseRecipe a = fuzz_case(5, index);
+    const CaseRecipe b = fuzz_case(5, index);
+    EXPECT_EQ(a.to_json().dump_compact(), b.to_json().dump_compact())
+        << "index " << index;
+  }
+}
+
+TEST(Fuzz, RecipesVaryAcrossIndices) {
+  std::set<std::string> distinct;
+  for (std::uint64_t index = 0; index < 64; ++index)
+    distinct.insert(fuzz_case(1, index).to_json().dump_compact());
+  // Menus repeat boundary values, so collisions happen — but the stream
+  // must not degenerate into a handful of cases.
+  EXPECT_GT(distinct.size(), 48u);
+}
+
+TEST(Fuzz, JsonRoundTripIsBitExact) {
+  for (std::uint64_t index = 0; index < 64; ++index) {
+    const CaseRecipe original = fuzz_case(9, index);
+    const obs::JsonValue encoded = original.to_json();
+    const auto reparsed = obs::parse_json(encoded.dump_compact());
+    ASSERT_TRUE(reparsed.has_value()) << "index " << index;
+    CaseRecipe decoded;
+    std::string error;
+    ASSERT_TRUE(CaseRecipe::from_json(*reparsed, decoded, &error))
+        << "index " << index << ": " << error;
+    EXPECT_EQ(decoded.to_json().dump_compact(), encoded.dump_compact())
+        << "index " << index;
+  }
+}
+
+TEST(Fuzz, FromJsonNamesTheOffendingField) {
+  obs::JsonValue bad = fuzz_case(1, 0).to_json();
+  bad["n"] = obs::JsonValue(-3.0);
+  CaseRecipe out;
+  std::string error;
+  EXPECT_FALSE(CaseRecipe::from_json(bad, out, &error));
+  EXPECT_NE(error.find("CaseRecipe.n"), std::string::npos) << error;
+}
+
+TEST(Fuzz, EveryEighthCaseCarriesTheMonteCarloBlock) {
+  for (std::uint64_t index = 0; index < 64; ++index) {
+    const CaseRecipe recipe = fuzz_case(3, index);
+    EXPECT_EQ(recipe.run_mc, index % 8 == 7) << "index " << index;
+    if (recipe.run_mc) {
+      ASSERT_GT(recipe.mc_space, 0u);
+      EXPECT_GT(recipe.mc_trials, 0u);
+      EXPECT_LE(recipe.mc_hosts, recipe.mc_space);
+      // The analytic model must describe the simulated segment exactly.
+      EXPECT_EQ(recipe.scenario.q, static_cast<double>(recipe.mc_hosts) /
+                                       static_cast<double>(recipe.mc_space));
+    }
+  }
+}
+
+TEST(Fuzz, SchedulesMaterializeAndValidate) {
+  for (std::uint64_t index = 0; index < 128; ++index) {
+    const CaseRecipe recipe = fuzz_case(11, index);
+    const core::ProbeSchedule schedule = recipe.schedule();
+    EXPECT_EQ(schedule.n(), recipe.n) << "index " << index;
+    EXPECT_NO_THROW(schedule.validate(/*allow_zero_r=*/true))
+        << "index " << index;
+  }
+}
+
+TEST(Fuzz, FaultKindNamesRoundTrip) {
+  for (FaultKind kind :
+       {FaultKind::none, FaultKind::gilbert_elliott, FaultKind::blackout,
+        FaultKind::delay_spike, FaultKind::duplication, FaultKind::reordering,
+        FaultKind::host_churn}) {
+    FaultKind parsed = FaultKind::none;
+    ASSERT_TRUE(check::fault_kind_from_string(check::to_string(kind), parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  FaultKind untouched = FaultKind::blackout;
+  EXPECT_FALSE(check::fault_kind_from_string("gremlins", untouched));
+  EXPECT_EQ(untouched, FaultKind::blackout);
+}
+
+TEST(Fuzz, DescribeMentionsTheScheduleAndFault) {
+  for (std::uint64_t index = 0; index < 16; ++index) {
+    const CaseRecipe recipe = fuzz_case(2, index);
+    const std::string text = recipe.describe();
+    EXPECT_FALSE(text.empty());
+    EXPECT_NE(text.find(check::to_string(recipe.fault)), std::string::npos)
+        << text;
+  }
+}
+
+TEST(Fuzz, InvalidStreamIsDeterministic) {
+  for (std::uint64_t index = 0; index < check::kInvalidCaseShapes; ++index) {
+    const check::InvalidCase a = fuzz_invalid_case(4, index);
+    const check::InvalidCase b = fuzz_invalid_case(4, index);
+    EXPECT_EQ(a.target, b.target);
+    EXPECT_EQ(a.field, b.field);
+  }
+}
+
+TEST(Fuzz, InvalidStreamCoversEveryPublicValidate) {
+  std::set<std::string> targets;
+  for (std::uint64_t index = 0; index < check::kInvalidCaseShapes; ++index)
+    targets.insert(fuzz_invalid_case(1, index).target);
+  for (const char* required :
+       {"ProtocolParams", "ProbeSchedule", "ZeroconfConfig", "FaultSchedule",
+        "MonteCarloOptions", "ExperimentSpec"})
+    EXPECT_TRUE(targets.contains(required)) << "no invalid case exercises "
+                                            << required << "::validate";
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+/// Differential oracle: clean fuzz streams pass every invariant, the
+/// evaluation is a pure function of (recipe, opts), and a planted
+/// evaluator bug is detected (the OracleOptions hook seam).
+
+#include "check/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "check/fuzz.hpp"
+#include "core/cost.hpp"
+#include "core/reliability.hpp"
+
+namespace {
+
+using namespace zc;
+using check::check_case;
+using check::fuzz_case;
+using check::Violation;
+
+std::string render(const std::vector<Violation>& violations) {
+  std::string out;
+  for (const Violation& v : violations)
+    out += v.invariant + ": " + v.detail + "\n";
+  return out;
+}
+
+bool mentions(const std::vector<Violation>& violations,
+              const std::string& fragment) {
+  for (const Violation& v : violations)
+    if (v.invariant.find(fragment) != std::string::npos) return true;
+  return false;
+}
+
+TEST(Oracle, CleanStreamPassesEveryInvariant) {
+  for (std::uint64_t index = 0; index < 100; ++index) {
+    const auto violations = check_case(fuzz_case(1, index));
+    EXPECT_TRUE(violations.empty())
+        << "case " << index << " of seed 1:\n" << render(violations);
+  }
+}
+
+TEST(Oracle, EvaluationIsDeterministic) {
+  // Index 7 carries the Monte-Carlo block — the stochastic-looking path
+  // must still be a pure function of the recipe (counter-derived seed,
+  // one thread).
+  for (std::uint64_t index : {0ull, 7ull, 15ull, 42ull}) {
+    const auto first = check_case(fuzz_case(2, index));
+    const auto second = check_case(fuzz_case(2, index));
+    ASSERT_EQ(first.size(), second.size()) << "index " << index;
+    for (std::size_t i = 0; i < first.size(); ++i) {
+      EXPECT_EQ(first[i].invariant, second[i].invariant);
+      EXPECT_EQ(first[i].detail, second[i].detail);
+    }
+  }
+}
+
+// The planted-bug seam: substitute a mean-cost evaluator that is off by
+// a relative 1e-3 and the cross-check against the DRM solve must flag it
+// on (nearly) every case — only degenerate cells with mean cost ~ 0 or a
+// conditioning floor above the perturbation are exempt.
+TEST(Oracle, PlantedMeanCostBugIsDetected) {
+  check::OracleOptions opts;
+  opts.mean_cost_hook = [](const core::ScenarioParams& scenario,
+                           const core::ProbeSchedule& schedule) {
+    return core::mean_cost(scenario, schedule) * (1.0 + 1e-3);
+  };
+  int flagged = 0;
+  for (std::uint64_t index = 0; index < 32; ++index) {
+    if (mentions(check_case(fuzz_case(1, index), opts),
+                 "analytic.vs_drm.mean_cost"))
+      ++flagged;
+  }
+  EXPECT_GE(flagged, 24) << "the oracle misses a 1e-3 relative bias";
+}
+
+TEST(Oracle, PlantedErrorProbabilityBugIsDetected) {
+  check::OracleOptions opts;
+  opts.error_probability_hook = [](const core::ScenarioParams& scenario,
+                                   const core::ProbeSchedule& schedule) {
+    const double err = core::error_probability(scenario, schedule);
+    return std::min(1.0, err * (1.0 + 1e-3));
+  };
+  int flagged = 0;
+  for (std::uint64_t index = 0; index < 32; ++index) {
+    if (mentions(check_case(fuzz_case(1, index), opts), "error_probability"))
+      ++flagged;
+  }
+  EXPECT_GE(flagged, 24) << "the oracle misses a 1e-3 relative bias";
+}
+
+// Tight tolerances must not hallucinate failures either: the hook that
+// returns the production value verbatim is indistinguishable from no
+// hook at all.
+TEST(Oracle, IdentityHookIsClean) {
+  check::OracleOptions opts;
+  opts.mean_cost_hook = [](const core::ScenarioParams& scenario,
+                           const core::ProbeSchedule& schedule) {
+    return core::mean_cost(scenario, schedule);
+  };
+  opts.error_probability_hook = [](const core::ScenarioParams& scenario,
+                                   const core::ProbeSchedule& schedule) {
+    return core::error_probability(scenario, schedule);
+  };
+  for (std::uint64_t index = 0; index < 32; ++index) {
+    const auto violations = check_case(fuzz_case(1, index), opts);
+    EXPECT_TRUE(violations.empty())
+        << "case " << index << ":\n" << render(violations);
+  }
+}
+
+}  // namespace

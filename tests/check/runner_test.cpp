@@ -1,0 +1,118 @@
+/// Check-campaign runner: clean campaigns, planted-bug harvesting in
+/// ascending case order, campaign counters, and the byte-identical
+/// report contract across thread counts.
+
+#include "check/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/fuzz.hpp"
+#include "check/oracle.hpp"
+#include "core/cost.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace zc;
+using check::CheckOptions;
+using check::CheckResult;
+using check::run_check;
+
+CheckOptions planted(std::uint64_t cases) {
+  CheckOptions opts;
+  opts.seed = 1;
+  opts.cases = cases;
+  opts.oracle.mean_cost_hook = [](const core::ScenarioParams& scenario,
+                                  const core::ProbeSchedule& schedule) {
+    return core::mean_cost(scenario, schedule) * (1.0 + 1e-3);
+  };
+  return opts;
+}
+
+TEST(CheckRunner, CleanCampaignReportsNoFailures) {
+  CheckOptions opts;
+  opts.seed = 1;
+  opts.cases = 64;
+  const CheckResult result = run_check(opts);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.violations, 0u);
+  EXPECT_EQ(result.cases, 64u);
+  EXPECT_TRUE(result.failures.empty());
+}
+
+TEST(CheckRunner, PlantedBugIsHarvestedInAscendingOrder) {
+  const CheckResult result = run_check(planted(32));
+  EXPECT_FALSE(result.ok());
+  EXPECT_GT(result.violations, 0u);
+  ASSERT_FALSE(result.failures.empty());
+  for (std::size_t i = 1; i < result.failures.size(); ++i)
+    EXPECT_LT(result.failures[i - 1].index, result.failures[i].index);
+  for (const check::CheckFailure& failure : result.failures) {
+    ASSERT_FALSE(failure.violations.empty());
+    // Shrinking preserved the leading invariant and produced a recipe.
+    EXPECT_EQ(failure.shrunk_invariant, failure.violations.front().invariant);
+    EXPECT_FALSE(failure.minimal.describe().empty());
+  }
+}
+
+#ifndef ZC_OBS_DISABLED
+TEST(CheckRunner, CountersMatchTheResult) {
+  const CheckResult result = run_check(planted(16));
+  const obs::MetricSet& metrics = result.metrics;
+  EXPECT_EQ(metrics.counter_value("check.cases").value_or(0), 16u);
+  EXPECT_EQ(metrics.counter_value("check.violations").value_or(0),
+            result.violations);
+  EXPECT_EQ(metrics.counter_value("check.shrink.steps").value_or(0),
+            result.shrink_steps);
+}
+#endif
+
+TEST(CheckRunner, ReportIsByteIdenticalAcrossThreadCounts) {
+  for (const bool plant_bug : {false, true}) {
+    CheckOptions serial = plant_bug ? planted(24) : CheckOptions{};
+    serial.cases = 24;
+    CheckOptions wide = serial;
+    serial.threads = 1;
+    wide.threads = 8;
+    const std::string a =
+        check::check_report(run_check(serial), serial).to_json().dump();
+    const std::string b =
+        check::check_report(run_check(wide), wide).to_json().dump();
+    EXPECT_EQ(a, b) << (plant_bug ? "planted-bug" : "clean") << " campaign";
+  }
+}
+
+TEST(CheckRunner, ReportCarriesTheCheckSchemaAndReplayableRecipes) {
+  const CheckOptions opts = planted(16);
+  const CheckResult result = run_check(opts);
+  const obs::JsonValue report = check::check_report(result, opts).to_json();
+
+  EXPECT_EQ(report.find("schema")->as_string(), "zcopt-check-report");
+  EXPECT_DOUBLE_EQ(report.find("schema_version")->as_number(), 1.0);
+  const obs::JsonValue* config = report.find("config");
+  ASSERT_NE(config, nullptr);
+  EXPECT_DOUBLE_EQ(config->find("seed")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(config->find("cases")->as_number(), 16.0);
+  // Deliberately absent: the thread count must not shape the report.
+  EXPECT_EQ(config->find("threads"), nullptr);
+
+  const obs::JsonValue* data = report.find("data");
+  ASSERT_NE(data, nullptr);
+  EXPECT_FALSE(data->find("ok")->as_bool());
+  const obs::JsonValue* failures = data->find("failures");
+  ASSERT_NE(failures, nullptr);
+  ASSERT_GT(failures->size(), 0u);
+
+  // Every embedded minimal recipe must replay: parse it back and re-run
+  // the oracle with the same planted bug.
+  const obs::JsonValue* minimal = failures->element(0)->find("minimal");
+  ASSERT_NE(minimal, nullptr);
+  check::CaseRecipe recipe;
+  std::string error;
+  ASSERT_TRUE(check::CaseRecipe::from_json(*minimal, recipe, &error)) << error;
+  EXPECT_FALSE(check::check_case(recipe, opts.oracle).empty());
+}
+
+}  // namespace

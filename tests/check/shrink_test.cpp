@@ -1,0 +1,113 @@
+/// Auto-shrinker: greedy minimization preserves the failing invariant,
+/// strips everything irrelevant to it (faults, Monte-Carlo block,
+/// schedule shape, scenario knobs), and the minimal recipe replays the
+/// failure on its own.
+
+#include "check/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/fuzz.hpp"
+#include "check/oracle.hpp"
+#include "core/cost.hpp"
+#include "core/schedule.hpp"
+
+namespace {
+
+using namespace zc;
+using check::CaseRecipe;
+using check::check_case;
+using check::fuzz_case;
+using check::reproduces;
+using check::shrink_case;
+
+/// A globally biased mean-cost evaluator: every non-degenerate case
+/// fails "analytic.vs_drm.mean_cost", so the shrinker should strip the
+/// recipe all the way down to the default cell.
+check::OracleOptions planted_bug() {
+  check::OracleOptions opts;
+  opts.mean_cost_hook = [](const core::ScenarioParams& scenario,
+                           const core::ProbeSchedule& schedule) {
+    return core::mean_cost(scenario, schedule) * (1.0 + 1e-3);
+  };
+  return opts;
+}
+
+constexpr const char* kInvariant = "analytic.vs_drm.mean_cost";
+
+/// First fuzz case (under seed 1) that the planted bug flags with a
+/// non-trivial shape: a fault or a non-uniform schedule to shrink away.
+CaseRecipe interesting_failing_case(const check::OracleOptions& opts) {
+  for (std::uint64_t index = 0; index < 256; ++index) {
+    const CaseRecipe recipe = fuzz_case(1, index);
+    const bool shaped = recipe.fault != check::FaultKind::none ||
+                        recipe.family != core::ScheduleFamily::uniform ||
+                        recipe.run_mc;
+    if (shaped && reproduces(recipe, kInvariant, opts)) return recipe;
+  }
+  ADD_FAILURE() << "no shaped failing case in the first 256 fuzz cases";
+  return fuzz_case(1, 0);
+}
+
+TEST(Shrink, ReproducesMatchesTheOracle) {
+  const check::OracleOptions opts = planted_bug();
+  const CaseRecipe failing = interesting_failing_case(opts);
+  EXPECT_TRUE(reproduces(failing, kInvariant, opts));
+  EXPECT_FALSE(reproduces(failing, "no.such.invariant", opts));
+  // Without the planted bug the case is clean.
+  EXPECT_FALSE(reproduces(failing, kInvariant, check::OracleOptions{}));
+}
+
+TEST(Shrink, MinimalReproducerStillFails) {
+  const check::OracleOptions opts = planted_bug();
+  const CaseRecipe failing = interesting_failing_case(opts);
+  const check::ShrinkResult result = shrink_case(failing, kInvariant, opts);
+  EXPECT_TRUE(reproduces(result.recipe, kInvariant, opts))
+      << result.recipe.describe();
+  EXPECT_GT(result.steps, 0u);
+  EXPECT_GE(result.attempts, result.steps);
+}
+
+TEST(Shrink, GlobalBugShrinksToTheDefaultCell) {
+  const check::OracleOptions opts = planted_bug();
+  const CaseRecipe failing = interesting_failing_case(opts);
+  const CaseRecipe minimal = shrink_case(failing, kInvariant, opts).recipe;
+
+  // Everything irrelevant to a global analytic-vs-DRM bias is gone.
+  EXPECT_EQ(minimal.fault, check::FaultKind::none);
+  EXPECT_FALSE(minimal.run_mc);
+  EXPECT_EQ(minimal.family, core::ScheduleFamily::uniform);
+  EXPECT_EQ(minimal.n, 1u);
+  EXPECT_EQ(minimal.r0, 2.0);
+  const core::ExponentialScenario defaults{};
+  EXPECT_EQ(minimal.scenario.q, defaults.q);
+  EXPECT_EQ(minimal.scenario.probe_cost, defaults.probe_cost);
+  EXPECT_EQ(minimal.scenario.error_cost, defaults.error_cost);
+  EXPECT_EQ(minimal.scenario.loss, defaults.loss);
+  EXPECT_EQ(minimal.scenario.lambda, defaults.lambda);
+  EXPECT_EQ(minimal.scenario.round_trip, defaults.round_trip);
+}
+
+TEST(Shrink, ShrinkingIsDeterministic) {
+  const check::OracleOptions opts = planted_bug();
+  const CaseRecipe failing = interesting_failing_case(opts);
+  const check::ShrinkResult a = shrink_case(failing, kInvariant, opts);
+  const check::ShrinkResult b = shrink_case(failing, kInvariant, opts);
+  EXPECT_EQ(a.recipe.to_json().dump_compact(),
+            b.recipe.to_json().dump_compact());
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.attempts, b.attempts);
+}
+
+TEST(Shrink, NonReproducingInputIsReturnedUntouched) {
+  const CaseRecipe clean = fuzz_case(1, 0);
+  const check::ShrinkResult result =
+      shrink_case(clean, kInvariant, check::OracleOptions{});
+  EXPECT_EQ(result.recipe.to_json().dump_compact(),
+            clean.to_json().dump_compact());
+  EXPECT_EQ(result.steps, 0u);
+}
+
+}  // namespace

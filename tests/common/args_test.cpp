@@ -149,10 +149,41 @@ TEST(Args, AccessorContractOnWrongKind) {
   EXPECT_THROW((void)parser.flag("missing"), zc::ContractViolation);
 }
 
-TEST(Args, LastValueWins) {
+// Repeats are rejected rather than last-wins: a duplicated flag in a long
+// command line is nearly always a typo for a different option.
+TEST(Args, DuplicateValueOptionRejected) {
   auto parser = make_parser();
-  ASSERT_TRUE(parser.parse({"--q", "1", "--q", "2"}));
-  EXPECT_EQ(parser.text("q"), "2");
+  EXPECT_FALSE(parser.parse({"--q", "1", "--q", "2"}));
+  EXPECT_NE(parser.error().find("duplicate option '--q'"), std::string::npos);
+}
+
+TEST(Args, DuplicateFlagRejected) {
+  auto parser = make_parser();
+  EXPECT_FALSE(parser.parse({"--verbose", "--verbose"}));
+  EXPECT_NE(parser.error().find("duplicate option '--verbose'"),
+            std::string::npos);
+}
+
+TEST(Args, UnknownOptionSuggestsNearestName) {
+  auto parser = make_parser();
+  EXPECT_FALSE(parser.parse({"--lable", "x"}));
+  EXPECT_NE(parser.error().find("unknown option '--lable'"),
+            std::string::npos);
+  EXPECT_NE(parser.error().find("(did you mean '--label'?)"),
+            std::string::npos);
+}
+
+TEST(Args, UnknownOptionSuggestsHelp) {
+  auto parser = make_parser();
+  EXPECT_FALSE(parser.parse({"--hepl"}));
+  EXPECT_NE(parser.error().find("(did you mean '--help'?)"),
+            std::string::npos);
+}
+
+TEST(Args, NoSuggestionBeyondEditDistanceTwo) {
+  auto parser = make_parser();
+  EXPECT_FALSE(parser.parse({"--completely-different", "1"}));
+  EXPECT_EQ(parser.error().find("did you mean"), std::string::npos);
 }
 
 }  // namespace

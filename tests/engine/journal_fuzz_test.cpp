@@ -1,0 +1,190 @@
+/// Fuzz-corpus regression for the journal reader and the resume path:
+/// garbage bytes, corrupt or duplicated records, and arbitrary
+/// truncations must either be tolerated (a torn *final* line, the
+/// expected crash aftermath) or rejected with zc::ContractViolation —
+/// never a crash — and every tolerated prefix must resume to the
+/// uninterrupted campaign's bytes.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "check/fuzz.hpp"
+#include "common/contract.hpp"
+#include "core/scenarios.hpp"
+#include "engine/campaign.hpp"
+#include "engine/journal.hpp"
+#include "engine/spec.hpp"
+
+namespace {
+
+using namespace zc;
+using engine::CampaignOptions;
+using engine::CampaignResult;
+using engine::CampaignRunner;
+using engine::ExperimentSpec;
+using engine::SpecBuilder;
+
+std::vector<ExperimentSpec> small_specs() {
+  const core::ScenarioParams s = core::scenarios::figure2().to_params();
+  return {
+      SpecBuilder("grid", s).protocol_grid({1, 2}, {0.5, 2.0}).build(),
+      SpecBuilder("opt", s).optimize(3).build(),
+      SpecBuilder("wide", s).protocol_grid({1, 2, 4}, {1.0}).build(),
+  };
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// One fully-journaled golden run; returns (journal bytes, report bytes).
+struct Golden {
+  std::string journal;
+  std::string report;
+};
+
+Golden golden_run(const std::string& journal_path) {
+  CampaignOptions opts;
+  opts.threads = 1;
+  opts.journal_path = journal_path;
+  CampaignRunner runner(opts);
+  const CampaignResult campaign = runner.run(small_specs());
+  Golden out;
+  out.journal = slurp(journal_path);
+  out.report =
+      campaign.report("journal-fuzz", "golden").to_json().dump();
+  return out;
+}
+
+TEST(JournalFuzz, BinaryGarbageIsRejectedNotCrashed) {
+  const std::string path = temp_path("zc_journal_fuzz_garbage.jsonl");
+  check::FuzzRng rng(2026, 0x4a46);
+  for (int round = 0; round < 64; ++round) {
+    std::string bytes(1 + rng.pick(512), '\0');
+    for (char& c : bytes) c = static_cast<char>(rng.next_u64() & 0xff);
+    spit(path, bytes);
+    EXPECT_THROW((void)engine::read_journal(path), ContractViolation)
+        << "round " << round;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(JournalFuzz, ForeignHeadersAreRejected) {
+  const std::string path = temp_path("zc_journal_fuzz_header.jsonl");
+  const char* headers[] = {
+      "not json at all\n",
+      "{}\n",
+      "{\"schema\":\"something-else\",\"version\":1}\n",
+      "{\"schema\":\"zcopt-campaign-journal\",\"version\":99,"
+      "\"digest\":\"0123456789abcdef\",\"specs\":2}\n",
+      "{\"schema\":\"zcopt-campaign-journal\",\"version\":1,"
+      "\"digest\":\"tooshort\",\"specs\":2}\n",
+      "",
+  };
+  for (const char* header : headers) {
+    spit(path, header);
+    EXPECT_THROW((void)engine::read_journal(path), ContractViolation)
+        << "header: " << header;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(JournalFuzz, CorruptMiddleLinesAndDuplicatesAreRejected) {
+  const std::string path = temp_path("zc_journal_fuzz_corrupt.jsonl");
+  const Golden golden = golden_run(path);
+  const std::string& bytes = golden.journal;
+
+  const std::size_t header_end = bytes.find('\n') + 1;
+  const std::size_t first_record_end = bytes.find('\n', header_end) + 1;
+  const std::string first_record =
+      bytes.substr(header_end, first_record_end - header_end);
+
+  // Garbage injected between newline-terminated records is corruption,
+  // not a torn tail — must throw.
+  spit(path, bytes.substr(0, header_end) + "garbage\n" +
+                 bytes.substr(header_end));
+  EXPECT_THROW((void)engine::read_journal(path), ContractViolation);
+
+  // A record journaled twice is corruption (replaying it twice would
+  // double-count a chunk).
+  spit(path, bytes + first_record);
+  EXPECT_THROW((void)engine::read_journal(path), ContractViolation);
+
+  // A record whose chunk is out of the header's declared range.
+  std::string renumbered = first_record;
+  const std::size_t chunk_pos = renumbered.find("\"chunk\":");
+  ASSERT_NE(chunk_pos, std::string::npos);
+  renumbered.replace(chunk_pos, 9, "\"chunk\":9");
+  spit(path, bytes + renumbered);
+  EXPECT_THROW((void)engine::read_journal(path), ContractViolation);
+
+  std::remove(path.c_str());
+}
+
+TEST(JournalFuzz, EveryTruncationIsToleratedOrRejectedCleanly) {
+  const std::string path = temp_path("zc_journal_fuzz_trunc.jsonl");
+  const Golden golden = golden_run(path);
+  const std::string& bytes = golden.journal;
+  const std::size_t header_end = bytes.find('\n') + 1;
+
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    spit(path, bytes.substr(0, cut));
+    if (cut < header_end) {
+      // The header itself is torn: nothing to salvage.
+      EXPECT_THROW((void)engine::read_journal(path), ContractViolation)
+          << "cut " << cut;
+      continue;
+    }
+    // Past the header every truncation is a legal crash state: whole
+    // records survive, the torn tail is dropped.
+    const engine::JournalContents contents = engine::read_journal(path);
+    EXPECT_EQ(contents.valid_bytes + contents.dropped_bytes, cut)
+        << "cut " << cut;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(JournalFuzz, ResumeFromTornJournalsReproducesTheGoldenBytes) {
+  const std::string path = temp_path("zc_journal_fuzz_resume.jsonl");
+  const Golden golden = golden_run(path);
+  const std::string& bytes = golden.journal;
+  const std::size_t header_end = bytes.find('\n') + 1;
+
+  // A spread of torn states: header only, a whole record lost, and a
+  // record torn mid-append.
+  const std::size_t cuts[] = {header_end, bytes.find('\n', header_end) + 1,
+                              header_end + (bytes.size() - header_end) / 2,
+                              bytes.size() - 3};
+  for (const std::size_t cut : cuts) {
+    spit(path, bytes.substr(0, cut));
+    CampaignOptions opts;
+    opts.threads = 1;
+    CampaignRunner runner(opts);
+    const CampaignResult resumed = runner.resume(small_specs(), path);
+    EXPECT_TRUE(resumed.complete) << "cut " << cut;
+    EXPECT_EQ(resumed.report("journal-fuzz", "golden").to_json().dump(),
+              golden.report)
+        << "cut " << cut;
+    // The journal healed: re-reading it finds every chunk, no torn tail.
+    const engine::JournalContents healed = engine::read_journal(path);
+    EXPECT_EQ(healed.completed.size(), small_specs().size()) << "cut " << cut;
+    EXPECT_EQ(healed.dropped_bytes, 0u) << "cut " << cut;
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace

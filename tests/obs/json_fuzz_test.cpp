@@ -1,0 +1,116 @@
+/// Adversarial-input regression corpus for obs::parse_json: hostile
+/// documents (pathological nesting, unpaired surrogates, torn buffers,
+/// binary garbage) must come back as a clean nullopt with a byte-offset
+/// diagnostic — never a crash, hang, or mangled value — and byte-level
+/// mutations of a valid document must never break the parser either.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "check/fuzz.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using zc::obs::JsonValue;
+using zc::obs::parse_json;
+
+void expect_rejected(const std::string& text, const char* label) {
+  std::string error;
+  const std::optional<JsonValue> parsed = parse_json(text, &error);
+  EXPECT_FALSE(parsed.has_value()) << label;
+  EXPECT_NE(error.find("at byte"), std::string::npos)
+      << label << ": diagnostic lacks a byte offset: " << error;
+}
+
+TEST(JsonFuzz, PathologicalNestingFailsCleanly) {
+  // Far beyond the 256-level cap: must fail by depth check, not by
+  // exhausting the call stack.
+  expect_rejected(std::string(100000, '['), "100k open brackets");
+  expect_rejected(std::string(100000, '{'), "100k open braces");
+  std::string alternating;
+  for (int i = 0; i < 50000; ++i) alternating += "[{\"k\":";
+  expect_rejected(alternating, "alternating object/array nesting");
+}
+
+TEST(JsonFuzz, NestingJustBelowTheCapStillParses) {
+  const int depth = 250;
+  std::string text(static_cast<std::size_t>(depth), '[');
+  text += "1";
+  text += std::string(static_cast<std::size_t>(depth), ']');
+  EXPECT_TRUE(parse_json(text).has_value());
+}
+
+TEST(JsonFuzz, MalformedUnicodeEscapesRejected) {
+  expect_rejected("\"\\ud800\"", "lone high surrogate");
+  expect_rejected("\"\\udc00\"", "lone low surrogate");
+  expect_rejected("\"\\ud800\\ud800\"", "high surrogate pair");
+  expect_rejected("\"\\ud800x\"", "high surrogate then text");
+  expect_rejected("\"\\ud800\\u0041\"", "high surrogate then BMP");
+  expect_rejected("\"\\uZZZZ\"", "non-hex escape digits");
+  expect_rejected("\"\\u12\"", "truncated hex escape");
+}
+
+TEST(JsonFuzz, TornAndTruncatedDocumentsRejected) {
+  const std::string whole =
+      "{\"schema\":\"zcopt-run-report\",\"values\":[1,2.5,-3e-2,null,true],"
+      "\"text\":\"tail \\u00e9\"}";
+  ASSERT_TRUE(parse_json(whole).has_value());
+  // Every proper prefix is torn mid-structure; none may parse or crash.
+  for (std::size_t cut = 1; cut < whole.size(); ++cut) {
+    std::string error;
+    EXPECT_FALSE(parse_json(whole.substr(0, cut), &error).has_value())
+        << "prefix of length " << cut << " parsed";
+  }
+}
+
+TEST(JsonFuzz, GarbageAndControlBytesRejected) {
+  expect_rejected(std::string("\x00\x01\x02", 3), "NUL-led binary");
+  expect_rejected("\xff\xfe{}", "BOM-ish garbage prefix");
+  expect_rejected("{\"a\"\n\t: 1,}", "trailing comma");
+  expect_rejected("[1, 2,, 3]", "double comma");
+  expect_rejected("{\"a\": 1} trailing", "trailing garbage");
+  expect_rejected("\"raw\ncontrol\"", "unescaped control char in string");
+  expect_rejected("nul", "truncated keyword");
+  expect_rejected("+1", "leading plus");
+  expect_rejected("01", "leading zero");
+  expect_rejected("1e", "dangling exponent");
+  expect_rejected("-", "bare minus");
+  expect_rejected("", "empty input");
+  expect_rejected("   ", "whitespace only");
+}
+
+// Deterministic byte-flip fuzzing of a valid document: whatever the
+// mutation, the parser must return (nullopt + diagnostic) or a value —
+// and accepted mutants must survive a dump/re-parse round trip.
+TEST(JsonFuzz, ByteFlipCorpusNeverBreaksTheParser) {
+  const std::string whole =
+      "{\"n\":4,\"r\":2.0,\"pi\":[1,0.5,0.25],\"name\":\"seed \\\"x\\\"\","
+      "\"ok\":true,\"none\":null}";
+  zc::check::FuzzRng rng(2026, 0x4a50);
+  int accepted = 0;
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutant = whole;
+    const std::size_t position = rng.pick(mutant.size());
+    mutant[position] = static_cast<char>(rng.next_u64() & 0xff);
+    std::string error;
+    const std::optional<JsonValue> parsed = parse_json(mutant, &error);
+    if (!parsed.has_value()) {
+      EXPECT_FALSE(error.empty()) << "mutant round " << round;
+      continue;
+    }
+    ++accepted;
+    const auto reparsed = parse_json(parsed->dump_compact());
+    ASSERT_TRUE(reparsed.has_value()) << "round-trip broke, round " << round;
+    EXPECT_EQ(reparsed->dump_compact(), parsed->dump_compact());
+  }
+  // Most single-byte flips corrupt the document; a few (digit swaps,
+  // value-char swaps inside strings) stay legal. Both sides must occur
+  // for the corpus to mean anything.
+  EXPECT_GT(accepted, 0);
+  EXPECT_LT(accepted, 2000);
+}
+
+}  // namespace
